@@ -1,0 +1,83 @@
+//! 16-byte object identifiers (the ASF object GUIDs).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 16-byte object tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Guid(pub [u8; 16]);
+
+impl Guid {
+    /// Builds a GUID from a short ASCII mnemonic, zero-padded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mnemonic exceeds 16 bytes.
+    pub const fn from_tag(tag: &str) -> Self {
+        let bytes = tag.as_bytes();
+        assert!(bytes.len() <= 16, "tag too long");
+        let mut out = [0u8; 16];
+        let mut i = 0;
+        while i < bytes.len() {
+            out[i] = bytes[i];
+            i += 1;
+        }
+        Guid(out)
+    }
+}
+
+impl fmt::Display for Guid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Top-level header object (contains all metadata sub-objects).
+pub const HEADER_OBJECT: Guid = Guid::from_tag("WMPS.HEADER");
+/// File-properties sub-object.
+pub const FILE_PROPERTIES: Guid = Guid::from_tag("WMPS.FILEPROP");
+/// Stream-properties sub-object (one per stream).
+pub const STREAM_PROPERTIES: Guid = Guid::from_tag("WMPS.STREAM");
+/// Script-command sub-object.
+pub const SCRIPT_COMMAND: Guid = Guid::from_tag("WMPS.SCRIPT");
+/// DRM sub-object.
+pub const DRM_OBJECT: Guid = Guid::from_tag("WMPS.DRM");
+/// Data object holding the packets.
+pub const DATA_OBJECT: Guid = Guid::from_tag("WMPS.DATA");
+/// Seek-index object.
+pub const INDEX_OBJECT: Guid = Guid::from_tag("WMPS.INDEX");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_distinct() {
+        let all = [
+            HEADER_OBJECT,
+            FILE_PROPERTIES,
+            STREAM_PROPERTIES,
+            SCRIPT_COMMAND,
+            DRM_OBJECT,
+            DATA_OBJECT,
+            INDEX_OBJECT,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let g = Guid::from_tag("A");
+        let s = g.to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.starts_with("41"));
+    }
+}

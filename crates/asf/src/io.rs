@@ -1,0 +1,195 @@
+//! Little-endian byte reader/writer helpers (crate-internal).
+
+use bytes::{BufMut, BytesMut};
+
+use crate::error::AsfError;
+use crate::guid::Guid;
+
+/// Append-only little-endian writer.
+#[derive(Debug, Default)]
+pub(crate) struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    pub(crate) fn u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    pub(crate) fn guid(&mut self, g: Guid) {
+        self.buf.put_slice(&g.0);
+    }
+
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
+        self.buf.put_slice(b);
+    }
+
+    /// Length-prefixed (u16) UTF-8 string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string exceeds 65535 bytes.
+    pub(crate) fn string(&mut self, s: &str) {
+        let b = s.as_bytes();
+        assert!(b.len() <= usize::from(u16::MAX), "string too long for wire");
+        self.u16(b.len() as u16);
+        self.bytes(b);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub(crate) fn into_vec(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+}
+
+/// Cursor-style little-endian reader with EOF checking.
+#[derive(Debug)]
+pub(crate) struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], AsfError> {
+        if self.remaining() < n {
+            return Err(AsfError::UnexpectedEof { context });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self, context: &'static str) -> Result<u8, AsfError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    pub(crate) fn u16(&mut self, context: &'static str) -> Result<u16, AsfError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self, context: &'static str) -> Result<u32, AsfError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self, context: &'static str) -> Result<u64, AsfError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub(crate) fn guid(&mut self, context: &'static str) -> Result<Guid, AsfError> {
+        let b = self.take(16, context)?;
+        let mut out = [0u8; 16];
+        out.copy_from_slice(b);
+        Ok(Guid(out))
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], AsfError> {
+        self.take(n, context)
+    }
+
+    pub(crate) fn string(&mut self, context: &'static str) -> Result<String, AsfError> {
+        let len = self.u16(context)? as usize;
+        let b = self.take(len, context)?;
+        String::from_utf8(b.to_vec()).map_err(|_| AsfError::BadString)
+    }
+
+    /// Sub-reader over the next `n` bytes.
+    pub(crate) fn slice(
+        &mut self,
+        n: usize,
+        context: &'static str,
+    ) -> Result<Reader<'a>, AsfError> {
+        Ok(Reader::new(self.take(n, context)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(300);
+        w.u32(70_000);
+        w.u64(u64::MAX - 1);
+        w.string("héllo");
+        let v = w.into_vec();
+        let mut r = Reader::new(&v);
+        assert_eq!(r.u8("t").unwrap(), 7);
+        assert_eq!(r.u16("t").unwrap(), 300);
+        assert_eq!(r.u32("t").unwrap(), 70_000);
+        assert_eq!(r.u64("t").unwrap(), u64::MAX - 1);
+        assert_eq!(r.string("t").unwrap(), "héllo");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn eof_detected() {
+        let v = vec![1u8, 2];
+        let mut r = Reader::new(&v);
+        assert!(matches!(
+            r.u32("field"),
+            Err(AsfError::UnexpectedEof { context: "field" })
+        ));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut w = Writer::new();
+        w.u16(2);
+        w.bytes(&[0xff, 0xfe]);
+        let v = w.into_vec();
+        let mut r = Reader::new(&v);
+        assert_eq!(r.string("t").unwrap_err(), AsfError::BadString);
+    }
+
+    #[test]
+    fn sub_reader_bounds() {
+        let mut w = Writer::new();
+        w.u32(1);
+        w.u32(2);
+        let v = w.into_vec();
+        let mut r = Reader::new(&v);
+        let mut sub = r.slice(4, "t").unwrap();
+        assert_eq!(sub.u32("t").unwrap(), 1);
+        assert!(sub.is_empty());
+        assert_eq!(r.u32("t").unwrap(), 2);
+    }
+}

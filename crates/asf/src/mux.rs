@@ -1,0 +1,267 @@
+//! Whole-file model and serialization (the muxer).
+
+use serde::{Deserialize, Serialize};
+
+use crate::drm::{scramble_in_place, DrmHeader, License};
+use crate::error::AsfError;
+use crate::guid;
+use crate::header::{FileProperties, StreamProperties};
+use crate::index::AsfIndex;
+use crate::io::Writer;
+use crate::packet::DataPacket;
+use crate::script::ScriptCommandList;
+
+/// A complete piece of ASF content: header metadata, data packets, and an
+/// optional seek index. This is what the encoder produces, the server
+/// streams, and the player consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsfFile {
+    /// Global file properties.
+    pub props: FileProperties,
+    /// Stream declarations.
+    pub streams: Vec<StreamProperties>,
+    /// Script commands (slide flips, annotations, captions, URLs).
+    pub script: ScriptCommandList,
+    /// DRM header when the content is protected.
+    pub drm: Option<DrmHeader>,
+    /// The data packets in send order.
+    pub packets: Vec<DataPacket>,
+    /// Optional seek index.
+    pub index: Option<AsfIndex>,
+}
+
+impl AsfFile {
+    /// Looks up a stream declaration by number.
+    pub fn stream(&self, number: u16) -> Option<&StreamProperties> {
+        self.streams.iter().find(|s| s.number == number)
+    }
+
+    /// Latest payload presentation time across all packets (the observable
+    /// content duration).
+    pub fn last_presentation_time(&self) -> u64 {
+        self.packets
+            .iter()
+            .flat_map(|p| &p.payloads)
+            .map(|p| p.pres_time)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Builds a seek index with roughly one entry per `interval` ticks and
+    /// stores it in the file (the "ASF Indexer" command-line utility of
+    /// §2.1).
+    pub fn build_index(&mut self, interval: u64) {
+        let mut idx = AsfIndex::new();
+        let mut next_mark = 0u64;
+        for (i, p) in self.packets.iter().enumerate() {
+            if p.send_time >= next_mark {
+                idx.push(p.send_time, i as u32);
+                next_mark = p.send_time.saturating_add(interval.max(1));
+            }
+        }
+        self.index = Some(idx);
+    }
+
+    /// Scrambles every payload with `license` and records the DRM header.
+    ///
+    /// Calling it twice restores plaintext but leaves the header — don't.
+    pub fn protect(&mut self, license: &License) {
+        for packet in &mut self.packets {
+            for payload in &mut packet.payloads {
+                scramble_in_place(license.key, &mut payload.data);
+            }
+        }
+        self.drm = Some(DrmHeader::for_license(license));
+    }
+
+    /// Verifies `license` and unscrambles the content. No-op for
+    /// unprotected content.
+    ///
+    /// # Errors
+    ///
+    /// [`AsfError::LicenseRejected`] when the license does not match.
+    pub fn unprotect(&mut self, license: &License) -> Result<(), AsfError> {
+        let Some(drm) = &self.drm else {
+            return Ok(());
+        };
+        drm.verify(license)?;
+        for packet in &mut self.packets {
+            for payload in &mut packet.payloads {
+                scramble_in_place(license.key, &mut payload.data);
+            }
+        }
+        self.drm = None;
+        Ok(())
+    }
+
+    /// Total serialized size in bytes (header + data + index).
+    pub fn wire_size(&self) -> usize {
+        write_asf(self).map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+fn write_object(out: &mut Writer, g: crate::guid::Guid, body: Writer) {
+    out.guid(g);
+    out.u64(24 + body.len() as u64);
+    out.bytes(&body.into_vec());
+}
+
+/// Serializes `file` to bytes.
+///
+/// # Errors
+///
+/// [`AsfError::BadSize`] if any packet's payloads exceed the declared
+/// packet size.
+pub fn write_asf(file: &AsfFile) -> Result<Vec<u8>, AsfError> {
+    let mut out = Writer::new();
+
+    // Header object: nested sub-objects.
+    let mut header = Writer::new();
+    {
+        let mut body = Writer::new();
+        file.props.write(&mut body);
+        write_object(&mut header, guid::FILE_PROPERTIES, body);
+    }
+    for s in &file.streams {
+        let mut body = Writer::new();
+        s.write(&mut body);
+        write_object(&mut header, guid::STREAM_PROPERTIES, body);
+    }
+    if !file.script.is_empty() {
+        let mut body = Writer::new();
+        file.script.write(&mut body);
+        write_object(&mut header, guid::SCRIPT_COMMAND, body);
+    }
+    if let Some(drm) = &file.drm {
+        let mut body = Writer::new();
+        drm.write(&mut body);
+        write_object(&mut header, guid::DRM_OBJECT, body);
+    }
+    write_object(&mut out, guid::HEADER_OBJECT, header);
+
+    // Data object.
+    let mut data = Writer::new();
+    data.u32(file.packets.len() as u32);
+    for p in &file.packets {
+        data.bytes(&p.write(file.props.packet_size)?);
+    }
+    write_object(&mut out, guid::DATA_OBJECT, data);
+
+    // Index object.
+    if let Some(idx) = &file.index {
+        let mut body = Writer::new();
+        idx.write(&mut body);
+        write_object(&mut out, guid::INDEX_OBJECT, body);
+    }
+
+    Ok(out.into_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demux::read_asf;
+    use crate::header::StreamKind;
+    use crate::packet::{MediaSample, Packetizer};
+    use crate::script::ScriptCommand;
+
+    pub(crate) fn sample_file() -> AsfFile {
+        let mut pk = Packetizer::new(200).unwrap();
+        pk.push(&MediaSample::new(1, 0, vec![1; 300]));
+        pk.push(&MediaSample::new(2, 50, vec![2; 80]));
+        pk.push(&MediaSample::new(1, 100, vec![3; 20]));
+        let packets = pk.finish();
+        AsfFile {
+            props: FileProperties {
+                file_id: 7,
+                created: 1_000,
+                packet_size: 200,
+                play_duration: 100,
+                preroll: 10,
+                broadcast: false,
+                max_bitrate: 64_000,
+            },
+            streams: vec![
+                StreamProperties {
+                    number: 1,
+                    kind: StreamKind::Video,
+                    codec: 4,
+                    bitrate: 48_000,
+                    name: "camera".into(),
+                },
+                StreamProperties {
+                    number: 2,
+                    kind: StreamKind::Audio,
+                    codec: 1,
+                    bitrate: 16_000,
+                    name: "mic".into(),
+                },
+            ],
+            script: [
+                ScriptCommand::new(0, "slide", "s1.png"),
+                ScriptCommand::new(60, "slide", "s2.png"),
+            ]
+            .into_iter()
+            .collect(),
+            drm: None,
+            packets,
+            index: None,
+        }
+    }
+
+    #[test]
+    fn full_round_trip() {
+        let mut f = sample_file();
+        f.build_index(50);
+        let bytes = write_asf(&f).unwrap();
+        let back = read_asf(&bytes).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn protect_then_unprotect_round_trips() {
+        let f = sample_file();
+        let mut g = f.clone();
+        let lic = License::new("cs101", 0xABCD);
+        g.protect(&lic);
+        assert_ne!(g.packets, f.packets);
+        // Also survives the wire.
+        let bytes = write_asf(&g).unwrap();
+        let mut back = read_asf(&bytes).unwrap();
+        back.unprotect(&lic).unwrap();
+        assert_eq!(back.packets, f.packets);
+        assert!(back.drm.is_none());
+    }
+
+    #[test]
+    fn wrong_license_rejected_and_content_untouched() {
+        let mut f = sample_file();
+        f.protect(&License::new("cs101", 1));
+        let scrambled = f.packets.clone();
+        let err = f.unprotect(&License::new("cs101", 2)).unwrap_err();
+        assert!(matches!(err, AsfError::LicenseRejected { .. }));
+        assert_eq!(f.packets, scrambled);
+    }
+
+    #[test]
+    fn last_presentation_time_scans_payloads() {
+        let f = sample_file();
+        assert_eq!(f.last_presentation_time(), 100);
+    }
+
+    #[test]
+    fn index_entries_cover_packets() {
+        let mut f = sample_file();
+        f.build_index(1);
+        let idx = f.index.as_ref().unwrap();
+        assert!(!idx.is_empty());
+        assert_eq!(idx.packet_for(0), 0);
+    }
+
+    #[test]
+    fn stream_lookup() {
+        let f = sample_file();
+        assert_eq!(f.stream(2).unwrap().name, "mic");
+        assert!(f.stream(9).is_none());
+    }
+}

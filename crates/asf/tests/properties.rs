@@ -1,0 +1,156 @@
+//! Property-based tests: the container round-trips arbitrary content.
+
+use lod_asf::{
+    read_asf, write_asf, AsfFile, FileProperties, License, MediaSample, Packetizer, Reassembler,
+    ScriptCommand, ScriptCommandList, StreamKind, StreamProperties,
+};
+use proptest::prelude::*;
+
+fn arb_samples() -> impl Strategy<Value = Vec<MediaSample>> {
+    proptest::collection::vec(
+        (
+            1u16..=3,
+            0u64..100_000,
+            proptest::collection::vec(any::<u8>(), 0..600),
+        ),
+        0..20,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(s, t, d)| MediaSample::new(s, t, d))
+            .collect()
+    })
+}
+
+fn arb_script() -> impl Strategy<Value = ScriptCommandList> {
+    proptest::collection::vec((0u64..10_000, "[a-z]{1,8}", "[ -~]{0,20}"), 0..10).prop_map(|v| {
+        v.into_iter()
+            .map(|(t, k, p)| ScriptCommand::new(t, k, p))
+            .collect()
+    })
+}
+
+fn make_file(samples: &[MediaSample], script: ScriptCommandList, packet_size: u32) -> AsfFile {
+    let mut pk = Packetizer::new(packet_size).unwrap();
+    for s in samples {
+        pk.push(s);
+    }
+    AsfFile {
+        props: FileProperties {
+            file_id: 99,
+            created: 5,
+            packet_size,
+            play_duration: 0,
+            preroll: 0,
+            broadcast: false,
+            max_bitrate: 128_000,
+        },
+        streams: (1..=3)
+            .map(|n| StreamProperties {
+                number: n,
+                kind: StreamKind::Video,
+                codec: 4,
+                bitrate: 1000,
+                name: format!("s{n}"),
+            })
+            .collect(),
+        script,
+        drm: None,
+        packets: pk.finish(),
+        index: None,
+    }
+}
+
+proptest! {
+    /// write → read is the identity on the whole file model.
+    #[test]
+    fn mux_demux_identity(
+        samples in arb_samples(),
+        script in arb_script(),
+        packet_size in 64u32..2048,
+    ) {
+        let mut f = make_file(&samples, script, packet_size);
+        f.build_index(1_000);
+        let bytes = write_asf(&f).unwrap();
+        let back = read_asf(&bytes).unwrap();
+        prop_assert_eq!(back, f);
+    }
+
+    /// Packetize → reassemble restores every sample exactly.
+    #[test]
+    fn fragment_reassemble_identity(
+        samples in arb_samples(),
+        packet_size in 64u32..512,
+    ) {
+        let mut pk = Packetizer::new(packet_size).unwrap();
+        for s in &samples {
+            pk.push(s);
+        }
+        let packets = pk.finish();
+        let mut rs = Reassembler::new();
+        for p in &packets {
+            rs.push_packet(p).unwrap();
+        }
+        let mut got = rs.take_completed();
+        let mut want = samples.clone();
+        // Order by (time, stream, data) — object ids disambiguate on the
+        // wire but equal (time, stream) pairs are unordered here.
+        let key = |s: &MediaSample| (s.pres_time, s.stream, s.data.clone());
+        got.sort_by_key(key);
+        want.sort_by_key(key);
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(rs.incomplete(), 0);
+    }
+
+    /// Every serialized packet is exactly the declared size.
+    #[test]
+    fn packets_have_fixed_size(
+        samples in arb_samples(),
+        packet_size in 64u32..512,
+    ) {
+        let mut pk = Packetizer::new(packet_size).unwrap();
+        for s in &samples {
+            pk.push(s);
+        }
+        for p in pk.finish() {
+            prop_assert_eq!(p.write(packet_size).unwrap().len(), packet_size as usize);
+        }
+    }
+
+    /// DRM protect → unprotect restores the content bit-exactly, and the
+    /// wrong key never verifies.
+    #[test]
+    fn drm_round_trip(
+        samples in arb_samples(),
+        key in any::<u64>(),
+    ) {
+        let f = make_file(&samples, ScriptCommandList::new(), 256);
+        let mut g = f.clone();
+        let lic = License::new("k", key);
+        g.protect(&lic);
+        let mut wrong = g.clone();
+        prop_assert!(wrong.unprotect(&License::new("k", key.wrapping_add(1))).is_err());
+        g.unprotect(&lic).unwrap();
+        prop_assert_eq!(g.packets, f.packets);
+    }
+
+    /// Parsing arbitrary bytes never panics (it may error).
+    #[test]
+    fn demux_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = read_asf(&bytes);
+    }
+
+    /// Truncating a valid file at any point fails cleanly, never panics.
+    #[test]
+    fn truncation_fails_cleanly(
+        samples in arb_samples(),
+        cut_ratio in 0.0f64..1.0,
+    ) {
+        let f = make_file(&samples, ScriptCommandList::new(), 128);
+        let bytes = write_asf(&f).unwrap();
+        let cut = ((bytes.len() as f64) * cut_ratio) as usize;
+        if cut < bytes.len() {
+            prop_assert!(read_asf(&bytes[..cut]).is_err());
+        }
+    }
+}

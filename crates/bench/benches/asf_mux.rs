@@ -1,0 +1,101 @@
+//! P3: ASF container throughput — mux, demux, and DRM scrambling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lod_asf::{
+    read_asf, write_asf, AsfFile, FileProperties, License, MediaSample, Packetizer, ScriptCommand,
+    ScriptCommandList, StreamKind, StreamProperties,
+};
+
+fn sample_file(seconds: u64) -> AsfFile {
+    let mut pk = Packetizer::new(1_400).unwrap();
+    // ~400 kbit/s of media: 5 kB per 100 ms sample.
+    for i in 0..(seconds * 10) {
+        pk.push(&MediaSample::new(1, i * 1_000_000, vec![0xAB; 5_000]));
+    }
+    let mut script = ScriptCommandList::new();
+    for i in 0..seconds / 30 {
+        script.push(ScriptCommand::new(
+            i * 300_000_000,
+            "slide",
+            format!("slides/s{i}.png"),
+        ));
+    }
+    AsfFile {
+        props: FileProperties {
+            file_id: 1,
+            created: 0,
+            packet_size: 1_400,
+            play_duration: seconds * 10_000_000,
+            preroll: 20_000_000,
+            broadcast: false,
+            max_bitrate: 400_000,
+        },
+        streams: vec![StreamProperties {
+            number: 1,
+            kind: StreamKind::Video,
+            codec: 4,
+            bitrate: 400_000,
+            name: "camera".into(),
+        }],
+        script,
+        drm: None,
+        packets: pk.finish(),
+        index: None,
+    }
+}
+
+fn bench_mux(c: &mut Criterion) {
+    let file = sample_file(60);
+    let size = write_asf(&file).unwrap().len() as u64;
+    let mut g = c.benchmark_group("asf");
+    g.throughput(Throughput::Bytes(size));
+    g.bench_function("mux_60s", |b| {
+        b.iter(|| write_asf(std::hint::black_box(&file)).unwrap().len());
+    });
+    let bytes = write_asf(&file).unwrap();
+    g.bench_function("demux_60s", |b| {
+        b.iter(|| {
+            read_asf(std::hint::black_box(&bytes))
+                .unwrap()
+                .packets
+                .len()
+        });
+    });
+    g.finish();
+}
+
+fn bench_drm(c: &mut Criterion) {
+    let file = sample_file(60);
+    let media: u64 = file.packets.iter().map(|p| p.media_bytes() as u64).sum();
+    let lic = License::new("k", 42);
+    let mut g = c.benchmark_group("asf");
+    g.throughput(Throughput::Bytes(media));
+    g.bench_function("drm_protect_60s", |b| {
+        b.iter_batched(
+            || file.clone(),
+            |mut f| {
+                f.protect(&lic);
+                f
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let file = sample_file(300);
+    c.bench_function("asf/build_index_300s", |b| {
+        b.iter_batched(
+            || file.clone(),
+            |mut f| {
+                f.build_index(10_000_000);
+                f
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_mux, bench_drm, bench_index);
+criterion_main!(benches);

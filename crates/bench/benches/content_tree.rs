@@ -1,0 +1,64 @@
+//! P1: content-tree operation micro-benchmarks (the Abstractor's data
+//! structure at realistic and stress sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lod_content_tree::{ContentTree, Segment};
+
+fn build_tree(nodes: usize) -> ContentTree {
+    let mut t = ContentTree::new(Segment::new("root", 10));
+    for i in 0..nodes {
+        let level = 1 + i % 3;
+        t.add_at_level(level, Segment::new(format!("s{i}"), 10))
+            .unwrap();
+    }
+    t
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("content_tree/build");
+    for nodes in [100usize, 1_000, 5_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| build_tree(n));
+        });
+    }
+    g.finish();
+}
+
+fn bench_level_value(c: &mut Criterion) {
+    let tree = build_tree(5_000);
+    c.bench_function("content_tree/level_value", |b| {
+        b.iter(|| std::hint::black_box(&tree).level_value(2));
+    });
+}
+
+fn bench_presentation(c: &mut Criterion) {
+    let tree = build_tree(5_000);
+    c.bench_function("content_tree/presentation_at_level", |b| {
+        b.iter(|| std::hint::black_box(&tree).presentation_at_level(3).len());
+    });
+}
+
+fn bench_insert_delete(c: &mut Criterion) {
+    c.bench_function("content_tree/insert_above+delete_adopt", |b| {
+        let tree = build_tree(1_000);
+        b.iter_batched(
+            || tree.clone(),
+            |mut t| {
+                let target = t.find("s500").unwrap();
+                let id = t.insert_above(target, Segment::new("wedge", 1)).unwrap();
+                t.delete_adopt(id).unwrap();
+                t
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_level_value,
+    bench_presentation,
+    bench_insert_delete
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! P4: packetizer / reassembler throughput across packet sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lod_asf::{MediaSample, Packetizer, Reassembler};
+
+fn samples(count: usize, bytes: usize) -> Vec<MediaSample> {
+    (0..count)
+        .map(|i| MediaSample::new(1, i as u64 * 400_000, vec![(i % 251) as u8; bytes]))
+        .collect()
+}
+
+fn bench_packetize(c: &mut Criterion) {
+    let input = samples(500, 5_000); // 2.5 MB of media
+    let total: u64 = input.iter().map(|s| s.data.len() as u64).sum();
+    let mut g = c.benchmark_group("packetizer/fragment");
+    g.throughput(Throughput::Bytes(total));
+    for packet in [256u32, 1_400, 8_192] {
+        g.bench_with_input(BenchmarkId::from_parameter(packet), &packet, |b, &p| {
+            b.iter(|| {
+                let mut pk = Packetizer::new(p).unwrap();
+                for s in &input {
+                    pk.push(s);
+                }
+                pk.finish().len()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_reassemble(c: &mut Criterion) {
+    let input = samples(500, 5_000);
+    let total: u64 = input.iter().map(|s| s.data.len() as u64).sum();
+    let mut pk = Packetizer::new(1_400).unwrap();
+    for s in &input {
+        pk.push(s);
+    }
+    let packets = pk.finish();
+    let mut g = c.benchmark_group("packetizer/reassemble");
+    g.throughput(Throughput::Bytes(total));
+    g.bench_function("1400B", |b| {
+        b.iter(|| {
+            let mut rs = Reassembler::new();
+            for p in &packets {
+                rs.push_packet(p).unwrap();
+            }
+            rs.take_completed().len()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_packetize, bench_reassemble);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! P2: Petri-net substrate micro-benchmarks — firing throughput, timed
+//! execution, and reachability analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lod_petri::analysis::{ExploreLimits, ReachabilityGraph};
+use lod_petri::{Marking, NetBuilder, PetriNet, RandomFirer, TimedExecutor, TimedNet};
+
+/// A token ring of `n` places.
+fn ring(n: usize) -> (PetriNet, Marking) {
+    let mut b = NetBuilder::new();
+    let ps: Vec<_> = (0..n).map(|i| b.place(format!("p{i}"))).collect();
+    for i in 0..n {
+        let t = b.transition(format!("t{i}"));
+        b.arc_in(ps[i], t, 1).unwrap();
+        b.arc_out(t, ps[(i + 1) % n], 1).unwrap();
+    }
+    let net = b.build();
+    let mut m = Marking::new(n);
+    m.set(ps[0], 1);
+    (net, m)
+}
+
+fn bench_firing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("petri/fire_1000_steps");
+    for n in [10usize, 100, 500] {
+        let (net, m0) = ring(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut firer = RandomFirer::new(&net, m0.clone());
+                firer.run(1_000, |_| 0)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_timed_executor(c: &mut Criterion) {
+    // A sequential chain of 500 timed transitions.
+    let mut b = NetBuilder::new();
+    let ps: Vec<_> = (0..=500).map(|i| b.place(format!("p{i}"))).collect();
+    let mut ts = Vec::new();
+    for i in 0..500 {
+        let t = b.transition(format!("t{i}"));
+        b.arc_in(ps[i], t, 1).unwrap();
+        b.arc_out(t, ps[i + 1], 1).unwrap();
+        ts.push(t);
+    }
+    let mut timed = TimedNet::new(b.build());
+    for t in &ts {
+        timed.set_duration(*t, 7);
+    }
+    let mut m0 = Marking::new(501);
+    m0.set(ps[0], 1);
+    c.bench_function("petri/timed_chain_500", |b| {
+        b.iter(|| {
+            let mut exec = TimedExecutor::new(&timed, m0.clone());
+            exec.run_to_quiescence(10_000).unwrap();
+            exec.now()
+        });
+    });
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    // k-token ring: state space = C(n+k-1, k)-ish; keep it moderate.
+    let (net, mut m0) = ring(12);
+    m0.set(net.places().next().unwrap(), 3);
+    c.bench_function("petri/reachability_ring12x3", |b| {
+        b.iter(|| {
+            ReachabilityGraph::explore(&net, &m0, ExploreLimits::default())
+                .unwrap()
+                .state_count()
+        });
+    });
+}
+
+fn bench_invariants(c: &mut Criterion) {
+    let (net, _) = ring(100);
+    c.bench_function("petri/p_invariants_ring100", |b| {
+        b.iter(|| lod_petri::invariants::p_invariants(std::hint::black_box(&net)).len());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_firing,
+    bench_timed_executor,
+    bench_reachability,
+    bench_invariants
+);
+criterion_main!(benches);

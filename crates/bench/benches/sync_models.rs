@@ -1,0 +1,66 @@
+//! P5: the Q1 sync-model comparison as a benchmark — how expensive is
+//! each controller, and full ETPN replay cost at growing lecture sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lod_core::etpn::{instant_arrivals, EtpnConfig, LectureNet};
+use lod_core::replay::{replay, simulate_arrivals, ReplayConfig, SyncModelKind};
+use lod_simnet::LinkSpec;
+
+fn bench_models(c: &mut Criterion) {
+    let mut cfg = ReplayConfig::new(
+        LinkSpec::broadband().with_jitter(8_000_000).with_loss(0.02),
+        11,
+    );
+    cfg.units = 40;
+    let arrivals = simulate_arrivals(&cfg);
+    let mut g = c.benchmark_group("sync_models/replay40");
+    for model in [
+        SyncModelKind::Ocpn,
+        SyncModelKind::Xocpn,
+        SyncModelKind::Etpn,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(model.to_string()),
+            &model,
+            |b, &m| {
+                b.iter(|| replay(&cfg, m, &arrivals).units_rendered);
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_etpn_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync_models/etpn_units");
+    for units in [60usize, 300, 1_200] {
+        let cfg = EtpnConfig {
+            unit_ticks: 10_000_000,
+            units,
+            streams: 2,
+            sync_every: 1,
+            block_prefetch: true,
+        };
+        let net = LectureNet::new(cfg);
+        let arrivals = instant_arrivals(net.config());
+        g.bench_with_input(BenchmarkId::from_parameter(units), &units, |b, _| {
+            b.iter(|| net.run(&arrivals, &[]).units_rendered);
+        });
+    }
+    g.finish();
+}
+
+fn bench_arrival_simulation(c: &mut Criterion) {
+    let mut cfg = ReplayConfig::new(LinkSpec::broadband(), 3);
+    cfg.units = 40;
+    c.bench_function("sync_models/simulate_arrivals40", |b| {
+        b.iter(|| simulate_arrivals(std::hint::black_box(&cfg)).len());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_models,
+    bench_etpn_scale,
+    bench_arrival_simulation
+);
+criterion_main!(benches);

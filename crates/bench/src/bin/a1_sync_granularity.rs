@@ -1,0 +1,59 @@
+//! A1 (ablation): ETPN sync granularity — how the `sync_every` block size
+//! trades startup latency against stall structure on a trickling network.
+
+use lod_bench::report::{header, ms, row, secs};
+use lod_core::etpn::{EtpnConfig, LectureNet};
+
+fn main() {
+    println!("A1 — ETPN sync granularity (60 × 1 s units, arrivals trickle at 1.05×)\n");
+
+    // Arrivals slightly slower than real time: unit k lands at 1.05·k s.
+    let arrivals = |cfg: &EtpnConfig| {
+        let mut v = Vec::new();
+        for s in 0..cfg.streams {
+            for k in 0..cfg.units {
+                v.push((k as u64 * 10_500_000, s, k));
+            }
+        }
+        v
+    };
+
+    let widths = [12usize, 14, 12, 12, 14];
+    header(
+        &[
+            "sync_every",
+            "startup ms",
+            "stall s",
+            "finish s",
+            "max skew ms",
+        ],
+        &widths,
+    );
+    for sync_every in [1usize, 2, 5, 10, 20] {
+        let cfg = EtpnConfig {
+            unit_ticks: 10_000_000,
+            units: 60,
+            streams: 2,
+            sync_every,
+            block_prefetch: true,
+        };
+        let net = LectureNet::new(cfg);
+        let r = net.run(&arrivals(net.config()), &[]);
+        row(
+            &[
+                sync_every.to_string(),
+                ms(r.startup().unwrap_or(0)),
+                secs(r.network_stall()),
+                secs(r.finish_time),
+                ms(r.max_skew),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nshape: fine sync (1) starts as soon as one unit is buffered but stalls\n\
+         at every boundary; coarse sync buffers whole blocks — higher startup,\n\
+         fewer/longer stalls, same finish (the trickle rate bounds everyone).\n\
+         Skew is 0 at every granularity because joins gate on block arrival."
+    );
+}

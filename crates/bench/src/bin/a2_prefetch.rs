@@ -1,0 +1,70 @@
+//! A2 (ablation): block prefetch on/off — the design choice separating
+//! the ETPN's receiver-driven joins from per-object arrival gating.
+
+use lod_bench::report::{header, ms, row, secs};
+use lod_core::etpn::{EtpnConfig, LectureNet};
+
+/// Arrivals with one stream's units randomly late (deterministic xorshift).
+fn noisy_arrivals(cfg: &EtpnConfig, seed: u64, max_late: u64) -> Vec<(u64, usize, usize)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut v = Vec::new();
+    for s in 0..cfg.streams {
+        for k in 0..cfg.units {
+            let base = k as u64 * cfg.unit_ticks;
+            let late = if s == 1 { next() % max_late } else { 0 };
+            v.push((base.saturating_sub(cfg.unit_ticks) + late, s, k));
+        }
+    }
+    v
+}
+
+fn main() {
+    println!("A2 — block prefetch ablation (40 × 1 s units, stream 1 jittered)\n");
+    let widths = [20usize, 12, 14, 12, 12];
+    header(
+        &[
+            "jitter bound",
+            "prefetch",
+            "max skew ms",
+            "stall s",
+            "finish s",
+        ],
+        &widths,
+    );
+    for max_late_ms in [500u64, 2_000, 5_000] {
+        for prefetch in [true, false] {
+            let cfg = EtpnConfig {
+                unit_ticks: 10_000_000,
+                units: 40,
+                streams: 2,
+                sync_every: 1,
+                block_prefetch: prefetch,
+            };
+            let net = LectureNet::new(cfg);
+            let arrivals = noisy_arrivals(net.config(), 99, max_late_ms * 10_000);
+            let r = net.run(&arrivals, &[]);
+            row(
+                &[
+                    format!("≤ {max_late_ms} ms"),
+                    prefetch.to_string(),
+                    ms(r.max_skew),
+                    secs(r.network_stall()),
+                    secs(r.finish_time),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!(
+        "\nshape: with prefetch the joins absorb lateness — skew pinned at 0 for\n\
+         any jitter; without it, late units start late on their own stream and\n\
+         skew grows with the jitter bound. Finish times are comparable: prefetch\n\
+         moves waiting to the sync points, it does not add waiting."
+    );
+}

@@ -1,0 +1,73 @@
+//! A4 (ablation): stream thinning — a modem student drops the video
+//! stream and keeps audio + slides, trading pictures of the teacher for
+//! smooth playback of the material.
+
+use lod_bench::report::{header, ms, row};
+use lod_core::{synthetic_lecture, Wmps};
+use lod_simnet::{LinkSpec, Network};
+use lod_streaming::{run_to_completion, StreamingClient, StreamingServer, Wire};
+
+enum Mode {
+    All,
+    Fixed(Vec<u16>),
+    Adaptive(Vec<u16>),
+}
+
+fn run(mode: Mode, link: LinkSpec) -> (lod_streaming::ClientMetrics, bool) {
+    let lecture = synthetic_lecture(40, 1, 300_000);
+    let file = Wmps::new().publish(&lecture).expect("publish");
+    let mut net: Network<Wire> = Network::new(17);
+    let s = net.add_node("server");
+    let c = net.add_node("client");
+    net.connect_bidirectional(s, c, link);
+    let mut server = StreamingServer::new(s);
+    server.publish("lec", file);
+    let mut client = StreamingClient::new(c, s, "lec");
+    match mode {
+        Mode::All => {}
+        Mode::Fixed(streams) => client = client.with_streams(streams),
+        Mode::Adaptive(fallback) => client = client.with_adaptive_thinning(2, fallback),
+    }
+    run_to_completion(&mut net, &mut server, &mut [&mut client], 4_000_000_000_000);
+    (*client.metrics(), client.is_done())
+}
+
+fn main() {
+    println!("A4 — stream thinning over a 56k modem (1-minute, 332 kbit/s lecture)\n");
+    let widths = [26usize, 12, 10, 14, 14];
+    header(
+        &[
+            "selection",
+            "startup ms",
+            "stalls",
+            "stall ms",
+            "bytes rcvd",
+        ],
+        &widths,
+    );
+    let modem = LinkSpec::modem().with_loss(0.0);
+    for (label, mode) in [
+        ("all streams", Mode::All),
+        ("audio + slides (2, 3)", Mode::Fixed(vec![2u16, 3])),
+        ("audio only (2)", Mode::Fixed(vec![2u16])),
+        ("adaptive (drop to 2,3)", Mode::Adaptive(vec![2u16, 3])),
+    ] {
+        let (m, done) = run(mode, modem);
+        row(
+            &[
+                format!("{label}{}", if done { "" } else { " (never finished)" }),
+                ms(m.startup_ticks),
+                m.stalls.to_string(),
+                ms(m.stall_ticks),
+                m.bytes_received.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nshape: the full 332 kbit/s lecture drowns a 56 kbit/s modem; dropping\n\
+         the 300 kbit/s video leaves ~33 kbit/s of audio + slides, which fits\n\
+         and plays smoothly — §2.5's low-bandwidth story, server-side. The\n\
+         adaptive client discovers this itself after two stalls."
+    );
+}

@@ -1,0 +1,44 @@
+//! E2 (§2.3): the four-step build, printing exactly the quantities the
+//! paper prints (`highestLevel`, `LevelNodes[q]->value`) next to the
+//! paper's own values.
+
+use lod_bench::report::{header, row};
+use lod_content_tree::{ContentTree, Segment};
+
+fn main() {
+    println!("E2 — §2.3 worked example: building the content tree\n");
+    let widths = [22usize, 14, 26, 26];
+    header(
+        &[
+            "step",
+            "highestLevel",
+            "LevelNodes (measured)",
+            "LevelNodes (paper)",
+        ],
+        &widths,
+    );
+
+    let mut t = ContentTree::new(Segment::new("S0", 20));
+    let print = |t: &ContentTree, step: &str, paper: &str| {
+        row(
+            &[
+                step.to_string(),
+                t.highest_level().to_string(),
+                format!("{:?}", t.level_values()),
+                paper.to_string(),
+            ],
+            &widths,
+        );
+    };
+    print(&t, "1: add S0 (lvl 0)", "[0]=20");
+    t.add_at_level(1, Segment::new("S1", 20)).unwrap();
+    print(&t, "2: add S1 (lvl 1)", "[1]=40");
+    t.add_at_level(2, Segment::new("S2", 20)).unwrap();
+    print(&t, "3: add S2 (lvl 2)", "[2]=60");
+    t.add_at_level(1, Segment::new("S3", 20)).unwrap();
+    t.add_at_level(2, Segment::new("S4", 20)).unwrap();
+    print(&t, "4: add S3,S4", "[1]=60, [2]=100");
+
+    assert_eq!(t.level_values(), &[20, 60, 100]);
+    println!("\nall measured values match the paper.");
+}

@@ -1,0 +1,41 @@
+//! E3 (§2.4, Fig. 3): inserting node S5 at level 1.
+
+use lod_bench::report::{header, row};
+use lod_content_tree::{render_ascii, ContentTree, Segment};
+
+fn main() {
+    println!("E3 — Fig. 3: insert S5 (level 1) into the content tree\n");
+    let mut t = ContentTree::new(Segment::new("S0", 20));
+    t.add_at_level(1, Segment::new("S1", 20)).unwrap();
+    t.add_at_level(2, Segment::new("S2", 20)).unwrap();
+    t.add_at_level(1, Segment::new("S3", 20)).unwrap();
+    t.add_at_level(2, Segment::new("S4", 20)).unwrap();
+
+    println!("(a) before:\n{}", render_ascii(&t));
+    let s3 = t.find("S3").unwrap();
+    t.insert_above(s3, Segment::new("S5", 20)).unwrap();
+    println!("(b) after inserting S5 above S3:\n{}", render_ascii(&t));
+
+    let widths = [14usize, 12, 12];
+    header(&["quantity", "measured", "paper"], &widths);
+    row(
+        &[
+            "highestLevel".into(),
+            t.highest_level().to_string(),
+            "2".into(),
+        ],
+        &widths,
+    );
+    for (q, paper) in [(0u64, 20u64), (1, 60), (2, 120)] {
+        row(
+            &[
+                format!("LevelNodes[{q}]"),
+                t.level_value(q as usize).to_string(),
+                paper.to_string(),
+            ],
+            &widths,
+        );
+    }
+    assert_eq!(t.level_values(), &[20, 60, 120]);
+    println!("\nall measured values match Fig. 3.");
+}

@@ -1,0 +1,26 @@
+//! E4 (Fig. 4): deleting node S5 — "the S5's children will be adopted by
+//! S5's siblings S1".
+
+use lod_content_tree::{render_ascii, ContentTree, Segment};
+
+fn main() {
+    println!("E4 — Fig. 4: delete S5 (level 1)\n");
+    let mut t = ContentTree::new(Segment::new("S0", 20));
+    t.add_at_level(1, Segment::new("S1", 20)).unwrap();
+    t.add_at_level(2, Segment::new("S2", 20)).unwrap();
+    t.add_at_level(1, Segment::new("S3", 20)).unwrap();
+    t.add_at_level(2, Segment::new("S4", 20)).unwrap();
+    let s3 = t.find("S3").unwrap();
+    t.insert_above(s3, Segment::new("S5", 20)).unwrap();
+
+    println!("(a) before (S5 holds S3):\n{}", render_ascii(&t));
+    let s5 = t.find("S5").unwrap();
+    t.delete_adopt(s5).unwrap();
+    println!("(b) after deleting S5:\n{}", render_ascii(&t));
+
+    let s1 = t.find("S1").unwrap();
+    let s3 = t.find("S3").unwrap();
+    assert_eq!(t.parent(s3).unwrap(), Some(s1));
+    t.validate().unwrap();
+    println!("S5's child S3 is now a child of S5's sibling S1 — matching Fig. 4.");
+}

@@ -1,0 +1,51 @@
+//! E7 (Fig. 7): replaying the orchestrated presentation — video +
+//! synchronized slides + annotations — locally and over the network.
+
+use lod_bench::report::{header, ms, row};
+use lod_core::{synthetic_lecture, Wmps};
+use lod_player::{PlayerEngine, SkewStats};
+use lod_simnet::LinkSpec;
+
+fn main() {
+    println!("E7 — Fig. 7: synchronized replay\n");
+    let lecture = synthetic_lecture(7, 2, 300_000);
+    let wmps = Wmps::new();
+    let file = wmps.publish(&lecture).expect("publishing succeeds");
+
+    // Local replay (the paper's screenshot scenario).
+    let engine = PlayerEngine::load(file.clone(), None).expect("no DRM");
+    let trace = engine.render_ideal();
+    println!("local replay:");
+    println!("  video frames : {}", trace.video_frames());
+    println!("  slide flips  : {}", trace.slide_changes().len());
+    println!("  annotations  : {}", trace.annotations().len());
+    let skew = SkewStats::of_slides(&trace, 0);
+    println!("  slide skew   : max {} ticks (ideal = 0)\n", skew.max);
+
+    // Networked replay over three paths.
+    let widths = [12usize, 12, 8, 14, 14];
+    header(
+        &["link", "startup ms", "stalls", "p95 skew ms", "max skew ms"],
+        &widths,
+    );
+    for (label, link) in [
+        ("LAN", LinkSpec::lan()),
+        ("broadband", LinkSpec::broadband()),
+        ("56k modem", LinkSpec::modem()),
+    ] {
+        let report = wmps.serve_and_replay(file.clone(), link, 1, 7);
+        let m = &report.clients[0];
+        let s = &report.skew[0];
+        row(
+            &[
+                label.to_string(),
+                ms(m.startup_ticks),
+                m.stalls.to_string(),
+                ms(s.p95),
+                ms(s.max),
+            ],
+            &widths,
+        );
+    }
+    println!("\nshape: LAN replays cleanly; the modem cannot carry a 332 kbit/s\nlecture and rebuffers — the reason §2.5 offers bandwidth profiles.");
+}

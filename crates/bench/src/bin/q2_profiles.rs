@@ -1,0 +1,103 @@
+//! Q2 (§2.5): the bandwidth-profile table — "the more high bit rate means
+//! the content will be encoded to a more high-resolution content" — and
+//! what each profile delivers over its matching link.
+
+use lod_bench::report::{header, row};
+use lod_encoder::{
+    AudioCaptureDevice, BandwidthProfile, CaptureSource, Encoder, VideoCaptureDevice,
+};
+use lod_media::{MediaKind, Ticks};
+
+fn main() {
+    println!("Q2 — §2.5 bandwidth profiles (10 s of live encoding each)\n");
+    let widths = [26usize, 10, 12, 6, 20, 10, 10, 10];
+    header(
+        &[
+            "profile",
+            "kbit/s",
+            "resolution",
+            "fps",
+            "video codec",
+            "quality",
+            "frames",
+            "dropped",
+        ],
+        &widths,
+    );
+    for profile in BandwidthProfile::all() {
+        let mut enc = Encoder::new(profile.clone());
+        let mut cam = VideoCaptureDevice::new(640, 480, 30);
+        let mut mic = AudioCaptureDevice::new(16_000, 100);
+        let until = Ticks::from_secs(10);
+        loop {
+            let mut any = false;
+            if let Some(f) = cam.next_frame(until) {
+                any = true;
+                let _ = enc.encode(&f);
+            }
+            if let Some(f) = mic.next_frame(until) {
+                any = true;
+                let _ = enc.encode(&f);
+            }
+            if !any {
+                break;
+            }
+        }
+        let s = enc.stats();
+        let (w, h) = profile.resolution();
+        row(
+            &[
+                profile.name().to_string(),
+                (profile.total_bitrate() / 1000).to_string(),
+                if profile.has_video() {
+                    format!("{w}x{h}")
+                } else {
+                    "audio only".into()
+                },
+                profile.frame_rate().to_string(),
+                if profile.has_video() {
+                    profile.codec_for(MediaKind::Video).to_string()
+                } else {
+                    "-".into()
+                },
+                format!("{:.2}", enc.video_quality()),
+                s.frames_encoded.to_string(),
+                s.frames_dropped.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nshape: bitrate, resolution, frame rate and quality all rise together\n\
+         across profiles, exactly the §2.5 claim; the frame-rate governor drops\n\
+         camera frames on slow profiles.\n"
+    );
+
+    // The point of picking a profile: matched to the student's link, the
+    // live classroom plays without stalls.
+    println!("-- each profile live-streamed over a link of twice its bitrate --");
+    let widths = [26usize, 14, 10, 14];
+    header(&["profile", "startup ms", "stalls", "samples"], &widths);
+    for profile in BandwidthProfile::all() {
+        let link = lod_simnet::LinkSpec::broadband()
+            .with_bandwidth(profile.total_bitrate() * 2)
+            .with_jitter(100_000)
+            .with_loss(0.0);
+        let report = lod_core::Wmps::new().live_classroom(profile.clone(), 8, 2, link, 19);
+        let m = &report.clients[0];
+        row(
+            &[
+                profile.name().to_string(),
+                format!("{:.0}", m.startup_ticks as f64 / 10_000.0),
+                m.stalls.to_string(),
+                m.samples_rendered.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nshape: every profile plays cleanly on a link sized for it — choosing\n\
+         the profile by bandwidth is exactly what makes the system work on\n\
+         everything from modems to LANs."
+    );
+}

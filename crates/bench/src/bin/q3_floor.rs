@@ -1,0 +1,64 @@
+//! Q3: floor control with multiple users — grant latency, fairness, and
+//! teacher priority (paper §1 / ref \[13\]).
+
+use lod_bench::report::{header, row};
+use lod_core::floor::run_floor;
+use lod_core::FloorRequest;
+
+const SECOND: u64 = 10_000_000;
+
+fn contention(users: usize, hold_secs: u64) -> Vec<FloorRequest> {
+    (0..users)
+        .map(|u| FloorRequest {
+            user: u,
+            at: u as u64 * SECOND / 2, // staggered half-second requests
+            hold: hold_secs * SECOND,
+            priority: 0,
+        })
+        .collect()
+}
+
+fn main() {
+    println!("Q3 — floor control under contention (each speaker holds 5 s)\n");
+    let widths = [8usize, 14, 14, 10];
+    header(&["users", "mean wait s", "max wait s", "Jain"], &widths);
+    for users in [2usize, 4, 8, 16, 32] {
+        let r = run_floor(&contention(users, 5));
+        row(
+            &[
+                users.to_string(),
+                format!("{:.1}", r.mean_wait() / SECOND as f64),
+                format!("{:.1}", r.max_wait() as f64 / SECOND as f64),
+                format!("{:.3}", r.jain_index()),
+            ],
+            &widths,
+        );
+    }
+
+    println!("\nteacher priority (priority 10 vs students at 0):");
+    let mut requests = contention(6, 5);
+    requests.push(FloorRequest {
+        user: 99,
+        at: 3 * SECOND,
+        hold: 2 * SECOND,
+        priority: 10,
+    });
+    let r = run_floor(&requests);
+    println!("  grant order: {:?}", r.grant_order());
+    let teacher = r
+        .grants
+        .iter()
+        .find(|g| g.user == 99)
+        .expect("teacher granted");
+    println!(
+        "  teacher waited {:.1} s (jumped the queue, did not preempt the holder)",
+        teacher.wait as f64 / SECOND as f64
+    );
+    let position = r.grant_order().iter().position(|&u| u == 99).unwrap();
+    assert!(position <= 2, "teacher must be near the front");
+    println!(
+        "\nshape: mean wait grows linearly with contenders (single floor token is\n\
+         a structural invariant of the net); priority jumps the queue without\n\
+         preempting the current holder."
+    );
+}

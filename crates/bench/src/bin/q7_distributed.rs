@@ -1,0 +1,56 @@
+//! Q7: cross-site joins — the ETPN's synchronization across distributed
+//! platforms, with and without the barrier protocol.
+
+use lod_bench::report::{header, ms, row, secs};
+use lod_core::distributed::{run_classroom, ClassroomConfig};
+use lod_simnet::LinkSpec;
+
+fn main() {
+    println!(
+        "Q7 — distributed-platform sync: 4 sites, 20 × 1 s units,\n\
+         per-site data lag staggered (site i lags i × stagger)\n"
+    );
+    let widths = [12usize, 10, 16, 14, 12, 10];
+    header(
+        &[
+            "stagger ms",
+            "barrier",
+            "max skew ms",
+            "mean skew ms",
+            "finish s",
+            "msgs",
+        ],
+        &widths,
+    );
+    for stagger_ms in [0u64, 200, 1_000, 3_000] {
+        for barrier in [false, true] {
+            let cfg = ClassroomConfig::staggered(
+                4,
+                20,
+                10_000_000,
+                stagger_ms * 10_000,
+                LinkSpec::lan(),
+                barrier,
+                9,
+            );
+            let r = run_classroom(&cfg);
+            row(
+                &[
+                    stagger_ms.to_string(),
+                    barrier.to_string(),
+                    ms(r.max_skew),
+                    format!("{:.1}", r.mean_skew / 10_000.0),
+                    secs(r.finish),
+                    r.control_messages.to_string(),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!(
+        "\nshape: free-running sites drift apart by the full data stagger (what\n\
+         per-site OCPN gives you); the barrier pins inter-site skew to network\n\
+         round-trip scale at the cost of 2 control messages per site per unit\n\
+         and everyone pacing at the slowest site."
+    );
+}

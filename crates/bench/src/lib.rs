@@ -1,0 +1,7 @@
+//! Experiment harness for the WMPS reproduction.
+//!
+//! One binary per paper figure/experiment (see `src/bin/`), plus Criterion
+//! micro-benchmarks (see `benches/`). `EXPERIMENTS.md` at the repository
+//! root records paper-vs-measured for every artifact.
+
+pub mod report;

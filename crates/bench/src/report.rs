@@ -1,0 +1,31 @@
+//! Shared table-printing helpers for the experiment binaries.
+
+/// Prints a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:<w$}", w = w))
+        .collect();
+    println!("| {} |", line.join(" | "));
+}
+
+/// Prints a table header with a separator line.
+pub fn header(cells: &[&str], widths: &[usize]) {
+    row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+}
+
+/// Formats ticks as milliseconds with one decimal.
+pub fn ms(ticks: u64) -> String {
+    format!("{:.1}", ticks as f64 / 10_000.0)
+}
+
+/// Formats ticks as seconds with two decimals.
+pub fn secs(ticks: u64) -> String {
+    format!("{:.2}", ticks as f64 / 10_000_000.0)
+}

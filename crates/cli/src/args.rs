@@ -1,0 +1,170 @@
+//! Tiny dependency-free argument parsing.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// CLI failures (bad flags, missing values, I/O).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// No subcommand or an unknown one.
+    UnknownCommand(String),
+    /// A flag that requires a value did not get one.
+    MissingValue(String),
+    /// A required flag is absent.
+    MissingFlag(&'static str),
+    /// A value failed to parse.
+    BadValue {
+        /// The flag.
+        flag: String,
+        /// The offending value.
+        value: String,
+    },
+    /// Filesystem trouble.
+    Io(std::io::Error),
+    /// Content-level trouble (bad ASF file, rejected license, …).
+    Content(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownCommand(c) => write!(
+                f,
+                "unknown command {c:?} (try publish, inspect, replay, serve, abstract)"
+            ),
+            CliError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
+            CliError::MissingFlag(flag) => write!(f, "required flag {flag} is missing"),
+            CliError::BadValue { flag, value } => {
+                write!(f, "cannot parse {value:?} for {flag}")
+            }
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Content(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Parsed command line: a subcommand, positional arguments, and
+/// `--flag value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first argument).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::MissingValue`] when a `--flag` is the final token.
+    pub fn parse(argv: &[String]) -> Result<Self, CliError> {
+        let mut out = Args::default();
+        let mut it = argv.iter().peekable();
+        if let Some(cmd) = it.next() {
+            out.command = cmd.clone();
+        }
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue(tok.clone()))?;
+                out.flags.insert(name.to_string(), value.clone());
+            } else {
+                out.positional.push(tok.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Raw string flag.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// String flag with a default.
+    pub fn flag_or(&self, name: &str, default: &str) -> String {
+        self.flag(name).unwrap_or(default).to_string()
+    }
+
+    /// Parsed numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::BadValue`] when present but unparsable.
+    pub fn num_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| CliError::BadValue {
+                flag: format!("--{name}"),
+                value: v.to_string(),
+            }),
+        }
+    }
+
+    /// Required positional argument by index.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::MissingFlag`] (named for the message) when absent.
+    pub fn positional(&self, index: usize, what: &'static str) -> Result<&str, CliError> {
+        self.positional
+            .get(index)
+            .map(String::as_str)
+            .ok_or(CliError::MissingFlag(what))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_flags_and_positionals() {
+        let a = Args::parse(&argv("publish file.asf --duration-secs 120 --slides 6")).unwrap();
+        assert_eq!(a.command, "publish");
+        assert_eq!(a.positional, ["file.asf"]);
+        assert_eq!(a.flag("duration-secs"), Some("120"));
+        assert_eq!(a.num_or("slides", 0u32).unwrap(), 6);
+        assert_eq!(a.num_or("absent", 7u32).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(matches!(
+            Args::parse(&argv("publish --out")),
+            Err(CliError::MissingValue(_))
+        ));
+    }
+
+    #[test]
+    fn bad_numeric_value_rejected() {
+        let a = Args::parse(&argv("serve --students many")).unwrap();
+        assert!(matches!(
+            a.num_or("students", 1usize),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_argv_is_empty_command() {
+        let a = Args::parse(&[]).unwrap();
+        assert_eq!(a.command, "");
+    }
+}

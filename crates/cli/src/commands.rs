@@ -1,0 +1,434 @@
+//! The subcommands.
+
+use std::io::Write;
+
+use lod_asf::{read_asf, write_asf, License};
+use lod_content_tree::render_ascii;
+use lod_core::{synthetic_lecture, Abstractor, Wmps};
+use lod_encoder::{evenly_spaced_deck, Annotation, Publisher, VideoFileSpec};
+use lod_media::{TickDuration, Ticks};
+use lod_player::{PlayerEngine, SkewStats};
+use lod_simnet::LinkSpec;
+
+use crate::args::{Args, CliError};
+
+/// Runs a parsed command, writing human output to `out`.
+///
+/// # Errors
+///
+/// Any [`CliError`]; the binary prints it and exits nonzero.
+pub fn run(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    match args.command.as_str() {
+        "publish" => publish(args, out),
+        "inspect" => inspect(args, out),
+        "replay" => replay(args, out),
+        "serve" => serve(args, out),
+        "abstract" => abstract_cmd(args, out),
+        "net" => net_cmd(args, out),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn link_by_name(name: &str) -> Result<LinkSpec, CliError> {
+    match name {
+        "lan" => Ok(LinkSpec::lan()),
+        "broadband" => Ok(LinkSpec::broadband()),
+        "modem" => Ok(LinkSpec::modem()),
+        other => Err(CliError::BadValue {
+            flag: "--link".into(),
+            value: other.to_string(),
+        }),
+    }
+}
+
+fn license_flag(args: &Args) -> Result<Option<License>, CliError> {
+    match args.flag("license") {
+        None => Ok(None),
+        Some(spec) => {
+            let (id, key) = spec.split_once(':').ok_or(CliError::BadValue {
+                flag: "--license".into(),
+                value: spec.to_string(),
+            })?;
+            let key = key.parse().map_err(|_| CliError::BadValue {
+                flag: "--license".into(),
+                value: spec.to_string(),
+            })?;
+            Ok(Some(License::new(id, key)))
+        }
+    }
+}
+
+/// `wmps publish <out.asf> [--video path] [--duration-secs N]
+/// [--video-kbps N] [--audio-kbps N] [--slides N] [--slide-dir path]
+/// [--annotation t:text]... [--license id:key]`
+fn publish(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let path = args.positional(0, "<output .asf path>")?;
+    let duration = TickDuration::from_secs(args.num_or("duration-secs", 120u64)?);
+    let video = VideoFileSpec {
+        path: args.flag_or("video", "lecture/camera.m4v"),
+        duration,
+        video_bitrate: args.num_or("video-kbps", 300u64)? * 1_000,
+        audio_bitrate: args.num_or("audio-kbps", 32u64)? * 1_000,
+    };
+    let slide_dir = args.flag_or("slide-dir", "lecture/slides");
+    let deck = evenly_spaced_deck(&slide_dir, args.num_or("slides", 6usize)?, 40_000, duration);
+    let annotations: Vec<Annotation> = match args.flag("annotation") {
+        None => Vec::new(),
+        Some(spec) => {
+            let (t, text) = spec.split_once(':').ok_or(CliError::BadValue {
+                flag: "--annotation".into(),
+                value: spec.to_string(),
+            })?;
+            let secs: u64 = t.parse().map_err(|_| CliError::BadValue {
+                flag: "--annotation".into(),
+                value: spec.to_string(),
+            })?;
+            vec![Annotation {
+                at: Ticks::from_secs(secs),
+                text: text.to_string(),
+            }]
+        }
+    };
+
+    let mut file = Publisher::new(args.num_or("packet-size", 1_400u32)?)
+        .publish(&video, &deck, &annotations)
+        .map_err(|e| CliError::Content(e.to_string()))?;
+    if let Some(license) = license_flag(args)? {
+        file.protect(&license);
+        writeln!(out, "protected with key id {:?}", license.key_id)?;
+    }
+    let bytes = write_asf(&file).map_err(|e| CliError::Content(e.to_string()))?;
+    std::fs::write(path, &bytes)?;
+    writeln!(
+        out,
+        "published {path}: {} bytes, {} packets, {} script commands, {:.1} s",
+        bytes.len(),
+        file.packets.len(),
+        file.script.len(),
+        file.props.play_duration as f64 / 1e7
+    )?;
+    Ok(())
+}
+
+/// `wmps inspect <file.asf>`
+fn inspect(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let path = args.positional(0, "<.asf path>")?;
+    let bytes = std::fs::read(path)?;
+    let file = read_asf(&bytes).map_err(|e| CliError::Content(e.to_string()))?;
+    writeln!(out, "{path}: {} bytes on disk", bytes.len())?;
+    writeln!(
+        out,
+        "  duration    : {:.1} s{}",
+        file.props.play_duration as f64 / 1e7,
+        if file.props.broadcast { " (live)" } else { "" }
+    )?;
+    writeln!(out, "  packet size : {} bytes", file.props.packet_size)?;
+    writeln!(out, "  packets     : {}", file.packets.len())?;
+    writeln!(out, "  max bitrate : {} bit/s", file.props.max_bitrate)?;
+    writeln!(
+        out,
+        "  drm         : {}",
+        file.drm
+            .as_ref()
+            .map_or("none".to_string(), |d| format!("key id {:?}", d.key_id))
+    )?;
+    writeln!(out, "  streams:")?;
+    for s in &file.streams {
+        writeln!(
+            out,
+            "    #{} {:?} {} bit/s — {}",
+            s.number, s.kind, s.bitrate, s.name
+        )?;
+    }
+    writeln!(out, "  script commands: {}", file.script.len())?;
+    for c in file.script.commands().iter().take(10) {
+        writeln!(
+            out,
+            "    {:>8.1}s {} {}",
+            c.time as f64 / 1e7,
+            c.kind,
+            c.param
+        )?;
+    }
+    if file.script.len() > 10 {
+        writeln!(out, "    … and {} more", file.script.len() - 10)?;
+    }
+    writeln!(
+        out,
+        "  index       : {}",
+        file.index
+            .as_ref()
+            .map_or("none".to_string(), |i| format!("{} entries", i.len()))
+    )?;
+    Ok(())
+}
+
+/// `wmps replay <file.asf> [--license id:key]`
+fn replay(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let path = args.positional(0, "<.asf path>")?;
+    let bytes = std::fs::read(path)?;
+    let file = read_asf(&bytes).map_err(|e| CliError::Content(e.to_string()))?;
+    let license = license_flag(args)?;
+    let engine =
+        PlayerEngine::load(file, license.as_ref()).map_err(|e| CliError::Content(e.to_string()))?;
+    let trace = engine.render_ideal();
+    writeln!(out, "replayed {path}:")?;
+    writeln!(out, "  video frames : {}", trace.video_frames())?;
+    writeln!(out, "  slide flips  : {}", trace.slide_changes().len())?;
+    writeln!(out, "  annotations  : {}", trace.annotations().len())?;
+    let skew = SkewStats::of_slides(&trace, 0);
+    writeln!(out, "  slide skew   : max {} ticks (ideal = 0)", skew.max)?;
+    for s in trace.slide_changes().iter().take(10) {
+        writeln!(out, "    slide at {:>7.1}s", s.wall_time as f64 / 1e7)?;
+    }
+    Ok(())
+}
+
+/// `wmps serve <file.asf> [--students N] [--link lan|broadband|modem]
+/// [--seed N]`
+fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let path = args.positional(0, "<.asf path>")?;
+    let bytes = std::fs::read(path)?;
+    let file = read_asf(&bytes).map_err(|e| CliError::Content(e.to_string()))?;
+    let students = args.num_or("students", 2usize)?;
+    let link = link_by_name(&args.flag_or("link", "broadband"))?;
+    let seed = args.num_or("seed", 7u64)?;
+    let report = Wmps::new().serve_and_replay(file, link, students, seed);
+    writeln!(
+        out,
+        "served {path} to {students} student(s) over {}:",
+        args.flag_or("link", "broadband")
+    )?;
+    for (i, m) in report.clients.iter().enumerate() {
+        writeln!(
+            out,
+            "  student {i}: startup {:.0} ms, {} stalls ({:.0} ms), {} samples, {} bytes",
+            m.startup_ticks as f64 / 1e4,
+            m.stalls,
+            m.stall_ticks as f64 / 1e4,
+            m.samples_rendered,
+            m.bytes_received
+        )?;
+    }
+    Ok(())
+}
+
+/// `wmps abstract [--seed N] [--minutes N] [--budget-secs N]`
+fn abstract_cmd(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let seed = args.num_or("seed", 1u64)?;
+    let minutes = args.num_or("minutes", 45u64)?;
+    let lecture = synthetic_lecture(seed, minutes, 300_000);
+    let a = Abstractor::new();
+    let tree = a
+        .tree_from_outline(&lecture.outline)
+        .map_err(|e| CliError::Content(e.to_string()))?;
+    writeln!(out, "{}", render_ascii(&tree))?;
+    for row in a.level_table(&tree) {
+        writeln!(
+            out,
+            "level {}: {:>2} segments, {:>5} s",
+            row.level, row.segments, row.duration_secs
+        )?;
+    }
+    if let Some(budget) = args.flag("budget-secs") {
+        let budget: u64 = budget.parse().map_err(|_| CliError::BadValue {
+            flag: "--budget-secs".into(),
+            value: budget.to_string(),
+        })?;
+        let level = a.level_for_budget(&tree, budget);
+        let summary = a.summarize(&lecture, level);
+        writeln!(
+            out,
+            "budget {budget} s -> level {level}: \"{}\" ({} s, {} slides)",
+            summary.title,
+            summary.video.duration.as_millis() / 1000,
+            summary.slide_count()
+        )?;
+    }
+    Ok(())
+}
+
+/// `wmps net [--units N] [--streams N] [--sync-every N] [--floor N]`
+///
+/// Prints the extended timed Petri net (or, with `--floor`, the
+/// floor-control net for N users) as Graphviz DOT.
+fn net_cmd(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    if let Some(users) = args.flag("floor") {
+        let users: usize = users.parse().map_err(|_| CliError::BadValue {
+            flag: "--floor".into(),
+            value: users.to_string(),
+        })?;
+        let requests: Vec<lod_core::FloorRequest> = (0..users)
+            .map(|u| lod_core::FloorRequest {
+                user: u,
+                at: 0,
+                hold: 100,
+                priority: 0,
+            })
+            .collect();
+        let fc = lod_core::FloorControl::new(&requests);
+        writeln!(out, "{}", lod_petri::to_dot(fc.timed_net().net(), None))?;
+        return Ok(());
+    }
+    let cfg = lod_core::EtpnConfig {
+        unit_ticks: 10_000_000,
+        units: args.num_or("units", 3usize)?,
+        streams: args.num_or("streams", 2usize)?,
+        sync_every: args.num_or("sync-every", 1usize)?,
+        block_prefetch: true,
+    };
+    let net = lod_core::LectureNet::new(cfg);
+    let marking = net.initial_marking();
+    writeln!(
+        out,
+        "{}",
+        lod_petri::to_dot(net.timed_net().net(), Some(&marking))
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Args {
+        Args::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("lod-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn publish_inspect_replay_round_trip_on_disk() {
+        let path = tmp("lecture.asf");
+        let mut buf = Vec::new();
+        run(
+            &argv(&format!(
+                "publish {path} --duration-secs 30 --slides 3 --annotation 10:remember-this"
+            )),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("published"));
+        assert!(text.contains("4 script commands")); // 3 slides + 1 annotation
+
+        let mut buf = Vec::new();
+        run(&argv(&format!("inspect {path}")), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("duration    : 30.0 s"));
+        assert!(text.contains("script commands: 4"));
+
+        let mut buf = Vec::new();
+        run(&argv(&format!("replay {path}")), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("slide flips  : 3"));
+        assert!(text.contains("max 0 ticks"));
+    }
+
+    #[test]
+    fn drm_protected_file_needs_license_on_replay() {
+        let path = tmp("protected.asf");
+        run(
+            &argv(&format!(
+                "publish {path} --duration-secs 10 --slides 1 --license cs101:42"
+            )),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let err = run(&argv(&format!("replay {path}")), &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("license"));
+        run(
+            &argv(&format!("replay {path} --license cs101:42")),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        assert!(run(
+            &argv(&format!("replay {path} --license cs101:43")),
+            &mut Vec::new()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn serve_reports_per_student() {
+        let path = tmp("served.asf");
+        run(
+            &argv(&format!("publish {path} --duration-secs 20 --slides 2")),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        run(
+            &argv(&format!("serve {path} --students 2 --link lan")),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("student 0"));
+        assert!(text.contains("student 1"));
+    }
+
+    #[test]
+    fn abstract_prints_levels_and_budget_choice() {
+        let mut buf = Vec::new();
+        run(
+            &argv("abstract --seed 7 --minutes 30 --budget-secs 600"),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("level 0"));
+        assert!(text.contains("budget 600 s"));
+    }
+
+    #[test]
+    fn unknown_command_and_bad_link_error() {
+        assert!(matches!(
+            run(&argv("frobnicate"), &mut Vec::new()),
+            Err(CliError::UnknownCommand(_))
+        ));
+        let path = tmp("x.asf");
+        run(
+            &argv(&format!("publish {path} --duration-secs 5 --slides 1")),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        assert!(matches!(
+            run(
+                &argv(&format!("serve {path} --link carrier-pigeon")),
+                &mut Vec::new()
+            ),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn net_prints_dot() {
+        let mut buf = Vec::new();
+        run(&argv("net --units 2 --streams 2"), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("digraph petri {"));
+        assert!(text.contains("play[0,0]"));
+        assert!(text.contains("join[1]"));
+
+        let mut buf = Vec::new();
+        run(&argv("net --floor 3"), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("floor"));
+        assert!(text.contains("grant[2]u2"));
+    }
+
+    #[test]
+    fn inspect_rejects_garbage_files() {
+        let path = tmp("garbage.asf");
+        std::fs::write(&path, b"this is not asf").unwrap();
+        assert!(matches!(
+            run(&argv(&format!("inspect {path}")), &mut Vec::new()),
+            Err(CliError::Content(_))
+        ));
+    }
+}

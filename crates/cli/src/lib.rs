@@ -1,0 +1,22 @@
+//! `wmps` — the paper's web publishing manager as a command-line tool.
+//!
+//! Fig. 5 shows a form: the video path, the slide directory, publish,
+//! replay. This is the same workflow as subcommands, and the `.asf` files
+//! it writes are real files in this reproduction's byte format:
+//!
+//! ```text
+//! wmps publish  --out lecture.asf --duration-secs 120 --slides 6
+//! wmps inspect  lecture.asf
+//! wmps replay   lecture.asf
+//! wmps serve    lecture.asf --students 4 --link broadband
+//! wmps abstract --minutes 45 --budget-secs 900
+//! ```
+//!
+//! The library half exists so the commands are unit-testable without
+//! spawning processes; `main.rs` is a thin shim.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, CliError};
+pub use commands::run;

@@ -1,0 +1,42 @@
+//! The multiple-level content tree of the WMPS paper (§2.2–2.4).
+//!
+//! "A content tree is a finite set of one or more nodes such that there is a
+//! particularly designated node called the root. The level of a node is
+//! defined by initially letting the root be at level 0. If a node is at
+//! level q, then its children are at level q+1. Since a node is composed of
+//! a presentation segment, the siblings with the order from left to right
+//! represent a presentation with some sequence fashion. **The higher level
+//! gives the longer presentation.**"
+//!
+//! The tree is the paper's *Abstractor*: presenting "at level q" plays every
+//! segment whose level is ≤ q, in depth-first, left-to-right order, so
+//! deeper levels add detail. `LevelNodes[q]` (the paper's name, kept as
+//! [`ContentTree::level_value`]) is the cumulative duration of levels 0..=q
+//! — exactly the numbers printed in the paper's §2.3/§2.4 walk-throughs.
+//!
+//! Primitive operations from §2.2: *initialize* ([`ContentTree::new`]),
+//! *attach* ([`ContentTree::attach`]), *detach*
+//! ([`ContentTree::detach`]), *insert* ([`ContentTree::insert_above`],
+//! Fig. 3), *delete with adoption* ([`ContentTree::delete_adopt`], Fig. 4),
+//! and *presentation time at a level* ([`ContentTree::level_value`]).
+//!
+//! # Example (the paper's §2.3 build, steps 1–4)
+//!
+//! ```
+//! use lod_content_tree::{ContentTree, Segment};
+//!
+//! let mut t = ContentTree::new(Segment::new("S0", 20));
+//! t.add_at_level(1, Segment::new("S1", 20)).unwrap();
+//! t.add_at_level(2, Segment::new("S2", 20)).unwrap();
+//! t.add_at_level(1, Segment::new("S3", 20)).unwrap();
+//! t.add_at_level(2, Segment::new("S4", 20)).unwrap();
+//! assert_eq!(t.highest_level(), 2);
+//! assert_eq!(t.level_value(1), 60);  // paper: LevelNodes[1]->value = 60
+//! assert_eq!(t.level_value(2), 100); // paper: LevelNodes[2]->value = 100
+//! ```
+
+mod render;
+mod tree;
+
+pub use render::render_ascii;
+pub use tree::{ContentTree, NodeId, Segment, Side, TreeError};

@@ -1,0 +1,85 @@
+//! ASCII rendering of a content tree (for Fig. 1/Fig. 6 style output).
+
+use crate::tree::{ContentTree, NodeId};
+
+/// Renders the tree as indented ASCII, one node per line, with each node's
+/// segment name, duration and level, followed by the `LevelNodes` summary —
+/// the textual equivalent of the paper's Figure 1.
+///
+/// # Example
+///
+/// ```
+/// use lod_content_tree::{ContentTree, Segment, render_ascii};
+/// let mut t = ContentTree::new(Segment::new("S0", 20));
+/// t.add_at_level(1, Segment::new("S1", 20)).unwrap();
+/// let art = render_ascii(&t);
+/// assert!(art.contains("S0(20)"));
+/// assert!(art.contains("└── S1(20)"));
+/// ```
+pub fn render_ascii(tree: &ContentTree) -> String {
+    let mut out = String::new();
+    render_node(tree, tree.root(), "", true, true, &mut out);
+    out.push('\n');
+    for (level, value) in tree.level_values().iter().enumerate() {
+        out.push_str(&format!("LevelNodes[{level}]->value = {value}\n"));
+    }
+    out.push_str(&format!("highestLevel = {}\n", tree.highest_level()));
+    out
+}
+
+fn render_node(
+    tree: &ContentTree,
+    node: NodeId,
+    prefix: &str,
+    is_last: bool,
+    is_root: bool,
+    out: &mut String,
+) {
+    let seg = tree.segment(node).expect("live node");
+    if is_root {
+        out.push_str(&format!("{seg}\n"));
+    } else {
+        let branch = if is_last { "└── " } else { "├── " };
+        out.push_str(&format!("{prefix}{branch}{seg}\n"));
+    }
+    let children = tree.children(node).expect("live node");
+    let child_prefix = if is_root {
+        String::new()
+    } else {
+        format!("{prefix}{}", if is_last { "    " } else { "│   " })
+    };
+    for (i, c) in children.iter().enumerate() {
+        render_node(tree, *c, &child_prefix, i + 1 == children.len(), false, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Segment;
+
+    #[test]
+    fn renders_paper_tree() {
+        let mut t = ContentTree::new(Segment::new("S0", 20));
+        t.add_at_level(1, Segment::new("S1", 20)).unwrap();
+        t.add_at_level(2, Segment::new("S2", 20)).unwrap();
+        t.add_at_level(1, Segment::new("S3", 20)).unwrap();
+        t.add_at_level(2, Segment::new("S4", 20)).unwrap();
+        let art = render_ascii(&t);
+        assert!(art.contains("S0(20)"));
+        assert!(art.contains("├── S1(20)"));
+        assert!(art.contains("│   ├── S2(20)"));
+        assert!(art.contains("│   └── S4(20)"));
+        assert!(art.contains("└── S3(20)"));
+        assert!(art.contains("LevelNodes[2]->value = 100"));
+        assert!(art.contains("highestLevel = 2"));
+    }
+
+    #[test]
+    fn single_node_render() {
+        let t = ContentTree::new(Segment::new("only", 7));
+        let art = render_ascii(&t);
+        assert!(art.starts_with("only(7)\n"));
+        assert!(art.contains("LevelNodes[0]->value = 7"));
+    }
+}

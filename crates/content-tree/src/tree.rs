@@ -1,0 +1,842 @@
+//! Core tree structure and the paper's primitive operations.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A presentation segment stored in one tree node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    name: String,
+    /// Presentation duration of this segment, in the caller's unit
+    /// (the paper's examples use plain numbers like 20).
+    duration: u64,
+}
+
+impl Segment {
+    /// Creates a segment.
+    pub fn new(name: impl Into<String>, duration: u64) -> Self {
+        Self {
+            name: name.into(),
+            duration,
+        }
+    }
+
+    /// Segment name (the paper's `S0`, `S1`, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Presentation duration.
+    pub fn duration(&self) -> u64 {
+        self.duration
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.duration)
+    }
+}
+
+/// Identifier of a node within one [`ContentTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Which side of a sibling to insert on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Side {
+    /// Insert immediately to the left (played just before the sibling).
+    Left,
+    /// Insert immediately to the right (played just after the sibling).
+    Right,
+}
+
+/// Errors from content-tree operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TreeError {
+    /// The node id does not name a live node of this tree.
+    UnknownNode(NodeId),
+    /// The root cannot be deleted, detached, or given a new parent.
+    RootImmovable,
+    /// `add_at_level` was called with a level more than one beyond the
+    /// current highest level, so there is no parent to attach under.
+    LevelGap {
+        /// The requested level.
+        requested: usize,
+        /// The current highest level.
+        highest: usize,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            TreeError::RootImmovable => write!(f, "the root node cannot be removed or reparented"),
+            TreeError::LevelGap { requested, highest } => write!(
+                f,
+                "cannot add at level {requested}: highest level is {highest}"
+            ),
+        }
+    }
+}
+
+impl Error for TreeError {}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    segment: Segment,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    /// Tombstone flag: deleted slots stay in the arena.
+    live: bool,
+}
+
+/// The multiple-level content tree (see the crate docs for semantics).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContentTree {
+    nodes: Vec<Node>,
+    root: usize,
+    /// `level_values[q]` = cumulative duration of levels 0..=q — the
+    /// paper's `LevelNodes[q]->value`, kept incrementally.
+    level_values: Vec<u64>,
+}
+
+impl ContentTree {
+    /// Initializes a tree holding only the root segment (§2.3 step 1).
+    pub fn new(root: Segment) -> Self {
+        let d = root.duration();
+        Self {
+            nodes: vec![Node {
+                segment: root,
+                parent: None,
+                children: Vec::new(),
+                live: true,
+            }],
+            root: 0,
+            level_values: vec![d],
+        }
+    }
+
+    /// The root node (level 0).
+    pub fn root(&self) -> NodeId {
+        NodeId(self.root)
+    }
+
+    /// The paper's `highestLevel`: the maximum level of any live node.
+    pub fn highest_level(&self) -> usize {
+        self.level_values.len() - 1
+    }
+
+    /// The paper's `LevelNodes[q]->value`: total presentation time when
+    /// presenting at level `q` (cumulative duration of levels 0..=q).
+    ///
+    /// Levels above [`ContentTree::highest_level`] return the full duration.
+    pub fn level_value(&self, level: usize) -> u64 {
+        let idx = level.min(self.level_values.len() - 1);
+        self.level_values[idx]
+    }
+
+    /// All cumulative level values, index 0 being the root level.
+    pub fn level_values(&self) -> &[u64] {
+        &self.level_values
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().filter(|n| n.live).count()
+    }
+
+    /// Whether the tree holds only the root. Never truly empty: a content
+    /// tree is "a finite set of **one** or more nodes".
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Segment stored at `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnknownNode`] for dead or foreign ids.
+    pub fn segment(&self, node: NodeId) -> Result<&Segment, TreeError> {
+        self.get(node).map(|n| &n.segment)
+    }
+
+    /// Level of `node` (root = 0).
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnknownNode`] for dead or foreign ids.
+    pub fn level(&self, node: NodeId) -> Result<usize, TreeError> {
+        self.get(node)?;
+        let mut level = 0;
+        let mut cur = node.0;
+        while let Some(p) = self.nodes[cur].parent {
+            level += 1;
+            cur = p;
+        }
+        Ok(level)
+    }
+
+    /// Parent of `node`, or `None` for the root.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnknownNode`] for dead or foreign ids.
+    pub fn parent(&self, node: NodeId) -> Result<Option<NodeId>, TreeError> {
+        Ok(self.get(node)?.parent.map(NodeId))
+    }
+
+    /// Children of `node`, left to right.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnknownNode`] for dead or foreign ids.
+    pub fn children(&self, node: NodeId) -> Result<Vec<NodeId>, TreeError> {
+        Ok(self
+            .get(node)?
+            .children
+            .iter()
+            .map(|&i| NodeId(i))
+            .collect())
+    }
+
+    /// Finds the first live node whose segment has the given name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.preorder(usize::MAX)
+            .into_iter()
+            .find(|id| self.nodes[id.0].segment.name() == name)
+    }
+
+    /// Attaches `segment` as the rightmost child of `parent` (§2.2
+    /// "attach a node").
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnknownNode`] if `parent` is dead or foreign.
+    pub fn attach(&mut self, parent: NodeId, segment: Segment) -> Result<NodeId, TreeError> {
+        self.get(parent)?;
+        let id = self.alloc(segment, Some(parent.0));
+        self.nodes[parent.0].children.push(id);
+        self.recompute_levels();
+        Ok(NodeId(id))
+    }
+
+    /// The §2.3 builder step "add Sᵢ (level q)": appends the segment at
+    /// `level`, attaching under the **leftmost** node of `level - 1`. This
+    /// parent rule is what makes a linear script of `add` calls reproduce
+    /// the paper's build *and* its Fig. 3/Fig. 4 follow-ups exactly (S2 and
+    /// S4 both land under S1, leaving S3 free to be reparented by the
+    /// Fig. 3 insertion).
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::LevelGap`] if `level` exceeds `highest_level() + 1`, and
+    /// [`TreeError::RootImmovable`] if `level == 0` (there is exactly one
+    /// root).
+    pub fn add_at_level(&mut self, level: usize, segment: Segment) -> Result<NodeId, TreeError> {
+        if level == 0 {
+            return Err(TreeError::RootImmovable);
+        }
+        if level > self.highest_level() + 1 {
+            return Err(TreeError::LevelGap {
+                requested: level,
+                highest: self.highest_level(),
+            });
+        }
+        let parent = self
+            .leftmost_at_level(level - 1)
+            .expect("level-1 <= highest level, so a node exists");
+        self.attach(parent, segment)
+    }
+
+    /// Inserts `segment` as a sibling of `anchor`, on the given side.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::RootImmovable`] if `anchor` is the root (the root has no
+    /// siblings), or [`TreeError::UnknownNode`].
+    pub fn insert_sibling(
+        &mut self,
+        anchor: NodeId,
+        side: Side,
+        segment: Segment,
+    ) -> Result<NodeId, TreeError> {
+        let parent = self.parent(anchor)?.ok_or(TreeError::RootImmovable)?;
+        let id = self.alloc(segment, Some(parent.0));
+        let pos = self.nodes[parent.0]
+            .children
+            .iter()
+            .position(|&c| c == anchor.0)
+            .expect("anchor is a child of its parent");
+        let pos = match side {
+            Side::Left => pos,
+            Side::Right => pos + 1,
+        };
+        self.nodes[parent.0].children.insert(pos, id);
+        self.recompute_levels();
+        Ok(NodeId(id))
+    }
+
+    /// The Fig. 3 insertion: places `segment` at `target`'s position and
+    /// makes `target` (with its whole subtree) the new node's child, pushing
+    /// it one level deeper.
+    ///
+    /// With the paper's running tree, `insert_above(S3, S5(20))` yields
+    /// `LevelNodes = [20, 60, 120]`, matching Fig. 3 exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::RootImmovable`] if `target` is the root, or
+    /// [`TreeError::UnknownNode`].
+    pub fn insert_above(&mut self, target: NodeId, segment: Segment) -> Result<NodeId, TreeError> {
+        let parent = self.parent(target)?.ok_or(TreeError::RootImmovable)?;
+        let id = self.alloc(segment, Some(parent.0));
+        let pos = self.nodes[parent.0]
+            .children
+            .iter()
+            .position(|&c| c == target.0)
+            .expect("target is a child of its parent");
+        self.nodes[parent.0].children[pos] = id;
+        self.nodes[target.0].parent = Some(id);
+        self.nodes[id].children.push(target.0);
+        self.recompute_levels();
+        Ok(NodeId(id))
+    }
+
+    /// The Fig. 4 deletion: removes `node`; its children "will be adopted
+    /// by \[its\] siblings" — the left sibling if one exists, otherwise the
+    /// right sibling, otherwise the parent (splicing the children into the
+    /// deleted node's position). Children keep their subtrees.
+    ///
+    /// Returns the removed segment.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::RootImmovable`] for the root, or
+    /// [`TreeError::UnknownNode`].
+    pub fn delete_adopt(&mut self, node: NodeId) -> Result<Segment, TreeError> {
+        let parent = self.parent(node)?.ok_or(TreeError::RootImmovable)?;
+        let pos = self.nodes[parent.0]
+            .children
+            .iter()
+            .position(|&c| c == node.0)
+            .expect("node is a child of its parent");
+        let orphans = std::mem::take(&mut self.nodes[node.0].children);
+        let siblings = &self.nodes[parent.0].children;
+        let adopter = if pos > 0 {
+            Some(siblings[pos - 1])
+        } else if pos + 1 < siblings.len() {
+            Some(siblings[pos + 1])
+        } else {
+            None
+        };
+        match adopter {
+            Some(adopter) => {
+                // Children append to the adopting sibling, keeping order.
+                for &c in &orphans {
+                    self.nodes[c].parent = Some(adopter);
+                }
+                if pos > 0 {
+                    self.nodes[adopter].children.extend(orphans);
+                } else {
+                    // Adopted by the right sibling: play before its own kids.
+                    let mut merged = orphans.clone();
+                    merged.extend(self.nodes[adopter].children.iter().copied());
+                    self.nodes[adopter].children = merged;
+                }
+                self.nodes[parent.0].children.remove(pos);
+            }
+            None => {
+                // No sibling: splice children into the parent at `pos`
+                // (they move up one level).
+                for &c in &orphans {
+                    self.nodes[c].parent = Some(parent.0);
+                }
+                self.nodes[parent.0].children.splice(pos..=pos, orphans);
+            }
+        }
+        self.nodes[node.0].live = false;
+        self.nodes[node.0].parent = None;
+        let seg = self.nodes[node.0].segment.clone();
+        self.recompute_levels();
+        Ok(seg)
+    }
+
+    /// The §2.2 "detach a node": removes `node` *and its entire subtree*.
+    /// Returns the number of nodes removed.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::RootImmovable`] for the root, or
+    /// [`TreeError::UnknownNode`].
+    pub fn detach(&mut self, node: NodeId) -> Result<usize, TreeError> {
+        let parent = self.parent(node)?.ok_or(TreeError::RootImmovable)?;
+        self.nodes[parent.0].children.retain(|&c| c != node.0);
+        let mut removed = 0;
+        let mut stack = vec![node.0];
+        while let Some(i) = stack.pop() {
+            self.nodes[i].live = false;
+            self.nodes[i].parent = None;
+            removed += 1;
+            stack.extend(std::mem::take(&mut self.nodes[i].children));
+        }
+        self.recompute_levels();
+        Ok(removed)
+    }
+
+    /// Depth-first, left-to-right traversal restricted to nodes at level
+    /// ≤ `max_level` — the playout order of a presentation at that level.
+    pub fn preorder(&self, max_level: usize) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.preorder_into(self.root, 0, max_level, &mut out);
+        out
+    }
+
+    fn preorder_into(&self, node: usize, level: usize, max_level: usize, out: &mut Vec<NodeId>) {
+        if level > max_level {
+            return;
+        }
+        out.push(NodeId(node));
+        for &c in &self.nodes[node].children {
+            self.preorder_into(c, level + 1, max_level, out);
+        }
+    }
+
+    /// Segments of the presentation at `level`, in playout order — what the
+    /// Abstractor hands to the publisher.
+    pub fn presentation_at_level(&self, level: usize) -> Vec<&Segment> {
+        self.preorder(level)
+            .into_iter()
+            .map(|id| &self.nodes[id.0].segment)
+            .collect()
+    }
+
+    /// Recomputes the cumulative level durations from scratch; also the
+    /// oracle the incremental values are property-tested against.
+    pub fn recomputed_level_values(&self) -> Vec<u64> {
+        let mut per_level: Vec<u64> = Vec::new();
+        let mut stack = vec![(self.root, 0usize)];
+        while let Some((i, level)) = stack.pop() {
+            if per_level.len() <= level {
+                per_level.resize(level + 1, 0);
+            }
+            per_level[level] += self.nodes[i].segment.duration();
+            for &c in &self.nodes[i].children {
+                stack.push((c, level + 1));
+            }
+        }
+        let mut acc = 0;
+        per_level
+            .iter()
+            .map(|v| {
+                acc += v;
+                acc
+            })
+            .collect()
+    }
+
+    /// Checks the Fig. 2 well-formedness conditions: exactly one root, all
+    /// live nodes reachable from it, parent/child links mutually
+    /// consistent, and the cached level values equal to a recomputation.
+    pub fn validate(&self) -> Result<(), String> {
+        let live: usize = self.nodes.iter().filter(|n| n.live).count();
+        let reachable = self.preorder(usize::MAX);
+        if reachable.len() != live {
+            return Err(format!(
+                "{} live nodes but {} reachable from the root",
+                live,
+                reachable.len()
+            ));
+        }
+        for id in &reachable {
+            let n = &self.nodes[id.0];
+            if !n.live {
+                return Err(format!("dead node {id} reachable"));
+            }
+            for &c in &n.children {
+                if self.nodes[c].parent != Some(id.0) {
+                    return Err(format!("child link {id}->n{c} not mirrored"));
+                }
+            }
+            if let Some(p) = n.parent {
+                if !self.nodes[p].children.contains(&id.0) {
+                    return Err(format!("parent link {id}->n{p} not mirrored"));
+                }
+            }
+        }
+        if self.level_values != self.recomputed_level_values() {
+            return Err("cached level values diverge from recomputation".into());
+        }
+        Ok(())
+    }
+
+    fn get(&self, node: NodeId) -> Result<&Node, TreeError> {
+        self.nodes
+            .get(node.0)
+            .filter(|n| n.live)
+            .ok_or(TreeError::UnknownNode(node))
+    }
+
+    fn alloc(&mut self, segment: Segment, parent: Option<usize>) -> usize {
+        self.nodes.push(Node {
+            segment,
+            parent,
+            children: Vec::new(),
+            live: true,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// First node at exactly `level` in left-to-right (pre-order) order.
+    fn leftmost_at_level(&self, level: usize) -> Option<NodeId> {
+        self.preorder(level)
+            .into_iter()
+            .find(|&id| self.level(id).expect("preorder yields live nodes") == level)
+    }
+
+    /// Extracts the subtree rooted at `node` as an independent content
+    /// tree — the "reuse of presentation templates" idea the paper credits
+    /// LMDM with: a section of one lecture becomes teaching material of
+    /// its own, with `node` as the new level-0 root.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnknownNode`] for dead or foreign ids.
+    pub fn subtree(&self, node: NodeId) -> Result<ContentTree, TreeError> {
+        let seg = self.segment(node)?.clone();
+        let mut out = ContentTree::new(seg);
+        let mut stack: Vec<(usize, NodeId)> = vec![(node.0, out.root())];
+        while let Some((old, new_parent)) = stack.pop() {
+            // Attach this node's children in left-to-right order (the
+            // attach order fixes sibling order; stack order only affects
+            // which branch descends first, which is irrelevant).
+            for &c in &self.nodes[old].children {
+                let id = out
+                    .attach(new_parent, self.nodes[c].segment.clone())
+                    .expect("fresh tree accepts its own ids");
+                stack.push((c, id));
+            }
+        }
+        Ok(out)
+    }
+
+    fn recompute_levels(&mut self) {
+        self.level_values = self.recomputed_level_values();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §2.3 tree after all four steps.
+    fn paper_tree() -> ContentTree {
+        let mut t = ContentTree::new(Segment::new("S0", 20));
+        t.add_at_level(1, Segment::new("S1", 20)).unwrap();
+        t.add_at_level(2, Segment::new("S2", 20)).unwrap();
+        t.add_at_level(1, Segment::new("S3", 20)).unwrap();
+        t.add_at_level(2, Segment::new("S4", 20)).unwrap();
+        t
+    }
+
+    #[test]
+    fn paper_build_step_values() {
+        // Step 1: add S0.
+        let mut t = ContentTree::new(Segment::new("S0", 20));
+        assert_eq!(t.highest_level(), 0);
+        assert_eq!(t.level_value(0), 20);
+        // Step 2: add S1.
+        t.add_at_level(1, Segment::new("S1", 20)).unwrap();
+        assert_eq!(t.highest_level(), 1);
+        assert_eq!(t.level_value(1), 40);
+        // Step 3: add S2.
+        t.add_at_level(2, Segment::new("S2", 20)).unwrap();
+        assert_eq!(t.highest_level(), 2);
+        assert_eq!(t.level_value(2), 60);
+        // Step 4: add S3 and S4.
+        t.add_at_level(1, Segment::new("S3", 20)).unwrap();
+        t.add_at_level(2, Segment::new("S4", 20)).unwrap();
+        assert_eq!(t.highest_level(), 2);
+        assert_eq!(t.level_value(1), 60);
+        assert_eq!(t.level_value(2), 100);
+    }
+
+    #[test]
+    fn figure3_insert_s5() {
+        let mut t = paper_tree();
+        let s3 = t.find("S3").unwrap();
+        t.insert_above(s3, Segment::new("S5", 20)).unwrap();
+        assert_eq!(t.highest_level(), 2);
+        assert_eq!(t.level_value(0), 20);
+        assert_eq!(t.level_value(1), 60);
+        assert_eq!(t.level_value(2), 120);
+        // S3 is now at level 2, under S5.
+        assert_eq!(t.level(t.find("S3").unwrap()).unwrap(), 2);
+        let s5 = t.find("S5").unwrap();
+        assert_eq!(t.level(s5).unwrap(), 1);
+        assert_eq!(t.children(s5).unwrap().len(), 1);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn figure4_delete_s5_children_adopted_by_s1() {
+        let mut t = paper_tree();
+        let s3 = t.find("S3").unwrap();
+        t.insert_above(s3, Segment::new("S5", 20)).unwrap();
+        let s5 = t.find("S5").unwrap();
+        let seg = t.delete_adopt(s5).unwrap();
+        assert_eq!(seg.name(), "S5");
+        // S5's child S3 was adopted by S5's sibling S1.
+        let s1 = t.find("S1").unwrap();
+        let s3 = t.find("S3").unwrap();
+        assert_eq!(t.parent(s3).unwrap(), Some(s1));
+        assert_eq!(t.level(s3).unwrap(), 2);
+        // Level values back to pre-insert totals for levels 0/1; S3 now
+        // counts at level 2.
+        assert_eq!(t.level_values(), &[20, 40, 100]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn levels_and_parents() {
+        let t = paper_tree();
+        let s0 = t.find("S0").unwrap();
+        let s1 = t.find("S1").unwrap();
+        let s2 = t.find("S2").unwrap();
+        assert_eq!(t.level(s0).unwrap(), 0);
+        assert_eq!(t.level(s1).unwrap(), 1);
+        assert_eq!(t.level(s2).unwrap(), 2);
+        assert_eq!(t.parent(s2).unwrap(), Some(s1));
+        assert_eq!(t.parent(s0).unwrap(), None);
+    }
+
+    #[test]
+    fn add_at_level_attaches_under_leftmost() {
+        let t = paper_tree();
+        // Both level-2 segments hang under S1, the leftmost level-1 node,
+        // leaving S3 childless — the shape Figs. 3 and 4 operate on.
+        let s1 = t.find("S1").unwrap();
+        let s4 = t.find("S4").unwrap();
+        assert_eq!(t.parent(s4).unwrap(), Some(s1));
+        let s3 = t.find("S3").unwrap();
+        assert!(t.children(s3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn add_at_level_rejects_gap_and_root() {
+        let mut t = ContentTree::new(Segment::new("S0", 20));
+        assert_eq!(
+            t.add_at_level(2, Segment::new("X", 5)),
+            Err(TreeError::LevelGap {
+                requested: 2,
+                highest: 0
+            })
+        );
+        assert_eq!(
+            t.add_at_level(0, Segment::new("X", 5)),
+            Err(TreeError::RootImmovable)
+        );
+    }
+
+    #[test]
+    fn presentation_order_is_preorder() {
+        let t = paper_tree();
+        let names: Vec<&str> = t
+            .presentation_at_level(2)
+            .iter()
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(names, ["S0", "S1", "S2", "S4", "S3"]);
+        let level1: Vec<&str> = t
+            .presentation_at_level(1)
+            .iter()
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(level1, ["S0", "S1", "S3"]);
+        let level0: Vec<&str> = t
+            .presentation_at_level(0)
+            .iter()
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(level0, ["S0"]);
+    }
+
+    #[test]
+    fn higher_level_gives_longer_presentation() {
+        let t = paper_tree();
+        for q in 1..=t.highest_level() {
+            assert!(t.level_value(q) >= t.level_value(q - 1));
+        }
+    }
+
+    #[test]
+    fn level_value_clamps_above_highest() {
+        let t = paper_tree();
+        assert_eq!(t.level_value(99), t.level_value(2));
+    }
+
+    #[test]
+    fn detach_removes_subtree() {
+        let mut t = paper_tree();
+        let s1 = t.find("S1").unwrap();
+        let removed = t.detach(s1).unwrap();
+        assert_eq!(removed, 3); // S1 and its children S2, S4
+        assert!(t.find("S2").is_none());
+        assert!(t.find("S4").is_none());
+        assert_eq!(t.len(), 2);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_only_child_splices_to_parent() {
+        // S0 -> A -> B; deleting A must pull B up to level 1.
+        let mut t = ContentTree::new(Segment::new("S0", 10));
+        let a = t.add_at_level(1, Segment::new("A", 10)).unwrap();
+        t.add_at_level(2, Segment::new("B", 10)).unwrap();
+        t.delete_adopt(a).unwrap();
+        let b = t.find("B").unwrap();
+        assert_eq!(t.level(b).unwrap(), 1);
+        assert_eq!(t.level_values(), &[10, 20]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_leftmost_adopted_by_right_sibling() {
+        // Children of S0: A (with child C), B. Deleting A: C goes to B,
+        // played before B's own children.
+        let mut t = ContentTree::new(Segment::new("S0", 10));
+        let a = t.attach(t.root(), Segment::new("A", 10)).unwrap();
+        t.attach(a, Segment::new("C", 10)).unwrap();
+        let b = t.attach(t.root(), Segment::new("B", 10)).unwrap();
+        t.attach(b, Segment::new("D", 10)).unwrap();
+        t.delete_adopt(a).unwrap();
+        let c = t.find("C").unwrap();
+        assert_eq!(t.parent(c).unwrap(), Some(b));
+        let names: Vec<&str> = t
+            .presentation_at_level(2)
+            .iter()
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(names, ["S0", "B", "C", "D"]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn deleted_node_id_is_rejected() {
+        let mut t = paper_tree();
+        let s3 = t.find("S3").unwrap();
+        t.detach(s3).unwrap();
+        assert_eq!(t.segment(s3).unwrap_err(), TreeError::UnknownNode(s3));
+        assert!(t.delete_adopt(s3).is_err());
+    }
+
+    #[test]
+    fn root_cannot_be_deleted_or_detached() {
+        let mut t = paper_tree();
+        let root = t.root();
+        assert_eq!(t.delete_adopt(root), Err(TreeError::RootImmovable));
+        assert_eq!(t.detach(root).unwrap_err(), TreeError::RootImmovable);
+    }
+
+    #[test]
+    fn insert_sibling_sides() {
+        let mut t = paper_tree();
+        let s1 = t.find("S1").unwrap();
+        t.insert_sibling(s1, Side::Left, Segment::new("L", 5))
+            .unwrap();
+        t.insert_sibling(s1, Side::Right, Segment::new("R", 5))
+            .unwrap();
+        let kids: Vec<String> = t
+            .children(t.root())
+            .unwrap()
+            .into_iter()
+            .map(|c| t.segment(c).unwrap().name().to_string())
+            .collect();
+        assert_eq!(kids, ["L", "S1", "R", "S3"]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_passes_on_paper_tree() {
+        paper_tree().validate().unwrap();
+    }
+
+    #[test]
+    fn subtree_extracts_section_as_own_material() {
+        let t = paper_tree();
+        let s1 = t.find("S1").unwrap();
+        let section = t.subtree(s1).unwrap();
+        section.validate().unwrap();
+        assert_eq!(section.len(), 3); // S1, S2, S4
+        assert_eq!(section.segment(section.root()).unwrap().name(), "S1");
+        // S1 is now level 0; its children level 1, in original order.
+        let names: Vec<&str> = section
+            .presentation_at_level(1)
+            .iter()
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(names, ["S1", "S2", "S4"]);
+        assert_eq!(section.level_values(), &[20, 60]);
+        // The original tree is untouched.
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn subtree_of_leaf_is_single_node() {
+        let t = paper_tree();
+        let s3 = t.find("S3").unwrap();
+        let leaf = t.subtree(s3).unwrap();
+        assert_eq!(leaf.len(), 1);
+        assert_eq!(leaf.highest_level(), 0);
+    }
+
+    #[test]
+    fn subtree_of_root_clones_tree_shape() {
+        let t = paper_tree();
+        let copy = t.subtree(t.root()).unwrap();
+        assert_eq!(copy.level_values(), t.level_values());
+        let a: Vec<String> = t
+            .presentation_at_level(9)
+            .iter()
+            .map(|s| s.name().to_string())
+            .collect();
+        let b: Vec<String> = copy
+            .presentation_at_level(9)
+            .iter()
+            .map(|s| s.name().to_string())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subtree_rejects_dead_node() {
+        let mut t = paper_tree();
+        let s3 = t.find("S3").unwrap();
+        t.detach(s3).unwrap();
+        assert!(t.subtree(s3).is_err());
+    }
+
+    #[test]
+    fn incremental_matches_recomputed_after_mixed_ops() {
+        let mut t = paper_tree();
+        let s2 = t.find("S2").unwrap();
+        t.insert_above(s2, Segment::new("X", 7)).unwrap();
+        let s1 = t.find("S1").unwrap();
+        t.insert_sibling(s1, Side::Right, Segment::new("Y", 3))
+            .unwrap();
+        let x = t.find("X").unwrap();
+        t.delete_adopt(x).unwrap();
+        assert_eq!(t.level_values(), &t.recomputed_level_values()[..]);
+        t.validate().unwrap();
+    }
+}

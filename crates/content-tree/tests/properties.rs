@@ -1,0 +1,175 @@
+//! Property-based tests for the multiple-level content tree.
+
+use lod_content_tree::{ContentTree, Segment, Side};
+use proptest::prelude::*;
+
+/// A scripted operation against a tree. Node choices are indices into the
+/// current pre-order enumeration, taken modulo its length, so every script
+/// is applicable to every tree state.
+#[derive(Debug, Clone)]
+enum Op {
+    Attach {
+        target: usize,
+        dur: u64,
+    },
+    AddAtLevel {
+        level: usize,
+        dur: u64,
+    },
+    InsertAbove {
+        target: usize,
+        dur: u64,
+    },
+    InsertSibling {
+        target: usize,
+        right: bool,
+        dur: u64,
+    },
+    DeleteAdopt {
+        target: usize,
+    },
+    Detach {
+        target: usize,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<usize>(), 1u64..100).prop_map(|(target, dur)| Op::Attach { target, dur }),
+        (1usize..6, 1u64..100).prop_map(|(level, dur)| Op::AddAtLevel { level, dur }),
+        (any::<usize>(), 1u64..100).prop_map(|(target, dur)| Op::InsertAbove { target, dur }),
+        (any::<usize>(), any::<bool>(), 1u64..100)
+            .prop_map(|(target, right, dur)| Op::InsertSibling { target, right, dur }),
+        any::<usize>().prop_map(|target| Op::DeleteAdopt { target }),
+        any::<usize>().prop_map(|target| Op::Detach { target }),
+    ]
+}
+
+fn apply(tree: &mut ContentTree, op: &Op, counter: &mut u64) {
+    *counter += 1;
+    let nodes = tree.preorder(usize::MAX);
+    let pick = |i: usize| nodes[i % nodes.len()];
+    match op {
+        Op::Attach { target, dur } => {
+            let _ = tree.attach(pick(*target), Segment::new(format!("a{counter}"), *dur));
+        }
+        Op::AddAtLevel { level, dur } => {
+            let _ = tree.add_at_level(*level, Segment::new(format!("l{counter}"), *dur));
+        }
+        Op::InsertAbove { target, dur } => {
+            let _ = tree.insert_above(pick(*target), Segment::new(format!("i{counter}"), *dur));
+        }
+        Op::InsertSibling { target, right, dur } => {
+            let side = if *right { Side::Right } else { Side::Left };
+            let _ = tree.insert_sibling(
+                pick(*target),
+                side,
+                Segment::new(format!("s{counter}"), *dur),
+            );
+        }
+        Op::DeleteAdopt { target } => {
+            let _ = tree.delete_adopt(pick(*target));
+        }
+        Op::Detach { target } => {
+            let _ = tree.detach(pick(*target));
+        }
+    }
+}
+
+proptest! {
+    /// After any op sequence the tree validates: links mirrored, all live
+    /// nodes reachable, cached level values equal a recomputation.
+    #[test]
+    fn tree_stays_well_formed(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        let mut t = ContentTree::new(Segment::new("root", 10));
+        let mut counter = 0;
+        for op in &ops {
+            apply(&mut t, op, &mut counter);
+            prop_assert!(t.validate().is_ok(), "validate failed after {op:?}: {:?}", t.validate());
+        }
+    }
+
+    /// Level values are monotonically non-decreasing in the level —
+    /// "the higher level gives the longer presentation".
+    #[test]
+    fn level_values_monotone(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        let mut t = ContentTree::new(Segment::new("root", 10));
+        let mut counter = 0;
+        for op in &ops {
+            apply(&mut t, op, &mut counter);
+        }
+        let values = t.level_values();
+        for w in values.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+
+    /// The presentation at the highest level contains every live node
+    /// exactly once, and its duration equals the top level value.
+    #[test]
+    fn full_presentation_covers_tree(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        let mut t = ContentTree::new(Segment::new("root", 10));
+        let mut counter = 0;
+        for op in &ops {
+            apply(&mut t, op, &mut counter);
+        }
+        let segs = t.presentation_at_level(t.highest_level());
+        prop_assert_eq!(segs.len(), t.len());
+        let total: u64 = segs.iter().map(|s| s.duration()).sum();
+        prop_assert_eq!(total, t.level_value(t.highest_level()));
+    }
+
+    /// delete_adopt removes exactly one node and never loses descendants.
+    #[test]
+    fn delete_adopt_preserves_descendants(
+        ops in proptest::collection::vec(arb_op(), 0..25),
+        victim in any::<usize>(),
+    ) {
+        let mut t = ContentTree::new(Segment::new("root", 10));
+        let mut counter = 0;
+        for op in &ops {
+            apply(&mut t, op, &mut counter);
+        }
+        let before = t.len();
+        let nodes = t.preorder(usize::MAX);
+        let target = nodes[victim % nodes.len()];
+        if t.delete_adopt(target).is_ok() {
+            prop_assert_eq!(t.len(), before - 1);
+            prop_assert!(t.validate().is_ok());
+        } else {
+            // Only the root may refuse.
+            prop_assert_eq!(target, t.root());
+        }
+    }
+
+    /// insert_above never changes which segments are present, only depth.
+    #[test]
+    fn insert_above_keeps_segments(
+        ops in proptest::collection::vec(arb_op(), 0..25),
+        target in any::<usize>(),
+    ) {
+        let mut t = ContentTree::new(Segment::new("root", 10));
+        let mut counter = 0;
+        for op in &ops {
+            apply(&mut t, op, &mut counter);
+        }
+        let mut names_before: Vec<String> = t
+            .presentation_at_level(usize::MAX)
+            .iter()
+            .map(|s| s.name().to_string())
+            .collect();
+        let nodes = t.preorder(usize::MAX);
+        let anchor = nodes[target % nodes.len()];
+        if t.insert_above(anchor, Segment::new("wedge", 1)).is_ok() {
+            let mut names_after: Vec<String> = t
+                .presentation_at_level(usize::MAX)
+                .iter()
+                .map(|s| s.name().to_string())
+                .filter(|n| n != "wedge")
+                .collect();
+            names_before.sort();
+            names_after.sort();
+            prop_assert_eq!(names_before, names_after);
+        }
+    }
+}

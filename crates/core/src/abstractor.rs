@@ -1,0 +1,365 @@
+//! The Abstractor: multiple-level content trees over lectures (Fig. 6).
+//!
+//! §2.2: "The Abstractor utilizes the content tree to organize the
+//! information … The multiple level content tree approach may be used to
+//! arrive at an efficient summarizing method … The higher level gives the
+//! longer presentation. Consequently, this approach gives flexible
+//! teaching material."
+
+use lod_content_tree::{ContentTree, Segment, TreeError};
+use lod_ocpn::PresentationSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::presentation::OutlineEntry;
+
+/// One row of the Fig. 6 level table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelRow {
+    /// Tree level.
+    pub level: usize,
+    /// Segments played when presenting at this level.
+    pub segments: usize,
+    /// Total presentation seconds at this level (the paper's
+    /// `LevelNodes[q]->value`).
+    pub duration_secs: u64,
+}
+
+/// Builds content trees from lecture outlines and picks presentation
+/// levels for time budgets.
+///
+/// # Example
+///
+/// ```
+/// use lod_core::{synthetic_lecture, Abstractor};
+///
+/// let lecture = synthetic_lecture(1, 30, 300_000); // 30 minutes
+/// let abstractor = Abstractor::new();
+/// let tree = abstractor.tree_from_outline(&lecture.outline).unwrap();
+/// // A 10-minute student gets a shallower level than a 30-minute one.
+/// let short = abstractor.level_for_budget(&tree, 10 * 60);
+/// let full = abstractor.level_for_budget(&tree, 30 * 60);
+/// assert!(short <= full);
+/// // The summary at that level publishes like any lecture.
+/// let summary = abstractor.summarize(&lecture, short);
+/// assert!(summary.video.duration <= lecture.video.duration);
+/// ```
+#[derive(Debug, Default)]
+pub struct Abstractor;
+
+impl Abstractor {
+    /// A new abstractor.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Builds the content tree from an outline.
+    ///
+    /// Unlike the paper's §2.3 `add_at_level` script (which attaches under
+    /// the leftmost node of the parent level), an outline is a *document*:
+    /// each level-q entry belongs under the most recent level-(q−1) entry,
+    /// so `section-2`'s details hang under `section-2`.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::LevelGap`] when an entry's level jumps more than one
+    /// past its predecessor's, or [`TreeError::RootImmovable`] if a second
+    /// level-0 entry appears.
+    pub fn tree_from_outline(&self, outline: &[OutlineEntry]) -> Result<ContentTree, TreeError> {
+        let Some((root, rest)) = outline.split_first() else {
+            // An empty outline still yields a one-node tree.
+            return Ok(ContentTree::new(Segment::new("lecture", 0)));
+        };
+        let mut tree = ContentTree::new(Segment::new(root.name.clone(), root.duration_secs));
+        // Most recent node seen at each level (document-order parents).
+        let mut last_at_level = vec![tree.root()];
+        for e in rest {
+            if e.level == 0 {
+                return Err(TreeError::RootImmovable);
+            }
+            if e.level > last_at_level.len() {
+                return Err(TreeError::LevelGap {
+                    requested: e.level,
+                    highest: last_at_level.len() - 1,
+                });
+            }
+            let parent = last_at_level[e.level - 1];
+            let id = tree.attach(parent, Segment::new(e.name.clone(), e.duration_secs))?;
+            last_at_level.truncate(e.level);
+            last_at_level.push(id);
+        }
+        Ok(tree)
+    }
+
+    /// The deepest level whose cumulative duration fits `budget_secs`
+    /// (level 0 when even the summary is too long — the shortest
+    /// presentation that exists).
+    pub fn level_for_budget(&self, tree: &ContentTree, budget_secs: u64) -> usize {
+        let mut level = 0;
+        for q in 0..=tree.highest_level() {
+            if tree.level_value(q) <= budget_secs {
+                level = q;
+            } else {
+                break;
+            }
+        }
+        level
+    }
+
+    /// The Fig. 6 table: one row per level.
+    pub fn level_table(&self, tree: &ContentTree) -> Vec<LevelRow> {
+        (0..=tree.highest_level())
+            .map(|level| LevelRow {
+                level,
+                segments: tree.presentation_at_level(level).len(),
+                duration_secs: tree.level_value(level),
+            })
+            .collect()
+    }
+
+    /// Produces the condensed lecture presented at `level`: outline
+    /// segments deeper than `level` are cut from the timeline, and slides
+    /// and annotations falling inside kept segments are remapped onto the
+    /// condensed timeline (those inside cut segments are dropped with the
+    /// material they illustrate). This is the "flexible teaching material"
+    /// of §2.2, made publishable: the result feeds straight into
+    /// [`crate::Wmps::publish`].
+    ///
+    /// The lecture's recorded timeline is taken to follow the outline's
+    /// document order (which is the content tree's pre-order).
+    pub fn summarize(
+        &self,
+        lecture: &crate::presentation::Lecture,
+        level: usize,
+    ) -> crate::presentation::Lecture {
+        use lod_media::{TickDuration, Ticks, TICKS_PER_SECOND};
+        // Walk the outline, building (orig_start, len, kept_start) spans.
+        let mut spans: Vec<(u64, u64, Option<u64>)> = Vec::new();
+        let mut orig = 0u64;
+        let mut kept = 0u64;
+        for e in &lecture.outline {
+            let len = e.duration_secs * TICKS_PER_SECOND;
+            if e.level <= level {
+                spans.push((orig, len, Some(kept)));
+                kept += len;
+            } else {
+                spans.push((orig, len, None));
+            }
+            orig += len;
+        }
+        let total = orig;
+        let remap = move |t: Ticks| -> Option<Ticks> {
+            // Clamp stragglers past the recording's end into the last
+            // segment (the publisher clamps the same way).
+            let t = t.0.min(total.saturating_sub(1));
+            let span = spans
+                .iter()
+                .find(|(start, len, _)| t >= *start && t < start + len)?;
+            span.2.map(|kept_start| Ticks(kept_start + (t - span.0)))
+        };
+        let mut video = lecture.video.clone();
+        video.path = format!("{} (level {level})", video.path);
+        video.duration = TickDuration(kept);
+        let deck = lod_encoder::SlideDeck {
+            dir: lecture.deck.dir.clone(),
+            slides: lecture
+                .deck
+                .slides
+                .iter()
+                .filter_map(|s| {
+                    remap(s.show_at).map(|t| lod_encoder::Slide {
+                        file: s.file.clone(),
+                        bytes: s.bytes,
+                        show_at: t,
+                    })
+                })
+                .collect(),
+        };
+        let annotations = lecture
+            .annotations
+            .iter()
+            .filter_map(|a| {
+                remap(a.at).map(|t| lod_encoder::Annotation {
+                    at: t,
+                    text: a.text.clone(),
+                })
+            })
+            .collect();
+        let outline = lecture
+            .outline
+            .iter()
+            .filter(|e| e.level <= level)
+            .cloned()
+            .collect();
+        crate::presentation::Lecture {
+            title: format!("{} (level-{level} summary)", lecture.title),
+            video,
+            deck,
+            annotations,
+            outline,
+        }
+    }
+
+    /// Compiles the presentation at `level` into an OCPN-style spec: the
+    /// segments in playout order, sequentially composed (`meets`), with
+    /// durations in `ticks_per_sec` units.
+    pub fn spec_at_level(
+        &self,
+        tree: &ContentTree,
+        level: usize,
+        ticks_per_sec: u64,
+    ) -> PresentationSpec {
+        let segs = tree.presentation_at_level(level);
+        let mut iter = segs.into_iter();
+        let first = iter.next().expect("content trees always have a root");
+        let mut spec = PresentationSpec::interval(first.name(), first.duration() * ticks_per_sec);
+        for s in iter {
+            spec = spec.then(PresentationSpec::interval(
+                s.name(),
+                s.duration() * ticks_per_sec,
+            ));
+        }
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presentation::synthetic_lecture;
+
+    fn outline() -> Vec<OutlineEntry> {
+        // The paper's §2.3 parameters.
+        vec![
+            OutlineEntry {
+                name: "S0".into(),
+                level: 0,
+                duration_secs: 20,
+            },
+            OutlineEntry {
+                name: "S1".into(),
+                level: 1,
+                duration_secs: 20,
+            },
+            OutlineEntry {
+                name: "S2".into(),
+                level: 2,
+                duration_secs: 20,
+            },
+            OutlineEntry {
+                name: "S3".into(),
+                level: 1,
+                duration_secs: 20,
+            },
+            OutlineEntry {
+                name: "S4".into(),
+                level: 2,
+                duration_secs: 20,
+            },
+        ]
+    }
+
+    #[test]
+    fn builds_the_paper_tree() {
+        let tree = Abstractor::new().tree_from_outline(&outline()).unwrap();
+        assert_eq!(tree.level_values(), &[20, 60, 100]);
+    }
+
+    #[test]
+    fn budget_picks_level() {
+        let a = Abstractor::new();
+        let tree = a.tree_from_outline(&outline()).unwrap();
+        assert_eq!(a.level_for_budget(&tree, 100), 2);
+        assert_eq!(a.level_for_budget(&tree, 99), 1);
+        assert_eq!(a.level_for_budget(&tree, 60), 1);
+        assert_eq!(a.level_for_budget(&tree, 25), 0);
+        // Even an impossible budget returns the summary.
+        assert_eq!(a.level_for_budget(&tree, 5), 0);
+    }
+
+    #[test]
+    fn level_table_matches_tree() {
+        let a = Abstractor::new();
+        let tree = a.tree_from_outline(&outline()).unwrap();
+        let table = a.level_table(&tree);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table[0].segments, 1);
+        assert_eq!(table[2].duration_secs, 100);
+        assert_eq!(table[1].segments, 3); // S0, S1, S3
+    }
+
+    #[test]
+    fn spec_duration_equals_level_value() {
+        let a = Abstractor::new();
+        let tree = a.tree_from_outline(&outline()).unwrap();
+        for level in 0..=2 {
+            let spec = a.spec_at_level(&tree, level, 1);
+            assert_eq!(spec.duration(), tree.level_value(level));
+        }
+    }
+
+    #[test]
+    fn synthetic_outline_builds() {
+        let l = synthetic_lecture(9, 30, 300_000);
+        let a = Abstractor::new();
+        let tree = a.tree_from_outline(&l.outline).unwrap();
+        assert_eq!(tree.level_value(tree.highest_level()), 30 * 60);
+        tree.validate().unwrap();
+        // Summaries get shorter as the budget shrinks.
+        let full = a.level_for_budget(&tree, 30 * 60);
+        let half = a.level_for_budget(&tree, 15 * 60);
+        assert!(half <= full);
+    }
+
+    #[test]
+    fn empty_outline_yields_stub_tree() {
+        let tree = Abstractor::new().tree_from_outline(&[]).unwrap();
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn summarize_full_level_keeps_everything() {
+        let l = synthetic_lecture(20, 30, 300_000);
+        let a = Abstractor::new();
+        let tree = a.tree_from_outline(&l.outline).unwrap();
+        let full = a.summarize(&l, tree.highest_level());
+        assert_eq!(full.video.duration, l.video.duration);
+        assert_eq!(full.slide_count(), l.slide_count());
+        assert_eq!(full.annotations.len(), l.annotations.len());
+    }
+
+    #[test]
+    fn summarize_shrinks_duration_to_level_value() {
+        let l = synthetic_lecture(21, 30, 300_000);
+        let a = Abstractor::new();
+        let tree = a.tree_from_outline(&l.outline).unwrap();
+        for level in 0..=tree.highest_level() {
+            let s = a.summarize(&l, level);
+            assert_eq!(
+                s.video.duration.as_millis() / 1000,
+                tree.level_value(level),
+                "level {level}"
+            );
+            // Remapped slide times stay inside the condensed duration.
+            for slide in &s.deck.slides {
+                assert!(slide.show_at.0 < s.video.duration.0 || s.deck.slides.is_empty());
+            }
+            // Slide order is preserved.
+            let times: Vec<u64> = s.deck.slides.iter().map(|x| x.show_at.0).collect();
+            let mut sorted = times.clone();
+            sorted.sort_unstable();
+            assert_eq!(times, sorted);
+        }
+    }
+
+    #[test]
+    fn summarize_drops_content_in_cut_segments() {
+        let l = synthetic_lecture(22, 30, 300_000);
+        let a = Abstractor::new();
+        let level0 = a.summarize(&l, 0);
+        // Level 0 keeps only the overview: far fewer slides.
+        assert!(level0.slide_count() < l.slide_count());
+        // And the summary publishes cleanly.
+        let file = crate::Wmps::new().publish(&level0).unwrap();
+        assert_eq!(file.props.play_duration, level0.video.duration.0);
+    }
+}

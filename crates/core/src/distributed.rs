@@ -1,0 +1,317 @@
+//! Distributed-platform synchronization: many sites, one presentation.
+//!
+//! The paper's §1 faults OCPN/XOCPN for lacking "methods to describe the
+//! details of synchronization across distributed platforms". This module
+//! is that mechanism, run over the simulated network: every site plays the
+//! same lecture (its own copy of the ETPN playout chain), and a
+//! coordinator implements the ETPN's join transitions *across sites* —
+//! a site that has finished block `j-1` and holds block `j`'s data
+//! reports `Ready(j)`; when every site has reported, the coordinator
+//! broadcasts `Release(j)` and nobody starts block `j` before it arrives.
+//!
+//! With the barrier on, inter-site skew is bounded by one network round
+//! trip regardless of how unevenly data arrives; with it off (each site
+//! free-running on its own arrivals, which is all OCPN can do), skew grows
+//! with the arrival spread. Experiment Q7 measures both.
+
+// Index loops here intentionally walk several parallel `[stream][unit]`
+// tables; iterator rewrites would obscure the net construction.
+#![allow(clippy::needless_range_loop)]
+
+use lod_simnet::{LinkSpec, Network, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Barrier protocol messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sync {
+    /// A site has finished the previous block *and* holds block `j`'s
+    /// data (site → coordinator) — the local half of the join.
+    Ready(usize),
+    /// All sites may start block `j` (coordinator → sites) — the join
+    /// firing.
+    Release(usize),
+}
+
+/// Configuration of a distributed classroom replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassroomConfig {
+    /// Number of student sites.
+    pub sites: usize,
+    /// Units per site (every site plays the same lecture).
+    pub units: usize,
+    /// Unit length in ticks.
+    pub unit_ticks: u64,
+    /// Coordinator ↔ site control links.
+    pub link: LinkSpec,
+    /// Whether the cross-site joins (the barrier) are active.
+    pub barrier: bool,
+    /// Network seed.
+    pub seed: u64,
+    /// Per-site arrival time of each unit's media:
+    /// `arrivals[site][unit]`.
+    pub arrivals: Vec<Vec<u64>>,
+}
+
+impl ClassroomConfig {
+    /// A classroom where site `i`'s media arrives with a per-site constant
+    /// lag of `i × stagger` ticks (e.g. students on increasingly bad
+    /// links).
+    pub fn staggered(
+        sites: usize,
+        units: usize,
+        unit_ticks: u64,
+        stagger: u64,
+        link: LinkSpec,
+        barrier: bool,
+        seed: u64,
+    ) -> Self {
+        let arrivals = (0..sites)
+            .map(|i| {
+                (0..units)
+                    .map(|k| k as u64 * unit_ticks / 2 + i as u64 * stagger)
+                    .collect()
+            })
+            .collect();
+        Self {
+            sites,
+            units,
+            unit_ticks,
+            link,
+            barrier,
+            seed,
+            arrivals,
+        }
+    }
+}
+
+/// Outcome of a distributed classroom replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassroomReport {
+    /// `starts[site][unit]` wall time each site started each unit.
+    pub starts: Vec<Vec<u64>>,
+    /// Maximum inter-site start skew over all units.
+    pub max_skew: u64,
+    /// Mean inter-site start skew.
+    pub mean_skew: f64,
+    /// Wall time the last site finished.
+    pub finish: u64,
+    /// Control messages exchanged (barrier cost).
+    pub control_messages: u64,
+}
+
+/// Runs the classroom.
+///
+/// # Panics
+///
+/// Panics if `arrivals` does not match `sites × units`.
+pub fn run_classroom(cfg: &ClassroomConfig) -> ClassroomReport {
+    assert_eq!(cfg.arrivals.len(), cfg.sites);
+    assert!(cfg.arrivals.iter().all(|a| a.len() == cfg.units));
+
+    let mut net: Network<Sync> = Network::new(cfg.seed);
+    let coord = net.add_node("coordinator");
+    let sites: Vec<NodeId> = (0..cfg.sites)
+        .map(|i| {
+            let n = net.add_node(format!("site{i}"));
+            net.connect_bidirectional(coord, n, cfg.link);
+            n
+        })
+        .collect();
+
+    // Per-site state machine.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum SiteState {
+        /// Waiting before starting `unit`: must hold the data
+        /// (`announced` = Ready sent) and, with the barrier, a Release.
+        Waiting {
+            unit: usize,
+            announced: bool,
+            released: bool,
+        },
+        /// Playing `unit`; finishes at the stored time.
+        Playing {
+            unit: usize,
+            until: u64,
+        },
+        Done,
+    }
+    let mut state: Vec<SiteState> = vec![
+        SiteState::Waiting {
+            unit: 0,
+            announced: false,
+            released: false,
+        };
+        cfg.sites
+    ];
+    let mut starts = vec![vec![0u64; cfg.units]; cfg.sites];
+    let mut ready: Vec<usize> = vec![0; cfg.units]; // Ready(j) counts
+    let mut control_messages = 0u64;
+
+    const STEP: u64 = 100_000; // 10 ms scheduler cadence
+    let mut now = 0u64;
+    let deadline = (cfg.units as u64 + 4) * cfg.unit_ticks * (cfg.sites as u64 + 4) + 1_000_000_000;
+    while now < deadline {
+        // Deliver barrier traffic.
+        for d in net.advance_to(now) {
+            match d.message {
+                Sync::Ready(j) => {
+                    // Coordinator counts; fires the join when all ready.
+                    if d.dst == coord && j < cfg.units {
+                        ready[j] += 1;
+                        if ready[j] == cfg.sites {
+                            for &s in &sites {
+                                let _ = net.send_reliable(coord, s, 32, Sync::Release(j));
+                                control_messages += 1;
+                            }
+                        }
+                    }
+                }
+                Sync::Release(j) => {
+                    let site = sites
+                        .iter()
+                        .position(|&s| s == d.dst)
+                        .expect("release goes to a site");
+                    if let SiteState::Waiting { unit, released, .. } = &mut state[site] {
+                        if *unit == j {
+                            *released = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Advance sites.
+        for i in 0..cfg.sites {
+            match state[i] {
+                SiteState::Waiting {
+                    unit,
+                    announced,
+                    released,
+                } => {
+                    let data_ok = cfg.arrivals[i][unit] <= now;
+                    if data_ok && !announced && cfg.barrier {
+                        let _ = net.send_reliable(sites[i], coord, 32, Sync::Ready(unit));
+                        control_messages += 1;
+                        state[i] = SiteState::Waiting {
+                            unit,
+                            announced: true,
+                            released,
+                        };
+                    }
+                    let release_ok = released || !cfg.barrier;
+                    if data_ok && release_ok {
+                        starts[i][unit] = now;
+                        state[i] = SiteState::Playing {
+                            unit,
+                            until: now + cfg.unit_ticks,
+                        };
+                    }
+                }
+                SiteState::Playing { unit, until } => {
+                    if until <= now {
+                        if unit + 1 < cfg.units {
+                            state[i] = SiteState::Waiting {
+                                unit: unit + 1,
+                                announced: false,
+                                released: false,
+                            };
+                        } else {
+                            state[i] = SiteState::Done;
+                        }
+                    }
+                }
+                SiteState::Done => {}
+            }
+        }
+        if state.iter().all(|s| *s == SiteState::Done) {
+            break;
+        }
+        now += STEP;
+    }
+
+    let mut skews = Vec::new();
+    for k in 0..cfg.units {
+        let s: Vec<u64> = (0..cfg.sites).map(|i| starts[i][k]).collect();
+        let max = *s.iter().max().expect("non-empty");
+        let min = *s.iter().min().expect("non-empty");
+        skews.push(max - min);
+    }
+    let max_skew = skews.iter().copied().max().unwrap_or(0);
+    let mean_skew = skews.iter().sum::<u64>() as f64 / skews.len().max(1) as f64;
+    ClassroomReport {
+        starts,
+        max_skew,
+        mean_skew,
+        finish: now,
+        control_messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(barrier: bool, stagger: u64) -> ClassroomConfig {
+        ClassroomConfig::staggered(
+            4,
+            10,
+            10_000_000, // 1 s units
+            stagger,
+            LinkSpec::lan(),
+            barrier,
+            5,
+        )
+    }
+
+    #[test]
+    fn barrier_bounds_skew_to_network_scale() {
+        // Sites staggered by 2 s of data lag.
+        let free = run_classroom(&cfg(false, 20_000_000));
+        let synced = run_classroom(&cfg(true, 20_000_000));
+        // Free-running: the fast site runs ~6 s ahead (3 sites × 2 s).
+        assert!(free.max_skew >= 50_000_000, "free skew {}", free.max_skew);
+        // Barrier: skew bounded by RTT + cadence (well under one unit).
+        assert!(
+            synced.max_skew < 2_000_000,
+            "synced skew {}",
+            synced.max_skew
+        );
+        assert_eq!(free.control_messages, 0);
+        assert!(synced.control_messages > 0);
+    }
+
+    #[test]
+    fn barrier_cost_is_everyone_waits_for_slowest() {
+        let free = run_classroom(&cfg(false, 20_000_000));
+        let synced = run_classroom(&cfg(true, 20_000_000));
+        // Synchronized playback cannot finish before the free-running
+        // slowest site.
+        assert!(synced.finish >= free.finish - 10_000_000);
+    }
+
+    #[test]
+    fn no_stagger_means_no_skew_either_way() {
+        let free = run_classroom(&cfg(false, 0));
+        let synced = run_classroom(&cfg(true, 0));
+        assert_eq!(free.max_skew, 0);
+        // Barrier adds at most RTT-scale wobble.
+        assert!(synced.max_skew < 2_000_000);
+    }
+
+    #[test]
+    fn message_count_matches_protocol() {
+        let synced = run_classroom(&cfg(true, 0));
+        // Ready: sites × units; Release: sites × units.
+        let expected = 4 * 10 + 4 * 10;
+        assert_eq!(synced.control_messages, expected as u64);
+    }
+
+    #[test]
+    fn starts_are_monotone_per_site() {
+        let r = run_classroom(&cfg(true, 5_000_000));
+        for site in &r.starts {
+            for w in site.windows(2) {
+                assert!(w[1] > w[0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! The extended timed Petri net (ETPN).
+//!
+//! The paper keeps the ETPN informal; this module gives it a precise,
+//! executable form covering exactly the four §1 extensions over
+//! OCPN/XOCPN:
+//!
+//! 1. **Network transport**: media arrivals are tokens injected into
+//!    *arrival places* by the (simulated) network. Media that has not
+//!    arrived cannot play — back-pressure is a structural property of the
+//!    net, not a scheduler heuristic.
+//! 2. **Distributed synchronization**: streams are cut into *sync units*;
+//!    every `sync_every` units a zero-time *join transition* requires all
+//!    streams to have finished the block — and, with
+//!    [`EtpnConfig::block_prefetch`], the *next* block to have fully
+//!    arrived — before any stream may continue. Lateness then turns into
+//!    a shared stall instead of inter-stream skew.
+//! 3. **User interaction**: a *running place* (one token per stream)
+//!    self-loops through every playout transition. Pausing withdraws the
+//!    tokens, resuming re-injects them, skipping relocates the chain
+//!    tokens — the net is never rebuilt, which is precisely what the
+//!    paper faults OCPN for.
+//! 4. **Flow control**: the arrival places double as receiver-buffer
+//!    state; [`LectureNet::buffered_units`] exposes how far ahead the
+//!    network has delivered, the feedback signal for the sender.
+//!
+//! Net structure (per stream `s`, unit `k`, block `j`):
+//!
+//! ```text
+//! ready[s,k] ─┬▶ play[s,k] (duration = unit) ─▶ sync_wait[s,j] | ready[s,k+1]
+//! running ────┘      ▲ (running returned at completion)
+//! join[j]: sync_wait[0,j]…sync_wait[S-1,j] (+ arrived[·, block j+1] read arcs)
+//!          ─▶ ready[0,(j+1)·E] … ready[S-1,(j+1)·E]
+//! ```
+
+// Index loops here intentionally walk several parallel `[stream][unit]`
+// tables; iterator rewrites would obscure the net construction.
+#![allow(clippy::needless_range_loop)]
+
+use lod_petri::timed::TimedEventKind;
+use lod_petri::{Marking, NetBuilder, PlaceId, TimedExecutor, TimedNet, TransitionId};
+use serde::{Deserialize, Serialize};
+
+/// Shape of a lecture net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EtpnConfig {
+    /// Length of one sync unit in ticks.
+    pub unit_ticks: u64,
+    /// Number of units per stream.
+    pub units: usize,
+    /// Number of media streams (e.g. 2 = video + slides).
+    pub streams: usize,
+    /// Join all streams every this many units.
+    pub sync_every: usize,
+    /// When `true`, a join also waits for the entire next block to have
+    /// arrived on every stream (receiver-driven block buffering): skew at
+    /// unit starts becomes zero and lateness shows up as shared stalls.
+    /// When `false`, each playout is gated only by its own arrival, so a
+    /// late stream skews against the others until the next join.
+    pub block_prefetch: bool,
+}
+
+impl EtpnConfig {
+    /// A typical configuration: `units` units of `unit_ticks`, two
+    /// streams, per-unit sync, block prefetch on.
+    pub fn new(unit_ticks: u64, units: usize) -> Self {
+        Self {
+            unit_ticks,
+            units,
+            streams: 2,
+            sync_every: 1,
+            block_prefetch: true,
+        }
+    }
+
+    /// Ideal playout duration with no stalls.
+    pub fn ideal_duration(&self) -> u64 {
+        self.unit_ticks * self.units as u64
+    }
+}
+
+/// A user interaction against a running replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Interaction {
+    /// Freeze playback (takes effect at the next unit boundary per stream).
+    Pause,
+    /// Continue after a pause.
+    Resume,
+    /// Jump to `unit` (forward or backward), best issued while paused.
+    Skip {
+        /// Target unit index.
+        unit: usize,
+    },
+}
+
+/// What happened during one ETPN replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EtpnReport {
+    /// Start time of each `(stream, unit)` playout, if it ran.
+    pub unit_starts: Vec<Vec<Option<u64>>>,
+    /// Wall time the whole net quiesced.
+    pub finish_time: u64,
+    /// Playout duration with no network or interaction delays.
+    pub ideal_finish: u64,
+    /// Maximum over units of the inter-stream start skew.
+    pub max_skew: u64,
+    /// Mean inter-stream start skew over units where all streams ran.
+    pub mean_skew: f64,
+    /// Total ticks playback was frozen by Pause interactions.
+    pub paused_ticks: u64,
+    /// Units rendered on every stream.
+    pub units_rendered: usize,
+}
+
+impl EtpnReport {
+    /// Stall time attributable to the network (total overrun minus the
+    /// intentional pauses).
+    pub fn network_stall(&self) -> u64 {
+        self.finish_time
+            .saturating_sub(self.ideal_finish)
+            .saturating_sub(self.paused_ticks)
+    }
+
+    /// Wall time at which the first unit rendered (startup latency).
+    pub fn startup(&self) -> Option<u64> {
+        self.unit_starts
+            .iter()
+            .filter_map(|s| s.first().copied().flatten())
+            .max()
+    }
+}
+
+/// The compiled extended timed Petri net for one lecture replay.
+///
+/// # Example
+///
+/// ```
+/// use lod_core::etpn::{instant_arrivals, EtpnConfig, LectureNet};
+///
+/// // A 5-unit, 2-stream lecture with everything buffered locally.
+/// let net = LectureNet::new(EtpnConfig::new(100, 5));
+/// let report = net.run(&instant_arrivals(net.config()), &[]);
+/// assert_eq!(report.units_rendered, 5);
+/// assert_eq!(report.max_skew, 0);
+/// assert_eq!(report.finish_time, 500);
+/// ```
+#[derive(Debug)]
+pub struct LectureNet {
+    cfg: EtpnConfig,
+    timed: TimedNet,
+    ready: Vec<Vec<PlaceId>>,
+    arrived: Vec<Vec<PlaceId>>,
+    sync_wait: Vec<Vec<PlaceId>>,
+    play: Vec<Vec<TransitionId>>,
+    running: PlaceId,
+    begin: PlaceId,
+    done: PlaceId,
+}
+
+impl LectureNet {
+    /// Compiles the net for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` has zero units, streams, or `sync_every`.
+    pub fn new(cfg: EtpnConfig) -> Self {
+        assert!(cfg.units > 0 && cfg.streams > 0 && cfg.sync_every > 0);
+        let mut b = NetBuilder::new();
+        let running = b.place("running");
+        let begin = b.place("begin");
+        let done = b.place("done");
+        let mut ready = vec![Vec::new(); cfg.streams];
+        let mut arrived = vec![Vec::new(); cfg.streams];
+        let n_joins = cfg.units.div_ceil(cfg.sync_every);
+        let mut sync_wait: Vec<Vec<PlaceId>> = vec![Vec::new(); cfg.streams];
+        for s in 0..cfg.streams {
+            for k in 0..cfg.units {
+                ready[s].push(b.place(format!("ready[{s},{k}]")));
+                arrived[s].push(b.place(format!("arrived[{s},{k}]")));
+            }
+            for j in 0..n_joins {
+                sync_wait[s].push(b.place(format!("sync[{s},{j}]")));
+            }
+        }
+
+        // Block j covers units [j*E, min((j+1)*E, units)).
+        let block_range = |j: usize| {
+            let lo = j * cfg.sync_every;
+            let hi = ((j + 1) * cfg.sync_every).min(cfg.units);
+            lo..hi
+        };
+
+        // The initial release: with prefetch, wait for block 0 to arrive.
+        let start_t = b.transition("start");
+        b.arc_in(begin, start_t, 1).expect("fresh ids");
+        if cfg.block_prefetch {
+            for s in 0..cfg.streams {
+                for k in block_range(0) {
+                    b.arc_in(arrived[s][k], start_t, 1).expect("fresh ids");
+                    b.arc_out(start_t, arrived[s][k], 1).expect("fresh ids");
+                }
+            }
+        }
+        for s in 0..cfg.streams {
+            b.arc_out(start_t, ready[s][0], 1).expect("fresh ids");
+        }
+
+        // Playout transitions.
+        let mut durations = Vec::new();
+        let mut play = vec![Vec::new(); cfg.streams];
+        for s in 0..cfg.streams {
+            for k in 0..cfg.units {
+                let t = b.transition(format!("play[{s},{k}]"));
+                b.arc_in(ready[s][k], t, 1).expect("fresh ids");
+                if !cfg.block_prefetch {
+                    b.arc_in(arrived[s][k], t, 1).expect("fresh ids");
+                }
+                b.arc_in(running, t, 1).expect("fresh ids");
+                b.arc_out(t, running, 1).expect("fresh ids");
+                let boundary = (k + 1) % cfg.sync_every == 0 || k + 1 == cfg.units;
+                if boundary {
+                    b.arc_out(t, sync_wait[s][k / cfg.sync_every], 1)
+                        .expect("fresh ids");
+                } else {
+                    b.arc_out(t, ready[s][k + 1], 1).expect("fresh ids");
+                }
+                durations.push((t, cfg.unit_ticks));
+                play[s].push(t);
+            }
+        }
+
+        // Join transitions.
+        for j in 0..n_joins {
+            let t = b.transition(format!("join[{j}]"));
+            for s in 0..cfg.streams {
+                b.arc_in(sync_wait[s][j], t, 1).expect("fresh ids");
+            }
+            let next_unit = (j + 1) * cfg.sync_every;
+            if next_unit < cfg.units {
+                if cfg.block_prefetch {
+                    for s in 0..cfg.streams {
+                        for k in block_range(j + 1) {
+                            b.arc_in(arrived[s][k], t, 1).expect("fresh ids");
+                            b.arc_out(t, arrived[s][k], 1).expect("fresh ids");
+                        }
+                    }
+                }
+                for s in 0..cfg.streams {
+                    b.arc_out(t, ready[s][next_unit], 1).expect("fresh ids");
+                }
+            } else {
+                b.arc_out(t, done, 1).expect("fresh ids");
+            }
+        }
+
+        let mut timed = TimedNet::new(b.build());
+        for (t, d) in durations {
+            timed.set_duration(t, d);
+        }
+        Self {
+            cfg,
+            timed,
+            ready,
+            arrived,
+            sync_wait,
+            play,
+            running,
+            begin,
+            done,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EtpnConfig {
+        &self.cfg
+    }
+
+    /// The underlying timed net (for structural analysis).
+    pub fn timed_net(&self) -> &TimedNet {
+        &self.timed
+    }
+
+    /// Play transition for `(stream, unit)` (for analysis assertions).
+    pub fn play_transition(&self, stream: usize, unit: usize) -> TransitionId {
+        self.play[stream][unit]
+    }
+
+    /// Initial marking: begin token armed, all streams running.
+    pub fn initial_marking(&self) -> Marking {
+        let mut m = Marking::new(self.timed.net().place_count());
+        m.set(self.begin, 1);
+        m.set(self.running, self.cfg.streams as u64);
+        m
+    }
+
+    /// Place receiving arrival tokens for `(stream, unit)`.
+    pub fn arrival_place(&self, stream: usize, unit: usize) -> PlaceId {
+        self.arrived[stream][unit]
+    }
+
+    /// How many consecutive units starting at `from` have arrived on every
+    /// stream (receiver-buffer depth, the flow-control feedback signal).
+    pub fn buffered_units(&self, marking: &Marking, from: usize) -> usize {
+        let mut n = 0;
+        for k in from..self.cfg.units {
+            if (0..self.cfg.streams).all(|s| marking.tokens(self.arrived[s][k]) > 0) {
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        n
+    }
+
+    /// Runs the replay: `arrivals` are `(time, stream, unit)` network
+    /// deliveries; `interactions` are `(time, interaction)` user events.
+    pub fn run(
+        &self,
+        arrivals: &[(u64, usize, usize)],
+        interactions: &[(u64, Interaction)],
+    ) -> EtpnReport {
+        #[derive(Debug)]
+        enum Ev {
+            Arrive(usize, usize),
+            Interact(Interaction),
+        }
+        let mut events: Vec<(u64, usize, Ev)> = Vec::new();
+        for (i, &(t, s, k)) in arrivals.iter().enumerate() {
+            events.push((t, i, Ev::Arrive(s, k)));
+        }
+        for (i, &(t, x)) in interactions.iter().enumerate() {
+            events.push((t, arrivals.len() + i, Ev::Interact(x)));
+        }
+        events.sort_by_key(|(t, i, _)| (*t, *i));
+
+        let mut exec = TimedExecutor::new(&self.timed, self.initial_marking());
+        let mut ev_idx = 0usize;
+        let mut pause_pending: u64 = 0;
+        let mut withdrawn: u64 = 0;
+        let mut paused_since: Option<u64> = None;
+        let mut paused_ticks = 0u64;
+
+        loop {
+            while ev_idx < events.len() && events[ev_idx].0 <= exec.now() {
+                let (t, _, ev) = &events[ev_idx];
+                let t = *t;
+                match ev {
+                    Ev::Arrive(s, k) => {
+                        if *s < self.cfg.streams && *k < self.cfg.units {
+                            exec.inject(self.arrived[*s][*k], 1);
+                        }
+                    }
+                    Ev::Interact(Interaction::Pause) => {
+                        if paused_since.is_none() {
+                            pause_pending = self.cfg.streams as u64 - withdrawn;
+                            paused_since = Some(t);
+                        }
+                    }
+                    Ev::Interact(Interaction::Resume) => {
+                        if let Some(since) = paused_since.take() {
+                            paused_ticks += exec.now().max(since) - since;
+                            exec.inject(self.running, withdrawn);
+                            withdrawn = 0;
+                            pause_pending = 0;
+                        }
+                    }
+                    Ev::Interact(Interaction::Skip { unit }) => {
+                        self.apply_skip(&mut exec, *unit);
+                    }
+                }
+                ev_idx += 1;
+            }
+            if pause_pending > 0 {
+                let got = exec.withdraw(self.running, pause_pending);
+                pause_pending -= got;
+                withdrawn += got;
+            }
+            exec.start_enabled();
+            let next_completion = exec.next_completion();
+            let next_event = events.get(ev_idx).map(|(t, _, _)| *t);
+            match (next_completion, next_event) {
+                (Some(c), Some(e)) if c <= e => {
+                    exec.advance();
+                }
+                (_, Some(e)) => {
+                    exec.advance_clock_to(e);
+                }
+                (Some(_), None) => {
+                    exec.advance();
+                }
+                (None, None) => break,
+            }
+        }
+        if let Some(since) = paused_since {
+            paused_ticks += exec.now().max(since) - since;
+        }
+        self.report(&exec, paused_ticks)
+    }
+
+    fn apply_skip(&self, exec: &mut TimedExecutor<'_>, target: usize) {
+        let target = target.min(self.cfg.units - 1);
+        // Relocate each stream's chain token to the target unit, wherever
+        // it currently rests (a ready place or a sync-wait place).
+        for s in 0..self.cfg.streams {
+            let mut found = 0u64;
+            for k in 0..self.cfg.units {
+                found = exec.withdraw(self.ready[s][k], 1);
+                if found > 0 {
+                    break;
+                }
+            }
+            if found == 0 {
+                for j in 0..self.sync_wait[s].len() {
+                    found = exec.withdraw(self.sync_wait[s][j], 1);
+                    if found > 0 {
+                        break;
+                    }
+                }
+            }
+            if found > 0 {
+                exec.inject(self.ready[s][target], 1);
+            }
+        }
+        // Without prefetch, playout consumed past arrival tokens; re-arm
+        // them so a backward skip can replay cached data.
+        if !self.cfg.block_prefetch {
+            for s in 0..self.cfg.streams {
+                for k in target..self.cfg.units {
+                    if exec.marking().tokens(self.arrived[s][k]) == 0 {
+                        // Only re-arm what was already consumed once; the
+                        // session layer owns true cache policy. Re-arming
+                        // everything is safe because plays consume one
+                        // token per unit exactly once per visit.
+                        exec.inject(self.arrived[s][k], 1);
+                    }
+                }
+            }
+        }
+    }
+
+    fn report(&self, exec: &TimedExecutor<'_>, paused_ticks: u64) -> EtpnReport {
+        let mut unit_starts = vec![vec![None; self.cfg.units]; self.cfg.streams];
+        for ev in exec.log() {
+            if ev.kind != TimedEventKind::Started {
+                continue;
+            }
+            for s in 0..self.cfg.streams {
+                if let Some(k) = self.play[s].iter().position(|t| *t == ev.transition) {
+                    if unit_starts[s][k].is_none() {
+                        unit_starts[s][k] = Some(ev.time);
+                    }
+                }
+            }
+        }
+        let mut skews = Vec::new();
+        let mut rendered = 0usize;
+        for k in 0..self.cfg.units {
+            let starts: Vec<u64> = (0..self.cfg.streams)
+                .filter_map(|s| unit_starts[s][k])
+                .collect();
+            if starts.len() == self.cfg.streams {
+                rendered += 1;
+                let max = *starts.iter().max().expect("non-empty");
+                let min = *starts.iter().min().expect("non-empty");
+                skews.push(max - min);
+            }
+        }
+        let max_skew = skews.iter().copied().max().unwrap_or(0);
+        let mean_skew = if skews.is_empty() {
+            0.0
+        } else {
+            skews.iter().sum::<u64>() as f64 / skews.len() as f64
+        };
+        EtpnReport {
+            unit_starts,
+            finish_time: exec.now(),
+            ideal_finish: self.cfg.ideal_duration(),
+            max_skew,
+            mean_skew,
+            paused_ticks,
+            units_rendered: rendered,
+        }
+    }
+
+    /// Whether the final `done` place is marked in `marking`.
+    pub fn is_done(&self, marking: &Marking) -> bool {
+        marking.tokens(self.done) > 0
+    }
+}
+
+/// Arrivals where every unit of every stream is available at time zero
+/// (local playback).
+pub fn instant_arrivals(cfg: &EtpnConfig) -> Vec<(u64, usize, usize)> {
+    let mut v = Vec::new();
+    for s in 0..cfg.streams {
+        for k in 0..cfg.units {
+            v.push((0, s, k));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lod_petri::analysis::{ExploreLimits, ReachabilityGraph};
+    use lod_petri::invariants::{is_p_invariant, p_invariants};
+
+    fn cfg(units: usize, streams: usize, sync_every: usize, prefetch: bool) -> EtpnConfig {
+        EtpnConfig {
+            unit_ticks: 100,
+            units,
+            streams,
+            sync_every,
+            block_prefetch: prefetch,
+        }
+    }
+
+    #[test]
+    fn local_playback_finishes_on_time_with_zero_skew() {
+        for prefetch in [true, false] {
+            let net = LectureNet::new(cfg(10, 2, 1, prefetch));
+            let r = net.run(&instant_arrivals(net.config()), &[]);
+            assert_eq!(r.finish_time, 1_000);
+            assert_eq!(r.max_skew, 0);
+            assert_eq!(r.units_rendered, 10);
+            assert_eq!(r.network_stall(), 0);
+        }
+    }
+
+    fn late_unit5_arrivals(cfg: &EtpnConfig) -> Vec<(u64, usize, usize)> {
+        let mut arrivals = instant_arrivals(cfg);
+        arrivals.retain(|&(_, s, k)| !(s == 1 && k == 5));
+        arrivals.push((2_000, 1, 5));
+        arrivals
+    }
+
+    #[test]
+    fn prefetch_turns_lateness_into_stall_not_skew() {
+        let net = LectureNet::new(cfg(10, 2, 1, true));
+        let r = net.run(&late_unit5_arrivals(net.config()), &[]);
+        assert_eq!(r.max_skew, 0, "prefetch joins keep streams aligned");
+        assert!(r.finish_time > 2_000);
+        assert!(r.network_stall() > 0);
+        assert_eq!(r.units_rendered, 10);
+    }
+
+    #[test]
+    fn no_prefetch_shows_skew_until_next_join() {
+        let net = LectureNet::new(cfg(10, 2, 1, false));
+        let r = net.run(&late_unit5_arrivals(net.config()), &[]);
+        // Stream 0 starts unit 5 at its join; stream 1 only at t=2000.
+        assert!(r.max_skew >= 1_000, "skew {}", r.max_skew);
+        assert_eq!(r.units_rendered, 10);
+    }
+
+    #[test]
+    fn finer_sync_starts_earlier_and_finishes_earlier_on_trickle() {
+        let trickle = |cfg: &EtpnConfig| {
+            let mut v = Vec::new();
+            for s in 0..cfg.streams {
+                for k in 0..cfg.units {
+                    v.push((k as u64 * 110, s, k)); // slower than real time
+                }
+            }
+            v
+        };
+        let fine_net = LectureNet::new(cfg(12, 2, 1, true));
+        let fine = fine_net.run(&trickle(fine_net.config()), &[]);
+        let coarse_net = LectureNet::new(cfg(12, 2, 4, true));
+        let coarse = coarse_net.run(&trickle(coarse_net.config()), &[]);
+        assert_eq!(fine.max_skew, 0);
+        assert_eq!(coarse.max_skew, 0);
+        // Fine sync starts as soon as unit 0 arrives; coarse waits for the
+        // whole first block.
+        assert!(fine.startup().unwrap() < coarse.startup().unwrap());
+        assert!(fine.finish_time <= coarse.finish_time);
+        assert_eq!(fine.units_rendered, 12);
+        assert_eq!(coarse.units_rendered, 12);
+    }
+
+    #[test]
+    fn pause_resume_extends_wall_time_only() {
+        let net = LectureNet::new(cfg(10, 2, 1, true));
+        let interactions = vec![(250, Interaction::Pause), (1_250, Interaction::Resume)];
+        let r = net.run(&instant_arrivals(net.config()), &interactions);
+        assert_eq!(r.units_rendered, 10, "no content lost across a pause");
+        assert!(r.paused_ticks >= 900, "paused {}", r.paused_ticks);
+        assert!(r.finish_time >= 1_900);
+        assert!(r.network_stall() <= 100);
+    }
+
+    #[test]
+    fn skip_forward_drops_middle_units() {
+        let net = LectureNet::new(cfg(10, 2, 1, true));
+        let interactions = vec![
+            (250, Interaction::Pause),
+            (400, Interaction::Skip { unit: 7 }),
+            (450, Interaction::Resume),
+        ];
+        let r = net.run(&instant_arrivals(net.config()), &interactions);
+        assert!(r.unit_starts[0][8].is_some());
+        assert!(r.unit_starts[0][5].is_none());
+        assert!(r.units_rendered < 10);
+        assert_eq!(r.max_skew, 0);
+    }
+
+    #[test]
+    fn skip_backward_replays_with_cached_data() {
+        for prefetch in [true, false] {
+            let net = LectureNet::new(cfg(8, 2, 1, prefetch));
+            let interactions = vec![
+                (450, Interaction::Pause),
+                (500, Interaction::Skip { unit: 1 }),
+                (550, Interaction::Resume),
+            ];
+            let r = net.run(&instant_arrivals(net.config()), &interactions);
+            // Everything from unit 1 replays; total rendered = all units.
+            assert_eq!(r.units_rendered, 8, "prefetch={prefetch}");
+        }
+    }
+
+    #[test]
+    fn net_is_bounded_and_quasi_live() {
+        let net = LectureNet::new(cfg(3, 2, 1, true));
+        let mut m = net.initial_marking();
+        for s in 0..2 {
+            for k in 0..3 {
+                m.add(net.arrival_place(s, k), 1);
+            }
+        }
+        let g = ReachabilityGraph::explore(net.timed_net().net(), &m, ExploreLimits::default())
+            .unwrap();
+        assert!(g.bound() <= 2);
+        assert!(!g.deadlocks().is_empty());
+        for s in 0..2 {
+            for k in 0..3 {
+                assert!(g.is_quasi_live(net.play_transition(s, k)));
+            }
+        }
+        let basis = p_invariants(net.timed_net().net());
+        assert!(basis
+            .iter()
+            .all(|y| is_p_invariant(net.timed_net().net(), y)));
+    }
+
+    #[test]
+    fn buffered_units_reports_prefix() {
+        let net = LectureNet::new(cfg(5, 2, 1, true));
+        let mut m = net.initial_marking();
+        for s in 0..2 {
+            m.add(net.arrival_place(s, 0), 1);
+            m.add(net.arrival_place(s, 1), 1);
+        }
+        m.add(net.arrival_place(0, 3), 1); // gap at 2
+        assert_eq!(net.buffered_units(&m, 0), 2);
+    }
+
+    #[test]
+    fn missing_arrival_blocks_the_chain() {
+        let net = LectureNet::new(cfg(5, 1, 1, true));
+        let arrivals: Vec<(u64, usize, usize)> = (0..5)
+            .filter(|&k| k != 3)
+            .map(|k| (0u64, 0usize, k))
+            .collect();
+        let r = net.run(&arrivals, &[]);
+        assert!(r.unit_starts[0][2].is_some());
+        assert!(r.unit_starts[0][3].is_none());
+        assert!(r.unit_starts[0][4].is_none());
+    }
+}

@@ -1,0 +1,307 @@
+//! Floor control with multiple users, as a prioritized Petri net.
+//!
+//! §1: "when considering … the floor control with multiple users,
+//! OCPN/XOCPN model are not sufficient", citing the Prioritized Petri Net
+//! of Guan, Yu & Yang (ref \[13\]). Here the floor is literally a token:
+//! each speak request becomes a *grant transition* competing for the floor
+//! place, with conflict resolution by transition priority (then FIFO).
+//! Holding the floor is the grant transition's firing duration, so mutual
+//! exclusion is a structural invariant of the net, not a lock in the code.
+
+use lod_petri::timed::TimedEventKind;
+use lod_petri::{Marking, NetBuilder, PlaceId, TimedExecutor, TimedNet, TransitionId};
+use serde::{Deserialize, Serialize};
+
+/// One request to take the floor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FloorRequest {
+    /// Requesting user.
+    pub user: usize,
+    /// Request time in ticks.
+    pub at: u64,
+    /// How long the user holds the floor once granted.
+    pub hold: u64,
+    /// Priority (higher wins conflicts; e.g. the teacher outranks
+    /// students).
+    pub priority: i32,
+}
+
+/// A granted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FloorGrant {
+    /// Index of the request in the input slice.
+    pub request: usize,
+    /// The user granted.
+    pub user: usize,
+    /// When the floor was granted.
+    pub granted_at: u64,
+    /// Ticks waited between request and grant.
+    pub wait: u64,
+}
+
+/// Outcome of a floor-control run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FloorReport {
+    /// Grants in grant order.
+    pub grants: Vec<FloorGrant>,
+}
+
+impl FloorReport {
+    /// Mean wait in ticks.
+    pub fn mean_wait(&self) -> f64 {
+        if self.grants.is_empty() {
+            return 0.0;
+        }
+        self.grants.iter().map(|g| g.wait as f64).sum::<f64>() / self.grants.len() as f64
+    }
+
+    /// Maximum wait in ticks.
+    pub fn max_wait(&self) -> u64 {
+        self.grants.iter().map(|g| g.wait).max().unwrap_or(0)
+    }
+
+    /// Jain's fairness index over per-grant waits (1.0 = perfectly fair).
+    /// Waits of zero are counted as one tick to keep the index defined.
+    pub fn jain_index(&self) -> f64 {
+        if self.grants.is_empty() {
+            return 1.0;
+        }
+        let xs: Vec<f64> = self.grants.iter().map(|g| (g.wait.max(1)) as f64).collect();
+        let sum: f64 = xs.iter().sum();
+        let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+        (sum * sum) / (xs.len() as f64 * sumsq)
+    }
+
+    /// Users in the order they obtained the floor.
+    pub fn grant_order(&self) -> Vec<usize> {
+        self.grants.iter().map(|g| g.user).collect()
+    }
+}
+
+/// The floor-control net for a fixed set of requests.
+#[derive(Debug)]
+pub struct FloorControl {
+    timed: TimedNet,
+    floor: PlaceId,
+    req_places: Vec<PlaceId>,
+    grant_transitions: Vec<TransitionId>,
+}
+
+impl FloorControl {
+    /// Builds the prioritized net for `requests`.
+    pub fn new(requests: &[FloorRequest]) -> Self {
+        let mut b = NetBuilder::new();
+        let floor = b.place("floor");
+        let mut req_places = Vec::new();
+        let mut grant_transitions = Vec::new();
+        let mut meta = Vec::new();
+        for (i, r) in requests.iter().enumerate() {
+            let req = b.place(format!("req[{i}]u{}", r.user));
+            let served = b.place(format!("served[{i}]"));
+            let grant = b.transition(format!("grant[{i}]u{}", r.user));
+            b.arc_in(req, grant, 1).expect("fresh ids");
+            b.arc_in(floor, grant, 1).expect("fresh ids");
+            b.arc_out(grant, floor, 1).expect("fresh ids");
+            b.arc_out(grant, served, 1).expect("fresh ids");
+            req_places.push(req);
+            grant_transitions.push(grant);
+            meta.push((grant, r.hold, r.priority));
+        }
+        let mut timed = TimedNet::new(b.build());
+        for (t, hold, priority) in meta {
+            timed.set_duration(t, hold);
+            timed.set_priority(t, priority);
+        }
+        Self {
+            timed,
+            floor,
+            req_places,
+            grant_transitions,
+        }
+    }
+
+    /// The underlying net (one floor token ⇒ structural mutual exclusion).
+    pub fn timed_net(&self) -> &TimedNet {
+        &self.timed
+    }
+
+    /// Runs the scenario and reports grants.
+    pub fn run(&self, requests: &[FloorRequest]) -> FloorReport {
+        let mut m = Marking::new(self.timed.net().place_count());
+        m.set(self.floor, 1);
+        let mut exec = TimedExecutor::new(&self.timed, m);
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| (requests[i].at, i));
+        let mut idx = 0;
+        loop {
+            while idx < order.len() && requests[order[idx]].at <= exec.now() {
+                exec.inject(self.req_places[order[idx]], 1);
+                idx += 1;
+            }
+            exec.start_enabled();
+            let next_event = order.get(idx).map(|&i| requests[i].at);
+            match (exec.next_completion(), next_event) {
+                (Some(c), Some(e)) if c <= e => {
+                    exec.advance();
+                }
+                (_, Some(e)) => exec.advance_clock_to(e),
+                (Some(_), None) => {
+                    exec.advance();
+                }
+                (None, None) => break,
+            }
+        }
+        let mut grants = Vec::new();
+        for ev in exec.log() {
+            if ev.kind != TimedEventKind::Started {
+                continue;
+            }
+            if let Some(i) = self
+                .grant_transitions
+                .iter()
+                .position(|t| *t == ev.transition)
+            {
+                grants.push(FloorGrant {
+                    request: i,
+                    user: requests[i].user,
+                    granted_at: ev.time,
+                    wait: ev.time - requests[i].at,
+                });
+            }
+        }
+        FloorReport { grants }
+    }
+}
+
+/// Convenience: build and run in one call.
+///
+/// # Example
+///
+/// ```
+/// use lod_core::floor::{run_floor, FloorRequest};
+///
+/// // Two students ask together; the teacher (priority 10) asks later but
+/// // speaks as soon as the current holder releases.
+/// let report = run_floor(&[
+///     FloorRequest { user: 1, at: 0, hold: 100, priority: 0 },
+///     FloorRequest { user: 2, at: 0, hold: 100, priority: 0 },
+///     FloorRequest { user: 0, at: 50, hold: 50, priority: 10 },
+/// ]);
+/// assert_eq!(report.grant_order(), [1, 0, 2]);
+/// ```
+pub fn run_floor(requests: &[FloorRequest]) -> FloorReport {
+    FloorControl::new(requests).run(requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lod_petri::invariants::{p_invariants, weighted_sum};
+
+    fn req(user: usize, at: u64, hold: u64, priority: i32) -> FloorRequest {
+        FloorRequest {
+            user,
+            at,
+            hold,
+            priority,
+        }
+    }
+
+    #[test]
+    fn uncontended_grant_is_immediate() {
+        let r = run_floor(&[req(0, 100, 50, 0)]);
+        assert_eq!(r.grants.len(), 1);
+        assert_eq!(r.grants[0].granted_at, 100);
+        assert_eq!(r.grants[0].wait, 0);
+    }
+
+    #[test]
+    fn floor_serializes_holders() {
+        let requests = vec![req(0, 0, 100, 0), req(1, 0, 100, 0), req(2, 0, 100, 0)];
+        let r = run_floor(&requests);
+        assert_eq!(r.grants.len(), 3);
+        let times: Vec<u64> = r.grants.iter().map(|g| g.granted_at).collect();
+        assert_eq!(times, [0, 100, 200]);
+    }
+
+    #[test]
+    fn higher_priority_wins_conflict() {
+        // Teacher (priority 10) and student (0) ask simultaneously.
+        let requests = vec![req(1, 0, 100, 0), req(0, 0, 100, 10)];
+        let r = run_floor(&requests);
+        assert_eq!(r.grant_order(), [0, 1]);
+    }
+
+    #[test]
+    fn priority_is_non_preemptive() {
+        // Student holds the floor; the teacher asks mid-hold and must wait
+        // for release (real floor control does not yank the microphone).
+        let requests = vec![req(1, 0, 1_000, 0), req(0, 100, 50, 10)];
+        let r = run_floor(&requests);
+        assert_eq!(r.grants[1].user, 0);
+        assert_eq!(r.grants[1].granted_at, 1_000);
+        assert_eq!(r.grants[1].wait, 900);
+    }
+
+    #[test]
+    fn priority_queue_jumping() {
+        // Three students queued; teacher arrives later but jumps the queue
+        // (not the current holder).
+        let requests = vec![
+            req(1, 0, 100, 0),
+            req(2, 10, 100, 0),
+            req(3, 20, 100, 0),
+            req(0, 50, 100, 10), // teacher
+        ];
+        let r = run_floor(&requests);
+        assert_eq!(r.grant_order(), [1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_among_equal_priorities() {
+        let requests = vec![req(5, 30, 10, 0), req(6, 10, 10, 0), req(7, 20, 10, 0)];
+        let r = run_floor(&requests);
+        assert_eq!(r.grant_order(), [6, 7, 5]);
+    }
+
+    #[test]
+    fn fairness_metrics() {
+        let requests = vec![req(0, 0, 100, 0), req(1, 0, 100, 0)];
+        let r = run_floor(&requests);
+        assert_eq!(r.max_wait(), 100);
+        assert!((r.mean_wait() - 50.0).abs() < 1e-9);
+        let j = r.jain_index();
+        assert!(j > 0.0 && j <= 1.0);
+    }
+
+    #[test]
+    fn floor_token_is_conserved() {
+        let requests = vec![req(0, 0, 10, 0), req(1, 5, 10, 0)];
+        let fc = FloorControl::new(&requests);
+        // Some P-invariant must cover the floor place with weight > 0:
+        // mutual exclusion is structural.
+        let net = fc.timed_net().net();
+        let basis = p_invariants(net);
+        let floor_idx = fc.floor.index();
+        assert!(
+            basis.iter().any(|y| y[floor_idx] != 0),
+            "no invariant covers the floor place"
+        );
+        // And the weighted sum over an initial marking is conserved by
+        // construction (checked in the petri crate's property tests; here
+        // we sanity-check the helper wiring).
+        let mut m = Marking::new(net.place_count());
+        m.set(fc.floor, 1);
+        for y in &basis {
+            let _ = weighted_sum(y, &m);
+        }
+    }
+
+    #[test]
+    fn overlapping_requests_from_same_user() {
+        let requests = vec![req(0, 0, 50, 0), req(0, 10, 50, 0)];
+        let r = run_floor(&requests);
+        assert_eq!(r.grants.len(), 2);
+        assert_eq!(r.grants[1].granted_at, 50);
+    }
+}

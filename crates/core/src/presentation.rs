@@ -1,0 +1,278 @@
+//! The lecture model and the synthetic lecture generator.
+//!
+//! The paper's motivating scenario: "suppose a well-known teacher is
+//! giving a lecture/presentation to his student … The main goal of our
+//! system is to provide a feasible method to record and represent a
+//! lecture/presentation in the air." No recordings exist here, so
+//! [`synthetic_lecture`] generates deterministic lectures with realistic
+//! shape: an outline (for the content tree), slides with change times, and
+//! presenter annotations.
+
+use lod_encoder::{Annotation, Slide, SlideDeck, VideoFileSpec};
+use lod_media::{TickDuration, Ticks};
+use serde::{Deserialize, Serialize};
+
+/// One entry of a lecture outline: a presentation segment at a content-tree
+/// level (§2.2's "teaching material … with some kinds of sequence fashion").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutlineEntry {
+    /// Segment name.
+    pub name: String,
+    /// Content-tree level (0 = the root summary).
+    pub level: usize,
+    /// Segment duration in seconds.
+    pub duration_secs: u64,
+}
+
+/// A complete lecture: the input to record/publish/serve/replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lecture {
+    /// Lecture title.
+    pub title: String,
+    /// The camera recording (as a video-file spec for the publisher).
+    pub video: VideoFileSpec,
+    /// The slide deck with change times.
+    pub deck: SlideDeck,
+    /// Presenter annotations.
+    pub annotations: Vec<Annotation>,
+    /// The outline for the Abstractor's content tree.
+    pub outline: Vec<OutlineEntry>,
+}
+
+impl Lecture {
+    /// Total duration.
+    pub fn duration(&self) -> TickDuration {
+        self.video.duration
+    }
+
+    /// Number of slides.
+    pub fn slide_count(&self) -> usize {
+        self.deck.slides.len()
+    }
+
+    /// The lecture's typed media inventory: the camera video, the audio
+    /// track (when present) and every slide image, as
+    /// [`lod_media::MediaObject`] descriptors (§2.2's "collection of text,
+    /// video, audio, image … etc.").
+    pub fn media_objects(&self) -> Vec<lod_media::MediaObject> {
+        use lod_media::{MediaId, MediaKind, MediaObject};
+        let mut id = 0u64;
+        let mut next = || {
+            id += 1;
+            MediaId(id)
+        };
+        let mut out = vec![MediaObject::new(
+            next(),
+            "camera",
+            MediaKind::Video,
+            self.video.duration,
+            self.video.video_bitrate / 8 * self.video.duration.0 / lod_media::TICKS_PER_SECOND,
+            self.video.path.clone(),
+        )];
+        if self.video.audio_bitrate > 0 {
+            out.push(MediaObject::new(
+                next(),
+                "microphone",
+                MediaKind::Audio,
+                self.video.duration,
+                self.video.audio_bitrate / 8 * self.video.duration.0 / lod_media::TICKS_PER_SECOND,
+                format!("{} (audio)", self.video.path),
+            ));
+        }
+        for (i, s) in self.deck.slides.iter().enumerate() {
+            // A slide displays until the next one (or the end).
+            let until = self
+                .deck
+                .slides
+                .get(i + 1)
+                .map(|n| n.show_at)
+                .unwrap_or(lod_media::Ticks(self.video.duration.0));
+            out.push(MediaObject::new(
+                next(),
+                s.file.clone(),
+                MediaKind::Slide,
+                until.since(s.show_at),
+                s.bytes,
+                self.deck.uri(s),
+            ));
+        }
+        out
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Generates a deterministic synthetic lecture.
+///
+/// `minutes` of video at `video_bitrate`, with roughly one slide per
+/// 45–90 s (seeded), annotations on ~every third slide, and a three-level
+/// outline (overview → sections → detail) whose total duration matches the
+/// video.
+pub fn synthetic_lecture(seed: u64, minutes: u64, video_bitrate: u64) -> Lecture {
+    let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let duration = TickDuration::from_secs(minutes * 60);
+    let total_secs = minutes * 60;
+
+    // Slides: change every 45–90 s.
+    let mut slides = Vec::new();
+    let mut t = 0u64;
+    let mut i = 0usize;
+    while t < total_secs {
+        slides.push(Slide {
+            file: format!("slide_{i:02}.png"),
+            bytes: 20_000 + xorshift(&mut rng) % 60_000,
+            show_at: Ticks::from_secs(t),
+        });
+        t += 45 + xorshift(&mut rng) % 46;
+        i += 1;
+    }
+    let deck = SlideDeck {
+        dir: format!("lectures/{seed}/slides"),
+        slides,
+    };
+
+    // Annotations on roughly every third slide, a few seconds in.
+    let annotations: Vec<Annotation> = deck
+        .slides
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 3 == 1)
+        .map(|(i, s)| Annotation {
+            at: s.show_at + TickDuration::from_secs(5 + (i as u64 % 7)),
+            text: format!("see equation {i}"),
+        })
+        .collect();
+
+    // Outline: one overview segment, 3–5 sections, each with 1–3 details.
+    // Durations partition the lecture so the content tree's full level
+    // equals the video duration.
+    let sections = 3 + (xorshift(&mut rng) % 3) as usize;
+    let overview_secs = total_secs / 10;
+    let mut outline = vec![OutlineEntry {
+        name: "overview".into(),
+        level: 0,
+        duration_secs: overview_secs,
+    }];
+    let mut remaining = total_secs - overview_secs;
+    for s in 0..sections {
+        let is_last = s + 1 == sections;
+        let body = if is_last {
+            remaining
+        } else {
+            let share = remaining / (sections - s) as u64;
+            share.max(1)
+        };
+        remaining -= body;
+        let details = 1 + (xorshift(&mut rng) % 3) as usize;
+        // A section keeps ~40% at level 1 and pushes the rest to level 2.
+        let l1 = body * 2 / 5;
+        outline.push(OutlineEntry {
+            name: format!("section-{s}"),
+            level: 1,
+            duration_secs: l1,
+        });
+        let mut detail_left = body - l1;
+        for d in 0..details {
+            let is_last_d = d + 1 == details;
+            let dd = if is_last_d {
+                detail_left
+            } else {
+                (detail_left / (details - d) as u64).max(1)
+            };
+            detail_left -= dd;
+            outline.push(OutlineEntry {
+                name: format!("section-{s}-detail-{d}"),
+                level: 2,
+                duration_secs: dd,
+            });
+        }
+    }
+
+    Lecture {
+        title: format!("synthetic lecture #{seed}"),
+        video: VideoFileSpec {
+            path: format!("lectures/{seed}/camera.m4v"),
+            duration,
+            video_bitrate,
+            audio_bitrate: 32_000,
+        },
+        deck,
+        annotations,
+        outline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(
+            synthetic_lecture(7, 10, 300_000),
+            synthetic_lecture(7, 10, 300_000)
+        );
+        assert_ne!(
+            synthetic_lecture(7, 10, 300_000),
+            synthetic_lecture(8, 10, 300_000)
+        );
+    }
+
+    #[test]
+    fn slides_cover_the_lecture() {
+        let l = synthetic_lecture(3, 30, 300_000);
+        assert!(l.slide_count() >= 30 * 60 / 90);
+        assert!(l.slide_count() <= 30 * 60 / 45 + 1);
+        // Change times strictly increase and stay inside the video.
+        let times: Vec<u64> = l.deck.slides.iter().map(|s| s.show_at.0).collect();
+        for w in times.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*times.last().unwrap() < l.duration().0);
+    }
+
+    #[test]
+    fn outline_partitions_duration() {
+        let l = synthetic_lecture(11, 45, 300_000);
+        let total: u64 = l.outline.iter().map(|e| e.duration_secs).sum();
+        assert_eq!(total, 45 * 60);
+        // Levels only 0..=2 and the first entry is the root.
+        assert!(l.outline.iter().all(|e| e.level <= 2));
+        assert_eq!(l.outline[0].level, 0);
+    }
+
+    #[test]
+    fn media_objects_inventory_is_complete() {
+        use lod_media::MediaKind;
+        let l = synthetic_lecture(4, 10, 300_000);
+        let objs = l.media_objects();
+        // video + audio + one object per slide.
+        assert_eq!(objs.len(), 2 + l.slide_count());
+        assert_eq!(objs[0].kind(), MediaKind::Video);
+        assert_eq!(objs[0].duration(), l.duration());
+        assert_eq!(objs[1].kind(), MediaKind::Audio);
+        // Slide display spans tile the lecture (first starts at 0).
+        let slide_total: u64 = objs[2..].iter().map(|o| o.duration().0).sum();
+        assert_eq!(slide_total, l.duration().0);
+        // Video bitrate reconstructs from raw bytes and duration.
+        let rate = objs[0].raw_bitrate();
+        assert!(
+            (rate as i64 - 300_000).unsigned_abs() < 2_000,
+            "rate {rate}"
+        );
+    }
+
+    #[test]
+    fn annotations_attached_to_slides() {
+        let l = synthetic_lecture(5, 20, 300_000);
+        assert!(!l.annotations.is_empty());
+        for a in &l.annotations {
+            assert!(a.at.0 < l.duration().0 + 120 * lod_media::TICKS_PER_SECOND);
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! End-to-end WMPS sessions: record → publish → serve → replay.
+//!
+//! This is the system of Figs. 5–7 wired together: the publisher turns a
+//! lecture into an ASF file; the streaming server serves it to student
+//! clients over the simulated network; a live classroom runs the encoder
+//! in real time and relays to everyone watching.
+
+use lod_asf::{AsfError, AsfFile};
+use lod_encoder::{BandwidthProfile, BroadcastConfig, LiveEncoder, Publisher};
+use lod_media::Ticks;
+use lod_player::SkewStats;
+use lod_simnet::{LinkSpec, Network};
+use lod_streaming::{
+    run_to_completion, ClientMetrics, LiveFeed, StreamHeader, StreamingClient, StreamingServer,
+    Wire,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::presentation::Lecture;
+
+/// Quality outcome of one served replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WmpsReport {
+    /// Per-client streaming metrics.
+    pub clients: Vec<ClientMetrics>,
+    /// Per-client skew of rendered items against each client's own playout
+    /// anchor (how well the presentation held together).
+    pub skew: Vec<SkewStats>,
+    /// Spread of each slide flip across clients: for every script command
+    /// rendered by at least two clients, the wall-time gap between the
+    /// first and last client to show it — the "distributed platforms"
+    /// synchronization the paper's ETPN is about.
+    pub classroom_spread: SkewStats,
+    /// Wall ticks the whole session took.
+    pub session_ticks: u64,
+}
+
+impl WmpsReport {
+    /// Worst rebuffer ratio across clients for a playback of
+    /// `playback_ticks`.
+    pub fn worst_rebuffer(&self, playback_ticks: u64) -> f64 {
+        self.clients
+            .iter()
+            .map(|c| c.rebuffer_ratio(playback_ticks))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Spread of each script firing across clients (see
+/// [`WmpsReport::classroom_spread`]).
+fn classroom_spread(events: &[lod_streaming::RenderEvent]) -> SkewStats {
+    use std::collections::HashMap;
+    let mut groups: HashMap<(u64, &str), Vec<u64>> = HashMap::new();
+    for e in events {
+        if let Some(cmd) = &e.script {
+            groups
+                .entry((e.pres_time, cmd.param.as_str()))
+                .or_default()
+                .push(e.wall_time);
+        }
+    }
+    let spreads: Vec<u64> = groups
+        .values()
+        .filter(|walls| walls.len() >= 2)
+        .map(|walls| walls.iter().max().unwrap() - walls.iter().min().unwrap())
+        .collect();
+    SkewStats::from_skews(spreads)
+}
+
+/// The top-level system facade.
+#[derive(Debug, Clone)]
+pub struct Wmps {
+    packet_size: u32,
+    preroll: lod_media::TickDuration,
+}
+
+impl Wmps {
+    /// A system with the default 1400-byte packets and 2 s client preroll.
+    pub fn new() -> Self {
+        Self {
+            packet_size: 1_400,
+            preroll: lod_media::TickDuration::from_secs(2),
+        }
+    }
+
+    /// Overrides the packet size.
+    pub fn with_packet_size(mut self, packet_size: u32) -> Self {
+        self.packet_size = packet_size;
+        self
+    }
+
+    /// Overrides the client preroll recorded in published files.
+    pub fn with_preroll(mut self, preroll: lod_media::TickDuration) -> Self {
+        self.preroll = preroll;
+        self
+    }
+
+    /// Fig. 5: publish a recorded lecture into one synchronized ASF file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates packetization errors for absurd packet sizes.
+    pub fn publish(&self, lecture: &Lecture) -> Result<AsfFile, AsfError> {
+        let mut publisher = Publisher::new(self.packet_size);
+        publisher.preroll(self.preroll);
+        publisher.publish(&lecture.video, &lecture.deck, &lecture.annotations)
+    }
+
+    /// Serves `file` to `n_clients` over `link` and replays to completion.
+    pub fn serve_and_replay(
+        &self,
+        file: AsfFile,
+        link: LinkSpec,
+        n_clients: usize,
+        seed: u64,
+    ) -> WmpsReport {
+        self.serve_with_topology(file, n_clients, seed, |net, s, clients| {
+            for &c in clients {
+                net.connect_bidirectional(s, c, link);
+            }
+        })
+    }
+
+    /// Serves `file` to `n_clients` sitting behind one shared `uplink`
+    /// (server → campus router) with per-student `access` links — the
+    /// topology a real lecture server faces.
+    pub fn serve_shared_uplink(
+        &self,
+        file: AsfFile,
+        uplink: LinkSpec,
+        access: LinkSpec,
+        n_clients: usize,
+        seed: u64,
+    ) -> WmpsReport {
+        self.serve_with_topology(file, n_clients, seed, |net, s, clients| {
+            let router = net.add_node("router");
+            net.connect(s, router, uplink);
+            net.connect(router, s, uplink);
+            for &c in clients {
+                net.connect(router, c, access);
+                net.connect(c, router, access);
+                net.set_next_hop(s, c, router);
+                net.set_next_hop(c, s, router);
+            }
+        })
+    }
+
+    fn serve_with_topology(
+        &self,
+        file: AsfFile,
+        n_clients: usize,
+        seed: u64,
+        wire_up: impl FnOnce(&mut Network<Wire>, lod_simnet::NodeId, &[lod_simnet::NodeId]),
+    ) -> WmpsReport {
+        let play_duration = file.props.play_duration;
+        let mut net: Network<Wire> = Network::new(seed);
+        let s = net.add_node("server");
+        let mut server = StreamingServer::new(s);
+        server.publish("lecture", file);
+        let nodes: Vec<lod_simnet::NodeId> = (0..n_clients)
+            .map(|i| net.add_node(format!("student{i}")))
+            .collect();
+        wire_up(&mut net, s, &nodes);
+        let mut clients: Vec<StreamingClient> = nodes
+            .into_iter()
+            .map(|c| StreamingClient::new(c, s, "lecture"))
+            .collect();
+        let mut refs: Vec<&mut StreamingClient> = clients.iter_mut().collect();
+        let horizon = play_duration * 20 + 600_000_000_000;
+        let events = run_to_completion(&mut net, &mut server, &mut refs, horizon);
+        let session_ticks = events.iter().map(|e| e.wall_time).max().unwrap_or(0);
+
+        // Per-client skew: anchor each client at its first rendered item.
+        let skew = clients
+            .iter()
+            .map(|c| {
+                let mine: Vec<_> = events.iter().filter(|e| e.client == c.node()).collect();
+                let anchor = mine
+                    .iter()
+                    .map(|e| e.wall_time.saturating_sub(e.pres_time))
+                    .min()
+                    .unwrap_or(0);
+                SkewStats::from_skews(
+                    mine.iter()
+                        .map(|e| e.wall_time.abs_diff(anchor + e.pres_time))
+                        .collect(),
+                )
+            })
+            .collect();
+        WmpsReport {
+            clients: clients.iter().map(|c| *c.metrics()).collect(),
+            skew,
+            classroom_spread: classroom_spread(&events),
+            session_ticks,
+        }
+    }
+
+    /// The live classroom: a teacher encodes `secs` seconds of lecture in
+    /// real time; `n_clients` students watch the broadcast.
+    pub fn live_classroom(
+        &self,
+        profile: BandwidthProfile,
+        secs: u64,
+        n_clients: usize,
+        link: LinkSpec,
+        seed: u64,
+    ) -> WmpsReport {
+        self.live_classroom_with_slides(profile, secs, n_clients, link, seed, &[])
+    }
+
+    /// The live classroom where the teacher also flips slides mid-
+    /// broadcast: `slides` are `(presentation time, slide uri)` pairs
+    /// pushed into the live stream as script commands at their times
+    /// ("Script commands can be added to live streams", §2.1).
+    pub fn live_classroom_with_slides(
+        &self,
+        profile: BandwidthProfile,
+        secs: u64,
+        n_clients: usize,
+        link: LinkSpec,
+        seed: u64,
+        slides: &[(u64, String)],
+    ) -> WmpsReport {
+        let commands: Vec<lod_asf::ScriptCommand> = slides
+            .iter()
+            .map(|(t, uri)| lod_asf::ScriptCommand::new(*t, "slide", uri.clone()))
+            .collect();
+        self.live_classroom_with_script(profile, secs, n_clients, link, seed, &commands)
+    }
+
+    /// The live classroom with an arbitrary script-command schedule pushed
+    /// into the live stream at each command's time.
+    pub fn live_classroom_with_script(
+        &self,
+        profile: BandwidthProfile,
+        secs: u64,
+        n_clients: usize,
+        link: LinkSpec,
+        seed: u64,
+        commands: &[lod_asf::ScriptCommand],
+    ) -> WmpsReport {
+        let mut encoder = LiveEncoder::new(
+            BroadcastConfig::new("http://wmps.example/live"),
+            profile,
+            self.packet_size,
+        );
+        let header = StreamHeader {
+            props: encoder.file_properties(),
+            streams: encoder.stream_properties(),
+            script: encoder.script(),
+            drm: None,
+        };
+        let mut net: Network<Wire> = Network::new(seed);
+        let s = net.add_node("server");
+        let mut server = StreamingServer::new(s);
+        server.publish_live("live", LiveFeed::new(header));
+        let mut clients: Vec<StreamingClient> = (0..n_clients)
+            .map(|i| {
+                let c = net.add_node(format!("student{i}"));
+                net.connect_bidirectional(s, c, link);
+                StreamingClient::new(c, s, "live")
+            })
+            .collect();
+        for c in clients.iter_mut() {
+            c.start(&mut net);
+        }
+
+        const STEP: u64 = 1_000_000; // 100 ms
+        let live_end = secs * 10_000_000;
+        let horizon = live_end * 4 + 600_000_000_000;
+        let mut now = 0u64;
+        let mut events = Vec::new();
+        let mut ended = false;
+        let mut commands_sorted: Vec<lod_asf::ScriptCommand> = commands.to_vec();
+        commands_sorted.sort_by_key(|c| c.time);
+        let mut next_cmd = 0usize;
+        while now <= horizon {
+            if now <= live_end {
+                for p in encoder.pump(Ticks(now)) {
+                    server.live_feed("live").expect("feed published").push(p);
+                }
+                while next_cmd < commands_sorted.len() && commands_sorted[next_cmd].time <= now {
+                    server
+                        .live_feed("live")
+                        .expect("feed published")
+                        .push_script(commands_sorted[next_cmd].clone());
+                    next_cmd += 1;
+                }
+            } else if !ended {
+                server.live_feed("live").expect("feed published").end();
+                ended = true;
+            }
+            server.poll(&mut net, now);
+            for d in net.advance_to(now) {
+                if d.dst == server.node() {
+                    server.on_message(&mut net, d.time, d.src, d.message);
+                } else if let Some(c) = clients.iter_mut().find(|c| c.node() == d.dst) {
+                    c.on_message(d.time, d.message);
+                }
+            }
+            for c in clients.iter_mut() {
+                events.extend(c.tick(now));
+            }
+            if ended && clients.iter().all(|c| c.is_done()) {
+                break;
+            }
+            now += STEP;
+        }
+        let skew = clients
+            .iter()
+            .map(|c| {
+                let mine: Vec<_> = events.iter().filter(|e| e.client == c.node()).collect();
+                let anchor = mine
+                    .iter()
+                    .map(|e| e.wall_time.saturating_sub(e.pres_time))
+                    .min()
+                    .unwrap_or(0);
+                SkewStats::from_skews(
+                    mine.iter()
+                        .map(|e| e.wall_time.abs_diff(anchor + e.pres_time))
+                        .collect(),
+                )
+            })
+            .collect();
+        WmpsReport {
+            clients: clients.iter().map(|c| *c.metrics()).collect(),
+            skew,
+            classroom_spread: classroom_spread(&events),
+            session_ticks: now,
+        }
+    }
+}
+
+/// A student question for the floor-controlled Q&A.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Question {
+    /// Asking user (0 = the teacher, who outranks everyone).
+    pub user: usize,
+    /// When the hand goes up, in ticks.
+    pub at: u64,
+    /// How long the speaker holds the floor.
+    pub hold: u64,
+    /// The question text.
+    pub text: String,
+}
+
+/// Outcome of a Q&A classroom: the streaming report plus the floor log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QnaReport {
+    /// The streaming session outcome.
+    pub session: WmpsReport,
+    /// The floor-control outcome (who spoke when).
+    pub floor: crate::floor::FloorReport,
+    /// Questions actually relayed to the class, in speak order.
+    pub spoken: Vec<String>,
+}
+
+impl Wmps {
+    /// A live classroom with floor-controlled Q&A: raised hands contend
+    /// for the floor (teacher priority 10, students 0); each speaker's
+    /// question is relayed to every listener as an annotation script
+    /// command at the moment the floor is granted. This is §1's "floor
+    /// control with multiple users" running inside the real streaming
+    /// session.
+    pub fn classroom_qna(
+        &self,
+        profile: BandwidthProfile,
+        secs: u64,
+        n_clients: usize,
+        link: LinkSpec,
+        seed: u64,
+        questions: &[Question],
+    ) -> QnaReport {
+        use crate::floor::{run_floor, FloorRequest};
+        let requests: Vec<FloorRequest> = questions
+            .iter()
+            .map(|q| FloorRequest {
+                user: q.user,
+                at: q.at,
+                hold: q.hold,
+                priority: if q.user == 0 { 10 } else { 0 },
+            })
+            .collect();
+        let floor = run_floor(&requests);
+        let commands: Vec<lod_asf::ScriptCommand> = floor
+            .grants
+            .iter()
+            .map(|g| {
+                let q = &questions[g.request];
+                lod_asf::ScriptCommand::new(
+                    g.granted_at,
+                    "annotation",
+                    format!("user {}: {}", q.user, q.text),
+                )
+            })
+            .collect();
+        let session =
+            self.live_classroom_with_script(profile, secs, n_clients, link, seed, &commands);
+        let spoken = commands.iter().map(|c| c.param.clone()).collect();
+        QnaReport {
+            session,
+            floor,
+            spoken,
+        }
+    }
+}
+
+impl Default for Wmps {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presentation::synthetic_lecture;
+
+    #[test]
+    fn publish_then_serve_on_lan() {
+        let lecture = synthetic_lecture(1, 1, 300_000); // 1 minute
+        let wmps = Wmps::new();
+        let file = wmps.publish(&lecture).unwrap();
+        assert!(!file.packets.is_empty());
+        assert!(!file.script.is_empty());
+        let report = wmps.serve_and_replay(file, LinkSpec::lan(), 2, 3);
+        assert_eq!(report.clients.len(), 2);
+        for (i, m) in report.clients.iter().enumerate() {
+            assert!(m.samples_rendered > 0, "client {i}: {m:?}");
+            assert_eq!(m.stalls, 0, "client {i} stalled: {m:?}");
+        }
+        // Playout holds together within the 100 ms driver cadence plus
+        // preroll jitter.
+        for s in &report.skew {
+            assert!(s.p95 <= 5_000_000, "p95 skew {}", s.p95);
+        }
+    }
+
+    #[test]
+    fn modem_link_degrades_quality() {
+        let lecture = synthetic_lecture(2, 1, 300_000);
+        let wmps = Wmps::new();
+        let file = wmps.publish(&lecture).unwrap();
+        let lan = wmps.serve_and_replay(file.clone(), LinkSpec::lan(), 1, 5);
+        let modem = wmps.serve_and_replay(file, LinkSpec::modem(), 1, 5);
+        let lan_m = &lan.clients[0];
+        let modem_m = &modem.clients[0];
+        assert!(
+            modem_m.stalls > lan_m.stalls || modem_m.startup_ticks > lan_m.startup_ticks,
+            "modem should be visibly worse: lan {lan_m:?} modem {modem_m:?}"
+        );
+    }
+
+    #[test]
+    fn qna_relays_questions_in_floor_order() {
+        let second = 10_000_000u64;
+        let questions = vec![
+            Question {
+                user: 1,
+                at: 0,
+                hold: 2 * second,
+                text: "what is a marking?".into(),
+            },
+            Question {
+                user: 2,
+                at: second / 2,
+                hold: 2 * second,
+                text: "and a token?".into(),
+            },
+            // Teacher interjects: jumps the queue (not the current holder).
+            Question {
+                user: 0,
+                at: second,
+                hold: second,
+                text: "good question".into(),
+            },
+        ];
+        let report = Wmps::new().classroom_qna(
+            BandwidthProfile::by_name("dual ISDN (128k)").unwrap(),
+            12,
+            3,
+            LinkSpec::lan(),
+            8,
+            &questions,
+        );
+        // Floor order: user 1 (first), teacher (priority), user 2.
+        assert_eq!(report.floor.grant_order(), [1, 0, 2]);
+        assert_eq!(report.spoken.len(), 3);
+        assert!(report.spoken[1].starts_with("user 0:"));
+        // Every student finished the session.
+        assert_eq!(report.session.clients.len(), 3);
+        for m in &report.session.clients {
+            assert!(m.samples_rendered > 0);
+        }
+        // All three annotations reached at least two clients together.
+        assert_eq!(report.session.classroom_spread.count, 3);
+    }
+
+    #[test]
+    fn live_classroom_reaches_students() {
+        let wmps = Wmps::new();
+        let report = wmps.live_classroom(
+            BandwidthProfile::by_name("dual ISDN (128k)").unwrap(),
+            5,
+            3,
+            LinkSpec::lan(),
+            9,
+        );
+        assert_eq!(report.clients.len(), 3);
+        for m in &report.clients {
+            assert!(m.samples_rendered > 0, "{m:?}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the ETPN and floor control.
+
+use lod_core::etpn::{EtpnConfig, Interaction, LectureNet};
+use lod_core::floor::{run_floor, FloorRequest};
+use proptest::prelude::*;
+
+fn arb_cfg() -> impl Strategy<Value = EtpnConfig> {
+    (1usize..12, 1usize..4, 1usize..5, any::<bool>()).prop_map(
+        |(units, streams, sync_every, prefetch)| EtpnConfig {
+            unit_ticks: 100,
+            units,
+            streams,
+            sync_every,
+            block_prefetch: prefetch,
+        },
+    )
+}
+
+proptest! {
+    /// If every unit eventually arrives, every unit eventually renders —
+    /// no arrival pattern can wedge the net.
+    #[test]
+    fn complete_arrivals_render_everything(
+        cfg in arb_cfg(),
+        delays in proptest::collection::vec(0u64..2_000, 0..48),
+    ) {
+        let net = LectureNet::new(cfg);
+        let mut arrivals = Vec::new();
+        let mut i = 0;
+        for s in 0..cfg.streams {
+            for k in 0..cfg.units {
+                let d = delays.get(i % delays.len().max(1)).copied().unwrap_or(0);
+                arrivals.push((d, s, k));
+                i += 1;
+            }
+        }
+        let r = net.run(&arrivals, &[]);
+        prop_assert_eq!(r.units_rendered, cfg.units);
+    }
+
+    /// With block prefetch and per-unit sync, inter-stream start skew is
+    /// exactly zero regardless of arrival order.
+    #[test]
+    fn prefetch_unit_sync_pins_skew_to_zero(
+        units in 1usize..10,
+        streams in 2usize..4,
+        delays in proptest::collection::vec(0u64..3_000, 1..40),
+    ) {
+        let cfg = EtpnConfig {
+            unit_ticks: 100,
+            units,
+            streams,
+            sync_every: 1,
+            block_prefetch: true,
+        };
+        let net = LectureNet::new(cfg);
+        let mut arrivals = Vec::new();
+        let mut i = 0;
+        for s in 0..streams {
+            for k in 0..units {
+                arrivals.push((delays[i % delays.len()], s, k));
+                i += 1;
+            }
+        }
+        let r = net.run(&arrivals, &[]);
+        prop_assert_eq!(r.max_skew, 0);
+        prop_assert_eq!(r.units_rendered, units);
+    }
+
+    /// A pause/resume pair never loses content and extends wall time by at
+    /// least (resume - pause) minus one unit of drain slack.
+    #[test]
+    fn pause_never_loses_units(
+        units in 2usize..10,
+        pause_at in 0u64..500,
+        pause_len in 100u64..2_000,
+    ) {
+        let cfg = EtpnConfig {
+            unit_ticks: 100,
+            units,
+            streams: 2,
+            sync_every: 1,
+            block_prefetch: true,
+        };
+        let net = LectureNet::new(cfg);
+        let mut arrivals = Vec::new();
+        for s in 0..2 {
+            for k in 0..units {
+                arrivals.push((0, s, k));
+            }
+        }
+        let interactions = vec![
+            (pause_at, Interaction::Pause),
+            (pause_at + pause_len, Interaction::Resume),
+        ];
+        let r = net.run(&arrivals, &interactions);
+        prop_assert_eq!(r.units_rendered, units);
+        prop_assert!(r.finish_time >= cfg.ideal_duration());
+    }
+
+    /// Floor control: every request is granted exactly once, grants never
+    /// overlap, and the floor is never granted before it was requested.
+    #[test]
+    fn floor_grants_are_exclusive_and_complete(
+        reqs in proptest::collection::vec(
+            (0u64..1_000, 1u64..300, 0i32..5, 0usize..6),
+            1..12,
+        ),
+    ) {
+        let requests: Vec<FloorRequest> = reqs
+            .iter()
+            .map(|&(at, hold, priority, user)| FloorRequest {
+                user,
+                at,
+                hold,
+                priority,
+            })
+            .collect();
+        let report = run_floor(&requests);
+        prop_assert_eq!(report.grants.len(), requests.len());
+        // Each request index appears exactly once.
+        let mut seen: Vec<usize> = report.grants.iter().map(|g| g.request).collect();
+        seen.sort_unstable();
+        let expected: Vec<usize> = (0..requests.len()).collect();
+        prop_assert_eq!(seen, expected);
+        // No overlap: sort by grant time and check hold windows.
+        let mut windows: Vec<(u64, u64)> = report
+            .grants
+            .iter()
+            .map(|g| (g.granted_at, g.granted_at + requests[g.request].hold))
+            .collect();
+        windows.sort_unstable();
+        for w in windows.windows(2) {
+            prop_assert!(w[1].0 >= w[0].1, "floor overlap: {w:?}");
+        }
+        // Causality.
+        for g in &report.grants {
+            prop_assert!(g.granted_at >= requests[g.request].at);
+            prop_assert_eq!(g.wait, g.granted_at - requests[g.request].at);
+        }
+    }
+
+    /// Higher-priority requests waiting at the same moment are always
+    /// granted first.
+    #[test]
+    fn floor_priority_order_at_conflicts(
+        holds in proptest::collection::vec(10u64..100, 2..6),
+    ) {
+        // All requests at t=0 with distinct priorities equal to index.
+        let requests: Vec<FloorRequest> = holds
+            .iter()
+            .enumerate()
+            .map(|(i, &hold)| FloorRequest {
+                user: i,
+                at: 0,
+                hold,
+                priority: i as i32,
+            })
+            .collect();
+        let report = run_floor(&requests);
+        // Grant order must be strictly decreasing priority.
+        let order = report.grant_order();
+        let mut expected: Vec<usize> = (0..requests.len()).collect();
+        expected.reverse();
+        prop_assert_eq!(order, expected);
+    }
+}

@@ -1,0 +1,217 @@
+//! Live broadcast sessions.
+//!
+//! §2.5: "user can select either broadcast their encoded content in real
+//! time after finished configuring the server HTTP port and the URL for
+//! Internet/LAN connections."
+
+use lod_asf::{
+    DataPacket, FileProperties, Packetizer, ScriptCommandList, StreamKind, StreamProperties,
+};
+use lod_media::Ticks;
+use serde::{Deserialize, Serialize};
+
+use crate::encode::{Encoder, AUDIO_STREAM, VIDEO_STREAM};
+use crate::profile::BandwidthProfile;
+use crate::source::{AudioCaptureDevice, CaptureSource, VideoCaptureDevice};
+
+/// The broadcast half of the configuration module.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BroadcastConfig {
+    /// HTTP port the media server exposes.
+    pub http_port: u16,
+    /// Public URL students connect to.
+    pub url: String,
+}
+
+impl BroadcastConfig {
+    /// A config with the era-typical defaults (port 8080).
+    pub fn new(url: impl Into<String>) -> Self {
+        Self {
+            http_port: 8080,
+            url: url.into(),
+        }
+    }
+}
+
+/// A running live-encoding session: camera + microphone → encoder →
+/// packetizer, pulled in wall-clock steps.
+#[derive(Debug)]
+pub struct LiveEncoder {
+    config: BroadcastConfig,
+    encoder: Encoder,
+    camera: Option<VideoCaptureDevice>,
+    microphone: AudioCaptureDevice,
+    packetizer: Packetizer,
+    packet_size: u32,
+}
+
+impl LiveEncoder {
+    /// Starts a live session with devices matched to `profile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet_size` is smaller than the ASF minimum (a
+    /// configuration bug, not a runtime condition).
+    pub fn new(config: BroadcastConfig, profile: BandwidthProfile, packet_size: u32) -> Self {
+        let camera = if profile.has_video() {
+            let (w, h) = profile.resolution();
+            // Cameras of the era: capture at 30 fps, the encoder drops to
+            // the profile's rate.
+            Some(VideoCaptureDevice::new(w, h, 30))
+        } else {
+            None
+        };
+        Self {
+            config,
+            encoder: Encoder::new(profile),
+            camera,
+            microphone: AudioCaptureDevice::new(16_000, 100),
+            packetizer: Packetizer::new(packet_size).expect("packet size checked by caller"),
+            packet_size,
+        }
+    }
+
+    /// The broadcast configuration.
+    pub fn config(&self) -> &BroadcastConfig {
+        &self.config
+    }
+
+    /// The encoder (for stats and quality queries).
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// Header metadata for clients joining this broadcast.
+    pub fn file_properties(&self) -> FileProperties {
+        FileProperties {
+            file_id: u64::from(self.config.http_port) << 32,
+            created: 0,
+            packet_size: self.packet_size,
+            play_duration: 0, // unknown while live
+            preroll: 20_000_000,
+            broadcast: true,
+            max_bitrate: self.encoder.profile().total_bitrate() as u32,
+        }
+    }
+
+    /// Stream declarations for this broadcast.
+    pub fn stream_properties(&self) -> Vec<StreamProperties> {
+        let p = self.encoder.profile();
+        let mut v = Vec::new();
+        if p.has_video() {
+            v.push(StreamProperties {
+                number: VIDEO_STREAM,
+                kind: StreamKind::Video,
+                codec: 4,
+                bitrate: p.video_bitrate() as u32,
+                name: format!("{} (camera)", self.config.url),
+            });
+        }
+        v.push(StreamProperties {
+            number: AUDIO_STREAM,
+            kind: StreamKind::Audio,
+            codec: 1,
+            bitrate: p.audio_bitrate() as u32,
+            name: format!("{} (microphone)", self.config.url),
+        });
+        v
+    }
+
+    /// Script command list for the live session (starts empty; the teacher
+    /// side appends slide flips via the floor-control path in `lod-core`).
+    pub fn script(&self) -> ScriptCommandList {
+        ScriptCommandList::new()
+    }
+
+    /// Encodes everything captured up to wall time `until` and returns the
+    /// finished packets.
+    pub fn pump(&mut self, until: Ticks) -> Vec<DataPacket> {
+        loop {
+            let mut produced = false;
+            if let Some(cam) = &mut self.camera {
+                if let Some(f) = cam.next_frame(until) {
+                    produced = true;
+                    if let Some(s) = self.encoder.encode(&f) {
+                        self.packetizer.push(&s);
+                    }
+                }
+            }
+            if let Some(f) = self.microphone.next_frame(until) {
+                produced = true;
+                if let Some(s) = self.encoder.encode(&f) {
+                    self.packetizer.push(&s);
+                }
+            }
+            if !produced {
+                break;
+            }
+        }
+        self.packetizer.take_completed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live() -> LiveEncoder {
+        LiveEncoder::new(
+            BroadcastConfig::new("http://lod.example/lecture"),
+            BandwidthProfile::by_name("DSL/cable (256k)").unwrap(),
+            1_400,
+        )
+    }
+
+    #[test]
+    fn pump_produces_packets_in_real_time() {
+        let mut enc = live();
+        let first = enc.pump(Ticks::from_secs(2));
+        assert!(!first.is_empty());
+        let more = enc.pump(Ticks::from_secs(4));
+        assert!(!more.is_empty());
+        // Send times progress.
+        let last_first = first.last().unwrap().send_time;
+        let first_more = more.first().unwrap().send_time;
+        assert!(first_more >= last_first);
+    }
+
+    #[test]
+    fn pump_is_idempotent_at_same_instant() {
+        let mut enc = live();
+        let _ = enc.pump(Ticks::from_secs(1));
+        assert!(enc.pump(Ticks::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn broadcast_header_is_live() {
+        let enc = live();
+        let props = enc.file_properties();
+        assert!(props.broadcast);
+        assert_eq!(props.play_duration, 0);
+        assert_eq!(enc.stream_properties().len(), 2);
+    }
+
+    #[test]
+    fn audio_only_profile_has_single_stream() {
+        let enc = LiveEncoder::new(
+            BroadcastConfig::new("u"),
+            BandwidthProfile::by_name("28.8k modem (audio only)").unwrap(),
+            512,
+        );
+        assert_eq!(enc.stream_properties().len(), 1);
+        assert_eq!(enc.stream_properties()[0].number, AUDIO_STREAM);
+    }
+
+    #[test]
+    fn live_rate_tracks_profile() {
+        let mut enc = live();
+        let packets = enc.pump(Ticks::from_secs(10));
+        let bytes: u64 = packets.iter().map(|p| p.media_bytes() as u64).sum();
+        let rate = bytes as f64 * 8.0 / 10.0;
+        let target = enc.encoder().profile().total_bitrate() as f64;
+        assert!(
+            (rate - target).abs() / target < 0.15,
+            "rate {rate} vs {target}"
+        );
+    }
+}

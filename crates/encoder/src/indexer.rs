@@ -1,0 +1,127 @@
+//! The "ASF Indexer" utility.
+//!
+//! §2.1: "Script commands can be added to live streams through Windows
+//! Media Encoder and added to stored files through either Windows Media
+//! ASF Indexer or the command-line utilities." This module is that
+//! post-production tool: add or strip script commands on a stored file and
+//! rebuild its seek index.
+
+use lod_asf::{AsfFile, ScriptCommand};
+
+/// Post-production editing of stored ASF files.
+#[derive(Debug, Default)]
+pub struct Indexer;
+
+impl Indexer {
+    /// A new indexer.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Adds script commands to a stored file (clamping times into the
+    /// content duration) and rebuilds the index.
+    pub fn add_script_commands(
+        &self,
+        file: &mut AsfFile,
+        commands: impl IntoIterator<Item = ScriptCommand>,
+    ) {
+        let end = file.last_presentation_time();
+        for mut c in commands {
+            c.time = c.time.min(end);
+            file.script.push(c);
+        }
+        self.reindex(file, lod_media::TICKS_PER_SECOND);
+    }
+
+    /// Removes every script command of the given kind. Returns how many
+    /// were removed.
+    pub fn strip_kind(&self, file: &mut AsfFile, kind: &str) -> usize {
+        let before = file.script.len();
+        let kept: Vec<ScriptCommand> = file
+            .script
+            .commands()
+            .iter()
+            .filter(|c| c.kind != kind)
+            .cloned()
+            .collect();
+        file.script = kept.into_iter().collect();
+        before - file.script.len()
+    }
+
+    /// Rebuilds the seek index with roughly one entry per `interval` ticks.
+    pub fn reindex(&self, file: &mut AsfFile, interval: u64) {
+        file.build_index(interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publish::{evenly_spaced_deck, Publisher, VideoFileSpec};
+    use lod_media::TickDuration;
+
+    fn stored() -> AsfFile {
+        let video = VideoFileSpec {
+            path: "v.m4v".into(),
+            duration: TickDuration::from_secs(30),
+            video_bitrate: 200_000,
+            audio_bitrate: 0,
+        };
+        let deck = evenly_spaced_deck("d", 3, 1_000, video.duration);
+        Publisher::new(512).publish(&video, &deck, &[]).unwrap()
+    }
+
+    #[test]
+    fn adds_commands_and_reindexes() {
+        let mut f = stored();
+        let before = f.script.len();
+        Indexer::new().add_script_commands(
+            &mut f,
+            [
+                ScriptCommand::new(50_000_000, "caption", "welcome"),
+                ScriptCommand::new(u64::MAX, "caption", "clamped to end"),
+            ],
+        );
+        assert_eq!(f.script.len(), before + 2);
+        let last = f
+            .script
+            .commands()
+            .iter()
+            .filter(|c| c.kind == "caption")
+            .map(|c| c.time)
+            .max()
+            .unwrap();
+        assert!(last <= f.last_presentation_time());
+        assert!(f.index.is_some());
+    }
+
+    #[test]
+    fn strip_kind_removes_only_that_kind() {
+        let mut f = stored();
+        Indexer::new().add_script_commands(&mut f, [ScriptCommand::new(0, "caption", "x")]);
+        let slides = f
+            .script
+            .commands()
+            .iter()
+            .filter(|c| c.kind == "slide")
+            .count();
+        let removed = Indexer::new().strip_kind(&mut f, "caption");
+        assert_eq!(removed, 1);
+        assert_eq!(
+            f.script
+                .commands()
+                .iter()
+                .filter(|c| c.kind == "slide")
+                .count(),
+            slides
+        );
+    }
+
+    #[test]
+    fn round_trips_after_editing() {
+        let mut f = stored();
+        Indexer::new().add_script_commands(&mut f, [ScriptCommand::new(1, "url", "http://x")]);
+        let bytes = lod_asf::write_asf(&f).unwrap();
+        assert_eq!(lod_asf::read_asf(&bytes).unwrap(), f);
+    }
+}

@@ -1,0 +1,37 @@
+//! The encoder and web publishing manager (§2.5, Fig. 5).
+//!
+//! "The configuration module provides the user with the facilities to
+//! select the sources/devices … and to select how you want to output your
+//! encoded content. User can either encode a media file (video/audio) or
+//! use attached devices (video camera or microphone) … User can select the
+//! profile that best describes the content you are encoding. This profile
+//! means the different bandwidth will be configured."
+//!
+//! * [`profile`] — the bandwidth profiles ("the more high bit rate means
+//!   the content will be encoded to a more high-resolution content").
+//! * [`source`] — media file sources and synthetic capture devices.
+//! * [`encode`] — the encoder: raw frames → rate-controlled encoded
+//!   samples via the parametric codec models.
+//! * [`publish`] — the Fig. 5 publisher: "User must fill the path of video
+//!   file (MPEG4) and the directory of the presented slides. Our system
+//!   could make the video and presented slides synchronized with the
+//!   temporal script commands as an advanced stream format (ASF) file
+//!   automatically."
+//! * [`broadcast`] — live encoding sessions for real-time broadcast
+//!   (HTTP port / URL configuration).
+//! * [`indexer`] — the "ASF Indexer" utility: add script commands to a
+//!   stored file and rebuild its seek index.
+
+pub mod broadcast;
+pub mod encode;
+pub mod indexer;
+pub mod profile;
+pub mod publish;
+pub mod source;
+
+pub use broadcast::{BroadcastConfig, LiveEncoder};
+pub use encode::{Encoder, EncoderStats, AUDIO_STREAM, SLIDE_STREAM, VIDEO_STREAM};
+pub use indexer::Indexer;
+pub use profile::BandwidthProfile;
+pub use publish::{evenly_spaced_deck, Annotation, Publisher, Slide, SlideDeck, VideoFileSpec};
+pub use source::{synth_bytes, AudioCaptureDevice, CaptureSource, RawFrame, VideoCaptureDevice};

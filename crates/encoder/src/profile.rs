@@ -1,0 +1,205 @@
+//! Bandwidth profiles.
+//!
+//! §2.5: "User can select the profile that best describes the content you
+//! are encoding. This profile means the different bandwidth will be
+//! configured. The more high bit rate means the content will be encoded to
+//! a more high-resolution content." The table mirrors the stock Windows
+//! Media Encoder profiles of the era (modem to broadband).
+
+use lod_media::{CodecId, MediaKind};
+use serde::{Deserialize, Serialize};
+
+/// One encoder bandwidth profile.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BandwidthProfile {
+    name: &'static str,
+    total_bps: u64,
+    audio_bps: u64,
+    width: u32,
+    height: u32,
+    frame_rate: u32,
+}
+
+impl BandwidthProfile {
+    /// All built-in profiles, slowest first.
+    pub fn all() -> Vec<BandwidthProfile> {
+        vec![
+            BandwidthProfile {
+                name: "28.8k modem (audio only)",
+                total_bps: 22_000,
+                audio_bps: 22_000,
+                width: 0,
+                height: 0,
+                frame_rate: 0,
+            },
+            BandwidthProfile {
+                name: "56k modem",
+                total_bps: 37_000,
+                audio_bps: 8_000,
+                width: 160,
+                height: 120,
+                frame_rate: 7,
+            },
+            BandwidthProfile {
+                name: "dual ISDN (128k)",
+                total_bps: 100_000,
+                audio_bps: 16_000,
+                width: 240,
+                height: 180,
+                frame_rate: 15,
+            },
+            BandwidthProfile {
+                name: "DSL/cable (256k)",
+                total_bps: 225_000,
+                audio_bps: 32_000,
+                width: 320,
+                height: 240,
+                frame_rate: 15,
+            },
+            BandwidthProfile {
+                name: "DSL/cable (768k)",
+                total_bps: 700_000,
+                audio_bps: 64_000,
+                width: 320,
+                height: 240,
+                frame_rate: 30,
+            },
+            BandwidthProfile {
+                name: "LAN/T1 (1.5M)",
+                total_bps: 1_400_000,
+                audio_bps: 96_000,
+                width: 640,
+                height: 480,
+                frame_rate: 30,
+            },
+        ]
+    }
+
+    /// The fastest profile whose total bitrate fits `available_bps`
+    /// (falls back to the slowest profile when nothing fits).
+    pub fn for_bandwidth(available_bps: u64) -> BandwidthProfile {
+        Self::all()
+            .into_iter()
+            .rev()
+            .find(|p| p.total_bps <= available_bps)
+            .unwrap_or_else(|| Self::all().remove(0))
+    }
+
+    /// Profile by (exact) name.
+    pub fn by_name(name: &str) -> Option<BandwidthProfile> {
+        Self::all().into_iter().find(|p| p.name == name)
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Total target bitrate (audio + video), bit/s.
+    pub fn total_bitrate(&self) -> u64 {
+        self.total_bps
+    }
+
+    /// Audio share of the bitrate, bit/s.
+    pub fn audio_bitrate(&self) -> u64 {
+        self.audio_bps
+    }
+
+    /// Video share of the bitrate, bit/s (0 for audio-only profiles).
+    pub fn video_bitrate(&self) -> u64 {
+        self.total_bps - self.audio_bps
+    }
+
+    /// Encoded frame size `(width, height)`; `(0, 0)` when audio-only.
+    pub fn resolution(&self) -> (u32, u32) {
+        (self.width, self.height)
+    }
+
+    /// Video frame rate in frames/second (0 when audio-only).
+    pub fn frame_rate(&self) -> u32 {
+        self.frame_rate
+    }
+
+    /// Whether the profile carries video at all.
+    pub fn has_video(&self) -> bool {
+        self.width > 0 && self.frame_rate > 0
+    }
+
+    /// The codec this profile uses for `kind`, chosen from the built-in
+    /// registry by quality at the profile's per-kind bitrate.
+    pub fn codec_for(&self, kind: MediaKind) -> CodecId {
+        let registry = lod_media::CodecRegistry::builtin();
+        let rate = match kind {
+            MediaKind::Audio => self.audio_bitrate(),
+            _ => self.video_bitrate(),
+        };
+        registry
+            .best_for(kind, rate)
+            .map(|s| s.id())
+            .unwrap_or(CodecId::Uncompressed)
+    }
+
+    /// Raw (uncompressed) bytes of one video frame at this resolution
+    /// (YUV 4:2:0: 1.5 bytes per pixel).
+    pub fn raw_frame_bytes(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height) * 3 / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_ordered_and_monotone() {
+        let all = BandwidthProfile::all();
+        for w in all.windows(2) {
+            assert!(w[0].total_bitrate() < w[1].total_bitrate());
+            // "more high bit rate means … more high-resolution content"
+            assert!(w[0].resolution().0 <= w[1].resolution().0);
+        }
+    }
+
+    #[test]
+    fn selection_by_bandwidth() {
+        assert_eq!(BandwidthProfile::for_bandwidth(56_000).name(), "56k modem");
+        assert_eq!(
+            BandwidthProfile::for_bandwidth(10_000_000).name(),
+            "LAN/T1 (1.5M)"
+        );
+        // Below everything: fall back to slowest.
+        assert_eq!(
+            BandwidthProfile::for_bandwidth(1_000).name(),
+            "28.8k modem (audio only)"
+        );
+    }
+
+    #[test]
+    fn audio_only_profile_has_no_video() {
+        let p = BandwidthProfile::by_name("28.8k modem (audio only)").unwrap();
+        assert!(!p.has_video());
+        assert_eq!(p.video_bitrate(), 0);
+    }
+
+    #[test]
+    fn codec_choice_depends_on_rate() {
+        let slow = BandwidthProfile::by_name("56k modem").unwrap();
+        let fast = BandwidthProfile::by_name("LAN/T1 (1.5M)").unwrap();
+        // Low-rate audio prefers the speech codec; high-rate prefers WMA.
+        assert_eq!(slow.codec_for(MediaKind::Audio), CodecId::SiproAcelp);
+        assert_eq!(fast.codec_for(MediaKind::Audio), CodecId::WindowsMediaAudio);
+    }
+
+    #[test]
+    fn raw_frame_bytes_yuv420() {
+        let p = BandwidthProfile::by_name("DSL/cable (256k)").unwrap();
+        assert_eq!(p.raw_frame_bytes(), 320 * 240 * 3 / 2);
+    }
+
+    #[test]
+    fn budget_split_consistent() {
+        for p in BandwidthProfile::all() {
+            assert_eq!(p.audio_bitrate() + p.video_bitrate(), p.total_bitrate());
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! The web publishing manager (Fig. 5).
+//!
+//! "User must fill the path of video file (MPEG4) and the directory of the
+//! presented slides. Our system could make the video and presented slides
+//! synchronized with the temporal script commands as an advanced stream
+//! format (ASF) file automatically."
+
+use lod_asf::{
+    AsfFile, FileProperties, MediaSample, Packetizer, ScriptCommand, ScriptCommandList, StreamKind,
+    StreamProperties,
+};
+use lod_media::{CodecId, CodecRegistry, TickDuration, Ticks};
+use serde::{Deserialize, Serialize};
+
+use crate::encode::{AUDIO_STREAM, SLIDE_STREAM, VIDEO_STREAM};
+use crate::source::synth_bytes;
+
+/// The "path of video file (MPEG4)" form field, plus what the file
+/// contains (since no real file exists, its properties are declared).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoFileSpec {
+    /// Pseudo-path, e.g. `lectures/petri-nets.m4v`.
+    pub path: String,
+    /// Content duration.
+    pub duration: TickDuration,
+    /// Encoded video bitrate in bit/s.
+    pub video_bitrate: u64,
+    /// Encoded audio bitrate in bit/s (0 = silent video).
+    pub audio_bitrate: u64,
+}
+
+/// One slide image in the deck directory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Slide {
+    /// File name within the deck directory, e.g. `slide_03.png`.
+    pub file: String,
+    /// Image size in bytes.
+    pub bytes: u64,
+    /// When the presenter showed this slide.
+    pub show_at: Ticks,
+}
+
+/// The "directory of the presented slides" form field.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlideDeck {
+    /// Pseudo-directory, e.g. `lectures/petri-nets-slides/`.
+    pub dir: String,
+    /// The slides with their change times.
+    pub slides: Vec<Slide>,
+}
+
+impl SlideDeck {
+    /// Full URI of a slide.
+    pub fn uri(&self, slide: &Slide) -> String {
+        format!("{}/{}", self.dir.trim_end_matches('/'), slide.file)
+    }
+}
+
+/// A presenter annotation to overlay at a point in time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Annotation {
+    /// When the annotation appears.
+    pub at: Ticks,
+    /// The annotation text.
+    pub text: String,
+}
+
+/// The publisher: merges video, slides and annotations into one ASF file.
+#[derive(Debug)]
+pub struct Publisher {
+    packet_size: u32,
+    preroll: TickDuration,
+}
+
+impl Publisher {
+    /// A publisher emitting packets of `packet_size` bytes.
+    pub fn new(packet_size: u32) -> Self {
+        Self {
+            packet_size,
+            preroll: TickDuration::from_secs(2),
+        }
+    }
+
+    /// Overrides the client preroll recorded in the file.
+    pub fn preroll(&mut self, preroll: TickDuration) -> &mut Self {
+        self.preroll = preroll;
+        self
+    }
+
+    /// Produces the orchestrated ASF file (Fig. 5's "publish" button).
+    ///
+    /// # Errors
+    ///
+    /// [`lod_asf::AsfError::PacketSizeTooSmall`] for absurd packet sizes.
+    pub fn publish(
+        &self,
+        video: &VideoFileSpec,
+        deck: &SlideDeck,
+        annotations: &[Annotation],
+    ) -> Result<AsfFile, lod_asf::AsfError> {
+        let registry = CodecRegistry::builtin();
+        let mpeg4 = registry
+            .get(CodecId::Mpeg4Video)
+            .expect("registry has MPEG-4");
+        let mut pk = Packetizer::new(self.packet_size)?;
+        let mut samples: Vec<MediaSample> = Vec::new();
+        let mut seed = video.duration.0 ^ 0x5EED;
+
+        // Video track: MPEG-4 frames for the whole duration.
+        let frame_count =
+            (video.duration.as_secs_f64() * f64::from(mpeg4.frame_rate())).floor() as u32;
+        let frame_gap = lod_media::TICKS_PER_SECOND / u64::from(mpeg4.frame_rate());
+        for (i, size) in mpeg4
+            .frame_sizes(frame_count, video.video_bitrate)
+            .into_iter()
+            .enumerate()
+        {
+            seed += 1;
+            samples.push(MediaSample::new(
+                VIDEO_STREAM,
+                i as u64 * frame_gap,
+                synth_bytes(seed, size as usize),
+            ));
+        }
+
+        // Audio track: 100 ms blocks at the declared rate.
+        if video.audio_bitrate > 0 {
+            let block = TickDuration::from_millis(100);
+            let blocks = video.duration.0 / block.0;
+            let bytes = (video.audio_bitrate / 8 / 10).max(1) as usize;
+            for i in 0..blocks {
+                seed += 1;
+                samples.push(MediaSample::new(
+                    AUDIO_STREAM,
+                    i * block.0,
+                    synth_bytes(seed, bytes),
+                ));
+            }
+        }
+
+        // Slide track + script commands.
+        let mut script = ScriptCommandList::new();
+        let mut slides = deck.slides.clone();
+        slides.sort_by_key(|s| s.show_at);
+        for s in &slides {
+            seed += 1;
+            let t = s.show_at.0.min(video.duration.0);
+            samples.push(MediaSample::new(
+                SLIDE_STREAM,
+                t,
+                synth_bytes(seed, s.bytes as usize),
+            ));
+            script.push(ScriptCommand::new(t, "slide", deck.uri(s)));
+        }
+        for a in annotations {
+            script.push(ScriptCommand::new(
+                a.at.0.min(video.duration.0),
+                "annotation",
+                a.text.clone(),
+            ));
+        }
+
+        // Interleave by presentation time so packets come out in order.
+        samples.sort_by_key(|s| (s.pres_time, s.stream));
+        for s in &samples {
+            pk.push(s);
+        }
+
+        let slide_bitrate: u64 = {
+            let total: u64 = slides.iter().map(|s| s.bytes * 8).sum();
+            let secs = video.duration.as_secs_f64().max(1.0);
+            (total as f64 / secs) as u64
+        };
+        let mut file = AsfFile {
+            props: FileProperties {
+                file_id: seed,
+                created: 0,
+                packet_size: self.packet_size,
+                play_duration: video.duration.0,
+                preroll: self.preroll.0,
+                broadcast: false,
+                max_bitrate: (video.video_bitrate + video.audio_bitrate + slide_bitrate) as u32,
+            },
+            streams: Self::streams(video, slide_bitrate),
+            script,
+            drm: None,
+            packets: pk.finish(),
+            index: None,
+        };
+        file.build_index(lod_media::TICKS_PER_SECOND);
+        Ok(file)
+    }
+
+    fn streams(video: &VideoFileSpec, slide_bitrate: u64) -> Vec<StreamProperties> {
+        let mut streams = vec![StreamProperties {
+            number: VIDEO_STREAM,
+            kind: StreamKind::Video,
+            codec: 4, // MPEG-4
+            bitrate: video.video_bitrate as u32,
+            name: video.path.clone(),
+        }];
+        if video.audio_bitrate > 0 {
+            streams.push(StreamProperties {
+                number: AUDIO_STREAM,
+                kind: StreamKind::Audio,
+                codec: 1,
+                bitrate: video.audio_bitrate as u32,
+                name: format!("{} (audio)", video.path),
+            });
+        }
+        streams.push(StreamProperties {
+            number: SLIDE_STREAM,
+            kind: StreamKind::Image,
+            codec: 0,
+            bitrate: slide_bitrate as u32,
+            name: "slides".into(),
+        });
+        streams
+    }
+}
+
+/// Convenience: a deck of `n` equally-spaced slides of `bytes` each over
+/// `duration` (what a real lecture roughly looks like).
+pub fn evenly_spaced_deck(dir: &str, n: usize, bytes: u64, duration: TickDuration) -> SlideDeck {
+    let gap = if n > 0 { duration.0 / n as u64 } else { 0 };
+    SlideDeck {
+        dir: dir.to_string(),
+        slides: (0..n)
+            .map(|i| Slide {
+                file: format!("slide_{i:02}.png"),
+                bytes,
+                show_at: Ticks(i as u64 * gap),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lecture() -> (VideoFileSpec, SlideDeck, Vec<Annotation>) {
+        let video = VideoFileSpec {
+            path: "lectures/petri.m4v".into(),
+            duration: TickDuration::from_secs(60),
+            video_bitrate: 300_000,
+            audio_bitrate: 32_000,
+        };
+        let deck = evenly_spaced_deck("lectures/petri-slides", 6, 40_000, video.duration);
+        let ann = vec![
+            Annotation {
+                at: Ticks::from_secs(15),
+                text: "note the marking".into(),
+            },
+            Annotation {
+                at: Ticks::from_secs(45),
+                text: "homework 3".into(),
+            },
+        ];
+        (video, deck, ann)
+    }
+
+    #[test]
+    fn publishes_synchronized_asf() {
+        let (video, deck, ann) = lecture();
+        let file = Publisher::new(1_400).publish(&video, &deck, &ann).unwrap();
+        // Three streams declared.
+        assert_eq!(file.streams.len(), 3);
+        // One script command per slide + per annotation.
+        assert_eq!(file.script.len(), 6 + 2);
+        // Slide commands carry the full URI.
+        let first = file
+            .script
+            .commands()
+            .iter()
+            .find(|c| c.kind == "slide")
+            .unwrap();
+        assert!(first.param.starts_with("lectures/petri-slides/"));
+        // Index exists and spans the duration.
+        assert!(file.index.as_ref().unwrap().len() >= 59);
+        assert_eq!(file.props.play_duration, 600_000_000);
+    }
+
+    #[test]
+    fn wire_round_trip_of_published_file() {
+        let (video, deck, ann) = lecture();
+        let file = Publisher::new(1_400).publish(&video, &deck, &ann).unwrap();
+        let bytes = lod_asf::write_asf(&file).unwrap();
+        let back = lod_asf::read_asf(&bytes).unwrap();
+        assert_eq!(back, file);
+    }
+
+    #[test]
+    fn published_bitrate_close_to_declared() {
+        let (video, deck, _) = lecture();
+        let file = Publisher::new(1_400).publish(&video, &deck, &[]).unwrap();
+        let media_bytes: u64 = file.packets.iter().map(|p| p.media_bytes() as u64).sum();
+        let rate = media_bytes as f64 * 8.0 / 60.0;
+        let declared = (video.video_bitrate + video.audio_bitrate) as f64;
+        // Slides add a little on top of A/V.
+        assert!(rate > declared * 0.95, "rate {rate}");
+        assert!(rate < declared * 1.30, "rate {rate}");
+    }
+
+    #[test]
+    fn slide_commands_sorted_even_if_deck_is_not() {
+        let video = VideoFileSpec {
+            path: "v.m4v".into(),
+            duration: TickDuration::from_secs(10),
+            video_bitrate: 100_000,
+            audio_bitrate: 0,
+        };
+        let deck = SlideDeck {
+            dir: "d".into(),
+            slides: vec![
+                Slide {
+                    file: "b.png".into(),
+                    bytes: 10,
+                    show_at: Ticks::from_secs(5),
+                },
+                Slide {
+                    file: "a.png".into(),
+                    bytes: 10,
+                    show_at: Ticks::from_secs(1),
+                },
+            ],
+        };
+        let file = Publisher::new(256).publish(&video, &deck, &[]).unwrap();
+        let times: Vec<u64> = file.script.commands().iter().map(|c| c.time).collect();
+        assert_eq!(times, [10_000_000, 50_000_000]);
+    }
+
+    #[test]
+    fn slide_after_video_end_clamped() {
+        let video = VideoFileSpec {
+            path: "v.m4v".into(),
+            duration: TickDuration::from_secs(5),
+            video_bitrate: 100_000,
+            audio_bitrate: 0,
+        };
+        let deck = SlideDeck {
+            dir: "d".into(),
+            slides: vec![Slide {
+                file: "late.png".into(),
+                bytes: 10,
+                show_at: Ticks::from_secs(99),
+            }],
+        };
+        let file = Publisher::new(256).publish(&video, &deck, &[]).unwrap();
+        assert_eq!(file.script.commands()[0].time, 50_000_000);
+    }
+
+    #[test]
+    fn silent_video_has_two_streams() {
+        let video = VideoFileSpec {
+            path: "v.m4v".into(),
+            duration: TickDuration::from_secs(5),
+            video_bitrate: 100_000,
+            audio_bitrate: 0,
+        };
+        let deck = evenly_spaced_deck("d", 2, 10, video.duration);
+        let file = Publisher::new(256).publish(&video, &deck, &[]).unwrap();
+        assert_eq!(file.streams.len(), 2);
+        assert!(file.stream(AUDIO_STREAM).is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the encoder and publisher.
+
+use lod_encoder::{
+    Annotation, AudioCaptureDevice, BandwidthProfile, CaptureSource, Encoder, Publisher, Slide,
+    SlideDeck, VideoCaptureDevice, VideoFileSpec,
+};
+use lod_media::{TickDuration, Ticks};
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = BandwidthProfile> {
+    (0..BandwidthProfile::all().len()).prop_map(|i| BandwidthProfile::all().swap_remove(i))
+}
+
+proptest! {
+    // The capture loop is expensive; a handful of cases per profile is
+    // plenty (the profile space itself has only six members).
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every profile's encoder holds its total bitrate within 12% over a
+    /// 10-second live capture.
+    #[test]
+    fn encoder_rate_control_holds(profile in arb_profile()) {
+        let mut enc = Encoder::new(profile.clone());
+        let mut cam = VideoCaptureDevice::new(640, 480, 30);
+        let mut mic = AudioCaptureDevice::new(16_000, 100);
+        let until = Ticks::from_secs(10);
+        let mut bytes = 0u64;
+        loop {
+            let mut any = false;
+            if let Some(f) = cam.next_frame(until) {
+                any = true;
+                if let Some(s) = enc.encode(&f) {
+                    bytes += s.data.len() as u64;
+                }
+            }
+            if let Some(f) = mic.next_frame(until) {
+                any = true;
+                if let Some(s) = enc.encode(&f) {
+                    bytes += s.data.len() as u64;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        let rate = bytes as f64 * 8.0 / 10.0;
+        let target = profile.total_bitrate() as f64;
+        prop_assert!(
+            (rate - target).abs() / target < 0.12,
+            "profile {} rate {rate} vs {target}",
+            profile.name()
+        );
+    }
+}
+
+proptest! {
+    /// The publisher emits exactly one slide command per slide and one
+    /// annotation command per annotation, in time order, for arbitrary
+    /// decks.
+    #[test]
+    fn publisher_script_is_complete_and_sorted(
+        slide_times in proptest::collection::vec(0u64..300, 0..12),
+        ann_times in proptest::collection::vec(0u64..300, 0..6),
+        duration_secs in 10u64..300,
+    ) {
+        let video = VideoFileSpec {
+            path: "v.m4v".into(),
+            duration: TickDuration::from_secs(duration_secs),
+            video_bitrate: 100_000,
+            audio_bitrate: 0,
+        };
+        let deck = SlideDeck {
+            dir: "d".into(),
+            slides: slide_times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| Slide {
+                    file: format!("s{i}.png"),
+                    bytes: 100,
+                    show_at: Ticks::from_secs(t),
+                })
+                .collect(),
+        };
+        let annotations: Vec<Annotation> = ann_times
+            .iter()
+            .map(|&t| Annotation {
+                at: Ticks::from_secs(t),
+                text: format!("a{t}"),
+            })
+            .collect();
+        let file = Publisher::new(512).publish(&video, &deck, &annotations).unwrap();
+        let slides = file.script.commands().iter().filter(|c| c.kind == "slide").count();
+        let anns = file.script.commands().iter().filter(|c| c.kind == "annotation").count();
+        prop_assert_eq!(slides, deck.slides.len());
+        prop_assert_eq!(anns, annotations.len());
+        let times: Vec<u64> = file.script.commands().iter().map(|c| c.time).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(times, sorted);
+        // Everything clamps inside the content.
+        prop_assert!(file
+            .script
+            .commands()
+            .iter()
+            .all(|c| c.time <= video.duration.0));
+    }
+
+    /// Published files always round-trip the wire exactly.
+    #[test]
+    fn published_files_round_trip(
+        duration_secs in 5u64..20,
+        video_bitrate in 50_000u64..200_000,
+        packet_size in 128u32..4_096,
+    ) {
+        let video = VideoFileSpec {
+            path: "v.m4v".into(),
+            duration: TickDuration::from_secs(duration_secs),
+            video_bitrate,
+            audio_bitrate: 16_000,
+        };
+        let deck = lod_encoder::evenly_spaced_deck("d", 3, 1_000, video.duration);
+        let file = Publisher::new(packet_size).publish(&video, &deck, &[]).unwrap();
+        let bytes = lod_asf::write_asf(&file).unwrap();
+        prop_assert_eq!(lod_asf::read_asf(&bytes).unwrap(), file);
+    }
+}

@@ -1,0 +1,194 @@
+//! A pausable, seekable media clock.
+//!
+//! Maps *wall* time (the simulation clock) to *presentation* time. The
+//! player and the interaction transitions of the extended timed Petri net
+//! both manipulate this mapping: pause freezes presentation time, resume
+//! re-anchors it, seek jumps it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{TickDuration, Ticks};
+
+/// State of a [`MediaClock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClockState {
+    /// Presentation time advances 1:1 with wall time.
+    Running,
+    /// Presentation time is frozen.
+    Paused,
+}
+
+/// A clock translating wall instants into presentation instants.
+///
+/// # Example
+///
+/// ```
+/// use lod_media::{MediaClock, Ticks, TickDuration};
+///
+/// let mut clock = MediaClock::start_at(Ticks::from_secs(100));
+/// // 5 wall-seconds later, 5 presentation-seconds have elapsed.
+/// assert_eq!(clock.media_time(Ticks::from_secs(105)), Ticks::from_secs(5));
+/// clock.pause(Ticks::from_secs(105));
+/// clock.resume(Ticks::from_secs(110));
+/// // The 5-second pause does not advance presentation time.
+/// assert_eq!(clock.media_time(Ticks::from_secs(112)), Ticks::from_secs(7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MediaClock {
+    state: ClockState,
+    /// Wall instant at which the current running segment started.
+    anchor_wall: Ticks,
+    /// Presentation time at `anchor_wall` (or the frozen time when paused).
+    anchor_media: Ticks,
+}
+
+impl MediaClock {
+    /// A running clock whose presentation time is zero at `wall_now`.
+    pub fn start_at(wall_now: Ticks) -> Self {
+        Self {
+            state: ClockState::Running,
+            anchor_wall: wall_now,
+            anchor_media: Ticks::ZERO,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ClockState {
+        self.state
+    }
+
+    /// Whether the clock is running.
+    pub fn is_running(&self) -> bool {
+        self.state == ClockState::Running
+    }
+
+    /// Presentation time corresponding to the wall instant `wall_now`.
+    ///
+    /// Wall instants before the last anchor clamp to the anchor (the clock
+    /// never runs backwards).
+    pub fn media_time(&self, wall_now: Ticks) -> Ticks {
+        match self.state {
+            ClockState::Paused => self.anchor_media,
+            ClockState::Running => self.anchor_media + wall_now.since(self.anchor_wall),
+        }
+    }
+
+    /// Freezes presentation time as of `wall_now`. Idempotent.
+    pub fn pause(&mut self, wall_now: Ticks) {
+        if self.state == ClockState::Running {
+            self.anchor_media = self.media_time(wall_now);
+            self.state = ClockState::Paused;
+        }
+    }
+
+    /// Resumes from a pause as of `wall_now`. Idempotent.
+    pub fn resume(&mut self, wall_now: Ticks) {
+        if self.state == ClockState::Paused {
+            self.anchor_wall = wall_now;
+            self.state = ClockState::Running;
+        }
+    }
+
+    /// Jumps presentation time to `target` as of `wall_now`, preserving the
+    /// running/paused state.
+    pub fn seek(&mut self, wall_now: Ticks, target: Ticks) {
+        self.anchor_wall = wall_now;
+        self.anchor_media = target;
+    }
+
+    /// Skips forward by `amount` as of `wall_now`.
+    pub fn skip(&mut self, wall_now: Ticks, amount: TickDuration) {
+        let target = self.media_time(wall_now) + amount;
+        self.seek(wall_now, target);
+    }
+
+    /// Jumps backward by `amount` (saturating at zero) as of `wall_now` —
+    /// the "replay the last bit" interaction.
+    pub fn rewind(&mut self, wall_now: Ticks, amount: TickDuration) {
+        let target = self.media_time(wall_now) - amount;
+        self.seek(wall_now, target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: u64) -> Ticks {
+        Ticks::from_secs(v)
+    }
+
+    #[test]
+    fn runs_one_to_one() {
+        let c = MediaClock::start_at(s(10));
+        assert_eq!(c.media_time(s(10)), Ticks::ZERO);
+        assert_eq!(c.media_time(s(25)), s(15));
+    }
+
+    #[test]
+    fn pause_freezes() {
+        let mut c = MediaClock::start_at(s(0));
+        c.pause(s(4));
+        assert_eq!(c.media_time(s(100)), s(4));
+        assert!(!c.is_running());
+    }
+
+    #[test]
+    fn pause_resume_excludes_gap() {
+        let mut c = MediaClock::start_at(s(0));
+        c.pause(s(4));
+        c.resume(s(10));
+        assert_eq!(c.media_time(s(11)), s(5));
+    }
+
+    #[test]
+    fn double_pause_is_idempotent() {
+        let mut c = MediaClock::start_at(s(0));
+        c.pause(s(3));
+        c.pause(s(9));
+        c.resume(s(10));
+        assert_eq!(c.media_time(s(10)), s(3));
+    }
+
+    #[test]
+    fn double_resume_is_idempotent() {
+        let mut c = MediaClock::start_at(s(0));
+        c.pause(s(3));
+        c.resume(s(5));
+        c.resume(s(7));
+        assert_eq!(c.media_time(s(8)), s(6));
+    }
+
+    #[test]
+    fn seek_while_running() {
+        let mut c = MediaClock::start_at(s(0));
+        c.seek(s(10), s(100));
+        assert_eq!(c.media_time(s(12)), s(102));
+        assert!(c.is_running());
+    }
+
+    #[test]
+    fn seek_while_paused_stays_paused() {
+        let mut c = MediaClock::start_at(s(0));
+        c.pause(s(5));
+        c.seek(s(6), s(60));
+        assert_eq!(c.media_time(s(100)), s(60));
+        assert!(!c.is_running());
+    }
+
+    #[test]
+    fn skip_and_rewind() {
+        let mut c = MediaClock::start_at(s(0));
+        c.skip(s(10), TickDuration::from_secs(30));
+        assert_eq!(c.media_time(s(10)), s(40));
+        c.rewind(s(10), TickDuration::from_secs(100));
+        assert_eq!(c.media_time(s(10)), Ticks::ZERO);
+    }
+
+    #[test]
+    fn clock_never_runs_backwards_before_anchor() {
+        let c = MediaClock::start_at(s(10));
+        // Asking for a wall time before the anchor clamps.
+        assert_eq!(c.media_time(s(5)), Ticks::ZERO);
+    }
+}

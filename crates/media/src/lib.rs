@@ -1,0 +1,27 @@
+//! Media object model for the WMPS Lecture-on-Demand reproduction.
+//!
+//! The paper's substrate is the Windows Media stack (§2.1): codecs compress
+//! "audio and/or video media, either from live sources or other media
+//! formats, to fit on a network's available bandwidth". This crate models
+//! those pieces without any real signal processing:
+//!
+//! * [`time`] — the 100-nanosecond tick timebase ASF uses, with typed
+//!   [`time::Ticks`] / [`time::TickDuration`].
+//! * [`object`] — media objects (video, audio, slide images, text,
+//!   annotations) as typed descriptors.
+//! * [`codec`] — a registry of parametric codec models for the codecs the
+//!   paper names (Windows Media Audio, Sipro ACELP, MP3, MPEG-4, TrueMotion
+//!   RT, ClearVideo): each maps raw media + target bitrate to encoded sizes
+//!   and a quality score, which is all the streaming layer needs.
+//! * [`clock`] — a pausable, seekable media clock mapping wall time to
+//!   presentation time.
+
+pub mod clock;
+pub mod codec;
+pub mod object;
+pub mod time;
+
+pub use clock::MediaClock;
+pub use codec::{CodecId, CodecRegistry, CodecSpec};
+pub use object::{MediaId, MediaKind, MediaObject};
+pub use time::{TickDuration, Ticks, TICKS_PER_MILLISECOND, TICKS_PER_SECOND};

@@ -1,0 +1,228 @@
+//! Media objects: the typed descriptors the presentation system moves around.
+//!
+//! The paper treats a teaching material as "a multimedia presentation (e.g.
+//! collection of text, video, audio, image …etc.) with some kinds of
+//! sequence fashion" (§2.2). A [`MediaObject`] is one such element; no pixel
+//! or sample data is carried, only identity, kind, timing and size.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::TickDuration;
+
+/// Opaque identifier for a media object within one presentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MediaId(pub u64);
+
+impl fmt::Display for MediaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// The kinds of media the paper's presentations contain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MediaKind {
+    /// Moving pictures (MPEG-4 etc.).
+    Video,
+    /// Sound (speech or music).
+    Audio,
+    /// A still image.
+    Image,
+    /// Plain text.
+    Text,
+    /// A presentation slide (image rendered from the slide deck).
+    Slide,
+    /// A presenter annotation/comment overlaid on a slide.
+    Annotation,
+}
+
+impl MediaKind {
+    /// Whether this kind is continuous (has intrinsic duration) rather than
+    /// discrete (shown until replaced).
+    pub fn is_continuous(self) -> bool {
+        matches!(self, MediaKind::Video | MediaKind::Audio)
+    }
+
+    /// All kinds, in a fixed order.
+    pub fn all() -> [MediaKind; 6] {
+        [
+            MediaKind::Video,
+            MediaKind::Audio,
+            MediaKind::Image,
+            MediaKind::Text,
+            MediaKind::Slide,
+            MediaKind::Annotation,
+        ]
+    }
+}
+
+impl fmt::Display for MediaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MediaKind::Video => "video",
+            MediaKind::Audio => "audio",
+            MediaKind::Image => "image",
+            MediaKind::Text => "text",
+            MediaKind::Slide => "slide",
+            MediaKind::Annotation => "annotation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A described media element: identity, kind, playout duration, raw size.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MediaObject {
+    id: MediaId,
+    name: String,
+    kind: MediaKind,
+    duration: TickDuration,
+    /// Uncompressed size in bytes (what a codec would be fed).
+    raw_bytes: u64,
+    /// Source locator, e.g. a pseudo-path like `lecture/slides/slide_03.png`.
+    uri: String,
+}
+
+impl MediaObject {
+    /// Creates a media object descriptor.
+    pub fn new(
+        id: MediaId,
+        name: impl Into<String>,
+        kind: MediaKind,
+        duration: TickDuration,
+        raw_bytes: u64,
+        uri: impl Into<String>,
+    ) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            kind,
+            duration,
+            raw_bytes,
+            uri: uri.into(),
+        }
+    }
+
+    /// Identifier.
+    pub fn id(&self) -> MediaId {
+        self.id
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Media kind.
+    pub fn kind(&self) -> MediaKind {
+        self.kind
+    }
+
+    /// Playout duration. For discrete media (slides, text) this is the
+    /// intended display span, which a publisher may override.
+    pub fn duration(&self) -> TickDuration {
+        self.duration
+    }
+
+    /// Uncompressed size in bytes.
+    pub fn raw_bytes(&self) -> u64 {
+        self.raw_bytes
+    }
+
+    /// Source locator.
+    pub fn uri(&self) -> &str {
+        &self.uri
+    }
+
+    /// Mean uncompressed bitrate in bits/second (0 for zero-duration media).
+    pub fn raw_bitrate(&self) -> u64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            0
+        } else {
+            (self.raw_bytes as f64 * 8.0 / secs) as u64
+        }
+    }
+}
+
+impl fmt::Display for MediaObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} \"{}\" ({}, {})",
+            self.id, self.name, self.kind, self.duration
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj() -> MediaObject {
+        MediaObject::new(
+            MediaId(1),
+            "intro",
+            MediaKind::Video,
+            TickDuration::from_secs(10),
+            10_000_000,
+            "lecture/intro.m4v",
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let o = obj();
+        assert_eq!(o.id(), MediaId(1));
+        assert_eq!(o.name(), "intro");
+        assert_eq!(o.kind(), MediaKind::Video);
+        assert_eq!(o.duration(), TickDuration::from_secs(10));
+        assert_eq!(o.raw_bytes(), 10_000_000);
+        assert_eq!(o.uri(), "lecture/intro.m4v");
+    }
+
+    #[test]
+    fn raw_bitrate_computed() {
+        // 10 MB over 10 s = 8 Mbit/s.
+        assert_eq!(obj().raw_bitrate(), 8_000_000);
+    }
+
+    #[test]
+    fn raw_bitrate_zero_duration() {
+        let o = MediaObject::new(
+            MediaId(2),
+            "slide",
+            MediaKind::Slide,
+            TickDuration::ZERO,
+            50_000,
+            "s.png",
+        );
+        assert_eq!(o.raw_bitrate(), 0);
+    }
+
+    #[test]
+    fn continuous_vs_discrete() {
+        assert!(MediaKind::Video.is_continuous());
+        assert!(MediaKind::Audio.is_continuous());
+        assert!(!MediaKind::Slide.is_continuous());
+        assert!(!MediaKind::Annotation.is_continuous());
+    }
+
+    #[test]
+    fn display_mentions_name_and_kind() {
+        let s = obj().to_string();
+        assert!(s.contains("intro") && s.contains("video"));
+    }
+
+    #[test]
+    fn all_kinds_distinct() {
+        let kinds = MediaKind::all();
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

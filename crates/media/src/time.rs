@@ -1,0 +1,238 @@
+//! The 100-nanosecond tick timebase used throughout the system.
+//!
+//! ASF expresses all presentation times in 100 ns units; keeping the same
+//! unit end-to-end avoids rounding when script-command times are compared
+//! against packet send times.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Ticks per millisecond (one tick = 100 ns).
+pub const TICKS_PER_MILLISECOND: u64 = 10_000;
+
+/// Ticks per second.
+pub const TICKS_PER_SECOND: u64 = 10_000_000;
+
+/// An absolute instant on some timeline, in 100 ns ticks.
+///
+/// Two timelines appear in the system — *wall* (simulation) time and
+/// *presentation* time — and both use this type; the owning API documents
+/// which timeline a value belongs to.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Ticks(pub u64);
+
+/// A span of time in 100 ns ticks.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TickDuration(pub u64);
+
+impl Ticks {
+    /// The zero instant.
+    pub const ZERO: Ticks = Ticks(0);
+
+    /// Instant at `ms` milliseconds from the timeline origin.
+    pub fn from_millis(ms: u64) -> Self {
+        Ticks(ms * TICKS_PER_MILLISECOND)
+    }
+
+    /// Instant at `s` seconds from the timeline origin.
+    pub fn from_secs(s: u64) -> Self {
+        Ticks(s * TICKS_PER_SECOND)
+    }
+
+    /// Whole milliseconds since the origin (truncating).
+    pub fn as_millis(self) -> u64 {
+        self.0 / TICKS_PER_MILLISECOND
+    }
+
+    /// Seconds since the origin as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SECOND as f64
+    }
+
+    /// Duration since `earlier`, saturating to zero if `earlier` is later.
+    pub fn since(self, earlier: Ticks) -> TickDuration {
+        TickDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Absolute difference between two instants.
+    pub fn abs_diff(self, other: Ticks) -> TickDuration {
+        TickDuration(self.0.abs_diff(other.0))
+    }
+}
+
+impl TickDuration {
+    /// The empty duration.
+    pub const ZERO: TickDuration = TickDuration(0);
+
+    /// Duration of `ms` milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        TickDuration(ms * TICKS_PER_MILLISECOND)
+    }
+
+    /// Duration of `s` seconds.
+    pub fn from_secs(s: u64) -> Self {
+        TickDuration(s * TICKS_PER_SECOND)
+    }
+
+    /// Whole milliseconds (truncating).
+    pub fn as_millis(self) -> u64 {
+        self.0 / TICKS_PER_MILLISECOND
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SECOND as f64
+    }
+
+    /// Whether the duration is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the duration by an integer factor.
+    pub fn saturating_mul(self, factor: u64) -> Self {
+        TickDuration(self.0.saturating_mul(factor))
+    }
+}
+
+impl std::ops::Div<u64> for TickDuration {
+    type Output = TickDuration;
+
+    /// Divides the duration by `divisor`, truncating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    fn div(self, divisor: u64) -> TickDuration {
+        TickDuration(self.0 / divisor)
+    }
+}
+
+impl Add<TickDuration> for Ticks {
+    type Output = Ticks;
+    fn add(self, rhs: TickDuration) -> Ticks {
+        Ticks(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TickDuration> for Ticks {
+    fn add_assign(&mut self, rhs: TickDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TickDuration> for Ticks {
+    type Output = Ticks;
+    fn sub(self, rhs: TickDuration) -> Ticks {
+        Ticks(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for TickDuration {
+    type Output = TickDuration;
+    fn add(self, rhs: TickDuration) -> TickDuration {
+        TickDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TickDuration {
+    fn add_assign(&mut self, rhs: TickDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TickDuration {
+    type Output = TickDuration;
+    fn sub(self, rhs: TickDuration) -> TickDuration {
+        TickDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for TickDuration {
+    fn sub_assign(&mut self, rhs: TickDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl fmt::Display for Ticks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for TickDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl From<TickDuration> for u64 {
+    fn from(d: TickDuration) -> u64 {
+        d.0
+    }
+}
+
+impl From<Ticks> for u64 {
+    fn from(t: Ticks) -> u64 {
+        t.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn millis_round_trip() {
+        assert_eq!(Ticks::from_millis(1500).as_millis(), 1500);
+        assert_eq!(TickDuration::from_secs(2).as_millis(), 2000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Ticks::from_secs(10) + TickDuration::from_secs(5);
+        assert_eq!(t, Ticks::from_secs(15));
+        assert_eq!(t - TickDuration::from_secs(20), Ticks::ZERO);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = Ticks::from_secs(1);
+        let b = Ticks::from_secs(3);
+        assert_eq!(b.since(a), TickDuration::from_secs(2));
+        assert_eq!(a.since(b), TickDuration::ZERO);
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        let a = Ticks::from_millis(100);
+        let b = Ticks::from_millis(350);
+        assert_eq!(a.abs_diff(b), b.abs_diff(a));
+        assert_eq!(a.abs_diff(b), TickDuration::from_millis(250));
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(Ticks::from_millis(1500).to_string(), "1.500s");
+        assert_eq!(TickDuration::from_millis(33).to_string(), "0.033s");
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = TickDuration::from_millis(40);
+        assert_eq!(d.saturating_mul(25), TickDuration::from_secs(1));
+        assert_eq!(TickDuration::from_secs(1) / 25, d);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ticks::from_millis(1) < Ticks::from_millis(2));
+        assert!(TickDuration::ZERO.is_zero());
+    }
+}

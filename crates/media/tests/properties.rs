@@ -1,0 +1,114 @@
+//! Property-based tests for the media clock and codec models.
+
+use lod_media::{CodecRegistry, MediaClock, MediaKind, TickDuration, Ticks};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum ClockOp {
+    Advance(u64),
+    Pause,
+    Resume,
+    Skip(u64),
+    Rewind(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = ClockOp> {
+    prop_oneof![
+        (1u64..1_000_000).prop_map(ClockOp::Advance),
+        Just(ClockOp::Pause),
+        Just(ClockOp::Resume),
+        (0u64..500_000).prop_map(ClockOp::Skip),
+        (0u64..500_000).prop_map(ClockOp::Rewind),
+    ]
+}
+
+proptest! {
+    /// Media time never decreases under advancing wall time without seeks,
+    /// and never advances while paused.
+    #[test]
+    fn clock_monotone_between_interactions(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        let mut clock = MediaClock::start_at(Ticks::ZERO);
+        let mut wall = 0u64;
+        let mut last_media = clock.media_time(Ticks(wall)).0;
+        let mut last_was_seek = false;
+        for op in ops {
+            match op {
+                ClockOp::Advance(d) => {
+                    let was_running = clock.is_running();
+                    let before = clock.media_time(Ticks(wall)).0;
+                    wall += d;
+                    let after = clock.media_time(Ticks(wall)).0;
+                    if was_running {
+                        prop_assert_eq!(after - before, d);
+                    } else {
+                        prop_assert_eq!(after, before);
+                    }
+                    last_was_seek = false;
+                }
+                ClockOp::Pause => clock.pause(Ticks(wall)),
+                ClockOp::Resume => clock.resume(Ticks(wall)),
+                ClockOp::Skip(d) => {
+                    clock.skip(Ticks(wall), TickDuration(d));
+                    last_was_seek = true;
+                }
+                ClockOp::Rewind(d) => {
+                    clock.rewind(Ticks(wall), TickDuration(d));
+                    last_was_seek = true;
+                }
+            }
+            let media = clock.media_time(Ticks(wall)).0;
+            if !last_was_seek {
+                prop_assert!(media >= last_media, "clock ran backwards without a seek");
+            }
+            last_media = media;
+        }
+    }
+
+    /// Pause/resume pairs exclude exactly the paused wall time.
+    #[test]
+    fn pause_windows_subtract_exactly(
+        run1 in 1u64..1_000_000,
+        paused in 1u64..1_000_000,
+        run2 in 1u64..1_000_000,
+    ) {
+        let mut clock = MediaClock::start_at(Ticks::ZERO);
+        clock.pause(Ticks(run1));
+        clock.resume(Ticks(run1 + paused));
+        let media = clock.media_time(Ticks(run1 + paused + run2)).0;
+        prop_assert_eq!(media, run1 + run2);
+    }
+
+    /// Codec quality is monotone non-decreasing in bitrate for every codec.
+    #[test]
+    fn codec_quality_monotone(
+        lo in 1_000u64..1_000_000,
+        step in 1_000u64..1_000_000,
+    ) {
+        let registry = CodecRegistry::builtin();
+        for spec in registry.iter() {
+            let q_lo = spec.quality_at(lo);
+            let q_hi = spec.quality_at(lo + step);
+            prop_assert!(q_hi >= q_lo, "{} dropped quality", spec.id());
+        }
+    }
+
+    /// Frame sizes sum to the requested rate over whole keyframe periods
+    /// (the rate-control contract; partial periods may deviate by up to
+    /// one keyframe's excess).
+    #[test]
+    fn frame_sizes_hit_rate(
+        bitrate in 100_000u64..5_000_000,
+        periods in 1u32..20,
+    ) {
+        let registry = CodecRegistry::builtin();
+        for spec in registry.for_kind(MediaKind::Video) {
+            let frames = spec.keyframe_interval().max(1) * periods;
+            let sizes = spec.frame_sizes(frames, bitrate);
+            let total: u64 = sizes.iter().map(|&s| u64::from(s)).sum();
+            let seconds = f64::from(frames) / f64::from(spec.frame_rate());
+            let target = spec.encoded_bytes(seconds, bitrate);
+            let err = (total as f64 - target as f64).abs() / target as f64;
+            prop_assert!(err < 0.02, "{}: err {err}", spec.id());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! OCPN and XOCPN: the synchronization baselines the paper extends.
+//!
+//! Little & Ghafoor's *Object Composition Petri Net* (paper ref \[4\]) is "a
+//! comprehensive model for specifying timing relations among multimedia
+//! data": presentations are composed from pairwise temporal relations
+//! (Allen's interval algebra) and compiled into a timed Petri net whose
+//! execution yields the playout schedule.
+//!
+//! The *Extended* OCPN (XOCPN, ref \[5\]) adds communication: each media
+//! object is transmitted over a channel with a declared QoS before it can
+//! play, so the compiled net contains transmit transitions and the schedule
+//! shows when channels must be set up.
+//!
+//! Both models are compiled onto [`lod_petri::TimedNet`] and executed with
+//! the deterministic [`lod_petri::TimedExecutor`]; the WMPS core crate then
+//! compares them against its extended timed Petri net under network jitter
+//! and user interaction — the two situations §1 of the paper says these
+//! baselines cannot handle.
+
+pub mod build;
+pub mod schedule;
+pub mod spec;
+pub mod xocpn;
+
+pub use build::Ocpn;
+pub use schedule::{PlayoutSchedule, ScheduleEntry};
+pub use spec::{PresentationSpec, TemporalRelation};
+pub use xocpn::{ChannelQos, Xocpn};

@@ -1,0 +1,161 @@
+//! Playout schedules extracted from executing a compiled net.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One scheduled media interval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleEntry {
+    /// Media object name.
+    pub name: String,
+    /// Playout start, in ticks from presentation start.
+    pub start: u64,
+    /// Playout end.
+    pub end: u64,
+}
+
+/// The playout schedule of a presentation: one entry per media interval,
+/// sorted by start time (ties by name).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PlayoutSchedule {
+    entries: Vec<ScheduleEntry>,
+}
+
+impl PlayoutSchedule {
+    /// Builds a schedule, sorting the entries.
+    pub fn new(mut entries: Vec<ScheduleEntry>) -> Self {
+        entries.sort_by(|a, b| a.start.cmp(&b.start).then_with(|| a.name.cmp(&b.name)));
+        Self { entries }
+    }
+
+    /// The entries in start order.
+    pub fn entries(&self) -> &[ScheduleEntry] {
+        &self.entries
+    }
+
+    /// Number of scheduled intervals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Start time of the named interval.
+    pub fn start_of(&self, name: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.start)
+    }
+
+    /// End time of the named interval.
+    pub fn end_of(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find(|e| e.name == name).map(|e| e.end)
+    }
+
+    /// Latest end time (0 for an empty schedule).
+    pub fn makespan(&self) -> u64 {
+        self.entries.iter().map(|e| e.end).max().unwrap_or(0)
+    }
+
+    /// Absolute difference between the start times of two intervals —
+    /// the inter-media *skew* of a sync point.
+    pub fn start_skew(&self, a: &str, b: &str) -> Option<u64> {
+        Some(self.start_of(a)?.abs_diff(self.start_of(b)?))
+    }
+
+    /// Entries active at time `t` (start ≤ t < end).
+    pub fn active_at(&self, t: u64) -> Vec<&ScheduleEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.start <= t && t < e.end)
+            .collect()
+    }
+
+    /// Shifts every entry later by `delta` ticks (used when embedding a
+    /// schedule into a larger timeline).
+    pub fn shifted(&self, delta: u64) -> PlayoutSchedule {
+        PlayoutSchedule {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| ScheduleEntry {
+                    name: e.name.clone(),
+                    start: e.start + delta,
+                    end: e.end + delta,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for PlayoutSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(f, "{:>8} ..{:>8}  {}", e.start, e.end, e.name)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> PlayoutSchedule {
+        PlayoutSchedule::new(vec![
+            ScheduleEntry {
+                name: "b".into(),
+                start: 30,
+                end: 70,
+            },
+            ScheduleEntry {
+                name: "a".into(),
+                start: 0,
+                end: 50,
+            },
+        ])
+    }
+
+    #[test]
+    fn sorted_by_start() {
+        let s = sched();
+        assert_eq!(s.entries()[0].name, "a");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn queries() {
+        let s = sched();
+        assert_eq!(s.start_of("b"), Some(30));
+        assert_eq!(s.end_of("a"), Some(50));
+        assert_eq!(s.makespan(), 70);
+        assert_eq!(s.start_skew("a", "b"), Some(30));
+        assert_eq!(s.start_of("zzz"), None);
+    }
+
+    #[test]
+    fn active_at_window() {
+        let s = sched();
+        assert_eq!(s.active_at(40).len(), 2);
+        assert_eq!(s.active_at(60).len(), 1);
+        assert!(s.active_at(80).is_empty());
+    }
+
+    #[test]
+    fn shifted_moves_everything() {
+        let s = sched().shifted(100);
+        assert_eq!(s.start_of("a"), Some(100));
+        assert_eq!(s.makespan(), 170);
+    }
+
+    #[test]
+    fn display_lists_entries() {
+        let text = sched().to_string();
+        assert!(text.contains('a') && text.contains('b'));
+    }
+}

@@ -1,0 +1,249 @@
+//! Presentation specifications: media intervals composed with Allen's
+//! temporal relations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The temporal relations of Allen's interval algebra used by OCPN
+/// (the seven canonical ones; inverses are expressed by swapping operands).
+///
+/// Offsets/delays are in the same abstract ticks as interval durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TemporalRelation {
+    /// `A before(δ) B`: B starts δ ticks after A ends.
+    Before(u64),
+    /// `A meets B`: B starts exactly when A ends.
+    Meets,
+    /// `A overlaps(δ) B`: B starts δ ticks after A starts, while A is
+    /// still playing.
+    Overlaps(u64),
+    /// `A during(δ) B` — note the OCPN convention: **A contains B**; B
+    /// starts δ ticks after A starts and ends before A does.
+    During(u64),
+    /// `A starts B`: both start together (ends may differ).
+    Starts,
+    /// `A finishes B`: both end together (B starts late).
+    Finishes,
+    /// `A equals B`: same start and end.
+    Equals,
+}
+
+impl fmt::Display for TemporalRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalRelation::Before(d) => write!(f, "before({d})"),
+            TemporalRelation::Meets => write!(f, "meets"),
+            TemporalRelation::Overlaps(d) => write!(f, "overlaps({d})"),
+            TemporalRelation::During(d) => write!(f, "during({d})"),
+            TemporalRelation::Starts => write!(f, "starts"),
+            TemporalRelation::Finishes => write!(f, "finishes"),
+            TemporalRelation::Equals => write!(f, "equals"),
+        }
+    }
+}
+
+/// A composable presentation: a single timed media interval, or two
+/// sub-presentations glued by a temporal relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PresentationSpec {
+    /// One media interval with a name and duration in ticks.
+    Interval {
+        /// Media object name (unique within the presentation).
+        name: String,
+        /// Playout duration in ticks.
+        duration: u64,
+    },
+    /// Two sub-presentations related in time.
+    Compose {
+        /// The relation between `first` and `second`.
+        relation: TemporalRelation,
+        /// Left operand (the "A" of the relation).
+        first: Box<PresentationSpec>,
+        /// Right operand (the "B" of the relation).
+        second: Box<PresentationSpec>,
+    },
+}
+
+impl PresentationSpec {
+    /// A leaf interval.
+    pub fn interval(name: impl Into<String>, duration: u64) -> Self {
+        PresentationSpec::Interval {
+            name: name.into(),
+            duration,
+        }
+    }
+
+    /// Composes `self` with `other` under `relation`.
+    pub fn compose(self, relation: TemporalRelation, other: PresentationSpec) -> Self {
+        PresentationSpec::Compose {
+            relation,
+            first: Box::new(self),
+            second: Box::new(other),
+        }
+    }
+
+    /// Convenience: sequential composition (`meets`).
+    pub fn then(self, other: PresentationSpec) -> Self {
+        self.compose(TemporalRelation::Meets, other)
+    }
+
+    /// Convenience: parallel composition with common start (`starts`).
+    pub fn alongside(self, other: PresentationSpec) -> Self {
+        self.compose(TemporalRelation::Starts, other)
+    }
+
+    /// Inverse-relation convenience: `self after(δ) other` ≡
+    /// `other before(δ) self` (Allen's inverses are expressed by swapping
+    /// operands).
+    pub fn after(self, delay: u64, other: PresentationSpec) -> Self {
+        other.compose(TemporalRelation::Before(delay), self)
+    }
+
+    /// N-ary sequential composition (`meets` folded left to right).
+    /// Returns `None` for an empty iterator.
+    pub fn sequence(items: impl IntoIterator<Item = PresentationSpec>) -> Option<Self> {
+        items.into_iter().reduce(|a, b| a.then(b))
+    }
+
+    /// N-ary parallel composition with a common start (`starts` folded).
+    /// Returns `None` for an empty iterator.
+    pub fn simultaneous(items: impl IntoIterator<Item = PresentationSpec>) -> Option<Self> {
+        items.into_iter().reduce(|a, b| a.alongside(b))
+    }
+
+    /// Total duration of the presentation in ticks (the makespan implied by
+    /// the relations, ignoring any resource contention).
+    pub fn duration(&self) -> u64 {
+        match self {
+            PresentationSpec::Interval { duration, .. } => *duration,
+            PresentationSpec::Compose {
+                relation,
+                first,
+                second,
+            } => {
+                let a = first.duration();
+                let b = second.duration();
+                match relation {
+                    TemporalRelation::Before(d) => a + d + b,
+                    TemporalRelation::Meets => a + b,
+                    TemporalRelation::Overlaps(d) | TemporalRelation::During(d) => a.max(d + b),
+                    TemporalRelation::Starts | TemporalRelation::Equals => a.max(b),
+                    TemporalRelation::Finishes => a.max(b),
+                }
+            }
+        }
+    }
+
+    /// Names of every interval, left to right.
+    pub fn interval_names(&self) -> Vec<&str> {
+        match self {
+            PresentationSpec::Interval { name, .. } => vec![name.as_str()],
+            PresentationSpec::Compose { first, second, .. } => {
+                let mut v = first.interval_names();
+                v.extend(second.interval_names());
+                v
+            }
+        }
+    }
+
+    /// Number of leaf intervals.
+    pub fn interval_count(&self) -> usize {
+        self.interval_names().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn av() -> PresentationSpec {
+        // 60-tick video with 60-tick audio in lip sync, then a 20-tick image.
+        PresentationSpec::interval("video", 60)
+            .compose(
+                TemporalRelation::Equals,
+                PresentationSpec::interval("audio", 60),
+            )
+            .compose(
+                TemporalRelation::Before(10),
+                PresentationSpec::interval("image", 20),
+            )
+    }
+
+    #[test]
+    fn duration_of_composition() {
+        assert_eq!(av().duration(), 90);
+    }
+
+    #[test]
+    fn duration_overlaps() {
+        let s = PresentationSpec::interval("a", 50).compose(
+            TemporalRelation::Overlaps(30),
+            PresentationSpec::interval("b", 40),
+        );
+        assert_eq!(s.duration(), 70);
+    }
+
+    #[test]
+    fn duration_during_contained() {
+        let s = PresentationSpec::interval("a", 100).compose(
+            TemporalRelation::During(20),
+            PresentationSpec::interval("b", 30),
+        );
+        assert_eq!(s.duration(), 100);
+    }
+
+    #[test]
+    fn duration_finishes() {
+        let s = PresentationSpec::interval("a", 100).compose(
+            TemporalRelation::Finishes,
+            PresentationSpec::interval("b", 30),
+        );
+        assert_eq!(s.duration(), 100);
+    }
+
+    #[test]
+    fn names_left_to_right() {
+        assert_eq!(av().interval_names(), ["video", "audio", "image"]);
+        assert_eq!(av().interval_count(), 3);
+    }
+
+    #[test]
+    fn sequence_folds_meets() {
+        let s = PresentationSpec::sequence(
+            (0..4).map(|i| PresentationSpec::interval(format!("s{i}"), 10)),
+        )
+        .unwrap();
+        assert_eq!(s.duration(), 40);
+        assert_eq!(s.interval_count(), 4);
+        assert!(PresentationSpec::sequence(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn simultaneous_folds_starts() {
+        let s = PresentationSpec::simultaneous(
+            [30u64, 50, 20]
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| PresentationSpec::interval(format!("p{i}"), d)),
+        )
+        .unwrap();
+        assert_eq!(s.duration(), 50);
+    }
+
+    #[test]
+    fn after_is_swapped_before() {
+        let a = PresentationSpec::interval("a", 10);
+        let b = PresentationSpec::interval("b", 20);
+        let s = a.after(5, b);
+        // b plays first, then a 5 ticks later: total 20 + 5 + 10.
+        assert_eq!(s.duration(), 35);
+        assert_eq!(s.interval_names(), ["b", "a"]);
+    }
+
+    #[test]
+    fn relation_display() {
+        assert_eq!(TemporalRelation::Before(10).to_string(), "before(10)");
+        assert_eq!(TemporalRelation::Equals.to_string(), "equals");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for OCPN/XOCPN compilation and scheduling.
+
+use std::collections::HashMap;
+
+use lod_ocpn::{ChannelQos, Ocpn, PresentationSpec, TemporalRelation, Xocpn};
+use proptest::prelude::*;
+
+fn arb_relation() -> impl Strategy<Value = TemporalRelation> {
+    prop_oneof![
+        (0u64..50).prop_map(TemporalRelation::Before),
+        Just(TemporalRelation::Meets),
+        (1u64..40).prop_map(TemporalRelation::Overlaps),
+        (0u64..30).prop_map(TemporalRelation::During),
+        Just(TemporalRelation::Starts),
+        Just(TemporalRelation::Finishes),
+        Just(TemporalRelation::Equals),
+    ]
+}
+
+/// A random spec tree with unique interval names.
+fn arb_spec() -> impl Strategy<Value = PresentationSpec> {
+    let leaf = (1u64..100).prop_map(|d| (d, ()));
+    // Build a random shape, then rename leaves uniquely.
+    let shape = leaf
+        .prop_map(|(d, ())| PresentationSpec::interval("x", d))
+        .prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), arb_relation(), inner).prop_map(|(a, rel, b)| a.compose(rel, b))
+        });
+    shape.prop_map(|spec| {
+        let mut counter = 0;
+        rename(&spec, &mut counter)
+    })
+}
+
+fn rename(spec: &PresentationSpec, counter: &mut usize) -> PresentationSpec {
+    match spec {
+        PresentationSpec::Interval { duration, .. } => {
+            let name = format!("i{counter}");
+            *counter += 1;
+            PresentationSpec::interval(name, *duration)
+        }
+        PresentationSpec::Compose {
+            relation,
+            first,
+            second,
+        } => rename(first, counter).compose(*relation, rename(second, counter)),
+    }
+}
+
+proptest! {
+    /// The executed schedule's makespan equals the spec's analytic
+    /// duration for every composition of relations.
+    #[test]
+    fn schedule_makespan_equals_spec_duration(spec in arb_spec()) {
+        let schedule = Ocpn::compile(&spec).schedule();
+        prop_assert_eq!(schedule.makespan(), spec.duration());
+    }
+
+    /// Every interval is scheduled exactly once and runs its full length.
+    #[test]
+    fn every_interval_scheduled_once(spec in arb_spec()) {
+        let schedule = Ocpn::compile(&spec).schedule();
+        let names = spec.interval_names();
+        prop_assert_eq!(schedule.len(), names.len());
+        for name in names {
+            let start = schedule.start_of(name).expect("scheduled");
+            let end = schedule.end_of(name).expect("scheduled");
+            prop_assert!(end >= start);
+        }
+    }
+
+    /// XOCPN with no QoS declarations and ample channels reproduces the
+    /// plain OCPN schedule exactly.
+    #[test]
+    fn xocpn_with_free_channels_matches_ocpn(spec in arb_spec()) {
+        let ocpn = Ocpn::compile(&spec).schedule();
+        let xocpn = Xocpn::compile(&spec, &HashMap::new(), 64).schedule();
+        prop_assert_eq!(ocpn, xocpn);
+    }
+
+    /// Adding transmission time never makes any playout start earlier.
+    #[test]
+    fn qos_delays_are_monotone(spec in arb_spec(), ticks in 1u64..200) {
+        let base = Ocpn::compile(&spec).schedule();
+        let qos: HashMap<String, ChannelQos> = spec
+            .interval_names()
+            .iter()
+            .map(|n| (n.to_string(), ChannelQos::from_ticks(ticks)))
+            .collect();
+        let loaded = Xocpn::compile(&spec, &qos, 4).schedule();
+        for name in spec.interval_names() {
+            prop_assert!(
+                loaded.start_of(name).unwrap() >= base.start_of(name).unwrap(),
+                "{name} started earlier under load"
+            );
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Reachability-based analysis: boundedness, safeness, deadlock, liveness.
+//!
+//! Exhaustive exploration is exponential in general (Mayr, paper ref \[7\]);
+//! the explorer therefore takes an explicit state budget and reports
+//! [`PetriError::ExplorationLimit`] instead of running away.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::error::PetriError;
+use crate::marking::Marking;
+use crate::net::{PetriNet, TransitionId};
+
+/// Exploration budget for [`ReachabilityGraph::explore`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreLimits {
+    /// Maximum number of distinct markings to visit.
+    pub max_states: usize,
+    /// Markings whose total token count exceeds this are treated as
+    /// evidence of unboundedness and abort exploration.
+    pub max_tokens: u64,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        Self {
+            max_states: 100_000,
+            max_tokens: 10_000,
+        }
+    }
+}
+
+/// The explicit reachability graph of a bounded net.
+#[derive(Debug, Clone)]
+pub struct ReachabilityGraph {
+    markings: Vec<Marking>,
+    /// `edges[i]` = `(transition, successor-state-index)` pairs from state `i`.
+    edges: Vec<Vec<(TransitionId, usize)>>,
+}
+
+impl ReachabilityGraph {
+    /// Explores all markings reachable from `initial`, breadth-first.
+    ///
+    /// # Errors
+    ///
+    /// [`PetriError::ExplorationLimit`] when `limits` are exceeded — in
+    /// particular, a marking whose token total exceeds `max_tokens` is taken
+    /// as a sign of unboundedness.
+    pub fn explore(
+        net: &PetriNet,
+        initial: &Marking,
+        limits: ExploreLimits,
+    ) -> Result<Self, PetriError> {
+        let mut index: HashMap<Marking, usize> = HashMap::new();
+        let mut markings = Vec::new();
+        let mut edges: Vec<Vec<(TransitionId, usize)>> = Vec::new();
+        let mut queue = VecDeque::new();
+
+        index.insert(initial.clone(), 0);
+        markings.push(initial.clone());
+        edges.push(Vec::new());
+        queue.push_back(0usize);
+
+        while let Some(state) = queue.pop_front() {
+            let m = markings[state].clone();
+            for t in net.enabled(&m) {
+                let next = net.successor(&m, t).expect("enabled transition fires");
+                if next.total() > limits.max_tokens {
+                    return Err(PetriError::ExplorationLimit {
+                        states_seen: markings.len(),
+                    });
+                }
+                let next_idx = match index.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        if markings.len() >= limits.max_states {
+                            return Err(PetriError::ExplorationLimit {
+                                states_seen: markings.len(),
+                            });
+                        }
+                        let i = markings.len();
+                        index.insert(next.clone(), i);
+                        markings.push(next);
+                        edges.push(Vec::new());
+                        queue.push_back(i);
+                        i
+                    }
+                };
+                edges[state].push((t, next_idx));
+            }
+        }
+        Ok(Self { markings, edges })
+    }
+
+    /// Number of reachable markings.
+    pub fn state_count(&self) -> usize {
+        self.markings.len()
+    }
+
+    /// All reachable markings, index 0 being the initial one.
+    pub fn markings(&self) -> &[Marking] {
+        &self.markings
+    }
+
+    /// Outgoing edges of state `i` as `(transition, successor)` pairs.
+    pub fn edges(&self, i: usize) -> &[(TransitionId, usize)] {
+        &self.edges[i]
+    }
+
+    /// The smallest bound `k` such that every reachable marking puts at most
+    /// `k` tokens in any single place.
+    pub fn bound(&self) -> u64 {
+        self.markings
+            .iter()
+            .flat_map(|m| m.as_slice().iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether every reachable marking is safe (1-bounded).
+    pub fn is_safe(&self) -> bool {
+        self.bound() <= 1
+    }
+
+    /// Reachable markings with no enabled transition.
+    pub fn deadlocks(&self) -> Vec<&Marking> {
+        self.markings
+            .iter()
+            .zip(&self.edges)
+            .filter(|(_, e)| e.is_empty())
+            .map(|(m, _)| m)
+            .collect()
+    }
+
+    /// Whether `transition` fires on at least one reachable edge
+    /// (quasi-liveness, liveness level L1).
+    pub fn is_quasi_live(&self, transition: TransitionId) -> bool {
+        self.edges.iter().flatten().any(|(t, _)| *t == transition)
+    }
+
+    /// Transitions that never fire anywhere in the graph (dead transitions).
+    pub fn dead_transitions(&self, net: &PetriNet) -> Vec<TransitionId> {
+        net.transitions()
+            .filter(|t| !self.is_quasi_live(*t))
+            .collect()
+    }
+
+    /// Whether `target` is reachable from the initial marking.
+    pub fn contains(&self, target: &Marking) -> bool {
+        self.markings.iter().any(|m| m == target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetBuilder;
+
+    /// Classic mutual-exclusion net: two processes, one shared resource.
+    fn mutex() -> (PetriNet, Marking) {
+        let mut b = NetBuilder::new();
+        let idle1 = b.place("idle1");
+        let crit1 = b.place("crit1");
+        let idle2 = b.place("idle2");
+        let crit2 = b.place("crit2");
+        let res = b.place("res");
+        let enter1 = b.transition("enter1");
+        let exit1 = b.transition("exit1");
+        let enter2 = b.transition("enter2");
+        let exit2 = b.transition("exit2");
+        b.arc_in(idle1, enter1, 1).unwrap();
+        b.arc_in(res, enter1, 1).unwrap();
+        b.arc_out(enter1, crit1, 1).unwrap();
+        b.arc_in(crit1, exit1, 1).unwrap();
+        b.arc_out(exit1, idle1, 1).unwrap();
+        b.arc_out(exit1, res, 1).unwrap();
+        b.arc_in(idle2, enter2, 1).unwrap();
+        b.arc_in(res, enter2, 1).unwrap();
+        b.arc_out(enter2, crit2, 1).unwrap();
+        b.arc_in(crit2, exit2, 1).unwrap();
+        b.arc_out(exit2, idle2, 1).unwrap();
+        b.arc_out(exit2, res, 1).unwrap();
+        let net = b.build();
+        let mut m = Marking::new(net.place_count());
+        m.set(idle1, 1);
+        m.set(idle2, 1);
+        m.set(res, 1);
+        (net, m)
+    }
+
+    #[test]
+    fn mutex_is_safe_and_deadlock_free() {
+        let (net, m0) = mutex();
+        let g = ReachabilityGraph::explore(&net, &m0, ExploreLimits::default()).unwrap();
+        // idle/idle, crit1/idle, idle/crit2 — exactly 3 states.
+        assert_eq!(g.state_count(), 3);
+        assert!(g.is_safe());
+        assert!(g.deadlocks().is_empty());
+        for t in net.transitions() {
+            assert!(g.is_quasi_live(t), "{} dead", net.transition_name(t));
+        }
+    }
+
+    #[test]
+    fn mutual_exclusion_holds_in_every_state() {
+        let (net, m0) = mutex();
+        let crit1 = net
+            .places()
+            .find(|p| net.place_name(*p) == "crit1")
+            .unwrap();
+        let crit2 = net
+            .places()
+            .find(|p| net.place_name(*p) == "crit2")
+            .unwrap();
+        let g = ReachabilityGraph::explore(&net, &m0, ExploreLimits::default()).unwrap();
+        for m in g.markings() {
+            assert!(m.tokens(crit1) + m.tokens(crit2) <= 1);
+        }
+    }
+
+    #[test]
+    fn unbounded_net_hits_token_limit() {
+        // t: p -> p,p doubles tokens forever.
+        let mut b = NetBuilder::new();
+        let p = b.place("p");
+        let t = b.transition("t");
+        b.arc_in(p, t, 1).unwrap();
+        b.arc_out(t, p, 2).unwrap();
+        let net = b.build();
+        let mut m = Marking::new(1);
+        m.set(p, 1);
+        let result = ReachabilityGraph::explore(
+            &net,
+            &m,
+            ExploreLimits {
+                max_states: 1_000,
+                max_tokens: 64,
+            },
+        );
+        assert!(matches!(result, Err(PetriError::ExplorationLimit { .. })));
+    }
+
+    #[test]
+    fn dead_transition_detected() {
+        let mut b = NetBuilder::new();
+        let p = b.place("p");
+        let q = b.place("q");
+        let live = b.transition("live");
+        let dead = b.transition("dead");
+        b.arc_in(p, live, 1).unwrap();
+        b.arc_in(q, dead, 1).unwrap(); // q never marked
+        let net = b.build();
+        let mut m = Marking::new(2);
+        m.set(p, 1);
+        let g = ReachabilityGraph::explore(&net, &m, ExploreLimits::default()).unwrap();
+        assert_eq!(g.dead_transitions(&net), vec![dead]);
+    }
+
+    #[test]
+    fn deadlock_found() {
+        let mut b = NetBuilder::new();
+        let p = b.place("p");
+        let q = b.place("q");
+        let t = b.transition("t");
+        b.arc_in(p, t, 1).unwrap();
+        b.arc_out(t, q, 1).unwrap();
+        let net = b.build();
+        let mut m = Marking::new(2);
+        m.set(p, 1);
+        let g = ReachabilityGraph::explore(&net, &m, ExploreLimits::default()).unwrap();
+        let deadlocks = g.deadlocks();
+        assert_eq!(deadlocks.len(), 1);
+        assert_eq!(deadlocks[0].tokens(q), 1);
+    }
+
+    #[test]
+    fn contains_finds_reachable_marking() {
+        let (net, m0) = mutex();
+        let g = ReachabilityGraph::explore(&net, &m0, ExploreLimits::default()).unwrap();
+        assert!(g.contains(&m0));
+        let unreachable = Marking::from_counts(vec![0, 1, 0, 1, 0]);
+        assert!(!g.contains(&unreachable));
+    }
+
+    #[test]
+    fn state_limit_respected() {
+        let (net, m0) = mutex();
+        let result = ReachabilityGraph::explore(
+            &net,
+            &m0,
+            ExploreLimits {
+                max_states: 2,
+                max_tokens: 100,
+            },
+        );
+        assert!(matches!(result, Err(PetriError::ExplorationLimit { .. })));
+    }
+}

@@ -1,0 +1,389 @@
+//! Coverability analysis (Karp–Miller) and structural siphon/trap checks.
+//!
+//! Reachability exploration ([`crate::analysis`]) only terminates on
+//! bounded nets. The Karp–Miller construction abstracts unbounded growth
+//! with an ω symbol, so *coverability* — "can a marking with at least
+//! these tokens be reached?" — is decidable for every net, which is what
+//! lets the sync-model builders assert boundedness of their control
+//! structure instead of trusting it.
+//!
+//! The structural half: a **siphon** is a place set whose every input
+//! transition is also an output transition of the set (once empty, it
+//! stays empty — a deadlock seed); a **trap** is the dual (once marked,
+//! it stays marked). A deadlocked net always has an empty siphon, so
+//! finding an unmarked siphon is a cheap static warning.
+
+use std::collections::VecDeque;
+
+use crate::marking::Marking;
+use crate::net::{PetriNet, PlaceId};
+
+/// A token count that may be finite or unbounded (ω).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Count {
+    /// Exactly this many tokens.
+    Finite(u64),
+    /// Unboundedly many tokens (ω).
+    Omega,
+}
+
+impl Count {
+    fn at_least(self, n: u64) -> bool {
+        match self {
+            Count::Finite(v) => v >= n,
+            Count::Omega => true,
+        }
+    }
+
+    fn sub(self, n: u64) -> Count {
+        match self {
+            Count::Finite(v) => Count::Finite(v - n),
+            Count::Omega => Count::Omega,
+        }
+    }
+
+    fn add(self, n: u64) -> Count {
+        match self {
+            Count::Finite(v) => Count::Finite(v + n),
+            Count::Omega => Count::Omega,
+        }
+    }
+}
+
+/// An extended marking over `Count`s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OmegaMarking {
+    counts: Vec<Count>,
+}
+
+impl OmegaMarking {
+    /// Lifts a concrete marking.
+    pub fn from_marking(m: &Marking) -> Self {
+        Self {
+            counts: m.as_slice().iter().map(|&v| Count::Finite(v)).collect(),
+        }
+    }
+
+    /// The count at a place.
+    pub fn count(&self, place: PlaceId) -> Count {
+        self.counts[place.index()]
+    }
+
+    /// Whether any place is ω (the net is unbounded along this branch).
+    pub fn has_omega(&self) -> bool {
+        self.counts.contains(&Count::Omega)
+    }
+
+    /// Componentwise ≥ against a concrete marking.
+    pub fn covers(&self, m: &Marking) -> bool {
+        self.counts.len() == m.len()
+            && self
+                .counts
+                .iter()
+                .zip(m.as_slice())
+                .all(|(c, &v)| c.at_least(v))
+    }
+
+    /// Componentwise ≥ against another ω-marking.
+    fn covers_omega(&self, other: &OmegaMarking) -> bool {
+        self.counts
+            .iter()
+            .zip(&other.counts)
+            .all(|(a, b)| match (a, b) {
+                (Count::Omega, _) => true,
+                (Count::Finite(_), Count::Omega) => false,
+                (Count::Finite(x), Count::Finite(y)) => x >= y,
+            })
+    }
+}
+
+/// The Karp–Miller coverability tree (stored as its node set).
+#[derive(Debug)]
+pub struct CoverabilityTree {
+    nodes: Vec<OmegaMarking>,
+    bounded: bool,
+}
+
+impl CoverabilityTree {
+    /// Builds the tree from `initial`, capping at `max_nodes` as a safety
+    /// valve (the construction always terminates, but can be large).
+    pub fn build(net: &PetriNet, initial: &Marking, max_nodes: usize) -> Self {
+        let root = OmegaMarking::from_marking(initial);
+        let mut nodes = vec![root.clone()];
+        // Each queue entry carries its ancestor chain (indices into nodes).
+        let mut queue: VecDeque<(usize, Vec<usize>)> = VecDeque::new();
+        queue.push_back((0, vec![0]));
+        let mut bounded = true;
+
+        while let Some((idx, ancestors)) = queue.pop_front() {
+            if nodes.len() >= max_nodes {
+                break;
+            }
+            let current = nodes[idx].clone();
+            for t in net.transitions() {
+                // Enabled under ω semantics?
+                let enabled = net
+                    .inputs(t)
+                    .iter()
+                    .all(|(p, w)| current.count(*p).at_least(u64::from(*w)));
+                if !enabled {
+                    continue;
+                }
+                let mut next = current.clone();
+                for (p, w) in net.inputs(t) {
+                    next.counts[p.index()] = next.counts[p.index()].sub(u64::from(*w));
+                }
+                for (p, w) in net.outputs(t) {
+                    next.counts[p.index()] = next.counts[p.index()].add(u64::from(*w));
+                }
+                // ω-acceleration: if an ancestor is strictly covered,
+                // pump the growing places to ω.
+                for &a in &ancestors {
+                    let anc = &nodes[a];
+                    if next.covers_omega(anc) && next != *anc {
+                        for i in 0..next.counts.len() {
+                            let grew = match (next.counts[i], anc.counts[i]) {
+                                (Count::Finite(x), Count::Finite(y)) => x > y,
+                                (Count::Omega, Count::Finite(_)) => true,
+                                _ => false,
+                            };
+                            if grew {
+                                next.counts[i] = Count::Omega;
+                            }
+                        }
+                    }
+                }
+                if next.has_omega() {
+                    bounded = false;
+                }
+                // Prune: skip if an existing node covers it.
+                if nodes.iter().any(|n| n.covers_omega(&next)) {
+                    continue;
+                }
+                let new_idx = nodes.len();
+                nodes.push(next);
+                let mut chain = ancestors.clone();
+                chain.push(new_idx);
+                queue.push_back((new_idx, chain));
+            }
+        }
+        Self { nodes, bounded }
+    }
+
+    /// Whether the net is bounded from the initial marking.
+    pub fn is_bounded(&self) -> bool {
+        self.bounded
+    }
+
+    /// Number of tree nodes kept.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether some reachable marking covers `target` (has at least its
+    /// tokens everywhere).
+    pub fn can_cover(&self, target: &Marking) -> bool {
+        self.nodes.iter().any(|n| n.covers(target))
+    }
+
+    /// Places that can grow without bound.
+    pub fn unbounded_places(&self, net: &PetriNet) -> Vec<PlaceId> {
+        net.places()
+            .filter(|p| self.nodes.iter().any(|n| n.count(*p) == Count::Omega))
+            .collect()
+    }
+}
+
+/// Whether `places` forms a siphon: every transition feeding the set also
+/// consumes from it (`•S ⊆ S•`).
+pub fn is_siphon(net: &PetriNet, places: &[PlaceId]) -> bool {
+    if places.is_empty() {
+        return false;
+    }
+    net.transitions().all(|t| {
+        let feeds = net.outputs(t).iter().any(|(p, _)| places.contains(p));
+        if !feeds {
+            return true;
+        }
+        net.inputs(t).iter().any(|(p, _)| places.contains(p))
+    })
+}
+
+/// Whether `places` forms a trap: every transition consuming from the set
+/// also feeds it (`S• ⊆ •S`).
+pub fn is_trap(net: &PetriNet, places: &[PlaceId]) -> bool {
+    if places.is_empty() {
+        return false;
+    }
+    net.transitions().all(|t| {
+        let drains = net.inputs(t).iter().any(|(p, _)| places.contains(p));
+        if !drains {
+            return true;
+        }
+        net.outputs(t).iter().any(|(p, _)| places.contains(p))
+    })
+}
+
+/// Finds all *minimal* siphons of nets with at most `max_places` places by
+/// exhaustive subset search (exponential — a structural tool for the small
+/// control nets, not for lecture-scale ones).
+///
+/// # Panics
+///
+/// Panics if the net has more than 20 places (the subset enumeration
+/// would be astronomically large).
+pub fn minimal_siphons(net: &PetriNet) -> Vec<Vec<PlaceId>> {
+    let n = net.place_count();
+    assert!(n <= 20, "minimal_siphons is exponential; net too large");
+    let places: Vec<PlaceId> = net.places().collect();
+    let mut found: Vec<Vec<PlaceId>> = Vec::new();
+    for mask in 1u32..(1 << n) {
+        let subset: Vec<PlaceId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| places[i])
+            .collect();
+        if !is_siphon(net, &subset) {
+            continue;
+        }
+        // Minimal: no already-found siphon is a subset.
+        if found.iter().any(|s| s.iter().all(|p| subset.contains(p))) {
+            continue;
+        }
+        found.push(subset);
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetBuilder;
+
+    #[test]
+    fn bounded_cycle_has_no_omega() {
+        let mut b = NetBuilder::new();
+        let p0 = b.place("p0");
+        let p1 = b.place("p1");
+        let t0 = b.transition("t0");
+        let t1 = b.transition("t1");
+        b.arc_in(p0, t0, 1).unwrap();
+        b.arc_out(t0, p1, 1).unwrap();
+        b.arc_in(p1, t1, 1).unwrap();
+        b.arc_out(t1, p0, 1).unwrap();
+        let net = b.build();
+        let mut m = Marking::new(2);
+        m.set(p0, 1);
+        let tree = CoverabilityTree::build(&net, &m, 10_000);
+        assert!(tree.is_bounded());
+        assert!(tree.unbounded_places(&net).is_empty());
+    }
+
+    #[test]
+    fn producer_without_consumer_is_unbounded() {
+        // t: p -> p + q grows q forever.
+        let mut b = NetBuilder::new();
+        let p = b.place("p");
+        let q = b.place("q");
+        let t = b.transition("t");
+        b.arc_in(p, t, 1).unwrap();
+        b.arc_out(t, p, 1).unwrap();
+        b.arc_out(t, q, 1).unwrap();
+        let net = b.build();
+        let mut m = Marking::new(2);
+        m.set(p, 1);
+        let tree = CoverabilityTree::build(&net, &m, 10_000);
+        assert!(!tree.is_bounded());
+        assert_eq!(tree.unbounded_places(&net), vec![q]);
+        // Any finite amount of q is coverable.
+        let mut target = Marking::new(2);
+        target.set(q, 1_000);
+        assert!(tree.can_cover(&target));
+    }
+
+    #[test]
+    fn cover_query_on_bounded_net() {
+        let mut b = NetBuilder::new();
+        let p = b.place("p");
+        let q = b.place("q");
+        let t = b.transition("t");
+        b.arc_in(p, t, 1).unwrap();
+        b.arc_out(t, q, 1).unwrap();
+        let net = b.build();
+        let mut m = Marking::new(2);
+        m.set(p, 1);
+        let tree = CoverabilityTree::build(&net, &m, 1_000);
+        let mut one_q = Marking::new(2);
+        one_q.set(q, 1);
+        assert!(tree.can_cover(&one_q));
+        let mut two_q = Marking::new(2);
+        two_q.set(q, 2);
+        assert!(!tree.can_cover(&two_q));
+    }
+
+    #[test]
+    fn siphon_and_trap_detection() {
+        // Cycle p0 -> t0 -> p1 -> t1 -> p0: {p0, p1} is both siphon & trap.
+        let mut b = NetBuilder::new();
+        let p0 = b.place("p0");
+        let p1 = b.place("p1");
+        let t0 = b.transition("t0");
+        let t1 = b.transition("t1");
+        b.arc_in(p0, t0, 1).unwrap();
+        b.arc_out(t0, p1, 1).unwrap();
+        b.arc_in(p1, t1, 1).unwrap();
+        b.arc_out(t1, p0, 1).unwrap();
+        let net = b.build();
+        assert!(is_siphon(&net, &[p0, p1]));
+        assert!(is_trap(&net, &[p0, p1]));
+        // {p0} alone: t1 feeds it but consumes from p1, not p0 → not a siphon.
+        assert!(!is_siphon(&net, &[p0]));
+        assert!(!is_trap(&net, &[p0]));
+        assert!(!is_siphon(&net, &[]));
+    }
+
+    #[test]
+    fn sink_place_is_a_trap_not_a_siphon() {
+        let mut b = NetBuilder::new();
+        let p = b.place("p");
+        let q = b.place("q");
+        let t = b.transition("t");
+        b.arc_in(p, t, 1).unwrap();
+        b.arc_out(t, q, 1).unwrap();
+        let net = b.build();
+        // q only gains tokens: trap. It is fed by t which doesn't consume
+        // from it: not a siphon.
+        assert!(is_trap(&net, &[q]));
+        assert!(!is_siphon(&net, &[q]));
+        // p only loses tokens: siphon, not trap.
+        assert!(is_siphon(&net, &[p]));
+        assert!(!is_trap(&net, &[p]));
+    }
+
+    #[test]
+    fn minimal_siphons_of_mutex() {
+        // The classic mutex net: the resource place forms part of the
+        // invariant siphons.
+        let mut b = NetBuilder::new();
+        let idle = b.place("idle");
+        let crit = b.place("crit");
+        let res = b.place("res");
+        let enter = b.transition("enter");
+        let exit = b.transition("exit");
+        b.arc_in(idle, enter, 1).unwrap();
+        b.arc_in(res, enter, 1).unwrap();
+        b.arc_out(enter, crit, 1).unwrap();
+        b.arc_in(crit, exit, 1).unwrap();
+        b.arc_out(exit, idle, 1).unwrap();
+        b.arc_out(exit, res, 1).unwrap();
+        let net = b.build();
+        let siphons = minimal_siphons(&net);
+        assert!(!siphons.is_empty());
+        for s in &siphons {
+            assert!(is_siphon(&net, s));
+        }
+        // {idle, crit} cycles tokens: a minimal siphon.
+        assert!(siphons
+            .iter()
+            .any(|s| s.len() == 2 && s.contains(&idle) && s.contains(&crit)));
+    }
+}

@@ -1,0 +1,117 @@
+//! Graphviz DOT export.
+//!
+//! "Petri net is a graphical and mathematical modeling tool" (§1) — the
+//! graphical half. [`to_dot`] renders any net (optionally with a marking)
+//! as DOT source: places are circles with token dots, transitions are
+//! boxes, arcs carry their weights. Feed the output to `dot -Tsvg` to see
+//! the nets the sync models build.
+
+use std::fmt::Write as _;
+
+use crate::marking::Marking;
+use crate::net::PetriNet;
+
+/// Renders `net` as Graphviz DOT. When `marking` is given, each place
+/// label shows its token count and marked places are filled.
+pub fn to_dot(net: &PetriNet, marking: Option<&Marking>) -> String {
+    let mut out = String::new();
+    out.push_str("digraph petri {\n  rankdir=LR;\n");
+    out.push_str("  node [fontsize=10];\n");
+    for p in net.places() {
+        let tokens = marking.map(|m| m.tokens(p)).unwrap_or(0);
+        let label = if marking.is_some() {
+            format!("{}\\n●{}", escape(net.place_name(p)), tokens)
+        } else {
+            escape(net.place_name(p))
+        };
+        let fill = if tokens > 0 {
+            ", style=filled, fillcolor=\"#ffe08a\""
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  {p} [shape=circle, label=\"{label}\"{fill}];");
+    }
+    for t in net.transitions() {
+        let _ = writeln!(
+            out,
+            "  {t} [shape=box, label=\"{}\", style=filled, fillcolor=\"#d0e2ff\"];",
+            escape(net.transition_name(t))
+        );
+    }
+    for t in net.transitions() {
+        for (p, w) in net.inputs(t) {
+            let _ = writeln!(out, "  {p} -> {t}{};", weight_attr(*w));
+        }
+        for (p, w) in net.outputs(t) {
+            let _ = writeln!(out, "  {t} -> {p}{};", weight_attr(*w));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn weight_attr(w: u32) -> String {
+    if w == 1 {
+        String::new()
+    } else {
+        format!(" [label=\"{w}\"]")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetBuilder;
+
+    fn net() -> (PetriNet, Marking) {
+        let mut b = NetBuilder::new();
+        let p = b.place("ready");
+        let q = b.place("done \"quoted\"");
+        let t = b.transition("fire");
+        b.arc_in(p, t, 2).unwrap();
+        b.arc_out(t, q, 1).unwrap();
+        let net = b.build();
+        let mut m = Marking::new(2);
+        m.set(p, 3);
+        (net, m)
+    }
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let (net, _) = net();
+        let dot = to_dot(&net, None);
+        assert!(dot.starts_with("digraph petri {"));
+        assert!(dot.contains("p0 [shape=circle"));
+        assert!(dot.contains("t0 [shape=box"));
+        assert!(dot.contains("p0 -> t0 [label=\"2\"];"));
+        assert!(dot.contains("t0 -> p1;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn marking_shows_tokens_and_fill() {
+        let (net, m) = net();
+        let dot = to_dot(&net, Some(&m));
+        assert!(dot.contains("●3"));
+        assert!(dot.contains("fillcolor=\"#ffe08a\""));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let (net, _) = net();
+        let dot = to_dot(&net, None);
+        assert!(dot.contains("done \\\"quoted\\\""));
+    }
+
+    #[test]
+    fn balanced_braces() {
+        let (net, m) = net();
+        for dot in [to_dot(&net, None), to_dot(&net, Some(&m))] {
+            assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        }
+    }
+}

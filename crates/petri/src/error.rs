@@ -1,0 +1,102 @@
+//! Error types for net construction, firing and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::net::{PlaceId, TransitionId};
+
+/// Errors produced by net construction, firing, and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PetriError {
+    /// A [`PlaceId`] did not belong to the net it was used with.
+    UnknownPlace(PlaceId),
+    /// A [`TransitionId`] did not belong to the net it was used with.
+    UnknownTransition(TransitionId),
+    /// An arc was declared with weight zero, which is meaningless.
+    ZeroWeightArc,
+    /// The transition was not enabled in the given marking.
+    NotEnabled(TransitionId),
+    /// Firing would exceed the declared capacity of a place.
+    CapacityExceeded {
+        /// The place whose capacity would be violated.
+        place: PlaceId,
+        /// The declared capacity.
+        capacity: u32,
+        /// The token count the firing attempted to reach.
+        attempted: u64,
+    },
+    /// A marking had the wrong number of places for the net.
+    MarkingSizeMismatch {
+        /// Places in the net.
+        expected: usize,
+        /// Places in the supplied marking.
+        actual: usize,
+    },
+    /// Reachability exploration hit the configured state or token limit.
+    ExplorationLimit {
+        /// Number of distinct markings seen before giving up.
+        states_seen: usize,
+    },
+    /// A timed executor was asked to run past its configured horizon.
+    HorizonExceeded,
+}
+
+impl fmt::Display for PetriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PetriError::UnknownPlace(p) => write!(f, "unknown place {p:?}"),
+            PetriError::UnknownTransition(t) => write!(f, "unknown transition {t:?}"),
+            PetriError::ZeroWeightArc => write!(f, "arc weight must be positive"),
+            PetriError::NotEnabled(t) => write!(f, "transition {t:?} is not enabled"),
+            PetriError::CapacityExceeded {
+                place,
+                capacity,
+                attempted,
+            } => write!(
+                f,
+                "place {place:?} capacity {capacity} exceeded (attempted {attempted})"
+            ),
+            PetriError::MarkingSizeMismatch { expected, actual } => {
+                write!(f, "marking has {actual} places but the net has {expected}")
+            }
+            PetriError::ExplorationLimit { states_seen } => write!(
+                f,
+                "reachability exploration exceeded its limit after {states_seen} markings"
+            ),
+            PetriError::HorizonExceeded => write!(f, "timed execution exceeded its horizon"),
+        }
+    }
+}
+
+impl Error for PetriError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = PetriError::ZeroWeightArc;
+        let s = e.to_string();
+        assert!(s.starts_with("arc"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PetriError>();
+    }
+
+    #[test]
+    fn capacity_display_mentions_numbers() {
+        let e = PetriError::CapacityExceeded {
+            place: PlaceId(3),
+            capacity: 2,
+            attempted: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains('2') && s.contains('5'));
+    }
+}

@@ -1,0 +1,196 @@
+//! Occurrence sequences and random firing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::PetriError;
+use crate::marking::Marking;
+use crate::net::{PetriNet, TransitionId};
+
+/// A recorded occurrence sequence: the transitions fired, in order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FiringSequence {
+    steps: Vec<TransitionId>,
+}
+
+impl FiringSequence {
+    /// An empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Transitions fired so far, in order.
+    pub fn steps(&self) -> &[TransitionId] {
+        &self.steps
+    }
+
+    /// Number of firings recorded.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether no transition has fired.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Records one firing.
+    pub fn push(&mut self, t: TransitionId) {
+        self.steps.push(t);
+    }
+
+    /// Replays this sequence from `initial` on `net`, returning the final
+    /// marking.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`PetriError::NotEnabled`] at the first step that cannot
+    /// fire.
+    pub fn replay(&self, net: &PetriNet, initial: &Marking) -> Result<Marking, PetriError> {
+        let mut m = initial.clone();
+        for &t in &self.steps {
+            net.fire(&mut m, t)?;
+        }
+        Ok(m)
+    }
+}
+
+impl FromIterator<TransitionId> for FiringSequence {
+    fn from_iter<I: IntoIterator<Item = TransitionId>>(iter: I) -> Self {
+        Self {
+            steps: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Fires uniformly-random enabled transitions using a caller-supplied
+/// deterministic selector.
+///
+/// The selector receives the number of enabled transitions and returns the
+/// index to fire; supplying `|n| seed % n`-style closures (or an `Rng`) keeps
+/// runs reproducible without this crate depending on a specific RNG.
+#[derive(Debug)]
+pub struct RandomFirer<'a> {
+    net: &'a PetriNet,
+    marking: Marking,
+    sequence: FiringSequence,
+}
+
+impl<'a> RandomFirer<'a> {
+    /// Starts a run from `initial`.
+    pub fn new(net: &'a PetriNet, initial: Marking) -> Self {
+        Self {
+            net,
+            marking: initial,
+            sequence: FiringSequence::new(),
+        }
+    }
+
+    /// Current marking.
+    pub fn marking(&self) -> &Marking {
+        &self.marking
+    }
+
+    /// The occurrence sequence so far.
+    pub fn sequence(&self) -> &FiringSequence {
+        &self.sequence
+    }
+
+    /// Fires one transition chosen by `select` from the enabled set.
+    ///
+    /// Returns the fired transition, or `None` when the net is dead (no
+    /// transition enabled).
+    pub fn step(&mut self, mut select: impl FnMut(usize) -> usize) -> Option<TransitionId> {
+        let enabled = self.net.enabled(&self.marking);
+        if enabled.is_empty() {
+            return None;
+        }
+        let idx = select(enabled.len()) % enabled.len();
+        let t = enabled[idx];
+        self.net
+            .fire(&mut self.marking, t)
+            .expect("enabled transition must fire");
+        self.sequence.push(t);
+        Some(t)
+    }
+
+    /// Runs up to `max_steps` firings; returns the number actually fired
+    /// (fewer only if the net deadlocked).
+    pub fn run(&mut self, max_steps: usize, mut select: impl FnMut(usize) -> usize) -> usize {
+        for i in 0..max_steps {
+            if self.step(&mut select).is_none() {
+                return i;
+            }
+        }
+        max_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetBuilder;
+
+    fn ring() -> (PetriNet, Marking) {
+        // Three places in a cycle, one token circulating.
+        let mut b = NetBuilder::new();
+        let p: Vec<_> = (0..3).map(|i| b.place(format!("p{i}"))).collect();
+        for i in 0..3 {
+            let t = b.transition(format!("t{i}"));
+            b.arc_in(p[i], t, 1).unwrap();
+            b.arc_out(t, p[(i + 1) % 3], 1).unwrap();
+        }
+        let net = b.build();
+        let mut m = Marking::new(3);
+        m.set(p[0], 1);
+        (net, m)
+    }
+
+    #[test]
+    fn replay_reproduces_run() {
+        let (net, m0) = ring();
+        let mut firer = RandomFirer::new(&net, m0.clone());
+        assert_eq!(firer.run(10, |_| 0), 10);
+        let replayed = firer.sequence().clone().replay(&net, &m0).unwrap();
+        assert_eq!(&replayed, firer.marking());
+    }
+
+    #[test]
+    fn replay_detects_bad_sequence() {
+        let (net, m0) = ring();
+        let mut all: Vec<_> = net.transitions().collect();
+        all.reverse();
+        let seq: FiringSequence = all.into_iter().collect();
+        // Firing t2 first is impossible: token sits in p0.
+        assert!(matches!(
+            seq.replay(&net, &m0),
+            Err(PetriError::NotEnabled(_))
+        ));
+    }
+
+    #[test]
+    fn dead_net_stops_early() {
+        let mut b = NetBuilder::new();
+        let p = b.place("p");
+        let t = b.transition("t");
+        b.arc_in(p, t, 1).unwrap();
+        let net = b.build();
+        let mut m = Marking::new(1);
+        m.set(p, 2);
+        let mut firer = RandomFirer::new(&net, m);
+        // Two firings drain p, then the net is dead.
+        assert_eq!(firer.run(10, |_| 0), 2);
+        assert_eq!(firer.sequence().len(), 2);
+    }
+
+    #[test]
+    fn token_count_conserved_on_ring() {
+        let (net, m0) = ring();
+        let mut firer = RandomFirer::new(&net, m0);
+        let mut state = 7usize;
+        firer.run(100, |n| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state % n
+        });
+        assert_eq!(firer.marking().total(), 1);
+    }
+}

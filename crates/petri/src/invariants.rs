@@ -1,0 +1,374 @@
+//! Incidence matrix and P/T-invariants.
+//!
+//! A P-invariant `y` satisfies `yᵀ·C = 0` where `C` is the incidence matrix;
+//! the weighted token sum `y·M` is then constant over every reachable
+//! marking — the tool the sync-model crates use to prove conservation (e.g.
+//! "exactly one floor token exists").
+//!
+//! Bases are computed by exact rational Gaussian elimination and scaled back
+//! to primitive integer vectors.
+
+use crate::marking::Marking;
+use crate::net::{PetriNet, TransitionId};
+
+/// Exact rational number used internally for elimination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Rat {
+    num: i128,
+    den: i128, // always > 0
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+impl Rat {
+    const ZERO: Rat = Rat { num: 0, den: 1 };
+
+    fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rat {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    fn from_int(v: i128) -> Self {
+        Rat { num: v, den: 1 }
+    }
+
+    fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    fn sub(self, other: Rat) -> Rat {
+        Rat::new(
+            self.num * other.den - other.num * self.den,
+            self.den * other.den,
+        )
+    }
+
+    fn mul(self, other: Rat) -> Rat {
+        Rat::new(self.num * other.num, self.den * other.den)
+    }
+
+    fn div(self, other: Rat) -> Rat {
+        Rat::new(self.num * other.den, self.den * other.num)
+    }
+}
+
+/// The incidence matrix `C[p][t] = W(t,p) - W(p,t)` of a net.
+#[derive(Debug, Clone)]
+pub struct IncidenceMatrix {
+    /// Rows indexed by place, columns by transition.
+    entries: Vec<Vec<i64>>,
+}
+
+impl IncidenceMatrix {
+    /// Builds the incidence matrix of `net`.
+    pub fn of(net: &PetriNet) -> Self {
+        let mut entries = vec![vec![0i64; net.transition_count()]; net.place_count()];
+        for t in net.transitions() {
+            for (p, w) in net.inputs(t) {
+                entries[p.index()][t.index()] -= i64::from(*w);
+            }
+            for (p, w) in net.outputs(t) {
+                entries[p.index()][t.index()] += i64::from(*w);
+            }
+        }
+        Self { entries }
+    }
+
+    /// Entry for `(place_index, transition_index)`.
+    pub fn get(&self, place: usize, transition: usize) -> i64 {
+        self.entries[place][transition]
+    }
+
+    /// Number of place rows.
+    pub fn rows(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of transition columns.
+    pub fn cols(&self) -> usize {
+        self.entries.first().map_or(0, Vec::len)
+    }
+
+    /// Applies a firing-count vector: `M' = M + C·x` (the state equation).
+    ///
+    /// Returns `None` if any intermediate count would go negative, which
+    /// means `x` is not realizable from `m` in that aggregate sense.
+    pub fn apply(&self, m: &Marking, firings: &[u64]) -> Option<Vec<i64>> {
+        let mut out: Vec<i64> = m.as_slice().iter().map(|&v| v as i64).collect();
+        for (p, row) in self.entries.iter().enumerate() {
+            let delta: i64 = row.iter().zip(firings).map(|(c, x)| c * (*x as i64)).sum();
+            out[p] += delta;
+            if out[p] < 0 {
+                return None;
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Computes a basis of the null space of `a` (rows × cols), as primitive
+/// integer vectors of length `cols`.
+fn integer_null_space(a: &[Vec<i64>], cols: usize) -> Vec<Vec<i64>> {
+    // Rational row-reduce a copy.
+    let mut m: Vec<Vec<Rat>> = a
+        .iter()
+        .map(|row| row.iter().map(|&v| Rat::from_int(v as i128)).collect())
+        .collect();
+    let rows = m.len();
+    let mut pivot_cols = Vec::new();
+    let mut r = 0;
+    for c in 0..cols {
+        // Find pivot.
+        let Some(pr) = (r..rows).find(|&i| !m[i][c].is_zero()) else {
+            continue;
+        };
+        m.swap(r, pr);
+        let pivot = m[r][c];
+        for x in m[r].iter_mut() {
+            *x = x.div(pivot);
+        }
+        for i in 0..rows {
+            if i != r && !m[i][c].is_zero() {
+                let factor = m[i][c];
+                let row_r = m[r].clone();
+                for (cell, rv) in m[i].iter_mut().zip(row_r) {
+                    *cell = cell.sub(rv.mul(factor));
+                }
+            }
+        }
+        pivot_cols.push(c);
+        r += 1;
+        if r == rows {
+            break;
+        }
+    }
+    let free_cols: Vec<usize> = (0..cols).filter(|c| !pivot_cols.contains(c)).collect();
+    let mut basis = Vec::new();
+    for &fc in &free_cols {
+        // Solution with free var fc = 1, other free vars 0.
+        let mut sol = vec![Rat::ZERO; cols];
+        sol[fc] = Rat::from_int(1);
+        for (ri, &pc) in pivot_cols.iter().enumerate() {
+            // row ri: x[pc] + sum over free cols of coeff * x[free] = 0
+            sol[pc] = Rat::ZERO.sub(m[ri][fc]);
+        }
+        // Scale to primitive integers.
+        let lcm = sol
+            .iter()
+            .fold(1i128, |acc, v| acc / gcd(acc, v.den).max(1) * v.den);
+        let ints: Vec<i128> = sol.iter().map(|v| v.num * (lcm / v.den)).collect();
+        let g = ints.iter().fold(0i128, |acc, &v| gcd(acc, v)).max(1);
+        basis.push(ints.iter().map(|&v| (v / g) as i64).collect());
+    }
+    basis
+}
+
+/// A basis of P-invariants (vectors over places) of `net`.
+///
+/// Each vector `y` satisfies `yᵀ·C = 0`; signs are normalized so the first
+/// nonzero entry is positive. The basis spans all invariants but individual
+/// members are not guaranteed nonnegative (semi-positive support extraction
+/// is NP-hard in general).
+pub fn p_invariants(net: &PetriNet) -> Vec<Vec<i64>> {
+    let c = IncidenceMatrix::of(net);
+    // Solve yᵀ C = 0  ⇔  Cᵀ y = 0. Build Cᵀ (transitions × places).
+    let a: Vec<Vec<i64>> = (0..c.cols())
+        .map(|t| (0..c.rows()).map(|p| c.get(p, t)).collect())
+        .collect();
+    let mut basis = integer_null_space(&a, c.rows());
+    for v in &mut basis {
+        if let Some(first) = v.iter().find(|&&x| x != 0) {
+            if *first < 0 {
+                for x in v.iter_mut() {
+                    *x = -*x;
+                }
+            }
+        }
+    }
+    basis
+}
+
+/// A basis of T-invariants (vectors over transitions) of `net`.
+///
+/// Each vector `x` satisfies `C·x = 0`: firing every transition `x[t]` times
+/// returns the net to its starting marking (if realizable).
+pub fn t_invariants(net: &PetriNet) -> Vec<Vec<i64>> {
+    let c = IncidenceMatrix::of(net);
+    let a: Vec<Vec<i64>> = (0..c.rows())
+        .map(|p| (0..c.cols()).map(|t| c.get(p, t)).collect())
+        .collect();
+    let mut basis = integer_null_space(&a, c.cols());
+    for v in &mut basis {
+        if let Some(first) = v.iter().find(|&&x| x != 0) {
+            if *first < 0 {
+                for x in v.iter_mut() {
+                    *x = -*x;
+                }
+            }
+        }
+    }
+    basis
+}
+
+/// Checks that `y` is a P-invariant of `net` (that `yᵀ·C = 0`).
+pub fn is_p_invariant(net: &PetriNet, y: &[i64]) -> bool {
+    if y.len() != net.place_count() {
+        return false;
+    }
+    let c = IncidenceMatrix::of(net);
+    (0..c.cols()).all(|t| (0..c.rows()).map(|p| y[p] * c.get(p, t)).sum::<i64>() == 0)
+}
+
+/// The weighted token sum `y·M` conserved by a P-invariant.
+pub fn weighted_sum(y: &[i64], m: &Marking) -> i64 {
+    y.iter()
+        .zip(m.as_slice())
+        .map(|(w, t)| w * (*t as i64))
+        .sum()
+}
+
+/// Checks that `x` is a T-invariant of `net` (that `C·x = 0`).
+pub fn is_t_invariant(net: &PetriNet, x: &[i64]) -> bool {
+    if x.len() != net.transition_count() {
+        return false;
+    }
+    let c = IncidenceMatrix::of(net);
+    (0..c.rows()).all(|p| (0..c.cols()).map(|t| c.get(p, t) * x[t]).sum::<i64>() == 0)
+}
+
+/// Firing-count vector of an occurrence sequence (the Parikh vector).
+pub fn parikh(net: &PetriNet, steps: &[TransitionId]) -> Vec<u64> {
+    let mut v = vec![0u64; net.transition_count()];
+    for t in steps {
+        v[t.index()] += 1;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::firing::RandomFirer;
+    use crate::net::NetBuilder;
+
+    fn cycle_net() -> (PetriNet, Marking) {
+        let mut b = NetBuilder::new();
+        let p0 = b.place("p0");
+        let p1 = b.place("p1");
+        let t0 = b.transition("t0");
+        let t1 = b.transition("t1");
+        b.arc_in(p0, t0, 1).unwrap();
+        b.arc_out(t0, p1, 1).unwrap();
+        b.arc_in(p1, t1, 1).unwrap();
+        b.arc_out(t1, p0, 1).unwrap();
+        let net = b.build();
+        let mut m = Marking::new(2);
+        m.set(p0, 1);
+        (net, m)
+    }
+
+    #[test]
+    fn incidence_matrix_entries() {
+        let (net, _) = cycle_net();
+        let c = IncidenceMatrix::of(&net);
+        assert_eq!(c.get(0, 0), -1);
+        assert_eq!(c.get(1, 0), 1);
+        assert_eq!(c.get(0, 1), 1);
+        assert_eq!(c.get(1, 1), -1);
+    }
+
+    #[test]
+    fn cycle_has_conservation_invariant() {
+        let (net, m0) = cycle_net();
+        let basis = p_invariants(&net);
+        assert_eq!(basis.len(), 1);
+        assert!(is_p_invariant(&net, &basis[0]));
+        // y = (1,1): total tokens conserved.
+        assert_eq!(basis[0], vec![1, 1]);
+        // Conservation along an actual run.
+        let initial_sum = weighted_sum(&basis[0], &m0);
+        let mut firer = RandomFirer::new(&net, m0);
+        firer.run(50, |_| 0);
+        assert_eq!(weighted_sum(&basis[0], firer.marking()), initial_sum);
+    }
+
+    #[test]
+    fn cycle_has_t_invariant() {
+        let (net, _) = cycle_net();
+        let basis = t_invariants(&net);
+        assert_eq!(basis.len(), 1);
+        assert_eq!(basis[0], vec![1, 1]);
+        assert!(is_t_invariant(&net, &basis[0]));
+    }
+
+    #[test]
+    fn weighted_net_invariant() {
+        // t consumes 2 from a, produces 1 into b: invariant y = (1, 2).
+        let mut b = NetBuilder::new();
+        let pa = b.place("a");
+        let pb = b.place("b");
+        let t = b.transition("t");
+        b.arc_in(pa, t, 2).unwrap();
+        b.arc_out(t, pb, 1).unwrap();
+        let net = b.build();
+        let basis = p_invariants(&net);
+        assert_eq!(basis.len(), 1);
+        assert_eq!(basis[0], vec![1, 2]);
+        assert!(is_p_invariant(&net, &basis[0]));
+    }
+
+    #[test]
+    fn source_transition_kills_invariants() {
+        let mut b = NetBuilder::new();
+        let p = b.place("p");
+        let t = b.transition("t");
+        b.arc_out(t, p, 1).unwrap();
+        let net = b.build();
+        assert!(p_invariants(&net).is_empty());
+    }
+
+    #[test]
+    fn state_equation_matches_firing() {
+        let (net, m0) = cycle_net();
+        let c = IncidenceMatrix::of(&net);
+        let mut firer = RandomFirer::new(&net, m0.clone());
+        firer.run(7, |_| 0);
+        let counts = parikh(&net, firer.sequence().steps());
+        let predicted = c.apply(&m0, &counts).unwrap();
+        let actual: Vec<i64> = firer
+            .marking()
+            .as_slice()
+            .iter()
+            .map(|&v| v as i64)
+            .collect();
+        assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn is_p_invariant_rejects_wrong_length() {
+        let (net, _) = cycle_net();
+        assert!(!is_p_invariant(&net, &[1]));
+    }
+
+    #[test]
+    fn parikh_counts() {
+        let (net, m0) = cycle_net();
+        let mut firer = RandomFirer::new(&net, m0);
+        firer.run(4, |_| 0);
+        let v = parikh(&net, firer.sequence().steps());
+        assert_eq!(v.iter().sum::<u64>(), 4);
+    }
+}

@@ -1,0 +1,322 @@
+//! Stochastic timed execution.
+//!
+//! The paper's §1 lists the stochastic Petri net among the extensions its
+//! model draws on. Here a [`StochasticNet`] carries a *distribution* per
+//! transition instead of a fixed duration; the executor samples a fresh
+//! firing time at every start from a caller-seeded generator, so runs are
+//! random but reproducible. The multimedia use: unit playout times and
+//! transport delays with jitter, without hand-building arrival traces.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::PetriError;
+use crate::marking::Marking;
+use crate::net::{PetriNet, TransitionId};
+use crate::timed::{TimedEvent, TimedEventKind};
+
+/// A firing-duration distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Delay {
+    /// Always exactly this many ticks.
+    Fixed(u64),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+    /// Exponential with the given mean (geometric approximation on ticks).
+    Exponential {
+        /// Mean delay in ticks.
+        mean: u64,
+    },
+}
+
+impl Delay {
+    /// Samples a delay using `rng` (a uniform u64 source).
+    pub fn sample(&self, rng: &mut impl FnMut() -> u64) -> u64 {
+        match *self {
+            Delay::Fixed(d) => d,
+            Delay::Uniform { lo, hi } => {
+                if hi <= lo {
+                    lo
+                } else {
+                    lo + rng() % (hi - lo + 1)
+                }
+            }
+            Delay::Exponential { mean } => {
+                if mean == 0 {
+                    return 0;
+                }
+                // Inverse-CDF on a uniform double in (0, 1).
+                let u = ((rng() >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+                (-(u.ln()) * mean as f64).round() as u64
+            }
+        }
+    }
+
+    /// The distribution's mean in ticks.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Delay::Fixed(d) => d as f64,
+            Delay::Uniform { lo, hi } => (lo + hi) as f64 / 2.0,
+            Delay::Exponential { mean } => mean as f64,
+        }
+    }
+}
+
+/// A net whose transitions carry delay distributions.
+#[derive(Debug, Clone)]
+pub struct StochasticNet {
+    net: PetriNet,
+    delays: Vec<Delay>,
+}
+
+impl StochasticNet {
+    /// Wraps `net` with every delay `Fixed(0)`.
+    pub fn new(net: PetriNet) -> Self {
+        let n = net.transition_count();
+        Self {
+            net,
+            delays: vec![Delay::Fixed(0); n],
+        }
+    }
+
+    /// Sets a transition's delay distribution.
+    pub fn set_delay(&mut self, t: TransitionId, delay: Delay) -> &mut Self {
+        self.delays[t.index()] = delay;
+        self
+    }
+
+    /// The underlying structure.
+    pub fn net(&self) -> &PetriNet {
+        &self.net
+    }
+
+    /// The distribution of a transition.
+    pub fn delay(&self, t: TransitionId) -> Delay {
+        self.delays[t.index()]
+    }
+}
+
+/// Executor sampling delays from a seeded xorshift generator.
+#[derive(Debug)]
+pub struct StochasticExecutor<'a> {
+    snet: &'a StochasticNet,
+    marking: Marking,
+    now: u64,
+    pending: BinaryHeap<Reverse<(u64, u64, TransitionId)>>,
+    seq: u64,
+    rng_state: u64,
+    log: Vec<TimedEvent>,
+}
+
+impl<'a> StochasticExecutor<'a> {
+    /// Starts at time zero from `initial`, seeded with `seed`.
+    pub fn new(snet: &'a StochasticNet, initial: Marking, seed: u64) -> Self {
+        Self {
+            snet,
+            marking: initial,
+            now: 0,
+            pending: BinaryHeap::new(),
+            seq: 0,
+            rng_state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1),
+            log: Vec::new(),
+        }
+    }
+
+    fn rng(&mut self) -> u64 {
+        self.rng_state ^= self.rng_state << 13;
+        self.rng_state ^= self.rng_state >> 7;
+        self.rng_state ^= self.rng_state << 17;
+        self.rng_state
+    }
+
+    /// Current time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Current marking.
+    pub fn marking(&self) -> &Marking {
+        &self.marking
+    }
+
+    /// The event log.
+    pub fn log(&self) -> &[TimedEvent] {
+        &self.log
+    }
+
+    /// Runs until quiescent or `max_events` log entries.
+    ///
+    /// # Errors
+    ///
+    /// [`PetriError::HorizonExceeded`] when the budget trips (livelock
+    /// guard).
+    pub fn run_to_quiescence(&mut self, max_events: usize) -> Result<(), PetriError> {
+        loop {
+            // Start everything enabled (eager, like the timed executor).
+            loop {
+                let enabled: Vec<_> = self
+                    .snet
+                    .net()
+                    .enabled(&self.marking)
+                    .into_iter()
+                    .filter(|t| !self.snet.net().inputs(*t).is_empty())
+                    .collect();
+                let Some(&t) = enabled.first() else { break };
+                self.snet
+                    .net()
+                    .fire_inputs_only(&mut self.marking, t)
+                    .expect("enabled transition consumes");
+                self.log.push(TimedEvent {
+                    time: self.now,
+                    transition: t,
+                    kind: TimedEventKind::Started,
+                });
+                let delay = {
+                    let d = self.snet.delay(t);
+                    let mut f = || self.rng();
+                    d.sample(&mut f)
+                };
+                let completion = self.now + delay;
+                self.pending.push(Reverse((completion, self.seq, t)));
+                self.seq += 1;
+                if self.log.len() > max_events {
+                    return Err(PetriError::HorizonExceeded);
+                }
+            }
+            let Some(Reverse((time, _, _))) = self.pending.peek().copied() else {
+                return Ok(());
+            };
+            self.now = time;
+            while let Some(Reverse((t_time, _, t))) = self.pending.peek().copied() {
+                if t_time != time {
+                    break;
+                }
+                self.pending.pop();
+                for (p, w) in self.snet.net().outputs(t) {
+                    self.marking.add(*p, u64::from(*w));
+                }
+                self.log.push(TimedEvent {
+                    time,
+                    transition: t,
+                    kind: TimedEventKind::Completed,
+                });
+            }
+            if self.log.len() > max_events {
+                return Err(PetriError::HorizonExceeded);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetBuilder;
+
+    fn chain(n: usize) -> (PetriNet, Vec<TransitionId>, Marking) {
+        let mut b = NetBuilder::new();
+        let ps: Vec<_> = (0..=n).map(|i| b.place(format!("p{i}"))).collect();
+        let mut ts = Vec::new();
+        for i in 0..n {
+            let t = b.transition(format!("t{i}"));
+            b.arc_in(ps[i], t, 1).unwrap();
+            b.arc_out(t, ps[i + 1], 1).unwrap();
+            ts.push(t);
+        }
+        let net = b.build();
+        let mut m = Marking::new(n + 1);
+        m.set(ps[0], 1);
+        (net, ts, m)
+    }
+
+    #[test]
+    fn fixed_delays_match_timed_executor() {
+        let (net, ts, m0) = chain(10);
+        let mut snet = StochasticNet::new(net);
+        for t in &ts {
+            snet.set_delay(*t, Delay::Fixed(7));
+        }
+        let mut exec = StochasticExecutor::new(&snet, m0, 1);
+        exec.run_to_quiescence(1_000).unwrap();
+        assert_eq!(exec.now(), 70);
+    }
+
+    #[test]
+    fn same_seed_same_run() {
+        let (net, ts, m0) = chain(20);
+        let mut snet = StochasticNet::new(net);
+        for t in &ts {
+            snet.set_delay(*t, Delay::Uniform { lo: 5, hi: 50 });
+        }
+        let run = |seed| {
+            let mut e = StochasticExecutor::new(&snet, m0.clone(), seed);
+            e.run_to_quiescence(1_000).unwrap();
+            e.now()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let (net, ts, m0) = chain(50);
+        let mut snet = StochasticNet::new(net);
+        for t in &ts {
+            snet.set_delay(*t, Delay::Uniform { lo: 10, hi: 20 });
+        }
+        let mut exec = StochasticExecutor::new(&snet, m0, 3);
+        exec.run_to_quiescence(10_000).unwrap();
+        assert!(exec.now() >= 50 * 10);
+        assert!(exec.now() <= 50 * 20);
+    }
+
+    #[test]
+    fn exponential_mean_roughly_holds() {
+        // 200 sequential exponential(100) delays: total ≈ 20_000 ± 40%.
+        let (net, ts, m0) = chain(200);
+        let mut snet = StochasticNet::new(net);
+        for t in &ts {
+            snet.set_delay(*t, Delay::Exponential { mean: 100 });
+        }
+        let mut exec = StochasticExecutor::new(&snet, m0, 12);
+        exec.run_to_quiescence(100_000).unwrap();
+        let total = exec.now() as f64;
+        assert!(total > 20_000.0 * 0.6, "total {total}");
+        assert!(total < 20_000.0 * 1.4, "total {total}");
+    }
+
+    #[test]
+    fn delay_means() {
+        assert_eq!(Delay::Fixed(9).mean(), 9.0);
+        assert_eq!(Delay::Uniform { lo: 10, hi: 20 }.mean(), 15.0);
+        assert_eq!(Delay::Exponential { mean: 42 }.mean(), 42.0);
+    }
+
+    #[test]
+    fn livelock_guard() {
+        let mut b = NetBuilder::new();
+        let p = b.place("p");
+        let t = b.transition("t");
+        b.arc_in(p, t, 1).unwrap();
+        b.arc_out(t, p, 1).unwrap();
+        let snet = StochasticNet::new(b.build());
+        let mut m = Marking::new(1);
+        m.set(lod_place(0), 1);
+        let mut exec = StochasticExecutor::new(&snet, m, 5);
+        assert_eq!(
+            exec.run_to_quiescence(100),
+            Err(PetriError::HorizonExceeded)
+        );
+    }
+
+    fn lod_place(i: usize) -> crate::net::PlaceId {
+        crate::net::PlaceId(i)
+    }
+}

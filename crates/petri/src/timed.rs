@@ -1,0 +1,456 @@
+//! Timed Petri nets and a deterministic event-driven executor.
+//!
+//! The model follows the timed-transition convention of Holliday & Vernon
+//! (paper ref \[9\]): a firing consumes its input tokens at the moment it
+//! starts and deposits its output tokens after the transition's *duration*.
+//! Conflicts are resolved by per-transition priority (higher fires first),
+//! then by creation order, which makes every execution deterministic — a
+//! property the multimedia nets built on top rely on for reproducible
+//! playout schedules.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::PetriError;
+use crate::marking::Marking;
+use crate::net::{PetriNet, TransitionId};
+
+/// A Petri net whose transitions carry firing durations and priorities.
+#[derive(Debug, Clone)]
+pub struct TimedNet {
+    net: PetriNet,
+    durations: Vec<u64>,
+    priorities: Vec<i32>,
+}
+
+impl TimedNet {
+    /// Wraps `net` with all durations zero and all priorities zero.
+    pub fn new(net: PetriNet) -> Self {
+        let nt = net.transition_count();
+        Self {
+            net,
+            durations: vec![0; nt],
+            priorities: vec![0; nt],
+        }
+    }
+
+    /// Sets the firing duration of `transition` (in abstract ticks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transition` does not belong to the wrapped net.
+    pub fn set_duration(&mut self, transition: TransitionId, ticks: u64) -> &mut Self {
+        self.durations[transition.index()] = ticks;
+        self
+    }
+
+    /// Sets the conflict-resolution priority of `transition`.
+    ///
+    /// Higher priorities fire first when transitions compete for tokens;
+    /// this is the hook the prioritized floor-control net (paper ref \[13\])
+    /// uses.
+    pub fn set_priority(&mut self, transition: TransitionId, priority: i32) -> &mut Self {
+        self.priorities[transition.index()] = priority;
+        self
+    }
+
+    /// Firing duration of `transition`.
+    pub fn duration(&self, transition: TransitionId) -> u64 {
+        self.durations[transition.index()]
+    }
+
+    /// Priority of `transition`.
+    pub fn priority(&self, transition: TransitionId) -> i32 {
+        self.priorities[transition.index()]
+    }
+
+    /// The underlying untimed structure.
+    pub fn net(&self) -> &PetriNet {
+        &self.net
+    }
+}
+
+/// What happened at a point in a timed execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimedEventKind {
+    /// The transition consumed its input tokens and began firing.
+    Started,
+    /// The transition finished and deposited its output tokens.
+    Completed,
+}
+
+/// One entry in the execution log of a [`TimedExecutor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Simulation time of the event, in ticks.
+    pub time: u64,
+    /// The transition involved.
+    pub transition: TransitionId,
+    /// Start or completion.
+    pub kind: TimedEventKind,
+}
+
+/// Deterministic executor for a [`TimedNet`].
+///
+/// # Example
+///
+/// ```
+/// use lod_petri::{NetBuilder, Marking, TimedNet, TimedExecutor};
+///
+/// let mut b = NetBuilder::new();
+/// let start = b.place("start");
+/// let done = b.place("done");
+/// let play = b.transition("play");
+/// b.arc_in(start, play, 1).unwrap();
+/// b.arc_out(play, done, 1).unwrap();
+/// let mut timed = TimedNet::new(b.build());
+/// timed.set_duration(play, 100);
+///
+/// let mut m = Marking::new(2);
+/// m.set(start, 1);
+/// let mut exec = TimedExecutor::new(&timed, m);
+/// exec.run_to_quiescence(1_000).unwrap();
+/// assert_eq!(exec.now(), 100);
+/// assert_eq!(exec.marking().tokens(done), 1);
+/// ```
+#[derive(Debug)]
+pub struct TimedExecutor<'a> {
+    timed: &'a TimedNet,
+    marking: Marking,
+    now: u64,
+    // Min-heap of (completion_time, sequence, transition).
+    pending: BinaryHeap<Reverse<(u64, u64, TransitionId)>>,
+    seq: u64,
+    log: Vec<TimedEvent>,
+}
+
+impl<'a> TimedExecutor<'a> {
+    /// Starts an execution at time zero from `initial`.
+    pub fn new(timed: &'a TimedNet, initial: Marking) -> Self {
+        Self {
+            timed,
+            marking: initial,
+            now: 0,
+            pending: BinaryHeap::new(),
+            seq: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Current simulation time in ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Current marking (tokens inside in-flight transitions are *not*
+    /// visible anywhere — they were consumed at start time).
+    pub fn marking(&self) -> &Marking {
+        &self.marking
+    }
+
+    /// The full start/completion event log so far.
+    pub fn log(&self) -> &[TimedEvent] {
+        &self.log
+    }
+
+    /// Number of firings currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Completion time of the earliest in-flight firing, if any.
+    pub fn next_completion(&self) -> Option<u64> {
+        self.pending.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Injects `count` tokens into `place` at the current time — the hook
+    /// through which the environment (network arrivals, user interactions)
+    /// feeds an executing net.
+    pub fn inject(&mut self, place: crate::net::PlaceId, count: u64) {
+        self.marking.add(place, count);
+    }
+
+    /// Removes up to `count` tokens from `place` (environment-side token
+    /// withdrawal, e.g. revoking a pending request). Returns how many were
+    /// actually removed.
+    pub fn withdraw(&mut self, place: crate::net::PlaceId, count: u64) -> u64 {
+        let have = self.marking.tokens(place);
+        let taken = have.min(count);
+        self.marking.remove(place, taken);
+        taken
+    }
+
+    /// Advances the clock to exactly `t` without requiring a completion
+    /// event (delivering any completions at or before `t` first).
+    ///
+    /// Does nothing if `t` is in the past.
+    pub fn advance_clock_to(&mut self, t: u64) {
+        self.run_until(t);
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Starts every currently-enabled transition (priority order), without
+    /// advancing time. Returns how many were started.
+    ///
+    /// Transitions with no input arcs are never started: under eager
+    /// semantics a source transition would fire unboundedly at a single
+    /// instant. Model sources as places pre-loaded with tokens instead.
+    pub fn start_enabled(&mut self) -> usize {
+        let mut started = 0;
+        loop {
+            let mut enabled: Vec<_> = self
+                .timed
+                .net()
+                .enabled(&self.marking)
+                .into_iter()
+                .filter(|t| !self.timed.net().inputs(*t).is_empty())
+                .collect();
+            if enabled.is_empty() {
+                break;
+            }
+            enabled.sort_by_key(|t| (Reverse(self.timed.priority(*t)), t.index()));
+            let t = enabled[0];
+            self.timed
+                .net()
+                .fire_inputs_only(&mut self.marking, t)
+                .expect("enabled transition must consume");
+            self.log.push(TimedEvent {
+                time: self.now,
+                transition: t,
+                kind: TimedEventKind::Started,
+            });
+            let completion = self.now + self.timed.duration(t);
+            self.pending.push(Reverse((completion, self.seq, t)));
+            self.seq += 1;
+            started += 1;
+        }
+        started
+    }
+
+    /// Advances to the next completion time and delivers every completion
+    /// scheduled at that instant. Returns `false` if nothing was pending.
+    pub fn advance(&mut self) -> bool {
+        let Some(Reverse((time, _, _))) = self.pending.peek().copied() else {
+            return false;
+        };
+        self.now = time;
+        while let Some(Reverse((t_time, _, t))) = self.pending.peek().copied() {
+            if t_time != time {
+                break;
+            }
+            self.pending.pop();
+            for (p, w) in self.timed.net().outputs(t) {
+                self.marking.add(*p, u64::from(*w));
+            }
+            self.log.push(TimedEvent {
+                time,
+                transition: t,
+                kind: TimedEventKind::Completed,
+            });
+        }
+        true
+    }
+
+    /// Runs start/advance cycles until no transition is enabled and nothing
+    /// is in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::HorizonExceeded`] after `max_events` log
+    /// entries, which guards against livelocks in cyclic nets.
+    pub fn run_to_quiescence(&mut self, max_events: usize) -> Result<(), PetriError> {
+        loop {
+            self.start_enabled();
+            if self.log.len() > max_events {
+                return Err(PetriError::HorizonExceeded);
+            }
+            if !self.advance() {
+                return Ok(());
+            }
+            if self.log.len() > max_events {
+                return Err(PetriError::HorizonExceeded);
+            }
+        }
+    }
+
+    /// Runs until the clock would pass `horizon`; in-flight transitions with
+    /// later completions stay pending.
+    pub fn run_until(&mut self, horizon: u64) {
+        loop {
+            self.start_enabled();
+            match self.pending.peek() {
+                Some(Reverse((t, _, _))) if *t <= horizon => {
+                    self.advance();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Completion times of each transition, extracted from the log.
+    pub fn completions(&self) -> Vec<(TransitionId, u64)> {
+        self.log
+            .iter()
+            .filter(|e| e.kind == TimedEventKind::Completed)
+            .map(|e| (e.transition, e.time))
+            .collect()
+    }
+}
+
+impl PetriNet {
+    /// Consumes the input tokens of `transition` without producing outputs
+    /// (the first half of a timed firing).
+    ///
+    /// # Errors
+    ///
+    /// [`PetriError::NotEnabled`] when the transition cannot fire.
+    pub(crate) fn fire_inputs_only(
+        &self,
+        marking: &mut Marking,
+        transition: TransitionId,
+    ) -> Result<(), PetriError> {
+        if !self.is_enabled(marking, transition) {
+            return Err(PetriError::NotEnabled(transition));
+        }
+        for (p, w) in self.inputs(transition) {
+            marking.remove(*p, u64::from(*w));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetBuilder;
+
+    /// Two media places playing in parallel, joined by a sync transition —
+    /// the classic OCPN "lips-sync" skeleton.
+    fn parallel_join(d_a: u64, d_b: u64) -> (TimedNet, Marking, TransitionId) {
+        let mut b = NetBuilder::new();
+        let start = b.place("start");
+        let sa = b.place("sa");
+        let sb = b.place("sb");
+        let a_done = b.place("a_done");
+        let b_done = b.place("b_done");
+        let both = b.place("both");
+        let fork = b.transition("fork");
+        let play_a = b.transition("play_a");
+        let play_b = b.transition("play_b");
+        let join = b.transition("join");
+        b.arc_in(start, fork, 1).unwrap();
+        b.arc_out(fork, sa, 1).unwrap();
+        b.arc_out(fork, sb, 1).unwrap();
+        b.arc_in(sa, play_a, 1).unwrap();
+        b.arc_out(play_a, a_done, 1).unwrap();
+        b.arc_in(sb, play_b, 1).unwrap();
+        b.arc_out(play_b, b_done, 1).unwrap();
+        b.arc_in(a_done, join, 1).unwrap();
+        b.arc_in(b_done, join, 1).unwrap();
+        b.arc_out(join, both, 1).unwrap();
+        let net = b.build();
+        let mut timed = TimedNet::new(net);
+        timed.set_duration(play_a, d_a).set_duration(play_b, d_b);
+        let mut m = Marking::new(6);
+        m.set(start, 1);
+        (timed, m, join)
+    }
+
+    #[test]
+    fn join_completes_at_max_of_branches() {
+        let (timed, m, join) = parallel_join(30, 70);
+        let mut exec = TimedExecutor::new(&timed, m);
+        exec.run_to_quiescence(100).unwrap();
+        let completions = exec.completions();
+        let join_time = completions
+            .iter()
+            .find(|(t, _)| *t == join)
+            .map(|(_, time)| *time)
+            .unwrap();
+        assert_eq!(join_time, 70);
+        assert_eq!(exec.now(), 70);
+    }
+
+    #[test]
+    fn zero_duration_transitions_fire_same_instant() {
+        let (timed, m, _) = parallel_join(0, 0);
+        let mut exec = TimedExecutor::new(&timed, m);
+        exec.run_to_quiescence(100).unwrap();
+        assert_eq!(exec.now(), 0);
+        assert_eq!(exec.log().len(), 8); // 4 starts + 4 completions
+    }
+
+    #[test]
+    fn priority_resolves_conflict_deterministically() {
+        // One token, two competing transitions; high priority must win.
+        let mut b = NetBuilder::new();
+        let p = b.place("p");
+        let lo_out = b.place("lo");
+        let hi_out = b.place("hi");
+        let lo = b.transition("lo");
+        let hi = b.transition("hi");
+        b.arc_in(p, lo, 1).unwrap();
+        b.arc_out(lo, lo_out, 1).unwrap();
+        b.arc_in(p, hi, 1).unwrap();
+        b.arc_out(hi, hi_out, 1).unwrap();
+        let mut timed = TimedNet::new(b.build());
+        timed.set_priority(hi, 10);
+        let mut m = Marking::new(3);
+        m.set(p, 1);
+        let mut exec = TimedExecutor::new(&timed, m);
+        exec.run_to_quiescence(10).unwrap();
+        assert_eq!(exec.marking().tokens(hi_out), 1);
+        assert_eq!(exec.marking().tokens(lo_out), 0);
+    }
+
+    #[test]
+    fn livelock_guard_trips() {
+        // Cyclic zero-duration net never quiesces.
+        let mut b = NetBuilder::new();
+        let p = b.place("p");
+        let t = b.transition("t");
+        b.arc_in(p, t, 1).unwrap();
+        b.arc_out(t, p, 1).unwrap();
+        let timed = TimedNet::new(b.build());
+        let mut m = Marking::new(1);
+        m.set(p, 1);
+        let mut exec = TimedExecutor::new(&timed, m);
+        assert_eq!(exec.run_to_quiescence(50), Err(PetriError::HorizonExceeded));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let (timed, m, _) = parallel_join(30, 70);
+        let mut exec = TimedExecutor::new(&timed, m);
+        exec.run_until(40);
+        // play_a completed at 30; play_b still in flight.
+        assert_eq!(exec.now(), 30);
+        assert_eq!(exec.in_flight(), 1);
+    }
+
+    #[test]
+    fn sequential_chain_accumulates_time() {
+        let mut b = NetBuilder::new();
+        let p0 = b.place("p0");
+        let p1 = b.place("p1");
+        let p2 = b.place("p2");
+        let t0 = b.transition("t0");
+        let t1 = b.transition("t1");
+        b.arc_in(p0, t0, 1).unwrap();
+        b.arc_out(t0, p1, 1).unwrap();
+        b.arc_in(p1, t1, 1).unwrap();
+        b.arc_out(t1, p2, 1).unwrap();
+        let mut timed = TimedNet::new(b.build());
+        timed.set_duration(t0, 25).set_duration(t1, 17);
+        let mut m = Marking::new(3);
+        m.set(p0, 1);
+        let mut exec = TimedExecutor::new(&timed, m);
+        exec.run_to_quiescence(100).unwrap();
+        assert_eq!(exec.now(), 42);
+        assert_eq!(exec.marking().tokens(p2), 1);
+    }
+}

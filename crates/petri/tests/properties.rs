@@ -1,0 +1,119 @@
+//! Property-based tests for the Petri-net substrate.
+
+use lod_petri::invariants::{p_invariants, parikh, weighted_sum, IncidenceMatrix};
+use lod_petri::{Marking, NetBuilder, PetriNet, RandomFirer};
+use proptest::prelude::*;
+
+/// Strategy: a random connected net of `n_places` places and `n_trans`
+/// transitions where every transition has at least one input and one output
+/// (so token totals stay finite under the conservation nets we care about).
+fn arb_net(max_places: usize, max_trans: usize) -> impl Strategy<Value = (PetriNet, Marking, u64)> {
+    (2..=max_places, 1..=max_trans, any::<u64>()).prop_flat_map(|(np, nt, seed)| {
+        // For each transition: input place, output place, weights 1..=3.
+        let arcs = proptest::collection::vec((0..np, 0..np, 1u32..=3, 1u32..=3), nt);
+        let tokens = proptest::collection::vec(0u64..5, np);
+        (Just(np), arcs, tokens, Just(seed)).prop_map(|(np, arcs, tokens, seed)| {
+            let mut b = NetBuilder::new();
+            let places: Vec<_> = (0..np).map(|i| b.place(format!("p{i}"))).collect();
+            for (i, (ip, op, iw, ow)) in arcs.iter().enumerate() {
+                let t = b.transition(format!("t{i}"));
+                b.arc_in(places[*ip], t, *iw).unwrap();
+                b.arc_out(t, places[*op], *ow).unwrap();
+            }
+            let net = b.build();
+            let mut m = Marking::new(np);
+            for (i, tk) in tokens.iter().enumerate() {
+                m.set(places[i], *tk);
+            }
+            (net, m, seed)
+        })
+    })
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+proptest! {
+    /// The state equation M' = M + C·x must agree with any concrete run.
+    #[test]
+    fn state_equation_agrees_with_execution((net, m0, seed) in arb_net(6, 6)) {
+        let mut firer = RandomFirer::new(&net, m0.clone());
+        let mut s = seed | 1;
+        firer.run(40, |n| (lcg(&mut s) as usize) % n);
+        let counts = parikh(&net, firer.sequence().steps());
+        let c = IncidenceMatrix::of(&net);
+        let predicted = c.apply(&m0, &counts).expect("run was realizable");
+        let actual: Vec<i64> = firer.marking().as_slice().iter().map(|&v| v as i64).collect();
+        prop_assert_eq!(predicted, actual);
+    }
+
+    /// Every computed P-invariant conserves its weighted token sum along
+    /// every execution.
+    #[test]
+    fn p_invariants_conserved((net, m0, seed) in arb_net(5, 5)) {
+        let basis = p_invariants(&net);
+        let sums_before: Vec<i64> = basis.iter().map(|y| weighted_sum(y, &m0)).collect();
+        let mut firer = RandomFirer::new(&net, m0);
+        let mut s = seed | 1;
+        firer.run(30, |n| (lcg(&mut s) as usize) % n);
+        for (y, before) in basis.iter().zip(sums_before) {
+            prop_assert_eq!(weighted_sum(y, firer.marking()), before);
+        }
+    }
+
+    /// Replaying a recorded sequence always reproduces the final marking.
+    #[test]
+    fn replay_is_deterministic((net, m0, seed) in arb_net(6, 6)) {
+        let mut firer = RandomFirer::new(&net, m0.clone());
+        let mut s = seed | 1;
+        firer.run(25, |n| (lcg(&mut s) as usize) % n);
+        let replayed = firer.sequence().clone().replay(&net, &m0).unwrap();
+        prop_assert_eq!(&replayed, firer.marking());
+    }
+
+    /// Firing an enabled transition never produces a negative token count
+    /// (tokens are unsigned; this asserts the enabledness check is sound:
+    /// enabled ⇒ fire succeeds).
+    #[test]
+    fn enabled_implies_fireable((net, m0, _seed) in arb_net(6, 6)) {
+        for t in net.enabled(&m0) {
+            let mut m = m0.clone();
+            prop_assert!(net.fire(&mut m, t).is_ok());
+        }
+    }
+
+    /// Disabled transitions always refuse to fire.
+    #[test]
+    fn disabled_implies_error((net, m0, _seed) in arb_net(6, 6)) {
+        for t in net.transitions() {
+            if !net.is_enabled(&m0, t) {
+                let mut m = m0.clone();
+                prop_assert!(net.fire(&mut m, t).is_err());
+            }
+        }
+    }
+}
+
+#[test]
+fn reachability_of_bounded_random_nets_terminates() {
+    use lod_petri::analysis::{ExploreLimits, ReachabilityGraph};
+    // A deterministic spot-check that exploration respects its budget on a
+    // larger net: 1-token ring of 12 places.
+    let mut b = NetBuilder::new();
+    let ps: Vec<_> = (0..12).map(|i| b.place(format!("p{i}"))).collect();
+    for i in 0..12 {
+        let t = b.transition(format!("t{i}"));
+        b.arc_in(ps[i], t, 1).unwrap();
+        b.arc_out(t, ps[(i + 1) % 12], 1).unwrap();
+    }
+    let net = b.build();
+    let mut m = Marking::new(12);
+    m.set(ps[0], 1);
+    let g = ReachabilityGraph::explore(&net, &m, ExploreLimits::default()).unwrap();
+    assert_eq!(g.state_count(), 12);
+    assert!(g.is_safe());
+}

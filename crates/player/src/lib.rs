@@ -1,0 +1,22 @@
+//! The media player (Fig. 7).
+//!
+//! "When user replayed the presentation by media player, the orchestrated
+//! ASF file will show the video and the presented slides." This crate is
+//! that player, with rendering replaced by a [`RenderTrace`] — a typed log
+//! of what would have appeared on screen and when — so experiments can
+//! assert on synchronization instead of eyeballing a window:
+//!
+//! * [`engine`] — loads an [`lod_asf::AsfFile`] (verifying DRM), rebuilds
+//!   the media samples, and plays them against a pausable clock with
+//!   script-command execution (slide flips, annotations, captions).
+//! * [`renderer`] — the trace types.
+//! * [`sync`] — skew statistics over traces (how far from its scheduled
+//!   time did each item render).
+
+pub mod engine;
+pub mod renderer;
+pub mod sync;
+
+pub use engine::{Playback, PlayerEngine};
+pub use renderer::{RenderItem, RenderTrace, RenderedItem};
+pub use sync::SkewStats;

@@ -1,0 +1,174 @@
+//! Render traces: what the player showed, and when.
+
+use serde::{Deserialize, Serialize};
+
+/// One thing appearing on the "screen".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RenderItem {
+    /// A video frame of `bytes` encoded bytes.
+    VideoFrame {
+        /// Encoded size.
+        bytes: usize,
+    },
+    /// An audio block.
+    AudioBlock {
+        /// Encoded size.
+        bytes: usize,
+    },
+    /// A slide image replacing the current slide.
+    SlideChange {
+        /// Slide URI from the script command.
+        uri: String,
+    },
+    /// An annotation overlaid on the slide.
+    Annotation {
+        /// Annotation text.
+        text: String,
+    },
+    /// Any other script command (captions, URL flips).
+    Script {
+        /// Command kind.
+        kind: String,
+        /// Command parameter.
+        param: String,
+    },
+    /// A raw image sample (the slide stream's pixels arriving).
+    Image {
+        /// Encoded size.
+        bytes: usize,
+    },
+}
+
+/// A rendered item with its timing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RenderedItem {
+    /// Wall time at which it rendered.
+    pub wall_time: u64,
+    /// Presentation time it was scheduled for.
+    pub pres_time: u64,
+    /// What rendered.
+    pub item: RenderItem,
+}
+
+/// The full log of one playback.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RenderTrace {
+    items: Vec<RenderedItem>,
+}
+
+impl RenderTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an item.
+    pub fn push(&mut self, item: RenderedItem) {
+        self.items.push(item);
+    }
+
+    /// All items in render order.
+    pub fn items(&self) -> &[RenderedItem] {
+        &self.items
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing rendered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Only the slide changes, in order.
+    pub fn slide_changes(&self) -> Vec<&RenderedItem> {
+        self.items
+            .iter()
+            .filter(|i| matches!(i.item, RenderItem::SlideChange { .. }))
+            .collect()
+    }
+
+    /// Only the annotations, in order.
+    pub fn annotations(&self) -> Vec<&RenderedItem> {
+        self.items
+            .iter()
+            .filter(|i| matches!(i.item, RenderItem::Annotation { .. }))
+            .collect()
+    }
+
+    /// Video frames rendered.
+    pub fn video_frames(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| matches!(i.item, RenderItem::VideoFrame { .. }))
+            .count()
+    }
+
+    /// The slide visible at wall time `t` (last change at or before `t`).
+    pub fn slide_at(&self, t: u64) -> Option<&str> {
+        self.items
+            .iter()
+            .filter(|i| i.wall_time <= t)
+            .rev()
+            .find_map(|i| match &i.item {
+                RenderItem::SlideChange { uri } => Some(uri.as_str()),
+                _ => None,
+            })
+    }
+}
+
+impl Extend<RenderedItem> for RenderTrace {
+    fn extend<T: IntoIterator<Item = RenderedItem>>(&mut self, iter: T) {
+        self.items.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> RenderTrace {
+        let mut t = RenderTrace::new();
+        t.push(RenderedItem {
+            wall_time: 0,
+            pres_time: 0,
+            item: RenderItem::SlideChange { uri: "s1".into() },
+        });
+        t.push(RenderedItem {
+            wall_time: 10,
+            pres_time: 10,
+            item: RenderItem::VideoFrame { bytes: 100 },
+        });
+        t.push(RenderedItem {
+            wall_time: 50,
+            pres_time: 50,
+            item: RenderItem::SlideChange { uri: "s2".into() },
+        });
+        t.push(RenderedItem {
+            wall_time: 60,
+            pres_time: 60,
+            item: RenderItem::Annotation { text: "hi".into() },
+        });
+        t
+    }
+
+    #[test]
+    fn filters() {
+        let t = trace();
+        assert_eq!(t.slide_changes().len(), 2);
+        assert_eq!(t.annotations().len(), 1);
+        assert_eq!(t.video_frames(), 1);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn slide_at_tracks_current_slide() {
+        let t = trace();
+        assert_eq!(t.slide_at(0), Some("s1"));
+        assert_eq!(t.slide_at(49), Some("s1"));
+        assert_eq!(t.slide_at(50), Some("s2"));
+        assert_eq!(t.slide_at(9_999), Some("s2"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Token-bucket flow control.
+//!
+//! The encoder's rate control and the streaming server's pacing both need
+//! "send no faster than X bit/s with burst tolerance B" — the classic token
+//! bucket, here in integer tick arithmetic so it is exact and deterministic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::link::TICKS_PER_SECOND;
+
+/// A token bucket: capacity `burst_bytes`, refilled at `rate_bps`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenBucket {
+    rate_bps: u64,
+    burst_bytes: u64,
+    /// Available tokens, in *bit-ticks* (bits × ticks-per-second) to avoid
+    /// rounding: `bits_available = available / TICKS_PER_SECOND`.
+    available: u128,
+    last_refill: u64,
+}
+
+impl TokenBucket {
+    /// A bucket full at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_bps` is zero.
+    pub fn new(rate_bps: u64, burst_bytes: u64) -> Self {
+        assert!(rate_bps > 0, "rate must be positive");
+        Self {
+            rate_bps,
+            burst_bytes,
+            available: Self::cap_bit_ticks(burst_bytes),
+            last_refill: 0,
+        }
+    }
+
+    fn cap_bit_ticks(burst_bytes: u64) -> u128 {
+        u128::from(burst_bytes) * 8 * u128::from(TICKS_PER_SECOND)
+    }
+
+    /// Configured rate in bits per second.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    /// Configured burst in bytes.
+    pub fn burst_bytes(&self) -> u64 {
+        self.burst_bytes
+    }
+
+    fn refill(&mut self, now: u64) {
+        if now <= self.last_refill {
+            return;
+        }
+        let elapsed = now - self.last_refill;
+        self.available = (self.available + u128::from(elapsed) * u128::from(self.rate_bps))
+            .min(Self::cap_bit_ticks(self.burst_bytes));
+        self.last_refill = now;
+    }
+
+    /// Attempts to consume `bytes` at time `now`; `true` on success.
+    pub fn try_consume(&mut self, bytes: u64, now: u64) -> bool {
+        self.refill(now);
+        let need = u128::from(bytes) * 8 * u128::from(TICKS_PER_SECOND);
+        if self.available >= need {
+            self.available -= need;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Earliest time ≥ `now` at which `bytes` could be consumed.
+    ///
+    /// Returns `now` when the bucket already holds enough tokens. Requests
+    /// larger than the burst can still be quoted: the bucket simply needs
+    /// to fill past its cap conceptually, so the quote uses the deficit at
+    /// the capped level (such a request will only succeed if made exactly
+    /// when quoted and the burst suffices; callers should keep
+    /// `bytes ≤ burst_bytes`).
+    pub fn next_time_for(&mut self, bytes: u64, now: u64) -> u64 {
+        self.refill(now);
+        let need = u128::from(bytes) * 8 * u128::from(TICKS_PER_SECOND);
+        if self.available >= need {
+            return now;
+        }
+        let deficit = need - self.available;
+        let wait = deficit.div_ceil(u128::from(self.rate_bps));
+        now + wait as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_bucket_allows_burst() {
+        let mut tb = TokenBucket::new(1_000_000, 10_000);
+        assert!(tb.try_consume(10_000, 0));
+        assert!(!tb.try_consume(1, 0));
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        let mut tb = TokenBucket::new(8_000_000, 1_000); // 1 MB/s
+        assert!(tb.try_consume(1_000, 0));
+        // After 1 ms (10_000 ticks) 1000 bytes are back.
+        assert!(!tb.try_consume(1_000, 5_000));
+        assert!(tb.try_consume(1_000, 10_000));
+    }
+
+    #[test]
+    fn quote_matches_actual_availability() {
+        let mut tb = TokenBucket::new(8_000_000, 1_000);
+        assert!(tb.try_consume(1_000, 0));
+        let t = tb.next_time_for(500, 0);
+        assert_eq!(t, 5_000);
+        assert!(tb.try_consume(500, t));
+    }
+
+    #[test]
+    fn bucket_caps_at_burst() {
+        let mut tb = TokenBucket::new(8_000_000, 1_000);
+        assert!(tb.try_consume(1_000, 0));
+        // A very long idle period cannot accumulate more than burst.
+        assert!(tb.try_consume(1_000, u64::from(u32::MAX)));
+        assert!(!tb.try_consume(1_001, u64::from(u32::MAX)));
+    }
+
+    #[test]
+    fn quote_now_when_tokens_available() {
+        let mut tb = TokenBucket::new(1_000, 100);
+        assert_eq!(tb.next_time_for(50, 42), 42);
+    }
+
+    #[test]
+    fn pacing_converges_to_rate() {
+        // Drain packets as fast as the bucket allows; the long-run rate
+        // must equal the configured rate.
+        let mut tb = TokenBucket::new(1_000_000, 1_500); // 1 Mbit/s
+        let mut now = 0u64;
+        let mut sent_bytes = 0u64;
+        for _ in 0..200 {
+            now = tb.next_time_for(1_500, now);
+            assert!(tb.try_consume(1_500, now));
+            sent_bytes += 1_500;
+        }
+        let secs = now as f64 / TICKS_PER_SECOND as f64;
+        let rate = sent_bytes as f64 * 8.0 / secs;
+        assert!(
+            (rate - 1_000_000.0).abs() / 1_000_000.0 < 0.02,
+            "rate {rate}"
+        );
+    }
+}

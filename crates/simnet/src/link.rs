@@ -1,0 +1,115 @@
+//! Link parameterization.
+
+use serde::{Deserialize, Serialize};
+
+/// Ticks per second (100 ns ticks, matching `lod-media`).
+pub(crate) const TICKS_PER_SECOND: u64 = 10_000_000;
+
+/// Parameters of a unidirectional link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Serialization bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// Propagation delay in ticks.
+    pub delay_ticks: u64,
+    /// Maximum extra per-packet jitter in ticks (uniform in `0..=jitter`).
+    pub jitter_ticks: u64,
+    /// Independent per-packet loss probability in `[0, 1)`.
+    pub loss: f64,
+}
+
+impl LinkSpec {
+    /// A switched-LAN-grade link: 100 Mbit/s, 0.5 ms delay, 0.2 ms jitter,
+    /// lossless.
+    pub fn lan() -> Self {
+        Self {
+            bandwidth_bps: 100_000_000,
+            delay_ticks: 5_000,
+            jitter_ticks: 2_000,
+            loss: 0.0,
+        }
+    }
+
+    /// A year-2002 broadband path: 1.5 Mbit/s, 20 ms delay, 10 ms jitter,
+    /// 0.1 % loss.
+    pub fn broadband() -> Self {
+        Self {
+            bandwidth_bps: 1_500_000,
+            delay_ticks: 200_000,
+            jitter_ticks: 100_000,
+            loss: 0.001,
+        }
+    }
+
+    /// A 56k modem path: 56 kbit/s, 120 ms delay, 40 ms jitter, 1 % loss.
+    pub fn modem() -> Self {
+        Self {
+            bandwidth_bps: 56_000,
+            delay_ticks: 1_200_000,
+            jitter_ticks: 400_000,
+            loss: 0.01,
+        }
+    }
+
+    /// Serialization time of `bytes` on this link, in ticks.
+    pub fn serialization_ticks(&self, bytes: u64) -> u64 {
+        if self.bandwidth_bps == 0 {
+            return u64::MAX / 4; // a dead link: effectively never
+        }
+        bytes.saturating_mul(8).saturating_mul(TICKS_PER_SECOND) / self.bandwidth_bps
+    }
+
+    /// Returns a copy with different loss.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Returns a copy with different jitter.
+    pub fn with_jitter(mut self, jitter_ticks: u64) -> Self {
+        self.jitter_ticks = jitter_ticks;
+        self
+    }
+
+    /// Returns a copy with different bandwidth.
+    pub fn with_bandwidth(mut self, bandwidth_bps: u64) -> Self {
+        self.bandwidth_bps = bandwidth_bps;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_scales_with_size() {
+        let l = LinkSpec::lan();
+        // 100 Mbit/s: 1250 bytes = 10_000 bits = 0.1 ms = 1000 ticks.
+        assert_eq!(l.serialization_ticks(1250), 1_000);
+        assert_eq!(l.serialization_ticks(2500), 2_000);
+    }
+
+    #[test]
+    fn dead_link_never_delivers() {
+        let l = LinkSpec::lan().with_bandwidth(0);
+        assert!(l.serialization_ticks(1) > TICKS_PER_SECOND * 1_000);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let l = LinkSpec::lan()
+            .with_loss(0.5)
+            .with_jitter(77)
+            .with_bandwidth(8);
+        assert_eq!(l.loss, 0.5);
+        assert_eq!(l.jitter_ticks, 77);
+        assert_eq!(l.bandwidth_bps, 8);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        assert!(LinkSpec::lan().bandwidth_bps > LinkSpec::broadband().bandwidth_bps);
+        assert!(LinkSpec::broadband().bandwidth_bps > LinkSpec::modem().bandwidth_bps);
+    }
+}

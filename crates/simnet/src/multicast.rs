@@ -1,0 +1,121 @@
+//! Sender-side multicast groups.
+//!
+//! The live-broadcast path ("broadcast their encoded content in real time",
+//! §2.5) sends each encoded packet to every connected student. The group
+//! tracks membership; fan-out happens at the sender, one unicast per
+//! member, which is how Windows Media-era HTTP streaming actually worked.
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::{Network, NetworkError, NodeId};
+
+/// A multicast group: a named set of member nodes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MulticastGroup {
+    members: Vec<NodeId>,
+}
+
+impl MulticastGroup {
+    /// An empty group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a member (idempotent).
+    pub fn join(&mut self, node: NodeId) {
+        if !self.members.contains(&node) {
+            self.members.push(node);
+        }
+    }
+
+    /// Removes a member (idempotent).
+    pub fn leave(&mut self, node: NodeId) {
+        self.members.retain(|m| *m != node);
+    }
+
+    /// Current members in join order.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Sends a copy of `message` from `src` to every member except `src`
+    /// itself. Returns how many copies were enqueued.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first member with no route; earlier copies remain sent
+    /// (matching real fan-out, where partial delivery is possible).
+    pub fn send<M: Clone>(
+        &self,
+        net: &mut Network<M>,
+        src: NodeId,
+        bytes: u64,
+        message: M,
+    ) -> Result<usize, NetworkError> {
+        let mut sent = 0;
+        for &m in &self.members {
+            if m == src {
+                continue;
+            }
+            net.send(src, m, bytes, message.clone())?;
+            sent += 1;
+        }
+        Ok(sent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+
+    #[test]
+    fn fan_out_to_all_members() {
+        let mut net: Network<u8> = Network::new(5);
+        let server = net.add_node("server");
+        let mut group = MulticastGroup::new();
+        for i in 0..5 {
+            let c = net.add_node(format!("client{i}"));
+            net.connect(server, c, LinkSpec::lan());
+            group.join(c);
+        }
+        group.join(server); // self is skipped on send
+        let sent = group.send(&mut net, server, 1000, 42).unwrap();
+        assert_eq!(sent, 5);
+        let deliveries = net.advance_to(10_000_000);
+        assert_eq!(deliveries.len(), 5);
+        assert!(deliveries.iter().all(|d| d.message == 42));
+    }
+
+    #[test]
+    fn join_leave_idempotent() {
+        let mut g = MulticastGroup::new();
+        let n = NodeId(0);
+        g.join(n);
+        g.join(n);
+        assert_eq!(g.len(), 1);
+        g.leave(n);
+        g.leave(n);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn missing_route_is_error() {
+        let mut net: Network<u8> = Network::new(5);
+        let server = net.add_node("server");
+        let c = net.add_node("client");
+        let mut g = MulticastGroup::new();
+        g.join(c);
+        assert!(g.send(&mut net, server, 10, 1).is_err());
+    }
+}

@@ -1,0 +1,532 @@
+//! The event-driven network core.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::link::LinkSpec;
+use crate::trace::LinkStats;
+
+/// Identifier of a node in a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Errors from network operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// No link connects the given pair of nodes.
+    NoRoute {
+        /// Sender.
+        src: NodeId,
+        /// Intended receiver.
+        dst: NodeId,
+    },
+    /// A node id from a different network (or out of range) was used.
+    UnknownNode(NodeId),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::NoRoute { src, dst } => write!(f, "no link from {src} to {dst}"),
+            NetworkError::UnknownNode(n) => write!(f, "unknown node {n}"),
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+/// A message delivered to its destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// Arrival time in ticks.
+    pub time: u64,
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// Wire size that was simulated, in bytes.
+    pub bytes: u64,
+    /// The payload.
+    pub message: M,
+}
+
+#[derive(Debug)]
+struct LinkState {
+    spec: LinkSpec,
+    /// Time at which the link's transmitter becomes free.
+    next_free: u64,
+    stats: LinkStats,
+}
+
+/// A simulated network carrying messages of type `M`.
+///
+/// All randomness (jitter, loss) comes from one `SmallRng` seeded at
+/// construction: identical call sequences replay identically.
+#[derive(Debug)]
+pub struct Network<M> {
+    names: Vec<String>,
+    links: HashMap<(usize, usize), LinkState>,
+    /// Static routing: `(at, final_dst) → next_hop`. Absent entries mean
+    /// "deliver over the direct link".
+    next_hop: HashMap<(usize, usize), usize>,
+    now: u64,
+    seq: u64,
+    in_flight: BinaryHeap<Reverse<(u64, u64, usize, usize)>>,
+    /// `id → (bytes, message, origin, final destination)`.
+    payloads: HashMap<u64, (u64, M, usize, usize)>,
+    /// Packet ids exempt from the loss model (sent "over TCP").
+    reliable: std::collections::HashSet<u64>,
+    rng: SmallRng,
+}
+
+impl<M> Network<M> {
+    /// A network with no nodes, seeded for reproducibility.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            names: Vec::new(),
+            links: HashMap::new(),
+            next_hop: HashMap::new(),
+            now: 0,
+            seq: 0,
+            in_flight: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            reliable: std::collections::HashSet::new(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Declares that traffic at `at` bound for `dst` must be forwarded via
+    /// `hop` (static source routing; transitive — `hop` may itself route).
+    pub fn set_next_hop(&mut self, at: NodeId, dst: NodeId, hop: NodeId) {
+        self.next_hop.insert((at.0, dst.0), hop.0);
+    }
+
+    /// Routes every destination in `dsts` through `router` for traffic
+    /// originating at `src` (and delivers directly from the router).
+    pub fn route_via(&mut self, src: NodeId, router: NodeId, dsts: &[NodeId]) {
+        for &d in dsts {
+            self.set_next_hop(src, d, router);
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        self.names.push(name.into());
+        NodeId(self.names.len() - 1)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Node name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.names[node.0]
+    }
+
+    /// Installs (or replaces) the unidirectional link `src → dst`.
+    pub fn connect(&mut self, src: NodeId, dst: NodeId, spec: LinkSpec) {
+        self.links.insert(
+            (src.0, dst.0),
+            LinkState {
+                spec,
+                next_free: self.now,
+                stats: LinkStats::default(),
+            },
+        );
+    }
+
+    /// Installs symmetric links in both directions.
+    pub fn connect_bidirectional(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.connect(a, b, spec);
+        self.connect(b, a, spec);
+    }
+
+    /// Removes the `src → dst` link (failure injection). Packets already
+    /// in flight still arrive; new sends fail with
+    /// [`NetworkError::NoRoute`].
+    pub fn disconnect(&mut self, src: NodeId, dst: NodeId) {
+        self.links.remove(&(src.0, dst.0));
+    }
+
+    /// Current simulation time in ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Traffic counters of the `src → dst` link.
+    pub fn link_stats(&self, src: NodeId, dst: NodeId) -> Option<&LinkStats> {
+        self.links.get(&(src.0, dst.0)).map(|l| &l.stats)
+    }
+
+    /// Queueing + serialization backlog of the link right now (how long a
+    /// packet enqueued at `now` would wait before starting serialization).
+    pub fn link_backlog(&self, src: NodeId, dst: NodeId) -> Option<u64> {
+        self.links
+            .get(&(src.0, dst.0))
+            .map(|l| l.next_free.saturating_sub(self.now))
+    }
+
+    /// Enqueues `message` of `bytes` wire size from `src` toward `dst`,
+    /// following any static routes, starting at the current time. The
+    /// packet may be lost on any hop (per that link's loss probability);
+    /// loss is only visible through [`LinkStats`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::NoRoute`] when the first-hop link does not exist,
+    /// [`NetworkError::UnknownNode`] for foreign ids. (Missing links on
+    /// *later* hops silently drop the packet, as real routers do.)
+    pub fn send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        message: M,
+    ) -> Result<(), NetworkError> {
+        self.send_inner(src, dst, bytes, message, false)
+    }
+
+    /// Like [`Network::send`] but immune to the loss model — the
+    /// equivalent of sending over TCP. Serialization, delay and jitter
+    /// still apply; a *disconnected* link still refuses.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::send`].
+    pub fn send_reliable(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        message: M,
+    ) -> Result<(), NetworkError> {
+        self.send_inner(src, dst, bytes, message, true)
+    }
+
+    fn send_inner(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        message: M,
+        reliable: bool,
+    ) -> Result<(), NetworkError> {
+        if src.0 >= self.names.len() {
+            return Err(NetworkError::UnknownNode(src));
+        }
+        if dst.0 >= self.names.len() {
+            return Err(NetworkError::UnknownNode(dst));
+        }
+        let hop = self.next_hop.get(&(src.0, dst.0)).copied().unwrap_or(dst.0);
+        if !self.links.contains_key(&(src.0, hop)) {
+            return Err(NetworkError::NoRoute { src, dst });
+        }
+        let id = self.seq;
+        self.seq += 1;
+        if reliable {
+            self.reliable.insert(id);
+        }
+        self.payloads.insert(id, (bytes, message, src.0, dst.0));
+        let when = self.now;
+        self.enqueue_on_link(src.0, hop, id, bytes, when);
+        Ok(())
+    }
+
+    /// Puts packet `id` on the `from → to` link starting no earlier than
+    /// `when`. Loss drops it (and its payload entry).
+    fn enqueue_on_link(&mut self, from: usize, to: usize, id: u64, bytes: u64, when: u64) {
+        let Some(link) = self.links.get_mut(&(from, to)) else {
+            // Later-hop link missing: drop like a router with no route.
+            self.payloads.remove(&id);
+            return;
+        };
+        link.stats.packets_sent += 1;
+        link.stats.bytes_sent += bytes;
+        // FIFO serialization: packets queue behind one another.
+        let start = link.next_free.max(when);
+        let depart = start + link.spec.serialization_ticks(bytes);
+        link.next_free = depart;
+        let lost = link.spec.loss > 0.0
+            && self.rng.gen_bool(link.spec.loss.clamp(0.0, 1.0))
+            && !self.reliable.contains(&id);
+        if lost {
+            link.stats.packets_dropped += 1;
+            self.payloads.remove(&id);
+            return;
+        }
+        let jitter = if link.spec.jitter_ticks > 0 {
+            self.rng.gen_range(0..=link.spec.jitter_ticks)
+        } else {
+            0
+        };
+        let arrival = depart + link.spec.delay_ticks + jitter;
+        self.in_flight.push(Reverse((arrival, id, from, to)));
+    }
+
+    /// Advances the clock to `t`, returning every final delivery with
+    /// arrival time ≤ `t`, in arrival order. Packets reaching an
+    /// intermediate hop are forwarded onward automatically.
+    pub fn advance_to(&mut self, t: u64) -> Vec<Delivery<M>> {
+        let mut out = Vec::new();
+        while let Some(Reverse((arrival, id, from, at))) = self.in_flight.peek().copied() {
+            if arrival > t {
+                break;
+            }
+            self.in_flight.pop();
+            if let Some(link) = self.links.get_mut(&(from, at)) {
+                link.stats.packets_delivered += 1;
+            }
+            let (bytes, _, origin, final_dst) = match self.payloads.get(&id) {
+                Some(&(b, _, o, d)) => (b, (), o, d),
+                None => continue,
+            };
+            if at == final_dst {
+                self.reliable.remove(&id);
+                let (bytes, message, origin, _) = self
+                    .payloads
+                    .remove(&id)
+                    .expect("payload present: just observed");
+                out.push(Delivery {
+                    time: arrival,
+                    src: NodeId(origin),
+                    dst: NodeId(at),
+                    bytes,
+                    message,
+                });
+            } else {
+                // Forward toward the destination.
+                let hop = self
+                    .next_hop
+                    .get(&(at, final_dst))
+                    .copied()
+                    .unwrap_or(final_dst);
+                let _ = origin;
+                self.enqueue_on_link(at, hop, id, bytes, arrival);
+            }
+        }
+        self.now = self.now.max(t);
+        out
+    }
+
+    /// Arrival time of the earliest in-flight packet, if any.
+    pub fn next_arrival(&self) -> Option<u64> {
+        self.in_flight.peek().map(|Reverse((t, ..))| *t)
+    }
+
+    /// Number of packets currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_nodes(loss: f64, jitter: u64) -> (Network<u32>, NodeId, NodeId) {
+        let mut net = Network::new(7);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.connect(a, b, LinkSpec::lan().with_loss(loss).with_jitter(jitter));
+        (net, a, b)
+    }
+
+    #[test]
+    fn delivers_after_serialization_and_delay() {
+        let (mut net, a, b) = two_nodes(0.0, 0);
+        net.send(a, b, 1250, 1).unwrap();
+        // 1250 B at 100 Mbit/s = 1000 ticks; +5000 delay = 6000.
+        let d = net.advance_to(10_000);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].time, 6_000);
+        assert_eq!(d[0].message, 1);
+    }
+
+    #[test]
+    fn fifo_ordering_per_link() {
+        let (mut net, a, b) = two_nodes(0.0, 0);
+        for i in 0..10u32 {
+            net.send(a, b, 1250, i).unwrap();
+        }
+        let d = net.advance_to(1_000_000);
+        let order: Vec<u32> = d.iter().map(|d| d.message).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+        // Serialization spaces the arrivals 1000 ticks apart.
+        assert_eq!(d[1].time - d[0].time, 1_000);
+    }
+
+    #[test]
+    fn no_route_errors() {
+        let mut net: Network<u8> = Network::new(1);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        assert_eq!(
+            net.send(a, b, 10, 0),
+            Err(NetworkError::NoRoute { src: a, dst: b })
+        );
+        let ghost = NodeId(99);
+        assert_eq!(
+            net.send(ghost, b, 10, 0),
+            Err(NetworkError::UnknownNode(ghost))
+        );
+    }
+
+    #[test]
+    fn loss_drops_packets_deterministically() {
+        let (mut net, a, b) = two_nodes(0.5, 0);
+        for i in 0..100u32 {
+            net.send(a, b, 100, i).unwrap();
+        }
+        let delivered = net.advance_to(u64::MAX / 2).len();
+        let stats = net.link_stats(a, b).unwrap();
+        assert_eq!(stats.packets_sent, 100);
+        assert_eq!(stats.packets_dropped + stats.packets_delivered, 100);
+        assert!(delivered < 80, "expected ~50% loss, saw {delivered}");
+        assert!(delivered > 20, "expected ~50% loss, saw {delivered}");
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let run = |seed| {
+            let mut net = Network::new(seed);
+            let a = net.add_node("a");
+            let b = net.add_node("b");
+            net.connect(a, b, LinkSpec::broadband());
+            for i in 0..50u32 {
+                net.send(a, b, 500, i).unwrap();
+            }
+            net.advance_to(u64::MAX / 2)
+                .into_iter()
+                .map(|d| (d.time, d.message))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let (mut net, a, b) = two_nodes(0.0, 2_000);
+        for i in 0..50u32 {
+            net.send(a, b, 1250, i).unwrap();
+            // Space sends out so serialization does not queue.
+            net.advance_to(net.now() + 10_000);
+        }
+        // All arrivals within delay..=delay+jitter of their departure.
+        // Checked implicitly: FIFO order may break under jitter, but
+        // arrival - (send + serialization) must be within bounds.
+        // (We re-run with exact accounting.)
+        let (mut net2, a2, b2) = two_nodes(0.0, 2_000);
+        net2.send(a2, b2, 1250, 0).unwrap();
+        let d = net2.advance_to(100_000);
+        let extra = d[0].time - 1_000; // minus serialization
+        assert!((5_000..=7_000).contains(&extra), "extra {extra}");
+    }
+
+    #[test]
+    fn backlog_reflects_queue() {
+        let (mut net, a, b) = two_nodes(0.0, 0);
+        assert_eq!(net.link_backlog(a, b), Some(0));
+        for i in 0..10u32 {
+            net.send(a, b, 12_500, i).unwrap(); // 10k ticks each
+        }
+        assert_eq!(net.link_backlog(a, b), Some(100_000));
+    }
+
+    #[test]
+    fn advance_never_goes_backwards() {
+        let (mut net, a, b) = two_nodes(0.0, 0);
+        net.advance_to(500);
+        net.advance_to(100);
+        assert_eq!(net.now(), 500);
+        net.send(a, b, 10, 1).unwrap();
+        assert!(net.next_arrival().unwrap() > 500);
+    }
+
+    #[test]
+    fn routed_delivery_traverses_hops() {
+        let mut net: Network<u32> = Network::new(2);
+        let server = net.add_node("server");
+        let router = net.add_node("router");
+        let client = net.add_node("client");
+        net.connect(server, router, LinkSpec::lan().with_jitter(0));
+        net.connect(router, client, LinkSpec::lan().with_jitter(0));
+        net.route_via(server, router, &[client]);
+        net.send(server, client, 1250, 9).unwrap();
+        let d = net.advance_to(100_000);
+        assert_eq!(d.len(), 1);
+        // Two hops: 2 × (1000 serialization + 5000 delay) = 12000.
+        assert_eq!(d[0].time, 12_000);
+        assert_eq!(d[0].src, server);
+        assert_eq!(d[0].dst, client);
+        assert_eq!(d[0].message, 9);
+    }
+
+    #[test]
+    fn shared_bottleneck_serializes_flows() {
+        // Two clients behind one thin router uplink: their packets queue
+        // on the shared server→router link.
+        let mut net: Network<u32> = Network::new(4);
+        let server = net.add_node("server");
+        let router = net.add_node("router");
+        let c1 = net.add_node("c1");
+        let c2 = net.add_node("c2");
+        let thin = LinkSpec::lan().with_bandwidth(1_000_000).with_jitter(0); // 1 Mbit/s
+        net.connect(server, router, thin);
+        net.connect(router, c1, LinkSpec::lan().with_jitter(0));
+        net.connect(router, c2, LinkSpec::lan().with_jitter(0));
+        net.route_via(server, router, &[c1, c2]);
+        net.send(server, c1, 12_500, 1).unwrap(); // 100 ms serialization
+        net.send(server, c2, 12_500, 2).unwrap();
+        let d = net.advance_to(10_000_000);
+        assert_eq!(d.len(), 2);
+        // The second flow waits behind the first on the shared uplink.
+        assert!(d[1].time >= d[0].time + 1_000_000, "{:?}", d);
+    }
+
+    #[test]
+    fn missing_second_hop_drops_silently() {
+        let mut net: Network<u32> = Network::new(2);
+        let a = net.add_node("a");
+        let r = net.add_node("r");
+        let b = net.add_node("b");
+        net.connect(a, r, LinkSpec::lan());
+        // No r→b link.
+        net.route_via(a, r, &[b]);
+        net.send(a, b, 100, 1).unwrap();
+        assert!(net.advance_to(u64::MAX / 2).is_empty());
+    }
+
+    #[test]
+    fn bidirectional_links_are_independent() {
+        let mut net: Network<u8> = Network::new(3);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.connect_bidirectional(a, b, LinkSpec::lan().with_jitter(0));
+        net.send(a, b, 1250, 1).unwrap();
+        net.send(b, a, 1250, 2).unwrap();
+        let d = net.advance_to(100_000);
+        assert_eq!(d.len(), 2);
+        // Both arrive at the same time: no shared queue.
+        assert_eq!(d[0].time, d[1].time);
+    }
+}

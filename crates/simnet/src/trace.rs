@@ -1,0 +1,60 @@
+//! Per-link traffic counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by one link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Packets handed to the link.
+    pub packets_sent: u64,
+    /// Packets that reached the receiver.
+    pub packets_delivered: u64,
+    /// Packets dropped by the loss model.
+    pub packets_dropped: u64,
+    /// Total bytes handed to the link (including later-dropped packets).
+    pub bytes_sent: u64,
+}
+
+impl LinkStats {
+    /// Delivered / sent, or 1.0 for an unused link.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.packets_sent == 0 {
+            1.0
+        } else {
+            self.packets_delivered as f64 / self.packets_sent as f64
+        }
+    }
+
+    /// Dropped / sent, or 0.0 for an unused link.
+    pub fn loss_ratio(&self) -> f64 {
+        if self.packets_sent == 0 {
+            0.0
+        } else {
+            self.packets_dropped as f64 / self.packets_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = LinkStats {
+            packets_sent: 10,
+            packets_delivered: 9,
+            packets_dropped: 1,
+            bytes_sent: 1000,
+        };
+        assert!((s.delivery_ratio() - 0.9).abs() < 1e-9);
+        assert!((s.loss_ratio() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unused_link_ratios() {
+        let s = LinkStats::default();
+        assert_eq!(s.delivery_ratio(), 1.0);
+        assert_eq!(s.loss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the network simulator.
+
+use lod_simnet::{LinkSpec, Network};
+use proptest::prelude::*;
+
+fn arb_link() -> impl Strategy<Value = LinkSpec> {
+    (
+        1_000u64..100_000_000,
+        0u64..1_000_000,
+        0u64..500_000,
+        0.0f64..0.5,
+    )
+        .prop_map(|(bw, delay, jitter, loss)| LinkSpec {
+            bandwidth_bps: bw,
+            delay_ticks: delay,
+            jitter_ticks: jitter,
+            loss,
+        })
+}
+
+proptest! {
+    /// Packet conservation: delivered + dropped equals sent once the
+    /// network drains.
+    #[test]
+    fn packets_are_conserved(
+        link in arb_link(),
+        sizes in proptest::collection::vec(1u64..10_000, 1..50),
+        seed in any::<u64>(),
+    ) {
+        let mut net: Network<usize> = Network::new(seed);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.connect(a, b, link);
+        for (i, &sz) in sizes.iter().enumerate() {
+            net.send(a, b, sz, i).unwrap();
+        }
+        let delivered = net.advance_to(u64::MAX / 4).len() as u64;
+        let stats = net.link_stats(a, b).unwrap();
+        prop_assert_eq!(stats.packets_sent, sizes.len() as u64);
+        prop_assert_eq!(stats.packets_delivered, delivered);
+        prop_assert_eq!(stats.packets_dropped + stats.packets_delivered, stats.packets_sent);
+        prop_assert_eq!(net.in_flight(), 0);
+    }
+
+    /// Without jitter and loss, delivery is FIFO and arrival spacing is at
+    /// least the serialization time.
+    #[test]
+    fn jitterless_links_are_fifo(
+        bw in 10_000u64..10_000_000,
+        delay in 0u64..1_000_000,
+        count in 2usize..30,
+        seed in any::<u64>(),
+    ) {
+        let link = LinkSpec { bandwidth_bps: bw, delay_ticks: delay, jitter_ticks: 0, loss: 0.0 };
+        let mut net: Network<usize> = Network::new(seed);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.connect(a, b, link);
+        for i in 0..count {
+            net.send(a, b, 1_000, i).unwrap();
+        }
+        let d = net.advance_to(u64::MAX / 4);
+        prop_assert_eq!(d.len(), count);
+        let order: Vec<usize> = d.iter().map(|x| x.message).collect();
+        prop_assert_eq!(order, (0..count).collect::<Vec<_>>());
+        let ser = link.serialization_ticks(1_000);
+        for w in d.windows(2) {
+            prop_assert!(w[1].time - w[0].time >= ser);
+        }
+    }
+
+    /// Reliable sends never drop, whatever the loss rate.
+    #[test]
+    fn reliable_sends_never_lost(
+        loss in 0.0f64..0.95,
+        count in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut net: Network<usize> = Network::new(seed);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.connect(a, b, LinkSpec::lan().with_loss(loss));
+        for i in 0..count {
+            net.send_reliable(a, b, 100, i).unwrap();
+        }
+        prop_assert_eq!(net.advance_to(u64::MAX / 4).len(), count);
+    }
+
+    /// Two-hop routed delivery takes at least the sum of both hops'
+    /// minimum latencies.
+    #[test]
+    fn routed_latency_is_additive(
+        l1 in arb_link(),
+        l2 in arb_link(),
+        seed in any::<u64>(),
+    ) {
+        let (mut l1, mut l2) = (l1, l2);
+        l1.loss = 0.0;
+        l2.loss = 0.0;
+        let mut net: Network<u8> = Network::new(seed);
+        let a = net.add_node("a");
+        let r = net.add_node("r");
+        let b = net.add_node("b");
+        net.connect(a, r, l1);
+        net.connect(r, b, l2);
+        net.route_via(a, r, &[b]);
+        net.send(a, b, 500, 1).unwrap();
+        let d = net.advance_to(u64::MAX / 4);
+        prop_assert_eq!(d.len(), 1);
+        let min = l1.serialization_ticks(500)
+            + l1.delay_ticks
+            + l2.serialization_ticks(500)
+            + l2.delay_ticks;
+        prop_assert!(d[0].time >= min);
+        let max = min + l1.jitter_ticks + l2.jitter_ticks;
+        prop_assert!(d[0].time <= max);
+    }
+
+    /// Determinism: identical seeds and operations yield identical
+    /// delivery sequences.
+    #[test]
+    fn same_seed_identical_runs(
+        link in arb_link(),
+        count in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let run = || {
+            let mut net: Network<usize> = Network::new(seed);
+            let a = net.add_node("a");
+            let b = net.add_node("b");
+            net.connect(a, b, link);
+            for i in 0..count {
+                net.send(a, b, 700, i).unwrap();
+            }
+            net.advance_to(u64::MAX / 4)
+                .into_iter()
+                .map(|d| (d.time, d.message))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

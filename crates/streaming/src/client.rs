@@ -1,0 +1,759 @@
+//! The streaming client: buffering, playout clock, stall accounting.
+
+use std::collections::BTreeMap;
+
+use lod_asf::{AsfError, MediaSample, Reassembler, ScriptCommand, ScriptCommandList};
+use lod_media::{MediaClock, Ticks};
+use lod_simnet::{Network, NodeId};
+
+use crate::metrics::ClientMetrics;
+use crate::wire::{ControlRequest, StreamHeader, Wire};
+
+/// Lifecycle of a client session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientState {
+    /// Nothing requested yet.
+    Idle,
+    /// Play sent; filling the preroll buffer.
+    Buffering,
+    /// Rendering.
+    Playing,
+    /// Buffer underrun; waiting to refill.
+    Stalled,
+    /// End of stream reached and buffer drained.
+    Done,
+}
+
+/// One rendered item: a media sample, or a fired script command (slide
+/// flip, annotation) with `script` set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenderEvent {
+    /// Wall time at which the item was rendered.
+    pub wall_time: u64,
+    /// The client that rendered it.
+    pub client: NodeId,
+    /// Stream number (0 for script commands).
+    pub stream: u16,
+    /// Scheduled presentation time.
+    pub pres_time: u64,
+    /// Sample payload size in bytes (0 for script commands).
+    pub bytes: usize,
+    /// The script command, when this event is a script firing.
+    pub script: Option<ScriptCommand>,
+}
+
+/// A streaming client node playing one piece of content.
+#[derive(Debug)]
+pub struct StreamingClient {
+    node: NodeId,
+    server: NodeId,
+    content: String,
+    /// Streams to request from the server (None = all).
+    wanted_streams: Option<Vec<u16>>,
+    /// Fallback stream set for adaptive thinning, with the stall count
+    /// that triggers it.
+    adaptive: Option<(u32, Vec<u16>)>,
+    /// Whether the adaptive downgrade already fired.
+    downgraded: bool,
+    state: ClientState,
+    header: Option<StreamHeader>,
+    reasm: Reassembler,
+    buffer: BTreeMap<(u64, u16, u64), MediaSample>,
+    buffer_seq: u64,
+    clock: MediaClock,
+    scripts: ScriptCommandList,
+    /// Media time up to which scripts have fired (None before playback).
+    scripts_fired_to: Option<u64>,
+    /// Pending seek target while rebuffering.
+    seek_target: Option<u64>,
+    requested_at: u64,
+    eos: bool,
+    /// Highest presentation time seen in the buffer (for preroll checks).
+    horizon: u64,
+    stall_started: u64,
+    metrics: ClientMetrics,
+    /// `(wall_time, pres_time, stream)` of every completed sample — the
+    /// arrival trace the ETPN experiments replay against.
+    arrival_log: Vec<(u64, u64, u16)>,
+}
+
+impl StreamingClient {
+    /// A client on `node` that will fetch `content` from `server`.
+    pub fn new(node: NodeId, server: NodeId, content: impl Into<String>) -> Self {
+        Self {
+            node,
+            server,
+            content: content.into(),
+            wanted_streams: None,
+            adaptive: None,
+            downgraded: false,
+            state: ClientState::Idle,
+            header: None,
+            reasm: Reassembler::new(),
+            buffer: BTreeMap::new(),
+            buffer_seq: 0,
+            clock: MediaClock::start_at(Ticks::ZERO),
+            scripts: ScriptCommandList::new(),
+            scripts_fired_to: None,
+            seek_target: None,
+            requested_at: 0,
+            eos: false,
+            horizon: 0,
+            stall_started: 0,
+            metrics: ClientMetrics::default(),
+            arrival_log: Vec::new(),
+        }
+    }
+
+    /// The `(wall_time, pres_time, stream)` arrival trace of every sample
+    /// completed so far.
+    pub fn arrival_log(&self) -> &[(u64, u64, u16)] {
+        &self.arrival_log
+    }
+
+    /// Restricts the session to `streams` (stream thinning): must be set
+    /// before [`StreamingClient::start`].
+    pub fn with_streams(mut self, streams: Vec<u16>) -> Self {
+        self.wanted_streams = Some(streams);
+        self
+    }
+
+    /// Enables adaptive thinning ("intelligent streaming"): after
+    /// `stall_threshold` rebuffering events the client asks the server to
+    /// drop down to `fallback` streams for the rest of the session.
+    pub fn with_adaptive_thinning(mut self, stall_threshold: u32, fallback: Vec<u16>) -> Self {
+        self.adaptive = Some((stall_threshold, fallback));
+        self
+    }
+
+    /// Whether the adaptive downgrade has fired.
+    pub fn is_downgraded(&self) -> bool {
+        self.downgraded
+    }
+
+    /// Fires the adaptive downgrade when the stall threshold has been
+    /// crossed: tells the server to thin the session to the fallback
+    /// streams and drops already-buffered samples of other streams.
+    /// Drivers call this each scheduling round; it is a no-op until the
+    /// threshold trips, and fires at most once.
+    pub fn poll_adaptive(&mut self, net: &mut Network<Wire>) {
+        let Some((threshold, fallback)) = self.adaptive.clone() else {
+            return;
+        };
+        if self.downgraded || self.metrics.stalls < u64::from(threshold) {
+            return;
+        }
+        self.downgraded = true;
+        let req = Wire::Request(ControlRequest::SelectStreams(fallback.clone()));
+        let bytes = req.wire_bytes(0);
+        let _ = net.send_reliable(self.node, self.server, bytes, req);
+        // Already-buffered samples of dropped streams would still render;
+        // clear them so the downgrade is immediate on screen too.
+        self.buffer
+            .retain(|&(_, stream, _), _| fallback.contains(&stream));
+    }
+
+    /// The client's network node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ClientState {
+        self.state
+    }
+
+    /// Whether playback has finished.
+    pub fn is_done(&self) -> bool {
+        self.state == ClientState::Done
+    }
+
+    /// Quality metrics accumulated so far.
+    pub fn metrics(&self) -> &ClientMetrics {
+        &self.metrics
+    }
+
+    /// The header received from the server, if any.
+    pub fn header(&self) -> Option<&StreamHeader> {
+        self.header.as_ref()
+    }
+
+    /// Media time of the playout clock at wall time `now`.
+    pub fn media_time(&self, now: u64) -> u64 {
+        self.clock.media_time(Ticks(now)).0
+    }
+
+    /// Sends the initial Play request.
+    pub fn start(&mut self, net: &mut Network<Wire>) {
+        if self.state != ClientState::Idle {
+            return;
+        }
+        self.requested_at = net.now();
+        let req = Wire::Request(ControlRequest::Play {
+            content: self.content.clone(),
+            from: 0,
+        });
+        let bytes = req.wire_bytes(0);
+        let _ = net.send_reliable(self.node, self.server, bytes, req);
+        if let Some(streams) = &self.wanted_streams {
+            let sel = Wire::Request(ControlRequest::SelectStreams(streams.clone()));
+            let bytes = sel.wire_bytes(0);
+            let _ = net.send_reliable(self.node, self.server, bytes, sel);
+        }
+        self.state = ClientState::Buffering;
+    }
+
+    /// Requests a pause: freezes the local clock and tells the server to
+    /// stop sending.
+    pub fn pause(&mut self, net: &mut Network<Wire>, now: u64) {
+        if self.state == ClientState::Playing {
+            self.clock.pause(Ticks(now));
+            let req = Wire::Request(ControlRequest::Pause);
+            let bytes = req.wire_bytes(0);
+            let _ = net.send_reliable(self.node, self.server, bytes, req);
+        }
+    }
+
+    /// Resumes after [`StreamingClient::pause`].
+    pub fn resume(&mut self, net: &mut Network<Wire>, now: u64) {
+        if self.state == ClientState::Playing && !self.clock.is_running() {
+            self.clock.resume(Ticks(now));
+            let req = Wire::Request(ControlRequest::Resume);
+            let bytes = req.wire_bytes(0);
+            let _ = net.send_reliable(self.node, self.server, bytes, req);
+        }
+    }
+
+    /// Seeks to presentation time `target`: drops the local buffer, asks
+    /// the server to resume from the seek point (it consults the ASF
+    /// index), and rebuffers.
+    pub fn seek(&mut self, net: &mut Network<Wire>, now: u64, target: u64) {
+        if matches!(self.state, ClientState::Idle | ClientState::Done) {
+            return;
+        }
+        self.buffer.clear();
+        self.reasm = Reassembler::new();
+        self.horizon = target;
+        self.eos = false;
+        self.clock.seek(Ticks(now), Ticks(target));
+        self.clock.pause(Ticks(now));
+        self.scripts_fired_to = Some(target);
+        self.seek_target = Some(target);
+        self.state = ClientState::Buffering;
+        let req = Wire::Request(ControlRequest::Seek { to: target });
+        let bytes = req.wire_bytes(0);
+        let _ = net.send_reliable(self.node, self.server, bytes, req);
+    }
+
+    /// Handles a message delivered at `time`.
+    pub fn on_message(&mut self, time: u64, msg: Wire) {
+        match msg {
+            Wire::Header(h) => {
+                for c in h.script.commands() {
+                    self.scripts.push(c.clone());
+                }
+                self.header = Some(h);
+            }
+            Wire::Script(c) => {
+                self.scripts.push(c);
+            }
+            Wire::Data(p) => {
+                match self.reasm.push_packet(&p) {
+                    Ok(()) => {}
+                    Err(AsfError::FragmentMismatch { .. }) => {
+                        self.metrics.samples_lost += 1;
+                    }
+                    Err(_) => {}
+                }
+                for s in self.reasm.take_completed() {
+                    self.metrics.bytes_received += s.data.len() as u64;
+                    self.horizon = self.horizon.max(s.pres_time);
+                    self.arrival_log.push((time, s.pres_time, s.stream));
+                    self.buffer_seq += 1;
+                    self.buffer
+                        .insert((s.pres_time, s.stream, self.buffer_seq), s);
+                }
+            }
+            Wire::EndOfStream => {
+                self.eos = true;
+            }
+            Wire::NotFound(_) => {
+                self.eos = true;
+                self.state = ClientState::Done;
+            }
+            Wire::Request(_) => {}
+        }
+        let _ = time;
+    }
+
+    /// Preroll target in ticks (from the header, defaulting to 1 s).
+    fn preroll(&self) -> u64 {
+        self.header
+            .as_ref()
+            .map(|h| h.props.preroll)
+            .filter(|&p| p > 0)
+            .unwrap_or(10_000_000)
+    }
+
+    /// Advances playback to wall time `now`, returning samples rendered.
+    pub fn tick(&mut self, now: u64) -> Vec<RenderEvent> {
+        let mut out = Vec::new();
+        match self.state {
+            ClientState::Idle | ClientState::Done => {}
+            ClientState::Buffering => {
+                let base = self.seek_target.unwrap_or(0);
+                if self.header.is_some()
+                    && (self.horizon.saturating_sub(base) >= self.preroll()
+                        || (self.eos && !self.buffer.is_empty()))
+                {
+                    if let Some(target) = self.seek_target.take() {
+                        // Re-anchor after a seek; startup was already
+                        // accounted on the initial play.
+                        self.clock.seek(Ticks(now), Ticks(target));
+                        self.clock.resume(Ticks(now));
+                    } else {
+                        self.clock = MediaClock::start_at(Ticks(now));
+                        self.metrics.startup_ticks = now.saturating_sub(self.requested_at);
+                    }
+                    self.state = ClientState::Playing;
+                    out.extend(self.render_due(now));
+                } else if self.eos && self.buffer.is_empty() {
+                    self.finish();
+                }
+            }
+            ClientState::Playing => {
+                out.extend(self.render_due(now));
+                let media_now = self.media_time(now);
+                // Underrun means playback has caught up with everything
+                // received so far, not merely an empty buffer between
+                // samples.
+                if self.buffer.is_empty() && media_now >= self.horizon {
+                    if self.eos {
+                        self.finish();
+                    } else {
+                        self.clock.pause(Ticks(now));
+                        self.state = ClientState::Stalled;
+                        self.stall_started = now;
+                        self.metrics.stalls += 1;
+                    }
+                }
+            }
+            ClientState::Stalled => {
+                let media_now = self.media_time(now);
+                if self.horizon.saturating_sub(media_now) >= self.preroll() || self.eos {
+                    self.metrics.stall_ticks += now - self.stall_started;
+                    self.clock.resume(Ticks(now));
+                    self.state = ClientState::Playing;
+                    out.extend(self.render_due(now));
+                }
+            }
+        }
+        out
+    }
+
+    fn finish(&mut self) {
+        self.state = ClientState::Done;
+        self.metrics.samples_lost += self.reasm.incomplete() as u64;
+    }
+
+    fn render_due(&mut self, now: u64) -> Vec<RenderEvent> {
+        let media_now = self.media_time(now);
+        let mut out = Vec::new();
+        while let Some((&key, _)) = self.buffer.iter().next() {
+            if key.0 > media_now {
+                break;
+            }
+            let sample = self.buffer.remove(&key).expect("key just observed");
+            self.metrics.samples_rendered += 1;
+            out.push(RenderEvent {
+                wall_time: now,
+                client: self.node,
+                stream: sample.stream,
+                pres_time: sample.pres_time,
+                bytes: sample.data.len(),
+                script: None,
+            });
+        }
+        // Fire script commands the playout clock has crossed: everything
+        // up to media_now on the first call, then the half-open window.
+        let due: Vec<ScriptCommand> = match self.scripts_fired_to {
+            None => self
+                .scripts
+                .commands()
+                .iter()
+                .filter(|c| c.time <= media_now)
+                .cloned()
+                .collect(),
+            Some(prev) => self.scripts.fired_between(prev, media_now).to_vec(),
+        };
+        self.scripts_fired_to = Some(media_now);
+        for c in due {
+            out.push(RenderEvent {
+                wall_time: now,
+                client: self.node,
+                stream: 0,
+                pres_time: c.time,
+                bytes: 0,
+                script: Some(c),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_to_completion;
+    use crate::server::tests::test_file;
+    use crate::server::StreamingServer;
+    use lod_simnet::LinkSpec;
+
+    fn world(link: LinkSpec) -> (Network<Wire>, StreamingServer, StreamingClient) {
+        let mut net = Network::new(77);
+        let s = net.add_node("server");
+        let c = net.add_node("client");
+        net.connect_bidirectional(s, c, link);
+        let mut server = StreamingServer::new(s);
+        server.publish("lec", test_file(50, 2_000_000)); // 10 s of media
+        let client = StreamingClient::new(c, s, "lec");
+        (net, server, client)
+    }
+
+    #[test]
+    fn plays_to_completion_on_lan() {
+        let (mut net, mut server, mut client) = world(LinkSpec::lan());
+        let events = run_to_completion(&mut net, &mut server, &mut [&mut client], 600_000_000_000);
+        assert!(client.is_done());
+        assert_eq!(client.metrics().stalls, 0, "{:?}", client.metrics());
+        assert!(events.len() >= 50, "rendered {} events", events.len());
+        // Samples render in presentation order.
+        let times: Vec<u64> = events.iter().map(|e| e.pres_time).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn startup_latency_recorded() {
+        let (mut net, mut server, mut client) = world(LinkSpec::broadband());
+        run_to_completion(&mut net, &mut server, &mut [&mut client], 600_000_000_000);
+        assert!(client.metrics().startup_ticks > 0);
+    }
+
+    #[test]
+    fn unknown_content_finishes_immediately() {
+        let mut net = Network::new(8);
+        let s = net.add_node("server");
+        let c = net.add_node("client");
+        net.connect_bidirectional(s, c, LinkSpec::lan());
+        let mut server = StreamingServer::new(s);
+        let mut client = StreamingClient::new(c, s, "missing");
+        run_to_completion(&mut net, &mut server, &mut [&mut client], 60_000_000_000);
+        assert!(client.is_done());
+        assert_eq!(client.metrics().samples_rendered, 0);
+    }
+
+    #[test]
+    fn starved_link_causes_stalls() {
+        // 56k modem cannot carry 400 kbit/s video: expect stalls.
+        let (mut net, mut server, mut client) = world(LinkSpec::modem().with_loss(0.0));
+        run_to_completion(&mut net, &mut server, &mut [&mut client], 4_000_000_000_000);
+        assert!(
+            client.metrics().stalls > 0,
+            "expected stalls on modem: {:?}",
+            client.metrics()
+        );
+    }
+
+    #[test]
+    fn lossy_link_loses_samples_not_liveness() {
+        let (mut net, mut server, mut client) = world(LinkSpec::broadband().with_loss(0.05));
+        run_to_completion(&mut net, &mut server, &mut [&mut client], 4_000_000_000_000);
+        assert!(client.is_done());
+        let m = client.metrics();
+        assert!(m.samples_rendered > 0);
+        assert!(
+            m.samples_lost > 0 || m.samples_rendered == 50,
+            "loss should be visible unless luck delivered everything: {m:?}"
+        );
+    }
+
+    /// Drives one client manually so mid-session control can be injected
+    /// at a chosen wall time.
+    fn drive(
+        net: &mut Network<Wire>,
+        server: &mut StreamingServer,
+        client: &mut StreamingClient,
+        from: u64,
+        to: u64,
+        mut at: impl FnMut(&mut Network<Wire>, &mut StreamingClient, u64),
+    ) -> Vec<RenderEvent> {
+        let mut events = Vec::new();
+        let mut t = from;
+        while t <= to && !client.is_done() {
+            at(net, client, t);
+            server.poll(net, t);
+            for d in net.advance_to(t) {
+                if d.dst == server.node() {
+                    server.on_message(net, d.time, d.src, d.message);
+                } else {
+                    client.on_message(d.time, d.message);
+                }
+            }
+            events.extend(client.tick(t));
+            t += 1_000_000;
+        }
+        events
+    }
+
+    #[test]
+    fn client_seek_jumps_forward() {
+        let (mut net, mut server, mut client) = world(LinkSpec::lan());
+        client.start(&mut net);
+        let target = 60_000_000u64; // 6 s into the 10 s lecture
+        let mut sought = false;
+        let events = drive(
+            &mut net,
+            &mut server,
+            &mut client,
+            0,
+            600_000_000,
+            |net, c, t| {
+                if t == 30_000_000 && c.state() == ClientState::Playing && !sought {
+                    c.seek(net, t, target);
+                    sought = true;
+                }
+            },
+        );
+        assert!(sought);
+        assert!(client.is_done());
+        // After the seek, nothing between the seek point and the target
+        // renders a *new* sample older than the target (minus stale
+        // in-flight deliveries, which land before the seek completes).
+        let post_seek: Vec<_> = events
+            .iter()
+            .filter(|e| e.wall_time > 40_000_000 && e.script.is_none())
+            .collect();
+        assert!(!post_seek.is_empty());
+        assert!(
+            post_seek.iter().all(|e| e.pres_time >= target),
+            "stale sample after rebuffer"
+        );
+    }
+
+    #[test]
+    fn client_pause_resume_round_trip() {
+        let (mut net, mut server, mut client) = world(LinkSpec::lan());
+        client.start(&mut net);
+        let mut paused = false;
+        let mut resumed = false;
+        let events = drive(
+            &mut net,
+            &mut server,
+            &mut client,
+            0,
+            2_000_000_000,
+            |net, c, t| {
+                if t == 40_000_000 && c.state() == ClientState::Playing && !paused {
+                    c.pause(net, t);
+                    paused = true;
+                }
+                if t == 140_000_000 && paused && !resumed {
+                    c.resume(net, t);
+                    resumed = true;
+                }
+            },
+        );
+        assert!(client.is_done());
+        // Nothing renders during the pause window.
+        assert!(events
+            .iter()
+            .all(|e| e.wall_time <= 40_000_000 || e.wall_time >= 140_000_000));
+        // All 50 samples still render (pause loses nothing).
+        assert_eq!(client.metrics().samples_rendered, 50);
+    }
+
+    #[test]
+    fn adaptive_thinning_recovers_a_starved_session() {
+        // A modem cannot carry the full lecture; the adaptive client drops
+        // to the audio stream after 2 stalls and finishes smoothly.
+        let make_world = |adaptive: bool| {
+            let mut net = Network::new(66);
+            let s = net.add_node("server");
+            let c = net.add_node("client");
+            net.connect_bidirectional(s, c, LinkSpec::modem().with_loss(0.0));
+            let mut server = StreamingServer::new(s);
+            let mut file = test_file(1, 1);
+            let mut pk = lod_asf::Packetizer::new(256).unwrap();
+            for i in 0..30u64 {
+                // Stream 1: heavy video (10 kB per 0.2 s ≈ 400 kbit/s).
+                pk.push(&lod_asf::MediaSample::new(
+                    1,
+                    i * 2_000_000,
+                    vec![7; 10_000],
+                ));
+                // Stream 2: light audio (800 B per 0.2 s = 32 kbit/s).
+                pk.push(&lod_asf::MediaSample::new(2, i * 2_000_000, vec![8; 800]));
+            }
+            file.packets = pk.finish();
+            file.props.play_duration = 60_000_000;
+            file.streams.push(lod_asf::StreamProperties {
+                number: 2,
+                kind: lod_asf::StreamKind::Audio,
+                codec: 1,
+                bitrate: 32_000,
+                name: "a".into(),
+            });
+            file.build_index(2_000_000);
+            server.publish("lec", file);
+            let mut client = StreamingClient::new(c, s, "lec");
+            if adaptive {
+                client = client.with_adaptive_thinning(2, vec![2]);
+            }
+            (net, server, client)
+        };
+
+        let (mut net, mut server, mut client) = make_world(true);
+        run_to_completion(&mut net, &mut server, &mut [&mut client], 6_000_000_000_000);
+        assert!(client.is_done());
+        assert!(client.is_downgraded());
+        let adaptive_metrics = *client.metrics();
+
+        let (mut net, mut server, mut client) = make_world(false);
+        run_to_completion(&mut net, &mut server, &mut [&mut client], 6_000_000_000_000);
+        let plain_metrics = *client.metrics();
+
+        assert!(
+            adaptive_metrics.stall_ticks < plain_metrics.stall_ticks,
+            "adaptive {adaptive_metrics:?} vs plain {plain_metrics:?}"
+        );
+    }
+
+    #[test]
+    fn stream_thinning_drops_deselected_streams() {
+        // Publish content with two streams; select only stream 2.
+        let mut net = Network::new(44);
+        let s = net.add_node("server");
+        let c = net.add_node("client");
+        net.connect_bidirectional(s, c, LinkSpec::lan());
+        let mut server = StreamingServer::new(s);
+        let mut file = test_file(30, 2_000_000);
+        let mut pk = lod_asf::Packetizer::new(256).unwrap();
+        for i in 0..30u64 {
+            pk.push(&lod_asf::MediaSample::new(1, i * 2_000_000, vec![7; 1_000]));
+            pk.push(&lod_asf::MediaSample::new(2, i * 2_000_000, vec![8; 500]));
+        }
+        file.packets = pk.finish();
+        file.streams.push(lod_asf::StreamProperties {
+            number: 2,
+            kind: lod_asf::StreamKind::Audio,
+            codec: 1,
+            bitrate: 100_000,
+            name: "a".into(),
+        });
+        file.build_index(2_000_000);
+        server.publish("lec", file);
+        let mut client = StreamingClient::new(c, s, "lec").with_streams(vec![2]);
+        let events = run_to_completion(&mut net, &mut server, &mut [&mut client], 600_000_000_000);
+        assert!(client.is_done());
+        let rendered_streams: std::collections::HashSet<u16> = events
+            .iter()
+            .filter(|e| e.script.is_none())
+            .map(|e| e.stream)
+            .collect();
+        assert_eq!(rendered_streams, [2u16].into_iter().collect());
+        assert_eq!(client.metrics().samples_rendered, 30);
+        // Thinning saves wire bytes: stream 2 is 500 B/sample.
+        assert!(client.metrics().bytes_received <= 30 * 500);
+    }
+
+    #[test]
+    fn header_scripts_fire_as_render_events() {
+        use lod_asf::ScriptCommand;
+        let (mut net, mut server, mut client) = world(LinkSpec::lan());
+        // Re-publish with slide commands.
+        let mut file = test_file(50, 2_000_000);
+        file.script.push(ScriptCommand::new(0, "slide", "s0.png"));
+        file.script
+            .push(ScriptCommand::new(50_000_000, "slide", "s1.png"));
+        server.publish("lec", file);
+        let events = run_to_completion(&mut net, &mut server, &mut [&mut client], 600_000_000_000);
+        let flips: Vec<_> = events.iter().filter(|e| e.script.is_some()).collect();
+        assert_eq!(flips.len(), 2);
+        assert_eq!(flips[0].pres_time, 0);
+        assert_eq!(flips[1].pres_time, 50_000_000);
+        // The flip fires when the playout clock crosses it, i.e. at or
+        // after its own media time relative to the first render.
+        assert!(flips[1].wall_time >= flips[0].wall_time + 40_000_000);
+    }
+
+    #[test]
+    fn live_script_commands_relay_to_clients() {
+        use crate::server::LiveFeed;
+        use crate::wire::StreamHeader;
+        use lod_asf::{ScriptCommand, ScriptCommandList};
+        let mut net = Network::new(4);
+        let s = net.add_node("server");
+        let c = net.add_node("client");
+        net.connect_bidirectional(s, c, LinkSpec::lan());
+        let mut server = StreamingServer::new(s);
+        let base = test_file(1, 1);
+        let header = StreamHeader {
+            props: base.props.clone(),
+            streams: base.streams.clone(),
+            script: ScriptCommandList::new(),
+            drm: None,
+        };
+        server.publish_live("live", LiveFeed::new(header));
+        let mut client = StreamingClient::new(c, s, "live");
+        client.start(&mut net);
+        // Teacher encodes media and flips a slide mid-broadcast.
+        let mut t = 0u64;
+        let media = test_file(10, 10_000_000).packets;
+        let mut pushed_script = false;
+        let mut saw_flip = false;
+        while t < 400_000_000_000 && !client.is_done() {
+            if t == 10_000_000 {
+                for p in media.clone() {
+                    server.live_feed("live").unwrap().push(p);
+                }
+            }
+            if t == 30_000_000 && !pushed_script {
+                server
+                    .live_feed("live")
+                    .unwrap()
+                    .push_script(ScriptCommand::new(40_000_000, "slide", "live1.png"));
+                pushed_script = true;
+            }
+            if t == 150_000_000 {
+                server.live_feed("live").unwrap().end();
+            }
+            server.poll(&mut net, t);
+            for d in net.advance_to(t) {
+                if d.dst == s {
+                    server.on_message(&mut net, d.time, d.src, d.message);
+                } else {
+                    client.on_message(d.time, d.message);
+                }
+            }
+            for e in client.tick(t) {
+                if let Some(cmd) = &e.script {
+                    assert_eq!(cmd.param, "live1.png");
+                    saw_flip = true;
+                }
+            }
+            t += 1_000_000;
+        }
+        assert!(saw_flip, "live slide flip must reach the client");
+    }
+
+    #[test]
+    fn media_clock_pauses_during_stall() {
+        let (mut net, mut server, mut client) = world(LinkSpec::modem().with_loss(0.0));
+        run_to_completion(&mut net, &mut server, &mut [&mut client], 4_000_000_000_000);
+        let m = client.metrics();
+        assert!(m.stall_ticks > 0);
+        assert!(m.rebuffer_ratio(100_000_000_000) > 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Client-side quality-of-experience counters.
+
+use serde::{Deserialize, Serialize};
+
+/// What a client experienced during one playback session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClientMetrics {
+    /// Ticks from Play request to first rendered sample.
+    pub startup_ticks: u64,
+    /// Number of rebuffering events after startup.
+    pub stalls: u64,
+    /// Total ticks spent stalled.
+    pub stall_ticks: u64,
+    /// Media samples rendered.
+    pub samples_rendered: u64,
+    /// Bytes of media payload received.
+    pub bytes_received: u64,
+    /// Samples that could never be completed (fragments lost).
+    pub samples_lost: u64,
+}
+
+impl ClientMetrics {
+    /// Fraction of wall time spent stalled over a playback of
+    /// `playback_ticks` (0 when playback is empty).
+    pub fn rebuffer_ratio(&self, playback_ticks: u64) -> f64 {
+        if playback_ticks == 0 {
+            0.0
+        } else {
+            self.stall_ticks as f64 / playback_ticks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebuffer_ratio() {
+        let m = ClientMetrics {
+            stall_ticks: 10,
+            ..Default::default()
+        };
+        assert!((m.rebuffer_ratio(100) - 0.1).abs() < 1e-12);
+        assert_eq!(m.rebuffer_ratio(0), 0.0);
+    }
+}

@@ -1,0 +1,674 @@
+//! The streaming server: content catalog, sessions, pacing, live relay.
+
+use std::collections::HashMap;
+
+use lod_asf::{AsfFile, DataPacket};
+use lod_simnet::{Network, NodeId, TokenBucket};
+
+use crate::wire::{ControlRequest, StreamHeader, Wire};
+
+/// A live feed being produced by an encoder: packets are appended as they
+/// are encoded, and every subscribed session relays from the shared tail.
+#[derive(Debug, Default)]
+pub struct LiveFeed {
+    header: Option<StreamHeader>,
+    packets: Vec<DataPacket>,
+    scripts: Vec<lod_asf::ScriptCommand>,
+    ended: bool,
+}
+
+impl LiveFeed {
+    /// An empty feed (header must be set before clients join).
+    pub fn new(header: StreamHeader) -> Self {
+        Self {
+            header: Some(header),
+            packets: Vec::new(),
+            scripts: Vec::new(),
+            ended: false,
+        }
+    }
+
+    /// Appends a freshly-encoded packet.
+    pub fn push(&mut self, packet: DataPacket) {
+        self.packets.push(packet);
+    }
+
+    /// Appends a script command to the live stream (e.g. the teacher
+    /// flipping a slide mid-broadcast).
+    pub fn push_script(&mut self, cmd: lod_asf::ScriptCommand) {
+        self.scripts.push(cmd);
+    }
+
+    /// Marks the broadcast finished.
+    pub fn end(&mut self) {
+        self.ended = true;
+    }
+
+    /// Packets produced so far.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether no packet has been produced yet.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Archives the (finished) broadcast as a stored ASF file — the step
+    /// that turns a live lecture into Lecture-*on-Demand*: the packets,
+    /// the teacher's script commands, a seek index, and the final
+    /// duration all land in one replayable file.
+    pub fn into_asf(self) -> Option<AsfFile> {
+        let header = self.header?;
+        let mut script = header.script.clone();
+        for c in self.scripts {
+            script.push(c);
+        }
+        let mut props = header.props.clone();
+        props.broadcast = false;
+        let mut file = AsfFile {
+            props,
+            streams: header.streams,
+            script,
+            drm: header.drm,
+            packets: self.packets,
+            index: None,
+        };
+        file.props.play_duration = file.last_presentation_time();
+        file.build_index(10_000_000);
+        Some(file)
+    }
+}
+
+#[derive(Debug)]
+enum SourceRef {
+    Stored(String),
+    Live(String),
+}
+
+#[derive(Debug)]
+struct Session {
+    client: NodeId,
+    source: SourceRef,
+    next_packet: usize,
+    /// Next live script command to relay.
+    next_script: usize,
+    /// Wall time corresponding to presentation time zero for this session.
+    base_time: u64,
+    paused: bool,
+    /// Wall time the pause began (to re-anchor on resume).
+    paused_at: u64,
+    pacer: TokenBucket,
+    /// When set, only payloads of these streams are sent.
+    stream_filter: Option<Vec<u16>>,
+    eos_sent: bool,
+}
+
+/// The streaming server node.
+///
+/// Owns a catalog of stored content ([`StreamingServer::publish`]) and live
+/// feeds ([`StreamingServer::publish_live`]); speaks [`Wire`] with clients.
+#[derive(Debug)]
+pub struct StreamingServer {
+    node: NodeId,
+    stored: HashMap<String, AsfFile>,
+    live: HashMap<String, LiveFeed>,
+    sessions: Vec<Session>,
+    /// Stream selections that arrived before their session existed.
+    pending_filters: HashMap<NodeId, Vec<u16>>,
+    /// Maximum first-hop link backlog before the server stops pushing
+    /// (the TCP send window of the era's HTTP streaming), in ticks.
+    backlog_limit: u64,
+}
+
+impl StreamingServer {
+    /// A server bound to `node`.
+    pub fn new(node: NodeId) -> Self {
+        Self {
+            node,
+            stored: HashMap::new(),
+            live: HashMap::new(),
+            sessions: Vec::new(),
+            pending_filters: HashMap::new(),
+            backlog_limit: 20_000_000, // 2 s
+        }
+    }
+
+    /// Overrides the backpressure window (first-hop backlog cap, ticks).
+    /// `u64::MAX` disables backpressure entirely.
+    pub fn with_backlog_limit(mut self, ticks: u64) -> Self {
+        self.backlog_limit = ticks;
+        self
+    }
+
+    /// The server's network node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Publishes stored content under `name` (replacing any previous).
+    pub fn publish(&mut self, name: impl Into<String>, file: AsfFile) {
+        self.stored.insert(name.into(), file);
+    }
+
+    /// Publishes a live feed under `name`; returns nothing — push packets
+    /// via [`StreamingServer::live_feed`].
+    pub fn publish_live(&mut self, name: impl Into<String>, feed: LiveFeed) {
+        self.live.insert(name.into(), feed);
+    }
+
+    /// Mutable access to a live feed (the encoder's append point).
+    pub fn live_feed(&mut self, name: &str) -> Option<&mut LiveFeed> {
+        self.live.get_mut(name)
+    }
+
+    /// Archives a finished live feed into the stored catalog under
+    /// `as_name`, so latecomers can watch the lecture on demand. Returns
+    /// `false` when the feed does not exist or has not ended.
+    pub fn archive_live(&mut self, name: &str, as_name: impl Into<String>) -> bool {
+        let Some(feed) = self.live.get(name) else {
+            return false;
+        };
+        if !feed.ended {
+            return false;
+        }
+        let feed = self.live.remove(name).expect("feed just observed");
+        match feed.into_asf() {
+            Some(file) => {
+                self.stored.insert(as_name.into(), file);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of active sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Handles an incoming message at `now`.
+    pub fn on_message(&mut self, net: &mut Network<Wire>, now: u64, from: NodeId, msg: Wire) {
+        let Wire::Request(req) = msg else {
+            return; // servers ignore non-requests
+        };
+        match req {
+            ControlRequest::Play {
+                content,
+                from: start,
+            } => {
+                self.start_session(net, now, from, &content, start);
+            }
+            ControlRequest::Pause => {
+                if let Some(s) = self.sessions.iter_mut().find(|s| s.client == from) {
+                    if !s.paused {
+                        s.paused = true;
+                        s.paused_at = now;
+                    }
+                }
+            }
+            ControlRequest::Resume => {
+                if let Some(s) = self.sessions.iter_mut().find(|s| s.client == from) {
+                    if s.paused {
+                        s.paused = false;
+                        s.base_time += now - s.paused_at;
+                    }
+                }
+            }
+            ControlRequest::Seek { to } => {
+                let mut target = None;
+                if let Some(s) = self.sessions.iter().find(|s| s.client == from) {
+                    if let SourceRef::Stored(name) = &s.source {
+                        if let Some(file) = self.stored.get(name) {
+                            let pkt = file.index.as_ref().map_or_else(
+                                || {
+                                    file.packets
+                                        .iter()
+                                        .position(|p| p.send_time >= to)
+                                        .unwrap_or(file.packets.len())
+                                        as u32
+                                },
+                                |idx| idx.packet_for(to),
+                            );
+                            target = Some((pkt as usize, to));
+                        }
+                    }
+                }
+                if let Some((pkt, to)) = target {
+                    if let Some(s) = self.sessions.iter_mut().find(|s| s.client == from) {
+                        s.next_packet = pkt;
+                        s.base_time = now.saturating_sub(to);
+                        s.eos_sent = false;
+                    }
+                }
+            }
+            ControlRequest::SelectStreams(streams) => {
+                if let Some(s) = self.sessions.iter_mut().find(|s| s.client == from) {
+                    s.stream_filter = Some(streams);
+                } else {
+                    self.pending_filters.insert(from, streams);
+                }
+            }
+            ControlRequest::Teardown => {
+                self.sessions.retain(|s| s.client != from);
+            }
+        }
+    }
+
+    fn start_session(
+        &mut self,
+        net: &mut Network<Wire>,
+        now: u64,
+        client: NodeId,
+        content: &str,
+        start: u64,
+    ) {
+        let (header, source, rate) = if let Some(file) = self.stored.get(content) {
+            (
+                StreamHeader {
+                    props: file.props.clone(),
+                    streams: file.streams.clone(),
+                    script: file.script.clone(),
+                    drm: file.drm.clone(),
+                },
+                SourceRef::Stored(content.to_string()),
+                file.props.max_bitrate,
+            )
+        } else if let Some(feed) = self.live.get(content) {
+            let header = feed.header.clone().expect("live feeds carry a header");
+            let rate = header.props.max_bitrate;
+            (header, SourceRef::Live(content.to_string()), rate)
+        } else {
+            let _ = net.send_reliable(self.node, client, 32, Wire::NotFound(content.to_string()));
+            return;
+        };
+        let bytes = header.wire_bytes();
+        let packet_size = header.props.packet_size;
+        let _ = net.send_reliable(self.node, client, bytes, Wire::Header(header));
+        // Pace at 2x the nominal bitrate so the client can build preroll.
+        // The burst must cover at least the driver's polling cadence
+        // (100 ms), so allow half a second of data at the paced rate.
+        let rate = (u64::from(rate).max(64_000)) * 2;
+        let burst = (rate / 8 / 2).max(u64::from(packet_size) * 8);
+        self.sessions.retain(|s| s.client != client);
+        self.sessions.push(Session {
+            client,
+            source,
+            next_packet: 0,
+            next_script: 0,
+            base_time: now.saturating_sub(start),
+            paused: false,
+            paused_at: 0,
+            pacer: TokenBucket::new(rate, burst),
+            stream_filter: self.pending_filters.remove(&client),
+            eos_sent: false,
+        });
+    }
+
+    /// Sends every packet that is due at `now` on every session.
+    pub fn poll(&mut self, net: &mut Network<Wire>, now: u64) {
+        for s in &mut self.sessions {
+            if s.paused || s.eos_sent {
+                continue;
+            }
+            let (packets, scripts, ended, packet_size): (
+                &[DataPacket],
+                &[lod_asf::ScriptCommand],
+                bool,
+                u32,
+            ) = match &s.source {
+                SourceRef::Stored(name) => match self.stored.get(name) {
+                    Some(f) => (&f.packets, &[], true, f.props.packet_size),
+                    None => continue,
+                },
+                SourceRef::Live(name) => match self.live.get(name) {
+                    Some(f) => (
+                        &f.packets,
+                        &f.scripts,
+                        f.ended,
+                        f.header.as_ref().map_or(1500, |h| h.props.packet_size),
+                    ),
+                    None => continue,
+                },
+            };
+            // Relay live script commands as soon as they exist (they are
+            // tiny and must beat their presentation deadline).
+            while s.next_script < scripts.len() {
+                let cmd = scripts[s.next_script].clone();
+                let msg = Wire::Script(cmd);
+                let bytes = msg.wire_bytes(packet_size);
+                let _ = net.send_reliable(self.node, s.client, bytes, msg);
+                s.next_script += 1;
+            }
+            while s.next_packet < packets.len() {
+                let p = &packets[s.next_packet];
+                if p.send_time + s.base_time > now {
+                    break;
+                }
+                // Backpressure (the TCP send window of the era's HTTP
+                // streaming): don't pile more than ~2 s of queueing onto
+                // the first-hop link.
+                if net.link_backlog(self.node, s.client).unwrap_or(0) > self.backlog_limit {
+                    break;
+                }
+                // Stream thinning: strip payloads of deselected streams;
+                // skip packets that end up empty.
+                let (packet, wire_bytes) = match &s.stream_filter {
+                    None => (p.clone(), u64::from(packet_size)),
+                    Some(keep) => {
+                        let mut thin = p.clone();
+                        thin.payloads.retain(|pl| keep.contains(&pl.stream));
+                        if thin.payloads.is_empty() {
+                            s.next_packet += 1;
+                            continue;
+                        }
+                        let bytes = (lod_asf::packet::PACKET_HEADER_BYTES
+                            + thin.payloads.len() * lod_asf::packet::PAYLOAD_HEADER_BYTES
+                            + thin.media_bytes()) as u64;
+                        (thin, bytes)
+                    }
+                };
+                if !s.pacer.try_consume(wire_bytes, now) {
+                    break;
+                }
+                let _ = net.send(self.node, s.client, wire_bytes, Wire::Data(packet));
+                s.next_packet += 1;
+            }
+            if ended && s.next_packet >= packets.len() {
+                let _ = net.send_reliable(self.node, s.client, 16, Wire::EndOfStream);
+                s.eos_sent = true;
+            }
+        }
+        // Drop finished sessions.
+        self.sessions.retain(|s| !s.eos_sent);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use lod_asf::{
+        FileProperties, MediaSample, Packetizer, ScriptCommandList, StreamKind, StreamProperties,
+    };
+    use lod_simnet::LinkSpec;
+
+    pub(crate) fn test_file(samples: usize, spacing: u64) -> AsfFile {
+        // Size samples so the actual media rate matches the declared
+        // 400 kbit/s: bytes = rate/8 × spacing-in-seconds.
+        let bytes_per_sample = (400_000u64 / 8) * spacing / 10_000_000;
+        let mut pk = Packetizer::new(256).unwrap();
+        for i in 0..samples as u64 {
+            pk.push(&MediaSample::new(
+                1,
+                i * spacing,
+                vec![7; bytes_per_sample.max(16) as usize],
+            ));
+        }
+        let mut f = AsfFile {
+            props: FileProperties {
+                file_id: 1,
+                created: 0,
+                packet_size: 256,
+                play_duration: samples as u64 * spacing,
+                preroll: 2 * spacing,
+                broadcast: false,
+                max_bitrate: 500_000,
+            },
+            streams: vec![StreamProperties {
+                number: 1,
+                kind: StreamKind::Video,
+                codec: 4,
+                bitrate: 400_000,
+                name: "v".into(),
+            }],
+            script: ScriptCommandList::new(),
+            drm: None,
+            packets: pk.finish(),
+            index: None,
+        };
+        f.build_index(spacing);
+        f
+    }
+
+    fn setup() -> (Network<Wire>, StreamingServer, NodeId) {
+        let mut net = Network::new(11);
+        let s = net.add_node("server");
+        let c = net.add_node("client");
+        net.connect_bidirectional(s, c, LinkSpec::lan());
+        let mut server = StreamingServer::new(s);
+        server.publish("lec", test_file(40, 2_000_000));
+        (net, server, c)
+    }
+
+    #[test]
+    fn play_creates_session_and_sends_header() {
+        let (mut net, mut server, c) = setup();
+        server.on_message(
+            &mut net,
+            0,
+            c,
+            Wire::Request(ControlRequest::Play {
+                content: "lec".into(),
+                from: 0,
+            }),
+        );
+        assert_eq!(server.session_count(), 1);
+        let d = net.advance_to(10_000_000);
+        assert!(matches!(d[0].message, Wire::Header(_)));
+    }
+
+    #[test]
+    fn unknown_content_not_found() {
+        let (mut net, mut server, c) = setup();
+        server.on_message(
+            &mut net,
+            0,
+            c,
+            Wire::Request(ControlRequest::Play {
+                content: "nope".into(),
+                from: 0,
+            }),
+        );
+        assert_eq!(server.session_count(), 0);
+        let d = net.advance_to(10_000_000);
+        assert!(matches!(&d[0].message, Wire::NotFound(n) if n == "nope"));
+    }
+
+    #[test]
+    fn packets_paced_by_send_time() {
+        let (mut net, mut server, c) = setup();
+        server.on_message(
+            &mut net,
+            0,
+            c,
+            Wire::Request(ControlRequest::Play {
+                content: "lec".into(),
+                from: 0,
+            }),
+        );
+        // At t=0 only the first packets (send_time 0 region) are due.
+        server.poll(&mut net, 0);
+        let early = net.in_flight();
+        server.poll(&mut net, 80_000_000); // all due by now
+        for _ in 0..200 {
+            server.poll(&mut net, 80_000_000);
+        }
+        assert!(net.in_flight() > early);
+    }
+
+    #[test]
+    fn pause_stops_and_resume_continues() {
+        let (mut net, mut server, c) = setup();
+        server.on_message(
+            &mut net,
+            0,
+            c,
+            Wire::Request(ControlRequest::Play {
+                content: "lec".into(),
+                from: 0,
+            }),
+        );
+        server.poll(&mut net, 1_000_000);
+        net.advance_to(2_000_000);
+        server.on_message(&mut net, 2_000_000, c, Wire::Request(ControlRequest::Pause));
+        let before = net.in_flight();
+        server.poll(&mut net, 50_000_000);
+        assert_eq!(net.in_flight(), before, "paused session must not send");
+        server.on_message(
+            &mut net,
+            60_000_000,
+            c,
+            Wire::Request(ControlRequest::Resume),
+        );
+        server.poll(&mut net, 62_000_000);
+        assert!(net.in_flight() >= before);
+    }
+
+    #[test]
+    fn teardown_removes_session() {
+        let (mut net, mut server, c) = setup();
+        server.on_message(
+            &mut net,
+            0,
+            c,
+            Wire::Request(ControlRequest::Play {
+                content: "lec".into(),
+                from: 0,
+            }),
+        );
+        server.on_message(&mut net, 1, c, Wire::Request(ControlRequest::Teardown));
+        assert_eq!(server.session_count(), 0);
+    }
+
+    #[test]
+    fn eos_sent_when_stored_content_exhausted() {
+        let (mut net, mut server, c) = setup();
+        server.on_message(
+            &mut net,
+            0,
+            c,
+            Wire::Request(ControlRequest::Play {
+                content: "lec".into(),
+                from: 0,
+            }),
+        );
+        let mut t = 0;
+        while server.session_count() > 0 && t < 10_000_000_000 {
+            t += 1_000_000;
+            server.poll(&mut net, t);
+        }
+        assert_eq!(server.session_count(), 0);
+        let deliveries = net.advance_to(t + 1_000_000_000);
+        assert!(deliveries
+            .iter()
+            .any(|d| matches!(d.message, Wire::EndOfStream)));
+    }
+
+    #[test]
+    fn live_feed_archives_to_stored_asf() {
+        use lod_asf::ScriptCommand;
+        let base = test_file(10, 1_000_000);
+        let header = StreamHeader {
+            props: base.props.clone(),
+            streams: base.streams.clone(),
+            script: ScriptCommandList::new(),
+            drm: None,
+        };
+        let mut feed = LiveFeed::new(header);
+        for p in base.packets.clone() {
+            feed.push(p);
+        }
+        feed.push_script(ScriptCommand::new(3_000_000, "slide", "s.png"));
+        feed.end();
+        let file = feed.into_asf().expect("header present");
+        assert!(!file.props.broadcast);
+        assert_eq!(file.props.play_duration, base.last_presentation_time());
+        assert_eq!(file.script.len(), 1);
+        assert!(file.index.is_some());
+        // The archive round-trips the wire.
+        let bytes = lod_asf::write_asf(&file).unwrap();
+        assert_eq!(lod_asf::read_asf(&bytes).unwrap(), file);
+    }
+
+    #[test]
+    fn archive_live_moves_feed_to_catalog() {
+        let mut net: Network<Wire> = Network::new(1);
+        let s = net.add_node("server");
+        let c = net.add_node("client");
+        net.connect_bidirectional(s, c, LinkSpec::lan());
+        let mut server = StreamingServer::new(s);
+        let base = test_file(10, 1_000_000);
+        let header = StreamHeader {
+            props: base.props.clone(),
+            streams: base.streams.clone(),
+            script: ScriptCommandList::new(),
+            drm: None,
+        };
+        let mut feed = LiveFeed::new(header);
+        for p in base.packets.clone() {
+            feed.push(p);
+        }
+        server.publish_live("live", feed);
+        // Not ended yet: refuse.
+        assert!(!server.archive_live("live", "vod"));
+        server.live_feed("live").unwrap().end();
+        assert!(server.archive_live("live", "vod"));
+        // A latecomer can now play the recording.
+        server.on_message(
+            &mut net,
+            0,
+            c,
+            Wire::Request(ControlRequest::Play {
+                content: "vod".into(),
+                from: 0,
+            }),
+        );
+        assert_eq!(server.session_count(), 1);
+    }
+
+    #[test]
+    fn live_feed_relays_appended_packets() {
+        let mut net = Network::new(3);
+        let s = net.add_node("server");
+        let c = net.add_node("client");
+        net.connect_bidirectional(s, c, LinkSpec::lan());
+        let mut server = StreamingServer::new(s);
+        let file = test_file(1, 1);
+        let header = StreamHeader {
+            props: file.props.clone(),
+            streams: file.streams.clone(),
+            script: ScriptCommandList::new(),
+            drm: None,
+        };
+        server.publish_live("live", LiveFeed::new(header));
+        server.on_message(
+            &mut net,
+            0,
+            c,
+            Wire::Request(ControlRequest::Play {
+                content: "live".into(),
+                from: 0,
+            }),
+        );
+        // Encoder appends two packets.
+        for p in test_file(4, 1_000_000).packets {
+            server.live_feed("live").unwrap().push(p);
+        }
+        server.poll(&mut net, 100_000_000);
+        let d = net.advance_to(200_000_000);
+        let data = d
+            .iter()
+            .filter(|d| matches!(d.message, Wire::Data(_)))
+            .count();
+        assert!(data >= 1, "live packets relayed");
+        // Ending the feed closes the session (poll repeatedly: the pacer
+        // limits how much each poll may send).
+        server.live_feed("live").unwrap().end();
+        let mut t = 300_000_000;
+        while server.session_count() > 0 && t < 100_000_000_000 {
+            server.poll(&mut net, t);
+            t += 100_000_000;
+        }
+        assert_eq!(server.session_count(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Messages exchanged between streaming server and clients.
+
+use lod_asf::{DataPacket, DrmHeader, FileProperties, ScriptCommandList, StreamProperties};
+use serde::{Deserialize, Serialize};
+
+/// Everything a client needs before data flows: the ASF header content.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamHeader {
+    /// File properties (packet size, preroll, broadcast flag, …).
+    pub props: FileProperties,
+    /// Stream declarations.
+    pub streams: Vec<StreamProperties>,
+    /// Script commands (slide flips, annotations).
+    pub script: ScriptCommandList,
+    /// DRM header when protected.
+    pub drm: Option<DrmHeader>,
+}
+
+impl StreamHeader {
+    /// Approximate wire size in bytes (for the network simulation).
+    pub fn wire_bytes(&self) -> u64 {
+        let streams: usize = self.streams.iter().map(|s| 11 + s.name.len()).sum();
+        let script: usize = self
+            .script
+            .commands()
+            .iter()
+            .map(|c| 12 + c.kind.len() + c.param.len())
+            .sum();
+        (64 + streams + script) as u64
+    }
+}
+
+/// Client-to-server control messages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlRequest {
+    /// Start (or restart) streaming the named content from `from` ticks.
+    Play {
+        /// Content name as published on the server.
+        content: String,
+        /// Presentation time to start from.
+        from: u64,
+    },
+    /// Pause the session.
+    Pause,
+    /// Resume a paused session.
+    Resume,
+    /// Jump to a presentation time (server consults the ASF index).
+    Seek {
+        /// Target presentation time in ticks.
+        to: u64,
+    },
+    /// Restrict the session to these streams (stream *thinning*: a modem
+    /// student keeps audio + slides and drops the video).
+    SelectStreams(Vec<u16>),
+    /// End the session.
+    Teardown,
+}
+
+/// All messages on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Wire {
+    /// A control request (client → server).
+    Request(ControlRequest),
+    /// Header metadata (server → client, first response to Play).
+    Header(StreamHeader),
+    /// One data packet (server → client).
+    Data(DataPacket),
+    /// A script command added to a live stream after the header went out
+    /// ("Script commands can be added to live streams through Windows
+    /// Media Encoder", §2.1).
+    Script(lod_asf::ScriptCommand),
+    /// No more data will follow (server → client).
+    EndOfStream,
+    /// The requested content does not exist (server → client).
+    NotFound(String),
+}
+
+impl Wire {
+    /// Simulated wire size in bytes.
+    pub fn wire_bytes(&self, packet_size: u32) -> u64 {
+        match self {
+            Wire::Request(_) => 64,
+            Wire::Header(h) => h.wire_bytes(),
+            Wire::Data(_) => u64::from(packet_size),
+            Wire::Script(c) => 24 + (c.kind.len() + c.param.len()) as u64,
+            Wire::EndOfStream => 16,
+            Wire::NotFound(name) => 16 + name.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_wire_size_counts_contents() {
+        let h = StreamHeader {
+            props: FileProperties {
+                file_id: 0,
+                created: 0,
+                packet_size: 100,
+                play_duration: 0,
+                preroll: 0,
+                broadcast: false,
+                max_bitrate: 0,
+            },
+            streams: vec![],
+            script: ScriptCommandList::new(),
+            drm: None,
+        };
+        let base = h.wire_bytes();
+        let mut h2 = h.clone();
+        h2.streams.push(StreamProperties {
+            number: 1,
+            kind: lod_asf::StreamKind::Audio,
+            codec: 0,
+            bitrate: 0,
+            name: "microphone".into(),
+        });
+        assert!(h2.wire_bytes() > base);
+    }
+
+    #[test]
+    fn data_wire_size_is_packet_size() {
+        let w = Wire::Data(DataPacket {
+            send_time: 0,
+            payloads: vec![],
+        });
+        assert_eq!(w.wire_bytes(1500), 1500);
+    }
+}

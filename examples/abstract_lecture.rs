@@ -1,0 +1,64 @@
+//! The Abstractor: build the multiple-level content tree of a lecture
+//! (Figs. 1, 6), walk the paper's §2.3 example step by step, and pick the
+//! right presentation level for a student's time budget.
+//!
+//! ```sh
+//! cargo run --example abstract_lecture
+//! ```
+
+use lod::content_tree::{render_ascii, ContentTree, Segment};
+use lod::core::{synthetic_lecture, Abstractor};
+
+fn main() {
+    // ---- The paper's §2.3 build, step by step ----
+    println!("== paper §2.3 worked example ==");
+    let mut t = ContentTree::new(Segment::new("S0", 20));
+    println!("step 1: add S0   -> LevelNodes[0] = {}", t.level_value(0));
+    t.add_at_level(1, Segment::new("S1", 20)).unwrap();
+    println!("step 2: add S1   -> LevelNodes[1] = {}", t.level_value(1));
+    t.add_at_level(2, Segment::new("S2", 20)).unwrap();
+    println!("step 3: add S2   -> LevelNodes[2] = {}", t.level_value(2));
+    t.add_at_level(1, Segment::new("S3", 20)).unwrap();
+    t.add_at_level(2, Segment::new("S4", 20)).unwrap();
+    println!(
+        "step 4: add S3,S4 -> LevelNodes[1] = {}, LevelNodes[2] = {}",
+        t.level_value(1),
+        t.level_value(2)
+    );
+
+    // Fig. 3: insert S5 above S3.
+    let s3 = t.find("S3").unwrap();
+    t.insert_above(s3, Segment::new("S5", 20)).unwrap();
+    println!(
+        "insert S5 (lvl 1) -> LevelNodes = {:?}  (paper: [20, 60, 120])",
+        t.level_values()
+    );
+
+    // Fig. 4: delete S5; S3 adopted by sibling S1.
+    let s5 = t.find("S5").unwrap();
+    t.delete_adopt(s5).unwrap();
+    println!("delete S5        -> LevelNodes = {:?}\n", t.level_values());
+    println!("{}", render_ascii(&t));
+
+    // ---- A real lecture through the Abstractor (Fig. 6) ----
+    println!("== synthetic 45-minute lecture ==");
+    let lecture = synthetic_lecture(7, 45, 300_000);
+    let abstractor = Abstractor::new();
+    let tree = abstractor.tree_from_outline(&lecture.outline).unwrap();
+    println!("{}", render_ascii(&tree));
+    println!("level table:");
+    for row in abstractor.level_table(&tree) {
+        println!(
+            "  level {}: {:>2} segments, {:>5} s total",
+            row.level, row.segments, row.duration_secs
+        );
+    }
+    for budget_min in [5u64, 20, 45] {
+        let level = abstractor.level_for_budget(&tree, budget_min * 60);
+        println!(
+            "a student with {budget_min:>2} minutes gets the level-{level} presentation \
+             ({} s of material)",
+            tree.level_value(level)
+        );
+    }
+}

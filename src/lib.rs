@@ -1,0 +1,42 @@
+//! **lod** — a Rust reproduction of *"Implementing a Distributed
+//! Lecture-on-Demand Multimedia Presentation System"* (Deng, Shih, Shiau,
+//! Chang, Liu; ICDCS Workshops 2002).
+//!
+//! This facade re-exports every subsystem crate under one name:
+//!
+//! | Module | Crate | What it is |
+//! |---|---|---|
+//! | [`petri`] | `lod-petri` | Petri-net substrate (timed nets, analysis, invariants) |
+//! | [`ocpn`] | `lod-ocpn` | OCPN / XOCPN baselines (Little & Ghafoor) |
+//! | [`content_tree`] | `lod-content-tree` | The multiple-level content tree (§2.2–2.4) |
+//! | [`media`] | `lod-media` | Media objects, codec models, clocks |
+//! | [`asf`] | `lod-asf` | The ASF-like container (packets, script commands, DRM) |
+//! | [`simnet`] | `lod-simnet` | Deterministic discrete-event network simulator |
+//! | [`streaming`] | `lod-streaming` | Streaming server + buffering client |
+//! | [`encoder`] | `lod-encoder` | Encoder, bandwidth profiles, publisher, indexer |
+//! | [`player`] | `lod-player` | Playback engine with render traces |
+//! | [`core`] | `lod-core` | The paper's contribution: ETPN, floor control, Abstractor, WMPS sessions |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lod::core::{synthetic_lecture, Wmps};
+//! use lod::simnet::LinkSpec;
+//!
+//! let lecture = synthetic_lecture(42, 1, 300_000); // 1 minute
+//! let wmps = Wmps::new();
+//! let file = wmps.publish(&lecture).expect("publishing succeeds");
+//! let report = wmps.serve_and_replay(file, LinkSpec::lan(), 2, 1);
+//! assert_eq!(report.clients.len(), 2);
+//! ```
+
+pub use lod_asf as asf;
+pub use lod_content_tree as content_tree;
+pub use lod_core as core;
+pub use lod_encoder as encoder;
+pub use lod_media as media;
+pub use lod_ocpn as ocpn;
+pub use lod_petri as petri;
+pub use lod_player as player;
+pub use lod_simnet as simnet;
+pub use lod_streaming as streaming;

@@ -1,0 +1,103 @@
+//! Experiments E1–E4: the paper's content-tree figures and worked
+//! examples, asserted number for number.
+
+use lod::content_tree::{render_ascii, ContentTree, Segment, TreeError};
+
+/// §2.3 steps 1–4: the printed `highestLevel` / `LevelNodes[]` values.
+#[test]
+fn e2_build_steps_match_paper() {
+    // Step 1: add S0.
+    let mut t = ContentTree::new(Segment::new("S0", 20));
+    assert_eq!(t.highest_level(), 0);
+    assert_eq!(t.level_value(0), 20);
+
+    // Step 2: add S1.
+    t.add_at_level(1, Segment::new("S1", 20)).unwrap();
+    assert_eq!(t.highest_level(), 1);
+    assert_eq!(t.level_value(1), 40);
+
+    // Step 3: add S2.
+    t.add_at_level(2, Segment::new("S2", 20)).unwrap();
+    assert_eq!(t.highest_level(), 2);
+    assert_eq!(t.level_value(2), 60);
+
+    // Step 4: add S3, S4.
+    t.add_at_level(1, Segment::new("S3", 20)).unwrap();
+    t.add_at_level(2, Segment::new("S4", 20)).unwrap();
+    assert_eq!(t.highest_level(), 2);
+    assert_eq!(t.level_value(1), 60);
+    assert_eq!(t.level_value(2), 100);
+}
+
+fn paper_tree() -> ContentTree {
+    let mut t = ContentTree::new(Segment::new("S0", 20));
+    t.add_at_level(1, Segment::new("S1", 20)).unwrap();
+    t.add_at_level(2, Segment::new("S2", 20)).unwrap();
+    t.add_at_level(1, Segment::new("S3", 20)).unwrap();
+    t.add_at_level(2, Segment::new("S4", 20)).unwrap();
+    t
+}
+
+/// §2.4 / Fig. 3: inserting S5 at level 1.
+#[test]
+fn e3_insert_matches_figure_3() {
+    let mut t = paper_tree();
+    let s3 = t.find("S3").unwrap();
+    t.insert_above(s3, Segment::new("S5", 20)).unwrap();
+    assert_eq!(t.highest_level(), 2);
+    assert_eq!(t.level_value(0), 20);
+    assert_eq!(t.level_value(1), 60);
+    assert_eq!(t.level_value(2), 120);
+    t.validate().unwrap();
+}
+
+/// Fig. 4: deleting S5 — "the S5's children will be adopted by S5's
+/// siblings S1".
+#[test]
+fn e4_delete_matches_figure_4() {
+    let mut t = paper_tree();
+    let s3 = t.find("S3").unwrap();
+    t.insert_above(s3, Segment::new("S5", 20)).unwrap();
+    let s5 = t.find("S5").unwrap();
+    t.delete_adopt(s5).unwrap();
+    let s1 = t.find("S1").unwrap();
+    let s3 = t.find("S3").unwrap();
+    assert_eq!(t.parent(s3).unwrap(), Some(s1));
+    assert!(t.find("S5").is_none());
+    t.validate().unwrap();
+}
+
+/// Fig. 1/2: the tree renders, is well-formed, and deeper levels give
+/// longer presentations.
+#[test]
+fn e1_tree_well_formed_and_renders() {
+    let t = paper_tree();
+    t.validate().unwrap();
+    let art = render_ascii(&t);
+    for name in ["S0", "S1", "S2", "S3", "S4"] {
+        assert!(art.contains(name), "{name} missing from render:\n{art}");
+    }
+    assert!(art.contains("highestLevel = 2"));
+    for q in 1..=t.highest_level() {
+        assert!(t.level_value(q) > t.level_value(q - 1));
+    }
+}
+
+/// The error cases around the paper's operations.
+#[test]
+fn content_tree_rejects_malformed_operations() {
+    let mut t = paper_tree();
+    assert_eq!(
+        t.add_at_level(9, Segment::new("X", 1)),
+        Err(TreeError::LevelGap {
+            requested: 9,
+            highest: 2
+        })
+    );
+    let root = t.root();
+    assert_eq!(t.delete_adopt(root), Err(TreeError::RootImmovable));
+    assert_eq!(
+        t.insert_above(root, Segment::new("X", 1)).unwrap_err(),
+        TreeError::RootImmovable
+    );
+}

@@ -1,0 +1,140 @@
+//! Failure injection: links dying mid-lecture, clients leaving, DRM
+//! mismatches, and lossy paths — the system must degrade, not wedge.
+
+use lod::asf::License;
+use lod::core::{synthetic_lecture, Wmps};
+use lod::player::PlayerEngine;
+use lod::simnet::{LinkSpec, Network};
+use lod::streaming::{ControlRequest, StreamingClient, StreamingServer, Wire};
+
+fn published_file() -> lod::asf::AsfFile {
+    let lecture = synthetic_lecture(7000, 1, 300_000);
+    Wmps::new().publish(&lecture).unwrap()
+}
+
+/// The server→client link dies mid-lecture: the client stalls and never
+/// finishes, but nothing panics and the stall is visible in its metrics.
+#[test]
+fn link_death_strands_the_client_gracefully() {
+    let file = published_file();
+    let mut net: Network<Wire> = Network::new(1);
+    let s = net.add_node("server");
+    let c = net.add_node("client");
+    net.connect_bidirectional(s, c, LinkSpec::lan());
+    let mut server = StreamingServer::new(s);
+    server.publish("lec", file);
+    let mut client = StreamingClient::new(c, s, "lec");
+    client.start(&mut net);
+
+    let mut t = 0u64;
+    let mut cut = false;
+    while t < 1_200_000_000 && !client.is_done() {
+        if t >= 100_000_000 && !cut {
+            net.disconnect(s, c);
+            cut = true;
+        }
+        server.poll(&mut net, t);
+        for d in net.advance_to(t) {
+            if d.dst == s {
+                server.on_message(&mut net, d.time, d.src, d.message);
+            } else {
+                client.on_message(d.time, d.message);
+            }
+        }
+        client.tick(t);
+        t += 1_000_000;
+    }
+    assert!(!client.is_done(), "no data can complete after the cut");
+    let m = client.metrics();
+    assert!(m.samples_rendered > 0, "some media played before the cut");
+    assert!(m.stalls > 0, "the starvation must be visible: {m:?}");
+}
+
+/// One client tears down mid-session; the other finishes untouched.
+#[test]
+fn client_departure_leaves_others_unaffected() {
+    let file = published_file();
+    let mut net: Network<Wire> = Network::new(2);
+    let s = net.add_node("server");
+    let a = net.add_node("a");
+    let b = net.add_node("b");
+    net.connect_bidirectional(s, a, LinkSpec::lan());
+    net.connect_bidirectional(s, b, LinkSpec::lan());
+    let mut server = StreamingServer::new(s);
+    server.publish("lec", file);
+    let mut ca = StreamingClient::new(a, s, "lec");
+    let mut cb = StreamingClient::new(b, s, "lec");
+    ca.start(&mut net);
+    cb.start(&mut net);
+
+    let mut t = 0u64;
+    let mut left = false;
+    while t < 1_200_000_000_000 && !cb.is_done() {
+        if t >= 100_000_000 && !left {
+            // Client A walks away without saying goodbye politely…
+            let req = Wire::Request(ControlRequest::Teardown);
+            let bytes = req.wire_bytes(0);
+            let _ = net.send(a, s, bytes, req);
+            left = true;
+        }
+        server.poll(&mut net, t);
+        for d in net.advance_to(t) {
+            if d.dst == s {
+                server.on_message(&mut net, d.time, d.src, d.message);
+            } else if d.dst == a {
+                ca.on_message(d.time, d.message);
+            } else {
+                cb.on_message(d.time, d.message);
+            }
+        }
+        ca.tick(t);
+        cb.tick(t);
+        t += 1_000_000;
+    }
+    assert!(cb.is_done(), "remaining client must finish");
+    assert_eq!(cb.metrics().stalls, 0);
+    assert_eq!(server.session_count(), 0);
+}
+
+/// Heavy loss: the lecture still completes (reassembler drops what never
+/// arrives; playback runs over what did).
+#[test]
+fn heavy_loss_degrades_but_terminates() {
+    let file = published_file();
+    let report = Wmps::new().serve_and_replay(file, LinkSpec::broadband().with_loss(0.15), 1, 9);
+    let m = &report.clients[0];
+    assert!(m.samples_rendered > 0);
+    assert!(m.samples_lost > 0, "15% loss must lose samples: {m:?}");
+}
+
+/// DRM failure paths: a protected file without (or with the wrong)
+/// license refuses to load, and the error names the key id.
+#[test]
+fn drm_failures_are_clean_errors() {
+    let mut file = published_file();
+    file.protect(&License::new("cs-101-fall-2002", 7));
+    let err = PlayerEngine::load(file.clone(), None).unwrap_err();
+    assert!(err.to_string().contains("cs-101-fall-2002"));
+    let err = PlayerEngine::load(file, Some(&License::new("cs-101-fall-2002", 8))).unwrap_err();
+    assert!(matches!(err, lod::asf::AsfError::LicenseRejected { .. }));
+}
+
+/// The live classroom with teacher slide flips: every student sees every
+/// flip, and on a clean LAN the spread across students is tiny.
+#[test]
+fn live_classroom_slide_flips_reach_everyone() {
+    let slides: Vec<(u64, String)> = (0..3)
+        .map(|i| (i * 30_000_000 + 5_000_000, format!("s{i}.png")))
+        .collect();
+    let profile = lod::encoder::BandwidthProfile::by_name("dual ISDN (128k)").unwrap();
+    let report =
+        Wmps::new().live_classroom_with_slides(profile, 12, 4, LinkSpec::lan(), 3, &slides);
+    // Every flip was seen by at least two clients (spread defined).
+    assert_eq!(report.classroom_spread.count, 3);
+    // On a clean LAN the spread stays within the driver cadence.
+    assert!(
+        report.classroom_spread.max <= 2_000_000,
+        "spread {:?}",
+        report.classroom_spread
+    );
+}

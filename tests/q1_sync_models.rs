@@ -1,0 +1,82 @@
+//! Experiment Q1: the §1 claim — OCPN/XOCPN are insufficient for
+//! distributed synchronization, user interaction, and network transport;
+//! the extended timed Petri net handles all three.
+
+use lod::core::replay::{compare, ReplayConfig, SyncModelKind};
+use lod::simnet::LinkSpec;
+
+fn jittery() -> ReplayConfig {
+    let mut c = ReplayConfig::new(
+        LinkSpec::broadband().with_jitter(8_000_000).with_loss(0.02),
+        11,
+    );
+    c.units = 40;
+    c
+}
+
+#[test]
+fn q1_skew_ordering_etpn_best() {
+    // Across several seeds the ordering must hold: ETPN skew = 0,
+    // XOCPN ≤ OCPN.
+    for seed in [1u64, 2, 3, 11, 42] {
+        let mut c = jittery();
+        c.seed = seed;
+        let reports = compare(&c);
+        let (ocpn, xocpn, etpn) = (&reports[0], &reports[1], &reports[2]);
+        assert_eq!(etpn.model, SyncModelKind::Etpn);
+        assert_eq!(etpn.max_skew, 0, "seed {seed}");
+        assert!(
+            xocpn.max_skew <= ocpn.max_skew,
+            "seed {seed}: xocpn {} > ocpn {}",
+            xocpn.max_skew,
+            ocpn.max_skew
+        );
+        assert!(ocpn.max_skew > 0, "seed {seed}: jitter must show in OCPN");
+    }
+}
+
+#[test]
+fn q1_only_etpn_stalls_instead_of_skewing() {
+    let reports = compare(&jittery());
+    assert_eq!(reports[0].stall, 0);
+    assert_eq!(reports[1].stall, 0);
+    // ETPN converts lateness into stall; on this path there is some.
+    assert!(reports[2].stall > 0 || reports[2].max_skew == 0);
+}
+
+#[test]
+fn q1_pause_only_handled_by_etpn() {
+    let mut c = ReplayConfig::new(LinkSpec::lan(), 5);
+    c.units = 30;
+    c.pause = Some((10, 50_000_000));
+    let reports = compare(&c);
+    assert_eq!(reports[0].units_missed_during_pause, 5);
+    assert_eq!(reports[1].units_missed_during_pause, 5);
+    assert_eq!(reports[2].units_missed_during_pause, 0);
+    assert_eq!(reports[2].units_rendered, c.units);
+}
+
+#[test]
+fn q1_clean_network_all_models_equivalent() {
+    let mut c = ReplayConfig::new(LinkSpec::lan().with_jitter(0).with_loss(0.0), 3);
+    c.units = 20;
+    let reports = compare(&c);
+    for r in &reports {
+        assert_eq!(r.units_rendered, 20, "{}", r.model);
+        assert!(r.max_skew <= 1_000, "{} skew {}", r.model, r.max_skew);
+    }
+}
+
+#[test]
+fn q1_loss_rate_sweep_keeps_ordering() {
+    for loss in [0.0, 0.01, 0.05] {
+        let mut c = ReplayConfig::new(
+            LinkSpec::broadband().with_jitter(4_000_000).with_loss(loss),
+            23,
+        );
+        c.units = 25;
+        let reports = compare(&c);
+        assert!(reports[1].max_skew <= reports[0].max_skew, "loss {loss}");
+        assert_eq!(reports[2].max_skew, 0, "loss {loss}");
+    }
+}
