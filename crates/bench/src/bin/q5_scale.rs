@@ -14,7 +14,7 @@ fn main() {
     let uplink = LinkSpec::broadband().with_bandwidth(10_000_000); // the bottleneck
     let access = LinkSpec::lan(); // each student's own fast access link
 
-    let widths = [10usize, 18, 16, 12, 14];
+    let widths = [10usize, 18, 16, 12, 14, 14, 12];
     header(
         &[
             "students",
@@ -22,6 +22,8 @@ fn main() {
             "mean startup ms",
             "max stalls",
             "worst rebuf %",
+            "srv out MB",
+            "bp pauses",
         ],
         &widths,
     );
@@ -39,6 +41,8 @@ fn main() {
                 ms(mean_startup),
                 max_stalls.to_string(),
                 format!("{:.1}", worst * 100.0),
+                format!("{:.1}", report.server.payload_bytes_sent as f64 / 1e6),
+                report.server.backpressure_pauses.to_string(),
             ],
             &widths,
         );

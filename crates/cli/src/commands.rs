@@ -4,7 +4,7 @@ use std::io::Write;
 
 use lod_asf::{read_asf, write_asf, License};
 use lod_content_tree::render_ascii;
-use lod_core::{synthetic_lecture, Abstractor, Wmps};
+use lod_core::{synthetic_lecture, Abstractor, RelayTierConfig, Wmps};
 use lod_encoder::{evenly_spaced_deck, Annotation, Publisher, VideoFileSpec};
 use lod_media::{TickDuration, Ticks};
 use lod_player::{PlayerEngine, SkewStats};
@@ -185,7 +185,10 @@ fn replay(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 }
 
 /// `wmps serve <file.asf> [--students N] [--link lan|broadband|modem]
-/// [--seed N]`
+/// [--seed N] [--relays K]`
+///
+/// With `--relays K`, students sit behind K edge relays that pull packet
+/// segments across the server link once and fan them out locally.
 fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let path = args.positional(0, "<.asf path>")?;
     let bytes = std::fs::read(path)?;
@@ -193,11 +196,25 @@ fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let students = args.num_or("students", 2usize)?;
     let link = link_by_name(&args.flag_or("link", "broadband"))?;
     let seed = args.num_or("seed", 7u64)?;
-    let report = Wmps::new().serve_and_replay(file, link, students, seed);
+    let relays = args.num_or("relays", 0usize)?;
+    let report = if relays > 0 {
+        let cfg = RelayTierConfig {
+            relays,
+            ..RelayTierConfig::default()
+        };
+        Wmps::new().serve_with_relays(file, link, LinkSpec::lan(), students, seed, &cfg)
+    } else {
+        Wmps::new().serve_and_replay(file, link, students, seed)
+    };
     writeln!(
         out,
-        "served {path} to {students} student(s) over {}:",
-        args.flag_or("link", "broadband")
+        "served {path} to {students} student(s) over {}{}:",
+        args.flag_or("link", "broadband"),
+        if relays > 0 {
+            format!(" through {relays} relay(s)")
+        } else {
+            String::new()
+        }
     )?;
     for (i, m) in report.clients.iter().enumerate() {
         writeln!(
@@ -208,6 +225,20 @@ fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
             m.stall_ticks as f64 / 1e4,
             m.samples_rendered,
             m.bytes_received
+        )?;
+    }
+    writeln!(
+        out,
+        "  server: {:.1} MB egress, {} segment(s) served",
+        report.origin_egress_bytes as f64 / 1e6,
+        report.server.segments_served
+    )?;
+    if let Some(relay) = &report.relay {
+        writeln!(
+            out,
+            "  relays: {} fetch(es) upstream, cache hit rate {:.2}",
+            relay.metrics.segment_fetches,
+            relay.cache.hit_rate()
         )?;
     }
     Ok(())
@@ -370,6 +401,28 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("student 0"));
         assert!(text.contains("student 1"));
+        assert!(text.contains("server:"));
+    }
+
+    #[test]
+    fn serve_through_relays_reports_the_tier() {
+        let path = tmp("relayed.asf");
+        run(
+            &argv(&format!("publish {path} --duration-secs 20 --slides 2")),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        run(
+            &argv(&format!("serve {path} --students 4 --link lan --relays 2")),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("through 2 relay(s)"));
+        assert!(text.contains("student 3"));
+        assert!(text.contains("relays:"));
+        assert!(text.contains("cache hit rate"));
     }
 
     #[test]

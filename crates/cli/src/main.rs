@@ -36,6 +36,7 @@ USAGE:
   wmps inspect <file.asf>
   wmps replay  <file.asf> [--license ID:KEY]
   wmps serve   <file.asf> [--students N] [--link lan|broadband|modem] [--seed N]
+               [--relays K]
   wmps abstract [--seed N] [--minutes N] [--budget-secs N]
   wmps net     [--units N] [--streams N] [--sync-every N] | [--floor N]   # Graphviz DOT
 

@@ -9,10 +9,11 @@ use lod_asf::{AsfError, AsfFile};
 use lod_encoder::{BandwidthProfile, BroadcastConfig, LiveEncoder, Publisher};
 use lod_media::Ticks;
 use lod_player::SkewStats;
-use lod_simnet::{LinkSpec, Network};
+use lod_relay::{CacheStats, RedirectManager, RelayMetrics, RelayNode};
+use lod_simnet::{relay_tree, LinkSpec, Network};
 use lod_streaming::{
-    run_to_completion, ClientMetrics, LiveFeed, StreamHeader, StreamingClient, StreamingServer,
-    Wire,
+    run_to_completion, ClientMetrics, LiveFeed, ServerMetrics, StreamHeader, StreamingClient,
+    StreamingServer, Wire,
 };
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +34,23 @@ pub struct WmpsReport {
     pub classroom_spread: SkewStats,
     /// Wall ticks the whole session took.
     pub session_ticks: u64,
+    /// Origin server service counters.
+    pub server: ServerMetrics,
+    /// Bytes the origin pushed onto its uplink (all outbound links).
+    pub origin_egress_bytes: u64,
+    /// Relay-tier outcome when the session ran through edge relays.
+    pub relay: Option<RelayTierReport>,
+}
+
+/// Aggregate outcome of the edge-relay tier for one session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelayTierReport {
+    /// Segment-cache accounting summed over every relay.
+    pub cache: CacheStats,
+    /// Service counters summed over every relay.
+    pub metrics: RelayMetrics,
+    /// Students re-homed by the failure drill (0 without one).
+    pub reattached: usize,
 }
 
 impl WmpsReport {
@@ -65,6 +83,57 @@ fn classroom_spread(events: &[lod_streaming::RenderEvent]) -> SkewStats {
         .map(|walls| walls.iter().max().unwrap() - walls.iter().min().unwrap())
         .collect();
     SkewStats::from_skews(spreads)
+}
+
+/// Per-client skew: anchor each client at its first rendered item.
+fn per_client_skew(
+    clients: &[StreamingClient],
+    events: &[lod_streaming::RenderEvent],
+) -> Vec<SkewStats> {
+    clients
+        .iter()
+        .map(|c| {
+            let mine: Vec<_> = events.iter().filter(|e| e.client == c.node()).collect();
+            let anchor = mine
+                .iter()
+                .map(|e| e.wall_time.saturating_sub(e.pres_time))
+                .min()
+                .unwrap_or(0);
+            SkewStats::from_skews(
+                mine.iter()
+                    .map(|e| e.wall_time.abs_diff(anchor + e.pres_time))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Configuration of the edge-relay tier for [`Wmps::serve_with_relays`].
+#[derive(Debug, Clone)]
+pub struct RelayTierConfig {
+    /// Number of edge relays between the origin and the students.
+    pub relays: usize,
+    /// Link between the campus router and each relay.
+    pub relay_link: LinkSpec,
+    /// Per-relay segment-cache budget in bytes.
+    pub cache_budget: u64,
+    /// Pull the next segment ahead of need.
+    pub prefetch: bool,
+    /// Fail the first relay at this tick (the mid-lecture failover drill);
+    /// its students are redirected to a surviving sibling or the origin.
+    pub fail_first_at: Option<u64>,
+}
+
+impl Default for RelayTierConfig {
+    fn default() -> Self {
+        Self {
+            relays: 4,
+            relay_link: LinkSpec::lan(),
+            cache_budget: 64 << 20,
+            prefetch: true,
+            fail_first_at: None,
+        }
+    }
 }
 
 /// The top-level system facade.
@@ -145,6 +214,120 @@ impl Wmps {
         })
     }
 
+    /// Serves `file` through an edge-relay tier: origin → campus router →
+    /// `cfg.relays` relays, with every student behind the router on its
+    /// own `access` link. Students address the origin; a
+    /// [`RedirectManager`] answers each Play with the least-loaded relay,
+    /// which pulls segments across the `uplink` once and fans them out
+    /// locally. With `cfg.fail_first_at` set, the first relay dies
+    /// mid-lecture and its students re-attach to a surviving sibling.
+    pub fn serve_with_relays(
+        &self,
+        file: AsfFile,
+        uplink: LinkSpec,
+        access: LinkSpec,
+        n_clients: usize,
+        seed: u64,
+        cfg: &RelayTierConfig,
+    ) -> WmpsReport {
+        let play_duration = file.props.play_duration;
+        let mut net: Network<Wire> = Network::new(seed);
+        let tree = relay_tree(
+            &mut net,
+            uplink,
+            cfg.relay_link,
+            access,
+            cfg.relays,
+            n_clients,
+        );
+        let mut server = StreamingServer::new(tree.origin);
+        server.publish("lecture", file);
+        let mut relays: Vec<RelayNode> = tree
+            .relays
+            .iter()
+            .map(|&r| {
+                let mut relay =
+                    RelayNode::new(r, tree.origin, cfg.cache_budget).with_prefetch(cfg.prefetch);
+                relay.serve_vod("lecture");
+                relay
+            })
+            .collect();
+        let mut redirect = RedirectManager::new(tree.origin, tree.relays.clone());
+        let mut clients: Vec<StreamingClient> = tree
+            .students
+            .iter()
+            .map(|&c| StreamingClient::new(c, tree.origin, "lecture"))
+            .collect();
+        for c in clients.iter_mut() {
+            c.start(&mut net);
+        }
+
+        const STEP: u64 = 1_000_000; // 100 ms
+        let horizon = play_duration * 20 + 600_000_000_000;
+        let mut now = 0u64;
+        let mut events = Vec::new();
+        let mut reattached = 0usize;
+        let mut failed = false;
+        while now <= horizon {
+            if let Some(at) = cfg.fail_first_at {
+                if !failed && now >= at && !tree.relays.is_empty() {
+                    // The relay drops off the network; the manager
+                    // re-homes its students.
+                    let victim = tree.relays[0];
+                    net.disconnect(tree.router, victim);
+                    net.disconnect(victim, tree.router);
+                    reattached = redirect.fail_relay(&mut net, victim).len();
+                    failed = true;
+                }
+            }
+            server.poll(&mut net, now);
+            for r in relays.iter_mut() {
+                r.poll(&mut net, now);
+            }
+            for d in net.advance_to(now) {
+                if d.dst == server.node() {
+                    if !redirect.intercept(&mut net, d.src, &d.message) {
+                        server.on_message(&mut net, d.time, d.src, d.message);
+                    }
+                } else if let Some(r) = relays.iter_mut().find(|r| r.node() == d.dst) {
+                    r.on_message(&mut net, d.time, d.src, d.message);
+                } else if let Some(c) = clients.iter_mut().find(|c| c.node() == d.dst) {
+                    c.on_message(d.time, d.message);
+                }
+            }
+            for c in clients.iter_mut() {
+                events.extend(c.tick(now));
+                c.poll_adaptive(&mut net);
+                c.poll_redirect(&mut net);
+            }
+            if clients.iter().all(|c| c.is_done()) {
+                break;
+            }
+            now += STEP;
+        }
+
+        let session_ticks = events.iter().map(|e| e.wall_time).max().unwrap_or(0);
+        let mut cache = CacheStats::default();
+        let mut metrics = RelayMetrics::default();
+        for r in &relays {
+            cache += r.cache().stats();
+            metrics += r.metrics();
+        }
+        WmpsReport {
+            clients: clients.iter().map(|c| *c.metrics()).collect(),
+            skew: per_client_skew(&clients, &events),
+            classroom_spread: classroom_spread(&events),
+            session_ticks,
+            server: server.metrics(),
+            origin_egress_bytes: net.egress_bytes(tree.origin),
+            relay: Some(RelayTierReport {
+                cache,
+                metrics,
+                reattached,
+            }),
+        }
+    }
+
     fn serve_with_topology(
         &self,
         file: AsfFile,
@@ -170,28 +353,14 @@ impl Wmps {
         let events = run_to_completion(&mut net, &mut server, &mut refs, horizon);
         let session_ticks = events.iter().map(|e| e.wall_time).max().unwrap_or(0);
 
-        // Per-client skew: anchor each client at its first rendered item.
-        let skew = clients
-            .iter()
-            .map(|c| {
-                let mine: Vec<_> = events.iter().filter(|e| e.client == c.node()).collect();
-                let anchor = mine
-                    .iter()
-                    .map(|e| e.wall_time.saturating_sub(e.pres_time))
-                    .min()
-                    .unwrap_or(0);
-                SkewStats::from_skews(
-                    mine.iter()
-                        .map(|e| e.wall_time.abs_diff(anchor + e.pres_time))
-                        .collect(),
-                )
-            })
-            .collect();
         WmpsReport {
             clients: clients.iter().map(|c| *c.metrics()).collect(),
-            skew,
+            skew: per_client_skew(&clients, &events),
             classroom_spread: classroom_spread(&events),
             session_ticks,
+            server: server.metrics(),
+            origin_egress_bytes: net.egress_bytes(s),
+            relay: None,
         }
     }
 
@@ -306,27 +475,14 @@ impl Wmps {
             }
             now += STEP;
         }
-        let skew = clients
-            .iter()
-            .map(|c| {
-                let mine: Vec<_> = events.iter().filter(|e| e.client == c.node()).collect();
-                let anchor = mine
-                    .iter()
-                    .map(|e| e.wall_time.saturating_sub(e.pres_time))
-                    .min()
-                    .unwrap_or(0);
-                SkewStats::from_skews(
-                    mine.iter()
-                        .map(|e| e.wall_time.abs_diff(anchor + e.pres_time))
-                        .collect(),
-                )
-            })
-            .collect();
         WmpsReport {
             clients: clients.iter().map(|c| *c.metrics()).collect(),
-            skew,
+            skew: per_client_skew(&clients, &events),
             classroom_spread: classroom_spread(&events),
             session_ticks: now,
+            server: server.metrics(),
+            origin_egress_bytes: net.egress_bytes(s),
+            relay: None,
         }
     }
 }
@@ -494,6 +650,33 @@ mod tests {
         }
         // All three annotations reached at least two clients together.
         assert_eq!(report.session.classroom_spread.count, 3);
+    }
+
+    #[test]
+    fn relay_tier_serves_everyone_and_survives_failure() {
+        let lecture = synthetic_lecture(1, 1, 300_000); // 1 minute
+        let wmps = Wmps::new();
+        let file = wmps.publish(&lecture).unwrap();
+        let cfg = RelayTierConfig {
+            relays: 2,
+            fail_first_at: Some(100_000_000), // 10 s in: mid-lecture
+            ..RelayTierConfig::default()
+        };
+        let report = wmps.serve_with_relays(file, LinkSpec::lan(), LinkSpec::lan(), 4, 3, &cfg);
+        assert_eq!(report.clients.len(), 4);
+        for (i, m) in report.clients.iter().enumerate() {
+            assert!(m.samples_rendered > 0, "client {i}: {m:?}");
+        }
+        let relay = report.relay.expect("relay tier ran");
+        // Two relays, four students, balanced assignment: failing the
+        // first relay re-homes its two students.
+        assert_eq!(relay.reattached, 2);
+        assert!(relay.metrics.segment_fetches > 0);
+        assert!(relay.cache.lookups() > 0);
+        // Students kept playing only through relays; the origin never
+        // carried a media session itself.
+        assert_eq!(report.server.sessions_served, 0);
+        assert!(report.server.segments_served > 0);
     }
 
     #[test]

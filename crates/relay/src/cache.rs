@@ -1,0 +1,268 @@
+//! Byte-budgeted LRU cache of ASF packet segments.
+//!
+//! Relays do not mirror whole lectures; they pull fixed-size packet
+//! *segments* from the origin on demand and keep the hottest ones within
+//! a configurable byte budget. Recency is tracked with a monotonic use
+//! counter, and eviction removes least-recently-used segments until a new
+//! entry fits.
+
+use std::collections::HashMap;
+
+use lod_asf::DataPacket;
+use serde::{Deserialize, Serialize};
+
+/// One cached run of packets for `(content, segment)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedSegment {
+    /// Global index of the first packet in this segment.
+    pub base_packet: u32,
+    /// The packets, in stream order.
+    pub packets: Vec<DataPacket>,
+    /// Wire size of the segment in bytes (what the budget accounts).
+    pub bytes: u64,
+}
+
+/// Hit/miss/eviction accounting for a [`SegmentCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Segments accepted by [`SegmentCache::insert`].
+    pub insertions: u64,
+    /// Segments evicted to make room.
+    pub evictions: u64,
+    /// Total bytes reclaimed by eviction.
+    pub bytes_evicted: u64,
+}
+
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.insertions += rhs.insertions;
+        self.evictions += rhs.evictions;
+        self.bytes_evicted += rhs.bytes_evicted;
+    }
+}
+
+impl CacheStats {
+    /// Total recorded lookups (`hits + misses`).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from cache; 0 when nothing was looked
+    /// up yet.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    segment: CachedSegment,
+    last_used: u64,
+}
+
+/// LRU segment cache with a hard byte budget.
+#[derive(Debug, Clone)]
+pub struct SegmentCache {
+    budget: u64,
+    used: u64,
+    clock: u64,
+    entries: HashMap<(String, u32), Entry>,
+    stats: CacheStats,
+}
+
+impl SegmentCache {
+    /// An empty cache allowed to hold at most `budget_bytes` of segment
+    /// data.
+    pub fn new(budget_bytes: u64) -> Self {
+        Self {
+            budget: budget_bytes,
+            used: 0,
+            clock: 0,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently held.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of cached segments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up a segment, recording a hit or miss and refreshing its
+    /// recency on hit.
+    pub fn get(&mut self, content: &str, segment: u32) -> Option<&CachedSegment> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(&(content.to_string(), segment)) {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.stats.hits += 1;
+                Some(&entry.segment)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a lookup answered by a fetch another lookup already has in
+    /// flight (request coalescing / collapsed forwarding). Counted as a
+    /// hit: the bytes are served locally without another origin pull.
+    pub fn record_coalesced_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Looks up a segment without touching recency or the hit/miss
+    /// counters (for introspection and tests).
+    pub fn peek(&self, content: &str, segment: u32) -> Option<&CachedSegment> {
+        self.entries
+            .get(&(content.to_string(), segment))
+            .map(|e| &e.segment)
+    }
+
+    /// Whether the segment is resident (no accounting).
+    pub fn contains(&self, content: &str, segment: u32) -> bool {
+        self.entries.contains_key(&(content.to_string(), segment))
+    }
+
+    /// Inserts a segment, evicting least-recently-used entries until it
+    /// fits. Returns `false` (and caches nothing) when the segment alone
+    /// exceeds the whole budget. Re-inserting an existing key replaces it.
+    pub fn insert(&mut self, content: &str, segment: u32, data: CachedSegment) -> bool {
+        if data.bytes > self.budget {
+            return false;
+        }
+        let key = (content.to_string(), segment);
+        if let Some(old) = self.entries.remove(&key) {
+            self.used -= old.segment.bytes;
+        }
+        while self.used + data.bytes > self.budget {
+            self.evict_lru();
+        }
+        self.used += data.bytes;
+        self.clock += 1;
+        self.stats.insertions += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                segment: data,
+                last_used: self.clock,
+            },
+        );
+        true
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+            .expect("eviction requested on an empty cache");
+        let entry = self.entries.remove(&victim).expect("victim just found");
+        self.used -= entry.segment.bytes;
+        self.stats.evictions += 1;
+        self.stats.bytes_evicted += entry.segment.bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(bytes: u64) -> CachedSegment {
+        CachedSegment {
+            base_packet: 0,
+            packets: Vec::new(),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut cache = SegmentCache::new(1_000);
+        assert!(cache.get("talk", 0).is_none());
+        assert!(cache.insert("talk", 0, seg(100)));
+        assert!(cache.get("talk", 0).is_some());
+        assert!(cache.get("talk", 1).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.lookups(), 3);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut cache = SegmentCache::new(300);
+        assert!(cache.insert("talk", 0, seg(100)));
+        assert!(cache.insert("talk", 1, seg(100)));
+        assert!(cache.insert("talk", 2, seg(100)));
+        // Touch 0 so 1 becomes the LRU victim.
+        assert!(cache.get("talk", 0).is_some());
+        assert!(cache.insert("talk", 3, seg(100)));
+        assert!(cache.contains("talk", 0));
+        assert!(!cache.contains("talk", 1));
+        assert!(cache.contains("talk", 2));
+        assert!(cache.contains("talk", 3));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().bytes_evicted, 100);
+        assert_eq!(cache.used_bytes(), 300);
+    }
+
+    #[test]
+    fn rejects_segment_larger_than_budget() {
+        let mut cache = SegmentCache::new(50);
+        assert!(!cache.insert("talk", 0, seg(51)));
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting() {
+        let mut cache = SegmentCache::new(200);
+        assert!(cache.insert("talk", 0, seg(80)));
+        assert!(cache.insert("talk", 0, seg(120)));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.used_bytes(), 120);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut cache = SegmentCache::new(100);
+        assert!(cache.insert("talk", 0, seg(10)));
+        assert!(cache.peek("talk", 0).is_some());
+        assert!(cache.peek("talk", 9).is_none());
+        assert_eq!(cache.stats().lookups(), 0);
+    }
+}

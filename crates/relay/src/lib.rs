@@ -1,0 +1,23 @@
+//! `lod-relay`: the edge distribution tier of the WMPS reproduction.
+//!
+//! The paper's lecture-on-demand system pushes presentations from a
+//! central origin to campus-edge servers so that classrooms stream from a
+//! nearby node instead of hammering the origin uplink. This crate models
+//! that tier on top of [`lod_simnet`]:
+//!
+//! - [`SegmentCache`]: byte-budgeted LRU cache of ASF packet segments
+//!   pulled from the origin on demand.
+//! - [`RelayNode`]: an edge relay that serves stored lectures from its
+//!   segment cache (fetching misses from the origin) and re-broadcasts
+//!   live lectures from a single upstream subscription.
+//! - [`RedirectManager`]: origin-side session director that answers
+//!   client `Play` requests with a redirect to the least-loaded relay and
+//!   re-attaches clients when a relay fails mid-lecture.
+
+pub mod cache;
+pub mod redirect;
+pub mod relay;
+
+pub use cache::{CacheStats, CachedSegment, SegmentCache};
+pub use redirect::RedirectManager;
+pub use relay::{RelayMetrics, RelayNode};

@@ -1,0 +1,216 @@
+//! Play-time redirection and failover across the relay tier.
+//!
+//! The origin fronts the whole relay fleet: students always address their
+//! Play at the origin, and a [`RedirectManager`] standing in front of the
+//! origin's session logic answers with [`Wire::Redirect`] pointing at the
+//! least-loaded healthy relay. When a relay dies mid-lecture, its students
+//! are re-pointed at a surviving sibling (or the origin itself) and their
+//! clients re-issue Play from their playback horizon.
+
+use std::collections::{HashMap, HashSet};
+
+use lod_simnet::{Network, NodeId};
+use lod_streaming::wire::{ControlRequest, Wire};
+
+/// Assigns sessions to relays and re-homes them on failure.
+#[derive(Debug)]
+pub struct RedirectManager {
+    origin: NodeId,
+    relays: Vec<NodeId>,
+    failed: HashSet<NodeId>,
+    /// client → relay (or origin) currently serving it.
+    assignments: HashMap<NodeId, NodeId>,
+}
+
+impl RedirectManager {
+    /// A manager fronting `origin` with the given relay fleet.
+    pub fn new(origin: NodeId, relays: Vec<NodeId>) -> Self {
+        Self {
+            origin,
+            relays,
+            failed: HashSet::new(),
+            assignments: HashMap::new(),
+        }
+    }
+
+    /// Relays still in service.
+    pub fn healthy_relays(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.relays
+            .iter()
+            .copied()
+            .filter(move |r| !self.failed.contains(r))
+    }
+
+    /// Where `client` was last pointed.
+    pub fn assignment(&self, client: NodeId) -> Option<NodeId> {
+        self.assignments.get(&client).copied()
+    }
+
+    /// Number of clients currently assigned to `target`.
+    pub fn load(&self, target: NodeId) -> usize {
+        self.assignments.values().filter(|&&t| t == target).count()
+    }
+
+    /// The healthy relay carrying the fewest sessions (first in fleet
+    /// order on ties), or the origin when every relay is down.
+    fn least_loaded(&self) -> NodeId {
+        self.healthy_relays()
+            .min_by_key(|&r| self.load(r))
+            .unwrap_or(self.origin)
+    }
+
+    /// Examines a message addressed to the origin *before* the origin's
+    /// session logic sees it. Returns `true` when the message was consumed
+    /// by answering with a redirect — the driver must then skip
+    /// `StreamingServer::on_message` for it. Everything except a first
+    /// Play from a student (relay fetches, control on origin-homed
+    /// sessions) passes through.
+    pub fn intercept(&mut self, net: &mut Network<Wire>, from: NodeId, msg: &Wire) -> bool {
+        if self.relays.contains(&from) {
+            return false; // relay ↔ origin traffic is never redirected
+        }
+        let Wire::Request(ControlRequest::Play { .. }) = msg else {
+            return false;
+        };
+        let target = match self.assignment(from) {
+            // Respect a still-healthy earlier assignment (client restarts).
+            Some(t) if t == self.origin || !self.failed.contains(&t) => t,
+            _ => self.least_loaded(),
+        };
+        if target == self.origin {
+            // Nobody better to hand this to; let the origin serve it.
+            self.assignments.insert(from, self.origin);
+            return false;
+        }
+        self.assignments.insert(from, target);
+        let msg = Wire::Redirect { to: target };
+        let bytes = msg.wire_bytes(0);
+        let _ = net.send_reliable(self.origin, from, bytes, msg);
+        true
+    }
+
+    /// Marks `relay` failed and re-points every client it carried at the
+    /// least-loaded survivor (or the origin). Returns the clients that
+    /// were re-homed; the redirects are already on the wire.
+    pub fn fail_relay(&mut self, net: &mut Network<Wire>, relay: NodeId) -> Vec<NodeId> {
+        if !self.failed.insert(relay) {
+            return Vec::new();
+        }
+        let stranded: Vec<NodeId> = self
+            .assignments
+            .iter()
+            .filter(|&(_, &t)| t == relay)
+            .map(|(&c, _)| c)
+            .collect();
+        for &client in &stranded {
+            let target = self.least_loaded();
+            self.assignments.insert(client, target);
+            let msg = Wire::Redirect { to: target };
+            let bytes = msg.wire_bytes(0);
+            let _ = net.send_reliable(self.origin, client, bytes, msg);
+        }
+        stranded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lod_simnet::LinkSpec;
+
+    fn world() -> (Network<Wire>, NodeId, Vec<NodeId>, Vec<NodeId>) {
+        let mut net = Network::new(7);
+        let origin = net.add_node("origin");
+        let relays: Vec<NodeId> = (0..2).map(|i| net.add_node(format!("relay{i}"))).collect();
+        let students: Vec<NodeId> = (0..4)
+            .map(|i| net.add_node(format!("student{i}")))
+            .collect();
+        for &s in &students {
+            net.connect_bidirectional(origin, s, LinkSpec::lan());
+        }
+        (net, origin, relays, students)
+    }
+
+    fn play(name: &str) -> Wire {
+        Wire::Request(ControlRequest::Play {
+            content: name.into(),
+            from: 0,
+        })
+    }
+
+    #[test]
+    fn spreads_players_across_relays() {
+        let (mut net, origin, relays, students) = world();
+        let mut mgr = RedirectManager::new(origin, relays.clone());
+        for &s in &students {
+            assert!(mgr.intercept(&mut net, s, &play("lec")));
+        }
+        assert_eq!(mgr.load(relays[0]), 2);
+        assert_eq!(mgr.load(relays[1]), 2);
+        // Four redirects went out on the wire.
+        let redirects = net
+            .advance_to(10_000_000)
+            .into_iter()
+            .filter(|d| matches!(d.message, Wire::Redirect { .. }))
+            .count();
+        assert_eq!(redirects, 4);
+    }
+
+    #[test]
+    fn passes_through_non_play_and_relay_traffic() {
+        let (mut net, origin, relays, students) = world();
+        let mut mgr = RedirectManager::new(origin, relays.clone());
+        assert!(!mgr.intercept(&mut net, students[0], &Wire::Request(ControlRequest::Pause)));
+        assert!(!mgr.intercept(
+            &mut net,
+            relays[0],
+            &play("lec") // a relay's upstream live subscription
+        ));
+    }
+
+    #[test]
+    fn fail_relay_rehomes_its_clients() {
+        let (mut net, origin, relays, students) = world();
+        let mut mgr = RedirectManager::new(origin, relays.clone());
+        for &s in &students {
+            mgr.intercept(&mut net, s, &play("lec"));
+        }
+        net.advance_to(10_000_000);
+        let stranded = mgr.fail_relay(&mut net, relays[0]);
+        assert_eq!(stranded.len(), 2);
+        for &c in &stranded {
+            assert_eq!(mgr.assignment(c), Some(relays[1]));
+        }
+        assert_eq!(mgr.load(relays[1]), 4);
+        let redirects: Vec<NodeId> = net
+            .advance_to(20_000_000)
+            .into_iter()
+            .filter_map(|d| match d.message {
+                Wire::Redirect { to } => Some(to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(redirects, vec![relays[1], relays[1]]);
+    }
+
+    #[test]
+    fn all_relays_down_falls_back_to_origin() {
+        let (mut net, origin, relays, students) = world();
+        let mut mgr = RedirectManager::new(origin, relays.clone());
+        mgr.fail_relay(&mut net, relays[0]);
+        mgr.fail_relay(&mut net, relays[1]);
+        // Play passes through to the origin's own session logic.
+        assert!(!mgr.intercept(&mut net, students[0], &play("lec")));
+        assert_eq!(mgr.assignment(students[0]), Some(origin));
+    }
+
+    #[test]
+    fn sticky_assignment_survives_replays() {
+        let (mut net, origin, relays, students) = world();
+        let mut mgr = RedirectManager::new(origin, relays.clone());
+        mgr.intercept(&mut net, students[0], &play("lec"));
+        let first = mgr.assignment(students[0]).unwrap();
+        mgr.intercept(&mut net, students[0], &play("lec"));
+        assert_eq!(mgr.assignment(students[0]), Some(first));
+    }
+}

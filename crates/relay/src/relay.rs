@@ -1,0 +1,922 @@
+//! The edge relay node.
+//!
+//! A relay sits between the origin [`lod_streaming::StreamingServer`] and
+//! the students of one campus. It speaks the ordinary [`Wire`] protocol
+//! downstream — clients cannot tell a relay from the origin — and two
+//! upstream idioms:
+//!
+//! * **VoD**: stored lectures are served packet-by-packet out of a
+//!   byte-budgeted [`SegmentCache`]; a cache miss pulls one segment from
+//!   the origin with [`ControlRequest::FetchSegment`] (deduplicated, so N
+//!   concurrent students cost one uplink pull), optionally prefetching
+//!   the next segment.
+//! * **Live**: the relay subscribes to the origin feed *once* and fans the
+//!   packets out to every local student, turning an O(students) origin
+//!   uplink load into O(relays).
+
+use std::collections::{HashMap, HashSet};
+
+use lod_asf::{DataPacket, ScriptCommand};
+use lod_simnet::{Network, NodeId, TokenBucket};
+use lod_streaming::wire::{ControlRequest, SegmentData, StreamHeader, Wire};
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CachedSegment, SegmentCache};
+
+/// Ticks to wait before re-requesting a segment that never arrived.
+const FETCH_RETRY_TICKS: u64 = 20_000_000; // 2 s
+
+/// Service counters for one relay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelayMetrics {
+    /// VoD sessions started.
+    pub sessions_served: u64,
+    /// Local subscribers to live feeds.
+    pub live_subscribers: u64,
+    /// Segments pulled from the origin on demand.
+    pub segment_fetches: u64,
+    /// Segments pulled ahead of need.
+    pub prefetches: u64,
+    /// Bytes of media payload sent to local clients.
+    pub payload_bytes_sent: u64,
+    /// Bytes received from the origin (segments + live feed).
+    pub upstream_bytes_received: u64,
+}
+
+impl std::ops::AddAssign for RelayMetrics {
+    fn add_assign(&mut self, rhs: Self) {
+        self.sessions_served += rhs.sessions_served;
+        self.live_subscribers += rhs.live_subscribers;
+        self.segment_fetches += rhs.segment_fetches;
+        self.prefetches += rhs.prefetches;
+        self.payload_bytes_sent += rhs.payload_bytes_sent;
+        self.upstream_bytes_received += rhs.upstream_bytes_received;
+    }
+}
+
+/// Catalog facts about one piece of content, learned from the first
+/// segment response.
+#[derive(Debug, Clone)]
+struct ContentMeta {
+    header: StreamHeader,
+    total_packets: u32,
+    total_segments: u32,
+    segment_packets: u32,
+    packet_size: u32,
+}
+
+/// One local VoD session.
+#[derive(Debug)]
+struct VodSession {
+    client: NodeId,
+    content: String,
+    next_packet: u32,
+    /// Wall time of presentation time zero.
+    base_time: u64,
+    paused: bool,
+    paused_at: u64,
+    pacer: TokenBucket,
+    /// Segment whose cache lookup has been recorded for this session.
+    counted_seg: Option<u32>,
+    /// Play/Seek waiting for a time-resolving fetch (`at_time` echo).
+    pending_time: Option<u64>,
+    header_sent: bool,
+    eos_sent: bool,
+}
+
+/// One local subscriber of a live feed.
+#[derive(Debug)]
+struct LiveSub {
+    client: NodeId,
+    next_packet: usize,
+    next_script: usize,
+    /// Skip packets before this presentation time (late joiners).
+    start_from: u64,
+    pacer: TokenBucket,
+    header_sent: bool,
+    eos_sent: bool,
+}
+
+/// Locally re-broadcast state of one live lecture.
+#[derive(Debug, Default)]
+struct LiveRelay {
+    /// Whether the single upstream Play has been issued.
+    subscribed: bool,
+    header: Option<StreamHeader>,
+    packets: Vec<DataPacket>,
+    scripts: Vec<ScriptCommand>,
+    ended: bool,
+    subs: Vec<LiveSub>,
+}
+
+/// An edge relay node.
+#[derive(Debug)]
+pub struct RelayNode {
+    node: NodeId,
+    origin: NodeId,
+    cache: SegmentCache,
+    prefetch: bool,
+    backlog_limit: u64,
+    /// Contents this relay serves on demand / live.
+    vod_content: HashSet<String>,
+    live_content: HashSet<String>,
+    /// The live feed currently subscribed upstream. Data packets carry no
+    /// content name, so a relay re-broadcasts one live lecture at a time.
+    upstream_live: Option<String>,
+    meta: HashMap<String, ContentMeta>,
+    sessions: Vec<VodSession>,
+    live: HashMap<String, LiveRelay>,
+    /// Segment fetches in flight: `(content, segment) → request time`.
+    inflight: HashMap<(String, u32), u64>,
+    metrics: RelayMetrics,
+}
+
+impl RelayNode {
+    /// A relay on `node` pulling from `origin`, caching at most
+    /// `cache_budget` bytes of segments.
+    pub fn new(node: NodeId, origin: NodeId, cache_budget: u64) -> Self {
+        Self {
+            node,
+            origin,
+            cache: SegmentCache::new(cache_budget),
+            prefetch: true,
+            backlog_limit: 20_000_000, // 2 s, like the origin
+            vod_content: HashSet::new(),
+            live_content: HashSet::new(),
+            upstream_live: None,
+            meta: HashMap::new(),
+            sessions: Vec::new(),
+            live: HashMap::new(),
+            inflight: HashMap::new(),
+            metrics: RelayMetrics::default(),
+        }
+    }
+
+    /// Disables sequential prefetch (default on).
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// The relay's network node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The origin this relay pulls from.
+    pub fn origin(&self) -> NodeId {
+        self.origin
+    }
+
+    /// Service counters accumulated so far.
+    pub fn metrics(&self) -> RelayMetrics {
+        self.metrics
+    }
+
+    /// The segment cache (stats, budget, residency).
+    pub fn cache(&self) -> &SegmentCache {
+        &self.cache
+    }
+
+    /// Active VoD sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Local subscribers across all live feeds.
+    pub fn live_subscriber_count(&self) -> usize {
+        self.live.values().map(|l| l.subs.len()).sum()
+    }
+
+    /// Registers stored content this relay may serve (by pulling segments
+    /// from the origin).
+    pub fn serve_vod(&mut self, content: impl Into<String>) {
+        self.vod_content.insert(content.into());
+    }
+
+    /// Registers a live lecture this relay re-broadcasts locally.
+    pub fn serve_live(&mut self, content: impl Into<String>) {
+        self.live_content.insert(content.into());
+    }
+
+    /// Handles a message delivered to the relay at `now`.
+    pub fn on_message(&mut self, net: &mut Network<Wire>, now: u64, from: NodeId, msg: Wire) {
+        if from == self.origin {
+            match msg {
+                Wire::Segment(seg) => self.on_segment(net, now, seg),
+                Wire::Header(h) => self.on_live_header(net, now, h),
+                Wire::Data(p) => self.on_live_data(now, p),
+                Wire::Script(c) => self.on_live_script(c),
+                Wire::EndOfStream => self.on_live_eos(),
+                Wire::NotFound(name) => self.on_not_found(net, &name),
+                Wire::Request(req) => self.on_request(net, now, from, req),
+                Wire::Redirect { .. } => {}
+            }
+        } else if let Wire::Request(req) = msg {
+            self.on_request(net, now, from, req);
+        }
+    }
+
+    fn on_request(&mut self, net: &mut Network<Wire>, now: u64, from: NodeId, req: ControlRequest) {
+        match req {
+            ControlRequest::Play {
+                content,
+                from: start,
+            } => {
+                if self.live_content.contains(&content) {
+                    self.start_live_sub(net, now, from, &content, start);
+                } else if self.vod_content.contains(&content) {
+                    self.start_vod(net, now, from, &content, start);
+                } else {
+                    let _ = net.send_reliable(self.node, from, 32, Wire::NotFound(content));
+                }
+            }
+            ControlRequest::Pause => {
+                if let Some(s) = self.sessions.iter_mut().find(|s| s.client == from) {
+                    if !s.paused {
+                        s.paused = true;
+                        s.paused_at = now;
+                    }
+                }
+            }
+            ControlRequest::Resume => {
+                if let Some(s) = self.sessions.iter_mut().find(|s| s.client == from) {
+                    if s.paused {
+                        s.paused = false;
+                        s.base_time += now - s.paused_at;
+                    }
+                }
+            }
+            ControlRequest::Seek { to } => {
+                if let Some(s) = self.sessions.iter_mut().find(|s| s.client == from) {
+                    // Relays hold no seek index; the origin resolves the
+                    // time to a packet in its segment response.
+                    s.pending_time = Some(to);
+                    s.eos_sent = false;
+                    let content = s.content.clone();
+                    self.request_time_resolved(net, now, &content, to, false);
+                }
+            }
+            // Relays serve whole streams; thinning stays an origin
+            // feature.
+            ControlRequest::SelectStreams(_) => {}
+            ControlRequest::Teardown => {
+                self.sessions.retain(|s| s.client != from);
+                for feed in self.live.values_mut() {
+                    feed.subs.retain(|s| s.client != from);
+                }
+            }
+            // Relays do not serve other relays.
+            ControlRequest::FetchSegment { content, .. } => {
+                let _ = net.send_reliable(self.node, from, 32, Wire::NotFound(content));
+            }
+        }
+    }
+
+    fn session_pacer(header: &StreamHeader) -> TokenBucket {
+        let rate = (u64::from(header.props.max_bitrate).max(64_000)) * 2;
+        let burst = (rate / 8 / 2).max(u64::from(header.props.packet_size) * 8);
+        TokenBucket::new(rate, burst)
+    }
+
+    fn start_vod(
+        &mut self,
+        net: &mut Network<Wire>,
+        now: u64,
+        client: NodeId,
+        content: &str,
+        start: u64,
+    ) {
+        self.metrics.sessions_served += 1;
+        self.sessions.retain(|s| s.client != client);
+        let known_header = self.meta.get(content).map(|m| m.header.clone());
+        let (pacer, header_sent, next_packet, pending_time) = match known_header {
+            Some(header) => {
+                let bytes = header.wire_bytes();
+                let msg = Wire::Header(header.clone());
+                let _ = net.send_reliable(self.node, client, bytes, msg);
+                if start == 0 {
+                    (Self::session_pacer(&header), true, 0, None)
+                } else {
+                    // Let the origin resolve the start time via its index.
+                    self.request_time_resolved(net, now, content, start, false);
+                    (Self::session_pacer(&header), true, 0, Some(start))
+                }
+            }
+            None => {
+                // First contact with this content: fetch the opening
+                // segment (or the one containing `start`) with the header.
+                if start == 0 {
+                    self.request_segment(net, now, content, 0, true);
+                } else {
+                    self.request_time_resolved(net, now, content, start, true);
+                }
+                // Placeholder pacer until the header arrives.
+                let pending = if start == 0 { None } else { Some(start) };
+                (TokenBucket::new(128_000, 16_000), false, 0, pending)
+            }
+        };
+        self.sessions.push(VodSession {
+            client,
+            content: content.to_string(),
+            next_packet,
+            base_time: now.saturating_sub(start),
+            paused: false,
+            paused_at: 0,
+            pacer,
+            counted_seg: None,
+            pending_time,
+            header_sent,
+            eos_sent: false,
+        });
+    }
+
+    fn start_live_sub(
+        &mut self,
+        net: &mut Network<Wire>,
+        now: u64,
+        client: NodeId,
+        content: &str,
+        start: u64,
+    ) {
+        self.metrics.live_subscribers += 1;
+        let feed = self.live.entry(content.to_string()).or_default();
+        feed.subs.retain(|s| s.client != client);
+        let (pacer, header_sent) = match &feed.header {
+            Some(h) => {
+                let bytes = h.wire_bytes();
+                let msg = Wire::Header(h.clone());
+                let _ = net.send_reliable(self.node, client, bytes, msg);
+                (Self::session_pacer(h), true)
+            }
+            None => (TokenBucket::new(128_000, 16_000), false),
+        };
+        feed.subs.push(LiveSub {
+            client,
+            next_packet: 0,
+            next_script: 0,
+            start_from: start,
+            pacer,
+            header_sent,
+            eos_sent: false,
+        });
+        if !feed.subscribed {
+            // The single upstream subscription every local student shares.
+            feed.subscribed = true;
+            self.upstream_live = Some(content.to_string());
+            let req = Wire::Request(ControlRequest::Play {
+                content: content.to_string(),
+                from: 0,
+            });
+            let bytes = req.wire_bytes(0);
+            let _ = net.send_reliable(self.node, self.origin, bytes, req);
+        }
+        let _ = now;
+    }
+
+    fn request_segment(
+        &mut self,
+        net: &mut Network<Wire>,
+        now: u64,
+        content: &str,
+        segment: u32,
+        want_header: bool,
+    ) {
+        let key = (content.to_string(), segment);
+        if let Some(&at) = self.inflight.get(&key) {
+            if now.saturating_sub(at) < FETCH_RETRY_TICKS {
+                return;
+            }
+        }
+        self.inflight.insert(key, now);
+        self.metrics.segment_fetches += 1;
+        let req = Wire::Request(ControlRequest::FetchSegment {
+            content: content.to_string(),
+            segment,
+            at_time: None,
+            want_header,
+        });
+        let bytes = req.wire_bytes(0);
+        let _ = net.send_reliable(self.node, self.origin, bytes, req);
+    }
+
+    /// Asks the origin for the segment containing presentation time `at`
+    /// (the relay holds no seek index). Not deduplicated: time-resolving
+    /// fetches are rare (session start, seek) and each answer re-anchors
+    /// a waiting session via the `at_time` echo.
+    fn request_time_resolved(
+        &mut self,
+        net: &mut Network<Wire>,
+        now: u64,
+        content: &str,
+        at: u64,
+        want_header: bool,
+    ) {
+        self.metrics.segment_fetches += 1;
+        let req = Wire::Request(ControlRequest::FetchSegment {
+            content: content.to_string(),
+            segment: 0,
+            at_time: Some(at),
+            want_header,
+        });
+        let bytes = req.wire_bytes(0);
+        let _ = net.send_reliable(self.node, self.origin, bytes, req);
+        let _ = now;
+    }
+
+    fn on_segment(&mut self, net: &mut Network<Wire>, now: u64, seg: SegmentData) {
+        self.metrics.upstream_bytes_received += seg.wire_bytes();
+        self.inflight.remove(&(seg.content.clone(), seg.segment));
+        if !self.meta.contains_key(&seg.content) {
+            if let Some(h) = &seg.header {
+                self.meta.insert(
+                    seg.content.clone(),
+                    ContentMeta {
+                        header: h.clone(),
+                        total_packets: seg.total_packets,
+                        total_segments: seg.total_segments,
+                        segment_packets: seg.segment_packets.max(1),
+                        packet_size: seg.packet_size,
+                    },
+                );
+            }
+        }
+        if !seg.packets.is_empty() {
+            let data = CachedSegment {
+                base_packet: seg.base_packet,
+                packets: seg.packets.clone(),
+                bytes: seg.packets.len() as u64 * u64::from(seg.packet_size),
+            };
+            self.cache.insert(&seg.content, seg.segment, data);
+        }
+        // Wake sessions that were waiting on this content: send the header
+        // to any session that never got one, and anchor time-resolved
+        // starts/seeks.
+        let header = self.meta.get(&seg.content).map(|m| m.header.clone());
+        for s in &mut self.sessions {
+            if s.content != seg.content {
+                continue;
+            }
+            if !s.header_sent {
+                if let Some(h) = &header {
+                    let bytes = h.wire_bytes();
+                    let _ = net.send_reliable(self.node, s.client, bytes, Wire::Header(h.clone()));
+                    s.pacer = Self::session_pacer(h);
+                    s.header_sent = true;
+                }
+            }
+            if let (Some(waiting), Some(echo), Some(start)) =
+                (s.pending_time, seg.at_time, seg.start_packet)
+            {
+                if echo == waiting {
+                    s.next_packet = start;
+                    s.base_time = now.saturating_sub(waiting);
+                    s.counted_seg = None;
+                    s.pending_time = None;
+                }
+            }
+        }
+    }
+
+    fn on_live_header(&mut self, net: &mut Network<Wire>, _now: u64, h: StreamHeader) {
+        let Some(content) = self.upstream_live.clone() else {
+            return;
+        };
+        let Some(feed) = self.live.get_mut(&content) else {
+            return;
+        };
+        feed.header = Some(h.clone());
+        for sub in &mut feed.subs {
+            if !sub.header_sent {
+                let bytes = h.wire_bytes();
+                let _ = net.send_reliable(self.node, sub.client, bytes, Wire::Header(h.clone()));
+                sub.pacer = Self::session_pacer(&h);
+                sub.header_sent = true;
+            }
+        }
+    }
+
+    fn on_live_data(&mut self, _now: u64, p: DataPacket) {
+        let Some(content) = &self.upstream_live else {
+            return;
+        };
+        let Some(feed) = self.live.get_mut(content) else {
+            return;
+        };
+        let size = feed
+            .header
+            .as_ref()
+            .map_or(1500, |h| u64::from(h.props.packet_size));
+        self.metrics.upstream_bytes_received += size;
+        feed.packets.push(p);
+    }
+
+    fn on_live_script(&mut self, c: ScriptCommand) {
+        if let Some(content) = &self.upstream_live {
+            if let Some(feed) = self.live.get_mut(content) {
+                feed.scripts.push(c);
+            }
+        }
+    }
+
+    fn on_live_eos(&mut self) {
+        if let Some(content) = &self.upstream_live {
+            if let Some(feed) = self.live.get_mut(content) {
+                feed.ended = true;
+            }
+        }
+    }
+
+    fn on_not_found(&mut self, net: &mut Network<Wire>, name: &str) {
+        // The origin does not know this content: pass the verdict on to
+        // every waiting session and drop them.
+        for s in &self.sessions {
+            if s.content == name {
+                let _ = net.send_reliable(self.node, s.client, 32, Wire::NotFound(name.into()));
+            }
+        }
+        self.sessions.retain(|s| s.content != name);
+        self.inflight.retain(|(c, _), _| c != name);
+    }
+
+    /// Sends everything due at `now`: cached VoD packets per session, live
+    /// fan-out per subscriber, and segment fetches for whatever is about
+    /// to be needed.
+    pub fn poll(&mut self, net: &mut Network<Wire>, now: u64) {
+        self.poll_vod(net, now);
+        self.poll_live(net, now);
+    }
+
+    fn poll_vod(&mut self, net: &mut Network<Wire>, now: u64) {
+        // (content, segment, want_header) fetches decided while sessions
+        // are borrowed.
+        let mut fetches: Vec<(String, u32)> = Vec::new();
+        let mut prefetches: Vec<(String, u32)> = Vec::new();
+        for s in &mut self.sessions {
+            if s.paused || s.eos_sent || !s.header_sent || s.pending_time.is_some() {
+                continue;
+            }
+            let Some(meta) = self.meta.get(&s.content) else {
+                continue;
+            };
+            loop {
+                if s.next_packet >= meta.total_packets {
+                    let _ = net.send_reliable(self.node, s.client, 16, Wire::EndOfStream);
+                    s.eos_sent = true;
+                    break;
+                }
+                let seg_idx = s.next_packet / meta.segment_packets;
+                if s.counted_seg != Some(seg_idx) {
+                    // One recorded cache lookup per (session, segment):
+                    // resident → hit; fetch already in flight → coalesced
+                    // hit; otherwise a miss that triggers the pull.
+                    let key = (s.content.clone(), seg_idx);
+                    if self.cache.contains(&s.content, seg_idx) {
+                        let _ = self.cache.get(&s.content, seg_idx);
+                    } else if self.inflight.contains_key(&key) {
+                        self.cache.record_coalesced_hit();
+                    } else {
+                        let _ = self.cache.get(&s.content, seg_idx); // records the miss
+                        fetches.push(key);
+                    }
+                    s.counted_seg = Some(seg_idx);
+                    if self.prefetch && seg_idx + 1 < meta.total_segments {
+                        prefetches.push((s.content.clone(), seg_idx + 1));
+                    }
+                }
+                let Some(seg) = self.cache.peek(&s.content, seg_idx) else {
+                    // Not resident yet (in flight) or evicted under
+                    // pressure; re-request on eviction.
+                    if !self.inflight.contains_key(&(s.content.clone(), seg_idx)) {
+                        fetches.push((s.content.clone(), seg_idx));
+                    }
+                    break;
+                };
+                let offset = (s.next_packet - seg.base_packet) as usize;
+                let Some(p) = seg.packets.get(offset) else {
+                    break; // short final segment; total_packets guards EOS
+                };
+                if p.send_time + s.base_time > now {
+                    break;
+                }
+                if net.link_backlog(self.node, s.client).unwrap_or(0) > self.backlog_limit {
+                    break;
+                }
+                let wire_bytes = u64::from(meta.packet_size);
+                if !s.pacer.try_consume(wire_bytes, now) {
+                    break;
+                }
+                let packet = p.clone();
+                let _ = net.send(self.node, s.client, wire_bytes, Wire::Data(packet));
+                self.metrics.payload_bytes_sent += wire_bytes;
+                s.next_packet += 1;
+            }
+        }
+        self.sessions.retain(|s| !s.eos_sent);
+        for (content, segment) in fetches {
+            self.request_segment(net, now, &content, segment, false);
+        }
+        for (content, segment) in prefetches {
+            if !self.cache.contains(&content, segment)
+                && !self.inflight.contains_key(&(content.clone(), segment))
+            {
+                self.metrics.prefetches += 1;
+                self.request_segment(net, now, &content, segment, false);
+            }
+        }
+    }
+
+    fn poll_live(&mut self, net: &mut Network<Wire>, now: u64) {
+        for feed in self.live.values_mut() {
+            let packet_size = feed
+                .header
+                .as_ref()
+                .map_or(1500, |h| u64::from(h.props.packet_size));
+            for sub in &mut feed.subs {
+                if sub.eos_sent || !sub.header_sent {
+                    continue;
+                }
+                while sub.next_script < feed.scripts.len() {
+                    let msg = Wire::Script(feed.scripts[sub.next_script].clone());
+                    let bytes = msg.wire_bytes(packet_size as u32);
+                    let _ = net.send_reliable(self.node, sub.client, bytes, msg);
+                    sub.next_script += 1;
+                }
+                while sub.next_packet < feed.packets.len() {
+                    let p = &feed.packets[sub.next_packet];
+                    if p.send_time < sub.start_from {
+                        sub.next_packet += 1;
+                        continue; // late joiner skips the past
+                    }
+                    if net.link_backlog(self.node, sub.client).unwrap_or(0) > self.backlog_limit {
+                        break;
+                    }
+                    if !sub.pacer.try_consume(packet_size, now) {
+                        break;
+                    }
+                    let _ = net.send(self.node, sub.client, packet_size, Wire::Data(p.clone()));
+                    self.metrics.payload_bytes_sent += packet_size;
+                    sub.next_packet += 1;
+                }
+                if feed.ended && sub.next_packet >= feed.packets.len() {
+                    let _ = net.send_reliable(self.node, sub.client, 16, Wire::EndOfStream);
+                    sub.eos_sent = true;
+                }
+            }
+            feed.subs.retain(|s| !s.eos_sent);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lod_simnet::{relay_tree, LinkSpec, RelayTree};
+    use lod_streaming::{StreamingClient, StreamingServer};
+
+    fn test_file(samples: usize, spacing: u64) -> lod_asf::AsfFile {
+        let bytes_per_sample = (400_000u64 / 8) * spacing / 10_000_000;
+        let mut pk = lod_asf::Packetizer::new(256).unwrap();
+        for i in 0..samples as u64 {
+            pk.push(&lod_asf::MediaSample::new(
+                1,
+                i * spacing,
+                vec![7; bytes_per_sample.max(16) as usize],
+            ));
+        }
+        let mut f = lod_asf::AsfFile {
+            props: lod_asf::FileProperties {
+                file_id: 1,
+                created: 0,
+                packet_size: 256,
+                play_duration: samples as u64 * spacing,
+                preroll: 2 * spacing,
+                broadcast: false,
+                max_bitrate: 500_000,
+            },
+            streams: vec![lod_asf::StreamProperties {
+                number: 1,
+                kind: lod_asf::StreamKind::Video,
+                codec: 4,
+                bitrate: 400_000,
+                name: "v".into(),
+            }],
+            script: lod_asf::ScriptCommandList::new(),
+            drm: None,
+            packets: pk.finish(),
+            index: None,
+        };
+        f.build_index(spacing);
+        f
+    }
+
+    /// Drives origin + one relay + clients until all clients finish.
+    fn drive(
+        net: &mut Network<Wire>,
+        origin: &mut StreamingServer,
+        relay: &mut RelayNode,
+        clients: &mut [&mut StreamingClient],
+        horizon: u64,
+    ) {
+        for c in clients.iter_mut() {
+            c.start(net);
+        }
+        let mut now = 0u64;
+        while now <= horizon {
+            origin.poll(net, now);
+            relay.poll(net, now);
+            for d in net.advance_to(now) {
+                if d.dst == origin.node() {
+                    origin.on_message(net, d.time, d.src, d.message);
+                } else if d.dst == relay.node() {
+                    relay.on_message(net, d.time, d.src, d.message);
+                } else if let Some(c) = clients.iter_mut().find(|c| c.node() == d.dst) {
+                    c.on_message(d.time, d.message);
+                }
+            }
+            for c in clients.iter_mut() {
+                c.tick(now);
+                c.poll_redirect(net);
+            }
+            if clients.iter().all(|c| c.is_done()) {
+                break;
+            }
+            now += 1_000_000;
+        }
+    }
+
+    fn world(students: usize) -> (Network<Wire>, RelayTree, StreamingServer, RelayNode) {
+        let mut net = Network::new(21);
+        // Unit tests exercise the relay logic, not bandwidth limits, so
+        // every hop is a LAN; the q8 experiment constrains the uplink.
+        let tree = relay_tree(
+            &mut net,
+            LinkSpec::lan(),
+            LinkSpec::lan(),
+            LinkSpec::lan(),
+            1,
+            students,
+        );
+        let mut origin = StreamingServer::new(tree.origin).with_segment_packets(128);
+        origin.publish("lec", test_file(50, 2_000_000));
+        let mut relay = RelayNode::new(tree.relays[0], tree.origin, 8 << 20);
+        relay.serve_vod("lec");
+        (net, tree, origin, relay)
+    }
+
+    #[test]
+    fn vod_session_plays_through_relay() {
+        let (mut net, tree, mut origin, mut relay) = world(1);
+        let mut client = StreamingClient::new(tree.students[0], relay.node(), "lec");
+        drive(
+            &mut net,
+            &mut origin,
+            &mut relay,
+            &mut [&mut client],
+            600_000_000_000,
+        );
+        assert!(client.is_done(), "state: {:?}", client.state());
+        assert_eq!(client.metrics().samples_rendered, 50);
+        assert_eq!(client.metrics().stalls, 0, "{:?}", client.metrics());
+        assert!(relay.metrics().segment_fetches > 0);
+    }
+
+    #[test]
+    fn concurrent_students_share_one_uplink_pull() {
+        let (mut net, tree, mut origin, mut relay) = world(4);
+        let mut clients: Vec<StreamingClient> = tree
+            .students
+            .iter()
+            .map(|&s| StreamingClient::new(s, relay.node(), "lec"))
+            .collect();
+        let mut refs: Vec<&mut StreamingClient> = clients.iter_mut().collect();
+        drive(
+            &mut net,
+            &mut origin,
+            &mut relay,
+            &mut refs,
+            600_000_000_000,
+        );
+        assert!(clients.iter().all(|c| c.is_done()));
+        // ~2000 packets at 128 per segment ≈ 16 segments; coalescing must
+        // keep origin pulls near one per segment, far under 4 students ×
+        // 16 segments.
+        let origin_metrics = origin.metrics();
+        assert!(
+            origin_metrics.segments_served <= 24,
+            "origin served {} segments for 4 students",
+            origin_metrics.segments_served
+        );
+        let stats = relay.cache().stats();
+        assert!(
+            stats.hit_rate() >= 0.5,
+            "sharing should make most lookups hits: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn relay_answers_unknown_content_with_not_found() {
+        let (mut net, tree, mut origin, mut relay) = world(1);
+        let mut client = StreamingClient::new(tree.students[0], relay.node(), "nope");
+        drive(
+            &mut net,
+            &mut origin,
+            &mut relay,
+            &mut [&mut client],
+            60_000_000_000,
+        );
+        assert!(client.is_done());
+        assert_eq!(client.metrics().samples_rendered, 0);
+    }
+
+    #[test]
+    fn origin_not_found_propagates_to_waiting_session() {
+        let (mut net, tree, mut origin, mut relay) = world(1);
+        relay.serve_vod("ghost"); // relay believes; origin knows better
+        let mut client = StreamingClient::new(tree.students[0], relay.node(), "ghost");
+        drive(
+            &mut net,
+            &mut origin,
+            &mut relay,
+            &mut [&mut client],
+            60_000_000_000,
+        );
+        assert!(client.is_done());
+        assert_eq!(client.metrics().samples_rendered, 0);
+        assert_eq!(relay.session_count(), 0);
+    }
+
+    #[test]
+    fn live_fan_out_subscribes_upstream_once() {
+        let mut net = Network::new(5);
+        let tree = relay_tree(
+            &mut net,
+            LinkSpec::lan(),
+            LinkSpec::lan(),
+            LinkSpec::lan(),
+            1,
+            3,
+        );
+        let mut origin = StreamingServer::new(tree.origin);
+        let base = test_file(30, 2_000_000);
+        let header = StreamHeader {
+            props: base.props.clone(),
+            streams: base.streams.clone(),
+            script: lod_asf::ScriptCommandList::new(),
+            drm: None,
+        };
+        origin.publish_live("talk", lod_streaming::LiveFeed::new(header));
+        let mut relay = RelayNode::new(tree.relays[0], tree.origin, 1 << 20);
+        relay.serve_live("talk");
+        let mut clients: Vec<StreamingClient> = tree
+            .students
+            .iter()
+            .map(|&s| StreamingClient::new(s, relay.node(), "talk"))
+            .collect();
+        for c in clients.iter_mut() {
+            c.start(&mut net);
+        }
+        let mut now = 0u64;
+        let media = base.packets.clone();
+        let mut fed = false;
+        let mut ended = false;
+        while now < 600_000_000_000 && !clients.iter().all(|c| c.is_done()) {
+            if now >= 10_000_000 && !fed {
+                for p in media.clone() {
+                    origin.live_feed("talk").unwrap().push(p);
+                }
+                origin
+                    .live_feed("talk")
+                    .unwrap()
+                    .push_script(lod_asf::ScriptCommand::new(20_000_000, "slide", "s1.png"));
+                fed = true;
+            }
+            if now >= 70_000_000_000 && !ended {
+                origin.live_feed("talk").unwrap().end();
+                ended = true;
+            }
+            origin.poll(&mut net, now);
+            relay.poll(&mut net, now);
+            for d in net.advance_to(now) {
+                if d.dst == origin.node() {
+                    origin.on_message(&mut net, d.time, d.src, d.message);
+                } else if d.dst == relay.node() {
+                    relay.on_message(&mut net, d.time, d.src, d.message);
+                } else if let Some(c) = clients.iter_mut().find(|c| c.node() == d.dst) {
+                    c.on_message(d.time, d.message);
+                }
+            }
+            for c in clients.iter_mut() {
+                c.tick(now);
+            }
+            now += 1_000_000;
+        }
+        assert!(clients.iter().all(|c| c.is_done()));
+        for c in &clients {
+            assert!(c.metrics().samples_rendered > 0, "{:?}", c.metrics());
+        }
+        // One upstream subscription, not one per student.
+        assert_eq!(origin.metrics().live_subscribers, 1);
+        assert_eq!(relay.metrics().live_subscribers, 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the segment cache invariants the relay tier leans
+//! on: the byte budget is a hard ceiling, the accounting identity holds,
+//! and an evicted segment refetched from the origin is byte-identical.
+
+use lod_asf::DataPacket;
+use lod_relay::{CachedSegment, SegmentCache};
+use proptest::prelude::*;
+
+/// One scripted cache operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Look up `(content, segment)`.
+    Get(u8, u8),
+    /// Insert `(content, segment)` with the given payload size.
+    Insert(u8, u8, u64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 0u8..16).prop_map(|(c, s)| Op::Get(c, s)),
+        (0u8..4, 0u8..16, 1u64..400).prop_map(|(c, s, b)| Op::Insert(c, s, b)),
+    ]
+}
+
+fn segment(base: u32, bytes: u64) -> CachedSegment {
+    CachedSegment {
+        base_packet: base,
+        packets: Vec::new(),
+        bytes,
+    }
+}
+
+fn content_name(c: u8) -> String {
+    format!("lecture-{c}")
+}
+
+proptest! {
+    /// `used_bytes` never exceeds the budget, whatever the op sequence.
+    #[test]
+    fn byte_budget_is_never_exceeded(
+        budget in 1u64..1_000,
+        ops in proptest::collection::vec(op(), 0..64),
+    ) {
+        let mut cache = SegmentCache::new(budget);
+        for op in ops {
+            match op {
+                Op::Get(c, s) => {
+                    cache.get(&content_name(c), u32::from(s));
+                }
+                Op::Insert(c, s, b) => {
+                    let accepted = cache.insert(&content_name(c), u32::from(s), segment(0, b));
+                    prop_assert_eq!(accepted, b <= budget);
+                }
+            }
+            prop_assert!(
+                cache.used_bytes() <= cache.budget(),
+                "{} bytes used exceeds budget {}",
+                cache.used_bytes(),
+                cache.budget()
+            );
+        }
+    }
+
+    /// Every recorded lookup is exactly one hit or one miss.
+    #[test]
+    fn hits_plus_misses_equals_lookups(
+        ops in proptest::collection::vec(op(), 0..64),
+        coalesced in 0u64..8,
+    ) {
+        let mut cache = SegmentCache::new(500);
+        let mut gets = 0u64;
+        for op in ops {
+            match op {
+                Op::Get(c, s) => {
+                    cache.get(&content_name(c), u32::from(s));
+                    gets += 1;
+                }
+                Op::Insert(c, s, b) => {
+                    cache.insert(&content_name(c), u32::from(s), segment(0, b));
+                }
+            }
+        }
+        for _ in 0..coalesced {
+            cache.record_coalesced_hit();
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.lookups(), gets + coalesced);
+        prop_assert_eq!(stats.hits + stats.misses, stats.lookups());
+        prop_assert!(stats.misses <= gets, "coalesced lookups are never misses");
+    }
+
+    /// Evicting a segment and refetching it from the origin yields the
+    /// same bytes: a cache round-trip is content-transparent.
+    #[test]
+    fn evicted_then_refetched_segment_is_byte_identical(
+        send_times in proptest::collection::vec(0u64..1_000_000, 1..20),
+        base in 0u32..10_000,
+    ) {
+        // The "origin": an immutable segment of real packets.
+        let origin_packets: Vec<DataPacket> = send_times
+            .iter()
+            .map(|&t| DataPacket { send_time: t, payloads: Vec::new() })
+            .collect();
+        let origin_segment = CachedSegment {
+            base_packet: base,
+            packets: origin_packets.clone(),
+            bytes: origin_packets.len() as u64 * 256,
+        };
+
+        let mut cache = SegmentCache::new(origin_segment.bytes); // fits exactly one
+        prop_assert!(cache.insert("lec", 0, origin_segment.clone()));
+        let first = cache.get("lec", 0).cloned().expect("just inserted");
+
+        // Insert a same-sized rival: the budget forces eviction of seg 0.
+        prop_assert!(cache.insert("lec", 1, segment(0, origin_segment.bytes)));
+        prop_assert!(!cache.contains("lec", 0), "budget fits only one segment");
+        prop_assert_eq!(cache.stats().evictions, 1);
+        prop_assert_eq!(cache.stats().bytes_evicted, origin_segment.bytes);
+
+        // "Refetch" from the origin and compare byte-for-byte.
+        prop_assert!(cache.insert("lec", 0, origin_segment.clone()));
+        let second = cache.get("lec", 0).cloned().expect("just refetched");
+        prop_assert_eq!(&first, &second);
+        prop_assert_eq!(&second, &origin_segment);
+    }
+}

@@ -37,10 +37,12 @@ pub mod flow;
 pub mod link;
 pub mod multicast;
 pub mod network;
+pub mod topology;
 pub mod trace;
 
 pub use flow::TokenBucket;
 pub use link::LinkSpec;
-pub use multicast::MulticastGroup;
+pub use multicast::{FanOut, MulticastGroup};
 pub use network::{Delivery, Network, NetworkError, NodeId};
+pub use topology::{relay_tree, RelayTree};
 pub use trace::LinkStats;

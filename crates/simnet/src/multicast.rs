@@ -49,28 +49,55 @@ impl MulticastGroup {
     }
 
     /// Sends a copy of `message` from `src` to every member except `src`
-    /// itself. Returns how many copies were enqueued.
-    ///
-    /// # Errors
-    ///
-    /// Fails on the first member with no route; earlier copies remain sent
-    /// (matching real fan-out, where partial delivery is possible).
+    /// itself. Best-effort: an unroutable member does not stop fan-out to
+    /// the members after it (matching real fan-out, where one broken
+    /// subscription must not silence the rest of the classroom). The
+    /// returned [`FanOut`] carries the per-member outcomes.
     pub fn send<M: Clone>(
         &self,
         net: &mut Network<M>,
         src: NodeId,
         bytes: u64,
         message: M,
-    ) -> Result<usize, NetworkError> {
-        let mut sent = 0;
+    ) -> FanOut {
+        let mut outcomes = Vec::with_capacity(self.members.len());
         for &m in &self.members {
             if m == src {
                 continue;
             }
-            net.send(src, m, bytes, message.clone())?;
-            sent += 1;
+            let result = net.send(src, m, bytes, message.clone()).map(|_| ());
+            outcomes.push((m, result));
         }
-        Ok(sent)
+        FanOut { outcomes }
+    }
+}
+
+/// Per-member result of one [`MulticastGroup::send`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FanOut {
+    /// Delivery outcome per member, in member order (the sender itself is
+    /// skipped and not listed).
+    pub outcomes: Vec<(NodeId, Result<(), NetworkError>)>,
+}
+
+impl FanOut {
+    /// How many copies were enqueued.
+    pub fn sent(&self) -> usize {
+        self.outcomes.iter().filter(|(_, r)| r.is_ok()).count()
+    }
+
+    /// Members that could not be reached.
+    pub fn unreachable(&self) -> Vec<NodeId> {
+        self.outcomes
+            .iter()
+            .filter(|(_, r)| r.is_err())
+            .map(|(m, _)| *m)
+            .collect()
+    }
+
+    /// Whether every member got a copy.
+    pub fn is_complete(&self) -> bool {
+        self.outcomes.iter().all(|(_, r)| r.is_ok())
     }
 }
 
@@ -90,8 +117,9 @@ mod tests {
             group.join(c);
         }
         group.join(server); // self is skipped on send
-        let sent = group.send(&mut net, server, 1000, 42).unwrap();
-        assert_eq!(sent, 5);
+        let fan_out = group.send(&mut net, server, 1000, 42);
+        assert!(fan_out.is_complete());
+        assert_eq!(fan_out.sent(), 5);
         let deliveries = net.advance_to(10_000_000);
         assert_eq!(deliveries.len(), 5);
         assert!(deliveries.iter().all(|d| d.message == 42));
@@ -110,12 +138,39 @@ mod tests {
     }
 
     #[test]
-    fn missing_route_is_error() {
+    fn unroutable_member_mid_list_does_not_abort_fan_out() {
+        let mut net: Network<u8> = Network::new(5);
+        let server = net.add_node("server");
+        let a = net.add_node("a");
+        let orphan = net.add_node("orphan"); // no link from server
+        let b = net.add_node("b");
+        net.connect(server, a, LinkSpec::lan());
+        net.connect(server, b, LinkSpec::lan());
+        let mut g = MulticastGroup::new();
+        g.join(a);
+        g.join(orphan);
+        g.join(b);
+        let fan_out = g.send(&mut net, server, 10, 1);
+        assert!(!fan_out.is_complete());
+        assert_eq!(
+            fan_out.sent(),
+            2,
+            "members after the orphan still get a copy"
+        );
+        assert_eq!(fan_out.unreachable(), vec![orphan]);
+        let delivered: Vec<NodeId> = net.advance_to(10_000_000).iter().map(|d| d.dst).collect();
+        assert!(delivered.contains(&a) && delivered.contains(&b));
+    }
+
+    #[test]
+    fn all_members_unroutable_reports_each() {
         let mut net: Network<u8> = Network::new(5);
         let server = net.add_node("server");
         let c = net.add_node("client");
         let mut g = MulticastGroup::new();
         g.join(c);
-        assert!(g.send(&mut net, server, 10, 1).is_err());
+        let fan_out = g.send(&mut net, server, 10, 1);
+        assert_eq!(fan_out.sent(), 0);
+        assert_eq!(fan_out.unreachable(), vec![c]);
     }
 }

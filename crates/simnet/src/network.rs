@@ -177,6 +177,17 @@ impl<M> Network<M> {
         self.links.get(&(src.0, dst.0)).map(|l| &l.stats)
     }
 
+    /// Total bytes `node` has put on the wire across all of its outgoing
+    /// links (uplink usage — what a distribution tier tries to minimise at
+    /// the origin).
+    pub fn egress_bytes(&self, node: NodeId) -> u64 {
+        self.links
+            .iter()
+            .filter(|((src, _), _)| *src == node.0)
+            .map(|(_, l)| l.stats.bytes_sent)
+            .sum()
+    }
+
     /// Queueing + serialization backlog of the link right now (how long a
     /// packet enqueued at `now` would wait before starting serialization).
     pub fn link_backlog(&self, src: NodeId, dst: NodeId) -> Option<u64> {

@@ -1,0 +1,142 @@
+//! Canned multi-tier topologies.
+//!
+//! The distribution experiments all use the same shape: one origin server
+//! behind a constrained uplink, a campus router, a rack of edge relays on
+//! the campus LAN, and classrooms of students on access links. Building
+//! it by hand in every driver invites routing mistakes, so the shape
+//! lives here.
+
+use crate::link::LinkSpec;
+use crate::network::{Network, NodeId};
+
+/// Node handles for a [`relay_tree`] topology.
+#[derive(Debug, Clone)]
+pub struct RelayTree {
+    /// The origin streaming server (behind the uplink).
+    pub origin: NodeId,
+    /// The campus router every path crosses.
+    pub router: NodeId,
+    /// Edge relays on the campus LAN.
+    pub relays: Vec<NodeId>,
+    /// Student clients on access links.
+    pub students: Vec<NodeId>,
+}
+
+/// Builds the origin → router → {relays, students} tree:
+///
+/// ```text
+///            uplink              relay_link
+///   origin ════════ router ───┬──────────── relay0..relayK
+///                             └──────────── student0..studentN   (access)
+/// ```
+///
+/// Every link is bidirectional and all node pairs are routed through the
+/// router, so any node can reach any other (students can re-attach to the
+/// origin or a sibling relay when their relay fails). The shared `uplink`
+/// is the scarce resource: all origin traffic — every cache miss, every
+/// live subscription — crosses it.
+pub fn relay_tree<M>(
+    net: &mut Network<M>,
+    uplink: LinkSpec,
+    relay_link: LinkSpec,
+    access: LinkSpec,
+    relays: usize,
+    students: usize,
+) -> RelayTree {
+    let origin = net.add_node("origin");
+    let router = net.add_node("router");
+    net.connect_bidirectional(origin, router, uplink);
+    let relays: Vec<NodeId> = (0..relays)
+        .map(|i| {
+            let r = net.add_node(format!("relay{i}"));
+            net.connect_bidirectional(router, r, relay_link);
+            r
+        })
+        .collect();
+    let students: Vec<NodeId> = (0..students)
+        .map(|i| {
+            let s = net.add_node(format!("student{i}"));
+            net.connect_bidirectional(router, s, access);
+            s
+        })
+        .collect();
+    let all: Vec<NodeId> = std::iter::once(origin)
+        .chain(relays.iter().copied())
+        .chain(students.iter().copied())
+        .collect();
+    for &a in &all {
+        for &b in &all {
+            if a != b {
+                net.set_next_hop(a, b, router);
+            }
+        }
+    }
+    RelayTree {
+        origin,
+        router,
+        relays,
+        students,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(relays: usize, students: usize) -> (Network<u8>, RelayTree) {
+        let mut net = Network::new(9);
+        let tree = relay_tree(
+            &mut net,
+            LinkSpec::broadband(),
+            LinkSpec::lan(),
+            LinkSpec::lan(),
+            relays,
+            students,
+        );
+        (net, tree)
+    }
+
+    #[test]
+    fn every_pair_is_routable() {
+        let (mut net, tree) = build(2, 3);
+        let all: Vec<NodeId> = std::iter::once(tree.origin)
+            .chain(tree.relays.iter().copied())
+            .chain(tree.students.iter().copied())
+            .collect();
+        let mut expected = 0;
+        for &a in &all {
+            for &b in &all {
+                if a != b {
+                    net.send(a, b, 100, 1).unwrap();
+                    expected += 1;
+                }
+            }
+        }
+        let deliveries = net.advance_to(100_000_000);
+        assert_eq!(deliveries.len(), expected);
+    }
+
+    #[test]
+    fn origin_traffic_crosses_the_uplink() {
+        let (mut net, tree) = build(1, 1);
+        net.send(tree.origin, tree.students[0], 5_000, 1).unwrap();
+        net.advance_to(100_000_000);
+        assert_eq!(net.egress_bytes(tree.origin), 5_000);
+        assert!(net
+            .link_stats(tree.router, tree.students[0])
+            .is_some_and(|s| s.bytes_sent == 5_000));
+    }
+
+    #[test]
+    fn relay_failure_leaves_students_connected_to_origin() {
+        let (mut net, tree) = build(2, 2);
+        let dead = tree.relays[0];
+        net.disconnect(tree.router, dead);
+        net.disconnect(dead, tree.router);
+        // Students can still reach the origin and the surviving relay.
+        net.send(tree.students[0], tree.origin, 10, 1).unwrap();
+        net.send(tree.students[1], tree.relays[1], 10, 2).unwrap();
+        let deliveries = net.advance_to(100_000_000);
+        assert_eq!(deliveries.len(), 2);
+    }
+}

@@ -66,6 +66,9 @@ pub struct StreamingClient {
     scripts_fired_to: Option<u64>,
     /// Pending seek target while rebuffering.
     seek_target: Option<u64>,
+    /// Server handoff requested by a [`Wire::Redirect`], applied on the
+    /// next [`StreamingClient::poll_redirect`].
+    pending_redirect: Option<NodeId>,
     requested_at: u64,
     eos: bool,
     /// Highest presentation time seen in the buffer (for preroll checks).
@@ -96,6 +99,7 @@ impl StreamingClient {
             scripts: ScriptCommandList::new(),
             scripts_fired_to: None,
             seek_target: None,
+            pending_redirect: None,
             requested_at: 0,
             eos: false,
             horizon: 0,
@@ -249,8 +253,12 @@ impl StreamingClient {
     pub fn on_message(&mut self, time: u64, msg: Wire) {
         match msg {
             Wire::Header(h) => {
-                for c in h.script.commands() {
-                    self.scripts.push(c.clone());
+                // A redirect re-attach delivers the header a second time;
+                // merge scripts only once.
+                if self.header.is_none() {
+                    for c in h.script.commands() {
+                        self.scripts.push(c.clone());
+                    }
                 }
                 self.header = Some(h);
             }
@@ -281,9 +289,53 @@ impl StreamingClient {
                 self.eos = true;
                 self.state = ClientState::Done;
             }
+            Wire::Redirect { to } => {
+                self.pending_redirect = Some(to);
+            }
+            // Relay-plane traffic; clients never consume raw segments.
+            Wire::Segment(_) => {}
             Wire::Request(_) => {}
         }
         let _ = time;
+    }
+
+    /// The node this client currently streams from.
+    pub fn server(&self) -> NodeId {
+        self.server
+    }
+
+    /// Applies a pending [`Wire::Redirect`]: retargets the session and,
+    /// when playback is underway, re-requests the content from the
+    /// playback horizon so the new server picks up where the old one
+    /// stopped. Message handlers have no network access, so drivers call
+    /// this each scheduling round (like [`StreamingClient::poll_adaptive`]).
+    /// Returns whether a handoff happened.
+    pub fn poll_redirect(&mut self, net: &mut Network<Wire>) -> bool {
+        let Some(to) = self.pending_redirect.take() else {
+            return false;
+        };
+        if to == self.server || self.state == ClientState::Done {
+            return false;
+        }
+        self.server = to;
+        if self.state == ClientState::Idle {
+            // Not started yet: the eventual Play simply goes to the new
+            // target.
+            return true;
+        }
+        let req = Wire::Request(ControlRequest::Play {
+            content: self.content.clone(),
+            from: self.horizon,
+        });
+        let bytes = req.wire_bytes(0);
+        let _ = net.send_reliable(self.node, self.server, bytes, req);
+        if let Some(streams) = &self.wanted_streams {
+            let sel = Wire::Request(ControlRequest::SelectStreams(streams.clone()));
+            let bytes = sel.wire_bytes(0);
+            let _ = net.send_reliable(self.node, self.server, bytes, sel);
+        }
+        self.eos = false;
+        true
     }
 
     /// Preroll target in ticks (from the header, defaulting to 1 s).

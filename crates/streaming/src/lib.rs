@@ -59,9 +59,9 @@ pub mod server;
 pub mod wire;
 
 pub use client::{ClientState, RenderEvent, StreamingClient};
-pub use metrics::ClientMetrics;
+pub use metrics::{ClientMetrics, ServerMetrics};
 pub use server::{LiveFeed, StreamingServer};
-pub use wire::{ControlRequest, StreamHeader, Wire};
+pub use wire::{ControlRequest, SegmentData, StreamHeader, Wire};
 
 use lod_simnet::Network;
 
@@ -96,6 +96,7 @@ pub fn run_to_completion(
         for c in clients.iter_mut() {
             events.extend(c.tick(now));
             c.poll_adaptive(net);
+            c.poll_redirect(net);
         }
         if clients.iter().all(|c| c.is_done()) {
             break;

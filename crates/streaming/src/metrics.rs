@@ -31,6 +31,22 @@ impl ClientMetrics {
     }
 }
 
+/// What a server did over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerMetrics {
+    /// Sessions started (Play requests that found their content).
+    pub sessions_served: u64,
+    /// Bytes of media payload pushed onto the wire.
+    pub payload_bytes_sent: u64,
+    /// Times a session stopped sending because the first-hop backlog
+    /// exceeded the backpressure window.
+    pub backpressure_pauses: u64,
+    /// Sessions that subscribed to a live feed.
+    pub live_subscribers: u64,
+    /// Packet segments served to relays.
+    pub segments_served: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,7 +5,8 @@ use std::collections::HashMap;
 use lod_asf::{AsfFile, DataPacket};
 use lod_simnet::{Network, NodeId, TokenBucket};
 
-use crate::wire::{ControlRequest, StreamHeader, Wire};
+use crate::metrics::ServerMetrics;
+use crate::wire::{ControlRequest, SegmentData, StreamHeader, Wire};
 
 /// A live feed being produced by an encoder: packets are appended as they
 /// are encoded, and every subscribed session relays from the shared tail.
@@ -119,6 +120,9 @@ pub struct StreamingServer {
     /// Maximum first-hop link backlog before the server stops pushing
     /// (the TCP send window of the era's HTTP streaming), in ticks.
     backlog_limit: u64,
+    /// Packets per segment when relays pull stored content.
+    segment_packets: u32,
+    metrics: ServerMetrics,
 }
 
 impl StreamingServer {
@@ -131,6 +135,8 @@ impl StreamingServer {
             sessions: Vec::new(),
             pending_filters: HashMap::new(),
             backlog_limit: 20_000_000, // 2 s
+            segment_packets: 64,
+            metrics: ServerMetrics::default(),
         }
     }
 
@@ -139,6 +145,22 @@ impl StreamingServer {
     pub fn with_backlog_limit(mut self, ticks: u64) -> Self {
         self.backlog_limit = ticks;
         self
+    }
+
+    /// Overrides how many packets make up one relay segment.
+    pub fn with_segment_packets(mut self, packets: u32) -> Self {
+        self.segment_packets = packets.max(1);
+        self
+    }
+
+    /// Packets per relay segment.
+    pub fn segment_packets(&self) -> u32 {
+        self.segment_packets
+    }
+
+    /// Service counters accumulated so far.
+    pub fn metrics(&self) -> ServerMetrics {
+        self.metrics
     }
 
     /// The server's network node.
@@ -166,20 +188,16 @@ impl StreamingServer {
     /// `as_name`, so latecomers can watch the lecture on demand. Returns
     /// `false` when the feed does not exist or has not ended.
     pub fn archive_live(&mut self, name: &str, as_name: impl Into<String>) -> bool {
-        let Some(feed) = self.live.get(name) else {
+        let Some(feed) = self.live.remove(name) else {
             return false;
         };
-        if !feed.ended {
+        if !feed.ended || feed.header.is_none() {
+            self.live.insert(name.to_string(), feed);
             return false;
         }
-        let feed = self.live.remove(name).expect("feed just observed");
-        match feed.into_asf() {
-            Some(file) => {
-                self.stored.insert(as_name.into(), file);
-                true
-            }
-            None => false,
-        }
+        let file = feed.into_asf().expect("header checked above");
+        self.stored.insert(as_name.into(), file);
+        true
     }
 
     /// Number of active sessions.
@@ -252,7 +270,79 @@ impl StreamingServer {
             ControlRequest::Teardown => {
                 self.sessions.retain(|s| s.client != from);
             }
+            ControlRequest::FetchSegment {
+                content,
+                segment,
+                at_time,
+                want_header,
+            } => {
+                self.serve_segment(net, from, &content, segment, at_time, want_header);
+            }
         }
+    }
+
+    /// Answers a relay's segment pull with one run of stored packets.
+    /// When `at_time` is given the segment index is resolved from the ASF
+    /// seek index instead of the caller's `segment` argument.
+    fn serve_segment(
+        &mut self,
+        net: &mut Network<Wire>,
+        relay: NodeId,
+        content: &str,
+        segment: u32,
+        at_time: Option<u64>,
+        want_header: bool,
+    ) {
+        let Some(file) = self.stored.get(content) else {
+            let _ = net.send_reliable(self.node, relay, 32, Wire::NotFound(content.to_string()));
+            return;
+        };
+        let seg_pkts = self.segment_packets as usize;
+        let total_packets = file.packets.len() as u32;
+        let total_segments = file.packets.len().div_ceil(seg_pkts) as u32;
+        let start_packet = at_time.map(|to| {
+            file.index.as_ref().map_or_else(
+                || {
+                    file.packets
+                        .iter()
+                        .position(|p| p.send_time >= to)
+                        .unwrap_or(file.packets.len()) as u32
+                },
+                |idx| idx.packet_for(to),
+            )
+        });
+        let segment = start_packet.map_or(segment, |p| p / self.segment_packets);
+        let base = segment as usize * seg_pkts;
+        let packets: Vec<DataPacket> = file
+            .packets
+            .iter()
+            .skip(base)
+            .take(seg_pkts)
+            .cloned()
+            .collect();
+        let header = want_header.then(|| StreamHeader {
+            props: file.props.clone(),
+            streams: file.streams.clone(),
+            script: file.script.clone(),
+            drm: file.drm.clone(),
+        });
+        let data = SegmentData {
+            content: content.to_string(),
+            segment,
+            base_packet: base as u32,
+            total_packets,
+            total_segments,
+            segment_packets: self.segment_packets,
+            packet_size: file.props.packet_size,
+            packets,
+            header,
+            start_packet,
+            at_time,
+        };
+        let bytes = data.wire_bytes();
+        self.metrics.segments_served += 1;
+        self.metrics.payload_bytes_sent += bytes;
+        let _ = net.send_reliable(self.node, relay, bytes, Wire::Segment(data));
     }
 
     fn start_session(
@@ -277,6 +367,7 @@ impl StreamingServer {
         } else if let Some(feed) = self.live.get(content) {
             let header = feed.header.clone().expect("live feeds carry a header");
             let rate = header.props.max_bitrate;
+            self.metrics.live_subscribers += 1;
             (header, SourceRef::Live(content.to_string()), rate)
         } else {
             let _ = net.send_reliable(self.node, client, 32, Wire::NotFound(content.to_string()));
@@ -290,6 +381,7 @@ impl StreamingServer {
         // (100 ms), so allow half a second of data at the paced rate.
         let rate = (u64::from(rate).max(64_000)) * 2;
         let burst = (rate / 8 / 2).max(u64::from(packet_size) * 8);
+        self.metrics.sessions_served += 1;
         self.sessions.retain(|s| s.client != client);
         self.sessions.push(Session {
             client,
@@ -349,6 +441,7 @@ impl StreamingServer {
                 // streaming): don't pile more than ~2 s of queueing onto
                 // the first-hop link.
                 if net.link_backlog(self.node, s.client).unwrap_or(0) > self.backlog_limit {
+                    self.metrics.backpressure_pauses += 1;
                     break;
                 }
                 // Stream thinning: strip payloads of deselected streams;
@@ -372,6 +465,7 @@ impl StreamingServer {
                     break;
                 }
                 let _ = net.send(self.node, s.client, wire_bytes, Wire::Data(packet));
+                self.metrics.payload_bytes_sent += wire_bytes;
                 s.next_packet += 1;
             }
             if ended && s.next_packet >= packets.len() {

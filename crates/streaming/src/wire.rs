@@ -1,6 +1,7 @@
 //! Messages exchanged between streaming server and clients.
 
 use lod_asf::{DataPacket, DrmHeader, FileProperties, ScriptCommandList, StreamProperties};
+use lod_simnet::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// Everything a client needs before data flows: the ASF header content.
@@ -54,6 +55,58 @@ pub enum ControlRequest {
     SelectStreams(Vec<u16>),
     /// End the session.
     Teardown,
+    /// Pull one packet segment of stored content (relay → origin). Does
+    /// not create a session; the origin answers with [`Wire::Segment`].
+    FetchSegment {
+        /// Content name as published on the origin.
+        content: String,
+        /// Segment index (ignored when `at_time` is set).
+        segment: u32,
+        /// Resolve the segment containing this presentation time instead
+        /// (the origin consults the ASF index, like a Seek).
+        at_time: Option<u64>,
+        /// Include the [`StreamHeader`] in the response (first fetch).
+        want_header: bool,
+    },
+}
+
+/// One packet segment of stored content (origin → relay): a fixed-size run
+/// of consecutive ASF data packets plus enough catalog metadata for the
+/// relay to serve sessions without ever holding the whole file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentData {
+    /// Content name on the origin.
+    pub content: String,
+    /// Segment index within the content.
+    pub segment: u32,
+    /// Global index of the first packet in this segment.
+    pub base_packet: u32,
+    /// Total packets in the content (EOS boundary).
+    pub total_packets: u32,
+    /// Total segments in the content.
+    pub total_segments: u32,
+    /// Packets per full segment (the stride from segment index to packet
+    /// index; the last segment may be shorter).
+    pub segment_packets: u32,
+    /// ASF packet size in bytes (wire size of each data packet).
+    pub packet_size: u32,
+    /// The packets of this segment, in order.
+    pub packets: Vec<DataPacket>,
+    /// The stream header, when the request set `want_header`.
+    pub header: Option<StreamHeader>,
+    /// Global packet index resolved from the request's `at_time`.
+    pub start_packet: Option<u32>,
+    /// Echo of the request's `at_time` (lets the relay match a
+    /// time-resolving fetch to the session that asked for it).
+    pub at_time: Option<u64>,
+}
+
+impl SegmentData {
+    /// Wire size of the segment payload in bytes.
+    pub fn wire_bytes(&self) -> u64 {
+        let header = self.header.as_ref().map_or(0, StreamHeader::wire_bytes);
+        48 + self.packets.len() as u64 * u64::from(self.packet_size) + header
+    }
 }
 
 /// All messages on the wire.
@@ -73,6 +126,16 @@ pub enum Wire {
     EndOfStream,
     /// The requested content does not exist (server → client).
     NotFound(String),
+    /// One cached/pulled packet segment (origin → relay), answering
+    /// [`ControlRequest::FetchSegment`].
+    Segment(SegmentData),
+    /// Go talk to this node instead (redirect manager → client): the
+    /// answer to a Play when an edge relay should carry the session, and
+    /// the re-attach instruction when a relay fails mid-lecture.
+    Redirect {
+        /// The node that will (now) serve the session.
+        to: NodeId,
+    },
 }
 
 impl Wire {
@@ -85,6 +148,8 @@ impl Wire {
             Wire::Script(c) => 24 + (c.kind.len() + c.param.len()) as u64,
             Wire::EndOfStream => 16,
             Wire::NotFound(name) => 16 + name.len() as u64,
+            Wire::Segment(s) => s.wire_bytes(),
+            Wire::Redirect { .. } => 24,
         }
     }
 }
@@ -128,5 +193,55 @@ mod tests {
             payloads: vec![],
         });
         assert_eq!(w.wire_bytes(1500), 1500);
+    }
+
+    #[test]
+    fn segment_wire_size_counts_packets_and_header() {
+        let packet = DataPacket {
+            send_time: 0,
+            payloads: vec![],
+        };
+        let mut seg = SegmentData {
+            content: "lec".into(),
+            segment: 0,
+            base_packet: 0,
+            total_packets: 4,
+            total_segments: 2,
+            segment_packets: 2,
+            packet_size: 256,
+            packets: vec![packet.clone(), packet],
+            header: None,
+            start_packet: None,
+            at_time: None,
+        };
+        assert_eq!(seg.wire_bytes(), 48 + 2 * 256);
+        seg.header = Some(StreamHeader {
+            props: FileProperties {
+                file_id: 0,
+                created: 0,
+                packet_size: 256,
+                play_duration: 0,
+                preroll: 0,
+                broadcast: false,
+                max_bitrate: 0,
+            },
+            streams: vec![],
+            script: ScriptCommandList::new(),
+            drm: None,
+        });
+        let with_header = seg.wire_bytes();
+        assert_eq!(
+            with_header,
+            48 + 2 * 256 + seg.header.as_ref().unwrap().wire_bytes()
+        );
+        assert_eq!(Wire::Segment(seg).wire_bytes(256), with_header);
+    }
+
+    #[test]
+    fn redirect_is_a_small_control_message() {
+        let mut net: lod_simnet::Network<()> = lod_simnet::Network::new(1);
+        let relay = net.add_node("relay");
+        let w = Wire::Redirect { to: relay };
+        assert_eq!(w.wire_bytes(1500), 24);
     }
 }

@@ -1,0 +1,16 @@
+#!/bin/sh
+# The checks a change must pass before merging: formatting, lints with
+# warnings denied, and the tier-1 test suite (the root facade package).
+# Everything runs offline; external deps resolve to the third_party/ stubs.
+set -e
+
+echo "===== cargo fmt --check ====="
+cargo fmt --all --check
+
+echo "===== cargo clippy (workspace, -D warnings) ====="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "===== tier-1 tests (root package) ====="
+cargo test -q --offline
+
+echo "CI checks passed."

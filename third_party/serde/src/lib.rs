@@ -1,0 +1,33 @@
+//! Offline stub of `serde`.
+//!
+//! This container image has no network access and no vendored registry, so
+//! the real `serde` cannot be fetched. The workspace only uses serde for
+//! `#[derive(Serialize, Deserialize)]` markers (nothing actually
+//! serializes through serde — the ASF container has its own byte format),
+//! so marker traits with blanket impls preserve every API contract the
+//! code relies on.
+
+/// Marker stand-in for `serde::Serialize`; every type satisfies it.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; every type satisfies it.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// The `serde::de` module surface used by generic bounds.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// The `serde::ser` module surface used by generic bounds.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

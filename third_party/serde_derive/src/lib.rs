@@ -1,0 +1,18 @@
+//! Offline stub of `serde_derive`: the derives accept any input (including
+//! `#[serde(...)]` helper attributes) and expand to nothing. The sibling
+//! `serde` stub gives every type a blanket trait impl, so derived code is
+//! unnecessary.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
