@@ -39,4 +39,6 @@ pub use etpn::{EtpnConfig, EtpnReport, LectureNet};
 pub use floor::{FloorControl, FloorReport, FloorRequest};
 pub use presentation::{synthetic_lecture, Lecture, OutlineEntry};
 pub use replay::{ReplayConfig, ReplayReport, SyncModelKind};
-pub use wmps::{QnaReport, Question, RelayTierConfig, RelayTierReport, Wmps, WmpsReport};
+pub use wmps::{
+    ChaosSpec, QnaReport, Question, RelayTierConfig, RelayTierReport, Wmps, WmpsReport,
+};

@@ -10,10 +10,10 @@ use lod_encoder::{BandwidthProfile, BroadcastConfig, LiveEncoder, Publisher};
 use lod_media::Ticks;
 use lod_player::SkewStats;
 use lod_relay::{CacheStats, RedirectManager, RelayMetrics, RelayNode};
-use lod_simnet::{relay_tree, LinkSpec, Network};
+use lod_simnet::{relay_tree, Fault, FaultInjector, FaultPlan, LinkSpec, Network, RelayTree};
 use lod_streaming::{
-    run_to_completion, ClientMetrics, LiveFeed, ServerMetrics, StreamHeader, StreamingClient,
-    StreamingServer, Wire,
+    run_to_completion, ClientMetrics, LiveFeed, RetryPolicy, ServerMetrics, StreamHeader,
+    StreamingClient, StreamingServer, Wire,
 };
 use serde::{Deserialize, Serialize};
 
@@ -40,6 +40,12 @@ pub struct WmpsReport {
     pub origin_egress_bytes: u64,
     /// Relay-tier outcome when the session ran through edge relays.
     pub relay: Option<RelayTierReport>,
+    /// Duration in ticks of every client outage the retry layer recovered
+    /// from, across all clients in wall-time order per client. Empty when
+    /// nothing went wrong (or no retry policy was armed).
+    pub recoveries: Vec<u64>,
+    /// Fault strikes the chaos plan actually applied to the network.
+    pub faults_applied: u64,
 }
 
 /// Aggregate outcome of the edge-relay tier for one session.
@@ -61,6 +67,26 @@ impl WmpsReport {
             .iter()
             .map(|c| c.rebuffer_ratio(playback_ticks))
             .fold(0.0, f64::max)
+    }
+
+    /// Sessions that rendered media and were never abandoned by the
+    /// retry layer — the "students who actually saw the lecture" count
+    /// the chaos experiments grade on.
+    pub fn completed_sessions(&self) -> usize {
+        self.clients
+            .iter()
+            .filter(|c| c.samples_rendered > 0 && !c.abandoned)
+            .count()
+    }
+
+    /// p95 of [`WmpsReport::recoveries`] in ticks (0 when none).
+    pub fn p95_recovery_ticks(&self) -> u64 {
+        if self.recoveries.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.recoveries.clone();
+        sorted.sort_unstable();
+        sorted[(sorted.len() - 1) * 95 / 100]
     }
 }
 
@@ -108,6 +134,69 @@ fn per_client_skew(
         .collect()
 }
 
+/// A scripted fault storm for [`Wmps::serve_with_relays`], written in
+/// terms of *roles* (student i, relay j, the uplink) rather than
+/// [`lod_simnet::NodeId`]s, because the network is built inside the call.
+/// Resolved against the concrete topology into a [`FaultPlan`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosSpec {
+    /// `(at, duration, loss)` — every student's access link degrades to
+    /// the given loss rate for the window (the campus wifi brownout).
+    pub access_loss_bursts: Vec<(u64, u64, f64)>,
+    /// `(at, duration, student)` — one student's access link goes fully
+    /// dark (cable yanked); their client must ride it out and resume.
+    pub access_flaps: Vec<(u64, u64, usize)>,
+    /// `(at, duration, relay)` — an edge relay crashes; its students are
+    /// re-homed by the redirect manager. `u64::MAX` duration = permanent.
+    pub relay_crashes: Vec<(u64, u64, usize)>,
+    /// `(at, duration)` — the origin↔router uplink is severed; relays
+    /// must serve from cache and pace their fetch retries until it heals.
+    pub uplink_partitions: Vec<(u64, u64)>,
+    /// `(at, duration, extra_ticks)` — added propagation delay on the
+    /// uplink (congested backbone), stretching fetch round-trips.
+    pub uplink_latency_spikes: Vec<(u64, u64, u64)>,
+}
+
+impl ChaosSpec {
+    /// True when the spec schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.access_loss_bursts.is_empty()
+            && self.access_flaps.is_empty()
+            && self.relay_crashes.is_empty()
+            && self.uplink_partitions.is_empty()
+            && self.uplink_latency_spikes.is_empty()
+    }
+
+    /// Binds the symbolic storm to a concrete topology. Out-of-range
+    /// student/relay indices are skipped (a storm written for 4 relays
+    /// still runs on 2).
+    pub fn resolve(&self, tree: &RelayTree) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for &(at, dur, loss) in &self.access_loss_bursts {
+            for &s in &tree.students {
+                plan = plan.loss_burst(at, dur, tree.router, s, loss);
+            }
+        }
+        for &(at, dur, idx) in &self.access_flaps {
+            if let Some(&s) = tree.students.get(idx) {
+                plan = plan.link_down(at, dur, tree.router, s);
+            }
+        }
+        for &(at, dur, idx) in &self.relay_crashes {
+            if let Some(&r) = tree.relays.get(idx) {
+                plan = plan.node_down(at, dur, r);
+            }
+        }
+        for &(at, dur) in &self.uplink_partitions {
+            plan = plan.link_down(at, dur, tree.origin, tree.router);
+        }
+        for &(at, dur, extra) in &self.uplink_latency_spikes {
+            plan = plan.latency_spike(at, dur, tree.origin, tree.router, extra);
+        }
+        plan
+    }
+}
+
 /// Configuration of the edge-relay tier for [`Wmps::serve_with_relays`].
 #[derive(Debug, Clone)]
 pub struct RelayTierConfig {
@@ -122,6 +211,14 @@ pub struct RelayTierConfig {
     /// Fail the first relay at this tick (the mid-lecture failover drill);
     /// its students are redirected to a surviving sibling or the origin.
     pub fail_first_at: Option<u64>,
+    /// Scripted fault storm applied during the session (empty = calm).
+    pub chaos: ChaosSpec,
+    /// Arm every client with this retry policy (salted per student off
+    /// the session seed, so runs stay byte-for-byte reproducible).
+    pub client_retry: Option<RetryPolicy>,
+    /// Origin idle-session reaping window in ticks (`None` = the
+    /// server's default).
+    pub idle_timeout: Option<u64>,
 }
 
 impl Default for RelayTierConfig {
@@ -132,6 +229,9 @@ impl Default for RelayTierConfig {
             cache_budget: 64 << 20,
             prefetch: true,
             fail_first_at: None,
+            chaos: ChaosSpec::default(),
+            client_retry: None,
+            idle_timeout: None,
         }
     }
 }
@@ -241,6 +341,9 @@ impl Wmps {
             n_clients,
         );
         let mut server = StreamingServer::new(tree.origin);
+        if let Some(t) = cfg.idle_timeout {
+            server = server.with_idle_timeout(t);
+        }
         server.publish("lecture", file);
         let mut relays: Vec<RelayNode> = tree
             .relays
@@ -256,17 +359,31 @@ impl Wmps {
         let mut clients: Vec<StreamingClient> = tree
             .students
             .iter()
-            .map(|&c| StreamingClient::new(c, tree.origin, "lecture"))
+            .enumerate()
+            .map(|(i, &c)| {
+                let client = StreamingClient::new(c, tree.origin, "lecture");
+                match cfg.client_retry {
+                    // Per-student salt: distinct jitter streams, same seed
+                    // → same storm of retries on every run.
+                    Some(policy) => client.with_retry(
+                        policy,
+                        seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    ),
+                    None => client,
+                }
+            })
             .collect();
         for c in clients.iter_mut() {
             c.start(&mut net);
         }
+        let mut injector = FaultInjector::new(cfg.chaos.resolve(&tree));
 
         const STEP: u64 = 1_000_000; // 100 ms
         let horizon = play_duration * 20 + 600_000_000_000;
         let mut now = 0u64;
         let mut events = Vec::new();
         let mut reattached = 0usize;
+        let mut faults_applied = 0u64;
         let mut failed = false;
         while now <= horizon {
             if let Some(at) = cfg.fail_first_at {
@@ -278,6 +395,17 @@ impl Wmps {
                     net.disconnect(victim, tree.router);
                     reattached = redirect.fail_relay(&mut net, victim).len();
                     failed = true;
+                }
+            }
+            for fault in injector.poll(&mut net, now) {
+                faults_applied += 1;
+                // A crashed relay strands its students until the redirect
+                // manager re-homes them; the wire is already dark, so the
+                // redirects ride out through the (healthy) origin links.
+                if let Fault::NodeDown { node } = fault {
+                    if tree.relays.contains(&node) {
+                        reattached += redirect.fail_relay(&mut net, node).len();
+                    }
                 }
             }
             server.poll(&mut net, now);
@@ -299,6 +427,7 @@ impl Wmps {
                 events.extend(c.tick(now));
                 c.poll_adaptive(&mut net);
                 c.poll_redirect(&mut net);
+                c.poll_recovery(&mut net, now);
             }
             if clients.iter().all(|c| c.is_done()) {
                 break;
@@ -313,6 +442,10 @@ impl Wmps {
             cache += r.cache().stats();
             metrics += r.metrics();
         }
+        let recoveries: Vec<u64> = clients
+            .iter()
+            .flat_map(|c| c.recovery_log().iter().map(|&(_, dur)| dur))
+            .collect();
         WmpsReport {
             clients: clients.iter().map(|c| *c.metrics()).collect(),
             skew: per_client_skew(&clients, &events),
@@ -325,6 +458,8 @@ impl Wmps {
                 metrics,
                 reattached,
             }),
+            recoveries,
+            faults_applied,
         }
     }
 
@@ -361,6 +496,11 @@ impl Wmps {
             server: server.metrics(),
             origin_egress_bytes: net.egress_bytes(s),
             relay: None,
+            recoveries: clients
+                .iter()
+                .flat_map(|c| c.recovery_log().iter().map(|&(_, dur)| dur))
+                .collect(),
+            faults_applied: 0,
         }
     }
 
@@ -483,6 +623,8 @@ impl Wmps {
             server: server.metrics(),
             origin_egress_bytes: net.egress_bytes(s),
             relay: None,
+            recoveries: Vec::new(),
+            faults_applied: 0,
         }
     }
 }
@@ -677,6 +819,65 @@ mod tests {
         // carried a media session itself.
         assert_eq!(report.server.sessions_served, 0);
         assert!(report.server.segments_served > 0);
+    }
+
+    #[test]
+    fn chaos_storm_recovers_every_session() {
+        let lecture = synthetic_lecture(1, 1, 300_000); // 1 minute
+        let wmps = Wmps::new();
+        let file = wmps.publish(&lecture).unwrap();
+        let second = 10_000_000u64;
+        let cfg = RelayTierConfig {
+            relays: 2,
+            chaos: ChaosSpec {
+                // 5 s in: relay0 dies for good; its students re-home.
+                relay_crashes: vec![(5 * second, u64::MAX, 0)],
+                // 15 s in: the uplink vanishes for 2 s; caches carry it.
+                uplink_partitions: vec![(15 * second, 2 * second)],
+                // 20 s in: one student's cable is out for 3 s.
+                access_flaps: vec![(20 * second, 3 * second, 1)],
+                ..ChaosSpec::default()
+            },
+            client_retry: Some(RetryPolicy::client()),
+            ..RelayTierConfig::default()
+        };
+        let report = wmps.serve_with_relays(file, LinkSpec::lan(), LinkSpec::lan(), 4, 11, &cfg);
+        // Everyone finished despite the storm.
+        assert_eq!(report.completed_sessions(), 4, "{:?}", report.clients);
+        for m in &report.clients {
+            assert!(!m.abandoned, "{m:?}");
+        }
+        // Each scheduled fault actually struck.
+        assert_eq!(report.faults_applied, 3);
+        let relay = report.relay.expect("relay tier ran");
+        assert_eq!(relay.reattached, 2, "relay0's two students re-homed");
+        // The severed access link forced the retry layer to act.
+        assert!(
+            report.clients.iter().any(|m| m.retries > 0),
+            "{:?}",
+            report.clients
+        );
+    }
+
+    #[test]
+    fn same_seed_same_chaos_outcome() {
+        let lecture = synthetic_lecture(1, 1, 300_000);
+        let wmps = Wmps::new();
+        let file = wmps.publish(&lecture).unwrap();
+        let second = 10_000_000u64;
+        let cfg = RelayTierConfig {
+            relays: 2,
+            chaos: ChaosSpec {
+                access_loss_bursts: vec![(2 * second, 5 * second, 0.05)],
+                relay_crashes: vec![(5 * second, u64::MAX, 0)],
+                ..ChaosSpec::default()
+            },
+            client_retry: Some(RetryPolicy::client()),
+            ..RelayTierConfig::default()
+        };
+        let a = wmps.serve_with_relays(file.clone(), LinkSpec::lan(), LinkSpec::lan(), 4, 7, &cfg);
+        let b = wmps.serve_with_relays(file, LinkSpec::lan(), LinkSpec::lan(), 4, 7, &cfg);
+        assert_eq!(a, b, "chaos runs must be byte-for-byte reproducible");
     }
 
     #[test]

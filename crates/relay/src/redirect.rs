@@ -96,12 +96,16 @@ impl RedirectManager {
         if !self.failed.insert(relay) {
             return Vec::new();
         }
-        let stranded: Vec<NodeId> = self
+        let mut stranded: Vec<NodeId> = self
             .assignments
             .iter()
             .filter(|&(_, &t)| t == relay)
             .map(|(&c, _)| c)
             .collect();
+        // HashMap order is not deterministic; redirect order decides who
+        // lands on which survivor, and the whole simulation must replay
+        // byte-for-byte under one seed.
+        stranded.sort_unstable();
         for &client in &stranded {
             let target = self.least_loaded();
             self.assignments.insert(client, target);
@@ -202,6 +206,52 @@ mod tests {
         // Play passes through to the origin's own session logic.
         assert!(!mgr.intercept(&mut net, students[0], &play("lec")));
         assert_eq!(mgr.assignment(students[0]), Some(origin));
+    }
+
+    #[test]
+    fn failing_every_relay_rehomes_to_origin_without_looping() {
+        let (mut net, origin, relays, students) = world();
+        let mut mgr = RedirectManager::new(origin, relays.clone());
+        for &s in &students {
+            assert!(mgr.intercept(&mut net, s, &play("lec")));
+        }
+        net.advance_to(10_000_000);
+        // First casualty: its clients move to the surviving relay.
+        let stranded = mgr.fail_relay(&mut net, relays[0]);
+        assert_eq!(stranded.len(), 2);
+        // Second casualty: now *no* relay is healthy; everyone must land
+        // on the origin, not on the already-failed sibling.
+        let stranded = mgr.fail_relay(&mut net, relays[1]);
+        assert_eq!(stranded.len(), 4);
+        for &s in &students {
+            assert_eq!(mgr.assignment(s), Some(origin));
+        }
+        // The initial 4 redirects were already drained above; what's left
+        // is 2 from the first failure and 4 from the second.
+        let redirects: Vec<NodeId> = net
+            .advance_to(30_000_000)
+            .into_iter()
+            .filter_map(|d| match d.message {
+                Wire::Redirect { to } => Some(to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(redirects.len(), 2 + 4);
+        // (Arrival order interleaves under link jitter; count targets.)
+        assert_eq!(
+            redirects.iter().filter(|&&t| t == origin).count(),
+            4,
+            "the second failure must re-home everyone to the origin: {redirects:?}"
+        );
+        assert_eq!(redirects.iter().filter(|&&t| t == relays[1]).count(), 2);
+        // Replayed Plays now pass through to the origin (no redirect
+        // ping-pong for origin-homed clients).
+        for &s in &students {
+            assert!(!mgr.intercept(&mut net, s, &play("lec")));
+            assert_eq!(mgr.assignment(s), Some(origin));
+        }
+        // A failed relay failing again is a no-op.
+        assert!(mgr.fail_relay(&mut net, relays[0]).is_empty());
     }
 
     #[test]

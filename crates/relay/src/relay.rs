@@ -19,12 +19,25 @@ use std::collections::{HashMap, HashSet};
 use lod_asf::{DataPacket, ScriptCommand};
 use lod_simnet::{Network, NodeId, TokenBucket};
 use lod_streaming::wire::{ControlRequest, SegmentData, StreamHeader, Wire};
+use lod_streaming::RetryPolicy;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{CachedSegment, SegmentCache};
 
-/// Ticks to wait before re-requesting a segment that never arrived.
-const FETCH_RETRY_TICKS: u64 = 20_000_000; // 2 s
+/// High bit marking a synthetic in-flight key for a *time-resolving*
+/// fetch (`at_time` lookups have no segment number until the origin
+/// answers). Real segment indices never reach 2^31.
+const TIME_FETCH_BIT: u32 = 1 << 31;
+
+/// In-flight key for a time-resolving fetch of presentation time `at`.
+fn time_fetch_key(at: u64) -> u32 {
+    // Cheap 64→31 bit mix so distinct seek targets rarely collide.
+    let h = at
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(31)
+        .wrapping_mul(0x94D0_49BB_1331_11EB);
+    TIME_FETCH_BIT | ((h >> 33) as u32 & !TIME_FETCH_BIT)
+}
 
 /// Service counters for one relay.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,6 +54,11 @@ pub struct RelayMetrics {
     pub payload_bytes_sent: u64,
     /// Bytes received from the origin (segments + live feed).
     pub upstream_bytes_received: u64,
+    /// Upstream fetches re-issued after a request timeout.
+    pub fetch_retries: u64,
+    /// Fetches abandoned after the retry budget ran out (their waiting
+    /// sessions get a NotFound).
+    pub fetch_give_ups: u64,
 }
 
 impl std::ops::AddAssign for RelayMetrics {
@@ -51,6 +69,8 @@ impl std::ops::AddAssign for RelayMetrics {
         self.prefetches += rhs.prefetches;
         self.payload_bytes_sent += rhs.payload_bytes_sent;
         self.upstream_bytes_received += rhs.upstream_bytes_received;
+        self.fetch_retries += rhs.fetch_retries;
+        self.fetch_give_ups += rhs.fetch_give_ups;
     }
 }
 
@@ -126,9 +146,33 @@ pub struct RelayNode {
     meta: HashMap<String, ContentMeta>,
     sessions: Vec<VodSession>,
     live: HashMap<String, LiveRelay>,
-    /// Segment fetches in flight: `(content, segment) → request time`.
-    inflight: HashMap<(String, u32), u64>,
+    /// Upstream fetches in flight, keyed by `(content, segment)` (or a
+    /// [`time_fetch_key`] for time-resolving fetches).
+    inflight: HashMap<(String, u32), InflightFetch>,
+    /// Pacing/abandon policy for upstream fetches.
+    fetch_retry: RetryPolicy,
+    /// Mixed into the retry jitter so relays desynchronize.
+    fetch_salt: u64,
     metrics: RelayMetrics,
+}
+
+/// One outstanding upstream fetch.
+#[derive(Debug, Clone, Copy)]
+struct InflightFetch {
+    /// When the most recent request went out.
+    last_at: u64,
+    /// Requests issued so far (1 = original, 2+ = retries).
+    attempts: u32,
+}
+
+/// Verdict of the fetch gate for a prospective upstream request.
+enum FetchGate {
+    /// Issue it (`retry` marks a re-issue of a lost request).
+    Send { retry: bool },
+    /// An earlier request is still within its patience window.
+    Wait,
+    /// The retry budget is spent; abandon the waiters.
+    GiveUp,
 }
 
 impl RelayNode {
@@ -148,6 +192,8 @@ impl RelayNode {
             sessions: Vec::new(),
             live: HashMap::new(),
             inflight: HashMap::new(),
+            fetch_retry: RetryPolicy::relay_upstream(),
+            fetch_salt: 0,
             metrics: RelayMetrics::default(),
         }
     }
@@ -155,6 +201,15 @@ impl RelayNode {
     /// Disables sequential prefetch (default on).
     pub fn with_prefetch(mut self, prefetch: bool) -> Self {
         self.prefetch = prefetch;
+        self
+    }
+
+    /// Overrides the upstream fetch retry policy (default
+    /// [`RetryPolicy::relay_upstream`]). `salt` feeds the deterministic
+    /// retry jitter; derive it from the run seed and the relay index.
+    pub fn with_fetch_retry(mut self, policy: RetryPolicy, salt: u64) -> Self {
+        self.fetch_retry = policy;
+        self.fetch_salt = salt;
         self
     }
 
@@ -374,6 +429,62 @@ impl RelayNode {
         let _ = now;
     }
 
+    /// Decides whether an upstream request under `key` may go out at
+    /// `now`: first issues pass, re-issues wait out the request timeout
+    /// plus jittered exponential backoff, and a spent budget answers
+    /// `GiveUp`.
+    fn fetch_gate(&self, key: &(String, u32), now: u64) -> FetchGate {
+        match self.inflight.get(key) {
+            None => FetchGate::Send { retry: false },
+            Some(fl) => {
+                let retry_no = fl.attempts; // retry #n follows issue #n
+                if !self.fetch_retry.allows(retry_no) {
+                    return FetchGate::GiveUp;
+                }
+                let due = fl
+                    .last_at
+                    .saturating_add(self.fetch_retry.request_timeout)
+                    .saturating_add(
+                        self.fetch_retry
+                            .retry_delay(retry_no, self.fetch_salt ^ u64::from(key.1)),
+                    );
+                if now >= due {
+                    FetchGate::Send { retry: true }
+                } else {
+                    FetchGate::Wait
+                }
+            }
+        }
+    }
+
+    /// Runs the fetch gate for `key`; returns `false` when nothing should
+    /// be sent (either too soon, or the budget is gone — in which case
+    /// the content's waiters have been told NotFound).
+    fn admit_fetch(&mut self, net: &mut Network<Wire>, now: u64, key: &(String, u32)) -> bool {
+        match self.fetch_gate(key, now) {
+            FetchGate::Wait => false,
+            FetchGate::GiveUp => {
+                self.inflight.remove(key);
+                self.metrics.fetch_give_ups += 1;
+                self.on_not_found(net, &key.0.clone());
+                false
+            }
+            FetchGate::Send { retry } => {
+                if retry {
+                    self.metrics.fetch_retries += 1;
+                }
+                let e = self.inflight.entry(key.clone()).or_insert(InflightFetch {
+                    last_at: now,
+                    attempts: 0,
+                });
+                e.last_at = now;
+                e.attempts += 1;
+                self.metrics.segment_fetches += 1;
+                true
+            }
+        }
+    }
+
     fn request_segment(
         &mut self,
         net: &mut Network<Wire>,
@@ -383,13 +494,9 @@ impl RelayNode {
         want_header: bool,
     ) {
         let key = (content.to_string(), segment);
-        if let Some(&at) = self.inflight.get(&key) {
-            if now.saturating_sub(at) < FETCH_RETRY_TICKS {
-                return;
-            }
+        if !self.admit_fetch(net, now, &key) {
+            return;
         }
-        self.inflight.insert(key, now);
-        self.metrics.segment_fetches += 1;
         let req = Wire::Request(ControlRequest::FetchSegment {
             content: content.to_string(),
             segment,
@@ -401,9 +508,9 @@ impl RelayNode {
     }
 
     /// Asks the origin for the segment containing presentation time `at`
-    /// (the relay holds no seek index). Not deduplicated: time-resolving
-    /// fetches are rare (session start, seek) and each answer re-anchors
-    /// a waiting session via the `at_time` echo.
+    /// (the relay holds no seek index). Deduplicated and retried under a
+    /// synthetic [`time_fetch_key`]; the answer's `at_time` echo
+    /// re-anchors every session waiting on that time.
     fn request_time_resolved(
         &mut self,
         net: &mut Network<Wire>,
@@ -412,7 +519,10 @@ impl RelayNode {
         at: u64,
         want_header: bool,
     ) {
-        self.metrics.segment_fetches += 1;
+        let key = (content.to_string(), time_fetch_key(at));
+        if !self.admit_fetch(net, now, &key) {
+            return;
+        }
         let req = Wire::Request(ControlRequest::FetchSegment {
             content: content.to_string(),
             segment: 0,
@@ -421,12 +531,16 @@ impl RelayNode {
         });
         let bytes = req.wire_bytes(0);
         let _ = net.send_reliable(self.node, self.origin, bytes, req);
-        let _ = now;
     }
 
     fn on_segment(&mut self, net: &mut Network<Wire>, now: u64, seg: SegmentData) {
         self.metrics.upstream_bytes_received += seg.wire_bytes();
         self.inflight.remove(&(seg.content.clone(), seg.segment));
+        if let Some(at) = seg.at_time {
+            // A time-resolving fetch travels under its synthetic key.
+            self.inflight
+                .remove(&(seg.content.clone(), time_fetch_key(at)));
+        }
         if !self.meta.contains_key(&seg.content) {
             if let Some(h) = &seg.header {
                 self.meta.insert(
@@ -548,6 +662,28 @@ impl RelayNode {
     }
 
     fn poll_vod(&mut self, net: &mut Network<Wire>, now: u64) {
+        // Re-drive sessions still waiting on the origin (no header yet, or
+        // a pending time anchor): the fetch gate dedups, paces the
+        // retries, and eventually abandons them. Without this, a fetch
+        // lost on a dark uplink would never be re-issued.
+        let mut waiting: Vec<(String, Option<u64>, bool)> = Vec::new();
+        for s in &self.sessions {
+            if s.eos_sent || s.paused {
+                continue;
+            }
+            let has_meta = self.meta.contains_key(&s.content);
+            if let Some(at) = s.pending_time {
+                waiting.push((s.content.clone(), Some(at), !has_meta));
+            } else if !s.header_sent && !has_meta {
+                waiting.push((s.content.clone(), None, true));
+            }
+        }
+        for (content, at, want_header) in waiting {
+            match at {
+                Some(at) => self.request_time_resolved(net, now, &content, at, want_header),
+                None => self.request_segment(net, now, &content, 0, want_header),
+            }
+        }
         // (content, segment, want_header) fetches decided while sessions
         // are borrowed.
         let mut fetches: Vec<(String, u32)> = Vec::new();
@@ -585,11 +721,12 @@ impl RelayNode {
                     }
                 }
                 let Some(seg) = self.cache.peek(&s.content, seg_idx) else {
-                    // Not resident yet (in flight) or evicted under
-                    // pressure; re-request on eviction.
-                    if !self.inflight.contains_key(&(s.content.clone(), seg_idx)) {
-                        fetches.push((s.content.clone(), seg_idx));
-                    }
+                    // Not resident: in flight, lost upstream, or evicted
+                    // under pressure. Always re-ask — the fetch gate
+                    // swallows the call while the outstanding request is
+                    // inside its patience window and paces the retries
+                    // after it.
+                    fetches.push((s.content.clone(), seg_idx));
                     break;
                 };
                 let offset = (s.next_packet - seg.base_packet) as usize;
@@ -844,6 +981,72 @@ mod tests {
         assert!(client.is_done());
         assert_eq!(client.metrics().samples_rendered, 0);
         assert_eq!(relay.session_count(), 0);
+    }
+
+    #[test]
+    fn lost_fetches_are_retried_until_the_uplink_heals() {
+        use lod_simnet::{FaultInjector, FaultPlan};
+        let (mut net, tree, mut origin, mut relay) = world(1);
+        let mut client = StreamingClient::new(tree.students[0], relay.node(), "lec");
+        // The origin uplink is dark for the first 8 s: the opening fetch
+        // (and its first retries) vanish; only the paced re-issues after
+        // the heal can start the session.
+        let plan = FaultPlan::new().link_down(0, 80_000_000, tree.origin, tree.router);
+        let mut inj = FaultInjector::new(plan);
+        client.start(&mut net);
+        let mut now = 0u64;
+        while now <= 600_000_000_000 && !client.is_done() {
+            inj.poll(&mut net, now);
+            origin.poll(&mut net, now);
+            relay.poll(&mut net, now);
+            for d in net.advance_to(now) {
+                if d.dst == origin.node() {
+                    origin.on_message(&mut net, d.time, d.src, d.message);
+                } else if d.dst == relay.node() {
+                    relay.on_message(&mut net, d.time, d.src, d.message);
+                } else {
+                    client.on_message(d.time, d.message);
+                }
+            }
+            client.tick(now);
+            now += 1_000_000;
+        }
+        assert!(client.is_done(), "state: {:?}", client.state());
+        assert_eq!(client.metrics().samples_rendered, 50);
+        let m = relay.metrics();
+        assert!(m.fetch_retries >= 1, "{m:?}");
+        assert_eq!(m.fetch_give_ups, 0, "{m:?}");
+    }
+
+    #[test]
+    fn exhausted_fetch_budget_abandons_the_session() {
+        let (mut net, tree, mut origin, mut relay) = world(1);
+        // A stingy policy against a permanently dark uplink.
+        relay = relay.with_fetch_retry(
+            RetryPolicy {
+                request_timeout: 5_000_000,
+                base_backoff: 1_000_000,
+                max_backoff: 4_000_000,
+                max_retries: 2,
+            },
+            11,
+        );
+        net.set_link_up(tree.origin, tree.router, false);
+        net.set_link_up(tree.router, tree.origin, false);
+        let mut client = StreamingClient::new(tree.students[0], relay.node(), "lec");
+        drive(
+            &mut net,
+            &mut origin,
+            &mut relay,
+            &mut [&mut client],
+            60_000_000_000,
+        );
+        assert!(client.is_done(), "NotFound must terminate the client");
+        assert_eq!(client.metrics().samples_rendered, 0);
+        assert_eq!(relay.session_count(), 0);
+        let m = relay.metrics();
+        assert_eq!(m.fetch_give_ups, 1, "{m:?}");
+        assert_eq!(m.fetch_retries, 2, "{m:?}");
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //! * [`Network`] — nodes connected by unidirectional [`LinkSpec`] links
 //!   with bandwidth (serialization delay), propagation delay, bounded
 //!   uniform jitter and Bernoulli loss, all driven by one seeded RNG.
+//! * [`fault`] — seeded, scheduled fault injection ([`FaultPlan`] /
+//!   [`FaultInjector`]): link flaps, loss bursts, latency spikes, node
+//!   crashes and partitions, replayed deterministically with a per-fault
+//!   strike/heal trace.
 //! * [`flow`] — token-bucket flow control, the "fit on a network's
 //!   available bandwidth" knob.
 //! * [`multicast`] — sender-side fan-out groups for live broadcast.
@@ -33,6 +37,7 @@
 //! assert_eq!(deliveries[0].message, "hello");
 //! ```
 
+pub mod fault;
 pub mod flow;
 pub mod link;
 pub mod multicast;
@@ -40,6 +45,7 @@ pub mod network;
 pub mod topology;
 pub mod trace;
 
+pub use fault::{Fault, FaultEvent, FaultInjector, FaultPhase, FaultPlan, FaultTrace};
 pub use flow::TokenBucket;
 pub use link::LinkSpec;
 pub use multicast::{FanOut, MulticastGroup};

@@ -60,7 +60,18 @@ impl LinkSpec {
     }
 
     /// Returns a copy with different loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `loss` is outside `[0, 1)` (or NaN): a loss of 1 or
+    /// more means the link never delivers, which is what
+    /// [`crate::Network::set_link_up`] models — silently accepting it
+    /// here would make `gen_bool` panic deep inside the simulation.
     pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&loss),
+            "link loss must be in [0, 1), got {loss}"
+        );
         self.loss = loss;
         self
     }
@@ -105,6 +116,30 @@ mod tests {
         assert_eq!(l.loss, 0.5);
         assert_eq!(l.jitter_ticks, 77);
         assert_eq!(l.bandwidth_bps, 8);
+    }
+
+    #[test]
+    fn with_loss_accepts_the_half_open_unit_interval() {
+        assert_eq!(LinkSpec::lan().with_loss(0.0).loss, 0.0);
+        assert_eq!(LinkSpec::lan().with_loss(0.999).loss, 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in [0, 1)")]
+    fn with_loss_rejects_certain_loss() {
+        let _ = LinkSpec::lan().with_loss(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in [0, 1)")]
+    fn with_loss_rejects_negative_loss() {
+        let _ = LinkSpec::lan().with_loss(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in [0, 1)")]
+    fn with_loss_rejects_nan() {
+        let _ = LinkSpec::lan().with_loss(f64::NAN);
     }
 
     #[test]

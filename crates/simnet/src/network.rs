@@ -68,6 +68,11 @@ struct LinkState {
     spec: LinkSpec,
     /// Time at which the link's transmitter becomes free.
     next_free: u64,
+    /// Whether the link is carrying traffic. A *down* link (fault
+    /// injection) keeps its spec and counters — unlike
+    /// [`Network::disconnect`], which forgets the link entirely — so a
+    /// later [`Network::set_link_up`] restores it intact.
+    up: bool,
     stats: LinkStats,
 }
 
@@ -149,6 +154,7 @@ impl<M> Network<M> {
             LinkState {
                 spec,
                 next_free: self.now,
+                up: true,
                 stats: LinkStats::default(),
             },
         );
@@ -165,6 +171,56 @@ impl<M> Network<M> {
     /// [`NetworkError::NoRoute`].
     pub fn disconnect(&mut self, src: NodeId, dst: NodeId) {
         self.links.remove(&(src.0, dst.0));
+    }
+
+    /// Takes the `src → dst` link down or brings it back up (fault
+    /// injection). A down link keeps its spec, queue and counters; new
+    /// sends over it fail with [`NetworkError::NoRoute`] and forwarded
+    /// packets are dropped (counted in [`LinkStats`]). Packets already in
+    /// flight still arrive. Returns `false` when no such link exists.
+    pub fn set_link_up(&mut self, src: NodeId, dst: NodeId, up: bool) -> bool {
+        match self.links.get_mut(&(src.0, dst.0)) {
+            Some(l) => {
+                l.up = up;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the `src → dst` link exists and is carrying traffic.
+    pub fn is_link_up(&self, src: NodeId, dst: NodeId) -> bool {
+        self.links.get(&(src.0, dst.0)).is_some_and(|l| l.up)
+    }
+
+    /// Parameters of the `src → dst` link, if it exists.
+    pub fn link_spec(&self, src: NodeId, dst: NodeId) -> Option<LinkSpec> {
+        self.links.get(&(src.0, dst.0)).map(|l| l.spec)
+    }
+
+    /// Replaces the `src → dst` link's parameters in place, preserving its
+    /// queue and counters (fault injection: loss bursts, latency spikes).
+    /// Returns `false` when no such link exists.
+    pub fn set_link_spec(&mut self, src: NodeId, dst: NodeId, spec: LinkSpec) -> bool {
+        match self.links.get_mut(&(src.0, dst.0)) {
+            Some(l) => {
+                l.spec = spec;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Every link touching `node` (either end), in deterministic order.
+    pub fn links_of(&self, node: NodeId) -> Vec<(NodeId, NodeId)> {
+        let mut out: Vec<(NodeId, NodeId)> = self
+            .links
+            .keys()
+            .filter(|&&(s, d)| s == node.0 || d == node.0)
+            .map(|&(s, d)| (NodeId(s), NodeId(d)))
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Current simulation time in ticks.
@@ -248,7 +304,7 @@ impl<M> Network<M> {
             return Err(NetworkError::UnknownNode(dst));
         }
         let hop = self.next_hop.get(&(src.0, dst.0)).copied().unwrap_or(dst.0);
-        if !self.links.contains_key(&(src.0, hop)) {
+        if !self.links.get(&(src.0, hop)).is_some_and(|l| l.up) {
             return Err(NetworkError::NoRoute { src, dst });
         }
         let id = self.seq;
@@ -272,6 +328,14 @@ impl<M> Network<M> {
         };
         link.stats.packets_sent += 1;
         link.stats.bytes_sent += bytes;
+        if !link.up {
+            // A dark link drops everything handed to it — even "reliable"
+            // traffic: TCP cannot cross a severed wire.
+            link.stats.packets_dropped += 1;
+            self.reliable.remove(&id);
+            self.payloads.remove(&id);
+            return;
+        }
         // FIFO serialization: packets queue behind one another.
         let start = link.next_free.max(when);
         let depart = start + link.spec.serialization_ticks(bytes);
@@ -525,6 +589,79 @@ mod tests {
         net.route_via(a, r, &[b]);
         net.send(a, b, 100, 1).unwrap();
         assert!(net.advance_to(u64::MAX / 2).is_empty());
+    }
+
+    #[test]
+    fn down_link_refuses_sends_and_keeps_state() {
+        let (mut net, a, b) = two_nodes(0.0, 0);
+        net.send(a, b, 1250, 1).unwrap();
+        net.advance_to(100_000);
+        let before = *net.link_stats(a, b).unwrap();
+        assert!(net.set_link_up(a, b, false));
+        assert!(!net.is_link_up(a, b));
+        assert_eq!(
+            net.send(a, b, 10, 2),
+            Err(NetworkError::NoRoute { src: a, dst: b })
+        );
+        // Counters and spec survive the outage, unlike disconnect().
+        assert_eq!(net.link_stats(a, b), Some(&before));
+        assert_eq!(net.link_spec(a, b).unwrap().loss, 0.0);
+        assert!(net.set_link_up(a, b, true));
+        net.send(a, b, 1250, 3).unwrap();
+        let d = net.advance_to(10_000_000);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].message, 3);
+    }
+
+    #[test]
+    fn down_forwarding_link_drops_even_reliable_traffic() {
+        let mut net: Network<u32> = Network::new(2);
+        let a = net.add_node("a");
+        let r = net.add_node("r");
+        let b = net.add_node("b");
+        net.connect(a, r, LinkSpec::lan());
+        net.connect(r, b, LinkSpec::lan());
+        net.route_via(a, r, &[b]);
+        net.set_link_up(r, b, false);
+        net.send_reliable(a, b, 100, 1).unwrap();
+        assert!(net.advance_to(u64::MAX / 2).is_empty());
+        let stats = net.link_stats(r, b).unwrap();
+        assert_eq!(stats.packets_dropped, 1);
+        assert_eq!(stats.packets_sent, 1);
+    }
+
+    #[test]
+    fn set_link_spec_swaps_parameters_in_place() {
+        let (mut net, a, b) = two_nodes(0.0, 0);
+        net.send(a, b, 1250, 1).unwrap();
+        net.advance_to(100_000);
+        let sent_before = net.link_stats(a, b).unwrap().packets_sent;
+        let slow = net.link_spec(a, b).unwrap().with_bandwidth(1_000_000);
+        assert!(net.set_link_spec(a, b, slow));
+        // Stats survive; the new bandwidth applies to the next packet.
+        assert_eq!(net.link_stats(a, b).unwrap().packets_sent, sent_before);
+        net.send(a, b, 1250, 2).unwrap();
+        let d = net.advance_to(100_000_000);
+        // Sent at t=100_000; 1250 B at 1 Mbit/s = 100_000 ticks
+        // serialization (was 1000 at 100 Mbit/s).
+        assert_eq!(
+            d[0].time - net.link_spec(a, b).unwrap().delay_ticks,
+            200_000
+        );
+        let ghost = NodeId(99);
+        assert!(!net.set_link_spec(ghost, a, LinkSpec::lan()));
+    }
+
+    #[test]
+    fn links_of_lists_both_directions_sorted() {
+        let mut net: Network<u8> = Network::new(1);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let c = net.add_node("c");
+        net.connect_bidirectional(a, b, LinkSpec::lan());
+        net.connect(c, a, LinkSpec::lan());
+        assert_eq!(net.links_of(a), vec![(a, b), (b, a), (c, a)]);
+        assert_eq!(net.links_of(b), vec![(a, b), (b, a)]);
     }
 
     #[test]

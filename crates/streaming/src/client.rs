@@ -7,7 +7,25 @@ use lod_media::{MediaClock, Ticks};
 use lod_simnet::{Network, NodeId};
 
 use crate::metrics::ClientMetrics;
+use crate::retry::RetryPolicy;
 use crate::wire::{ControlRequest, StreamHeader, Wire};
+
+/// Bookkeeping of the client's retry layer (present only when a
+/// [`RetryPolicy`] is configured via [`StreamingClient::with_retry`]).
+#[derive(Debug)]
+struct RetryState {
+    policy: RetryPolicy,
+    /// Mixed into the jitter hash so clients desynchronize their retries.
+    salt: u64,
+    /// Wall time of the last useful server message.
+    last_progress: u64,
+    /// Wall time after which the session is presumed wedged.
+    deadline: u64,
+    /// Retries issued since the last progress.
+    attempts: u32,
+    /// `last_progress` at the moment the outage was detected.
+    outage_start: Option<u64>,
+}
 
 /// Lifecycle of a client session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +96,12 @@ pub struct StreamingClient {
     /// `(wall_time, pres_time, stream)` of every completed sample — the
     /// arrival trace the ETPN experiments replay against.
     arrival_log: Vec<(u64, u64, u16)>,
+    /// Retry layer, when enabled.
+    retry: Option<RetryState>,
+    /// Whether the *user* paused (retries must not resurrect the stream).
+    user_paused: bool,
+    /// `(outage_start, recover_ticks)` of every survived outage.
+    recovery_log: Vec<(u64, u64)>,
 }
 
 impl StreamingClient {
@@ -106,6 +130,9 @@ impl StreamingClient {
             stall_started: 0,
             metrics: ClientMetrics::default(),
             arrival_log: Vec::new(),
+            retry: None,
+            user_paused: false,
+            recovery_log: Vec::new(),
         }
     }
 
@@ -133,6 +160,35 @@ impl StreamingClient {
     /// Whether the adaptive downgrade has fired.
     pub fn is_downgraded(&self) -> bool {
         self.downgraded
+    }
+
+    /// Enables the retry layer: when the server goes silent for longer
+    /// than the policy's request timeout mid-session, the client re-issues
+    /// Play from its playback horizon with exponential, jittered backoff
+    /// (see [`RetryPolicy`]), abandoning after `max_retries`. `salt` is
+    /// mixed into the jitter hash; derive it from the run seed and the
+    /// client index so a classroom of clients desynchronizes.
+    pub fn with_retry(mut self, policy: RetryPolicy, salt: u64) -> Self {
+        self.retry = Some(RetryState {
+            policy,
+            salt,
+            last_progress: 0,
+            deadline: u64::MAX,
+            attempts: 0,
+            outage_start: None,
+        });
+        self
+    }
+
+    /// Whether the retry layer gave up on this session.
+    pub fn is_abandoned(&self) -> bool {
+        self.metrics.abandoned
+    }
+
+    /// `(outage_start, recover_ticks)` of every outage the retry layer
+    /// survived, in wall-time order.
+    pub fn recovery_log(&self) -> &[(u64, u64)] {
+        &self.recovery_log
     }
 
     /// Fires the adaptive downgrade when the stall threshold has been
@@ -204,6 +260,10 @@ impl StreamingClient {
             let bytes = sel.wire_bytes(0);
             let _ = net.send_reliable(self.node, self.server, bytes, sel);
         }
+        if let Some(rs) = &mut self.retry {
+            rs.last_progress = self.requested_at;
+            rs.deadline = self.requested_at.saturating_add(rs.policy.request_timeout);
+        }
         self.state = ClientState::Buffering;
     }
 
@@ -212,6 +272,7 @@ impl StreamingClient {
     pub fn pause(&mut self, net: &mut Network<Wire>, now: u64) {
         if self.state == ClientState::Playing {
             self.clock.pause(Ticks(now));
+            self.user_paused = true;
             let req = Wire::Request(ControlRequest::Pause);
             let bytes = req.wire_bytes(0);
             let _ = net.send_reliable(self.node, self.server, bytes, req);
@@ -222,6 +283,13 @@ impl StreamingClient {
     pub fn resume(&mut self, net: &mut Network<Wire>, now: u64) {
         if self.state == ClientState::Playing && !self.clock.is_running() {
             self.clock.resume(Ticks(now));
+            self.user_paused = false;
+            if let Some(rs) = &mut self.retry {
+                // The server owes us nothing during a pause; restart the
+                // silence clock now.
+                rs.last_progress = now;
+                rs.deadline = now.saturating_add(rs.policy.request_timeout);
+            }
             let req = Wire::Request(ControlRequest::Resume);
             let bytes = req.wire_bytes(0);
             let _ = net.send_reliable(self.node, self.server, bytes, req);
@@ -249,8 +317,27 @@ impl StreamingClient {
         let _ = net.send_reliable(self.node, self.server, bytes, req);
     }
 
+    /// Marks server liveness at `time`: closes any open outage (recording
+    /// its duration) and rearms the silence deadline.
+    fn note_progress(&mut self, time: u64) {
+        let Some(rs) = &mut self.retry else {
+            return;
+        };
+        if let Some(started) = rs.outage_start.take() {
+            let dur = time.saturating_sub(started);
+            self.metrics.recoveries += 1;
+            self.metrics.recover_ticks_total += dur;
+            self.metrics.recover_ticks_max = self.metrics.recover_ticks_max.max(dur);
+            self.recovery_log.push((started, dur));
+        }
+        rs.attempts = 0;
+        rs.last_progress = time;
+        rs.deadline = time.saturating_add(rs.policy.request_timeout);
+    }
+
     /// Handles a message delivered at `time`.
     pub fn on_message(&mut self, time: u64, msg: Wire) {
+        self.note_progress(time);
         match msg {
             Wire::Header(h) => {
                 // A redirect re-attach delivers the header a second time;
@@ -334,7 +421,62 @@ impl StreamingClient {
             let bytes = sel.wire_bytes(0);
             let _ = net.send_reliable(self.node, self.server, bytes, sel);
         }
+        if let Some(rs) = &mut self.retry {
+            // The handoff target gets a fresh silence window.
+            let now = net.now();
+            rs.last_progress = now;
+            rs.deadline = now.saturating_add(rs.policy.request_timeout);
+        }
         self.eos = false;
+        true
+    }
+
+    /// Drives the retry layer: when the server has been silent past the
+    /// policy deadline mid-session, re-issues Play from the playback
+    /// horizon (plus the stream selection) with exponential jittered
+    /// backoff; after `max_retries` consecutive unanswered attempts the
+    /// session is abandoned ([`ClientMetrics::abandoned`]). A no-op
+    /// without [`StreamingClient::with_retry`], before start, after EOS,
+    /// and during a user pause. Drivers call this each scheduling round.
+    /// Returns whether a retry was sent.
+    pub fn poll_recovery(&mut self, net: &mut Network<Wire>, now: u64) -> bool {
+        if matches!(self.state, ClientState::Idle | ClientState::Done)
+            || self.user_paused
+            || self.eos
+        {
+            return false;
+        }
+        let Some(rs) = &mut self.retry else {
+            return false;
+        };
+        if now < rs.deadline {
+            return false;
+        }
+        let attempt = rs.attempts + 1;
+        if !rs.policy.allows(attempt) {
+            self.metrics.abandoned = true;
+            self.state = ClientState::Done;
+            return false;
+        }
+        rs.attempts = attempt;
+        if rs.outage_start.is_none() {
+            rs.outage_start = Some(rs.last_progress);
+        }
+        rs.deadline = now
+            .saturating_add(rs.policy.request_timeout)
+            .saturating_add(rs.policy.retry_delay(attempt, rs.salt));
+        self.metrics.retries += 1;
+        let req = Wire::Request(ControlRequest::Play {
+            content: self.content.clone(),
+            from: self.horizon,
+        });
+        let bytes = req.wire_bytes(0);
+        let _ = net.send_reliable(self.node, self.server, bytes, req);
+        if let Some(streams) = &self.wanted_streams {
+            let sel = Wire::Request(ControlRequest::SelectStreams(streams.clone()));
+            let bytes = sel.wire_bytes(0);
+            let _ = net.send_reliable(self.node, self.server, bytes, sel);
+        }
         true
     }
 
@@ -798,6 +940,113 @@ mod tests {
             t += 1_000_000;
         }
         assert!(saw_flip, "live slide flip must reach the client");
+    }
+
+    #[test]
+    fn retry_layer_survives_a_link_flap() {
+        use crate::retry::RetryPolicy;
+        use lod_simnet::{FaultInjector, FaultPlan};
+        let (mut net, mut server, client) = world(LinkSpec::lan());
+        let mut client = client.with_retry(RetryPolicy::client(), 7);
+        // The access link goes dark from 2 s to 4.5 s; packets the server
+        // pushes meanwhile are gone for good, so only a horizon retry can
+        // finish the lecture.
+        let plan = FaultPlan::new().link_down(20_000_000, 25_000_000, server.node(), client.node());
+        let mut inj = FaultInjector::new(plan);
+        client.start(&mut net);
+        let mut t = 0u64;
+        while t <= 600_000_000_000 && !client.is_done() {
+            inj.poll(&mut net, t);
+            server.poll(&mut net, t);
+            for d in net.advance_to(t) {
+                if d.dst == server.node() {
+                    server.on_message(&mut net, d.time, d.src, d.message);
+                } else {
+                    client.on_message(d.time, d.message);
+                }
+            }
+            client.tick(t);
+            client.poll_recovery(&mut net, t);
+            t += 1_000_000;
+        }
+        assert!(client.is_done());
+        assert!(!client.is_abandoned());
+        let m = *client.metrics();
+        assert!(m.retries >= 1, "{m:?}");
+        assert!(m.recoveries >= 1, "{m:?}");
+        assert!(m.recover_ticks_total >= m.recover_ticks_max);
+        assert_eq!(client.recovery_log().len() as u64, m.recoveries);
+    }
+
+    #[test]
+    fn retry_layer_abandons_after_budget_exhausted() {
+        use crate::retry::RetryPolicy;
+        let mut net: Network<Wire> = Network::new(5);
+        let s = net.add_node("server");
+        let c = net.add_node("client");
+        // No link at all: every request vanishes into the void.
+        let policy = RetryPolicy {
+            request_timeout: 5_000_000,
+            base_backoff: 1_000_000,
+            max_backoff: 4_000_000,
+            max_retries: 3,
+        };
+        let mut client = StreamingClient::new(c, s, "lec").with_retry(policy, 9);
+        client.start(&mut net);
+        let mut t = 0u64;
+        while t < 10_000_000_000 && !client.is_done() {
+            client.tick(t);
+            client.poll_recovery(&mut net, t);
+            t += 1_000_000;
+        }
+        assert!(client.is_done());
+        assert!(client.is_abandoned());
+        let m = client.metrics();
+        assert_eq!(m.retries, 3);
+        assert_eq!(m.recoveries, 0);
+        assert!(client.recovery_log().is_empty());
+    }
+
+    #[test]
+    fn user_pause_does_not_trigger_retries() {
+        use crate::retry::RetryPolicy;
+        let (mut net, mut server, client) = world(LinkSpec::lan());
+        let mut client = client.with_retry(
+            RetryPolicy {
+                request_timeout: 5_000_000,
+                ..RetryPolicy::client()
+            },
+            3,
+        );
+        client.start(&mut net);
+        let mut paused = false;
+        let mut resumed = false;
+        let mut t = 0u64;
+        while t <= 600_000_000_000 && !client.is_done() {
+            if t == 40_000_000 && client.state() == ClientState::Playing && !paused {
+                client.pause(&mut net, t);
+                paused = true;
+            }
+            // A 10 s pause, double the retry timeout.
+            if t == 140_000_000 && paused && !resumed {
+                client.resume(&mut net, t);
+                resumed = true;
+            }
+            server.poll(&mut net, t);
+            for d in net.advance_to(t) {
+                if d.dst == server.node() {
+                    server.on_message(&mut net, d.time, d.src, d.message);
+                } else {
+                    client.on_message(d.time, d.message);
+                }
+            }
+            client.tick(t);
+            client.poll_recovery(&mut net, t);
+            t += 1_000_000;
+        }
+        assert!(paused && resumed);
+        assert!(client.is_done());
+        assert_eq!(client.metrics().retries, 0, "{:?}", client.metrics());
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   live relaying.
 //! * [`client`] — reassembly, preroll buffering, stall/resume logic,
 //!   render events.
+//! * [`retry`] — the resilience knob: request timeouts, exponential
+//!   backoff with deterministic jitter, bounded retries
+//!   ([`RetryPolicy`]).
 //! * [`metrics`] — per-client quality counters.
 //!
 //! # Example
@@ -55,11 +58,13 @@
 
 pub mod client;
 pub mod metrics;
+pub mod retry;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientState, RenderEvent, StreamingClient};
 pub use metrics::{ClientMetrics, ServerMetrics};
+pub use retry::RetryPolicy;
 pub use server::{LiveFeed, StreamingServer};
 pub use wire::{ControlRequest, SegmentData, StreamHeader, Wire};
 
@@ -97,6 +102,7 @@ pub fn run_to_completion(
             events.extend(c.tick(now));
             c.poll_adaptive(net);
             c.poll_redirect(net);
+            c.poll_recovery(net, now);
         }
         if clients.iter().all(|c| c.is_done()) {
             break;

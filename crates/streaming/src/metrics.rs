@@ -17,6 +17,17 @@ pub struct ClientMetrics {
     pub bytes_received: u64,
     /// Samples that could never be completed (fragments lost).
     pub samples_lost: u64,
+    /// Play re-requests issued by the retry layer after request timeouts.
+    pub retries: u64,
+    /// Outages survived (server traffic resumed after at least one retry).
+    pub recoveries: u64,
+    /// Total ticks from last server progress to the recovery, summed over
+    /// all recoveries.
+    pub recover_ticks_total: u64,
+    /// Longest single recovery, in ticks.
+    pub recover_ticks_max: u64,
+    /// Whether the session gave up after exhausting its retry budget.
+    pub abandoned: bool,
 }
 
 impl ClientMetrics {
@@ -45,6 +56,9 @@ pub struct ServerMetrics {
     pub live_subscribers: u64,
     /// Packet segments served to relays.
     pub segments_served: u64,
+    /// Sessions dropped because they made no progress for longer than the
+    /// idle timeout (crashed clients, never-resumed pauses).
+    pub sessions_reaped: u64,
 }
 
 #[cfg(test)]

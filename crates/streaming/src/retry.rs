@@ -1,0 +1,128 @@
+//! Bounded retry with exponential backoff and deterministic jitter.
+//!
+//! Both the streaming client and the relay upstream fetch recover from
+//! lost requests the same way: wait out a request timeout, then re-issue
+//! with exponentially growing, jittered spacing, giving up after a bounded
+//! number of attempts. The jitter is *derived*, not drawn — a splitmix64
+//! hash of a per-session salt and the attempt number — so recovery
+//! schedules are a pure function of the simulation seed and every chaos
+//! drill replays byte for byte.
+
+use serde::{Deserialize, Serialize};
+
+/// When and how often to retry an unanswered request.
+///
+/// All times are in simulation ticks (100 ns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Silence tolerated before a request is presumed lost.
+    pub request_timeout: u64,
+    /// Backoff before the first retry; doubles every attempt.
+    pub base_backoff: u64,
+    /// Backoff ceiling.
+    pub max_backoff: u64,
+    /// Retries before the session is abandoned.
+    pub max_retries: u32,
+}
+
+impl RetryPolicy {
+    /// A client-grade policy: 1 s timeout, 250 ms → 2 s backoff, 10
+    /// retries. Tuned so a couple of seconds of access-link outage is
+    /// survivable well inside a lecture's preroll.
+    pub fn client() -> Self {
+        Self {
+            request_timeout: 10_000_000,
+            base_backoff: 2_500_000,
+            max_backoff: 20_000_000,
+            max_retries: 10,
+        }
+    }
+
+    /// A relay-upstream policy: 2 s timeout (the pre-resilience fetch
+    /// re-issue interval), 1 s → 8 s backoff, 8 retries.
+    pub fn relay_upstream() -> Self {
+        Self {
+            request_timeout: 20_000_000,
+            base_backoff: 10_000_000,
+            max_backoff: 80_000_000,
+            max_retries: 8,
+        }
+    }
+
+    /// Exponential backoff for retry number `attempt` (1-based), without
+    /// jitter: `base · 2^(attempt−1)`, capped at `max_backoff`.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        let exp = attempt.saturating_sub(1).min(32);
+        self.base_backoff
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff)
+    }
+
+    /// Ticks to wait after detecting silence before retry `attempt`
+    /// (1-based) fires: backoff plus up to 25 % deterministic jitter
+    /// derived from `salt` (e.g. a node id mixed with the run seed).
+    pub fn retry_delay(&self, attempt: u32, salt: u64) -> u64 {
+        let backoff = self.backoff(attempt);
+        let jitter_span = backoff / 4 + 1;
+        let jitter = splitmix64(salt ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        backoff + jitter % jitter_span
+    }
+
+    /// Whether retry number `attempt` (1-based) is still allowed.
+    pub fn allows(&self, attempt: u32) -> bool {
+        attempt <= self.max_retries
+    }
+}
+
+/// Fixed-key mixer (Sebastiano Vigna's splitmix64 finalizer): a cheap,
+/// high-quality hash used to derive jitter without a stateful RNG.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            request_timeout: 100,
+            base_backoff: 10,
+            max_backoff: 45,
+            max_retries: 5,
+        };
+        assert_eq!(p.backoff(1), 10);
+        assert_eq!(p.backoff(2), 20);
+        assert_eq!(p.backoff(3), 40);
+        assert_eq!(p.backoff(4), 45, "capped");
+        assert_eq!(p.backoff(64), 45, "huge attempts do not overflow");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::client();
+        for attempt in 1..=10 {
+            let d1 = p.retry_delay(attempt, 42);
+            let d2 = p.retry_delay(attempt, 42);
+            assert_eq!(d1, d2, "same salt, same delay");
+            let base = p.backoff(attempt);
+            assert!(d1 >= base && d1 <= base + base / 4 + 1);
+        }
+        // Different salts decorrelate (at least one attempt differs).
+        assert!((1..=10).any(|a| p.retry_delay(a, 1) != p.retry_delay(a, 2)));
+    }
+
+    #[test]
+    fn allows_is_inclusive_of_max() {
+        let p = RetryPolicy {
+            max_retries: 3,
+            ..RetryPolicy::client()
+        };
+        assert!(p.allows(1) && p.allows(3));
+        assert!(!p.allows(4));
+    }
+}

@@ -103,6 +103,9 @@ struct Session {
     /// When set, only payloads of these streams are sent.
     stream_filter: Option<Vec<u16>>,
     eos_sent: bool,
+    /// Wall time of the last forward progress (a packet sent or a control
+    /// message received) — the idle-reaping clock.
+    last_activity: u64,
 }
 
 /// The streaming server node.
@@ -122,6 +125,9 @@ pub struct StreamingServer {
     backlog_limit: u64,
     /// Packets per segment when relays pull stored content.
     segment_packets: u32,
+    /// Ticks of inactivity after which a session is reaped
+    /// (`u64::MAX` disables reaping).
+    idle_timeout: u64,
     metrics: ServerMetrics,
 }
 
@@ -136,6 +142,7 @@ impl StreamingServer {
             pending_filters: HashMap::new(),
             backlog_limit: 20_000_000, // 2 s
             segment_packets: 64,
+            idle_timeout: 1_200_000_000, // 2 minutes
             metrics: ServerMetrics::default(),
         }
     }
@@ -144,6 +151,14 @@ impl StreamingServer {
     /// `u64::MAX` disables backpressure entirely.
     pub fn with_backlog_limit(mut self, ticks: u64) -> Self {
         self.backlog_limit = ticks;
+        self
+    }
+
+    /// Overrides the idle-session timeout: a session that neither sends a
+    /// packet nor hears from its client for `ticks` is reaped (a crashed
+    /// client, a never-resumed pause). `u64::MAX` disables reaping.
+    pub fn with_idle_timeout(mut self, ticks: u64) -> Self {
+        self.idle_timeout = ticks;
         self
     }
 
@@ -210,6 +225,10 @@ impl StreamingServer {
         let Wire::Request(req) = msg else {
             return; // servers ignore non-requests
         };
+        // Any control traffic proves the client is alive.
+        if let Some(s) = self.sessions.iter_mut().find(|s| s.client == from) {
+            s.last_activity = now;
+        }
         match req {
             ControlRequest::Play {
                 content,
@@ -353,7 +372,23 @@ impl StreamingServer {
         content: &str,
         start: u64,
     ) {
-        let (header, source, rate) = if let Some(file) = self.stored.get(content) {
+        let (header, source, rate, first_packet) = if let Some(file) = self.stored.get(content) {
+            // Resume mid-file (a redirect handoff or a client retry from
+            // its playback horizon): start at the indexed packet instead
+            // of re-sending the whole prefix.
+            let first_packet = if start == 0 {
+                0
+            } else {
+                file.index.as_ref().map_or_else(
+                    || {
+                        file.packets
+                            .iter()
+                            .position(|p| p.send_time >= start)
+                            .unwrap_or(file.packets.len())
+                    },
+                    |idx| idx.packet_for(start) as usize,
+                )
+            };
             (
                 StreamHeader {
                     props: file.props.clone(),
@@ -363,12 +398,13 @@ impl StreamingServer {
                 },
                 SourceRef::Stored(content.to_string()),
                 file.props.max_bitrate,
+                first_packet,
             )
         } else if let Some(feed) = self.live.get(content) {
             let header = feed.header.clone().expect("live feeds carry a header");
             let rate = header.props.max_bitrate;
             self.metrics.live_subscribers += 1;
-            (header, SourceRef::Live(content.to_string()), rate)
+            (header, SourceRef::Live(content.to_string()), rate, 0)
         } else {
             let _ = net.send_reliable(self.node, client, 32, Wire::NotFound(content.to_string()));
             return;
@@ -386,7 +422,7 @@ impl StreamingServer {
         self.sessions.push(Session {
             client,
             source,
-            next_packet: 0,
+            next_packet: first_packet,
             next_script: 0,
             base_time: now.saturating_sub(start),
             paused: false,
@@ -394,6 +430,7 @@ impl StreamingServer {
             pacer: TokenBucket::new(rate, burst),
             stream_filter: self.pending_filters.remove(&client),
             eos_sent: false,
+            last_activity: now,
         });
     }
 
@@ -467,14 +504,28 @@ impl StreamingServer {
                 let _ = net.send(self.node, s.client, wire_bytes, Wire::Data(packet));
                 self.metrics.payload_bytes_sent += wire_bytes;
                 s.next_packet += 1;
+                s.last_activity = now;
             }
             if ended && s.next_packet >= packets.len() {
                 let _ = net.send_reliable(self.node, s.client, 16, Wire::EndOfStream);
                 s.eos_sent = true;
             }
         }
-        // Drop finished sessions.
+        // Drop finished sessions, then reap the wedged stored ones: no
+        // packet sent and no control message heard for the whole idle
+        // window (a crashed client or a pause nobody came back from).
+        // Live sessions are exempt — a broadcast can legitimately go
+        // quiet for as long as the teacher pauses for questions.
         self.sessions.retain(|s| !s.eos_sent);
+        if self.idle_timeout != u64::MAX {
+            let before = self.sessions.len();
+            let idle_timeout = self.idle_timeout;
+            self.sessions.retain(|s| {
+                matches!(s.source, SourceRef::Live(_))
+                    || now.saturating_sub(s.last_activity) <= idle_timeout
+            });
+            self.metrics.sessions_reaped += (before - self.sessions.len()) as u64;
+        }
     }
 }
 
@@ -656,6 +707,85 @@ pub(crate) mod tests {
         assert!(deliveries
             .iter()
             .any(|d| matches!(d.message, Wire::EndOfStream)));
+    }
+
+    #[test]
+    fn idle_sessions_are_reaped() {
+        let (mut net, server, c) = setup();
+        let mut server = server.with_idle_timeout(50_000_000); // 5 s
+        server.on_message(
+            &mut net,
+            0,
+            c,
+            Wire::Request(ControlRequest::Play {
+                content: "lec".into(),
+                from: 0,
+            }),
+        );
+        // Pause right away: the session now makes no progress at all.
+        server.on_message(&mut net, 1_000_000, c, Wire::Request(ControlRequest::Pause));
+        assert_eq!(server.session_count(), 1);
+        server.poll(&mut net, 40_000_000);
+        assert_eq!(server.session_count(), 1, "inside the idle window");
+        assert_eq!(server.metrics().sessions_reaped, 0);
+        server.poll(&mut net, 60_000_000);
+        assert_eq!(server.session_count(), 0, "idle window exceeded");
+        assert_eq!(server.metrics().sessions_reaped, 1);
+    }
+
+    #[test]
+    fn control_traffic_keeps_an_idle_session_alive() {
+        let (mut net, server, c) = setup();
+        let mut server = server.with_idle_timeout(50_000_000);
+        server.on_message(
+            &mut net,
+            0,
+            c,
+            Wire::Request(ControlRequest::Play {
+                content: "lec".into(),
+                from: 0,
+            }),
+        );
+        server.on_message(&mut net, 1_000_000, c, Wire::Request(ControlRequest::Pause));
+        // A keepalive-ish Pause arrives inside every window.
+        for t in [40_000_000u64, 80_000_000, 120_000_000] {
+            server.on_message(&mut net, t, c, Wire::Request(ControlRequest::Pause));
+            server.poll(&mut net, t);
+        }
+        assert_eq!(server.session_count(), 1);
+        assert_eq!(server.metrics().sessions_reaped, 0);
+    }
+
+    #[test]
+    fn play_from_midpoint_skips_the_prefix() {
+        let count_data = |from: u64| {
+            let (mut net, mut server, c) = setup(); // 40 samples over 8 s
+            server.on_message(
+                &mut net,
+                0,
+                c,
+                Wire::Request(ControlRequest::Play {
+                    content: "lec".into(),
+                    from,
+                }),
+            );
+            let mut t = 0;
+            while server.session_count() > 0 && t < 100_000_000_000 {
+                t += 1_000_000;
+                server.poll(&mut net, t);
+            }
+            net.advance_to(t + 10_000_000_000)
+                .iter()
+                .filter(|d| matches!(d.message, Wire::Data(_)))
+                .count()
+        };
+        let full = count_data(0);
+        let tail = count_data(40_000_000); // resume 4 s into 8 s
+        assert!(tail > 0);
+        assert!(
+            tail < full * 3 / 4,
+            "resume must not resend the prefix: {tail} vs {full}"
+        );
     }
 
     #[test]

@@ -1,6 +1,9 @@
 #!/bin/sh
 # The checks a change must pass before merging: formatting, lints with
-# warnings denied, and the tier-1 test suite (the root facade package).
+# warnings denied, the full workspace test suite (unit + doctests), and
+# the chaos-drill determinism gate — two separate processes must emit
+# byte-identical Q9 reports, because the whole simulation is seeded and
+# HashMap-order bugs only show up across processes.
 # Everything runs offline; external deps resolve to the third_party/ stubs.
 set -e
 
@@ -10,7 +13,18 @@ cargo fmt --all --check
 echo "===== cargo clippy (workspace, -D warnings) ====="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "===== tier-1 tests (root package) ====="
-cargo test -q --offline
+echo "===== workspace tests (unit + doctests) ====="
+cargo test -q --offline --workspace
+
+echo "===== q9_chaos determinism (two runs, byte-identical reports) ====="
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run -q --offline -p lod-bench --bin q9_chaos -- --seed 7 --json "$tmpdir/a.json" > /dev/null
+cargo run -q --offline -p lod-bench --bin q9_chaos -- --seed 7 --json "$tmpdir/b.json" > /dev/null
+if ! diff "$tmpdir/a.json" "$tmpdir/b.json"; then
+    echo "FAIL: two seed-7 chaos runs diverged (nondeterminism crept in)"
+    exit 1
+fi
+echo "reports identical"
 
 echo "CI checks passed."
