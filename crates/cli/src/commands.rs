@@ -4,7 +4,9 @@ use std::io::Write;
 
 use lod_asf::{read_asf, write_asf, License};
 use lod_content_tree::render_ascii;
-use lod_core::{synthetic_lecture, Abstractor, RelayTierConfig, Wmps};
+use lod_core::{
+    synthetic_lecture, Abstractor, AdmissionPolicy, DegradePolicy, RelayTierConfig, Wmps,
+};
 use lod_encoder::{evenly_spaced_deck, Annotation, Publisher, VideoFileSpec};
 use lod_media::{TickDuration, Ticks};
 use lod_player::{PlayerEngine, SkewStats};
@@ -185,10 +187,13 @@ fn replay(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 }
 
 /// `wmps serve <file.asf> [--students N] [--link lan|broadband|modem]
-/// [--seed N] [--relays K]`
+/// [--seed N] [--relays K] [--max-sessions N] [--degrade on|off]`
 ///
 /// With `--relays K`, students sit behind K edge relays that pull packet
 /// segments across the server link once and fan them out locally.
+/// `--max-sessions N` arms admission control (students beyond the budget
+/// are answered Busy) and `--degrade on` arms graceful profile downshift
+/// under sustained backlog.
 fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let path = args.positional(0, "<.asf path>")?;
     let bytes = std::fs::read(path)?;
@@ -197,9 +202,32 @@ fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let link = link_by_name(&args.flag_or("link", "broadband"))?;
     let seed = args.num_or("seed", 7u64)?;
     let relays = args.num_or("relays", 0usize)?;
-    let report = if relays > 0 {
+    let max_sessions = args.num_or("max-sessions", 0u32)?;
+    let degrade = match args.flag_or("degrade", "off").as_str() {
+        "on" | "true" | "yes" => true,
+        "off" | "false" | "no" => false,
+        other => {
+            return Err(CliError::BadValue {
+                flag: "--degrade".into(),
+                value: other.to_string(),
+            })
+        }
+    };
+    let admission = (max_sessions > 0).then(|| {
+        // Budget the bitrate to exactly max_sessions full-rate seats, so
+        // the session cap is the binding constraint.
+        let seat = u64::from(file.props.max_bitrate).max(64_000);
+        AdmissionPolicy::new(max_sessions, seat * u64::from(max_sessions))
+    });
+    let report = if relays > 0 || admission.is_some() || degrade {
+        // Overload knobs live on the relay-tier driver; with --relays 0
+        // it degenerates to students behind one campus router.
         let cfg = RelayTierConfig {
             relays,
+            origin_admission: admission,
+            relay_admission: admission,
+            relay_capacity_sessions: admission.map(|a| a.max_sessions as usize),
+            degrade: degrade.then(DegradePolicy::default),
             ..RelayTierConfig::default()
         };
         Wmps::new().serve_with_relays(file, link, LinkSpec::lan(), students, seed, &cfg)
@@ -239,6 +267,16 @@ fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
             "  relays: {} fetch(es) upstream, cache hit rate {:.2}",
             relay.metrics.segment_fetches,
             relay.cache.hit_rate()
+        )?;
+    }
+    if max_sessions > 0 || degrade {
+        writeln!(
+            out,
+            "  overload: {} shed, {} downshift(s), {} upshift(s), {} degraded session(s)",
+            report.shed_clients(),
+            report.server.downshifts,
+            report.server.upshifts,
+            report.server.sessions_degraded
         )?;
     }
     Ok(())
@@ -423,6 +461,33 @@ mod tests {
         assert!(text.contains("student 3"));
         assert!(text.contains("relays:"));
         assert!(text.contains("cache hit rate"));
+    }
+
+    #[test]
+    fn serve_with_admission_reports_overload_line() {
+        let path = tmp("guarded.asf");
+        run(
+            &argv(&format!("publish {path} --duration-secs 10 --slides 1")),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        run(
+            &argv(&format!(
+                "serve {path} --students 3 --link lan --max-sessions 2 --degrade on"
+            )),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("overload:"), "{text}");
+        assert!(text.contains("student 2"), "{text}");
+        // Bad --degrade values are rejected, not silently off.
+        assert!(run(
+            &argv(&format!("serve {path} --degrade sideways")),
+            &mut Vec::new()
+        )
+        .is_err());
     }
 
     #[test]

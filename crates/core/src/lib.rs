@@ -42,3 +42,6 @@ pub use replay::{ReplayConfig, ReplayReport, SyncModelKind};
 pub use wmps::{
     ChaosSpec, QnaReport, Question, RelayTierConfig, RelayTierReport, Wmps, WmpsReport,
 };
+// The overload-protection policies, re-exported so facade users (the CLI,
+// the benches) need not depend on lod-streaming directly.
+pub use lod_streaming::{AdmissionPolicy, BreakerPolicy, DegradePolicy};

@@ -12,8 +12,8 @@ use lod_player::SkewStats;
 use lod_relay::{CacheStats, RedirectManager, RelayMetrics, RelayNode};
 use lod_simnet::{relay_tree, Fault, FaultInjector, FaultPlan, LinkSpec, Network, RelayTree};
 use lod_streaming::{
-    run_to_completion, ClientMetrics, LiveFeed, RetryPolicy, ServerMetrics, StreamHeader,
-    StreamingClient, StreamingServer, Wire,
+    run_to_completion, AdmissionPolicy, BreakerPolicy, ClientMetrics, DegradePolicy, LiveFeed,
+    RetryPolicy, ServerMetrics, StreamHeader, StreamingClient, StreamingServer, Wire,
 };
 use serde::{Deserialize, Serialize};
 
@@ -77,6 +77,27 @@ impl WmpsReport {
             .iter()
             .filter(|c| c.samples_rendered > 0 && !c.abandoned)
             .count()
+    }
+
+    /// Clients explicitly refused with [`Wire::Busy`] until their bounce
+    /// budget ran out — turned away at the door, not dropped mid-lecture.
+    pub fn shed_clients(&self) -> usize {
+        self.clients.iter().filter(|c| c.shed).count()
+    }
+
+    /// Sessions that neither completed nor were explicitly shed: silent
+    /// timeouts and zero-render finishes — exactly the failure mode the
+    /// admit → degrade → shed ladder exists to eliminate.
+    pub fn hard_failures(&self) -> usize {
+        self.clients
+            .iter()
+            .filter(|c| !c.shed && (c.abandoned || c.samples_rendered == 0))
+            .count()
+    }
+
+    /// Sessions the origin downshifted at least once (server-side count).
+    pub fn degraded_sessions(&self) -> u64 {
+        self.server.sessions_degraded
     }
 
     /// p95 of [`WmpsReport::recoveries`] in ticks (0 when none).
@@ -219,6 +240,24 @@ pub struct RelayTierConfig {
     /// Origin idle-session reaping window in ticks (`None` = the
     /// server's default).
     pub idle_timeout: Option<u64>,
+    /// Admission budget at the origin (relays are exempted — their
+    /// shared live/fetch traffic is the tier's whole point).
+    pub origin_admission: Option<AdmissionPolicy>,
+    /// Admission budget at every relay; refused students bounce with
+    /// [`Wire::Busy`] and the redirect manager steers them to the
+    /// least-loaded sibling before they are shed.
+    pub relay_admission: Option<AdmissionPolicy>,
+    /// Graceful degradation at the origin: sustained backlog downshifts
+    /// sessions one [`BandwidthProfile`] rung instead of stalling them.
+    pub degrade: Option<DegradePolicy>,
+    /// Circuit breaker on every relay's upstream fetch path.
+    pub breaker: Option<BreakerPolicy>,
+    /// Seats per relay the redirect manager steers into (`None` =
+    /// unbounded). Size this to `relay_admission.max_sessions`.
+    pub relay_capacity_sessions: Option<usize>,
+    /// Flash-crowd arrivals: `(wave_size, interval)` starts students in
+    /// waves of `wave_size` every `interval` ticks instead of all at 0.
+    pub arrival_wave: Option<(usize, u64)>,
 }
 
 impl Default for RelayTierConfig {
@@ -232,6 +271,12 @@ impl Default for RelayTierConfig {
             chaos: ChaosSpec::default(),
             client_retry: None,
             idle_timeout: None,
+            origin_admission: None,
+            relay_admission: None,
+            degrade: None,
+            breaker: None,
+            relay_capacity_sessions: None,
+            arrival_wave: None,
         }
     }
 }
@@ -344,6 +389,17 @@ impl Wmps {
         if let Some(t) = cfg.idle_timeout {
             server = server.with_idle_timeout(t);
         }
+        if let Some(adm) = cfg.origin_admission {
+            server = server.with_admission(adm);
+        }
+        if let Some(deg) = cfg.degrade {
+            server = server.with_degrade(deg);
+        }
+        for &r in &tree.relays {
+            // A relay's one shared fetch/live subscription must never be
+            // bounced: shedding it would shed a whole campus.
+            server.exempt_from_admission(r);
+        }
         server.publish("lecture", file);
         let mut relays: Vec<RelayNode> = tree
             .relays
@@ -351,11 +407,20 @@ impl Wmps {
             .map(|&r| {
                 let mut relay =
                     RelayNode::new(r, tree.origin, cfg.cache_budget).with_prefetch(cfg.prefetch);
+                if let Some(adm) = cfg.relay_admission {
+                    relay = relay.with_admission(adm);
+                }
+                if let Some(b) = cfg.breaker {
+                    relay = relay.with_breaker(b);
+                }
                 relay.serve_vod("lecture");
                 relay
             })
             .collect();
         let mut redirect = RedirectManager::new(tree.origin, tree.relays.clone());
+        if let Some(seats) = cfg.relay_capacity_sessions {
+            redirect = redirect.with_relay_capacity(seats);
+        }
         let mut clients: Vec<StreamingClient> = tree
             .students
             .iter()
@@ -373,9 +438,14 @@ impl Wmps {
                 }
             })
             .collect();
-        for c in clients.iter_mut() {
-            c.start(&mut net);
-        }
+        // Arrival schedule: all at 0, or a flash crowd in waves.
+        let start_at: Vec<u64> = (0..clients.len())
+            .map(|i| match cfg.arrival_wave {
+                Some((wave, interval)) => (i / wave.max(1)) as u64 * interval,
+                None => 0,
+            })
+            .collect();
+        let mut started = vec![false; clients.len()];
         let mut injector = FaultInjector::new(cfg.chaos.resolve(&tree));
 
         const STEP: u64 = 1_000_000; // 100 ms
@@ -386,6 +456,12 @@ impl Wmps {
         let mut faults_applied = 0u64;
         let mut failed = false;
         while now <= horizon {
+            for (i, c) in clients.iter_mut().enumerate() {
+                if !started[i] && now >= start_at[i] {
+                    c.start(&mut net);
+                    started[i] = true;
+                }
+            }
             if let Some(at) = cfg.fail_first_at {
                 if !failed && now >= at && !tree.relays.is_empty() {
                     // The relay drops off the network; the manager
@@ -417,19 +493,37 @@ impl Wmps {
                     if !redirect.intercept(&mut net, d.src, &d.message) {
                         server.on_message(&mut net, d.time, d.src, d.message);
                     }
+                } else if let Some(c) = clients.iter_mut().find(|c| c.node() == d.dst) {
+                    // A relay bouncing a student names no alternate (it
+                    // only knows itself); the redirect manager fills one
+                    // in so the bounce lands on the least-loaded sibling
+                    // instead of a blind wait-and-retry.
+                    let msg = match d.message {
+                        Wire::Busy {
+                            retry_after,
+                            alternate: None,
+                        } if tree.relays.contains(&d.src) => Wire::Busy {
+                            retry_after,
+                            alternate: redirect.reassign_busy(d.dst, d.src),
+                        },
+                        m => m,
+                    };
+                    c.on_message(d.time, msg);
                 } else if let Some(r) = relays.iter_mut().find(|r| r.node() == d.dst) {
                     r.on_message(&mut net, d.time, d.src, d.message);
-                } else if let Some(c) = clients.iter_mut().find(|c| c.node() == d.dst) {
-                    c.on_message(d.time, d.message);
                 }
             }
-            for c in clients.iter_mut() {
+            for (i, c) in clients.iter_mut().enumerate() {
+                if !started[i] {
+                    continue;
+                }
                 events.extend(c.tick(now));
                 c.poll_adaptive(&mut net);
                 c.poll_redirect(&mut net);
+                c.poll_busy(&mut net, now);
                 c.poll_recovery(&mut net, now);
             }
-            if clients.iter().all(|c| c.is_done()) {
+            if started.iter().all(|&s| s) && clients.iter().all(|c| c.is_done()) {
                 break;
             }
             now += STEP;
@@ -878,6 +972,37 @@ mod tests {
         let a = wmps.serve_with_relays(file.clone(), LinkSpec::lan(), LinkSpec::lan(), 4, 7, &cfg);
         let b = wmps.serve_with_relays(file, LinkSpec::lan(), LinkSpec::lan(), 4, 7, &cfg);
         assert_eq!(a, b, "chaos runs must be byte-for-byte reproducible");
+    }
+
+    #[test]
+    fn overload_ladder_sheds_explicitly_and_replays_deterministically() {
+        let lecture = synthetic_lecture(1, 1, 300_000); // 1 minute
+        let wmps = Wmps::new();
+        let file = wmps.publish(&lecture).unwrap();
+        // 8 students charge 6 seats (2 relays × 2 + origin × 2) in two
+        // waves: every student must either play or be told Busy — nobody
+        // may vanish into a silent timeout.
+        let cfg = RelayTierConfig {
+            relays: 2,
+            origin_admission: Some(AdmissionPolicy::new(2, 1_000_000_000)),
+            relay_admission: Some(AdmissionPolicy::new(2, 1_000_000_000)),
+            relay_capacity_sessions: Some(2),
+            degrade: Some(DegradePolicy::default()),
+            breaker: Some(BreakerPolicy::upstream()),
+            arrival_wave: Some((4, 10_000_000)),
+            client_retry: Some(RetryPolicy::client()),
+            ..RelayTierConfig::default()
+        };
+        let a = wmps.serve_with_relays(file.clone(), LinkSpec::lan(), LinkSpec::lan(), 8, 7, &cfg);
+        let b = wmps.serve_with_relays(file, LinkSpec::lan(), LinkSpec::lan(), 8, 7, &cfg);
+        assert_eq!(a, b, "overload runs must be byte-for-byte reproducible");
+        assert_eq!(a.hard_failures(), 0, "{:?}", a.clients);
+        assert_eq!(
+            a.completed_sessions() + a.shed_clients(),
+            8,
+            "every student either watched or was explicitly refused: {:?}",
+            a.clients
+        );
     }
 
     #[test]

@@ -90,6 +90,24 @@ impl BandwidthProfile {
         Self::all().into_iter().find(|p| p.name == name)
     }
 
+    /// The next rung *down* the ladder: the fastest profile strictly
+    /// slower than `total_bps`, or `None` when already at (or below) the
+    /// slowest rung. This is the degradation step: a congested server
+    /// re-paces a session at `next_below` of its current rate.
+    pub fn next_below(total_bps: u64) -> Option<BandwidthProfile> {
+        Self::all()
+            .into_iter()
+            .rev()
+            .find(|p| p.total_bps < total_bps)
+    }
+
+    /// The next rung *up* the ladder: the slowest profile strictly
+    /// faster than `total_bps`, or `None` when already at (or above) the
+    /// fastest rung. The recovery step after a hold-down.
+    pub fn next_above(total_bps: u64) -> Option<BandwidthProfile> {
+        Self::all().into_iter().find(|p| p.total_bps > total_bps)
+    }
+
     /// Display name.
     pub fn name(&self) -> &'static str {
         self.name
@@ -194,6 +212,34 @@ mod tests {
     fn raw_frame_bytes_yuv420() {
         let p = BandwidthProfile::by_name("DSL/cable (256k)").unwrap();
         assert_eq!(p.raw_frame_bytes(), 320 * 240 * 3 / 2);
+    }
+
+    #[test]
+    fn ladder_walks_down_and_up() {
+        let all = BandwidthProfile::all();
+        // From every rung, next_below is the previous rung.
+        for w in all.windows(2) {
+            assert_eq!(
+                BandwidthProfile::next_below(w[1].total_bitrate()).unwrap(),
+                w[0]
+            );
+            assert_eq!(
+                BandwidthProfile::next_above(w[0].total_bitrate()).unwrap(),
+                w[1]
+            );
+        }
+        // Off the ends of the ladder.
+        assert_eq!(BandwidthProfile::next_below(22_000), None);
+        assert_eq!(BandwidthProfile::next_above(1_400_000), None);
+        // Rates between rungs snap to the neighbouring rungs.
+        assert_eq!(
+            BandwidthProfile::next_below(300_000).unwrap().name(),
+            "DSL/cable (256k)"
+        );
+        assert_eq!(
+            BandwidthProfile::next_above(300_000).unwrap().name(),
+            "DSL/cable (768k)"
+        );
     }
 
     #[test]

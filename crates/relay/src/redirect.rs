@@ -20,6 +20,8 @@ pub struct RedirectManager {
     failed: HashSet<NodeId>,
     /// client → relay (or origin) currently serving it.
     assignments: HashMap<NodeId, NodeId>,
+    /// Seats per relay the manager will steer into (None = unbounded).
+    relay_capacity: Option<usize>,
 }
 
 impl RedirectManager {
@@ -30,7 +32,18 @@ impl RedirectManager {
             relays,
             failed: HashSet::new(),
             assignments: HashMap::new(),
+            relay_capacity: None,
         }
+    }
+
+    /// Caps how many clients the manager steers at any one relay; a full
+    /// fleet spills the overflow to the origin. Size this to the relays'
+    /// own [`lod_streaming::AdmissionPolicy`] so steering and admission
+    /// agree.
+    pub fn with_relay_capacity(mut self, seats: usize) -> Self {
+        assert!(seats > 0, "relay capacity must be positive");
+        self.relay_capacity = Some(seats);
+        self
     }
 
     /// Relays still in service.
@@ -51,12 +64,60 @@ impl RedirectManager {
         self.assignments.values().filter(|&&t| t == target).count()
     }
 
+    /// Whether `relay` has a free seat under the capacity cap, not
+    /// counting `exclude`'s own assignment (a client re-checking the
+    /// relay it already occupies must not evict itself).
+    fn has_seat(&self, relay: NodeId, exclude: Option<NodeId>) -> bool {
+        match self.relay_capacity {
+            None => true,
+            Some(cap) => {
+                self.assignments
+                    .iter()
+                    .filter(|&(&c, &t)| t == relay && Some(c) != exclude)
+                    .count()
+                    < cap
+            }
+        }
+    }
+
     /// The healthy relay carrying the fewest sessions (first in fleet
-    /// order on ties), or the origin when every relay is down.
+    /// order on ties), or the origin when every relay is down or full.
     fn least_loaded(&self) -> NodeId {
-        self.healthy_relays()
-            .min_by_key(|&r| self.load(r))
-            .unwrap_or(self.origin)
+        self.least_loaded_excluding(None)
+    }
+
+    /// [`Self::least_loaded`] with one relay ruled out (the one that just
+    /// answered Busy). An explicit fleet-order scan with a strict `<`:
+    /// only a strictly lower load displaces the incumbent, so ties always
+    /// resolve to the earliest relay in fleet order and seeded runs
+    /// replay byte for byte.
+    fn least_loaded_excluding(&self, skip: Option<NodeId>) -> NodeId {
+        let mut best: Option<(NodeId, usize)> = None;
+        for r in self.healthy_relays() {
+            if Some(r) == skip || !self.has_seat(r, None) {
+                continue;
+            }
+            let load = self.load(r);
+            if best.is_none_or(|(_, b)| load < b) {
+                best = Some((r, load));
+            }
+        }
+        best.map_or(self.origin, |(r, _)| r)
+    }
+
+    /// Re-steers a client bounced with [`Wire::Busy`] by `busy` at the
+    /// least-loaded healthy sibling with a free seat, returning the new
+    /// target to name as the Busy `alternate`. `None` means no sibling
+    /// can take it — the assignment is forgotten so the client's paced
+    /// retry at the origin gets a fresh pick once capacity frees.
+    pub fn reassign_busy(&mut self, client: NodeId, busy: NodeId) -> Option<NodeId> {
+        let target = self.least_loaded_excluding(Some(busy));
+        if target == self.origin {
+            self.assignments.remove(&client);
+            return None;
+        }
+        self.assignments.insert(client, target);
+        Some(target)
     }
 
     /// Examines a message addressed to the origin *before* the origin's
@@ -73,8 +134,14 @@ impl RedirectManager {
             return false;
         };
         let target = match self.assignment(from) {
-            // Respect a still-healthy earlier assignment (client restarts).
-            Some(t) if t == self.origin || !self.failed.contains(&t) => t,
+            // Respect a still-healthy earlier assignment (client
+            // restarts) as long as the client still fits there.
+            Some(t)
+                if t == self.origin
+                    || (!self.failed.contains(&t) && self.has_seat(t, Some(from))) =>
+            {
+                t
+            }
             _ => self.least_loaded(),
         };
         if target == self.origin {
@@ -252,6 +319,72 @@ mod tests {
         }
         // A failed relay failing again is a no-op.
         assert!(mgr.fail_relay(&mut net, relays[0]).is_empty());
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_in_fleet_order() {
+        let mut net: Network<Wire> = Network::new(7);
+        let origin = net.add_node("origin");
+        let relays: Vec<NodeId> = (0..3).map(|i| net.add_node(format!("relay{i}"))).collect();
+        let students: Vec<NodeId> = (0..6)
+            .map(|i| net.add_node(format!("student{i}")))
+            .collect();
+        for &s in &students {
+            net.connect_bidirectional(origin, s, LinkSpec::lan());
+        }
+        let mut mgr = RedirectManager::new(origin, relays.clone());
+        // Every relay starts at load 0: each arrival must land on the
+        // earliest tied relay, giving round-robin in fleet order — never
+        // an order that depends on map iteration.
+        for (i, &s) in students.iter().enumerate() {
+            mgr.intercept(&mut net, s, &play("lec"));
+            assert_eq!(
+                mgr.assignment(s),
+                Some(relays[i % 3]),
+                "student {i} must land in fleet order"
+            );
+        }
+    }
+
+    #[test]
+    fn full_fleet_spills_to_origin() {
+        let (mut net, origin, relays, students) = world();
+        let mut mgr = RedirectManager::new(origin, relays.clone()).with_relay_capacity(1);
+        assert!(mgr.intercept(&mut net, students[0], &play("lec")));
+        assert!(mgr.intercept(&mut net, students[1], &play("lec")));
+        assert_eq!(mgr.assignment(students[0]), Some(relays[0]));
+        assert_eq!(mgr.assignment(students[1]), Some(relays[1]));
+        // Both seats taken: the third student passes through to the
+        // origin itself, and a replay from a seated student still sticks.
+        assert!(!mgr.intercept(&mut net, students[2], &play("lec")));
+        assert_eq!(mgr.assignment(students[2]), Some(origin));
+        assert!(mgr.intercept(&mut net, students[0], &play("lec")));
+        assert_eq!(mgr.assignment(students[0]), Some(relays[0]));
+    }
+
+    #[test]
+    fn busy_bounce_reassigns_to_a_sibling() {
+        let (mut net, origin, relays, students) = world();
+        let mut mgr = RedirectManager::new(origin, relays.clone());
+        mgr.intercept(&mut net, students[0], &play("lec"));
+        assert_eq!(mgr.assignment(students[0]), Some(relays[0]));
+        // relay0 answered Busy: the manager names relay1 as the alternate.
+        assert_eq!(mgr.reassign_busy(students[0], relays[0]), Some(relays[1]));
+        assert_eq!(mgr.assignment(students[0]), Some(relays[1]));
+        // relay1 Busy too and relay0 is the only sibling — but say it
+        // failed meanwhile: no alternate, and the stale assignment is
+        // forgotten so the retry re-rolls.
+        mgr.fail_relay(&mut net, relays[0]);
+        assert_eq!(mgr.reassign_busy(students[0], relays[1]), None);
+        assert_eq!(mgr.assignment(students[0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "relay capacity must be positive")]
+    fn zero_relay_capacity_is_rejected() {
+        let mut net: Network<Wire> = Network::new(1);
+        let origin = net.add_node("origin");
+        let _ = RedirectManager::new(origin, Vec::new()).with_relay_capacity(0);
     }
 
     #[test]

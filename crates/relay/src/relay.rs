@@ -19,7 +19,7 @@ use std::collections::{HashMap, HashSet};
 use lod_asf::{DataPacket, ScriptCommand};
 use lod_simnet::{Network, NodeId, TokenBucket};
 use lod_streaming::wire::{ControlRequest, SegmentData, StreamHeader, Wire};
-use lod_streaming::RetryPolicy;
+use lod_streaming::{AdmissionPolicy, BreakerPolicy, CircuitBreaker, RetryPolicy};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{CachedSegment, SegmentCache};
@@ -59,6 +59,13 @@ pub struct RelayMetrics {
     /// Fetches abandoned after the retry budget ran out (their waiting
     /// sessions get a NotFound).
     pub fetch_give_ups: u64,
+    /// Play requests refused with [`Wire::Busy`] by admission control.
+    pub sessions_shed: u64,
+    /// Times the upstream circuit breaker tripped open.
+    pub breaker_opens: u64,
+    /// Upstream fetches withheld while the breaker was open (the relay
+    /// kept serving whatever it had cached instead).
+    pub fetches_suppressed: u64,
 }
 
 impl std::ops::AddAssign for RelayMetrics {
@@ -71,6 +78,9 @@ impl std::ops::AddAssign for RelayMetrics {
         self.upstream_bytes_received += rhs.upstream_bytes_received;
         self.fetch_retries += rhs.fetch_retries;
         self.fetch_give_ups += rhs.fetch_give_ups;
+        self.sessions_shed += rhs.sessions_shed;
+        self.breaker_opens += rhs.breaker_opens;
+        self.fetches_suppressed += rhs.fetches_suppressed;
     }
 }
 
@@ -153,6 +163,10 @@ pub struct RelayNode {
     fetch_retry: RetryPolicy,
     /// Mixed into the retry jitter so relays desynchronize.
     fetch_salt: u64,
+    /// Optional admission budget for local Play requests.
+    admission: Option<AdmissionPolicy>,
+    /// Optional breaker around the upstream fetch path.
+    breaker: Option<CircuitBreaker>,
     metrics: RelayMetrics,
 }
 
@@ -194,6 +208,8 @@ impl RelayNode {
             inflight: HashMap::new(),
             fetch_retry: RetryPolicy::relay_upstream(),
             fetch_salt: 0,
+            admission: None,
+            breaker: None,
             metrics: RelayMetrics::default(),
         }
     }
@@ -210,6 +226,34 @@ impl RelayNode {
     pub fn with_fetch_retry(mut self, policy: RetryPolicy, salt: u64) -> Self {
         self.fetch_retry = policy;
         self.fetch_salt = salt;
+        self
+    }
+
+    /// Overrides the per-client send backlog limit, in ticks of queued
+    /// first-hop transmission time (default 2 s; `u64::MAX` disables the
+    /// check).
+    pub fn with_backlog_limit(mut self, ticks: u64) -> Self {
+        assert!(
+            ticks > 0,
+            "backlog limit must be positive (u64::MAX disables backpressure)"
+        );
+        self.backlog_limit = ticks;
+        self
+    }
+
+    /// Caps local admissions: Play requests beyond the budget are
+    /// answered with [`Wire::Busy`] instead of silently queueing.
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = Some(policy);
+        self
+    }
+
+    /// Wraps the upstream fetch path in a circuit breaker: after
+    /// `policy.failure_threshold` consecutive fetch failures the relay
+    /// stops re-asking a dead origin and serves cache-only until a
+    /// half-open probe succeeds.
+    pub fn with_breaker(mut self, policy: BreakerPolicy) -> Self {
+        self.breaker = Some(CircuitBreaker::new(policy));
         self
     }
 
@@ -263,9 +307,20 @@ impl RelayNode {
                 Wire::Data(p) => self.on_live_data(now, p),
                 Wire::Script(c) => self.on_live_script(c),
                 Wire::EndOfStream => self.on_live_eos(),
-                Wire::NotFound(name) => self.on_not_found(net, &name),
+                Wire::NotFound(name) => {
+                    // Still an *answer*: the origin is alive, however
+                    // unhelpful, so the breaker closes.
+                    if let Some(b) = &mut self.breaker {
+                        b.record_success();
+                    }
+                    self.on_not_found(net, &name);
+                }
                 Wire::Request(req) => self.on_request(net, now, from, req),
                 Wire::Redirect { .. } => {}
+                // An origin bouncing its own relay is a deployment
+                // misconfiguration (the origin exempts relays from
+                // admission); the retry-gated subscription re-issues.
+                Wire::Busy { .. } => {}
             }
         } else if let Wire::Request(req) = msg {
             self.on_request(net, now, from, req);
@@ -278,6 +333,9 @@ impl RelayNode {
                 content,
                 from: start,
             } => {
+                if self.refuse_if_over_budget(net, from, &content) {
+                    return;
+                }
                 if self.live_content.contains(&content) {
                     self.start_live_sub(net, now, from, &content, start);
                 } else if self.vod_content.contains(&content) {
@@ -326,6 +384,71 @@ impl RelayNode {
                 let _ = net.send_reliable(self.node, from, 32, Wire::NotFound(content));
             }
         }
+    }
+
+    /// Admission control for a local Play: a client beyond the session or
+    /// committed-bitrate budget is answered [`Wire::Busy`] (and `true`
+    /// returned). Replays from already-seated clients always pass — they
+    /// re-anchor an existing seat rather than claiming a new one.
+    fn refuse_if_over_budget(
+        &mut self,
+        net: &mut Network<Wire>,
+        from: NodeId,
+        content: &str,
+    ) -> bool {
+        let Some(adm) = self.admission else {
+            return false;
+        };
+        let seated = self.sessions.iter().any(|s| s.client == from)
+            || self
+                .live
+                .values()
+                .any(|f| f.subs.iter().any(|s| s.client == from));
+        if seated {
+            return false;
+        }
+        let active = self.sessions.len() + self.live_subscriber_count();
+        let nominal = self.nominal_bps(content);
+        let over = active >= adm.max_sessions as usize
+            || self.committed_bps().saturating_add(nominal) > adm.capacity_bps;
+        if over {
+            self.metrics.sessions_shed += 1;
+            let msg = Wire::Busy {
+                retry_after: adm.retry_after,
+                alternate: None,
+            };
+            let _ = net.send_reliable(self.node, from, 32, msg);
+        }
+        over
+    }
+
+    /// Best-known bitrate cost of one session of `content` (0 until the
+    /// header has been learned — first contact is admitted on the session
+    /// cap alone).
+    fn nominal_bps(&self, content: &str) -> u64 {
+        if let Some(m) = self.meta.get(content) {
+            return u64::from(m.header.props.max_bitrate);
+        }
+        self.live
+            .get(content)
+            .and_then(|f| f.header.as_ref())
+            .map_or(0, |h| u64::from(h.props.max_bitrate))
+    }
+
+    /// Bit/s currently committed to local clients (VoD sessions plus live
+    /// subscribers, at each content's advertised max bitrate).
+    fn committed_bps(&self) -> u64 {
+        let vod: u64 = self
+            .sessions
+            .iter()
+            .map(|s| self.nominal_bps(&s.content))
+            .sum();
+        let live: u64 = self
+            .live
+            .iter()
+            .map(|(name, f)| self.nominal_bps(name) * f.subs.len() as u64)
+            .sum();
+        vod + live
     }
 
     fn session_pacer(header: &StreamHeader) -> TokenBucket {
@@ -466,10 +589,30 @@ impl RelayNode {
             FetchGate::GiveUp => {
                 self.inflight.remove(key);
                 self.metrics.fetch_give_ups += 1;
+                if let Some(b) = &mut self.breaker {
+                    if b.record_failure(now) {
+                        self.metrics.breaker_opens += 1;
+                    }
+                }
                 self.on_not_found(net, &key.0.clone());
                 false
             }
             FetchGate::Send { retry } => {
+                if let Some(b) = &mut self.breaker {
+                    // A due re-issue means the previous request died
+                    // unanswered: that is the breaker's failure signal.
+                    if retry && b.record_failure(now) {
+                        self.metrics.breaker_opens += 1;
+                    }
+                    if !b.allows(now) {
+                        // Open: stop burning retry budget against a dead
+                        // origin. Dropping the in-flight record makes the
+                        // eventual half-open probe a fresh first issue.
+                        self.metrics.fetches_suppressed += 1;
+                        self.inflight.remove(key);
+                        return false;
+                    }
+                }
                 if retry {
                     self.metrics.fetch_retries += 1;
                 }
@@ -534,6 +677,9 @@ impl RelayNode {
     }
 
     fn on_segment(&mut self, net: &mut Network<Wire>, now: u64, seg: SegmentData) {
+        if let Some(b) = &mut self.breaker {
+            b.record_success();
+        }
         self.metrics.upstream_bytes_received += seg.wire_bytes();
         self.inflight.remove(&(seg.content.clone(), seg.segment));
         if let Some(at) = seg.at_time {
@@ -736,7 +882,7 @@ impl RelayNode {
                 if p.send_time + s.base_time > now {
                     break;
                 }
-                if net.link_backlog(self.node, s.client).unwrap_or(0) > self.backlog_limit {
+                if net.first_hop_backlog(self.node, s.client).unwrap_or(0) > self.backlog_limit {
                     break;
                 }
                 let wire_bytes = u64::from(meta.packet_size);
@@ -785,7 +931,9 @@ impl RelayNode {
                         sub.next_packet += 1;
                         continue; // late joiner skips the past
                     }
-                    if net.link_backlog(self.node, sub.client).unwrap_or(0) > self.backlog_limit {
+                    if net.first_hop_backlog(self.node, sub.client).unwrap_or(0)
+                        > self.backlog_limit
+                    {
                         break;
                     }
                     if !sub.pacer.try_consume(packet_size, now) {
@@ -1047,6 +1195,113 @@ mod tests {
         let m = relay.metrics();
         assert_eq!(m.fetch_give_ups, 1, "{m:?}");
         assert_eq!(m.fetch_retries, 2, "{m:?}");
+    }
+
+    #[test]
+    fn breaker_opens_on_dark_uplink_then_probe_recovers() {
+        use lod_simnet::{FaultInjector, FaultPlan};
+        let (mut net, tree, mut origin, mut relay) = world(1);
+        relay = relay
+            .with_fetch_retry(
+                RetryPolicy {
+                    request_timeout: 5_000_000,
+                    base_backoff: 2_000_000,
+                    max_backoff: 8_000_000,
+                    max_retries: 30,
+                },
+                11,
+            )
+            .with_breaker(BreakerPolicy {
+                failure_threshold: 3,
+                open_ticks: 50_000_000,
+            });
+        // The origin is unreachable for 15 s: three unanswered fetches
+        // trip the breaker, the half-open probes fail until the heal, and
+        // the first probe after it restarts the session — all without
+        // exhausting the (ample) retry budget.
+        let plan = FaultPlan::new().link_down(0, 150_000_000, tree.origin, tree.router);
+        let mut inj = FaultInjector::new(plan);
+        let mut client = StreamingClient::new(tree.students[0], relay.node(), "lec");
+        client.start(&mut net);
+        let mut now = 0u64;
+        while now <= 600_000_000_000 && !client.is_done() {
+            inj.poll(&mut net, now);
+            origin.poll(&mut net, now);
+            relay.poll(&mut net, now);
+            for d in net.advance_to(now) {
+                if d.dst == origin.node() {
+                    origin.on_message(&mut net, d.time, d.src, d.message);
+                } else if d.dst == relay.node() {
+                    relay.on_message(&mut net, d.time, d.src, d.message);
+                } else {
+                    client.on_message(d.time, d.message);
+                }
+            }
+            client.tick(now);
+            now += 1_000_000;
+        }
+        assert!(client.is_done(), "state: {:?}", client.state());
+        assert_eq!(client.metrics().samples_rendered, 50);
+        let m = relay.metrics();
+        assert!(m.breaker_opens >= 2, "open + failed probe re-opens: {m:?}");
+        assert!(m.fetches_suppressed >= 1, "{m:?}");
+        assert_eq!(m.fetch_give_ups, 0, "breaker must spare the budget: {m:?}");
+    }
+
+    #[test]
+    fn relay_admission_bounces_then_readmits() {
+        let (mut net, tree, mut origin, mut relay) = world(2);
+        relay = relay.with_admission(AdmissionPolicy::new(1, 10_000_000));
+        let mut a = StreamingClient::new(tree.students[0], relay.node(), "lec");
+        let mut b = StreamingClient::new(tree.students[1], relay.node(), "lec");
+        // Seat `a` first so `b` is deterministically the bounced client.
+        a.start(&mut net);
+        let mut now = 0u64;
+        while relay.session_count() == 0 {
+            origin.poll(&mut net, now);
+            relay.poll(&mut net, now);
+            for d in net.advance_to(now) {
+                if d.dst == relay.node() {
+                    relay.on_message(&mut net, d.time, d.src, d.message);
+                }
+            }
+            now += 1_000_000;
+        }
+        b.start(&mut net);
+        while now <= 600_000_000_000 && !(a.is_done() && b.is_done()) {
+            origin.poll(&mut net, now);
+            relay.poll(&mut net, now);
+            for d in net.advance_to(now) {
+                if d.dst == origin.node() {
+                    origin.on_message(&mut net, d.time, d.src, d.message);
+                } else if d.dst == relay.node() {
+                    relay.on_message(&mut net, d.time, d.src, d.message);
+                } else if d.dst == a.node() {
+                    a.on_message(d.time, d.message);
+                } else {
+                    b.on_message(d.time, d.message);
+                }
+            }
+            a.tick(now);
+            b.tick(now);
+            b.poll_busy(&mut net, now);
+            now += 1_000_000;
+        }
+        assert!(a.is_done() && b.is_done());
+        assert!(b.metrics().busy_bounces >= 1, "{:?}", b.metrics());
+        assert!(!b.is_shed(), "the freed seat must readmit b");
+        assert_eq!(a.metrics().samples_rendered, 50);
+        assert_eq!(b.metrics().samples_rendered, 50);
+        assert!(relay.metrics().sessions_shed >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "backlog limit must be positive")]
+    fn zero_backlog_limit_is_rejected() {
+        let mut net: Network<Wire> = Network::new(1);
+        let r = net.add_node("relay");
+        let o = net.add_node("origin");
+        let _ = RelayNode::new(r, o, 1 << 20).with_backlog_limit(0);
     }
 
     #[test]

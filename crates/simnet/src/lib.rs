@@ -51,4 +51,4 @@ pub use link::LinkSpec;
 pub use multicast::{FanOut, MulticastGroup};
 pub use network::{Delivery, Network, NetworkError, NodeId};
 pub use topology::{relay_tree, RelayTree};
-pub use trace::LinkStats;
+pub use trace::{LinkLoadSampler, LinkStats};

@@ -252,6 +252,23 @@ impl<M> Network<M> {
             .map(|l| l.next_free.saturating_sub(self.now))
     }
 
+    /// The node a packet from `src` toward `dst` leaves through first:
+    /// the static next hop when one is routed, otherwise `dst` itself.
+    pub fn first_hop(&self, src: NodeId, dst: NodeId) -> NodeId {
+        NodeId(self.next_hop.get(&(src.0, dst.0)).copied().unwrap_or(dst.0))
+    }
+
+    /// Backlog of the *first-hop* link on the `src → dst` path. Unlike
+    /// [`Network::link_backlog`], this sees congestion even when the pair
+    /// is connected through a router — which is where a shared uplink
+    /// actually queues. `None` when no first-hop link exists.
+    pub fn first_hop_backlog(&self, src: NodeId, dst: NodeId) -> Option<u64> {
+        let hop = self.first_hop(src, dst);
+        self.links
+            .get(&(src.0, hop.0))
+            .map(|l| l.next_free.saturating_sub(self.now))
+    }
+
     /// Enqueues `message` of `bytes` wire size from `src` toward `dst`,
     /// following any static routes, starting at the current time. The
     /// packet may be lost on any hop (per that link's loss probability);
@@ -525,6 +542,27 @@ mod tests {
             net.send(a, b, 12_500, i).unwrap(); // 10k ticks each
         }
         assert_eq!(net.link_backlog(a, b), Some(100_000));
+    }
+
+    #[test]
+    fn first_hop_backlog_sees_routed_congestion() {
+        let mut net: Network<u32> = Network::new(2);
+        let server = net.add_node("server");
+        let router = net.add_node("router");
+        let client = net.add_node("client");
+        net.connect(server, router, LinkSpec::lan().with_jitter(0));
+        net.connect(router, client, LinkSpec::lan().with_jitter(0));
+        net.route_via(server, router, &[client]);
+        assert_eq!(net.first_hop(server, client), router);
+        assert_eq!(net.first_hop(router, client), client);
+        for i in 0..10u32 {
+            net.send(server, client, 12_500, i).unwrap();
+        }
+        // The direct server→client link does not exist, so the flat
+        // backlog probe is blind to the queue…
+        assert_eq!(net.link_backlog(server, client), None);
+        // …while the first-hop probe sees the shared uplink filling up.
+        assert!(net.first_hop_backlog(server, client).unwrap() > 0);
     }
 
     #[test]

@@ -65,6 +65,10 @@ pub struct RenderEvent {
 pub struct StreamingClient {
     node: NodeId,
     server: NodeId,
+    /// The node the client was originally pointed at. Busy bounces
+    /// re-ask here: the origin's redirect manager is the one place that
+    /// knows which relay has room.
+    home: NodeId,
     content: String,
     /// Streams to request from the server (None = all).
     wanted_streams: Option<Vec<u16>>,
@@ -102,6 +106,10 @@ pub struct StreamingClient {
     user_paused: bool,
     /// `(outage_start, recover_ticks)` of every survived outage.
     recovery_log: Vec<(u64, u64)>,
+    /// Wall time at which a `Busy`-bounced Play is re-issued.
+    busy_until: Option<u64>,
+    /// `Busy` answers tolerated before the client gives up as shed.
+    busy_budget: u32,
 }
 
 impl StreamingClient {
@@ -110,6 +118,7 @@ impl StreamingClient {
         Self {
             node,
             server,
+            home: server,
             content: content.into(),
             wanted_streams: None,
             adaptive: None,
@@ -133,7 +142,21 @@ impl StreamingClient {
             retry: None,
             user_paused: false,
             recovery_log: Vec::new(),
+            busy_until: None,
+            busy_budget: 8,
         }
+    }
+
+    /// Overrides how many [`Wire::Busy`] bounces the client tolerates
+    /// before giving up as shed (default 8).
+    pub fn with_busy_budget(mut self, bounces: u32) -> Self {
+        self.busy_budget = bounces;
+        self
+    }
+
+    /// Whether the session was explicitly shed by admission control.
+    pub fn is_shed(&self) -> bool {
+        self.metrics.shed
     }
 
     /// The `(wall_time, pres_time, stream)` arrival trace of every sample
@@ -348,6 +371,8 @@ impl StreamingClient {
                     }
                 }
                 self.header = Some(h);
+                // Admitted after all: cancel any scheduled busy retry.
+                self.busy_until = None;
             }
             Wire::Script(c) => {
                 self.scripts.push(c);
@@ -378,6 +403,36 @@ impl StreamingClient {
             }
             Wire::Redirect { to } => {
                 self.pending_redirect = Some(to);
+            }
+            Wire::Busy {
+                retry_after,
+                alternate,
+            } => {
+                if self.state == ClientState::Done {
+                    return;
+                }
+                self.metrics.busy_bounces += 1;
+                match alternate {
+                    // The overloaded node knows a less-loaded peer: go
+                    // there directly (the normal redirect path re-Plays).
+                    Some(alt) if alt != self.server => {
+                        self.pending_redirect = Some(alt);
+                    }
+                    _ if self.metrics.busy_bounces > u64::from(self.busy_budget) => {
+                        // Out of patience: the session is explicitly shed
+                        // — a clean refusal, not a silent timeout.
+                        self.metrics.shed = true;
+                        self.state = ClientState::Done;
+                    }
+                    _ => {
+                        // Wait out retry_after, then re-ask home: the
+                        // origin's redirect manager may know a relay
+                        // with room by then (or degradation may have
+                        // freed budget).
+                        self.server = self.home;
+                        self.busy_until = Some(time.saturating_add(retry_after));
+                    }
+                }
             }
             // Relay-plane traffic; clients never consume raw segments.
             Wire::Segment(_) => {}
@@ -431,6 +486,36 @@ impl StreamingClient {
         true
     }
 
+    /// Re-issues the Play of a [`Wire::Busy`]-bounced session once its
+    /// `retry_after` has elapsed. Drivers call this each scheduling round
+    /// (like [`StreamingClient::poll_recovery`]). Returns whether a
+    /// re-Play went out.
+    pub fn poll_busy(&mut self, net: &mut Network<Wire>, now: u64) -> bool {
+        let Some(due) = self.busy_until else {
+            return false;
+        };
+        if now < due || self.state == ClientState::Done {
+            return false;
+        }
+        self.busy_until = None;
+        let req = Wire::Request(ControlRequest::Play {
+            content: self.content.clone(),
+            from: self.horizon,
+        });
+        let bytes = req.wire_bytes(0);
+        let _ = net.send_reliable(self.node, self.server, bytes, req);
+        if let Some(streams) = &self.wanted_streams {
+            let sel = Wire::Request(ControlRequest::SelectStreams(streams.clone()));
+            let bytes = sel.wire_bytes(0);
+            let _ = net.send_reliable(self.node, self.server, bytes, sel);
+        }
+        if let Some(rs) = &mut self.retry {
+            rs.last_progress = now;
+            rs.deadline = now.saturating_add(rs.policy.request_timeout);
+        }
+        true
+    }
+
     /// Drives the retry layer: when the server has been silent past the
     /// policy deadline mid-session, re-issues Play from the playback
     /// horizon (plus the stream selection) with exponential jittered
@@ -443,7 +528,10 @@ impl StreamingClient {
         if matches!(self.state, ClientState::Idle | ClientState::Done)
             || self.user_paused
             || self.eos
+            || self.busy_until.is_some()
         {
+            // (A busy-bounced session is waiting out retry_after on
+            // purpose; silence is not an outage then.)
             return false;
         }
         let Some(rs) = &mut self.retry else {
@@ -1047,6 +1135,121 @@ mod tests {
         assert!(paused && resumed);
         assert!(client.is_done());
         assert_eq!(client.metrics().retries, 0, "{:?}", client.metrics());
+    }
+
+    #[test]
+    fn busy_bounce_waits_then_readmits() {
+        use crate::server::AdmissionPolicy;
+        // One-session budget: c2 is bounced while c1 plays, then admitted
+        // once c1's short lecture finishes.
+        let mut net = Network::new(91);
+        let s = net.add_node("server");
+        let c1 = net.add_node("c1");
+        let c2 = net.add_node("c2");
+        net.connect_bidirectional(s, c1, LinkSpec::lan());
+        net.connect_bidirectional(s, c2, LinkSpec::lan());
+        let mut server = StreamingServer::new(s)
+            .with_admission(AdmissionPolicy::new(1, 10_000_000).with_retry_after(20_000_000));
+        server.publish("lec", test_file(30, 2_000_000)); // 6 s
+        let mut a = StreamingClient::new(c1, s, "lec");
+        let mut b = StreamingClient::new(c2, s, "lec");
+        run_to_completion(
+            &mut net,
+            &mut server,
+            &mut [&mut a, &mut b],
+            600_000_000_000,
+        );
+        assert!(a.is_done() && b.is_done());
+        assert!(!a.is_shed() && !b.is_shed());
+        // Exactly one of them was bounced at least once, and both played.
+        assert!(b.metrics().busy_bounces + a.metrics().busy_bounces >= 1);
+        assert!(a.metrics().samples_rendered > 0);
+        assert!(b.metrics().samples_rendered > 0);
+        assert!(server.metrics().sessions_shed >= 1);
+    }
+
+    #[test]
+    fn busy_budget_exhaustion_sheds_the_session() {
+        use crate::server::AdmissionPolicy;
+        // The budgeted session never ends (live feed without packets), so
+        // the bounced client runs out of patience and is explicitly shed.
+        use crate::server::LiveFeed;
+        let mut net = Network::new(92);
+        let s = net.add_node("server");
+        let c1 = net.add_node("c1");
+        let c2 = net.add_node("c2");
+        net.connect_bidirectional(s, c1, LinkSpec::lan());
+        net.connect_bidirectional(s, c2, LinkSpec::lan());
+        let mut server = StreamingServer::new(s)
+            .with_admission(AdmissionPolicy::new(1, 10_000_000).with_retry_after(5_000_000));
+        let base = test_file(1, 1);
+        let header = crate::wire::StreamHeader {
+            props: base.props.clone(),
+            streams: base.streams.clone(),
+            script: lod_asf::ScriptCommandList::new(),
+            drm: None,
+        };
+        server.publish_live("live", LiveFeed::new(header));
+        let mut a = StreamingClient::new(c1, s, "live");
+        let mut b = StreamingClient::new(c2, s, "live").with_busy_budget(3);
+        // Seat `a` first so `b` is deterministically the bounced client
+        // (LAN jitter could otherwise reorder the two Play requests).
+        a.start(&mut net);
+        let mut t = 0u64;
+        while server.session_count() == 0 {
+            server.poll(&mut net, t);
+            for d in net.advance_to(t) {
+                if d.dst == s {
+                    server.on_message(&mut net, d.time, d.src, d.message);
+                } else if d.dst == c1 {
+                    a.on_message(d.time, d.message);
+                }
+            }
+            t += 1_000_000;
+        }
+        b.start(&mut net);
+        while t < 60_000_000_000 && !b.is_done() {
+            server.poll(&mut net, t);
+            for d in net.advance_to(t) {
+                if d.dst == s {
+                    server.on_message(&mut net, d.time, d.src, d.message);
+                } else if d.dst == c1 {
+                    a.on_message(d.time, d.message);
+                } else {
+                    b.on_message(d.time, d.message);
+                }
+            }
+            b.tick(t);
+            b.poll_busy(&mut net, t);
+            t += 1_000_000;
+        }
+        assert!(b.is_done());
+        assert!(b.is_shed(), "{:?}", b.metrics());
+        assert!(!b.is_abandoned(), "shed is explicit, not a timeout");
+        assert_eq!(b.metrics().busy_bounces, 4, "budget 3 + the final bounce");
+    }
+
+    #[test]
+    fn busy_alternate_steers_to_the_named_node() {
+        let mut net: Network<Wire> = Network::new(93);
+        let s = net.add_node("origin");
+        let alt = net.add_node("relay");
+        let c = net.add_node("client");
+        net.connect_bidirectional(s, c, LinkSpec::lan());
+        net.connect_bidirectional(alt, c, LinkSpec::lan());
+        let mut client = StreamingClient::new(c, s, "lec");
+        client.start(&mut net);
+        client.on_message(
+            1_000,
+            Wire::Busy {
+                retry_after: 10_000_000,
+                alternate: Some(alt),
+            },
+        );
+        assert!(client.poll_redirect(&mut net), "alternate is a redirect");
+        assert_eq!(client.server(), alt);
+        assert_eq!(client.metrics().busy_bounces, 1);
+        assert!(!client.is_shed());
     }
 
     #[test]

@@ -64,8 +64,8 @@ pub mod wire;
 
 pub use client::{ClientState, RenderEvent, StreamingClient};
 pub use metrics::{ClientMetrics, ServerMetrics};
-pub use retry::RetryPolicy;
-pub use server::{LiveFeed, StreamingServer};
+pub use retry::{BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};
+pub use server::{AdmissionPolicy, DegradePolicy, LiveFeed, StreamingServer};
 pub use wire::{ControlRequest, SegmentData, StreamHeader, Wire};
 
 use lod_simnet::Network;
@@ -102,6 +102,7 @@ pub fn run_to_completion(
             events.extend(c.tick(now));
             c.poll_adaptive(net);
             c.poll_redirect(net);
+            c.poll_busy(net, now);
             c.poll_recovery(net, now);
         }
         if clients.iter().all(|c| c.is_done()) {

@@ -28,6 +28,12 @@ pub struct ClientMetrics {
     pub recover_ticks_max: u64,
     /// Whether the session gave up after exhausting its retry budget.
     pub abandoned: bool,
+    /// `Wire::Busy` answers received (admission-control bounces).
+    pub busy_bounces: u64,
+    /// Whether the session was explicitly shed: every admission attempt
+    /// ended in `Busy` and the bounce budget ran out. Distinct from
+    /// `abandoned` (a timeout giving up on a *silent* server).
+    pub shed: bool,
 }
 
 impl ClientMetrics {
@@ -59,6 +65,14 @@ pub struct ServerMetrics {
     /// Sessions dropped because they made no progress for longer than the
     /// idle timeout (crashed clients, never-resumed pauses).
     pub sessions_reaped: u64,
+    /// Play requests refused with `Wire::Busy` (admission control).
+    pub sessions_shed: u64,
+    /// Profile downshifts applied under sustained backlog.
+    pub downshifts: u64,
+    /// Profile upshifts after backlog drained and the hold-down passed.
+    pub upshifts: u64,
+    /// Distinct sessions that were downshifted at least once.
+    pub sessions_degraded: u64,
 }
 
 #[cfg(test)]

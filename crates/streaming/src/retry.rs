@@ -75,12 +75,143 @@ impl RetryPolicy {
 }
 
 /// Fixed-key mixer (Sebastiano Vigna's splitmix64 finalizer): a cheap,
-/// high-quality hash used to derive jitter without a stateful RNG.
-fn splitmix64(mut x: u64) -> u64 {
+/// high-quality hash used to derive jitter — and the server's video
+/// decimation decisions — without a stateful RNG.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
+}
+
+/// When a [`CircuitBreaker`] trips and how long it stays open.
+///
+/// All times are in simulation ticks (100 ns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Ticks the breaker stays open before letting one probe through.
+    pub open_ticks: u64,
+}
+
+impl BreakerPolicy {
+    /// The relay-upstream preset: trip after 4 consecutive fetch
+    /// failures, hold off for 5 s, then probe. The threshold sits above
+    /// what a transient uplink flap accrues under
+    /// [`RetryPolicy::relay_upstream`], so only a dead or saturated
+    /// origin trips it.
+    pub fn upstream() -> Self {
+        Self {
+            failure_threshold: 4,
+            open_ticks: 50_000_000,
+        }
+    }
+}
+
+/// Where a [`CircuitBreaker`] currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; failures are being counted.
+    Closed,
+    /// Requests are refused until the deadline passes.
+    Open {
+        /// Tick at which the next probe may go out.
+        until: u64,
+    },
+    /// One probe is in flight; its outcome decides open vs. closed.
+    HalfOpen,
+}
+
+/// A closed/open/half-open circuit breaker wrapped around a retried
+/// request path.
+///
+/// Retries recover from *lost* requests; a breaker recognises a *dead*
+/// upstream. After `failure_threshold` consecutive failures the breaker
+/// opens and [`CircuitBreaker::allows`] refuses every request for
+/// `open_ticks` — the caller serves from whatever it has cached
+/// (stale-while-unavailable) instead of burning retry budget against a
+/// black hole. The first request after the deadline is the half-open
+/// probe: success closes the breaker, failure re-opens it for another
+/// full window. Purely time-driven, so seeded runs replay byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    state: BreakerState,
+    failures: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker governed by `policy`.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        assert!(
+            policy.failure_threshold > 0,
+            "breaker failure_threshold must be positive"
+        );
+        assert!(policy.open_ticks > 0, "breaker open_ticks must be positive");
+        Self {
+            policy,
+            state: BreakerState::Closed,
+            failures: 0,
+        }
+    }
+
+    /// Whether a request may go out at `now`. An open breaker whose
+    /// window has elapsed transitions to half-open and admits exactly one
+    /// probe; further calls are refused until the probe resolves.
+    pub fn allows(&mut self, now: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open { until } if now >= until => {
+                self.state = BreakerState::HalfOpen;
+                true
+            }
+            BreakerState::Open { .. } | BreakerState::HalfOpen => false,
+        }
+    }
+
+    /// Record a failed (or timed-out) request. Returns `true` when this
+    /// failure tripped the breaker open (closed → open or a failed
+    /// half-open probe re-opening).
+    pub fn record_failure(&mut self, now: u64) -> bool {
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open {
+                    until: now + self.policy.open_ticks,
+                };
+                true
+            }
+            BreakerState::Closed => {
+                self.failures += 1;
+                if self.failures >= self.policy.failure_threshold {
+                    self.state = BreakerState::Open {
+                        until: now + self.policy.open_ticks,
+                    };
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// Record a successful response: the upstream is alive, close the
+    /// breaker and forget accumulated failures.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.failures = 0;
+    }
+
+    /// Current state (for metrics and tests).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether requests are currently being refused.
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, BreakerState::Open { .. })
+    }
 }
 
 #[cfg(test)]
@@ -124,5 +255,70 @@ mod tests {
         };
         assert!(p.allows(1) && p.allows(3));
         assert!(!p.allows(4));
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_refuses() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 3,
+            open_ticks: 100,
+        });
+        assert!(b.allows(0));
+        assert!(!b.record_failure(10));
+        assert!(!b.record_failure(20));
+        assert!(b.record_failure(30), "third failure trips the breaker");
+        assert!(b.is_open());
+        assert!(!b.allows(40), "open breaker refuses");
+        assert!(!b.allows(129), "still inside the window");
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            open_ticks: 100,
+        });
+        assert!(b.record_failure(0));
+        assert!(b.allows(100), "deadline passed: one probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allows(101), "only one probe while half-open");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows(102));
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            open_ticks: 100,
+        });
+        b.record_failure(0);
+        assert!(b.allows(100));
+        assert!(b.record_failure(150), "failed probe re-opens");
+        assert_eq!(b.state(), BreakerState::Open { until: 250 });
+        assert!(!b.allows(200));
+        assert!(b.allows(250), "next window, next probe");
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 2,
+            open_ticks: 100,
+        });
+        b.record_failure(0);
+        b.record_success();
+        assert!(!b.record_failure(10), "count restarted after success");
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    #[should_panic(expected = "failure_threshold must be positive")]
+    fn breaker_rejects_zero_threshold() {
+        CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 0,
+            open_ticks: 100,
+        });
     }
 }

@@ -1,12 +1,85 @@
 //! The streaming server: content catalog, sessions, pacing, live relay.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use lod_asf::{AsfFile, DataPacket};
+use lod_asf::{AsfFile, DataPacket, StreamKind};
+use lod_encoder::BandwidthProfile;
 use lod_simnet::{Network, NodeId, TokenBucket};
 
 use crate::metrics::ServerMetrics;
 use crate::wire::{ControlRequest, SegmentData, StreamHeader, Wire};
+
+/// Admission control: the capacity budget a server is willing to commit
+/// to sessions. A `Play` beyond the budget is answered with
+/// [`Wire::Busy`] instead of silently queueing behind a saturated
+/// uplink. Budget accounting uses each session's *effective* (possibly
+/// downshifted) bitrate, so graceful degradation frees admission room
+/// for the clients it bounced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AdmissionPolicy {
+    /// Hard cap on concurrent sessions.
+    pub max_sessions: u32,
+    /// Total bit/s the server will commit across sessions (size this to
+    /// the uplink the sessions share).
+    pub capacity_bps: u64,
+    /// `retry_after` suggested in the [`Wire::Busy`] answer, ticks.
+    pub retry_after: u64,
+}
+
+impl AdmissionPolicy {
+    /// A budget of `max_sessions` sessions and `capacity_bps` committed
+    /// bit/s, suggesting a 2 s retry to bounced clients.
+    pub fn new(max_sessions: u32, capacity_bps: u64) -> Self {
+        assert!(max_sessions > 0, "admission max_sessions must be positive");
+        assert!(capacity_bps > 0, "admission capacity_bps must be positive");
+        Self {
+            max_sessions,
+            capacity_bps,
+            retry_after: 20_000_000,
+        }
+    }
+
+    /// Overrides the suggested retry delay (ticks).
+    pub fn with_retry_after(mut self, ticks: u64) -> Self {
+        assert!(ticks > 0, "admission retry_after must be positive");
+        self.retry_after = ticks;
+        self
+    }
+}
+
+/// Graceful degradation: when a session's first-hop backlog stays above
+/// `high_watermark` for `downshift_hold` ticks, the server re-paces it
+/// at the next-lower [`BandwidthProfile`] — thinning video packets but
+/// keeping audio and script commands, so the lecture stays followable
+/// (slides still flip) at a fraction of the bandwidth. Once backlog
+/// stays below `low_watermark` for `upshift_hold` ticks, the session is
+/// stepped back up one rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DegradePolicy {
+    /// First-hop backlog (ticks) above which a session degrades.
+    pub high_watermark: u64,
+    /// First-hop backlog (ticks) below which a session may recover.
+    pub low_watermark: u64,
+    /// How long the backlog must stay high before a downshift.
+    pub downshift_hold: u64,
+    /// How long the backlog must stay low before an upshift (the
+    /// hold-down that prevents oscillation).
+    pub upshift_hold: u64,
+}
+
+impl Default for DegradePolicy {
+    /// Degrade after 0.5 s above 1 s of backlog; recover after 10 s
+    /// below 0.1 s. Sits safely under the default 2 s backpressure
+    /// window, so sessions shrink before they freeze.
+    fn default() -> Self {
+        Self {
+            high_watermark: 10_000_000,
+            low_watermark: 1_000_000,
+            downshift_hold: 5_000_000,
+            upshift_hold: 100_000_000,
+        }
+    }
+}
 
 /// A live feed being produced by an encoder: packets are appended as they
 /// are encoded, and every subscribed session relays from the shared tail.
@@ -81,7 +154,7 @@ impl LiveFeed {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 enum SourceRef {
     Stored(String),
     Live(String),
@@ -106,6 +179,86 @@ struct Session {
     /// Wall time of the last forward progress (a packet sent or a control
     /// message received) — the idle-reaping clock.
     last_activity: u64,
+    /// ASF packet size, kept so the pacer can be rebuilt on a shift.
+    packet_size: u32,
+    /// The content's full bitrate (its admission-budget cost when
+    /// undegraded), bit/s.
+    nominal_bps: u64,
+    /// Bitrate currently committed/paced, bit/s (`< nominal_bps` while
+    /// degraded).
+    effective_bps: u64,
+    /// Declared bitrate of the video streams, bit/s.
+    video_bps: u64,
+    /// Stream numbers that carry video (the thinning targets).
+    video_streams: Vec<u16>,
+    /// Fraction of video *samples* kept while degraded, as `kept/total`
+    /// (`kept >= total` means no thinning).
+    keep: (u64, u64),
+    /// Since when the backlog has been above the high watermark.
+    over_since: Option<u64>,
+    /// Since when the backlog has been below the low watermark.
+    under_since: Option<u64>,
+}
+
+impl Session {
+    /// Pacer for `bps`: 2× the rate so the client can build preroll,
+    /// with a burst covering at least the driver's polling cadence.
+    fn pacer_for(bps: u64, packet_size: u32) -> TokenBucket {
+        let rate = bps.max(64_000) * 2;
+        let burst = (rate / 8 / 2).max(u64::from(packet_size) * 8);
+        TokenBucket::new(rate, burst)
+    }
+
+    /// Steps one rung down the profile ladder. Returns `false` when
+    /// already at the bottom (audio-only).
+    fn downshift(&mut self) -> bool {
+        let Some(profile) = BandwidthProfile::next_below(self.effective_bps) else {
+            return false;
+        };
+        let floor = self.nominal_bps.saturating_sub(self.video_bps);
+        let target_video = profile.video_bitrate().min(self.video_bps);
+        if floor + target_video >= self.effective_bps {
+            return false; // the rung below changes nothing
+        }
+        self.keep = if target_video == 0 {
+            (0, 1)
+        } else {
+            (target_video, self.video_bps)
+        };
+        self.effective_bps = floor + target_video;
+        self.pacer = Self::pacer_for(self.effective_bps, self.packet_size);
+        true
+    }
+
+    /// Steps one rung back up (capped at the nominal profile). Returns
+    /// `false` when already undegraded.
+    fn upshift(&mut self) -> bool {
+        if self.effective_bps >= self.nominal_bps {
+            return false;
+        }
+        let floor = self.nominal_bps.saturating_sub(self.video_bps);
+        let restored = match BandwidthProfile::next_above(self.effective_bps) {
+            Some(profile) if profile.total_bitrate() < self.nominal_bps => {
+                let target_video = profile.video_bitrate().min(self.video_bps);
+                self.keep = (target_video, self.video_bps);
+                floor + target_video
+            }
+            // Above the ladder (or the next rung overshoots): restore
+            // the full nominal profile.
+            _ => {
+                self.keep = (1, 1);
+                self.nominal_bps
+            }
+        };
+        self.effective_bps = restored;
+        self.pacer = Self::pacer_for(self.effective_bps, self.packet_size);
+        true
+    }
+
+    /// Whether video payloads are currently being decimated.
+    fn thinning(&self) -> bool {
+        self.keep.0 < self.keep.1
+    }
 }
 
 /// The streaming server node.
@@ -128,6 +281,17 @@ pub struct StreamingServer {
     /// Ticks of inactivity after which a session is reaped
     /// (`u64::MAX` disables reaping).
     idle_timeout: u64,
+    /// When set, Plays beyond the budget are answered with `Busy`.
+    admission: Option<AdmissionPolicy>,
+    /// When set, congested sessions are downshifted instead of frozen.
+    degrade: Option<DegradePolicy>,
+    /// Nodes never refused by admission control (e.g. edge relays whose
+    /// live subscription fans out to a whole classroom).
+    admission_exempt: Vec<NodeId>,
+    /// Clients that have ever been downshifted, so `sessions_degraded`
+    /// counts each one once even across session re-creation (seeks,
+    /// retries, tail re-Plays after EOS).
+    degraded_clients: HashSet<NodeId>,
     metrics: ServerMetrics,
 }
 
@@ -143,15 +307,73 @@ impl StreamingServer {
             backlog_limit: 20_000_000, // 2 s
             segment_packets: 64,
             idle_timeout: 1_200_000_000, // 2 minutes
+            admission: None,
+            degrade: None,
+            admission_exempt: Vec::new(),
+            degraded_clients: HashSet::new(),
             metrics: ServerMetrics::default(),
         }
     }
 
     /// Overrides the backpressure window (first-hop backlog cap, ticks).
     /// `u64::MAX` disables backpressure entirely.
+    ///
+    /// # Panics
+    ///
+    /// On `ticks == 0`: a zero window would silently freeze every
+    /// session on its first packet. Disable backpressure with
+    /// `u64::MAX`, not 0.
     pub fn with_backlog_limit(mut self, ticks: u64) -> Self {
+        assert!(
+            ticks > 0,
+            "backlog limit must be positive (u64::MAX disables backpressure)"
+        );
         self.backlog_limit = ticks;
         self
+    }
+
+    /// Enables admission control: Plays beyond `policy`'s budget are
+    /// answered with [`Wire::Busy`] and counted in
+    /// `ServerMetrics::sessions_shed`.
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
+        assert!(
+            policy.max_sessions > 0,
+            "admission max_sessions must be positive"
+        );
+        assert!(
+            policy.capacity_bps > 0,
+            "admission capacity_bps must be positive"
+        );
+        assert!(
+            policy.retry_after > 0,
+            "admission retry_after must be positive"
+        );
+        self.admission = Some(policy);
+        self
+    }
+
+    /// Enables graceful degradation under `policy`: sustained backlog
+    /// downshifts sessions one bandwidth-profile rung at a time instead
+    /// of freezing them.
+    pub fn with_degrade(mut self, policy: DegradePolicy) -> Self {
+        assert!(
+            policy.high_watermark > policy.low_watermark,
+            "degrade high watermark must exceed the low watermark"
+        );
+        assert!(
+            policy.downshift_hold > 0 && policy.upshift_hold > 0,
+            "degrade holds must be positive"
+        );
+        self.degrade = Some(policy);
+        self
+    }
+
+    /// Exempts `node` from admission control (an edge relay: refusing
+    /// its one upstream subscription would shed a whole classroom).
+    pub fn exempt_from_admission(&mut self, node: NodeId) {
+        if !self.admission_exempt.contains(&node) {
+            self.admission_exempt.push(node);
+        }
     }
 
     /// Overrides the idle-session timeout: a session that neither sends a
@@ -163,8 +385,13 @@ impl StreamingServer {
     }
 
     /// Overrides how many packets make up one relay segment.
+    ///
+    /// # Panics
+    ///
+    /// On `packets == 0` — a segment must hold at least one packet.
     pub fn with_segment_packets(mut self, packets: u32) -> Self {
-        self.segment_packets = packets.max(1);
+        assert!(packets > 0, "segment packets must be positive");
+        self.segment_packets = packets;
         self
     }
 
@@ -372,6 +599,39 @@ impl StreamingServer {
         content: &str,
         start: u64,
     ) {
+        // Admission control: refuse *new* sessions beyond the budget with
+        // an explicit Busy. Re-Plays of an existing session (seeks,
+        // redirect handoffs, retries-from-horizon) always pass — the
+        // budget already counts them — and so do exempted nodes.
+        if let Some(policy) = self.admission {
+            let nominal = self
+                .stored
+                .get(content)
+                .map(|f| u64::from(f.props.max_bitrate))
+                .or_else(|| {
+                    self.live
+                        .get(content)
+                        .and_then(|f| f.header.as_ref())
+                        .map(|h| u64::from(h.props.max_bitrate))
+                });
+            let is_new = !self.sessions.iter().any(|s| s.client == client)
+                && !self.admission_exempt.contains(&client);
+            if let (Some(nominal), true) = (nominal, is_new) {
+                let committed: u64 = self.sessions.iter().map(|s| s.effective_bps).sum();
+                if self.sessions.len() as u64 >= u64::from(policy.max_sessions)
+                    || committed.saturating_add(nominal) > policy.capacity_bps
+                {
+                    self.metrics.sessions_shed += 1;
+                    let busy = Wire::Busy {
+                        retry_after: policy.retry_after,
+                        alternate: None,
+                    };
+                    let bytes = busy.wire_bytes(0);
+                    let _ = net.send_reliable(self.node, client, bytes, busy);
+                    return;
+                }
+            }
+        }
         let (header, source, rate, first_packet) = if let Some(file) = self.stored.get(content) {
             // Resume mid-file (a redirect handoff or a client retry from
             // its playback horizon): start at the indexed packet instead
@@ -411,14 +671,35 @@ impl StreamingServer {
         };
         let bytes = header.wire_bytes();
         let packet_size = header.props.packet_size;
+        let nominal_bps = u64::from(rate);
+        let video_streams: Vec<u16> = header
+            .streams
+            .iter()
+            .filter(|st| st.kind == StreamKind::Video)
+            .map(|st| st.number)
+            .collect();
+        let video_bps: u64 = header
+            .streams
+            .iter()
+            .filter(|st| st.kind == StreamKind::Video)
+            .map(|st| u64::from(st.bitrate))
+            .sum();
         let _ = net.send_reliable(self.node, client, bytes, Wire::Header(header));
-        // Pace at 2x the nominal bitrate so the client can build preroll.
-        // The burst must cover at least the driver's polling cadence
-        // (100 ms), so allow half a second of data at the paced rate.
-        let rate = (u64::from(rate).max(64_000)) * 2;
-        let burst = (rate / 8 / 2).max(u64::from(packet_size) * 8);
         self.metrics.sessions_served += 1;
+        // A re-Play of the same content (seek, retry, redirect handoff)
+        // replaces the session but keeps its degradation state — the
+        // congestion that downshifted it has not gone away just because
+        // the client retried, and `sessions_degraded` must not re-count.
+        let prior = self
+            .sessions
+            .iter()
+            .position(|s| s.client == client)
+            .map(|i| self.sessions.remove(i))
+            .filter(|p| p.source == source);
         self.sessions.retain(|s| s.client != client);
+        let (effective_bps, keep) = prior.map_or((nominal_bps, (1, 1)), |p| {
+            (p.effective_bps.min(nominal_bps), p.keep)
+        });
         self.sessions.push(Session {
             client,
             source,
@@ -427,10 +708,21 @@ impl StreamingServer {
             base_time: now.saturating_sub(start),
             paused: false,
             paused_at: 0,
-            pacer: TokenBucket::new(rate, burst),
+            // Pace at 2x the (possibly degraded) bitrate so the client
+            // can build preroll; the burst covers at least the driver's
+            // polling cadence (100 ms).
+            pacer: Session::pacer_for(effective_bps, packet_size),
             stream_filter: self.pending_filters.remove(&client),
             eos_sent: false,
             last_activity: now,
+            packet_size,
+            nominal_bps,
+            effective_bps,
+            video_bps,
+            video_streams,
+            keep,
+            over_since: None,
+            under_since: None,
         });
     }
 
@@ -469,6 +761,45 @@ impl StreamingServer {
                 let _ = net.send_reliable(self.node, s.client, bytes, msg);
                 s.next_script += 1;
             }
+            // Graceful degradation: sustained backlog above the high
+            // watermark downshifts the session one profile rung (video
+            // thinned, audio and scripts intact); sustained calm below
+            // the low watermark steps it back up after the hold-down.
+            if let Some(dp) = self.degrade {
+                let backlog = net.first_hop_backlog(self.node, s.client).unwrap_or(0);
+                if backlog > dp.high_watermark {
+                    s.under_since = None;
+                    match s.over_since {
+                        None => s.over_since = Some(now),
+                        Some(t0) if now.saturating_sub(t0) >= dp.downshift_hold => {
+                            if s.downshift() {
+                                self.metrics.downshifts += 1;
+                                if self.degraded_clients.insert(s.client) {
+                                    self.metrics.sessions_degraded += 1;
+                                }
+                            }
+                            s.over_since = Some(now);
+                        }
+                        Some(_) => {}
+                    }
+                } else if backlog < dp.low_watermark {
+                    s.over_since = None;
+                    match s.under_since {
+                        None => s.under_since = Some(now),
+                        Some(t0) if now.saturating_sub(t0) >= dp.upshift_hold => {
+                            if s.upshift() {
+                                self.metrics.upshifts += 1;
+                            }
+                            s.under_since = Some(now);
+                        }
+                        Some(_) => {}
+                    }
+                } else {
+                    // Inside the hysteresis band: hold steady.
+                    s.over_since = None;
+                    s.under_since = None;
+                }
+            }
             while s.next_packet < packets.len() {
                 let p = &packets[s.next_packet];
                 if p.send_time + s.base_time > now {
@@ -476,27 +807,49 @@ impl StreamingServer {
                 }
                 // Backpressure (the TCP send window of the era's HTTP
                 // streaming): don't pile more than ~2 s of queueing onto
-                // the first-hop link.
-                if net.link_backlog(self.node, s.client).unwrap_or(0) > self.backlog_limit {
+                // the first-hop link — which may be a shared uplink
+                // toward a router, not a private last-mile link.
+                if net.first_hop_backlog(self.node, s.client).unwrap_or(0) > self.backlog_limit {
                     self.metrics.backpressure_pauses += 1;
                     break;
                 }
-                // Stream thinning: strip payloads of deselected streams;
-                // skip packets that end up empty.
-                let (packet, wire_bytes) = match &s.stream_filter {
-                    None => (p.clone(), u64::from(packet_size)),
-                    Some(keep) => {
-                        let mut thin = p.clone();
-                        thin.payloads.retain(|pl| keep.contains(&pl.stream));
-                        if thin.payloads.is_empty() {
-                            s.next_packet += 1;
-                            continue;
+                // Stream thinning: strip payloads of deselected streams
+                // and decimate video payloads while degraded; skip
+                // packets that end up empty.
+                let (packet, wire_bytes) = if s.stream_filter.is_none() && !s.thinning() {
+                    (p.clone(), u64::from(packet_size))
+                } else {
+                    let mut thin = p.clone();
+                    let (num, den) = s.keep;
+                    let filter = &s.stream_filter;
+                    let video_streams = &s.video_streams;
+                    let decimate = num < den;
+                    thin.payloads.retain(|pl| {
+                        if let Some(keep) = filter {
+                            if !keep.contains(&pl.stream) {
+                                return false;
+                            }
                         }
-                        let bytes = (lod_asf::packet::PACKET_HEADER_BYTES
-                            + thin.payloads.len() * lod_asf::packet::PAYLOAD_HEADER_BYTES
-                            + thin.media_bytes()) as u64;
-                        (thin, bytes)
+                        if decimate && video_streams.contains(&pl.stream) {
+                            // Decide per *sample*, not per payload: every
+                            // fragment of one video sample shares
+                            // (stream, pres_time), so samples are dropped
+                            // whole and survivors stay reassemblable.
+                            let h = crate::retry::splitmix64(
+                                pl.pres_time ^ (u64::from(pl.stream) << 48),
+                            );
+                            return h % den < num;
+                        }
+                        true
+                    });
+                    if thin.payloads.is_empty() {
+                        s.next_packet += 1;
+                        continue;
                     }
+                    let bytes = (lod_asf::packet::PACKET_HEADER_BYTES
+                        + thin.payloads.len() * lod_asf::packet::PAYLOAD_HEADER_BYTES
+                        + thin.media_bytes()) as u64;
+                    (thin, bytes)
                 };
                 if !s.pacer.try_consume(wire_bytes, now) {
                     break;
@@ -786,6 +1139,268 @@ pub(crate) mod tests {
             tail < full * 3 / 4,
             "resume must not resend the prefix: {tail} vs {full}"
         );
+    }
+
+    /// A file with interleaved video (stream 1) and audio (stream 2)
+    /// samples — the degradation test target.
+    fn av_test_file(samples: usize, spacing: u64) -> AsfFile {
+        let video_bytes = (400_000u64 / 8) * spacing / 10_000_000;
+        let audio_bytes = (32_000u64 / 8) * spacing / 10_000_000;
+        let mut pk = Packetizer::new(256).unwrap();
+        for i in 0..samples as u64 {
+            pk.push(&MediaSample::new(
+                1,
+                i * spacing,
+                vec![7; video_bytes.max(16) as usize],
+            ));
+            pk.push(&MediaSample::new(
+                2,
+                i * spacing,
+                vec![3; audio_bytes.max(8) as usize],
+            ));
+        }
+        let mut f = AsfFile {
+            props: FileProperties {
+                file_id: 2,
+                created: 0,
+                packet_size: 256,
+                play_duration: samples as u64 * spacing,
+                preroll: 2 * spacing,
+                broadcast: false,
+                max_bitrate: 500_000,
+            },
+            streams: vec![
+                StreamProperties {
+                    number: 1,
+                    kind: StreamKind::Video,
+                    codec: 4,
+                    bitrate: 400_000,
+                    name: "v".into(),
+                },
+                StreamProperties {
+                    number: 2,
+                    kind: StreamKind::Audio,
+                    codec: 1,
+                    bitrate: 32_000,
+                    name: "a".into(),
+                },
+            ],
+            script: ScriptCommandList::new(),
+            drm: None,
+            packets: pk.finish(),
+            index: None,
+        };
+        f.build_index(spacing);
+        f
+    }
+
+    #[test]
+    fn busy_answer_beyond_session_budget() {
+        let mut net = Network::new(21);
+        let s = net.add_node("server");
+        let c1 = net.add_node("c1");
+        let c2 = net.add_node("c2");
+        net.connect_bidirectional(s, c1, LinkSpec::lan());
+        net.connect_bidirectional(s, c2, LinkSpec::lan());
+        let mut server =
+            StreamingServer::new(s).with_admission(AdmissionPolicy::new(1, 10_000_000));
+        server.publish("lec", test_file(40, 2_000_000));
+        let play = |content: &str| {
+            Wire::Request(ControlRequest::Play {
+                content: content.into(),
+                from: 0,
+            })
+        };
+        server.on_message(&mut net, 0, c1, play("lec"));
+        server.on_message(&mut net, 0, c2, play("lec"));
+        assert_eq!(server.session_count(), 1, "second Play refused");
+        assert_eq!(server.metrics().sessions_shed, 1);
+        let d = net.advance_to(10_000_000);
+        let busy = d
+            .iter()
+            .find(|d| d.dst == c2 && matches!(d.message, Wire::Busy { .. }))
+            .expect("c2 got an explicit Busy");
+        assert!(matches!(
+            busy.message,
+            Wire::Busy {
+                retry_after: 20_000_000,
+                alternate: None
+            }
+        ));
+    }
+
+    #[test]
+    fn admission_counts_committed_bitrate() {
+        let mut net = Network::new(22);
+        let s = net.add_node("server");
+        let c1 = net.add_node("c1");
+        let c2 = net.add_node("c2");
+        net.connect_bidirectional(s, c1, LinkSpec::lan());
+        net.connect_bidirectional(s, c2, LinkSpec::lan());
+        // Room in sessions but not in bits: the file costs 500 kbit/s and
+        // the budget is 600 kbit/s.
+        let mut server = StreamingServer::new(s).with_admission(AdmissionPolicy::new(64, 600_000));
+        server.publish("lec", test_file(40, 2_000_000));
+        for (c, expect) in [(c1, 1usize), (c2, 1)] {
+            server.on_message(
+                &mut net,
+                0,
+                c,
+                Wire::Request(ControlRequest::Play {
+                    content: "lec".into(),
+                    from: 0,
+                }),
+            );
+            assert_eq!(server.session_count(), expect);
+        }
+        assert_eq!(server.metrics().sessions_shed, 1);
+    }
+
+    #[test]
+    fn replay_of_existing_session_bypasses_admission() {
+        let mut net = Network::new(23);
+        let s = net.add_node("server");
+        let c = net.add_node("client");
+        net.connect_bidirectional(s, c, LinkSpec::lan());
+        let mut server = StreamingServer::new(s).with_admission(AdmissionPolicy::new(1, 500_000));
+        server.publish("lec", test_file(40, 2_000_000));
+        for t in [0u64, 1_000_000] {
+            // The second Play is a retry-from-horizon: same client, so no
+            // extra budget is needed and no Busy goes out.
+            server.on_message(
+                &mut net,
+                t,
+                c,
+                Wire::Request(ControlRequest::Play {
+                    content: "lec".into(),
+                    from: t,
+                }),
+            );
+        }
+        assert_eq!(server.session_count(), 1);
+        assert_eq!(server.metrics().sessions_shed, 0);
+    }
+
+    #[test]
+    fn exempt_node_bypasses_admission() {
+        let mut net = Network::new(24);
+        let s = net.add_node("server");
+        let relay = net.add_node("relay");
+        let c = net.add_node("client");
+        net.connect_bidirectional(s, relay, LinkSpec::lan());
+        net.connect_bidirectional(s, c, LinkSpec::lan());
+        let mut server = StreamingServer::new(s).with_admission(AdmissionPolicy::new(1, 500_000));
+        server.publish("lec", test_file(40, 2_000_000));
+        server.exempt_from_admission(relay);
+        let play = Wire::Request(ControlRequest::Play {
+            content: "lec".into(),
+            from: 0,
+        });
+        server.on_message(&mut net, 0, c, play.clone());
+        server.on_message(&mut net, 0, relay, play);
+        assert_eq!(server.session_count(), 2, "the relay is never refused");
+        assert_eq!(server.metrics().sessions_shed, 0);
+    }
+
+    #[test]
+    fn sustained_backlog_downshifts_then_recovery_upshifts() {
+        // One congested run with degradation, one without; the link heals
+        // at 5 s and both runs drain completely, so the delivered payload
+        // mix isolates what decimation dropped.
+        let run = |degrade: bool| -> (ServerMetrics, usize, usize) {
+            let mut net = Network::new(25);
+            let s = net.add_node("server");
+            let c = net.add_node("client");
+            // Slower than the content's 432 kbit/s: backlog builds at once.
+            let thin = LinkSpec::broadband().with_bandwidth(150_000);
+            net.connect_bidirectional(s, c, thin);
+            let mut server = StreamingServer::new(s).with_backlog_limit(40_000_000);
+            if degrade {
+                server = server.with_degrade(DegradePolicy {
+                    high_watermark: 5_000_000,
+                    low_watermark: 1_000_000,
+                    downshift_hold: 2_000_000,
+                    upshift_hold: 10_000_000,
+                });
+            }
+            server.publish("lec", av_test_file(300, 1_000_000)); // 30 s
+            server.on_message(
+                &mut net,
+                0,
+                c,
+                Wire::Request(ControlRequest::Play {
+                    content: "lec".into(),
+                    from: 0,
+                }),
+            );
+            let mut video = 0usize;
+            let mut audio = 0usize;
+            let mut t = 0u64;
+            while t < 500_000_000 {
+                if t == 50_000_000 {
+                    // The congestion clears.
+                    net.set_link_spec(s, c, LinkSpec::lan());
+                }
+                server.poll(&mut net, t);
+                for d in net.advance_to(t) {
+                    if let Wire::Data(p) = &d.message {
+                        video += p.payloads.iter().filter(|pl| pl.stream == 1).count();
+                        audio += p.payloads.iter().filter(|pl| pl.stream == 2).count();
+                    }
+                }
+                t += 1_000_000;
+            }
+            (server.metrics(), video, audio)
+        };
+        let (degraded, video_thin, audio_thin) = run(true);
+        let (plain, video_full, audio_full) = run(false);
+        assert!(degraded.downshifts >= 1, "congestion must downshift");
+        assert_eq!(degraded.sessions_degraded, 1);
+        assert!(degraded.upshifts >= 1, "the healed link must upshift");
+        assert_eq!(plain.downshifts, 0);
+        assert!(
+            video_thin < video_full,
+            "decimation must drop video samples: {video_thin} vs {video_full}"
+        );
+        assert_eq!(
+            audio_thin, audio_full,
+            "audio must survive degradation untouched"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "backlog limit must be positive")]
+    fn zero_backlog_limit_is_rejected() {
+        let mut net: Network<Wire> = Network::new(1);
+        let s = net.add_node("server");
+        let _ = StreamingServer::new(s).with_backlog_limit(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment packets must be positive")]
+    fn zero_segment_packets_is_rejected() {
+        let mut net: Network<Wire> = Network::new(1);
+        let s = net.add_node("server");
+        let _ = StreamingServer::new(s).with_segment_packets(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_sessions must be positive")]
+    fn zero_admission_sessions_is_rejected() {
+        AdmissionPolicy::new(0, 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "high watermark must exceed")]
+    fn inverted_degrade_watermarks_are_rejected() {
+        let mut net: Network<Wire> = Network::new(1);
+        let s = net.add_node("server");
+        let _ = StreamingServer::new(s).with_degrade(DegradePolicy {
+            high_watermark: 1,
+            low_watermark: 2,
+            downshift_hold: 1,
+            upshift_hold: 1,
+        });
     }
 
     #[test]

@@ -136,6 +136,17 @@ pub enum Wire {
         /// The node that will (now) serve the session.
         to: NodeId,
     },
+    /// The server is at capacity and refuses the Play (admission
+    /// control): the client should retry after `retry_after` ticks, or go
+    /// straight to `alternate` when the overloaded node knows a
+    /// less-loaded peer. An explicit answer beats silently queueing the
+    /// session behind a saturated uplink.
+    Busy {
+        /// Suggested wait before re-issuing the Play, in ticks.
+        retry_after: u64,
+        /// A less-loaded node to try instead, when known.
+        alternate: Option<NodeId>,
+    },
 }
 
 impl Wire {
@@ -150,6 +161,7 @@ impl Wire {
             Wire::NotFound(name) => 16 + name.len() as u64,
             Wire::Segment(s) => s.wire_bytes(),
             Wire::Redirect { .. } => 24,
+            Wire::Busy { .. } => 32,
         }
     }
 }
@@ -243,5 +255,21 @@ mod tests {
         let relay = net.add_node("relay");
         let w = Wire::Redirect { to: relay };
         assert_eq!(w.wire_bytes(1500), 24);
+    }
+
+    #[test]
+    fn busy_is_a_small_control_message() {
+        let mut net: lod_simnet::Network<()> = lod_simnet::Network::new(1);
+        let relay = net.add_node("relay");
+        let w = Wire::Busy {
+            retry_after: 20_000_000,
+            alternate: Some(relay),
+        };
+        assert_eq!(w.wire_bytes(1500), 32);
+        let w = Wire::Busy {
+            retry_after: 20_000_000,
+            alternate: None,
+        };
+        assert_eq!(w.wire_bytes(1500), 32);
     }
 }

@@ -1,0 +1,80 @@
+//! Property tests for the retry/backoff layer.
+//!
+//! The chaos and overload experiments lean on two promises: retry delays
+//! never blow past the configured ceiling (plus the documented 25 %
+//! jitter), and a seeded schedule is a pure function of its inputs —
+//! byte-identical on every machine, every run.
+
+use lod_streaming::RetryPolicy;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn delays_are_bounded_by_cap_plus_jitter(
+        base in 1u64..50_000_000,
+        cap_mult in 1u64..8,
+        attempt in 1u32..64,
+        salt in any::<u64>(),
+    ) {
+        let p = RetryPolicy {
+            request_timeout: 1,
+            base_backoff: base,
+            max_backoff: base.saturating_mul(cap_mult),
+            max_retries: 64,
+        };
+        let backoff = p.backoff(attempt);
+        prop_assert!(backoff <= p.max_backoff, "backoff respects the cap");
+        let delay = p.retry_delay(attempt, salt);
+        prop_assert!(delay >= backoff, "jitter only ever adds");
+        prop_assert!(
+            delay <= backoff + backoff / 4 + 1,
+            "jitter stays within the documented 25%: {delay} vs {backoff}"
+        );
+    }
+
+    #[test]
+    fn backoff_is_non_decreasing_up_to_the_cap(
+        base in 1u64..10_000_000,
+        cap in 1u64..100_000_000,
+        attempt in 1u32..63,
+    ) {
+        let p = RetryPolicy {
+            request_timeout: 1,
+            base_backoff: base,
+            max_backoff: cap,
+            max_retries: 64,
+        };
+        prop_assert!(
+            p.backoff(attempt + 1) >= p.backoff(attempt),
+            "attempt {} must not wait less than attempt {}",
+            attempt + 1,
+            attempt
+        );
+    }
+
+    #[test]
+    fn same_seed_policies_produce_identical_schedules(
+        base in 1u64..10_000_000,
+        cap in 1u64..100_000_000,
+        timeout in 1u64..100_000_000,
+        salt in any::<u64>(),
+    ) {
+        // Two policies built independently from the same numbers must
+        // agree on every delay — no hidden state, no ambient randomness.
+        let a = RetryPolicy {
+            request_timeout: timeout,
+            base_backoff: base,
+            max_backoff: cap,
+            max_retries: 16,
+        };
+        let b = RetryPolicy {
+            request_timeout: timeout,
+            base_backoff: base,
+            max_backoff: cap,
+            max_retries: 16,
+        };
+        let schedule_a: Vec<u64> = (1..=16).map(|n| a.retry_delay(n, salt)).collect();
+        let schedule_b: Vec<u64> = (1..=16).map(|n| b.retry_delay(n, salt)).collect();
+        prop_assert_eq!(schedule_a, schedule_b);
+    }
+}

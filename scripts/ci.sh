@@ -27,4 +27,13 @@ if ! diff "$tmpdir/a.json" "$tmpdir/b.json"; then
 fi
 echo "reports identical"
 
+echo "===== q10_overload determinism (two runs, byte-identical reports) ====="
+cargo run -q --offline -p lod-bench --bin q10_overload -- --seed 7 --json "$tmpdir/oa.json" > /dev/null
+cargo run -q --offline -p lod-bench --bin q10_overload -- --seed 7 --json "$tmpdir/ob.json" > /dev/null
+if ! diff "$tmpdir/oa.json" "$tmpdir/ob.json"; then
+    echo "FAIL: two seed-7 overload runs diverged (nondeterminism crept in)"
+    exit 1
+fi
+echo "reports identical"
+
 echo "CI checks passed."

@@ -5,7 +5,7 @@ set -e
 for b in e1_content_tree e2_build_steps e3_insert e4_delete e5_publish \
          e6_abstractor e7_replay \
          q1_sync_models q2_profiles q3_floor q4_script_sync q5_scale \
-         q6_classroom q7_distributed q8_relay q9_chaos \
+         q6_classroom q7_distributed q8_relay q9_chaos q10_overload \
          a1_sync_granularity a2_prefetch a3_preroll a4_thinning a5_backpressure; do
     echo "===== $b ====="
     cargo run -q -p lod-bench --bin "$b"
