@@ -105,12 +105,14 @@ impl Outcome {
             relay_shed: relay.map_or(0, |r| r.metrics.sessions_shed),
             breaker_opens: relay.map_or(0, |r| r.metrics.breaker_opens),
             fetches_suppressed: relay.map_or(0, |r| r.metrics.fetches_suppressed),
-            // Integer per-mille so no float ever reaches the report.
+            // Integer per-mille so no float ever reaches the report
+            // (shed clients never played, so their zero stall time would
+            // only dilute the max).
             worst_rebuffer_permille: report
                 .clients
                 .iter()
                 .filter(|c| !c.shed)
-                .map(|c| c.stall_ticks * 1000 / play_duration.max(1))
+                .map(|c| c.rebuffer_permille(play_duration.max(1)))
                 .max()
                 .unwrap_or(0),
             session_ms: report.session_ticks / 10_000,

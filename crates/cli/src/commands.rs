@@ -5,7 +5,8 @@ use std::io::Write;
 use lod_asf::{read_asf, write_asf, License};
 use lod_content_tree::render_ascii;
 use lod_core::{
-    synthetic_lecture, Abstractor, AdmissionPolicy, DegradePolicy, RelayTierConfig, Wmps,
+    check_causal, parse_jsonl, session_timelines, synthetic_lecture, worst_by_stall, Abstractor,
+    AdmissionPolicy, DegradePolicy, Recorder, RelayTierConfig, Wmps,
 };
 use lod_encoder::{evenly_spaced_deck, Annotation, Publisher, VideoFileSpec};
 use lod_media::{TickDuration, Ticks};
@@ -25,6 +26,7 @@ pub fn run(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
         "inspect" => inspect(args, out),
         "replay" => replay(args, out),
         "serve" => serve(args, out),
+        "report" => report_cmd(args, out),
         "abstract" => abstract_cmd(args, out),
         "net" => net_cmd(args, out),
         other => Err(CliError::UnknownCommand(other.to_string())),
@@ -187,13 +189,16 @@ fn replay(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 }
 
 /// `wmps serve <file.asf> [--students N] [--link lan|broadband|modem]
-/// [--seed N] [--relays K] [--max-sessions N] [--degrade on|off]`
+/// [--seed N] [--relays K] [--max-sessions N] [--degrade on|off]
+/// [--metrics-out PATH]`
 ///
 /// With `--relays K`, students sit behind K edge relays that pull packet
 /// segments across the server link once and fan them out locally.
 /// `--max-sessions N` arms admission control (students beyond the budget
 /// are answered Busy) and `--degrade on` arms graceful profile downshift
-/// under sustained backlog.
+/// under sustained backlog. `--metrics-out PATH` arms the structured
+/// event recorder and writes the Prometheus-style exposition to `PATH`
+/// and the JSONL event log to `PATH.jsonl` (feed that to `wmps report`).
 fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let path = args.positional(0, "<.asf path>")?;
     let bytes = std::fs::read(path)?;
@@ -219,15 +224,22 @@ fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
         let seat = u64::from(file.props.max_bitrate).max(64_000);
         AdmissionPolicy::new(max_sessions, seat * u64::from(max_sessions))
     });
-    let report = if relays > 0 || admission.is_some() || degrade {
-        // Overload knobs live on the relay-tier driver; with --relays 0
-        // it degenerates to students behind one campus router.
+    let metrics_out = args.flag("metrics-out").map(str::to_string);
+    let recorder = match metrics_out {
+        Some(_) => Recorder::new(),
+        None => Recorder::disabled(),
+    };
+    let report = if relays > 0 || admission.is_some() || degrade || recorder.is_enabled() {
+        // Overload knobs and the recorder live on the relay-tier driver;
+        // with --relays 0 it degenerates to students behind one campus
+        // router.
         let cfg = RelayTierConfig {
             relays,
             origin_admission: admission,
             relay_admission: admission,
             relay_capacity_sessions: admission.map(|a| a.max_sessions as usize),
             degrade: degrade.then(DegradePolicy::default),
+            recorder: recorder.clone(),
             ..RelayTierConfig::default()
         };
         Wmps::new().serve_with_relays(file, link, LinkSpec::lan(), students, seed, &cfg)
@@ -278,6 +290,50 @@ fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
             report.server.upshifts,
             report.server.sessions_degraded
         )?;
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, recorder.prometheus())?;
+        let jsonl = format!("{path}.jsonl");
+        std::fs::write(&jsonl, recorder.to_jsonl())?;
+        writeln!(
+            out,
+            "  metrics: {} event(s) -> {jsonl}, exposition -> {path}",
+            recorder.event_count()
+        )?;
+    }
+    Ok(())
+}
+
+/// `wmps report <events.jsonl> [--top N]`
+///
+/// Reconstructs per-session timelines from a JSONL event log written by
+/// `wmps serve --metrics-out` and prints the `N` (default 5) sessions
+/// with the most stalled time, worst first, plus the causal-invariant
+/// verdict over the whole log.
+fn report_cmd(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let path = args.positional(0, "<events .jsonl path>")?;
+    let top = args.num_or("top", 5usize)?;
+    let text = std::fs::read_to_string(path)?;
+    let events = parse_jsonl(&text).map_err(CliError::Content)?;
+    let timelines = session_timelines(&events);
+    writeln!(
+        out,
+        "{path}: {} event(s), {} session(s)",
+        events.len(),
+        timelines.len()
+    )?;
+    let causal = check_causal(&events);
+    writeln!(
+        out,
+        "causal invariants: {} ({} downshift(s) heralded, {} recover(ies) matched, {} shed(s))",
+        if causal.holds() { "ok" } else { "VIOLATED" },
+        causal.downshifts - causal.unheralded_downshifts,
+        causal.recoveries - causal.unmatched_recoveries,
+        causal.total_sheds()
+    )?;
+    writeln!(out, "worst sessions by stalled time:")?;
+    for t in worst_by_stall(&timelines, top) {
+        write!(out, "{}", t.render())?;
     }
     Ok(())
 }
@@ -488,6 +544,55 @@ mod tests {
             &mut Vec::new()
         )
         .is_err());
+    }
+
+    #[test]
+    fn serve_metrics_out_feeds_report() {
+        let asf = tmp("observed.asf");
+        run(
+            &argv(&format!("publish {asf} --duration-secs 10 --slides 1")),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let prom = tmp("observed.prom");
+        let mut buf = Vec::new();
+        run(
+            &argv(&format!(
+                "serve {asf} --students 2 --link lan --metrics-out {prom}"
+            )),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("metrics:"), "{text}");
+
+        let exposition = std::fs::read_to_string(&prom).unwrap();
+        assert!(
+            exposition.contains("lod_server_sessions_served_total"),
+            "{exposition}"
+        );
+        assert!(exposition.contains("lod_events_total"), "{exposition}");
+        let jsonl = std::fs::read_to_string(format!("{prom}.jsonl")).unwrap();
+        assert!(jsonl.contains("\"kind\":\"session_start\""), "{jsonl}");
+
+        let mut buf = Vec::new();
+        run(&argv(&format!("report {prom}.jsonl --top 1")), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("causal invariants: ok"), "{text}");
+        assert!(text.contains("2 session(s)"), "{text}");
+        assert!(text.contains("session student0"), "{text}");
+        // --top 1 prints exactly one session block.
+        assert_eq!(text.matches("session student").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn report_rejects_garbage_logs() {
+        let path = tmp("garbage.jsonl");
+        std::fs::write(&path, "not json at all\n").unwrap();
+        assert!(matches!(
+            run(&argv(&format!("report {path}")), &mut Vec::new()),
+            Err(CliError::Content(_))
+        ));
     }
 
     #[test]

@@ -36,7 +36,9 @@ USAGE:
   wmps inspect <file.asf>
   wmps replay  <file.asf> [--license ID:KEY]
   wmps serve   <file.asf> [--students N] [--link lan|broadband|modem] [--seed N]
-               [--relays K]
+               [--relays K] [--max-sessions N] [--degrade on|off]
+               [--metrics-out PATH]
+  wmps report  <events.jsonl> [--top N]
   wmps abstract [--seed N] [--minutes N] [--budget-secs N]
   wmps net     [--units N] [--streams N] [--sync-every N] | [--floor N]   # Graphviz DOT
 

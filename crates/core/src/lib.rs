@@ -45,3 +45,10 @@ pub use wmps::{
 // The overload-protection policies, re-exported so facade users (the CLI,
 // the benches) need not depend on lod-streaming directly.
 pub use lod_streaming::{AdmissionPolicy, BreakerPolicy, DegradePolicy};
+// The observability surface, likewise: arm `RelayTierConfig::recorder`
+// with `Recorder::new()`, then drain the log through these.
+pub use lod_obs as obs;
+pub use lod_obs::{
+    check_causal, parse_jsonl, session_timelines, worst_by_stall, CausalReport, Event, EventRecord,
+    Recorder, SessionTimeline,
+};

@@ -8,6 +8,7 @@
 use lod_asf::{AsfError, AsfFile};
 use lod_encoder::{BandwidthProfile, BroadcastConfig, LiveEncoder, Publisher};
 use lod_media::Ticks;
+use lod_obs::{Recorder, TICK_BOUNDS};
 use lod_player::SkewStats;
 use lod_relay::{CacheStats, RedirectManager, RelayMetrics, RelayNode};
 use lod_simnet::{relay_tree, Fault, FaultInjector, FaultPlan, LinkSpec, Network, RelayTree};
@@ -69,6 +70,18 @@ impl WmpsReport {
             .fold(0.0, f64::max)
     }
 
+    /// Integer twin of [`WmpsReport::worst_rebuffer`]: the worst
+    /// client's stalled ticks per thousand ticks of playback. Seeded
+    /// experiment reports print this one — per-mille division is
+    /// byte-stable where float formatting is not.
+    pub fn worst_rebuffer_permille(&self, playback_ticks: u64) -> u64 {
+        self.clients
+            .iter()
+            .map(|c| c.rebuffer_permille(playback_ticks))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Sessions that rendered media and were never abandoned by the
     /// retry layer — the "students who actually saw the lecture" count
     /// the chaos experiments grade on.
@@ -108,6 +121,65 @@ impl WmpsReport {
         let mut sorted = self.recoveries.clone();
         sorted.sort_unstable();
         sorted[(sorted.len() - 1) * 95 / 100]
+    }
+}
+
+/// Folds a finished run's counters into the recorder's metrics
+/// registry: one integer counter per [`ServerMetrics`]/[`RelayMetrics`]/
+/// [`CacheStats`] field, whole-run gauges, and startup/stall/recovery
+/// histograms over [`TICK_BOUNDS`]. A disabled recorder makes every
+/// call a no-op.
+fn publish_run_metrics(obs: &Recorder, report: &WmpsReport) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let s = &report.server;
+    obs.counter_add("lod_server_sessions_served_total", s.sessions_served);
+    obs.counter_add("lod_server_payload_bytes_total", s.payload_bytes_sent);
+    obs.counter_add(
+        "lod_server_backpressure_pauses_total",
+        s.backpressure_pauses,
+    );
+    obs.counter_add("lod_server_segments_served_total", s.segments_served);
+    obs.counter_add("lod_server_sessions_reaped_total", s.sessions_reaped);
+    obs.counter_add("lod_server_sessions_shed_total", s.sessions_shed);
+    obs.counter_add("lod_server_downshifts_total", s.downshifts);
+    obs.counter_add("lod_server_upshifts_total", s.upshifts);
+    obs.counter_add("lod_server_sessions_degraded_total", s.sessions_degraded);
+    if let Some(tier) = &report.relay {
+        let m = &tier.metrics;
+        obs.counter_add("lod_relay_sessions_served_total", m.sessions_served);
+        obs.counter_add("lod_relay_segment_fetches_total", m.segment_fetches);
+        obs.counter_add("lod_relay_prefetches_total", m.prefetches);
+        obs.counter_add("lod_relay_payload_bytes_total", m.payload_bytes_sent);
+        obs.counter_add("lod_relay_upstream_bytes_total", m.upstream_bytes_received);
+        obs.counter_add("lod_relay_fetch_retries_total", m.fetch_retries);
+        obs.counter_add("lod_relay_fetch_give_ups_total", m.fetch_give_ups);
+        obs.counter_add("lod_relay_sessions_shed_total", m.sessions_shed);
+        obs.counter_add("lod_relay_breaker_opens_total", m.breaker_opens);
+        obs.counter_add("lod_relay_fetches_suppressed_total", m.fetches_suppressed);
+        let c = &tier.cache;
+        obs.counter_add("lod_cache_hits_total", c.hits);
+        obs.counter_add("lod_cache_misses_total", c.misses);
+        obs.counter_add("lod_cache_insertions_total", c.insertions);
+        obs.counter_add("lod_cache_evictions_total", c.evictions);
+        obs.counter_add("lod_cache_bytes_evicted_total", c.bytes_evicted);
+        obs.gauge_set("lod_students_reattached", tier.reattached as u64);
+    }
+    obs.gauge_set("lod_sessions_completed", report.completed_sessions() as u64);
+    obs.gauge_set("lod_clients_shed", report.shed_clients() as u64);
+    obs.gauge_set("lod_hard_failures", report.hard_failures() as u64);
+    obs.gauge_set("lod_session_ticks", report.session_ticks);
+    obs.gauge_set("lod_faults_applied", report.faults_applied);
+    obs.gauge_set("lod_origin_egress_bytes", report.origin_egress_bytes);
+    for m in &report.clients {
+        if m.samples_rendered > 0 {
+            obs.observe("lod_startup_ticks", &TICK_BOUNDS, m.startup_ticks);
+        }
+        obs.observe("lod_stall_ticks", &TICK_BOUNDS, m.stall_ticks);
+    }
+    for &dur in &report.recoveries {
+        obs.observe("lod_recovery_ticks", &TICK_BOUNDS, dur);
     }
 }
 
@@ -258,6 +330,11 @@ pub struct RelayTierConfig {
     /// Flash-crowd arrivals: `(wave_size, interval)` starts students in
     /// waves of `wave_size` every `interval` ticks instead of all at 0.
     pub arrival_wave: Option<(usize, u64)>,
+    /// Structured event sink shared by the origin, every relay, every
+    /// client and the fault injector. Disabled by default (a free
+    /// no-op); arm with [`Recorder::new`] to capture the run's event
+    /// log, metrics registry and per-session timelines.
+    pub recorder: Recorder,
 }
 
 impl Default for RelayTierConfig {
@@ -277,6 +354,7 @@ impl Default for RelayTierConfig {
             breaker: None,
             relay_capacity_sessions: None,
             arrival_wave: None,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -385,7 +463,16 @@ impl Wmps {
             cfg.relays,
             n_clients,
         );
-        let mut server = StreamingServer::new(tree.origin);
+        let obs = cfg.recorder.clone();
+        obs.label_node(tree.origin.index() as u64, "origin");
+        obs.label_node(tree.router.index() as u64, "router");
+        for (i, r) in tree.relays.iter().enumerate() {
+            obs.label_node(r.index() as u64, &format!("relay{i}"));
+        }
+        for (i, s) in tree.students.iter().enumerate() {
+            obs.label_node(s.index() as u64, &format!("student{i}"));
+        }
+        let mut server = StreamingServer::new(tree.origin).with_recorder(obs.clone());
         if let Some(t) = cfg.idle_timeout {
             server = server.with_idle_timeout(t);
         }
@@ -405,8 +492,9 @@ impl Wmps {
             .relays
             .iter()
             .map(|&r| {
-                let mut relay =
-                    RelayNode::new(r, tree.origin, cfg.cache_budget).with_prefetch(cfg.prefetch);
+                let mut relay = RelayNode::new(r, tree.origin, cfg.cache_budget)
+                    .with_prefetch(cfg.prefetch)
+                    .with_recorder(obs.clone());
                 if let Some(adm) = cfg.relay_admission {
                     relay = relay.with_admission(adm);
                 }
@@ -426,7 +514,8 @@ impl Wmps {
             .iter()
             .enumerate()
             .map(|(i, &c)| {
-                let client = StreamingClient::new(c, tree.origin, "lecture");
+                let client =
+                    StreamingClient::new(c, tree.origin, "lecture").with_recorder(obs.clone());
                 match cfg.client_retry {
                     // Per-student salt: distinct jitter streams, same seed
                     // → same storm of retries on every run.
@@ -446,7 +535,7 @@ impl Wmps {
             })
             .collect();
         let mut started = vec![false; clients.len()];
-        let mut injector = FaultInjector::new(cfg.chaos.resolve(&tree));
+        let mut injector = FaultInjector::new(cfg.chaos.resolve(&tree)).with_recorder(obs.clone());
 
         const STEP: u64 = 1_000_000; // 100 ms
         let horizon = play_duration * 20 + 600_000_000_000;
@@ -540,7 +629,7 @@ impl Wmps {
             .iter()
             .flat_map(|c| c.recovery_log().iter().map(|&(_, dur)| dur))
             .collect();
-        WmpsReport {
+        let report = WmpsReport {
             clients: clients.iter().map(|c| *c.metrics()).collect(),
             skew: per_client_skew(&clients, &events),
             classroom_spread: classroom_spread(&events),
@@ -554,7 +643,9 @@ impl Wmps {
             }),
             recoveries,
             faults_applied,
-        }
+        };
+        publish_run_metrics(&obs, &report);
+        report
     }
 
     fn serve_with_topology(
@@ -1003,6 +1094,86 @@ mod tests {
             "every student either watched or was explicitly refused: {:?}",
             a.clients
         );
+    }
+
+    #[test]
+    fn recorder_is_disabled_by_default() {
+        assert!(!RelayTierConfig::default().recorder.is_enabled());
+    }
+
+    #[test]
+    fn armed_recorder_logs_deterministically_and_causally() {
+        let lecture = synthetic_lecture(1, 1, 300_000); // 1 minute
+        let wmps = Wmps::new();
+        let file = wmps.publish(&lecture).unwrap();
+        let second = 10_000_000u64;
+        // The full overload + chaos gauntlet: admission, degrade,
+        // breaker, flash-crowd arrivals, a yanked cable — every emitter
+        // in the system gets exercised.
+        let run = |file: AsfFile| {
+            let cfg = RelayTierConfig {
+                relays: 2,
+                origin_admission: Some(AdmissionPolicy::new(2, 1_000_000_000)),
+                relay_admission: Some(AdmissionPolicy::new(2, 1_000_000_000)),
+                relay_capacity_sessions: Some(2),
+                degrade: Some(DegradePolicy::default()),
+                breaker: Some(BreakerPolicy::upstream()),
+                arrival_wave: Some((4, second)),
+                client_retry: Some(RetryPolicy::client()),
+                chaos: ChaosSpec {
+                    access_flaps: vec![(2 * second, 3 * second, 1)],
+                    ..ChaosSpec::default()
+                },
+                recorder: Recorder::new(),
+                ..RelayTierConfig::default()
+            };
+            let report = wmps.serve_with_relays(file, LinkSpec::lan(), LinkSpec::lan(), 8, 7, &cfg);
+            (report, cfg.recorder)
+        };
+        let (report_a, rec_a) = run(file.clone());
+        let (report_b, rec_b) = run(file);
+
+        // Same seed → byte-identical log and exposition.
+        assert!(!rec_a.to_jsonl().is_empty());
+        assert_eq!(rec_a.to_jsonl(), rec_b.to_jsonl());
+        assert_eq!(rec_a.prometheus(), rec_b.prometheus());
+
+        // The log survives a JSONL round trip.
+        let events = rec_a.events();
+        assert_eq!(
+            lod_obs::parse_jsonl(&rec_a.to_jsonl()).unwrap(),
+            events,
+            "JSONL round trip"
+        );
+
+        // Causal invariants: no downshift without its backlog-high
+        // herald, no recovery without its outage-start.
+        let causal = lod_obs::check_causal(&events);
+        assert!(causal.holds(), "{causal:?}");
+
+        // The event log agrees with the aggregate counters: sheds per
+        // refusing node sum to the server's and relays' own counts.
+        let origin = rec_a.node_by_label("origin").expect("origin labelled");
+        assert_eq!(causal.sheds_at(origin), report_a.server.sessions_shed);
+        let relay_sheds = report_a.relay.as_ref().unwrap().metrics.sessions_shed;
+        assert_eq!(
+            causal.total_sheds(),
+            report_a.server.sessions_shed + relay_sheds
+        );
+
+        // Every student left a timeline, and the registry carries the
+        // run's aggregates.
+        assert_eq!(lod_obs::session_timelines(&events).len(), 8);
+        let registry = rec_a.registry();
+        assert_eq!(
+            registry.counter("lod_server_sessions_shed_total"),
+            report_a.server.sessions_shed
+        );
+        assert_eq!(
+            registry.counter("lod_relay_sessions_shed_total"),
+            relay_sheds
+        );
+        assert_eq!(report_a.clients.len(), report_b.clients.len());
     }
 
     #[test]

@@ -1,0 +1,774 @@
+//! Typed, tick-stamped observability events and their JSONL codec.
+//!
+//! Every event is a plain record of integers (raw node indices, ticks,
+//! byte/bit counts) plus the occasional fixed vocabulary string, so a
+//! seeded run serializes to a byte-identical JSONL log on every machine.
+//! Node identity is carried as the raw `usize` index of a
+//! `lod_simnet::NodeId` — this crate sits below the simulator in the
+//! dependency order and must not know its types.
+
+use serde::{Deserialize, Serialize};
+
+/// One observability event. Variants mirror the lifecycle the paper's
+/// delivery chain actually goes through: admission, startup, stalls,
+/// degradation, outages/recoveries, relay cache traffic, breaker
+/// transitions and injected faults.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A human-readable role for a node (`origin`, `relay0`, `student3`),
+    /// emitted once at the head of the log by the driver that built the
+    /// topology.
+    NodeLabel {
+        /// Raw node index.
+        node: u64,
+        /// Role label.
+        label: String,
+    },
+    /// The server created (or re-created) a session for `client`.
+    SessionStart {
+        /// Raw node index of the client.
+        client: u64,
+    },
+    /// The client left Buffering for Playing for the first time.
+    PlaybackStart {
+        /// Raw node index of the client.
+        client: u64,
+        /// Ticks from Play to first render.
+        startup_ticks: u64,
+    },
+    /// Playback underran and the client paused to rebuffer.
+    StallStart {
+        /// Raw node index of the client.
+        client: u64,
+    },
+    /// The stall ended; playback resumed.
+    StallEnd {
+        /// Raw node index of the client.
+        client: u64,
+        /// Length of the stall in ticks.
+        stall_ticks: u64,
+    },
+    /// The first-hop backlog for this session crossed above the degrade
+    /// policy's high watermark (the sample every later downshift is
+    /// causally rooted in).
+    BacklogHigh {
+        /// Raw node index of the client.
+        client: u64,
+        /// Backlog observed, in bytes.
+        backlog: u64,
+    },
+    /// The backlog dropped below the low watermark.
+    BacklogLow {
+        /// Raw node index of the client.
+        client: u64,
+        /// Backlog observed, in bytes.
+        backlog: u64,
+    },
+    /// The server downshifted the session one profile rung.
+    Downshift {
+        /// Raw node index of the client.
+        client: u64,
+        /// Effective bitrate before the shift.
+        from_bps: u64,
+        /// Effective bitrate after the shift.
+        to_bps: u64,
+    },
+    /// The server stepped the session back up a rung.
+    Upshift {
+        /// Raw node index of the client.
+        client: u64,
+        /// Effective bitrate before the shift.
+        from_bps: u64,
+        /// Effective bitrate after the shift.
+        to_bps: u64,
+    },
+    /// Admission control refused a Play with `Wire::Busy`.
+    AdmissionShed {
+        /// Raw node index of the refusing server or relay.
+        node: u64,
+        /// Raw node index of the refused client.
+        client: u64,
+    },
+    /// The client received a `Wire::Busy` bounce.
+    BusyBounce {
+        /// Raw node index of the client.
+        client: u64,
+    },
+    /// The client exhausted its bounce budget and gave up as shed.
+    ClientShed {
+        /// Raw node index of the client.
+        client: u64,
+    },
+    /// The retry layer re-issued Play after a silence timeout.
+    Retry {
+        /// Raw node index of the client.
+        client: u64,
+        /// 1-based consecutive attempt number.
+        attempt: u64,
+    },
+    /// The retry layer declared an outage (first unanswered deadline).
+    OutageStart {
+        /// Raw node index of the client.
+        client: u64,
+    },
+    /// Server traffic resumed after an outage.
+    Recovery {
+        /// Raw node index of the client.
+        client: u64,
+        /// Ticks from last progress to the recovery.
+        outage_ticks: u64,
+    },
+    /// The retry budget ran out; the session was abandoned.
+    Abandon {
+        /// Raw node index of the client.
+        client: u64,
+    },
+    /// The client finished playback cleanly.
+    SessionEnd {
+        /// Raw node index of the client.
+        client: u64,
+    },
+    /// The server reaped an idle session.
+    SessionReaped {
+        /// Raw node index of the reaping server.
+        node: u64,
+        /// Raw node index of the idle client.
+        client: u64,
+    },
+    /// A circuit breaker tripped open.
+    BreakerOpen {
+        /// Raw node index of the breaker's owner (the relay).
+        node: u64,
+    },
+    /// An open breaker admitted its half-open probe.
+    BreakerProbe {
+        /// Raw node index of the breaker's owner.
+        node: u64,
+    },
+    /// A breaker closed again (probe answered, upstream alive).
+    BreakerClose {
+        /// Raw node index of the breaker's owner.
+        node: u64,
+    },
+    /// Segment-cache lookup answered locally.
+    CacheHit {
+        /// Raw node index of the relay.
+        node: u64,
+        /// Segment index (or synthetic time-fetch key).
+        segment: u64,
+    },
+    /// Lookup joined an already-inflight upstream fetch.
+    CacheCoalesced {
+        /// Raw node index of the relay.
+        node: u64,
+        /// Segment index.
+        segment: u64,
+    },
+    /// Lookup missed and triggered an upstream pull.
+    CacheMiss {
+        /// Raw node index of the relay.
+        node: u64,
+        /// Segment index.
+        segment: u64,
+    },
+    /// The byte budget forced a segment out of the cache.
+    CacheEvict {
+        /// Raw node index of the relay.
+        node: u64,
+        /// Segment index evicted.
+        segment: u64,
+        /// Bytes reclaimed.
+        bytes: u64,
+    },
+    /// An upstream fetch was re-issued after its patience window.
+    FetchRetry {
+        /// Raw node index of the relay.
+        node: u64,
+        /// Segment index (or synthetic time-fetch key).
+        segment: u64,
+    },
+    /// An upstream fetch exhausted its retry budget.
+    FetchGiveUp {
+        /// Raw node index of the relay.
+        node: u64,
+        /// Segment index.
+        segment: u64,
+    },
+    /// The fault injector applied a fault.
+    FaultStrike {
+        /// Fault vocabulary: `link_down`, `node_down`, `loss_burst`,
+        /// `latency_spike`.
+        fault: String,
+        /// First endpoint (or the node itself).
+        a: u64,
+        /// Second endpoint (== `a` for node faults).
+        b: u64,
+        /// Fault-specific magnitude: loss per-mille for bursts, extra
+        /// ticks for latency spikes, 0 otherwise.
+        detail: u64,
+    },
+    /// The fault injector healed a fault.
+    FaultHeal {
+        /// Fault vocabulary (same as [`Event::FaultStrike`]).
+        fault: String,
+        /// First endpoint.
+        a: u64,
+        /// Second endpoint.
+        b: u64,
+    },
+}
+
+impl Event {
+    /// The event's kind tag — the `kind` field of its JSONL form and the
+    /// label of its `lod_events_total` counter.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::NodeLabel { .. } => "node_label",
+            Event::SessionStart { .. } => "session_start",
+            Event::PlaybackStart { .. } => "playback_start",
+            Event::StallStart { .. } => "stall_start",
+            Event::StallEnd { .. } => "stall_end",
+            Event::BacklogHigh { .. } => "backlog_high",
+            Event::BacklogLow { .. } => "backlog_low",
+            Event::Downshift { .. } => "downshift",
+            Event::Upshift { .. } => "upshift",
+            Event::AdmissionShed { .. } => "admission_shed",
+            Event::BusyBounce { .. } => "busy_bounce",
+            Event::ClientShed { .. } => "client_shed",
+            Event::Retry { .. } => "retry",
+            Event::OutageStart { .. } => "outage_start",
+            Event::Recovery { .. } => "recovery",
+            Event::Abandon { .. } => "abandon",
+            Event::SessionEnd { .. } => "session_end",
+            Event::SessionReaped { .. } => "session_reaped",
+            Event::BreakerOpen { .. } => "breaker_open",
+            Event::BreakerProbe { .. } => "breaker_probe",
+            Event::BreakerClose { .. } => "breaker_close",
+            Event::CacheHit { .. } => "cache_hit",
+            Event::CacheCoalesced { .. } => "cache_coalesced",
+            Event::CacheMiss { .. } => "cache_miss",
+            Event::CacheEvict { .. } => "cache_evict",
+            Event::FetchRetry { .. } => "fetch_retry",
+            Event::FetchGiveUp { .. } => "fetch_give_up",
+            Event::FaultStrike { .. } => "fault_strike",
+            Event::FaultHeal { .. } => "fault_heal",
+        }
+    }
+}
+
+/// An [`Event`] stamped with the simulation tick it happened at. Records
+/// are kept (and serialized) strictly in emission order, which under the
+/// single-threaded deterministic drivers is also causal order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Simulation tick (100 ns units).
+    pub at: u64,
+    /// What happened.
+    pub event: Event,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    escape_into(out, value);
+    out.push('"');
+}
+
+fn push_num_field(out: &mut String, key: &str, value: u64) {
+    use std::fmt::Write;
+    let _ = write!(out, ",\"{key}\":{value}");
+}
+
+impl EventRecord {
+    /// Serializes the record as one flat JSON object (no trailing
+    /// newline). Field order is fixed per kind, so equal records always
+    /// produce equal bytes.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(64);
+        let _ = write!(
+            out,
+            "{{\"t\":{},\"kind\":\"{}\"",
+            self.at,
+            self.event.kind()
+        );
+        match &self.event {
+            Event::NodeLabel { node, label } => {
+                push_num_field(&mut out, "node", *node);
+                push_str_field(&mut out, "label", label);
+            }
+            Event::SessionStart { client }
+            | Event::StallStart { client }
+            | Event::BusyBounce { client }
+            | Event::ClientShed { client }
+            | Event::OutageStart { client }
+            | Event::Abandon { client }
+            | Event::SessionEnd { client } => {
+                push_num_field(&mut out, "client", *client);
+            }
+            Event::PlaybackStart {
+                client,
+                startup_ticks,
+            } => {
+                push_num_field(&mut out, "client", *client);
+                push_num_field(&mut out, "startup_ticks", *startup_ticks);
+            }
+            Event::StallEnd {
+                client,
+                stall_ticks,
+            } => {
+                push_num_field(&mut out, "client", *client);
+                push_num_field(&mut out, "stall_ticks", *stall_ticks);
+            }
+            Event::BacklogHigh { client, backlog } | Event::BacklogLow { client, backlog } => {
+                push_num_field(&mut out, "client", *client);
+                push_num_field(&mut out, "backlog", *backlog);
+            }
+            Event::Downshift {
+                client,
+                from_bps,
+                to_bps,
+            }
+            | Event::Upshift {
+                client,
+                from_bps,
+                to_bps,
+            } => {
+                push_num_field(&mut out, "client", *client);
+                push_num_field(&mut out, "from_bps", *from_bps);
+                push_num_field(&mut out, "to_bps", *to_bps);
+            }
+            Event::AdmissionShed { node, client } | Event::SessionReaped { node, client } => {
+                push_num_field(&mut out, "node", *node);
+                push_num_field(&mut out, "client", *client);
+            }
+            Event::Retry { client, attempt } => {
+                push_num_field(&mut out, "client", *client);
+                push_num_field(&mut out, "attempt", *attempt);
+            }
+            Event::Recovery {
+                client,
+                outage_ticks,
+            } => {
+                push_num_field(&mut out, "client", *client);
+                push_num_field(&mut out, "outage_ticks", *outage_ticks);
+            }
+            Event::BreakerOpen { node }
+            | Event::BreakerProbe { node }
+            | Event::BreakerClose { node } => {
+                push_num_field(&mut out, "node", *node);
+            }
+            Event::CacheHit { node, segment }
+            | Event::CacheCoalesced { node, segment }
+            | Event::CacheMiss { node, segment }
+            | Event::FetchRetry { node, segment }
+            | Event::FetchGiveUp { node, segment } => {
+                push_num_field(&mut out, "node", *node);
+                push_num_field(&mut out, "segment", *segment);
+            }
+            Event::CacheEvict {
+                node,
+                segment,
+                bytes,
+            } => {
+                push_num_field(&mut out, "node", *node);
+                push_num_field(&mut out, "segment", *segment);
+                push_num_field(&mut out, "bytes", *bytes);
+            }
+            Event::FaultStrike {
+                fault,
+                a,
+                b,
+                detail,
+            } => {
+                push_str_field(&mut out, "fault", fault);
+                push_num_field(&mut out, "a", *a);
+                push_num_field(&mut out, "b", *b);
+                push_num_field(&mut out, "detail", *detail);
+            }
+            Event::FaultHeal { fault, a, b } => {
+                push_str_field(&mut out, "fault", fault);
+                push_num_field(&mut out, "a", *a);
+                push_num_field(&mut out, "b", *b);
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A parsed flat-JSON value: every field of every event is one of these.
+enum Val {
+    Num(u64),
+    Str(String),
+}
+
+/// Splits one flat JSON object (`{"k":v,...}`) into key/value pairs.
+/// Only the subset this crate emits is accepted: string keys, u64 or
+/// string values, no nesting.
+fn parse_flat(line: &str) -> Result<Vec<(String, Val)>, String> {
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("not a JSON object: {line}"))?;
+    let mut pairs = Vec::new();
+    let mut chars = inner.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(',') | Some(' ')) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            break;
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("expected key quote in: {line}"));
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '"' {
+                break;
+            }
+            key.push(c);
+        }
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key} in: {line}"));
+        }
+        match chars.peek() {
+            Some('"') => {
+                chars.next();
+                let mut s = String::new();
+                let mut escaped = false;
+                for c in chars.by_ref() {
+                    if escaped {
+                        s.push(c);
+                        escaped = false;
+                    } else if c == '\\' {
+                        escaped = true;
+                    } else if c == '"' {
+                        break;
+                    } else {
+                        s.push(c);
+                    }
+                }
+                pairs.push((key, Val::Str(s)));
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let mut n = String::new();
+                while matches!(chars.peek(), Some(c) if c.is_ascii_digit()) {
+                    n.push(chars.next().expect("peeked"));
+                }
+                let v = n
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad number {n}: {e}"))?;
+                pairs.push((key, Val::Num(v)));
+            }
+            other => return Err(format!("unsupported value start {other:?} in: {line}")),
+        }
+    }
+    Ok(pairs)
+}
+
+struct Fields(Vec<(String, Val)>);
+
+impl Fields {
+    fn num(&self, key: &str) -> Result<u64, String> {
+        match self.0.iter().find(|(k, _)| k == key) {
+            Some((_, Val::Num(v))) => Ok(*v),
+            Some((_, Val::Str(_))) => Err(format!("field {key} is a string, expected number")),
+            None => Err(format!("missing field {key}")),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<String, String> {
+        match self.0.iter().find(|(k, _)| k == key) {
+            Some((_, Val::Str(s))) => Ok(s.clone()),
+            Some((_, Val::Num(_))) => Err(format!("field {key} is a number, expected string")),
+            None => Err(format!("missing field {key}")),
+        }
+    }
+}
+
+/// Parses one JSONL line back into an [`EventRecord`]. The inverse of
+/// [`EventRecord::to_json`]; unknown kinds are an error.
+pub fn parse_event(line: &str) -> Result<EventRecord, String> {
+    let f = Fields(parse_flat(line)?);
+    let at = f.num("t")?;
+    let kind = f.str("kind")?;
+    let event = match kind.as_str() {
+        "node_label" => Event::NodeLabel {
+            node: f.num("node")?,
+            label: f.str("label")?,
+        },
+        "session_start" => Event::SessionStart {
+            client: f.num("client")?,
+        },
+        "playback_start" => Event::PlaybackStart {
+            client: f.num("client")?,
+            startup_ticks: f.num("startup_ticks")?,
+        },
+        "stall_start" => Event::StallStart {
+            client: f.num("client")?,
+        },
+        "stall_end" => Event::StallEnd {
+            client: f.num("client")?,
+            stall_ticks: f.num("stall_ticks")?,
+        },
+        "backlog_high" => Event::BacklogHigh {
+            client: f.num("client")?,
+            backlog: f.num("backlog")?,
+        },
+        "backlog_low" => Event::BacklogLow {
+            client: f.num("client")?,
+            backlog: f.num("backlog")?,
+        },
+        "downshift" => Event::Downshift {
+            client: f.num("client")?,
+            from_bps: f.num("from_bps")?,
+            to_bps: f.num("to_bps")?,
+        },
+        "upshift" => Event::Upshift {
+            client: f.num("client")?,
+            from_bps: f.num("from_bps")?,
+            to_bps: f.num("to_bps")?,
+        },
+        "admission_shed" => Event::AdmissionShed {
+            node: f.num("node")?,
+            client: f.num("client")?,
+        },
+        "busy_bounce" => Event::BusyBounce {
+            client: f.num("client")?,
+        },
+        "client_shed" => Event::ClientShed {
+            client: f.num("client")?,
+        },
+        "retry" => Event::Retry {
+            client: f.num("client")?,
+            attempt: f.num("attempt")?,
+        },
+        "outage_start" => Event::OutageStart {
+            client: f.num("client")?,
+        },
+        "recovery" => Event::Recovery {
+            client: f.num("client")?,
+            outage_ticks: f.num("outage_ticks")?,
+        },
+        "abandon" => Event::Abandon {
+            client: f.num("client")?,
+        },
+        "session_end" => Event::SessionEnd {
+            client: f.num("client")?,
+        },
+        "session_reaped" => Event::SessionReaped {
+            node: f.num("node")?,
+            client: f.num("client")?,
+        },
+        "breaker_open" => Event::BreakerOpen {
+            node: f.num("node")?,
+        },
+        "breaker_probe" => Event::BreakerProbe {
+            node: f.num("node")?,
+        },
+        "breaker_close" => Event::BreakerClose {
+            node: f.num("node")?,
+        },
+        "cache_hit" => Event::CacheHit {
+            node: f.num("node")?,
+            segment: f.num("segment")?,
+        },
+        "cache_coalesced" => Event::CacheCoalesced {
+            node: f.num("node")?,
+            segment: f.num("segment")?,
+        },
+        "cache_miss" => Event::CacheMiss {
+            node: f.num("node")?,
+            segment: f.num("segment")?,
+        },
+        "cache_evict" => Event::CacheEvict {
+            node: f.num("node")?,
+            segment: f.num("segment")?,
+            bytes: f.num("bytes")?,
+        },
+        "fetch_retry" => Event::FetchRetry {
+            node: f.num("node")?,
+            segment: f.num("segment")?,
+        },
+        "fetch_give_up" => Event::FetchGiveUp {
+            node: f.num("node")?,
+            segment: f.num("segment")?,
+        },
+        "fault_strike" => Event::FaultStrike {
+            fault: f.str("fault")?,
+            a: f.num("a")?,
+            b: f.num("b")?,
+            detail: f.num("detail")?,
+        },
+        "fault_heal" => Event::FaultHeal {
+            fault: f.str("fault")?,
+            a: f.num("a")?,
+            b: f.num("b")?,
+        },
+        other => return Err(format!("unknown event kind {other}")),
+    };
+    Ok(EventRecord { at, event })
+}
+
+/// Parses a whole JSONL log (blank lines skipped) back into records.
+pub fn parse_jsonl(text: &str) -> Result<Vec<EventRecord>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(parse_event)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_round_trips() {
+        let all = vec![
+            Event::NodeLabel {
+                node: 0,
+                label: "origin".into(),
+            },
+            Event::SessionStart { client: 3 },
+            Event::PlaybackStart {
+                client: 3,
+                startup_ticks: 12_000_000,
+            },
+            Event::StallStart { client: 3 },
+            Event::StallEnd {
+                client: 3,
+                stall_ticks: 7,
+            },
+            Event::BacklogHigh {
+                client: 3,
+                backlog: 900_000,
+            },
+            Event::BacklogLow {
+                client: 3,
+                backlog: 10,
+            },
+            Event::Downshift {
+                client: 3,
+                from_bps: 300_000,
+                to_bps: 150_000,
+            },
+            Event::Upshift {
+                client: 3,
+                from_bps: 150_000,
+                to_bps: 300_000,
+            },
+            Event::AdmissionShed { node: 0, client: 9 },
+            Event::BusyBounce { client: 9 },
+            Event::ClientShed { client: 9 },
+            Event::Retry {
+                client: 4,
+                attempt: 2,
+            },
+            Event::OutageStart { client: 4 },
+            Event::Recovery {
+                client: 4,
+                outage_ticks: 55,
+            },
+            Event::Abandon { client: 4 },
+            Event::SessionEnd { client: 3 },
+            Event::SessionReaped { node: 0, client: 5 },
+            Event::BreakerOpen { node: 2 },
+            Event::BreakerProbe { node: 2 },
+            Event::BreakerClose { node: 2 },
+            Event::CacheHit {
+                node: 2,
+                segment: 11,
+            },
+            Event::CacheCoalesced {
+                node: 2,
+                segment: 11,
+            },
+            Event::CacheMiss {
+                node: 2,
+                segment: 12,
+            },
+            Event::CacheEvict {
+                node: 2,
+                segment: 1,
+                bytes: 64_000,
+            },
+            Event::FetchRetry {
+                node: 2,
+                segment: 12,
+            },
+            Event::FetchGiveUp {
+                node: 2,
+                segment: 12,
+            },
+            Event::FaultStrike {
+                fault: "loss_burst".into(),
+                a: 1,
+                b: 7,
+                detail: 250,
+            },
+            Event::FaultHeal {
+                fault: "loss_burst".into(),
+                a: 1,
+                b: 7,
+            },
+        ];
+        for (i, event) in all.into_iter().enumerate() {
+            let rec = EventRecord {
+                at: i as u64 * 100,
+                event,
+            };
+            let line = rec.to_json();
+            let back = parse_event(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, rec, "{line}");
+        }
+    }
+
+    #[test]
+    fn labels_with_quotes_and_backslashes_survive() {
+        let rec = EventRecord {
+            at: 1,
+            event: Event::NodeLabel {
+                node: 1,
+                label: "we\"ird\\label".into(),
+            },
+        };
+        assert_eq!(parse_event(&rec.to_json()).unwrap(), rec);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_event("not json").is_err());
+        assert!(parse_event("{\"t\":1,\"kind\":\"no_such_kind\"}").is_err());
+        assert!(parse_event("{\"t\":1,\"kind\":\"retry\",\"client\":2}").is_err());
+    }
+
+    #[test]
+    fn jsonl_round_trips_in_order() {
+        let recs = vec![
+            EventRecord {
+                at: 0,
+                event: Event::SessionStart { client: 1 },
+            },
+            EventRecord {
+                at: 5,
+                event: Event::StallStart { client: 1 },
+            },
+        ];
+        let text: String = recs.iter().map(|r| r.to_json() + "\n").collect();
+        assert_eq!(parse_jsonl(&text).unwrap(), recs);
+    }
+}

@@ -1,0 +1,213 @@
+//! The shared event bus every subsystem emits into.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::event::{Event, EventRecord};
+use crate::metrics::Registry;
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<EventRecord>,
+    registry: Registry,
+    labels: BTreeMap<u64, String>,
+}
+
+/// A cheap-to-clone handle on one run's event log and metrics registry.
+///
+/// The server, relays, clients and fault injector of one simulation all
+/// hold clones of the same recorder; emission order is the
+/// single-threaded driver's call order, so a seeded run produces an
+/// identical log every time. A disabled recorder (the default) makes
+/// every call a no-op, so instrumented components cost nothing when
+/// nobody is listening.
+///
+/// Everything is process-local (`Rc<RefCell>`): the simulation is
+/// single-threaded by design, and determinism depends on that.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Rc<RefCell<Inner>>>,
+}
+
+impl Recorder {
+    /// An armed recorder that collects events and metrics.
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Rc::new(RefCell::new(Inner::default()))),
+        }
+    }
+
+    /// A recorder that drops everything (the default for components
+    /// nobody instrumented).
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this handle actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Appends `event` at tick `at` and bumps its
+    /// `lod_events_total{kind="..."}` counter.
+    pub fn emit(&self, at: u64, event: Event) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut inner = inner.borrow_mut();
+        inner
+            .registry
+            .counter_add(&format!("lod_events_total{{kind=\"{}\"}}", event.kind()), 1);
+        inner.events.push(EventRecord { at, event });
+    }
+
+    /// Names a node's role (`origin`, `relay0`, `student17`). Emits a
+    /// [`Event::NodeLabel`] at tick 0 and remembers the mapping for
+    /// [`Recorder::node_by_label`].
+    pub fn label_node(&self, node: u64, label: &str) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        inner.borrow_mut().labels.insert(node, label.to_string());
+        self.emit(
+            0,
+            Event::NodeLabel {
+                node,
+                label: label.to_string(),
+            },
+        );
+    }
+
+    /// The node carrying `label`, when one was registered.
+    pub fn node_by_label(&self, label: &str) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        let inner = inner.borrow();
+        inner
+            .labels
+            .iter()
+            .find(|(_, l)| l.as_str() == label)
+            .map(|(&n, _)| n)
+    }
+
+    /// Adds `v` to counter `name`.
+    pub fn counter_add(&self, name: &str, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().registry.counter_add(name, v);
+        }
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn gauge_set(&self, name: &str, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().registry.gauge_set(name, v);
+        }
+    }
+
+    /// Records `value` into histogram `name` (created over `bounds` on
+    /// first use).
+    pub fn observe(&self, name: &str, bounds: &[u64], value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().registry.observe(name, bounds, value);
+        }
+    }
+
+    /// Number of events recorded so far.
+    pub fn event_count(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.borrow().events.len())
+    }
+
+    /// A copy of the event log in emission order.
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |inner| inner.borrow().events.clone())
+    }
+
+    /// A copy of the metrics registry.
+    pub fn registry(&self) -> Registry {
+        self.inner
+            .as_ref()
+            .map_or_else(Registry::new, |inner| inner.borrow().registry.clone())
+    }
+
+    /// Serializes the event log as JSONL, one event per line, in
+    /// emission order. Byte-identical across seeded replays.
+    pub fn to_jsonl(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return String::new();
+        };
+        let inner = inner.borrow();
+        let mut out = String::with_capacity(inner.events.len() * 64);
+        for rec in &inner.events {
+            out.push_str(&rec.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the metrics registry as a Prometheus-style exposition.
+    pub fn prometheus(&self) -> String {
+        self.inner
+            .as_ref()
+            .map_or_else(String::new, |inner| inner.borrow().registry.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let r = Recorder::disabled();
+        r.emit(1, Event::SessionStart { client: 1 });
+        r.counter_add("c", 1);
+        assert!(!r.is_enabled());
+        assert_eq!(r.event_count(), 0);
+        assert_eq!(r.to_jsonl(), "");
+        assert_eq!(r.prometheus(), "");
+    }
+
+    #[test]
+    fn clones_share_one_log() {
+        let r = Recorder::new();
+        let r2 = r.clone();
+        r.emit(1, Event::SessionStart { client: 1 });
+        r2.emit(2, Event::StallStart { client: 1 });
+        assert_eq!(r.event_count(), 2);
+        assert_eq!(
+            r.registry()
+                .counter("lod_events_total{kind=\"session_start\"}"),
+            1
+        );
+    }
+
+    #[test]
+    fn labels_resolve_and_serialize() {
+        let r = Recorder::new();
+        r.label_node(0, "origin");
+        assert_eq!(r.node_by_label("origin"), Some(0));
+        assert_eq!(r.node_by_label("router"), None);
+        assert!(r.to_jsonl().contains("\"kind\":\"node_label\""));
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_parser() {
+        let r = Recorder::new();
+        r.label_node(0, "origin");
+        r.emit(10, Event::SessionStart { client: 3 });
+        r.emit(
+            20,
+            Event::Downshift {
+                client: 3,
+                from_bps: 2,
+                to_bps: 1,
+            },
+        );
+        let parsed = crate::event::parse_jsonl(&r.to_jsonl()).unwrap();
+        assert_eq!(parsed, r.events());
+    }
+}

@@ -1,0 +1,521 @@
+//! Per-session timeline reconstruction and causal trace invariants.
+//!
+//! The event log is a flat stream; this module folds it back into the
+//! story of each session (startup → stall spans → downshifts → outages →
+//! end) and cross-checks the causal claims the counters alone cannot
+//! make: a downshift without a preceding backlog-high sample, or a
+//! recovery without a matching outage-start, means an emitter lied.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventRecord};
+
+/// How a session's story ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EndKind {
+    /// Finished playback cleanly.
+    Completed,
+    /// Explicitly refused until the bounce budget ran out.
+    Shed,
+    /// Gave up on a silent server after exhausting retries.
+    Abandoned,
+}
+
+impl EndKind {
+    fn label(self) -> &'static str {
+        match self {
+            EndKind::Completed => "completed",
+            EndKind::Shed => "shed",
+            EndKind::Abandoned => "abandoned",
+        }
+    }
+}
+
+/// One rebuffering pause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallSpan {
+    /// Tick the stall began.
+    pub start: u64,
+    /// Length in ticks (0 for a stall still open at end of log).
+    pub ticks: u64,
+}
+
+/// The reconstructed story of one client's session.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionTimeline {
+    /// Raw node index of the client.
+    pub client: u64,
+    /// Role label when the log carries one (`student3`), else `node<i>`.
+    pub label: String,
+    /// Tick of the first `session_start` for this client.
+    pub requested_at: Option<u64>,
+    /// Tick playback first started.
+    pub playback_at: Option<u64>,
+    /// Startup latency reported at playback start.
+    pub startup_ticks: u64,
+    /// Every stall span, in time order.
+    pub stalls: Vec<StallSpan>,
+    /// Total ticks spent stalled (closed spans only).
+    pub stall_ticks: u64,
+    /// Every downshift `(at, from_bps, to_bps)`.
+    pub downshifts: Vec<(u64, u64, u64)>,
+    /// Upshifts applied.
+    pub upshifts: u64,
+    /// Every recovered outage `(recovered_at, outage_ticks)`.
+    pub outages: Vec<(u64, u64)>,
+    /// Play re-requests issued by the retry layer.
+    pub retries: u64,
+    /// `Busy` bounces received.
+    pub busy_bounces: u64,
+    /// `(at, kind)` of the session's end, when it ended.
+    pub ended: Option<(u64, EndKind)>,
+}
+
+impl SessionTimeline {
+    fn new(client: u64) -> Self {
+        Self {
+            client,
+            label: format!("node{client}"),
+            requested_at: None,
+            playback_at: None,
+            startup_ticks: 0,
+            stalls: Vec::new(),
+            stall_ticks: 0,
+            downshifts: Vec::new(),
+            upshifts: 0,
+            outages: Vec::new(),
+            retries: 0,
+            busy_bounces: 0,
+            ended: None,
+        }
+    }
+
+    /// Renders the timeline as indented plain text, one span per line,
+    /// ticks shown as milliseconds (integer division — deterministic).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let ms = |t: u64| t / 10_000;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "session {} (client {}): {} stall ms over {} stall(s), {} downshift(s), {} outage(s)",
+            self.label,
+            self.client,
+            ms(self.stall_ticks),
+            self.stalls.len(),
+            self.downshifts.len(),
+            self.outages.len(),
+        );
+        if let Some(at) = self.requested_at {
+            let _ = writeln!(out, "  t={:>8}ms  play requested", ms(at));
+        }
+        if let Some(at) = self.playback_at {
+            let _ = writeln!(
+                out,
+                "  t={:>8}ms  playback started (startup {} ms)",
+                ms(at),
+                ms(self.startup_ticks)
+            );
+        }
+        for s in &self.stalls {
+            let _ = writeln!(
+                out,
+                "  t={:>8}ms  stalled for {} ms",
+                ms(s.start),
+                ms(s.ticks)
+            );
+        }
+        for &(at, from, to) in &self.downshifts {
+            let _ = writeln!(
+                out,
+                "  t={:>8}ms  downshift {} -> {} bit/s",
+                ms(at),
+                from,
+                to
+            );
+        }
+        for &(at, dur) in &self.outages {
+            let _ = writeln!(
+                out,
+                "  t={:>8}ms  recovered from a {} ms outage",
+                ms(at),
+                ms(dur)
+            );
+        }
+        if let Some((at, kind)) = self.ended {
+            let _ = writeln!(out, "  t={:>8}ms  {}", ms(at), kind.label());
+        }
+        out
+    }
+}
+
+/// Folds an event log into one timeline per client, ordered by client
+/// node index. Only client-facing events contribute; relay/fault events
+/// are ignored here.
+pub fn session_timelines(events: &[EventRecord]) -> Vec<SessionTimeline> {
+    let mut map: BTreeMap<u64, SessionTimeline> = BTreeMap::new();
+    let mut labels: BTreeMap<u64, String> = BTreeMap::new();
+    let mut open_stall: BTreeMap<u64, u64> = BTreeMap::new();
+    for rec in events {
+        let at = rec.at;
+        match &rec.event {
+            Event::NodeLabel { node, label } => {
+                labels.insert(*node, label.clone());
+            }
+            Event::SessionStart { client } => {
+                let t = map
+                    .entry(*client)
+                    .or_insert_with(|| SessionTimeline::new(*client));
+                if t.requested_at.is_none() {
+                    t.requested_at = Some(at);
+                }
+            }
+            Event::PlaybackStart {
+                client,
+                startup_ticks,
+            } => {
+                let t = map
+                    .entry(*client)
+                    .or_insert_with(|| SessionTimeline::new(*client));
+                if t.playback_at.is_none() {
+                    t.playback_at = Some(at);
+                    t.startup_ticks = *startup_ticks;
+                }
+            }
+            Event::StallStart { client } => {
+                open_stall.insert(*client, at);
+            }
+            Event::StallEnd {
+                client,
+                stall_ticks,
+            } => {
+                let t = map
+                    .entry(*client)
+                    .or_insert_with(|| SessionTimeline::new(*client));
+                let start = open_stall
+                    .remove(client)
+                    .unwrap_or_else(|| at.saturating_sub(*stall_ticks));
+                t.stalls.push(StallSpan {
+                    start,
+                    ticks: *stall_ticks,
+                });
+                t.stall_ticks += *stall_ticks;
+            }
+            Event::Downshift {
+                client,
+                from_bps,
+                to_bps,
+            } => {
+                map.entry(*client)
+                    .or_insert_with(|| SessionTimeline::new(*client))
+                    .downshifts
+                    .push((at, *from_bps, *to_bps));
+            }
+            Event::Upshift { client, .. } => {
+                map.entry(*client)
+                    .or_insert_with(|| SessionTimeline::new(*client))
+                    .upshifts += 1;
+            }
+            Event::Recovery {
+                client,
+                outage_ticks,
+            } => {
+                map.entry(*client)
+                    .or_insert_with(|| SessionTimeline::new(*client))
+                    .outages
+                    .push((at, *outage_ticks));
+            }
+            Event::Retry { client, .. } => {
+                map.entry(*client)
+                    .or_insert_with(|| SessionTimeline::new(*client))
+                    .retries += 1;
+            }
+            Event::BusyBounce { client } => {
+                map.entry(*client)
+                    .or_insert_with(|| SessionTimeline::new(*client))
+                    .busy_bounces += 1;
+            }
+            Event::SessionEnd { client } => {
+                map.entry(*client)
+                    .or_insert_with(|| SessionTimeline::new(*client))
+                    .ended
+                    .get_or_insert((at, EndKind::Completed));
+            }
+            Event::ClientShed { client } => {
+                map.entry(*client)
+                    .or_insert_with(|| SessionTimeline::new(*client))
+                    .ended
+                    .get_or_insert((at, EndKind::Shed));
+            }
+            Event::Abandon { client } => {
+                map.entry(*client)
+                    .or_insert_with(|| SessionTimeline::new(*client))
+                    .ended
+                    .get_or_insert((at, EndKind::Abandoned));
+            }
+            _ => {}
+        }
+    }
+    // A stall still open when the log ends becomes a zero-length span
+    // (visible, but not counted as stalled time).
+    for (client, start) in open_stall {
+        if let Some(t) = map.get_mut(&client) {
+            t.stalls.push(StallSpan { start, ticks: 0 });
+        }
+    }
+    let mut timelines: Vec<SessionTimeline> = map.into_values().collect();
+    for t in &mut timelines {
+        if let Some(l) = labels.get(&t.client) {
+            t.label = l.clone();
+        }
+    }
+    timelines
+}
+
+/// The `n` sessions with the most stalled time, worst first; ties break
+/// toward the lower client index so the ranking is deterministic.
+pub fn worst_by_stall(timelines: &[SessionTimeline], n: usize) -> Vec<&SessionTimeline> {
+    let mut refs: Vec<&SessionTimeline> = timelines.iter().collect();
+    refs.sort_by(|a, b| {
+        b.stall_ticks
+            .cmp(&a.stall_ticks)
+            .then(a.client.cmp(&b.client))
+    });
+    refs.truncate(n);
+    refs
+}
+
+/// What [`check_causal`] found in an event log.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CausalReport {
+    /// Downshift events seen.
+    pub downshifts: u64,
+    /// Downshifts with no earlier `backlog_high` sample for the same
+    /// client — a causality violation.
+    pub unheralded_downshifts: u64,
+    /// Recovery events seen.
+    pub recoveries: u64,
+    /// Recoveries with no open `outage_start` for the same client — a
+    /// causality violation.
+    pub unmatched_recoveries: u64,
+    /// `admission_shed` events per refusing node.
+    pub sheds_by_node: BTreeMap<u64, u64>,
+}
+
+impl CausalReport {
+    /// Total admission refusals across all nodes.
+    pub fn total_sheds(&self) -> u64 {
+        self.sheds_by_node.values().sum()
+    }
+
+    /// Admission refusals issued by `node`.
+    pub fn sheds_at(&self, node: u64) -> u64 {
+        self.sheds_by_node.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Whether both causal invariants hold.
+    pub fn holds(&self) -> bool {
+        self.unheralded_downshifts == 0 && self.unmatched_recoveries == 0
+    }
+}
+
+/// Checks the causal trace invariants over `events` (which must be in
+/// emission order, as [`crate::Recorder`] keeps them):
+///
+/// 1. every `downshift` is preceded by a `backlog_high` sample for the
+///    same client (the watermark crossing that justified it), and
+/// 2. every `recovery` closes an `outage_start` opened earlier for the
+///    same client, with no recovery in between.
+pub fn check_causal(events: &[EventRecord]) -> CausalReport {
+    let mut report = CausalReport::default();
+    let mut backlog_high_seen: BTreeMap<u64, bool> = BTreeMap::new();
+    let mut outage_open: BTreeMap<u64, bool> = BTreeMap::new();
+    for rec in events {
+        match &rec.event {
+            Event::BacklogHigh { client, .. } => {
+                backlog_high_seen.insert(*client, true);
+            }
+            Event::Downshift { client, .. } => {
+                report.downshifts += 1;
+                if !backlog_high_seen.get(client).copied().unwrap_or(false) {
+                    report.unheralded_downshifts += 1;
+                }
+            }
+            Event::OutageStart { client } => {
+                outage_open.insert(*client, true);
+            }
+            Event::Recovery { client, .. } => {
+                report.recoveries += 1;
+                if outage_open.insert(*client, false) != Some(true) {
+                    report.unmatched_recoveries += 1;
+                }
+            }
+            Event::AdmissionShed { node, .. } => {
+                *report.sheds_by_node.entry(*node).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at: u64, event: Event) -> EventRecord {
+        EventRecord { at, event }
+    }
+
+    #[test]
+    fn timeline_folds_one_session() {
+        let events = vec![
+            rec(
+                0,
+                Event::NodeLabel {
+                    node: 5,
+                    label: "student2".into(),
+                },
+            ),
+            rec(10, Event::SessionStart { client: 5 }),
+            rec(
+                30,
+                Event::PlaybackStart {
+                    client: 5,
+                    startup_ticks: 20,
+                },
+            ),
+            rec(40, Event::StallStart { client: 5 }),
+            rec(
+                70,
+                Event::StallEnd {
+                    client: 5,
+                    stall_ticks: 30,
+                },
+            ),
+            rec(
+                80,
+                Event::Downshift {
+                    client: 5,
+                    from_bps: 10,
+                    to_bps: 5,
+                },
+            ),
+            rec(90, Event::SessionEnd { client: 5 }),
+        ];
+        let tl = session_timelines(&events);
+        assert_eq!(tl.len(), 1);
+        let t = &tl[0];
+        assert_eq!(t.label, "student2");
+        assert_eq!(t.requested_at, Some(10));
+        assert_eq!(t.playback_at, Some(30));
+        assert_eq!(t.stall_ticks, 30);
+        assert_eq!(
+            t.stalls,
+            vec![StallSpan {
+                start: 40,
+                ticks: 30
+            }]
+        );
+        assert_eq!(t.downshifts, vec![(80, 10, 5)]);
+        assert_eq!(t.ended, Some((90, EndKind::Completed)));
+        let text = t.render();
+        assert!(text.contains("student2"), "{text}");
+        assert!(text.contains("downshift 10 -> 5"), "{text}");
+    }
+
+    #[test]
+    fn worst_by_stall_ranks_deterministically() {
+        let mut a = SessionTimeline::new(1);
+        a.stall_ticks = 50;
+        let mut b = SessionTimeline::new(2);
+        b.stall_ticks = 100;
+        let mut c = SessionTimeline::new(3);
+        c.stall_ticks = 50;
+        let tls = vec![a, b, c];
+        let worst: Vec<u64> = worst_by_stall(&tls, 2).iter().map(|t| t.client).collect();
+        assert_eq!(worst, vec![2, 1]);
+    }
+
+    #[test]
+    fn causal_invariants_hold_on_a_lawful_trace() {
+        let events = vec![
+            rec(
+                10,
+                Event::BacklogHigh {
+                    client: 1,
+                    backlog: 999,
+                },
+            ),
+            rec(
+                20,
+                Event::Downshift {
+                    client: 1,
+                    from_bps: 10,
+                    to_bps: 5,
+                },
+            ),
+            rec(30, Event::OutageStart { client: 2 }),
+            rec(
+                40,
+                Event::Recovery {
+                    client: 2,
+                    outage_ticks: 10,
+                },
+            ),
+            rec(50, Event::AdmissionShed { node: 0, client: 3 }),
+            rec(60, Event::AdmissionShed { node: 0, client: 4 }),
+        ];
+        let r = check_causal(&events);
+        assert!(r.holds(), "{r:?}");
+        assert_eq!(r.downshifts, 1);
+        assert_eq!(r.recoveries, 1);
+        assert_eq!(r.sheds_at(0), 2);
+        assert_eq!(r.total_sheds(), 2);
+    }
+
+    #[test]
+    fn causal_violations_are_counted() {
+        let events = vec![
+            // Downshift with no backlog-high sample anywhere.
+            rec(
+                20,
+                Event::Downshift {
+                    client: 1,
+                    from_bps: 10,
+                    to_bps: 5,
+                },
+            ),
+            // Recovery with no outage open.
+            rec(
+                40,
+                Event::Recovery {
+                    client: 2,
+                    outage_ticks: 10,
+                },
+            ),
+            rec(50, Event::OutageStart { client: 3 }),
+            rec(
+                60,
+                Event::Recovery {
+                    client: 3,
+                    outage_ticks: 5,
+                },
+            ),
+            // Second recovery against the same (now closed) outage.
+            rec(
+                70,
+                Event::Recovery {
+                    client: 3,
+                    outage_ticks: 5,
+                },
+            ),
+        ];
+        let r = check_causal(&events);
+        assert_eq!(r.unheralded_downshifts, 1);
+        assert_eq!(r.unmatched_recoveries, 2);
+        assert!(!r.holds());
+    }
+}

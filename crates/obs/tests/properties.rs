@@ -1,0 +1,125 @@
+//! Property-based tests for histogram correctness: bucket bookkeeping
+//! and exact merge under arbitrary u64 sample streams.
+
+use lod_obs::Histogram;
+use proptest::prelude::*;
+
+/// A small strictly-increasing bound set derived from arbitrary gaps.
+fn arb_bounds() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..1_000_000, 1..8).prop_map(|gaps| {
+        let mut acc = 0u64;
+        gaps.iter()
+            .map(|g| {
+                acc = acc.saturating_add(*g);
+                acc
+            })
+            .collect()
+    })
+}
+
+fn fill(bounds: &[u64], samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new(bounds);
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    /// Conservation: every recorded sample lands in exactly one bucket,
+    /// so the bucket counts sum to `count` and the final cumulative
+    /// entry equals `count`.
+    #[test]
+    fn record_conserves_count(
+        bounds in arb_bounds(),
+        samples in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let h = fill(&bounds, &samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+        let cumulative = h.cumulative();
+        prop_assert_eq!(*cumulative.last().unwrap(), h.count());
+    }
+
+    /// Bucket monotonicity: cumulative counts never decrease from one
+    /// `le` bound to the next.
+    #[test]
+    fn cumulative_is_monotone(
+        bounds in arb_bounds(),
+        samples in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let h = fill(&bounds, &samples);
+        let c = h.cumulative();
+        prop_assert!(c.windows(2).all(|w| w[0] <= w[1]), "{:?}", c);
+    }
+
+    /// Merging two histograms equals recording both streams into one:
+    /// merge is exact, not an approximation.
+    #[test]
+    fn merge_equals_concatenated_recording(
+        bounds in arb_bounds(),
+        xs in proptest::collection::vec(any::<u64>(), 0..100),
+        ys in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut merged = fill(&bounds, &xs);
+        merged.merge(&fill(&bounds, &ys));
+        let both: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+        prop_assert_eq!(merged, fill(&bounds, &both));
+    }
+
+    /// Merge is commutative: a+b == b+a.
+    #[test]
+    fn merge_is_commutative(
+        bounds in arb_bounds(),
+        xs in proptest::collection::vec(any::<u64>(), 0..100),
+        ys in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let a = fill(&bounds, &xs);
+        let b = fill(&bounds, &ys);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merge is associative: (a+b)+c == a+(b+c).
+    #[test]
+    fn merge_is_associative(
+        bounds in arb_bounds(),
+        xs in proptest::collection::vec(any::<u64>(), 0..60),
+        ys in proptest::collection::vec(any::<u64>(), 0..60),
+        zs in proptest::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let a = fill(&bounds, &xs);
+        let b = fill(&bounds, &ys);
+        let c = fill(&bounds, &zs);
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Every sample lands in the bucket its bound dictates: counts in
+    /// bucket `i` are exactly the samples in `(bounds[i-1], bounds[i]]`.
+    #[test]
+    fn buckets_partition_the_domain(
+        bounds in arb_bounds(),
+        samples in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let h = fill(&bounds, &samples);
+        for (i, &c) in h.bucket_counts().iter().enumerate() {
+            let lo = if i == 0 { None } else { Some(bounds[i - 1]) };
+            let hi = bounds.get(i).copied();
+            let expected = samples
+                .iter()
+                .filter(|&&s| lo.is_none_or(|l| s > l) && hi.is_none_or(|u| s <= u))
+                .count() as u64;
+            prop_assert_eq!(c, expected, "bucket {} ({:?}, {:?}]", i, lo, hi);
+        }
+    }
+}

@@ -157,18 +157,28 @@ impl SegmentCache {
     }
 
     /// Inserts a segment, evicting least-recently-used entries until it
-    /// fits. Returns `false` (and caches nothing) when the segment alone
-    /// exceeds the whole budget. Re-inserting an existing key replaces it.
-    pub fn insert(&mut self, content: &str, segment: u32, data: CachedSegment) -> bool {
+    /// fits. Returns `None` (and caches nothing) when the segment alone
+    /// exceeds the whole budget; otherwise the evicted
+    /// `(content, segment, bytes)` triples, in eviction order (the LRU
+    /// clock is unique per entry, so the order is deterministic).
+    /// Re-inserting an existing key replaces it without counting an
+    /// eviction.
+    pub fn insert(
+        &mut self,
+        content: &str,
+        segment: u32,
+        data: CachedSegment,
+    ) -> Option<Vec<(String, u32, u64)>> {
         if data.bytes > self.budget {
-            return false;
+            return None;
         }
         let key = (content.to_string(), segment);
         if let Some(old) = self.entries.remove(&key) {
             self.used -= old.segment.bytes;
         }
+        let mut evicted = Vec::new();
         while self.used + data.bytes > self.budget {
-            self.evict_lru();
+            evicted.push(self.evict_lru());
         }
         self.used += data.bytes;
         self.clock += 1;
@@ -180,10 +190,10 @@ impl SegmentCache {
                 last_used: self.clock,
             },
         );
-        true
+        Some(evicted)
     }
 
-    fn evict_lru(&mut self) {
+    fn evict_lru(&mut self) -> (String, u32, u64) {
         let victim = self
             .entries
             .iter()
@@ -194,6 +204,7 @@ impl SegmentCache {
         self.used -= entry.segment.bytes;
         self.stats.evictions += 1;
         self.stats.bytes_evicted += entry.segment.bytes;
+        (victim.0, victim.1, entry.segment.bytes)
     }
 }
 
@@ -213,7 +224,7 @@ mod tests {
     fn hit_miss_accounting() {
         let mut cache = SegmentCache::new(1_000);
         assert!(cache.get("talk", 0).is_none());
-        assert!(cache.insert("talk", 0, seg(100)));
+        assert!(cache.insert("talk", 0, seg(100)).is_some());
         assert!(cache.get("talk", 0).is_some());
         assert!(cache.get("talk", 1).is_none());
         let stats = cache.stats();
@@ -225,12 +236,15 @@ mod tests {
     #[test]
     fn evicts_least_recently_used_first() {
         let mut cache = SegmentCache::new(300);
-        assert!(cache.insert("talk", 0, seg(100)));
-        assert!(cache.insert("talk", 1, seg(100)));
-        assert!(cache.insert("talk", 2, seg(100)));
+        assert!(cache.insert("talk", 0, seg(100)).is_some());
+        assert!(cache.insert("talk", 1, seg(100)).is_some());
+        assert!(cache.insert("talk", 2, seg(100)).is_some());
         // Touch 0 so 1 becomes the LRU victim.
         assert!(cache.get("talk", 0).is_some());
-        assert!(cache.insert("talk", 3, seg(100)));
+        let evicted = cache
+            .insert("talk", 3, seg(100))
+            .expect("fits after eviction");
+        assert_eq!(evicted, vec![("talk".to_string(), 1, 100)]);
         assert!(cache.contains("talk", 0));
         assert!(!cache.contains("talk", 1));
         assert!(cache.contains("talk", 2));
@@ -243,7 +257,7 @@ mod tests {
     #[test]
     fn rejects_segment_larger_than_budget() {
         let mut cache = SegmentCache::new(50);
-        assert!(!cache.insert("talk", 0, seg(51)));
+        assert!(cache.insert("talk", 0, seg(51)).is_none());
         assert!(cache.is_empty());
         assert_eq!(cache.used_bytes(), 0);
     }
@@ -251,8 +265,9 @@ mod tests {
     #[test]
     fn reinsert_replaces_without_double_counting() {
         let mut cache = SegmentCache::new(200);
-        assert!(cache.insert("talk", 0, seg(80)));
-        assert!(cache.insert("talk", 0, seg(120)));
+        assert!(cache.insert("talk", 0, seg(80)).is_some());
+        let evicted = cache.insert("talk", 0, seg(120)).expect("replacement fits");
+        assert!(evicted.is_empty(), "replacement is not an eviction");
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.used_bytes(), 120);
     }
@@ -260,7 +275,7 @@ mod tests {
     #[test]
     fn peek_does_not_count() {
         let mut cache = SegmentCache::new(100);
-        assert!(cache.insert("talk", 0, seg(10)));
+        assert!(cache.insert("talk", 0, seg(10)).is_some());
         assert!(cache.peek("talk", 0).is_some());
         assert!(cache.peek("talk", 9).is_none());
         assert_eq!(cache.stats().lookups(), 0);

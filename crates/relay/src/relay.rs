@@ -17,9 +17,10 @@
 use std::collections::{HashMap, HashSet};
 
 use lod_asf::{DataPacket, ScriptCommand};
+use lod_obs::{Event, Recorder};
 use lod_simnet::{Network, NodeId, TokenBucket};
 use lod_streaming::wire::{ControlRequest, SegmentData, StreamHeader, Wire};
-use lod_streaming::{AdmissionPolicy, BreakerPolicy, CircuitBreaker, RetryPolicy};
+use lod_streaming::{AdmissionPolicy, BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{CachedSegment, SegmentCache};
@@ -168,6 +169,8 @@ pub struct RelayNode {
     /// Optional breaker around the upstream fetch path.
     breaker: Option<CircuitBreaker>,
     metrics: RelayMetrics,
+    /// Structured event sink (disabled by default — a free no-op).
+    obs: Recorder,
 }
 
 /// One outstanding upstream fetch.
@@ -211,7 +214,16 @@ impl RelayNode {
             admission: None,
             breaker: None,
             metrics: RelayMetrics::default(),
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a structured event recorder: admission sheds, cache
+    /// hits/misses/evictions, fetch retries, and breaker transitions land
+    /// in it as tick-stamped [`Event`]s.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.obs = recorder;
+        self
     }
 
     /// Disables sequential prefetch (default on).
@@ -310,9 +322,7 @@ impl RelayNode {
                 Wire::NotFound(name) => {
                     // Still an *answer*: the origin is alive, however
                     // unhelpful, so the breaker closes.
-                    if let Some(b) = &mut self.breaker {
-                        b.record_success();
-                    }
+                    self.breaker_success(now);
                     self.on_not_found(net, &name);
                 }
                 Wire::Request(req) => self.on_request(net, now, from, req),
@@ -333,7 +343,7 @@ impl RelayNode {
                 content,
                 from: start,
             } => {
-                if self.refuse_if_over_budget(net, from, &content) {
+                if self.refuse_if_over_budget(net, now, from, &content) {
                     return;
                 }
                 if self.live_content.contains(&content) {
@@ -393,6 +403,7 @@ impl RelayNode {
     fn refuse_if_over_budget(
         &mut self,
         net: &mut Network<Wire>,
+        now: u64,
         from: NodeId,
         content: &str,
     ) -> bool {
@@ -413,6 +424,13 @@ impl RelayNode {
             || self.committed_bps().saturating_add(nominal) > adm.capacity_bps;
         if over {
             self.metrics.sessions_shed += 1;
+            self.obs.emit(
+                now,
+                Event::AdmissionShed {
+                    node: self.node.index() as u64,
+                    client: from.index() as u64,
+                },
+            );
             let msg = Wire::Busy {
                 retry_after: adm.retry_after,
                 alternate: None,
@@ -589,9 +607,22 @@ impl RelayNode {
             FetchGate::GiveUp => {
                 self.inflight.remove(key);
                 self.metrics.fetch_give_ups += 1;
+                self.obs.emit(
+                    now,
+                    Event::FetchGiveUp {
+                        node: self.node.index() as u64,
+                        segment: u64::from(key.1),
+                    },
+                );
                 if let Some(b) = &mut self.breaker {
                     if b.record_failure(now) {
                         self.metrics.breaker_opens += 1;
+                        self.obs.emit(
+                            now,
+                            Event::BreakerOpen {
+                                node: self.node.index() as u64,
+                            },
+                        );
                     }
                 }
                 self.on_not_found(net, &key.0.clone());
@@ -603,7 +634,14 @@ impl RelayNode {
                     // unanswered: that is the breaker's failure signal.
                     if retry && b.record_failure(now) {
                         self.metrics.breaker_opens += 1;
+                        self.obs.emit(
+                            now,
+                            Event::BreakerOpen {
+                                node: self.node.index() as u64,
+                            },
+                        );
                     }
+                    let was_open = b.is_open();
                     if !b.allows(now) {
                         // Open: stop burning retry budget against a dead
                         // origin. Dropping the in-flight record makes the
@@ -612,9 +650,26 @@ impl RelayNode {
                         self.inflight.remove(key);
                         return false;
                     }
+                    if was_open {
+                        // `allows` just moved Open → HalfOpen: this fetch
+                        // is the probe.
+                        self.obs.emit(
+                            now,
+                            Event::BreakerProbe {
+                                node: self.node.index() as u64,
+                            },
+                        );
+                    }
                 }
                 if retry {
                     self.metrics.fetch_retries += 1;
+                    self.obs.emit(
+                        now,
+                        Event::FetchRetry {
+                            node: self.node.index() as u64,
+                            segment: u64::from(key.1),
+                        },
+                    );
                 }
                 let e = self.inflight.entry(key.clone()).or_insert(InflightFetch {
                     last_at: now,
@@ -676,10 +731,25 @@ impl RelayNode {
         let _ = net.send_reliable(self.node, self.origin, bytes, req);
     }
 
-    fn on_segment(&mut self, net: &mut Network<Wire>, now: u64, seg: SegmentData) {
+    /// Records an upstream answer on the breaker, emitting
+    /// [`Event::BreakerClose`] when it actually re-closes the circuit.
+    fn breaker_success(&mut self, now: u64) {
         if let Some(b) = &mut self.breaker {
+            let was = b.state();
             b.record_success();
+            if !matches!(was, BreakerState::Closed) {
+                self.obs.emit(
+                    now,
+                    Event::BreakerClose {
+                        node: self.node.index() as u64,
+                    },
+                );
+            }
         }
+    }
+
+    fn on_segment(&mut self, net: &mut Network<Wire>, now: u64, seg: SegmentData) {
+        self.breaker_success(now);
         self.metrics.upstream_bytes_received += seg.wire_bytes();
         self.inflight.remove(&(seg.content.clone(), seg.segment));
         if let Some(at) = seg.at_time {
@@ -707,7 +777,18 @@ impl RelayNode {
                 packets: seg.packets.clone(),
                 bytes: seg.packets.len() as u64 * u64::from(seg.packet_size),
             };
-            self.cache.insert(&seg.content, seg.segment, data);
+            if let Some(evicted) = self.cache.insert(&seg.content, seg.segment, data) {
+                for (_, segment, bytes) in evicted {
+                    self.obs.emit(
+                        now,
+                        Event::CacheEvict {
+                            node: self.node.index() as u64,
+                            segment: u64::from(segment),
+                            bytes,
+                        },
+                    );
+                }
+            }
         }
         // Wake sessions that were waiting on this content: send the header
         // to any session that never got one, and anchor time-resolved
@@ -855,10 +936,31 @@ impl RelayNode {
                     let key = (s.content.clone(), seg_idx);
                     if self.cache.contains(&s.content, seg_idx) {
                         let _ = self.cache.get(&s.content, seg_idx);
+                        self.obs.emit(
+                            now,
+                            Event::CacheHit {
+                                node: self.node.index() as u64,
+                                segment: u64::from(seg_idx),
+                            },
+                        );
                     } else if self.inflight.contains_key(&key) {
                         self.cache.record_coalesced_hit();
+                        self.obs.emit(
+                            now,
+                            Event::CacheCoalesced {
+                                node: self.node.index() as u64,
+                                segment: u64::from(seg_idx),
+                            },
+                        );
                     } else {
                         let _ = self.cache.get(&s.content, seg_idx); // records the miss
+                        self.obs.emit(
+                            now,
+                            Event::CacheMiss {
+                                node: self.node.index() as u64,
+                                segment: u64::from(seg_idx),
+                            },
+                        );
                         fetches.push(key);
                     }
                     s.counted_seg = Some(seg_idx);

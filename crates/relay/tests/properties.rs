@@ -49,7 +49,7 @@ proptest! {
                 }
                 Op::Insert(c, s, b) => {
                     let accepted = cache.insert(&content_name(c), u32::from(s), segment(0, b));
-                    prop_assert_eq!(accepted, b <= budget);
+                    prop_assert_eq!(accepted.is_some(), b <= budget);
                 }
             }
             prop_assert!(
@@ -108,17 +108,19 @@ proptest! {
         };
 
         let mut cache = SegmentCache::new(origin_segment.bytes); // fits exactly one
-        prop_assert!(cache.insert("lec", 0, origin_segment.clone()));
+        prop_assert!(cache.insert("lec", 0, origin_segment.clone()).is_some());
         let first = cache.get("lec", 0).cloned().expect("just inserted");
 
         // Insert a same-sized rival: the budget forces eviction of seg 0.
-        prop_assert!(cache.insert("lec", 1, segment(0, origin_segment.bytes)));
+        let evicted = cache.insert("lec", 1, segment(0, origin_segment.bytes))
+            .expect("rival fits the budget");
+        prop_assert_eq!(evicted, vec![("lec".to_string(), 0u32, origin_segment.bytes)]);
         prop_assert!(!cache.contains("lec", 0), "budget fits only one segment");
         prop_assert_eq!(cache.stats().evictions, 1);
         prop_assert_eq!(cache.stats().bytes_evicted, origin_segment.bytes);
 
         // "Refetch" from the origin and compare byte-for-byte.
-        prop_assert!(cache.insert("lec", 0, origin_segment.clone()));
+        prop_assert!(cache.insert("lec", 0, origin_segment.clone()).is_some());
         let second = cache.get("lec", 0).cloned().expect("just refetched");
         prop_assert_eq!(&first, &second);
         prop_assert_eq!(&second, &origin_segment);

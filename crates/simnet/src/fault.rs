@@ -266,6 +266,29 @@ pub struct FaultInjector {
     pending: Vec<FaultEvent>,
     active: Vec<ActiveFault>,
     trace: Vec<FaultTrace>,
+    obs: lod_obs::Recorder,
+}
+
+/// The observability vocabulary of a fault: `(kind, a, b, detail)` with
+/// raw node indices and an integer magnitude (loss per-mille for bursts,
+/// extra ticks for latency spikes, 0 otherwise).
+fn fault_obs_parts(fault: &Fault) -> (&'static str, u64, u64, u64) {
+    match *fault {
+        Fault::LinkDown { a, b } => ("link_down", a.index() as u64, b.index() as u64, 0),
+        Fault::LossBurst { a, b, loss } => (
+            "loss_burst",
+            a.index() as u64,
+            b.index() as u64,
+            (loss * 1000.0) as u64,
+        ),
+        Fault::LatencySpike { a, b, extra_ticks } => (
+            "latency_spike",
+            a.index() as u64,
+            b.index() as u64,
+            extra_ticks,
+        ),
+        Fault::NodeDown { node } => ("node_down", node.index() as u64, node.index() as u64, 0),
+    }
 }
 
 impl FaultInjector {
@@ -278,7 +301,15 @@ impl FaultInjector {
             pending,
             active: Vec::new(),
             trace: Vec::new(),
+            obs: lod_obs::Recorder::disabled(),
         }
+    }
+
+    /// Mirrors every strike and heal into `recorder` as
+    /// `fault_strike` / `fault_heal` events.
+    pub fn with_recorder(mut self, recorder: lod_obs::Recorder) -> Self {
+        self.obs = recorder;
+        self
     }
 
     /// Faults currently in force.
@@ -306,6 +337,15 @@ impl FaultInjector {
             if self.active[i].until <= now {
                 let healed = self.active.remove(i);
                 Self::undo(net, healed.undo);
+                let (kind, a, b, _) = fault_obs_parts(&healed.fault);
+                self.obs.emit(
+                    now,
+                    lod_obs::Event::FaultHeal {
+                        fault: kind.to_string(),
+                        a,
+                        b,
+                    },
+                );
                 self.trace.push(FaultTrace {
                     at: now,
                     phase: FaultPhase::End,
@@ -319,6 +359,16 @@ impl FaultInjector {
         while self.pending.last().is_some_and(|e| e.at <= now) {
             let event = self.pending.pop().expect("peeked above");
             let undo = Self::apply(net, event.fault);
+            let (kind, a, b, detail) = fault_obs_parts(&event.fault);
+            self.obs.emit(
+                now,
+                lod_obs::Event::FaultStrike {
+                    fault: kind.to_string(),
+                    a,
+                    b,
+                    detail,
+                },
+            );
             self.trace.push(FaultTrace {
                 at: now,
                 phase: FaultPhase::Start,
@@ -328,6 +378,14 @@ impl FaultInjector {
             if event.until() <= now {
                 // Degenerate zero-length fault: heal immediately.
                 Self::undo(net, undo);
+                self.obs.emit(
+                    now,
+                    lod_obs::Event::FaultHeal {
+                        fault: kind.to_string(),
+                        a,
+                        b,
+                    },
+                );
                 self.trace.push(FaultTrace {
                     at: now,
                     phase: FaultPhase::End,

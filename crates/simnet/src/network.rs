@@ -16,6 +16,14 @@ use crate::trace::LinkStats;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub(crate) usize);
 
+impl NodeId {
+    /// The raw node index, for observability layers that must identify
+    /// nodes without depending on this crate (e.g. `lod-obs` events).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "node{}", self.0)

@@ -35,6 +35,24 @@ impl LinkStats {
             self.packets_dropped as f64 / self.packets_sent as f64
         }
     }
+
+    /// Integer twin of [`LinkStats::delivery_ratio`]: delivered per
+    /// thousand sent (1000 for an unused link). Use this in seeded
+    /// experiment reports — float formatting is not byte-stable across
+    /// platforms, per-mille division is.
+    pub fn delivery_permille(&self) -> u64 {
+        (self.packets_delivered * 1000)
+            .checked_div(self.packets_sent)
+            .unwrap_or(1000)
+    }
+
+    /// Integer twin of [`LinkStats::loss_ratio`]: dropped per thousand
+    /// sent (0 for an unused link).
+    pub fn loss_permille(&self) -> u64 {
+        (self.packets_dropped * 1000)
+            .checked_div(self.packets_sent)
+            .unwrap_or(0)
+    }
 }
 
 /// Samples the utilization of one link over time: each call to
@@ -72,12 +90,17 @@ impl LinkLoadSampler {
         let dticks = now.saturating_sub(self.last_at);
         self.last_bytes = bytes;
         self.last_at = now;
-        // bits · (ticks/second) / elapsed ticks, ordered to avoid
-        // overflow only past ~20 Tbit of traffic per sample; zero when
-        // no time has passed.
-        (dbytes * 8 * crate::link::TICKS_PER_SECOND)
-            .checked_div(dticks)
-            .unwrap_or(0)
+        if dticks == 0 {
+            return 0;
+        }
+        // bits · (ticks/second) / elapsed ticks. The numerator is
+        // computed in u128: in u64 it would wrap once a sample window
+        // carries more than u64::MAX / (8 · 10^7) ≈ 230 GB (~1.8 Tbit)
+        // of traffic. The exact quotient is clamped to `u64::MAX` (only
+        // reachable when the mean load itself exceeds ~18 Ebit/s) so
+        // the sampler saturates instead of wrapping.
+        let bits = u128::from(dbytes) * 8 * u128::from(crate::link::TICKS_PER_SECOND);
+        u64::try_from(bits / u128::from(dticks)).unwrap_or(u64::MAX)
     }
 }
 
@@ -121,6 +144,57 @@ mod tests {
         assert_eq!(sampler.sample(&net, 20_000_000), 0);
         // Zero elapsed time never divides by zero.
         assert_eq!(sampler.sample(&net, 20_000_000), 0);
+    }
+
+    #[test]
+    fn ratio_permille_twins_match_and_stay_integer() {
+        let s = LinkStats {
+            packets_sent: 10,
+            packets_delivered: 9,
+            packets_dropped: 1,
+            bytes_sent: 1000,
+        };
+        assert_eq!(s.delivery_permille(), 900);
+        assert_eq!(s.loss_permille(), 100);
+        let unused = LinkStats::default();
+        assert_eq!(unused.delivery_permille(), 1000);
+        assert_eq!(unused.loss_permille(), 0);
+    }
+
+    /// Regression: the old u64 numerator (`dbytes * 8 * TICKS_PER_SECOND`)
+    /// wrapped once a sample window carried more than ~230 GB (~1.8 Tbit).
+    /// The u128 rewrite must return the exact mean load there.
+    #[test]
+    fn sampler_survives_the_old_overflow_bound() {
+        let mut net: Network<u32> = Network::new(1);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.connect(a, b, LinkSpec::lan());
+        let mut sampler = LinkLoadSampler::new(a, b);
+        // 240 GB in one second: numerator 240e9 · 8 · 1e7 ≈ 1.92e19 —
+        // past u64::MAX (≈1.845e19), inside u128.
+        let dbytes: u64 = 240_000_000_000;
+        net.send(a, b, dbytes, 0).unwrap();
+        assert_eq!(
+            sampler.sample(&net, 10_000_000),
+            dbytes * 8,
+            "mean load over exactly one second is the bit count"
+        );
+    }
+
+    /// The sampler saturates (rather than wrapping or panicking) when
+    /// the exact quotient itself exceeds u64 — only reachable with an
+    /// absurd load over a near-zero window.
+    #[test]
+    fn sampler_clamps_instead_of_wrapping() {
+        let mut net: Network<u32> = Network::new(1);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.connect(a, b, LinkSpec::lan());
+        let mut sampler = LinkLoadSampler::new(a, b);
+        net.send(a, b, 1_000_000_000_000, 0).unwrap();
+        // 1 TB over a single tick: 8e19 bit/s does not fit in u64.
+        assert_eq!(sampler.sample(&net, 1), u64::MAX);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use lod_asf::{AsfError, MediaSample, Reassembler, ScriptCommand, ScriptCommandList};
 use lod_media::{MediaClock, Ticks};
+use lod_obs::{Event, Recorder};
 use lod_simnet::{Network, NodeId};
 
 use crate::metrics::ClientMetrics;
@@ -110,6 +111,8 @@ pub struct StreamingClient {
     busy_until: Option<u64>,
     /// `Busy` answers tolerated before the client gives up as shed.
     busy_budget: u32,
+    /// Structured event sink (disabled by default — a free no-op).
+    obs: Recorder,
 }
 
 impl StreamingClient {
@@ -144,7 +147,16 @@ impl StreamingClient {
             recovery_log: Vec::new(),
             busy_until: None,
             busy_budget: 8,
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a structured event recorder: playback lifecycle, stalls,
+    /// busy bounces, retries, and outage recoveries land in it as
+    /// tick-stamped [`Event`]s.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.obs = recorder;
+        self
     }
 
     /// Overrides how many [`Wire::Busy`] bounces the client tolerates
@@ -352,6 +364,13 @@ impl StreamingClient {
             self.metrics.recover_ticks_total += dur;
             self.metrics.recover_ticks_max = self.metrics.recover_ticks_max.max(dur);
             self.recovery_log.push((started, dur));
+            self.obs.emit(
+                time,
+                Event::Recovery {
+                    client: self.node.index() as u64,
+                    outage_ticks: dur,
+                },
+            );
         }
         rs.attempts = 0;
         rs.last_progress = time;
@@ -412,6 +431,12 @@ impl StreamingClient {
                     return;
                 }
                 self.metrics.busy_bounces += 1;
+                self.obs.emit(
+                    time,
+                    Event::BusyBounce {
+                        client: self.node.index() as u64,
+                    },
+                );
                 match alternate {
                     // The overloaded node knows a less-loaded peer: go
                     // there directly (the normal redirect path re-Plays).
@@ -423,6 +448,12 @@ impl StreamingClient {
                         // — a clean refusal, not a silent timeout.
                         self.metrics.shed = true;
                         self.state = ClientState::Done;
+                        self.obs.emit(
+                            time,
+                            Event::ClientShed {
+                                client: self.node.index() as u64,
+                            },
+                        );
                     }
                     _ => {
                         // Wait out retry_after, then re-ask home: the
@@ -544,16 +575,37 @@ impl StreamingClient {
         if !rs.policy.allows(attempt) {
             self.metrics.abandoned = true;
             self.state = ClientState::Done;
+            self.obs.emit(
+                now,
+                Event::Abandon {
+                    client: self.node.index() as u64,
+                },
+            );
             return false;
         }
         rs.attempts = attempt;
         if rs.outage_start.is_none() {
             rs.outage_start = Some(rs.last_progress);
+            // Every later Recovery pairs with this: `note_progress` only
+            // closes an outage this opened.
+            self.obs.emit(
+                now,
+                Event::OutageStart {
+                    client: self.node.index() as u64,
+                },
+            );
         }
         rs.deadline = now
             .saturating_add(rs.policy.request_timeout)
             .saturating_add(rs.policy.retry_delay(attempt, rs.salt));
         self.metrics.retries += 1;
+        self.obs.emit(
+            now,
+            Event::Retry {
+                client: self.node.index() as u64,
+                attempt: u64::from(attempt),
+            },
+        );
         let req = Wire::Request(ControlRequest::Play {
             content: self.content.clone(),
             from: self.horizon,
@@ -596,11 +648,18 @@ impl StreamingClient {
                     } else {
                         self.clock = MediaClock::start_at(Ticks(now));
                         self.metrics.startup_ticks = now.saturating_sub(self.requested_at);
+                        self.obs.emit(
+                            now,
+                            Event::PlaybackStart {
+                                client: self.node.index() as u64,
+                                startup_ticks: self.metrics.startup_ticks,
+                            },
+                        );
                     }
                     self.state = ClientState::Playing;
                     out.extend(self.render_due(now));
                 } else if self.eos && self.buffer.is_empty() {
-                    self.finish();
+                    self.finish(now);
                 }
             }
             ClientState::Playing => {
@@ -611,12 +670,18 @@ impl StreamingClient {
                 // samples.
                 if self.buffer.is_empty() && media_now >= self.horizon {
                     if self.eos {
-                        self.finish();
+                        self.finish(now);
                     } else {
                         self.clock.pause(Ticks(now));
                         self.state = ClientState::Stalled;
                         self.stall_started = now;
                         self.metrics.stalls += 1;
+                        self.obs.emit(
+                            now,
+                            Event::StallStart {
+                                client: self.node.index() as u64,
+                            },
+                        );
                     }
                 }
             }
@@ -624,6 +689,13 @@ impl StreamingClient {
                 let media_now = self.media_time(now);
                 if self.horizon.saturating_sub(media_now) >= self.preroll() || self.eos {
                     self.metrics.stall_ticks += now - self.stall_started;
+                    self.obs.emit(
+                        now,
+                        Event::StallEnd {
+                            client: self.node.index() as u64,
+                            stall_ticks: now - self.stall_started,
+                        },
+                    );
                     self.clock.resume(Ticks(now));
                     self.state = ClientState::Playing;
                     out.extend(self.render_due(now));
@@ -633,9 +705,15 @@ impl StreamingClient {
         out
     }
 
-    fn finish(&mut self) {
+    fn finish(&mut self, now: u64) {
         self.state = ClientState::Done;
         self.metrics.samples_lost += self.reasm.incomplete() as u64;
+        self.obs.emit(
+            now,
+            Event::SessionEnd {
+                client: self.node.index() as u64,
+            },
+        );
     }
 
     fn render_due(&mut self, now: u64) -> Vec<RenderEvent> {

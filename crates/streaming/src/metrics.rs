@@ -46,6 +46,17 @@ impl ClientMetrics {
             self.stall_ticks as f64 / playback_ticks as f64
         }
     }
+
+    /// Integer twin of [`ClientMetrics::rebuffer_ratio`]: stalled ticks
+    /// per thousand ticks of playback (0 when playback is empty). Use
+    /// this in seeded experiment reports — float formatting is not
+    /// byte-stable, per-mille division is.
+    pub fn rebuffer_permille(&self, playback_ticks: u64) -> u64 {
+        self.stall_ticks
+            .saturating_mul(1000)
+            .checked_div(playback_ticks)
+            .unwrap_or(0)
+    }
 }
 
 /// What a server did over its lifetime.
@@ -87,5 +98,22 @@ mod tests {
         };
         assert!((m.rebuffer_ratio(100) - 0.1).abs() < 1e-12);
         assert_eq!(m.rebuffer_ratio(0), 0.0);
+    }
+
+    #[test]
+    fn rebuffer_permille_twin() {
+        let m = ClientMetrics {
+            stall_ticks: 10,
+            ..Default::default()
+        };
+        assert_eq!(m.rebuffer_permille(100), 100);
+        assert_eq!(m.rebuffer_permille(0), 0);
+        // Absurd stall counts saturate the ×1000 instead of wrapping
+        // (an undercount, never a panic or a garbage value).
+        let wedged = ClientMetrics {
+            stall_ticks: u64::MAX / 2,
+            ..Default::default()
+        };
+        assert_eq!(wedged.rebuffer_permille(u64::MAX), 1);
     }
 }

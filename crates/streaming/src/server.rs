@@ -4,6 +4,7 @@ use std::collections::{HashMap, HashSet};
 
 use lod_asf::{AsfFile, DataPacket, StreamKind};
 use lod_encoder::BandwidthProfile;
+use lod_obs::{Event, Recorder};
 use lod_simnet::{Network, NodeId, TokenBucket};
 
 use crate::metrics::ServerMetrics;
@@ -293,6 +294,8 @@ pub struct StreamingServer {
     /// retries, tail re-Plays after EOS).
     degraded_clients: HashSet<NodeId>,
     metrics: ServerMetrics,
+    /// Structured event sink (disabled by default — a free no-op).
+    obs: Recorder,
 }
 
 impl StreamingServer {
@@ -312,7 +315,16 @@ impl StreamingServer {
             admission_exempt: Vec::new(),
             degraded_clients: HashSet::new(),
             metrics: ServerMetrics::default(),
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a structured event recorder: admission sheds, backlog
+    /// watermark crossings, downshifts/upshifts, and session lifecycle
+    /// land in it as tick-stamped [`Event`]s.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.obs = recorder;
+        self
     }
 
     /// Overrides the backpressure window (first-hop backlog cap, ticks).
@@ -622,6 +634,13 @@ impl StreamingServer {
                     || committed.saturating_add(nominal) > policy.capacity_bps
                 {
                     self.metrics.sessions_shed += 1;
+                    self.obs.emit(
+                        now,
+                        Event::AdmissionShed {
+                            node: self.node.index() as u64,
+                            client: client.index() as u64,
+                        },
+                    );
                     let busy = Wire::Busy {
                         retry_after: policy.retry_after,
                         alternate: None,
@@ -686,6 +705,12 @@ impl StreamingServer {
             .sum();
         let _ = net.send_reliable(self.node, client, bytes, Wire::Header(header));
         self.metrics.sessions_served += 1;
+        self.obs.emit(
+            now,
+            Event::SessionStart {
+                client: client.index() as u64,
+            },
+        );
         // A re-Play of the same content (seek, retry, redirect handoff)
         // replaces the session but keeps its degradation state — the
         // congestion that downshifted it has not gone away just because
@@ -770,13 +795,34 @@ impl StreamingServer {
                 if backlog > dp.high_watermark {
                     s.under_since = None;
                     match s.over_since {
-                        None => s.over_since = Some(now),
+                        None => {
+                            s.over_since = Some(now);
+                            // The sample every later downshift is causally
+                            // rooted in: `downshift_hold > 0` guarantees
+                            // this precedes the shift itself.
+                            self.obs.emit(
+                                now,
+                                Event::BacklogHigh {
+                                    client: s.client.index() as u64,
+                                    backlog,
+                                },
+                            );
+                        }
                         Some(t0) if now.saturating_sub(t0) >= dp.downshift_hold => {
+                            let from_bps = s.effective_bps;
                             if s.downshift() {
                                 self.metrics.downshifts += 1;
                                 if self.degraded_clients.insert(s.client) {
                                     self.metrics.sessions_degraded += 1;
                                 }
+                                self.obs.emit(
+                                    now,
+                                    Event::Downshift {
+                                        client: s.client.index() as u64,
+                                        from_bps,
+                                        to_bps: s.effective_bps,
+                                    },
+                                );
                             }
                             s.over_since = Some(now);
                         }
@@ -785,10 +831,28 @@ impl StreamingServer {
                 } else if backlog < dp.low_watermark {
                     s.over_since = None;
                     match s.under_since {
-                        None => s.under_since = Some(now),
+                        None => {
+                            s.under_since = Some(now);
+                            self.obs.emit(
+                                now,
+                                Event::BacklogLow {
+                                    client: s.client.index() as u64,
+                                    backlog,
+                                },
+                            );
+                        }
                         Some(t0) if now.saturating_sub(t0) >= dp.upshift_hold => {
+                            let from_bps = s.effective_bps;
                             if s.upshift() {
                                 self.metrics.upshifts += 1;
+                                self.obs.emit(
+                                    now,
+                                    Event::Upshift {
+                                        client: s.client.index() as u64,
+                                        from_bps,
+                                        to_bps: s.effective_bps,
+                                    },
+                                );
                             }
                             s.under_since = Some(now);
                         }
@@ -871,13 +935,26 @@ impl StreamingServer {
         // quiet for as long as the teacher pauses for questions.
         self.sessions.retain(|s| !s.eos_sent);
         if self.idle_timeout != u64::MAX {
-            let before = self.sessions.len();
             let idle_timeout = self.idle_timeout;
-            self.sessions.retain(|s| {
-                matches!(s.source, SourceRef::Live(_))
+            let mut i = 0;
+            while i < self.sessions.len() {
+                let s = &self.sessions[i];
+                if matches!(s.source, SourceRef::Live(_))
                     || now.saturating_sub(s.last_activity) <= idle_timeout
-            });
-            self.metrics.sessions_reaped += (before - self.sessions.len()) as u64;
+                {
+                    i += 1;
+                    continue;
+                }
+                let reaped = self.sessions.remove(i);
+                self.metrics.sessions_reaped += 1;
+                self.obs.emit(
+                    now,
+                    Event::SessionReaped {
+                        node: self.node.index() as u64,
+                        client: reaped.client.index() as u64,
+                    },
+                );
+            }
         }
     }
 }

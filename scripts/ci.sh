@@ -36,4 +36,21 @@ if ! diff "$tmpdir/oa.json" "$tmpdir/ob.json"; then
 fi
 echo "reports identical"
 
+echo "===== q11_observability determinism (two runs, byte-identical logs) ====="
+# The strongest determinism gate in the repo: not just the summary JSON
+# but the full structured event log (every emission, in order) and the
+# metrics exposition must match byte for byte across processes.
+cargo run -q --offline -p lod-bench --bin q11_observability -- --seed 7 \
+    --json "$tmpdir/qa.json" --events "$tmpdir/qa.jsonl" --prom "$tmpdir/qa.prom" > /dev/null
+cargo run -q --offline -p lod-bench --bin q11_observability -- --seed 7 \
+    --json "$tmpdir/qb.json" --events "$tmpdir/qb.jsonl" --prom "$tmpdir/qb.prom" > /dev/null
+for ext in json jsonl prom; do
+    if ! cmp -s "$tmpdir/qa.$ext" "$tmpdir/qb.$ext"; then
+        echo "FAIL: two seed-7 observability runs diverged in .$ext (nondeterminism crept in)"
+        diff "$tmpdir/qa.$ext" "$tmpdir/qb.$ext" | head -20
+        exit 1
+    fi
+done
+echo "event log, exposition and report identical"
+
 echo "CI checks passed."

@@ -16,6 +16,7 @@
 //! | [`encoder`] | `lod-encoder` | Encoder, bandwidth profiles, publisher, indexer |
 //! | [`player`] | `lod-player` | Playback engine with render traces |
 //! | [`core`] | `lod-core` | The paper's contribution: ETPN, floor control, Abstractor, WMPS sessions |
+//! | [`obs`] | `lod-obs` | Deterministic event bus, metrics registry, timelines |
 //!
 //! # Quickstart
 //!
@@ -35,6 +36,7 @@ pub use lod_content_tree as content_tree;
 pub use lod_core as core;
 pub use lod_encoder as encoder;
 pub use lod_media as media;
+pub use lod_obs as obs;
 pub use lod_ocpn as ocpn;
 pub use lod_petri as petri;
 pub use lod_player as player;
