@@ -65,11 +65,10 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses `argv` (without the program name).
-    ///
-    /// # Errors
-    ///
-    /// [`CliError::MissingValue`] when a `--flag` is the final token.
+    /// Parses `argv` (without the program name). A `--flag` followed by
+    /// another `--token` (or by the end of the line) is a boolean
+    /// switch: it gets the value `"on"` rather than swallowing its
+    /// neighbour (`serve --standby --checkpoint-every 10` keeps both).
     pub fn parse(argv: &[String]) -> Result<Self, CliError> {
         let mut out = Args::default();
         let mut it = argv.iter().peekable();
@@ -78,10 +77,11 @@ impl Args {
         }
         while let Some(tok) = it.next() {
             if let Some(name) = tok.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| CliError::MissingValue(tok.clone()))?;
-                out.flags.insert(name.to_string(), value.clone());
+                let value = match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().cloned().expect("peeked"),
+                    _ => "on".to_string(),
+                };
+                out.flags.insert(name.to_string(), value);
             } else {
                 out.positional.push(tok.clone());
             }
@@ -92,6 +92,12 @@ impl Args {
     /// Raw string flag.
     pub fn flag(&self, name: &str) -> Option<&str> {
         self.flags.get(name).map(String::as_str)
+    }
+
+    /// Boolean switch: present (with no value, or `on`/`true`/`1`) =
+    /// true, absent (or `off`/`false`/`0`) = false.
+    pub fn switch(&self, name: &str) -> bool {
+        matches!(self.flag(name), Some("on" | "true" | "1"))
     }
 
     /// String flag with a default.
@@ -146,11 +152,17 @@ mod tests {
     }
 
     #[test]
-    fn missing_value_rejected() {
-        assert!(matches!(
-            Args::parse(&argv("publish --out")),
-            Err(CliError::MissingValue(_))
-        ));
+    fn trailing_and_adjacent_flags_are_boolean_switches() {
+        // A flag followed by another --token (or the end of the line)
+        // must not swallow its neighbour.
+        let a = Args::parse(&argv("serve --standby --checkpoint-every 10 --verbose")).unwrap();
+        assert!(a.switch("standby"));
+        assert_eq!(a.num_or("checkpoint-every", 0u64).unwrap(), 10);
+        assert!(a.switch("verbose"));
+        assert!(!a.switch("absent"));
+        // Explicit off still reads as false.
+        let b = Args::parse(&argv("serve --standby off")).unwrap();
+        assert!(!b.switch("standby"));
     }
 
     #[test]

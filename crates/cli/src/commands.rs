@@ -6,7 +6,7 @@ use lod_asf::{read_asf, write_asf, License};
 use lod_content_tree::render_ascii;
 use lod_core::{
     check_causal, parse_jsonl, session_timelines, synthetic_lecture, worst_by_stall, Abstractor,
-    AdmissionPolicy, DegradePolicy, Recorder, RelayTierConfig, Wmps,
+    AdmissionPolicy, DegradePolicy, FailoverConfig, Recorder, RelayTierConfig, Wmps,
 };
 use lod_encoder::{evenly_spaced_deck, Annotation, Publisher, VideoFileSpec};
 use lod_media::{TickDuration, Ticks};
@@ -190,15 +190,20 @@ fn replay(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 
 /// `wmps serve <file.asf> [--students N] [--link lan|broadband|modem]
 /// [--seed N] [--relays K] [--max-sessions N] [--degrade on|off]
-/// [--metrics-out PATH]`
+/// [--standby] [--checkpoint-every N] [--metrics-out PATH]`
 ///
 /// With `--relays K`, students sit behind K edge relays that pull packet
 /// segments across the server link once and fan them out locally.
 /// `--max-sessions N` arms admission control (students beyond the budget
 /// are answered Busy) and `--degrade on` arms graceful profile downshift
-/// under sustained backlog. `--metrics-out PATH` arms the structured
-/// event recorder and writes the Prometheus-style exposition to `PATH`
-/// and the JSONL event log to `PATH.jsonl` (feed that to `wmps report`).
+/// under sustained backlog. `--standby` arms a warm standby: the origin
+/// journals a compact checkpoint on every session transition (and at
+/// least every `--checkpoint-every N` seconds, default 1), the standby
+/// replays the journal, and a tick-counted heartbeat monitor stands
+/// ready to promote it at a higher fencing epoch should the origin die.
+/// `--metrics-out PATH` arms the structured event recorder and writes
+/// the Prometheus-style exposition to `PATH` and the JSONL event log to
+/// `PATH.jsonl` (feed that to `wmps report`).
 fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let path = args.positional(0, "<.asf path>")?;
     let bytes = std::fs::read(path)?;
@@ -218,6 +223,8 @@ fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
             })
         }
     };
+    let standby = args.switch("standby");
+    let checkpoint_secs = args.num_or("checkpoint-every", 1u64)?;
     let admission = (max_sessions > 0).then(|| {
         // Budget the bitrate to exactly max_sessions full-rate seats, so
         // the session cap is the binding constraint.
@@ -229,16 +236,28 @@ fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
         Some(_) => Recorder::new(),
         None => Recorder::disabled(),
     };
-    let report = if relays > 0 || admission.is_some() || degrade || recorder.is_enabled() {
-        // Overload knobs and the recorder live on the relay-tier driver;
-        // with --relays 0 it degenerates to students behind one campus
-        // router.
+    let report = if relays > 0 || admission.is_some() || degrade || standby || recorder.is_enabled()
+    {
+        // Overload knobs, the standby and the recorder live on the
+        // relay-tier driver; with --relays 0 it degenerates to students
+        // behind one campus router.
         let cfg = RelayTierConfig {
             relays,
             origin_admission: admission,
             relay_admission: admission,
             relay_capacity_sessions: admission.map(|a| a.max_sessions as usize),
             degrade: degrade.then(DegradePolicy::default),
+            // Heartbeats share the origin uplink with media, and the
+            // workload here is whatever the user asked for — startup
+            // prefetch bursts can park the Pongs behind a second or
+            // more of queued media on a busy link. Size the detection
+            // tolerance well above that: 500 ms beats, dead only after
+            // 10 misses = 5 s of true silence.
+            failover: standby.then(|| FailoverConfig {
+                heartbeat_interval: 5_000_000,
+                miss_threshold: 10,
+                checkpoint_every: checkpoint_secs.max(1) * 10_000_000,
+            }),
             recorder: recorder.clone(),
             ..RelayTierConfig::default()
         };
@@ -289,6 +308,17 @@ fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
             report.server.downshifts,
             report.server.upshifts,
             report.server.sessions_degraded
+        )?;
+    }
+    if let Some(fo) = &report.failover {
+        writeln!(
+            out,
+            "  standby: {} checkpoint(s) replicated, {}",
+            fo.checkpoints_replicated,
+            match fo.promoted_at {
+                Some(at) => format!("promoted at {:.0} ms (epoch {})", at as f64 / 1e4, fo.epoch),
+                None => "never promoted (origin stayed up)".to_string(),
+            }
         )?;
     }
     if let Some(path) = metrics_out {
@@ -544,6 +574,28 @@ mod tests {
             &mut Vec::new()
         )
         .is_err());
+    }
+
+    #[test]
+    fn serve_standby_reports_replication() {
+        let path = tmp("standby.asf");
+        run(
+            &argv(&format!("publish {path} --duration-secs 10 --slides 1")),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        run(
+            &argv(&format!(
+                "serve {path} --students 2 --link lan --standby --checkpoint-every 1"
+            )),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("standby:"), "{text}");
+        assert!(text.contains("never promoted (origin stayed up)"), "{text}");
+        assert!(!text.contains("0 checkpoint(s) replicated"), "{text}");
     }
 
     #[test]

@@ -40,11 +40,15 @@ pub use floor::{FloorControl, FloorReport, FloorRequest};
 pub use presentation::{synthetic_lecture, Lecture, OutlineEntry};
 pub use replay::{ReplayConfig, ReplayReport, SyncModelKind};
 pub use wmps::{
-    ChaosSpec, QnaReport, Question, RelayTierConfig, RelayTierReport, Wmps, WmpsReport,
+    ChaosSpec, FailoverReport, QnaReport, Question, RelayTierConfig, RelayTierReport, Wmps,
+    WmpsReport,
 };
 // The overload-protection policies, re-exported so facade users (the CLI,
 // the benches) need not depend on lod-streaming directly.
 pub use lod_streaming::{AdmissionPolicy, BreakerPolicy, DegradePolicy};
+// The failover knobs, likewise: arm `RelayTierConfig::failover` to get a
+// warm standby, heartbeat detection and deterministic promotion.
+pub use lod_relay::FailoverConfig;
 // The observability surface, likewise: arm `RelayTierConfig::recorder`
 // with `Recorder::new()`, then drain the log through these.
 pub use lod_obs as obs;

@@ -8,9 +8,11 @@
 use lod_asf::{AsfError, AsfFile};
 use lod_encoder::{BandwidthProfile, BroadcastConfig, LiveEncoder, Publisher};
 use lod_media::Ticks;
-use lod_obs::{Recorder, TICK_BOUNDS};
+use lod_obs::{Event, Recorder, TICK_BOUNDS};
 use lod_player::SkewStats;
-use lod_relay::{CacheStats, RedirectManager, RelayMetrics, RelayNode};
+use lod_relay::{
+    CacheStats, FailoverConfig, HeartbeatMonitor, RedirectManager, RelayMetrics, RelayNode,
+};
 use lod_simnet::{relay_tree, Fault, FaultInjector, FaultPlan, LinkSpec, Network, RelayTree};
 use lod_streaming::{
     run_to_completion, AdmissionPolicy, BreakerPolicy, ClientMetrics, DegradePolicy, LiveFeed,
@@ -47,6 +49,29 @@ pub struct WmpsReport {
     pub recoveries: Vec<u64>,
     /// Fault strikes the chaos plan actually applied to the network.
     pub faults_applied: u64,
+    /// Warm-standby failover outcome (present iff
+    /// [`RelayTierConfig::failover`] was armed).
+    pub failover: Option<FailoverReport>,
+}
+
+/// Outcome of the warm-standby tier for one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailoverReport {
+    /// Tick the standby was promoted at (`None` = the origin never died).
+    pub promoted_at: Option<u64>,
+    /// Fencing epoch the cluster ended the run at.
+    pub epoch: u64,
+    /// Checkpointed sessions the standby restored at promotion.
+    pub sessions_migrated: u64,
+    /// Journal entries replicated origin → standby over the whole run.
+    pub checkpoints_replicated: u64,
+    /// Headers/segments delivered after promotion that still carried a
+    /// pre-promotion fencing epoch. The split-brain gate: must be 0.
+    pub stale_epoch_replies: u64,
+    /// The standby server's own service counters (its
+    /// `plays_from_zero` must stay 0: every migrated session resumes
+    /// from its checkpointed horizon).
+    pub standby: ServerMetrics,
 }
 
 /// Aggregate outcome of the edge-relay tier for one session.
@@ -166,6 +191,19 @@ fn publish_run_metrics(obs: &Recorder, report: &WmpsReport) {
         obs.counter_add("lod_cache_bytes_evicted_total", c.bytes_evicted);
         obs.gauge_set("lod_students_reattached", tier.reattached as u64);
     }
+    if let Some(fo) = &report.failover {
+        obs.counter_add(
+            "lod_standby_checkpoints_replicated_total",
+            fo.checkpoints_replicated,
+        );
+        obs.counter_add("lod_standby_sessions_migrated_total", fo.sessions_migrated);
+        obs.counter_add(
+            "lod_server_checkpoints_emitted_total",
+            report.server.checkpoints_emitted,
+        );
+        obs.gauge_set("lod_stale_epoch_replies", fo.stale_epoch_replies);
+        obs.gauge_set("lod_failover_epoch", fo.epoch);
+    }
     obs.gauge_set("lod_sessions_completed", report.completed_sessions() as u64);
     obs.gauge_set("lod_clients_shed", report.shed_clients() as u64);
     obs.gauge_set("lod_hard_failures", report.hard_failures() as u64);
@@ -248,6 +286,11 @@ pub struct ChaosSpec {
     /// `(at, duration, extra_ticks)` — added propagation delay on the
     /// uplink (congested backbone), stretching fetch round-trips.
     pub uplink_latency_spikes: Vec<(u64, u64, u64)>,
+    /// `(at, duration)` — the origin node itself crashes (volatile
+    /// session state lost); the warm standby detects the silence and is
+    /// promoted. Requires [`RelayTierConfig::failover`] to be armed.
+    /// `u64::MAX` duration = the origin never heals.
+    pub origin_down: Vec<(u64, u64)>,
 }
 
 impl ChaosSpec {
@@ -258,6 +301,7 @@ impl ChaosSpec {
             && self.relay_crashes.is_empty()
             && self.uplink_partitions.is_empty()
             && self.uplink_latency_spikes.is_empty()
+            && self.origin_down.is_empty()
     }
 
     /// Binds the symbolic storm to a concrete topology. Out-of-range
@@ -285,6 +329,9 @@ impl ChaosSpec {
         }
         for &(at, dur, extra) in &self.uplink_latency_spikes {
             plan = plan.latency_spike(at, dur, tree.origin, tree.router, extra);
+        }
+        for &(at, dur) in &self.origin_down {
+            plan = plan.node_down(at, dur, tree.origin);
         }
         plan
     }
@@ -330,6 +377,12 @@ pub struct RelayTierConfig {
     /// Flash-crowd arrivals: `(wave_size, interval)` starts students in
     /// waves of `wave_size` every `interval` ticks instead of all at 0.
     pub arrival_wave: Option<(usize, u64)>,
+    /// Warm-standby origin failover: adds a standby server behind the
+    /// router, replicates session checkpoints to it every driver step,
+    /// and promotes it (fencing epoch bump, relays re-pointed, clients
+    /// re-homed) when the heartbeat monitor declares the origin dead.
+    /// Required for [`ChaosSpec::origin_down`].
+    pub failover: Option<FailoverConfig>,
     /// Structured event sink shared by the origin, every relay, every
     /// client and the fault injector. Disabled by default (a free
     /// no-op); arm with [`Recorder::new`] to capture the run's event
@@ -354,6 +407,7 @@ impl Default for RelayTierConfig {
             breaker: None,
             relay_capacity_sessions: None,
             arrival_wave: None,
+            failover: None,
             recorder: Recorder::disabled(),
         }
     }
@@ -453,6 +507,15 @@ impl Wmps {
         seed: u64,
         cfg: &RelayTierConfig,
     ) -> WmpsReport {
+        // Killing the origin without a standby is not a survivable drill
+        // — it is a configuration error, caught before the network is
+        // built rather than surfacing as a mysterious all-clients-dead
+        // run.
+        assert!(
+            cfg.chaos.origin_down.is_empty() || cfg.failover.is_some(),
+            "ChaosSpec::origin_down requires RelayTierConfig::failover: \
+             arm a FailoverConfig so a warm standby exists to take over"
+        );
         let play_duration = file.props.play_duration;
         let mut net: Network<Wire> = Network::new(seed);
         let tree = relay_tree(
@@ -482,11 +545,50 @@ impl Wmps {
         if let Some(deg) = cfg.degrade {
             server = server.with_degrade(deg);
         }
+        if let Some(f) = cfg.failover {
+            server = server.with_checkpointing(f.checkpoint_every);
+        }
         for &r in &tree.relays {
             // A relay's one shared fetch/live subscription must never be
             // bounced: shedding it would shed a whole campus.
             server.exempt_from_admission(r);
         }
+        // The warm standby: same catalog, same knobs, zero sessions. It
+        // sits behind the router like the origin does, applies the
+        // replicated checkpoint journal every driver step, and answers
+        // nothing until promoted (Plays bounce toward the primary).
+        let mut standby = cfg.failover.map(|f| {
+            let sb = net.add_node("standby");
+            obs.label_node(sb.index() as u64, "standby");
+            net.connect_bidirectional(sb, tree.router, uplink);
+            let peers: Vec<lod_simnet::NodeId> = std::iter::once(tree.origin)
+                .chain(tree.relays.iter().copied())
+                .chain(tree.students.iter().copied())
+                .collect();
+            for &p in &peers {
+                net.set_next_hop(sb, p, tree.router);
+                net.set_next_hop(p, sb, tree.router);
+            }
+            let mut sb_srv = StreamingServer::new(sb)
+                .with_recorder(obs.clone())
+                .with_checkpointing(f.checkpoint_every)
+                .as_standby();
+            if let Some(t) = cfg.idle_timeout {
+                sb_srv = sb_srv.with_idle_timeout(t);
+            }
+            if let Some(adm) = cfg.origin_admission {
+                sb_srv = sb_srv.with_admission(adm);
+            }
+            if let Some(deg) = cfg.degrade {
+                sb_srv = sb_srv.with_degrade(deg);
+            }
+            for &r in &tree.relays {
+                sb_srv.exempt_from_admission(r);
+            }
+            sb_srv.publish("lecture", file.clone());
+            let monitor = HeartbeatMonitor::new(sb, tree.origin, f).with_recorder(obs.clone());
+            (sb, sb_srv, monitor)
+        });
         server.publish("lecture", file);
         let mut relays: Vec<RelayNode> = tree
             .relays
@@ -544,6 +646,10 @@ impl Wmps {
         let mut reattached = 0usize;
         let mut faults_applied = 0u64;
         let mut failed = false;
+        let mut checkpoints_replicated = 0u64;
+        let mut stale_epoch_replies = 0u64;
+        let mut promoted_at: Option<u64> = None;
+        let mut promoted_epoch: Option<u64> = None;
         while now <= horizon {
             for (i, c) in clients.iter_mut().enumerate() {
                 if !started[i] && now >= start_at[i] {
@@ -570,17 +676,87 @@ impl Wmps {
                 if let Fault::NodeDown { node } = fault {
                     if tree.relays.contains(&node) {
                         reattached += redirect.fail_relay(&mut net, node).len();
+                    } else if node == tree.origin {
+                        // The crash wipes the origin's volatile session
+                        // state; only the journal already replicated to
+                        // the standby survives it.
+                        server.crash();
                     }
                 }
             }
             server.poll(&mut net, now);
+            if let Some((sb, sb_srv, monitor)) = standby.as_mut() {
+                // Replicate: whatever the primary journaled this step is
+                // applied to the standby's replica — the replication lag
+                // is bounded by one driver step on top of the journal's
+                // own checkpoint cadence.
+                let entries = server.journal_drain();
+                checkpoints_replicated += entries.len() as u64;
+                sb_srv.apply_journal(&entries);
+                if monitor.poll(&mut net, now) {
+                    // The origin is dead. Promote the standby one epoch
+                    // past the primary's, re-point every relay uplink
+                    // (deterministic Vec order), re-front the redirect
+                    // manager, re-home every client, and keep fencing
+                    // the old origin so a heal demotes it.
+                    let epoch = server.epoch() + 1;
+                    obs.emit(
+                        now,
+                        Event::FailoverStart {
+                            from: tree.origin.index() as u64,
+                            to: sb.index() as u64,
+                            misses: u64::from(monitor.misses()),
+                        },
+                    );
+                    sb_srv.promote(epoch, now);
+                    for r in relays.iter_mut() {
+                        r.retarget_origin(*sb, epoch, now);
+                    }
+                    let _ = redirect.retarget_origin(&mut net, *sb);
+                    for c in clients.iter_mut() {
+                        c.retarget_home(tree.origin, *sb);
+                    }
+                    monitor.fence(tree.origin, epoch);
+                    promoted_at = Some(now);
+                    promoted_epoch = Some(epoch);
+                }
+                sb_srv.poll(&mut net, now);
+            }
             for r in relays.iter_mut() {
                 r.poll(&mut net, now);
             }
             for d in net.advance_to(now) {
+                // Fencing audit: after promotion, nothing carrying a
+                // pre-promotion epoch may reach anyone (epoch 0 marks
+                // epoch-less unit-test fixtures, never a served reply).
+                if let Some(pe) = promoted_epoch {
+                    match &d.message {
+                        Wire::Header(h) if h.epoch > 0 && h.epoch < pe => {
+                            stale_epoch_replies += 1;
+                        }
+                        Wire::Segment(seg) if seg.epoch > 0 && seg.epoch < pe => {
+                            stale_epoch_replies += 1;
+                        }
+                        _ => {}
+                    }
+                }
                 if d.dst == server.node() {
                     if !redirect.intercept(&mut net, d.src, &d.message) {
                         server.on_message(&mut net, d.time, d.src, d.message);
+                    }
+                } else if standby.as_ref().is_some_and(|(sb, _, _)| *sb == d.dst) {
+                    let (_, sb_srv, monitor) = standby.as_mut().expect("checked above");
+                    match d.message {
+                        // Heartbeat answers feed the failure detector.
+                        Wire::Pong { .. } => monitor.on_pong(d.time),
+                        msg => {
+                            // Post-promotion the standby is the front
+                            // door, so the redirect manager intercepts
+                            // Plays exactly as it did at the old origin.
+                            if !redirect.intercept(&mut net, d.src, &msg) {
+                                sb_srv.on_message(&mut net, d.time, d.src, msg);
+                            }
+                        }
                     }
                 } else if let Some(c) = clients.iter_mut().find(|c| c.node() == d.dst) {
                     // A relay bouncing a student names no alternate (it
@@ -629,6 +805,17 @@ impl Wmps {
             .iter()
             .flat_map(|c| c.recovery_log().iter().map(|&(_, dur)| dur))
             .collect();
+        let failover = standby.map(|(_, sb_srv, _)| {
+            let standby_metrics = sb_srv.metrics();
+            FailoverReport {
+                promoted_at,
+                epoch: sb_srv.epoch(),
+                sessions_migrated: standby_metrics.sessions_migrated,
+                checkpoints_replicated,
+                stale_epoch_replies,
+                standby: standby_metrics,
+            }
+        });
         let report = WmpsReport {
             clients: clients.iter().map(|c| *c.metrics()).collect(),
             skew: per_client_skew(&clients, &events),
@@ -643,6 +830,7 @@ impl Wmps {
             }),
             recoveries,
             faults_applied,
+            failover,
         };
         publish_run_metrics(&obs, &report);
         report
@@ -686,6 +874,7 @@ impl Wmps {
                 .flat_map(|c| c.recovery_log().iter().map(|&(_, dur)| dur))
                 .collect(),
             faults_applied: 0,
+            failover: None,
         }
     }
 
@@ -743,6 +932,7 @@ impl Wmps {
             streams: encoder.stream_properties(),
             script: encoder.script(),
             drm: None,
+            epoch: 0,
         };
         let mut net: Network<Wire> = Network::new(seed);
         let s = net.add_node("server");
@@ -810,6 +1000,7 @@ impl Wmps {
             relay: None,
             recoveries: Vec::new(),
             faults_applied: 0,
+            failover: None,
         }
     }
 }
@@ -1099,6 +1290,74 @@ mod tests {
     #[test]
     fn recorder_is_disabled_by_default() {
         assert!(!RelayTierConfig::default().recorder.is_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires RelayTierConfig::failover")]
+    fn origin_down_without_a_standby_is_rejected() {
+        let lecture = synthetic_lecture(1, 1, 300_000);
+        let wmps = Wmps::new();
+        let file = wmps.publish(&lecture).unwrap();
+        let cfg = RelayTierConfig {
+            chaos: ChaosSpec {
+                origin_down: vec![(10_000_000, u64::MAX)],
+                ..ChaosSpec::default()
+            },
+            ..RelayTierConfig::default()
+        };
+        let _ = wmps.serve_with_relays(file, LinkSpec::lan(), LinkSpec::lan(), 2, 3, &cfg);
+    }
+
+    #[test]
+    fn origin_failover_resumes_sessions_without_restarts() {
+        let lecture = synthetic_lecture(1, 1, 300_000); // 1 minute
+        let wmps = Wmps::new();
+        let file = wmps.publish(&lecture).unwrap();
+        let second = 10_000_000u64;
+        // One seat per relay: two students stream via relays, two via
+        // the origin itself — exactly the sessions a failover must
+        // migrate. 10 s in, the origin dies for good.
+        let cfg = RelayTierConfig {
+            relays: 2,
+            relay_capacity_sessions: Some(1),
+            client_retry: Some(RetryPolicy::client()),
+            chaos: ChaosSpec {
+                origin_down: vec![(10 * second, u64::MAX)],
+                ..ChaosSpec::default()
+            },
+            failover: Some(FailoverConfig::default()),
+            recorder: Recorder::new(),
+            ..RelayTierConfig::default()
+        };
+        let report =
+            wmps.serve_with_relays(file.clone(), LinkSpec::lan(), LinkSpec::lan(), 4, 3, &cfg);
+        assert_eq!(report.completed_sessions(), 4, "{:?}", report.clients);
+        let fo = report.failover.expect("failover tier ran");
+        assert!(fo.promoted_at.is_some(), "the standby must be promoted");
+        assert_eq!(fo.epoch, 2, "one promotion past the primary's epoch 1");
+        assert!(
+            fo.sessions_migrated >= 2,
+            "the origin-homed sessions must migrate: {fo:?}"
+        );
+        assert!(fo.checkpoints_replicated > 0);
+        assert_eq!(fo.stale_epoch_replies, 0, "fencing must hold: {fo:?}");
+        assert_eq!(
+            fo.standby.plays_from_zero, 0,
+            "every migrated session resumes from its horizon, never from 0: {fo:?}"
+        );
+        // The event log proves the causal story: misses herald the
+        // promotion, and every migrated session had a prior checkpoint.
+        let causal = lod_obs::check_causal(&cfg.recorder.events());
+        assert!(causal.holds(), "{causal:?}");
+        assert_eq!(causal.promotions, 1);
+        // Same seed, same storm → byte-for-byte identical outcome.
+        let cfg_b = RelayTierConfig {
+            recorder: Recorder::new(),
+            ..cfg.clone()
+        };
+        let b = wmps.serve_with_relays(file, LinkSpec::lan(), LinkSpec::lan(), 4, 3, &cfg_b);
+        assert_eq!(report, b, "failover runs must be reproducible");
+        assert_eq!(cfg.recorder.to_jsonl(), cfg_b.recorder.to_jsonl());
     }
 
     #[test]

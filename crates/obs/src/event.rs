@@ -216,6 +216,54 @@ pub enum Event {
         /// Second endpoint.
         b: u64,
     },
+    /// The failure detector's heartbeat went unanswered past its
+    /// deadline (the sample every later promotion is causally rooted in).
+    HeartbeatMiss {
+        /// Raw node index of the silent origin.
+        node: u64,
+        /// Consecutive misses so far, 1-based.
+        misses: u64,
+    },
+    /// The detector crossed its miss threshold and began failover.
+    FailoverStart {
+        /// Raw node index of the origin declared dead.
+        from: u64,
+        /// Raw node index of the standby about to be promoted.
+        to: u64,
+        /// The miss threshold that was crossed.
+        misses: u64,
+    },
+    /// The standby took over as primary at a new fencing epoch.
+    Promoted {
+        /// Raw node index of the promoted standby.
+        node: u64,
+        /// The fencing epoch it now serves at (strictly above every
+        /// earlier primary's).
+        epoch: u64,
+    },
+    /// A deposed primary observed a higher fencing epoch and stepped
+    /// down to standby instead of serving split-brain.
+    Demoted {
+        /// Raw node index of the demoted node.
+        node: u64,
+        /// The higher epoch it observed.
+        epoch: u64,
+    },
+    /// The origin journaled a session checkpoint for replication.
+    Checkpoint {
+        /// Raw node index of the checkpointed session's client.
+        client: u64,
+        /// Playback horizon captured (next packet index).
+        horizon: u64,
+    },
+    /// A promoted standby restored a replicated session, ready to resume
+    /// it from its checkpointed horizon.
+    SessionMigrated {
+        /// Raw node index of the session's client.
+        client: u64,
+        /// The horizon the session will resume from.
+        horizon: u64,
+    },
 }
 
 impl Event {
@@ -252,6 +300,12 @@ impl Event {
             Event::FetchGiveUp { .. } => "fetch_give_up",
             Event::FaultStrike { .. } => "fault_strike",
             Event::FaultHeal { .. } => "fault_heal",
+            Event::HeartbeatMiss { .. } => "heartbeat_miss",
+            Event::FailoverStart { .. } => "failover_start",
+            Event::Promoted { .. } => "promoted",
+            Event::Demoted { .. } => "demoted",
+            Event::Checkpoint { .. } => "checkpoint",
+            Event::SessionMigrated { .. } => "session_migrated",
         }
     }
 }
@@ -401,6 +455,23 @@ impl EventRecord {
                 push_str_field(&mut out, "fault", fault);
                 push_num_field(&mut out, "a", *a);
                 push_num_field(&mut out, "b", *b);
+            }
+            Event::HeartbeatMiss { node, misses } => {
+                push_num_field(&mut out, "node", *node);
+                push_num_field(&mut out, "misses", *misses);
+            }
+            Event::FailoverStart { from, to, misses } => {
+                push_num_field(&mut out, "from", *from);
+                push_num_field(&mut out, "to", *to);
+                push_num_field(&mut out, "misses", *misses);
+            }
+            Event::Promoted { node, epoch } | Event::Demoted { node, epoch } => {
+                push_num_field(&mut out, "node", *node);
+                push_num_field(&mut out, "epoch", *epoch);
+            }
+            Event::Checkpoint { client, horizon } | Event::SessionMigrated { client, horizon } => {
+                push_num_field(&mut out, "client", *client);
+                push_num_field(&mut out, "horizon", *horizon);
             }
         }
         out.push('}');
@@ -619,6 +690,31 @@ pub fn parse_event(line: &str) -> Result<EventRecord, String> {
             a: f.num("a")?,
             b: f.num("b")?,
         },
+        "heartbeat_miss" => Event::HeartbeatMiss {
+            node: f.num("node")?,
+            misses: f.num("misses")?,
+        },
+        "failover_start" => Event::FailoverStart {
+            from: f.num("from")?,
+            to: f.num("to")?,
+            misses: f.num("misses")?,
+        },
+        "promoted" => Event::Promoted {
+            node: f.num("node")?,
+            epoch: f.num("epoch")?,
+        },
+        "demoted" => Event::Demoted {
+            node: f.num("node")?,
+            epoch: f.num("epoch")?,
+        },
+        "checkpoint" => Event::Checkpoint {
+            client: f.num("client")?,
+            horizon: f.num("horizon")?,
+        },
+        "session_migrated" => Event::SessionMigrated {
+            client: f.num("client")?,
+            horizon: f.num("horizon")?,
+        },
         other => return Err(format!("unknown event kind {other}")),
     };
     Ok(EventRecord { at, event })
@@ -724,6 +820,22 @@ mod tests {
                 fault: "loss_burst".into(),
                 a: 1,
                 b: 7,
+            },
+            Event::HeartbeatMiss { node: 0, misses: 2 },
+            Event::FailoverStart {
+                from: 0,
+                to: 9,
+                misses: 3,
+            },
+            Event::Promoted { node: 9, epoch: 2 },
+            Event::Demoted { node: 0, epoch: 2 },
+            Event::Checkpoint {
+                client: 3,
+                horizon: 4_096,
+            },
+            Event::SessionMigrated {
+                client: 3,
+                horizon: 4_096,
             },
         ];
         for (i, event) in all.into_iter().enumerate() {

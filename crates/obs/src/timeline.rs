@@ -302,6 +302,23 @@ pub struct CausalReport {
     pub unmatched_recoveries: u64,
     /// `admission_shed` events per refusing node.
     pub sheds_by_node: BTreeMap<u64, u64>,
+    /// `heartbeat_miss` events seen (all nodes).
+    pub heartbeat_misses: u64,
+    /// `promoted` events seen.
+    pub promotions: u64,
+    /// Promotions not heralded by a `failover_start` whose origin had
+    /// accumulated at least the declared miss threshold of
+    /// `heartbeat_miss` events — a causality violation.
+    pub unheralded_promotions: u64,
+    /// `session_migrated` events seen.
+    pub migrations: u64,
+    /// Migrations with no earlier `checkpoint` for the same client — a
+    /// causality violation (the standby invented state).
+    pub unmatched_migrations: u64,
+    /// Fencing-epoch violations: a `promoted` event whose epoch does not
+    /// strictly exceed every epoch promoted (or demoted-to) before it —
+    /// two nodes would be serving the same epoch.
+    pub epoch_conflicts: u64,
 }
 
 impl CausalReport {
@@ -315,9 +332,13 @@ impl CausalReport {
         self.sheds_by_node.get(&node).copied().unwrap_or(0)
     }
 
-    /// Whether both causal invariants hold.
+    /// Whether every causal invariant holds (overload and failover).
     pub fn holds(&self) -> bool {
-        self.unheralded_downshifts == 0 && self.unmatched_recoveries == 0
+        self.unheralded_downshifts == 0
+            && self.unmatched_recoveries == 0
+            && self.unheralded_promotions == 0
+            && self.unmatched_migrations == 0
+            && self.epoch_conflicts == 0
     }
 }
 
@@ -325,13 +346,28 @@ impl CausalReport {
 /// emission order, as [`crate::Recorder`] keeps them):
 ///
 /// 1. every `downshift` is preceded by a `backlog_high` sample for the
-///    same client (the watermark crossing that justified it), and
+///    same client (the watermark crossing that justified it),
 /// 2. every `recovery` closes an `outage_start` opened earlier for the
-///    same client, with no recovery in between.
+///    same client, with no recovery in between,
+/// 3. every `promoted` is heralded by a `failover_start` whose dead
+///    origin accumulated at least the declared threshold of
+///    `heartbeat_miss` events,
+/// 4. every `session_migrated` is matched by an earlier `checkpoint` for
+///    the same client, and
+/// 5. fencing epochs are strictly monotonic: no two promotions (nor a
+///    promotion and the demotion it fenced) share an epoch, so no two
+///    nodes ever serve the same epoch.
 pub fn check_causal(events: &[EventRecord]) -> CausalReport {
     let mut report = CausalReport::default();
     let mut backlog_high_seen: BTreeMap<u64, bool> = BTreeMap::new();
     let mut outage_open: BTreeMap<u64, bool> = BTreeMap::new();
+    // Failover bookkeeping: misses accumulated per origin, promotions
+    // armed per standby, checkpoints seen per client, highest epoch
+    // promoted so far.
+    let mut misses_by_node: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut promotion_armed: BTreeMap<u64, bool> = BTreeMap::new();
+    let mut checkpointed: BTreeMap<u64, bool> = BTreeMap::new();
+    let mut max_epoch_promoted: Option<u64> = None;
     for rec in events {
         match &rec.event {
             Event::BacklogHigh { client, .. } => {
@@ -354,6 +390,44 @@ pub fn check_causal(events: &[EventRecord]) -> CausalReport {
             }
             Event::AdmissionShed { node, .. } => {
                 *report.sheds_by_node.entry(*node).or_insert(0) += 1;
+            }
+            Event::HeartbeatMiss { node, .. } => {
+                report.heartbeat_misses += 1;
+                *misses_by_node.entry(*node).or_insert(0) += 1;
+            }
+            Event::FailoverStart { from, to, misses } => {
+                // The declared threshold must actually have been
+                // accumulated against the dead origin.
+                let earned = misses_by_node.get(from).copied().unwrap_or(0) >= *misses;
+                promotion_armed.insert(*to, earned);
+            }
+            Event::Promoted { node, epoch } => {
+                report.promotions += 1;
+                if promotion_armed.insert(*node, false) != Some(true) {
+                    report.unheralded_promotions += 1;
+                }
+                if max_epoch_promoted.is_some_and(|m| *epoch <= m) {
+                    report.epoch_conflicts += 1;
+                }
+                max_epoch_promoted = max_epoch_promoted.max(Some(*epoch));
+            }
+            Event::Demoted { node, epoch } => {
+                // A demotion at an epoch *above* the highest promotion
+                // would mean the rejoiner fenced itself against a primary
+                // the log never promoted.
+                if max_epoch_promoted.is_none_or(|m| *epoch > m) {
+                    report.epoch_conflicts += 1;
+                }
+                let _ = node;
+            }
+            Event::Checkpoint { client, .. } => {
+                checkpointed.insert(*client, true);
+            }
+            Event::SessionMigrated { client, .. } => {
+                report.migrations += 1;
+                if !checkpointed.get(client).copied().unwrap_or(false) {
+                    report.unmatched_migrations += 1;
+                }
             }
             _ => {}
         }
@@ -517,5 +591,109 @@ mod tests {
         assert_eq!(r.unheralded_downshifts, 1);
         assert_eq!(r.unmatched_recoveries, 2);
         assert!(!r.holds());
+    }
+
+    #[test]
+    fn failover_invariants_hold_on_a_lawful_trace() {
+        let events = vec![
+            rec(
+                10,
+                Event::Checkpoint {
+                    client: 7,
+                    horizon: 100,
+                },
+            ),
+            rec(20, Event::HeartbeatMiss { node: 0, misses: 1 }),
+            rec(30, Event::HeartbeatMiss { node: 0, misses: 2 }),
+            rec(40, Event::HeartbeatMiss { node: 0, misses: 3 }),
+            rec(
+                40,
+                Event::FailoverStart {
+                    from: 0,
+                    to: 9,
+                    misses: 3,
+                },
+            ),
+            rec(40, Event::Promoted { node: 9, epoch: 2 }),
+            rec(
+                40,
+                Event::SessionMigrated {
+                    client: 7,
+                    horizon: 100,
+                },
+            ),
+            // The healed old origin fences itself against epoch 2.
+            rec(90, Event::Demoted { node: 0, epoch: 2 }),
+        ];
+        let r = check_causal(&events);
+        assert!(r.holds(), "{r:?}");
+        assert_eq!(r.promotions, 1);
+        assert_eq!(r.migrations, 1);
+        assert_eq!(r.epoch_conflicts, 0);
+    }
+
+    #[test]
+    fn failover_violations_are_counted() {
+        let events = vec![
+            // Promotion with only 1 accumulated miss against a declared
+            // threshold of 3.
+            rec(10, Event::HeartbeatMiss { node: 0, misses: 1 }),
+            rec(
+                20,
+                Event::FailoverStart {
+                    from: 0,
+                    to: 9,
+                    misses: 3,
+                },
+            ),
+            rec(20, Event::Promoted { node: 9, epoch: 2 }),
+            // Migration of a client never checkpointed.
+            rec(
+                30,
+                Event::SessionMigrated {
+                    client: 5,
+                    horizon: 10,
+                },
+            ),
+            // A second promotion re-using epoch 2: split-brain.
+            rec(
+                40,
+                Event::FailoverStart {
+                    from: 9,
+                    to: 0,
+                    misses: 0,
+                },
+            ),
+            rec(40, Event::Promoted { node: 0, epoch: 2 }),
+        ];
+        let r = check_causal(&events);
+        assert_eq!(r.unheralded_promotions, 1);
+        assert_eq!(r.unmatched_migrations, 1);
+        assert_eq!(r.epoch_conflicts, 1);
+        assert!(!r.holds());
+    }
+
+    #[test]
+    fn promotion_herald_is_single_use() {
+        // One lawful failover does not bless a second promotion of the
+        // same standby.
+        let mut events = vec![
+            rec(10, Event::HeartbeatMiss { node: 0, misses: 1 }),
+            rec(20, Event::HeartbeatMiss { node: 0, misses: 2 }),
+            rec(
+                20,
+                Event::FailoverStart {
+                    from: 0,
+                    to: 9,
+                    misses: 2,
+                },
+            ),
+            rec(20, Event::Promoted { node: 9, epoch: 2 }),
+        ];
+        events.push(rec(50, Event::Promoted { node: 9, epoch: 3 }));
+        let r = check_causal(&events);
+        assert_eq!(r.promotions, 2);
+        assert_eq!(r.unheralded_promotions, 1);
+        assert_eq!(r.epoch_conflicts, 0, "epoch 3 is still monotonic");
     }
 }

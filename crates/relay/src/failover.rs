@@ -1,0 +1,286 @@
+//! Origin failure detection for warm-standby failover.
+//!
+//! A [`HeartbeatMonitor`] runs on the standby and pings the primary
+//! origin on a fixed tick cadence. Silence is counted in *missed beats*
+//! — wall clocks do not exist in the simulation — and after
+//! `miss_threshold` consecutive misses the monitor declares the origin
+//! dead exactly once, which is the driver's cue to promote the standby
+//! (see `lod_core::serve_with_relays`). After promotion the monitor
+//! keeps pinging the *old* origin with the new fencing epoch: a healed
+//! primary that answers learns it was deposed and demotes itself, which
+//! is what prevents split-brain.
+
+use lod_obs::{Event, Recorder};
+use lod_simnet::{Network, NodeId};
+use lod_streaming::wire::{ControlRequest, Wire};
+
+/// Knobs for origin failure detection and standby replication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverConfig {
+    /// Ticks between heartbeat pings.
+    pub heartbeat_interval: u64,
+    /// Consecutive unanswered pings before the origin is declared dead.
+    pub miss_threshold: u32,
+    /// Checkpoint cadence forwarded to
+    /// `StreamingServer::with_checkpointing`: a running session is
+    /// journaled at least this often even without a state transition
+    /// (0 = transitions only).
+    pub checkpoint_every: u64,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        Self {
+            // 200 ms beats, dead after 3 misses: detection in well under
+            // a second of simulated time, slow enough that LAN jitter
+            // never fakes a death.
+            heartbeat_interval: 2_000_000,
+            miss_threshold: 3,
+            checkpoint_every: 10_000_000,
+        }
+    }
+}
+
+/// Tick-driven heartbeat prober that declares an unresponsive origin
+/// dead after a run of missed beats.
+#[derive(Debug)]
+pub struct HeartbeatMonitor {
+    /// The node the pings are sent from (the standby).
+    node: NodeId,
+    /// The node being probed (the primary; post-fence, the old primary).
+    target: NodeId,
+    interval: u64,
+    miss_threshold: u32,
+    /// Epoch stamped into outgoing pings. Pre-promotion this is the
+    /// standby's (lower) epoch, which no healthy primary reacts to;
+    /// post-fence it is the promotion epoch, which demotes a healed one.
+    epoch: u64,
+    next_ping_at: u64,
+    /// Whether the previous ping is still unanswered.
+    outstanding: bool,
+    misses: u32,
+    dead: bool,
+    /// Set by [`Self::fence`]: the target is known-deposed, so silence
+    /// is expected and no further misses or deaths are reported.
+    fencing: bool,
+    obs: Recorder,
+}
+
+impl HeartbeatMonitor {
+    /// A monitor on `node` probing `target` with `cfg`'s cadence.
+    pub fn new(node: NodeId, target: NodeId, cfg: FailoverConfig) -> Self {
+        assert!(
+            cfg.heartbeat_interval > 0,
+            "heartbeat interval must be positive"
+        );
+        assert!(cfg.miss_threshold > 0, "miss threshold must be positive");
+        Self {
+            node,
+            target,
+            interval: cfg.heartbeat_interval,
+            miss_threshold: cfg.miss_threshold,
+            epoch: 0,
+            next_ping_at: 0,
+            outstanding: false,
+            misses: 0,
+            dead: false,
+            fencing: false,
+            obs: Recorder::disabled(),
+        }
+    }
+
+    /// Routes events into a shared recorder.
+    pub fn with_recorder(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The node currently being probed.
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+
+    /// Consecutive missed beats so far.
+    pub fn misses(&self) -> u32 {
+        self.misses
+    }
+
+    /// Whether the target has been declared dead.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Sends the next heartbeat when due and accounts the silence since
+    /// the previous one. Returns `true` exactly once — on the poll that
+    /// crosses the miss threshold and declares the target dead.
+    pub fn poll(&mut self, net: &mut Network<Wire>, now: u64) -> bool {
+        if now < self.next_ping_at {
+            return false;
+        }
+        if self.outstanding && !self.dead && !self.fencing {
+            self.misses += 1;
+            self.obs.emit(
+                now,
+                Event::HeartbeatMiss {
+                    node: self.target.index() as u64,
+                    misses: u64::from(self.misses),
+                },
+            );
+        }
+        let msg = Wire::Request(ControlRequest::Ping { epoch: self.epoch });
+        let bytes = msg.wire_bytes(0);
+        let _ = net.send_reliable(self.node, self.target, bytes, msg);
+        self.outstanding = true;
+        self.next_ping_at = now.saturating_add(self.interval);
+        if !self.dead && !self.fencing && self.misses >= self.miss_threshold {
+            self.dead = true;
+            return true;
+        }
+        false
+    }
+
+    /// Records a [`Wire::Pong`] from the target: the run of misses is
+    /// broken.
+    pub fn on_pong(&mut self, _now: u64) {
+        self.outstanding = false;
+        self.misses = 0;
+    }
+
+    /// Switches the monitor to fencing duty after promotion: keep
+    /// pinging `old_target` with the promotion `epoch` so a healed
+    /// primary observes it was deposed and demotes itself. Silence from
+    /// a fenced target is expected and never re-reported.
+    pub fn fence(&mut self, old_target: NodeId, epoch: u64) {
+        self.target = old_target;
+        self.epoch = epoch;
+        self.fencing = true;
+        self.outstanding = false;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lod_simnet::LinkSpec;
+    use lod_streaming::StreamingServer;
+
+    const BEAT: u64 = 2_000_000;
+
+    fn world() -> (Network<Wire>, NodeId, NodeId) {
+        let mut net = Network::new(11);
+        let origin = net.add_node("origin");
+        let standby = net.add_node("standby");
+        net.connect_bidirectional(origin, standby, LinkSpec::lan());
+        (net, origin, standby)
+    }
+
+    fn drive(
+        net: &mut Network<Wire>,
+        origin_srv: Option<&mut StreamingServer>,
+        mon: &mut HeartbeatMonitor,
+        origin: NodeId,
+        standby: NodeId,
+        from: u64,
+        to: u64,
+    ) -> bool {
+        let mut died = false;
+        let mut origin_srv = origin_srv;
+        let mut t = from;
+        while t <= to {
+            died |= mon.poll(net, t);
+            for d in net.advance_to(t) {
+                if d.dst == origin {
+                    if let Some(srv) = origin_srv.as_deref_mut() {
+                        srv.on_message(net, d.time, d.src, d.message);
+                    }
+                } else if d.dst == standby {
+                    if let Wire::Pong { .. } = d.message {
+                        mon.on_pong(d.time);
+                    }
+                }
+            }
+            t += BEAT / 2;
+        }
+        died
+    }
+
+    #[test]
+    fn answered_heartbeats_never_declare_death() {
+        let (mut net, origin, standby) = world();
+        let mut srv = StreamingServer::new(origin);
+        let mut mon = HeartbeatMonitor::new(standby, origin, FailoverConfig::default());
+        let died = drive(
+            &mut net,
+            Some(&mut srv),
+            &mut mon,
+            origin,
+            standby,
+            0,
+            40 * BEAT,
+        );
+        assert!(!died);
+        assert_eq!(mon.misses(), 0);
+        assert!(!mon.is_dead());
+    }
+
+    #[test]
+    fn silent_origin_dies_after_the_miss_threshold_exactly_once() {
+        let (mut net, origin, standby) = world();
+        let cfg = FailoverConfig::default();
+        let mut mon = HeartbeatMonitor::new(standby, origin, cfg);
+        // Nobody answers at the origin: every beat after the first is a
+        // miss.
+        let died = drive(&mut net, None, &mut mon, origin, standby, 0, 10 * BEAT);
+        assert!(died);
+        assert!(mon.is_dead());
+        assert!(mon.misses() >= cfg.miss_threshold);
+        // Death is reported exactly once.
+        let died_again = drive(
+            &mut net,
+            None,
+            &mut mon,
+            origin,
+            standby,
+            10 * BEAT + 1,
+            20 * BEAT,
+        );
+        assert!(!died_again);
+    }
+
+    #[test]
+    fn fenced_ping_demotes_a_healed_primary() {
+        let (mut net, origin, standby) = world();
+        let mut srv = StreamingServer::new(origin); // epoch 1
+        let mut mon = HeartbeatMonitor::new(standby, origin, FailoverConfig::default());
+        // Promotion happened elsewhere at epoch 2; the monitor now
+        // fences the old primary.
+        mon.fence(origin, 2);
+        let died = drive(
+            &mut net,
+            Some(&mut srv),
+            &mut mon,
+            origin,
+            standby,
+            0,
+            4 * BEAT,
+        );
+        assert!(!died, "a fenced target never re-dies");
+        assert!(
+            srv.is_standby(),
+            "healed primary must demote on a higher epoch"
+        );
+        assert_eq!(srv.epoch(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "heartbeat interval must be positive")]
+    fn zero_interval_is_rejected() {
+        let (_net, origin, standby) = world();
+        let cfg = FailoverConfig {
+            heartbeat_interval: 0,
+            ..FailoverConfig::default()
+        };
+        let _ = HeartbeatMonitor::new(standby, origin, cfg);
+    }
+}

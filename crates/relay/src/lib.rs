@@ -13,11 +13,16 @@
 //! - [`RedirectManager`]: origin-side session director that answers
 //!   client `Play` requests with a redirect to the least-loaded relay and
 //!   re-attaches clients when a relay fails mid-lecture.
+//! - [`HeartbeatMonitor`]: standby-side failure detector that declares
+//!   the origin dead after a run of missed heartbeats and, after
+//!   promotion, fences the old primary with the new epoch.
 
 pub mod cache;
+pub mod failover;
 pub mod redirect;
 pub mod relay;
 
 pub use cache::{CacheStats, CachedSegment, SegmentCache};
+pub use failover::{FailoverConfig, HeartbeatMonitor};
 pub use redirect::RedirectManager;
 pub use relay::{RelayMetrics, RelayNode};

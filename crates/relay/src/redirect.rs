@@ -182,6 +182,33 @@ impl RedirectManager {
         }
         stranded
     }
+
+    /// Re-fronts the manager at a promoted `standby` after the origin
+    /// itself fails. Clients homed *at the origin* (spilled or
+    /// fallback assignments) are re-pointed at the standby and sent a
+    /// redirect — from the standby, since the old origin can no longer
+    /// speak. Relay-homed assignments stay put; the relays re-point
+    /// their uplinks separately. Returns the re-homed clients in sorted
+    /// order (the same determinism discipline as [`Self::fail_relay`]:
+    /// redirect order must not depend on map iteration).
+    pub fn retarget_origin(&mut self, net: &mut Network<Wire>, standby: NodeId) -> Vec<NodeId> {
+        let old = self.origin;
+        self.origin = standby;
+        let mut stranded: Vec<NodeId> = self
+            .assignments
+            .iter()
+            .filter(|&(_, &t)| t == old)
+            .map(|(&c, _)| c)
+            .collect();
+        stranded.sort_unstable();
+        for &client in &stranded {
+            self.assignments.insert(client, standby);
+            let msg = Wire::Redirect { to: standby };
+            let bytes = msg.wire_bytes(0);
+            let _ = net.send_reliable(standby, client, bytes, msg);
+        }
+        stranded
+    }
 }
 
 #[cfg(test)]
@@ -385,6 +412,61 @@ mod tests {
         let mut net: Network<Wire> = Network::new(1);
         let origin = net.add_node("origin");
         let _ = RedirectManager::new(origin, Vec::new()).with_relay_capacity(0);
+    }
+
+    #[test]
+    fn retarget_origin_rehomes_origin_clients_in_sorted_order() {
+        let mut net: Network<Wire> = Network::new(5);
+        let origin = net.add_node("origin");
+        let standby = net.add_node("standby");
+        let relays: Vec<NodeId> = (0..1).map(|i| net.add_node(format!("relay{i}"))).collect();
+        let students: Vec<NodeId> = (0..4)
+            .map(|i| net.add_node(format!("student{i}")))
+            .collect();
+        for &s in &students {
+            net.connect_bidirectional(origin, s, LinkSpec::lan());
+            net.connect_bidirectional(standby, s, LinkSpec::lan());
+        }
+        // One seat on the single relay: student0 takes it, the rest
+        // spill to the origin itself.
+        let mut mgr = RedirectManager::new(origin, relays.clone()).with_relay_capacity(1);
+        for &s in &students {
+            mgr.intercept(&mut net, s, &play("lec"));
+        }
+        assert_eq!(mgr.assignment(students[0]), Some(relays[0]));
+        net.advance_to(10_000_000);
+        // The origin dies; the standby takes over the front door.
+        let rehomed = mgr.retarget_origin(&mut net, standby);
+        // Exactly the origin-homed clients, in sorted (insertion-
+        // independent) order — the same determinism rule as fail_relay.
+        let mut expect = vec![students[1], students[2], students[3]];
+        expect.sort_unstable();
+        assert_eq!(rehomed, expect);
+        // The relay-homed student keeps its seat; the rest now point at
+        // the standby.
+        assert_eq!(mgr.assignment(students[0]), Some(relays[0]));
+        for &s in &students[1..] {
+            assert_eq!(mgr.assignment(s), Some(standby));
+        }
+        // Every redirect came *from the standby* (the origin is dead)
+        // and names the standby.
+        let redirects: Vec<(NodeId, NodeId)> = net
+            .advance_to(20_000_000)
+            .into_iter()
+            .filter_map(|d| match d.message {
+                Wire::Redirect { to } => Some((d.src, to)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(redirects.len(), 3);
+        assert!(redirects
+            .iter()
+            .all(|&(src, to)| src == standby && to == standby));
+        // A post-failover Play from a fresh client intercepts against
+        // the promoted origin: full relay ⇒ pass-through to standby.
+        let extra = students[1];
+        assert!(!mgr.intercept(&mut net, extra, &play("lec")));
+        assert_eq!(mgr.assignment(extra), Some(standby));
     }
 
     #[test]

@@ -279,6 +279,25 @@ impl RelayNode {
         self.origin
     }
 
+    /// Re-points this relay's uplink at a promoted standby after an
+    /// origin failover. In-flight fetch bookkeeping against the dead
+    /// origin is dropped (the poll loop re-drives any still-needed
+    /// segment at the new target), the breaker is forced to a half-open
+    /// probe so the first fetch is not blocked by failures the *old*
+    /// origin earned, and cached headers adopt the promotion epoch so
+    /// replays of cached content are not mistaken for stale-epoch
+    /// traffic.
+    pub fn retarget_origin(&mut self, standby: NodeId, epoch: u64, now: u64) {
+        self.origin = standby;
+        self.inflight.clear();
+        if let Some(b) = &mut self.breaker {
+            b.force_probe(now);
+        }
+        for meta in self.meta.values_mut() {
+            meta.header.epoch = epoch;
+        }
+    }
+
     /// Service counters accumulated so far.
     pub fn metrics(&self) -> RelayMetrics {
         self.metrics
@@ -331,6 +350,9 @@ impl RelayNode {
                 // misconfiguration (the origin exempts relays from
                 // admission); the retry-gated subscription re-issues.
                 Wire::Busy { .. } => {}
+                // Heartbeat answers belong to the failover monitor, not
+                // the relay data plane.
+                Wire::Pong { .. } => {}
             }
         } else if let Wire::Request(req) = msg {
             self.on_request(net, now, from, req);
@@ -393,6 +415,8 @@ impl RelayNode {
             ControlRequest::FetchSegment { content, .. } => {
                 let _ = net.send_reliable(self.node, from, 32, Wire::NotFound(content));
             }
+            // Relays are not heartbeat targets; monitors ping origins.
+            ControlRequest::Ping { .. } => {}
         }
     }
 
@@ -1424,6 +1448,7 @@ mod tests {
             streams: base.streams.clone(),
             script: lod_asf::ScriptCommandList::new(),
             drm: None,
+            epoch: 0,
         };
         origin.publish_live("talk", lod_streaming::LiveFeed::new(header));
         let mut relay = RelayNode::new(tree.relays[0], tree.origin, 1 << 20);

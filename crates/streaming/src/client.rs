@@ -468,6 +468,8 @@ impl StreamingClient {
             // Relay-plane traffic; clients never consume raw segments.
             Wire::Segment(_) => {}
             Wire::Request(_) => {}
+            // Heartbeat answers are monitor-plane traffic.
+            Wire::Pong { .. } => {}
         }
         let _ = time;
     }
@@ -475,6 +477,25 @@ impl StreamingClient {
     /// The node this client currently streams from.
     pub fn server(&self) -> NodeId {
         self.server
+    }
+
+    /// Re-homes this client after an origin failover: the failed `old`
+    /// home is replaced by the promoted standby, and any in-flight
+    /// affinity for the dead node (current server, pending redirect) is
+    /// re-pointed so the next busy-bounce or handoff asks a live origin.
+    pub fn retarget_home(&mut self, old: NodeId, new_home: NodeId) {
+        if self.home == old {
+            self.home = new_home;
+        }
+        if self.server == old {
+            // Queue a handoff rather than mutating `server` in place:
+            // `poll_redirect` re-Plays from the horizon, which is exactly
+            // the resume the promoted origin expects.
+            self.pending_redirect = Some(new_home);
+        }
+        if self.pending_redirect == Some(old) {
+            self.pending_redirect = Some(new_home);
+        }
     }
 
     /// Applies a pending [`Wire::Redirect`]: retargets the session and,
@@ -1064,6 +1085,7 @@ mod tests {
             streams: base.streams.clone(),
             script: ScriptCommandList::new(),
             drm: None,
+            epoch: 0,
         };
         server.publish_live("live", LiveFeed::new(header));
         let mut client = StreamingClient::new(c, s, "live");
@@ -1266,6 +1288,7 @@ mod tests {
             streams: base.streams.clone(),
             script: lod_asf::ScriptCommandList::new(),
             drm: None,
+            epoch: 0,
         };
         server.publish_live("live", LiveFeed::new(header));
         let mut a = StreamingClient::new(c1, s, "live");

@@ -18,6 +18,9 @@
 //!   backoff with deterministic jitter, bounded retries
 //!   ([`RetryPolicy`]).
 //! * [`metrics`] — per-client quality counters.
+//! * [`checkpoint`] — session-state journaling for warm-standby origin
+//!   failover ([`SessionCheckpoint`], [`SessionJournal`],
+//!   [`StandbyState`]).
 //!
 //! # Example
 //!
@@ -56,12 +59,16 @@
 //! assert_eq!(client.metrics().stalls, 0);
 //! ```
 
+pub mod checkpoint;
 pub mod client;
 pub mod metrics;
 pub mod retry;
 pub mod server;
 pub mod wire;
 
+pub use checkpoint::{
+    parse_journal, JournalEntry, SessionCheckpoint, SessionJournal, StandbyState,
+};
 pub use client::{ClientState, RenderEvent, StreamingClient};
 pub use metrics::{ClientMetrics, ServerMetrics};
 pub use retry::{BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};

@@ -84,6 +84,14 @@ pub struct ServerMetrics {
     pub upshifts: u64,
     /// Distinct sessions that were downshifted at least once.
     pub sessions_degraded: u64,
+    /// Session checkpoints journaled for standby replication.
+    pub checkpoints_emitted: u64,
+    /// Replicated sessions restored at promotion (failover takeovers).
+    pub sessions_migrated: u64,
+    /// Plays admitted at packet index 0 — fresh starts. After a
+    /// promotion this must stay 0 on the standby: every migrated session
+    /// resumes from its checkpointed horizon, never from the top.
+    pub plays_from_zero: u64,
 }
 
 #[cfg(test)]

@@ -212,6 +212,17 @@ impl CircuitBreaker {
     pub fn is_open(&self) -> bool {
         matches!(self.state, BreakerState::Open { .. })
     }
+
+    /// Forces the breaker to the brink of a half-open probe at `now`:
+    /// the very next [`CircuitBreaker::allows`] admits exactly one
+    /// request. Used on origin failover — whatever the breaker concluded
+    /// about the *dead* origin says nothing about the freshly promoted
+    /// standby, so the uplink re-opens with a clean probe instead of
+    /// either waiting out a stale window or trusting blindly.
+    pub fn force_probe(&mut self, now: u64) {
+        self.state = BreakerState::Open { until: now };
+        self.failures = 0;
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +322,24 @@ mod tests {
         b.record_success();
         assert!(!b.record_failure(10), "count restarted after success");
         assert!(!b.is_open());
+    }
+
+    #[test]
+    fn force_probe_admits_exactly_one_immediately() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            open_ticks: 1_000_000,
+        });
+        // Tripped against the old origin, deep inside its open window.
+        assert!(b.record_failure(0));
+        assert!(!b.allows(10));
+        // Failover: the next request probes the promoted standby at once.
+        b.force_probe(10);
+        assert!(b.allows(10), "probe admitted immediately");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allows(11), "one probe at a time");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
     }
 
     #[test]

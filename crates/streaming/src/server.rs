@@ -1,12 +1,13 @@
 //! The streaming server: content catalog, sessions, pacing, live relay.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use lod_asf::{AsfFile, DataPacket, StreamKind};
 use lod_encoder::BandwidthProfile;
 use lod_obs::{Event, Recorder};
 use lod_simnet::{Network, NodeId, TokenBucket};
 
+use crate::checkpoint::{JournalEntry, SessionCheckpoint, SessionJournal, StandbyState};
 use crate::metrics::ServerMetrics;
 use crate::wire::{ControlRequest, SegmentData, StreamHeader, Wire};
 
@@ -296,6 +297,31 @@ pub struct StreamingServer {
     metrics: ServerMetrics,
     /// Structured event sink (disabled by default — a free no-op).
     obs: Recorder,
+    /// Fencing epoch stamped into every header and segment this server
+    /// sends. Monotonic across failovers; a reply carrying a lower epoch
+    /// than the cluster's current one is provably from a deposed primary.
+    epoch: u64,
+    /// A warm standby holds sessions in its [`StandbyState`] replica and
+    /// refuses to serve until promoted.
+    standby: bool,
+    /// Whether session checkpoints are journaled at all.
+    checkpointing: bool,
+    /// Ticks of playback advance between periodic checkpoints of a
+    /// running session (0 = checkpoint on state transitions only).
+    checkpoint_every: u64,
+    /// Outbound checkpoint stream, drained by the replication driver.
+    journal: SessionJournal,
+    /// Replicated view of the primary's sessions (standby side).
+    replica: StandbyState,
+    /// Sessions restored at promotion, waiting for their client's
+    /// resume Play. The checkpointed seat and degrade rung are honored
+    /// when the Play arrives.
+    restored: BTreeMap<u64, SessionCheckpoint>,
+    /// Tick of the last periodic checkpoint per client.
+    last_checkpoint: HashMap<NodeId, u64>,
+    /// Where a demoted ex-primary points refused clients (the promoted
+    /// origin it fenced against).
+    primary_hint: Option<NodeId>,
 }
 
 impl StreamingServer {
@@ -316,6 +342,15 @@ impl StreamingServer {
             degraded_clients: HashSet::new(),
             metrics: ServerMetrics::default(),
             obs: Recorder::disabled(),
+            epoch: 1,
+            standby: false,
+            checkpointing: false,
+            checkpoint_every: 0,
+            journal: SessionJournal::new(),
+            replica: StandbyState::new(),
+            restored: BTreeMap::new(),
+            last_checkpoint: HashMap::new(),
+            primary_hint: None,
         }
     }
 
@@ -396,6 +431,156 @@ impl StreamingServer {
         self
     }
 
+    /// Enables session checkpointing: every state transition (create,
+    /// downshift/upshift, end) journals a [`SessionCheckpoint`], and a
+    /// running session is additionally re-checkpointed every `ticks` of
+    /// playback (0 = transitions only). The replication driver drains
+    /// the journal with [`StreamingServer::journal_drain`].
+    pub fn with_checkpointing(mut self, ticks: u64) -> Self {
+        self.checkpointing = true;
+        self.checkpoint_every = ticks;
+        self
+    }
+
+    /// Marks this server a warm standby: it applies replicated journal
+    /// entries but refuses to serve (Plays are dropped — the client's
+    /// retry layer re-asks after promotion) until
+    /// [`StreamingServer::promote`] is called.
+    pub fn as_standby(mut self) -> Self {
+        self.standby = true;
+        self.epoch = 0; // a standby has never served; promotion sets it
+        self
+    }
+
+    /// The fencing epoch this server currently serves (or last served) at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether this server is currently a (non-serving) standby.
+    pub fn is_standby(&self) -> bool {
+        self.standby
+    }
+
+    /// Takes every checkpoint journaled since the last drain (the
+    /// replication channel: feed the result to the standby's
+    /// [`StreamingServer::apply_journal`]).
+    pub fn journal_drain(&mut self) -> Vec<JournalEntry> {
+        self.journal.drain()
+    }
+
+    /// Applies a drained journal batch into this server's replica
+    /// (standby side). Idempotent; any prefix of the journal yields a
+    /// valid, merely staler, view.
+    pub fn apply_journal(&mut self, entries: &[JournalEntry]) {
+        self.replica.apply_all(entries);
+    }
+
+    /// Live sessions currently held in the standby replica.
+    pub fn replica_len(&self) -> usize {
+        self.replica.len()
+    }
+
+    /// Promotes this standby to primary at fencing epoch `epoch` (which
+    /// must exceed the deposed primary's). Every replicated session
+    /// becomes a pending resume: when its client's re-Play arrives, the
+    /// checkpointed admission seat and degrade rung are honored and the
+    /// session continues from its horizon instead of restarting.
+    pub fn promote(&mut self, epoch: u64, now: u64) {
+        assert!(
+            epoch > self.epoch,
+            "promotion epoch must exceed the current epoch (fencing is monotonic)"
+        );
+        self.standby = false;
+        self.epoch = epoch;
+        self.obs.emit(
+            now,
+            Event::Promoted {
+                node: self.node.index() as u64,
+                epoch,
+            },
+        );
+        // BTreeMap order: deterministic migration regardless of how the
+        // journal interleaved clients.
+        for (client, ckpt) in self.replica.take_sessions() {
+            self.obs.emit(
+                now,
+                Event::SessionMigrated {
+                    client,
+                    horizon: ckpt.next_packet,
+                },
+            );
+            self.metrics.sessions_migrated += 1;
+            self.restored.insert(client, ckpt);
+        }
+    }
+
+    /// Demotes this server on observing a higher fencing epoch (a healed
+    /// ex-primary learning it was deposed): every local session is
+    /// dropped unsent and future Plays are bounced toward `primary`.
+    pub fn demote(&mut self, epoch: u64, primary: NodeId, now: u64) {
+        self.obs.emit(
+            now,
+            Event::Demoted {
+                node: self.node.index() as u64,
+                epoch,
+            },
+        );
+        self.standby = true;
+        self.epoch = epoch;
+        self.primary_hint = Some(primary);
+        self.sessions.clear();
+        self.pending_filters.clear();
+        self.last_checkpoint.clear();
+    }
+
+    /// Simulates the crash the fault injector's `NodeDown` implies:
+    /// volatile state (sessions, pending filters, the undrained journal
+    /// tail) is lost. Published content survives — it lives on disk.
+    /// What the standby knows afterwards is exactly what was replicated
+    /// before the crash: stale-but-consistent.
+    pub fn crash(&mut self) {
+        self.sessions.clear();
+        self.pending_filters.clear();
+        self.last_checkpoint.clear();
+        let _ = self.journal.drain();
+    }
+
+    /// The checkpoint a session would journal right now.
+    fn ckpt_of(s: &Session, ended: bool) -> SessionCheckpoint {
+        let (content, live) = match &s.source {
+            SourceRef::Stored(name) => (name.clone(), false),
+            SourceRef::Live(name) => (name.clone(), true),
+        };
+        SessionCheckpoint {
+            client: s.client.index() as u64,
+            content,
+            next_packet: s.next_packet as u64,
+            effective_bps: s.effective_bps,
+            keep_num: s.keep.0,
+            keep_den: s.keep.1,
+            live,
+            ended,
+        }
+    }
+
+    /// Journals `ckpt` and records the emission (no-op unless
+    /// checkpointing is armed).
+    fn journal_ckpt(&mut self, now: u64, ckpt: SessionCheckpoint) {
+        if !self.checkpointing {
+            return;
+        }
+        self.obs.emit(
+            now,
+            Event::Checkpoint {
+                client: ckpt.client,
+                horizon: ckpt.next_packet,
+            },
+        );
+        self.metrics.checkpoints_emitted += 1;
+        self.journal.append(now, ckpt);
+    }
+
     /// Overrides how many packets make up one relay segment.
     ///
     /// # Panics
@@ -464,6 +649,37 @@ impl StreamingServer {
         let Wire::Request(req) = msg else {
             return; // servers ignore non-requests
         };
+        // Heartbeats are answered in every role. A probe fencing at a
+        // higher epoch than ours means we were deposed while unreachable:
+        // step down instead of serving split-brain.
+        if let ControlRequest::Ping { epoch } = req {
+            if epoch > self.epoch {
+                if self.standby {
+                    self.epoch = epoch;
+                } else {
+                    self.demote(epoch, from, now);
+                }
+            }
+            let pong = Wire::Pong { epoch: self.epoch };
+            let bytes = pong.wire_bytes(0);
+            let _ = net.send_reliable(self.node, from, bytes, pong);
+            return;
+        }
+        // A standby does not serve. A demoted ex-primary bounces Plays
+        // toward the primary that fenced it; a never-promoted standby
+        // stays silent (the client's retry layer re-asks after
+        // promotion). Everything else is dropped.
+        if self.standby {
+            if let (ControlRequest::Play { .. }, Some(primary)) = (&req, self.primary_hint) {
+                let busy = Wire::Busy {
+                    retry_after: 20_000_000, // 2 s, the admission default
+                    alternate: Some(primary),
+                };
+                let bytes = busy.wire_bytes(0);
+                let _ = net.send_reliable(self.node, from, bytes, busy);
+            }
+            return;
+        }
         // Any control traffic proves the client is alive.
         if let Some(s) = self.sessions.iter_mut().find(|s| s.client == from) {
             s.last_activity = now;
@@ -526,6 +742,13 @@ impl StreamingServer {
                 }
             }
             ControlRequest::Teardown => {
+                if self.checkpointing {
+                    if let Some(s) = self.sessions.iter().find(|s| s.client == from) {
+                        let ckpt = Self::ckpt_of(s, true);
+                        self.journal_ckpt(now, ckpt);
+                    }
+                    self.last_checkpoint.remove(&from);
+                }
                 self.sessions.retain(|s| s.client != from);
             }
             ControlRequest::FetchSegment {
@@ -536,6 +759,8 @@ impl StreamingServer {
             } => {
                 self.serve_segment(net, from, &content, segment, at_time, want_header);
             }
+            // Answered before the dispatch (heartbeats bypass role gates).
+            ControlRequest::Ping { .. } => {}
         }
     }
 
@@ -583,6 +808,7 @@ impl StreamingServer {
             streams: file.streams.clone(),
             script: file.script.clone(),
             drm: file.drm.clone(),
+            epoch: self.epoch,
         });
         let data = SegmentData {
             content: content.to_string(),
@@ -596,6 +822,7 @@ impl StreamingServer {
             header,
             start_packet,
             at_time,
+            epoch: self.epoch,
         };
         let bytes = data.wire_bytes();
         self.metrics.segments_served += 1;
@@ -611,10 +838,19 @@ impl StreamingServer {
         content: &str,
         start: u64,
     ) {
+        // A checkpointed session migrating onto a promoted standby: its
+        // admission seat and degrade rung survived the failover, so the
+        // resume Play re-anchors the existing seat rather than claiming
+        // a new one.
+        let restored = self
+            .restored
+            .remove(&(client.index() as u64))
+            .filter(|c| c.content == content);
         // Admission control: refuse *new* sessions beyond the budget with
         // an explicit Busy. Re-Plays of an existing session (seeks,
         // redirect handoffs, retries-from-horizon) always pass — the
-        // budget already counts them — and so do exempted nodes.
+        // budget already counts them — and so do exempted nodes and
+        // migrated seats.
         if let Some(policy) = self.admission {
             let nominal = self
                 .stored
@@ -627,7 +863,8 @@ impl StreamingServer {
                         .map(|h| u64::from(h.props.max_bitrate))
                 });
             let is_new = !self.sessions.iter().any(|s| s.client == client)
-                && !self.admission_exempt.contains(&client);
+                && !self.admission_exempt.contains(&client)
+                && restored.is_none();
             if let (Some(nominal), true) = (nominal, is_new) {
                 let committed: u64 = self.sessions.iter().map(|s| s.effective_bps).sum();
                 if self.sessions.len() as u64 >= u64::from(policy.max_sessions)
@@ -674,13 +911,15 @@ impl StreamingServer {
                     streams: file.streams.clone(),
                     script: file.script.clone(),
                     drm: file.drm.clone(),
+                    epoch: self.epoch,
                 },
                 SourceRef::Stored(content.to_string()),
                 file.props.max_bitrate,
                 first_packet,
             )
         } else if let Some(feed) = self.live.get(content) {
-            let header = feed.header.clone().expect("live feeds carry a header");
+            let mut header = feed.header.clone().expect("live feeds carry a header");
+            header.epoch = self.epoch;
             let rate = header.props.max_bitrate;
             self.metrics.live_subscribers += 1;
             (header, SourceRef::Live(content.to_string()), rate, 0)
@@ -705,6 +944,9 @@ impl StreamingServer {
             .sum();
         let _ = net.send_reliable(self.node, client, bytes, Wire::Header(header));
         self.metrics.sessions_served += 1;
+        if start == 0 {
+            self.metrics.plays_from_zero += 1;
+        }
         self.obs.emit(
             now,
             Event::SessionStart {
@@ -722,9 +964,20 @@ impl StreamingServer {
             .map(|i| self.sessions.remove(i))
             .filter(|p| p.source == source);
         self.sessions.retain(|s| s.client != client);
-        let (effective_bps, keep) = prior.map_or((nominal_bps, (1, 1)), |p| {
-            (p.effective_bps.min(nominal_bps), p.keep)
-        });
+        // Degrade rung precedence: a live prior session wins, then a
+        // checkpoint migrated from the failed origin, then nominal. The
+        // rung survives failover — promotion does not reset congestion.
+        let (effective_bps, keep) = prior
+            .map(|p| (p.effective_bps.min(nominal_bps), p.keep))
+            .or_else(|| {
+                restored.as_ref().map(|r| {
+                    (
+                        r.effective_bps.clamp(1, nominal_bps),
+                        (r.keep_num, r.keep_den.max(1)),
+                    )
+                })
+            })
+            .unwrap_or((nominal_bps, (1, 1)));
         self.sessions.push(Session {
             client,
             source,
@@ -749,6 +1002,12 @@ impl StreamingServer {
             over_since: None,
             under_since: None,
         });
+        if self.checkpointing {
+            self.last_checkpoint.insert(client, now);
+            let last = self.sessions.last().expect("session was just pushed");
+            let ckpt = Self::ckpt_of(last, false);
+            self.journal_ckpt(now, ckpt);
+        }
     }
 
     /// Sends every packet that is due at `now` on every session.
@@ -757,6 +1016,10 @@ impl StreamingServer {
             if s.paused || s.eos_sent {
                 continue;
             }
+            // Set on any state transition worth journaling (rung change,
+            // end of stream); periodic progress checkpoints ride on
+            // `checkpoint_every` below.
+            let mut transition = false;
             let (packets, scripts, ended, packet_size): (
                 &[DataPacket],
                 &[lod_asf::ScriptCommand],
@@ -823,6 +1086,7 @@ impl StreamingServer {
                                         to_bps: s.effective_bps,
                                     },
                                 );
+                                transition = true;
                             }
                             s.over_since = Some(now);
                         }
@@ -853,6 +1117,7 @@ impl StreamingServer {
                                         to_bps: s.effective_bps,
                                     },
                                 );
+                                transition = true;
                             }
                             s.under_since = Some(now);
                         }
@@ -926,6 +1191,28 @@ impl StreamingServer {
             if ended && s.next_packet >= packets.len() {
                 let _ = net.send_reliable(self.node, s.client, 16, Wire::EndOfStream);
                 s.eos_sent = true;
+                transition = true;
+            }
+            // Journal inline (disjoint borrows: `s` is a live `&mut`
+            // into `self.sessions`, so no `&mut self` helper calls).
+            if self.checkpointing {
+                let due = self.checkpoint_every > 0
+                    && now
+                        .saturating_sub(self.last_checkpoint.get(&s.client).copied().unwrap_or(0))
+                        >= self.checkpoint_every;
+                if transition || due {
+                    self.last_checkpoint.insert(s.client, now);
+                    let ckpt = Self::ckpt_of(s, s.eos_sent);
+                    self.obs.emit(
+                        now,
+                        Event::Checkpoint {
+                            client: ckpt.client,
+                            horizon: ckpt.next_packet,
+                        },
+                    );
+                    self.metrics.checkpoints_emitted += 1;
+                    self.journal.append(now, ckpt);
+                }
             }
         }
         // Drop finished sessions, then reap the wedged stored ones: no
@@ -954,6 +1241,10 @@ impl StreamingServer {
                         client: reaped.client.index() as u64,
                     },
                 );
+                // Tombstone the replica too: a reaped session must not
+                // resurrect on the standby after a later failover.
+                self.last_checkpoint.remove(&reaped.client);
+                self.journal_ckpt(now, Self::ckpt_of(&reaped, true));
             }
         }
     }
@@ -1489,6 +1780,7 @@ pub(crate) mod tests {
             streams: base.streams.clone(),
             script: ScriptCommandList::new(),
             drm: None,
+            epoch: 0,
         };
         let mut feed = LiveFeed::new(header);
         for p in base.packets.clone() {
@@ -1519,6 +1811,7 @@ pub(crate) mod tests {
             streams: base.streams.clone(),
             script: ScriptCommandList::new(),
             drm: None,
+            epoch: 0,
         };
         let mut feed = LiveFeed::new(header);
         for p in base.packets.clone() {
@@ -1555,6 +1848,7 @@ pub(crate) mod tests {
             streams: file.streams.clone(),
             script: ScriptCommandList::new(),
             drm: None,
+            epoch: 0,
         };
         server.publish_live("live", LiveFeed::new(header));
         server.on_message(

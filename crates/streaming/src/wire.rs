@@ -15,6 +15,10 @@ pub struct StreamHeader {
     pub script: ScriptCommandList,
     /// DRM header when protected.
     pub drm: Option<DrmHeader>,
+    /// Fencing epoch of the serving origin. Monotonic across failovers:
+    /// a promoted standby serves at a strictly higher epoch, so any reply
+    /// carrying a lower epoch is provably from a deposed primary.
+    pub epoch: u64,
 }
 
 impl StreamHeader {
@@ -68,6 +72,13 @@ pub enum ControlRequest {
         /// Include the [`StreamHeader`] in the response (first fetch).
         want_header: bool,
     },
+    /// Heartbeat probe (standby → origin). Carries the prober's fencing
+    /// epoch: a primary that sees a *higher* epoch than its own learns it
+    /// has been deposed and demotes itself instead of serving split-brain.
+    Ping {
+        /// The prober's current fencing epoch.
+        epoch: u64,
+    },
 }
 
 /// One packet segment of stored content (origin → relay): a fixed-size run
@@ -99,6 +110,8 @@ pub struct SegmentData {
     /// Echo of the request's `at_time` (lets the relay match a
     /// time-resolving fetch to the session that asked for it).
     pub at_time: Option<u64>,
+    /// Fencing epoch of the serving origin (see [`StreamHeader::epoch`]).
+    pub epoch: u64,
 }
 
 impl SegmentData {
@@ -147,6 +160,13 @@ pub enum Wire {
         /// A less-loaded node to try instead, when known.
         alternate: Option<NodeId>,
     },
+    /// Heartbeat answer (origin → standby), echoing the responder's
+    /// fencing epoch. A missing Pong is the failure detector's signal; a
+    /// Pong carrying a *stale* epoch identifies a deposed rejoiner.
+    Pong {
+        /// The responder's current fencing epoch.
+        epoch: u64,
+    },
 }
 
 impl Wire {
@@ -162,6 +182,7 @@ impl Wire {
             Wire::Segment(s) => s.wire_bytes(),
             Wire::Redirect { .. } => 24,
             Wire::Busy { .. } => 32,
+            Wire::Pong { .. } => 16,
         }
     }
 }
@@ -185,6 +206,7 @@ mod tests {
             streams: vec![],
             script: ScriptCommandList::new(),
             drm: None,
+            epoch: 0,
         };
         let base = h.wire_bytes();
         let mut h2 = h.clone();
@@ -225,6 +247,7 @@ mod tests {
             header: None,
             start_packet: None,
             at_time: None,
+            epoch: 0,
         };
         assert_eq!(seg.wire_bytes(), 48 + 2 * 256);
         seg.header = Some(StreamHeader {
@@ -240,6 +263,7 @@ mod tests {
             streams: vec![],
             script: ScriptCommandList::new(),
             drm: None,
+            epoch: 0,
         });
         let with_header = seg.wire_bytes();
         assert_eq!(
@@ -271,5 +295,14 @@ mod tests {
             alternate: None,
         };
         assert_eq!(w.wire_bytes(1500), 32);
+    }
+
+    #[test]
+    fn heartbeats_are_small_control_messages() {
+        assert_eq!(
+            Wire::Request(ControlRequest::Ping { epoch: 7 }).wire_bytes(1500),
+            64
+        );
+        assert_eq!(Wire::Pong { epoch: 7 }.wire_bytes(1500), 16);
     }
 }

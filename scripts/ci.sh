@@ -53,4 +53,21 @@ for ext in json jsonl prom; do
 done
 echo "event log, exposition and report identical"
 
+echo "===== q12_failover determinism (two runs, byte-identical logs) ====="
+# The failover drill doubles as a determinism gate: a mid-lecture origin
+# crash, a heartbeat verdict and a promotion must land on the same tick
+# in both processes, or the three artifacts diverge.
+cargo run -q --offline -p lod-bench --bin q12_failover -- --seed 7 \
+    --json "$tmpdir/fa.json" --events "$tmpdir/fa.jsonl" --prom "$tmpdir/fa.prom" > /dev/null
+cargo run -q --offline -p lod-bench --bin q12_failover -- --seed 7 \
+    --json "$tmpdir/fb.json" --events "$tmpdir/fb.jsonl" --prom "$tmpdir/fb.prom" > /dev/null
+for ext in json jsonl prom; do
+    if ! cmp -s "$tmpdir/fa.$ext" "$tmpdir/fb.$ext"; then
+        echo "FAIL: two seed-7 failover runs diverged in .$ext (nondeterminism crept in)"
+        diff "$tmpdir/fa.$ext" "$tmpdir/fb.$ext" | head -20
+        exit 1
+    fi
+done
+echo "event log, exposition and report identical"
+
 echo "CI checks passed."

@@ -159,6 +159,7 @@ fn live_broadcast_becomes_video_on_demand() {
         streams: encoder.stream_properties(),
         script: encoder.script(),
         drm: None,
+        epoch: 0,
     };
     server.publish_live("live", LiveFeed::new(header));
     for sec in 1..=8u64 {
