@@ -5,8 +5,9 @@ use std::io::Write;
 use lod_asf::{read_asf, write_asf, License};
 use lod_content_tree::render_ascii;
 use lod_core::{
-    check_causal, parse_jsonl, session_timelines, synthetic_lecture, worst_by_stall, Abstractor,
-    AdmissionPolicy, DegradePolicy, FailoverConfig, Recorder, RelayTierConfig, Wmps,
+    check_causal, parse_jsonl, serve_loopback_udp, session_timelines, synthetic_lecture,
+    worst_by_stall, Abstractor, AdmissionPolicy, DegradePolicy, FailoverConfig, LoopbackConfig,
+    Recorder, RelayTierConfig, Wmps,
 };
 use lod_encoder::{evenly_spaced_deck, Annotation, Publisher, VideoFileSpec};
 use lod_media::{TickDuration, Ticks};
@@ -190,7 +191,8 @@ fn replay(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 
 /// `wmps serve <file.asf> [--students N] [--link lan|broadband|modem]
 /// [--seed N] [--relays K] [--max-sessions N] [--degrade on|off]
-/// [--standby] [--checkpoint-every N] [--metrics-out PATH]`
+/// [--standby] [--checkpoint-every N] [--metrics-out PATH]
+/// [--transport sim|udp]`
 ///
 /// With `--relays K`, students sit behind K edge relays that pull packet
 /// segments across the server link once and fan them out locally.
@@ -204,11 +206,27 @@ fn replay(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 /// `--metrics-out PATH` arms the structured event recorder and writes
 /// the Prometheus-style exposition to `PATH` and the JSONL event log to
 /// `PATH.jsonl` (feed that to `wmps report`).
+///
+/// `--transport udp` swaps the discrete-event simulator for the real
+/// thing: origin, relays (default 2) and every student run as threads
+/// on localhost UDP sockets, exercising datagram framing, pacing and
+/// reordering. Link shaping and the overload/standby knobs are
+/// simulator features and are ignored on udp.
 fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let path = args.positional(0, "<.asf path>")?;
     let bytes = std::fs::read(path)?;
     let file = read_asf(&bytes).map_err(|e| CliError::Content(e.to_string()))?;
     let students = args.num_or("students", 2usize)?;
+    match args.flag_or("transport", "sim").as_str() {
+        "sim" => {}
+        "udp" => return serve_udp(path, file, students, args, out),
+        other => {
+            return Err(CliError::BadValue {
+                flag: "--transport".into(),
+                value: other.to_string(),
+            })
+        }
+    }
     let link = link_by_name(&args.flag_or("link", "broadband"))?;
     let seed = args.num_or("seed", 7u64)?;
     let relays = args.num_or("relays", 0usize)?;
@@ -331,6 +349,60 @@ fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
             recorder.event_count()
         )?;
     }
+    Ok(())
+}
+
+/// The `--transport udp` arm of `serve`: a loopback deployment on real
+/// sockets (see `lod_core::serve_loopback_udp`).
+fn serve_udp(
+    path: &str,
+    file: lod_asf::AsfFile,
+    students: usize,
+    args: &Args,
+    out: &mut impl Write,
+) -> Result<(), CliError> {
+    let relays = args.num_or("relays", 0usize)?.max(1);
+    let cfg = LoopbackConfig {
+        relays,
+        clients: students,
+        ..LoopbackConfig::default()
+    };
+    let report = serve_loopback_udp(file, &cfg);
+    writeln!(
+        out,
+        "served {path} to {students} student(s) over loopback udp through {relays} relay(s):"
+    )?;
+    for (i, m) in report.clients.iter().enumerate() {
+        writeln!(
+            out,
+            "  student {i}: startup {:.0} ms, {} stalls, {} samples, {} bytes",
+            m.startup_ticks as f64 / 1e4,
+            m.stalls,
+            m.samples_rendered,
+            m.bytes_received
+        )?;
+    }
+    writeln!(
+        out,
+        "  outcome: {}/{} completed, {} abandoned, wall {:.2}s",
+        report.completed,
+        students,
+        report.abandoned,
+        report.wall.as_secs_f64()
+    )?;
+    writeln!(
+        out,
+        "  transport: {} frame(s) sent, {} received, {} reordered, {} skipped",
+        report.transport.frames_sent,
+        report.transport.frames_received,
+        report.reorder.out_of_order,
+        report.reorder.skipped
+    )?;
+    writeln!(
+        out,
+        "  relays: {} fetch(es) upstream; server served {} segment(s)",
+        report.relay.segment_fetches, report.server.segments_served
+    )?;
     Ok(())
 }
 
@@ -526,6 +598,44 @@ mod tests {
         assert!(text.contains("student 0"));
         assert!(text.contains("student 1"));
         assert!(text.contains("server:"));
+    }
+
+    #[test]
+    fn serve_rejects_an_unknown_transport() {
+        let path = tmp("transported.asf");
+        run(
+            &argv(&format!("publish {path} --duration-secs 10 --slides 1")),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let err = run(
+            &argv(&format!("serve {path} --transport carrier-pigeon")),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--transport"));
+    }
+
+    #[test]
+    fn serve_over_loopback_udp_reports_the_transport() {
+        let path = tmp("udp-served.asf");
+        run(
+            &argv(&format!("publish {path} --duration-secs 10 --slides 1")),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        run(
+            &argv(&format!(
+                "serve {path} --students 2 --relays 1 --transport udp"
+            )),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("loopback udp"), "{text}");
+        assert!(text.contains("2/2 completed, 0 abandoned"), "{text}");
+        assert!(text.contains("transport:"), "{text}");
     }
 
     #[test]

@@ -37,7 +37,7 @@ USAGE:
   wmps replay  <file.asf> [--license ID:KEY]
   wmps serve   <file.asf> [--students N] [--link lan|broadband|modem] [--seed N]
                [--relays K] [--max-sessions N] [--degrade on|off]
-               [--metrics-out PATH]
+               [--metrics-out PATH] [--transport sim|udp]
   wmps report  <events.jsonl> [--top N]
   wmps abstract [--seed N] [--minutes N] [--budget-secs N]
   wmps net     [--units N] [--streams N] [--sync-every N] | [--floor N]   # Graphviz DOT

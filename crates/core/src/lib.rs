@@ -29,6 +29,7 @@ pub mod abstractor;
 pub mod distributed;
 pub mod etpn;
 pub mod floor;
+pub mod loopback;
 pub mod presentation;
 pub mod replay;
 pub mod wmps;
@@ -37,6 +38,7 @@ pub use abstractor::Abstractor;
 pub use distributed::{run_classroom, ClassroomConfig, ClassroomReport};
 pub use etpn::{EtpnConfig, EtpnReport, LectureNet};
 pub use floor::{FloorControl, FloorReport, FloorRequest};
+pub use loopback::{serve_loopback_udp, LoopbackConfig, LoopbackReport};
 pub use presentation::{synthetic_lecture, Lecture, OutlineEntry};
 pub use replay::{ReplayConfig, ReplayReport, SyncModelKind};
 pub use wmps::{

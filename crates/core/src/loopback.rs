@@ -1,0 +1,280 @@
+//! Loopback deployment: the relay tier as real threads on real sockets.
+//!
+//! [`serve_loopback_udp`] stands up the same origin → relay → student
+//! topology that [`crate::Wmps::serve_with_relays`] simulates, except
+//! every node is an OS thread driving a [`UdpTransport`] over
+//! `127.0.0.1` sockets. The state machines are the *same types* the
+//! simulator runs — `StreamingServer`, `RelayNode`, `StreamingClient` —
+//! reached through the [`Transport`] trait, so a lecture that completes
+//! here demonstrates the whole protocol stack survives contact with an
+//! actual kernel: datagram framing, reordering, pacing, and wall-clock
+//! scheduling.
+//!
+//! Clocking: all threads share one epoch `Instant` and convert elapsed
+//! wall time to ticks through a common acceleration factor, so a
+//! minutes-long lecture plays out in seconds while every state machine
+//! still sees a consistent tick timeline. The run is therefore only
+//! statistically reproducible — it is gated on *outcomes* (every client
+//! finishes, nobody is abandoned, sample counts reconcile with a simnet
+//! run of the same file), never on byte-diffs.
+
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use lod_asf::AsfFile;
+use lod_relay::{RelayMetrics, RelayNode};
+use lod_simnet::NodeId;
+use lod_streaming::wire::Wire;
+use lod_streaming::{ClientMetrics, ServerMetrics, StreamingClient, StreamingServer};
+use lod_transport::{ReorderStats, Transport, TransportStats, UdpConfig, UdpTransport};
+
+/// Knobs for a [`serve_loopback_udp`] run.
+#[derive(Debug, Clone)]
+pub struct LoopbackConfig {
+    /// Edge relays between the origin and the students.
+    pub relays: usize,
+    /// Student clients, split round-robin across the relays.
+    pub clients: usize,
+    /// Socket-level transport knobs applied to every node.
+    pub udp: UdpConfig,
+    /// Packets per fetched segment at the origin. Sized so a whole
+    /// segment fits one UDP datagram under `udp.max_frame_bytes`
+    /// (32 × 1400 B ≈ 45 KiB against the 60 KiB default cap).
+    pub segment_packets: u32,
+    /// Wall-to-tick acceleration: each elapsed wall second advances the
+    /// shared clock by `accel` tick-seconds, so a lecture plays out
+    /// `accel`× faster than real time.
+    pub accel: u64,
+    /// Hard wall-clock ceiling; threads that have not finished by then
+    /// stop and report whatever state they reached.
+    pub wall_deadline: Duration,
+}
+
+impl Default for LoopbackConfig {
+    fn default() -> Self {
+        Self {
+            relays: 2,
+            clients: 32,
+            udp: UdpConfig {
+                // Real pacing, high enough to never be the bottleneck
+                // for a short lecture but low enough to smooth segment
+                // fan-out below the kernel's socket-buffer burst size.
+                pace_rate_bps: 200_000_000,
+                ..UdpConfig::default()
+            },
+            segment_packets: 32,
+            accel: 40,
+            wall_deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+/// What a loopback deployment run produced.
+#[derive(Debug, Clone)]
+pub struct LoopbackReport {
+    /// Per-client playback metrics, in client order.
+    pub clients: Vec<ClientMetrics>,
+    /// Origin server metrics.
+    pub server: ServerMetrics,
+    /// Relay metrics summed across the tier.
+    pub relay: RelayMetrics,
+    /// Socket traffic counters summed across every node.
+    pub transport: TransportStats,
+    /// Reorder-buffer counters merged across every node.
+    pub reorder: ReorderStats,
+    /// Clients whose playback ran to completion.
+    pub completed: usize,
+    /// Clients that gave up (must be 0 on a healthy loopback).
+    pub abandoned: usize,
+    /// Wall time the deployment ran for.
+    pub wall: Duration,
+}
+
+/// Shared address book: every node's socket address, indexed like the
+/// node ids (0 = origin, 1..=relays = relays, rest = clients).
+type AddressBook = Arc<Vec<(NodeId, SocketAddr)>>;
+
+fn ticks_since(epoch: Instant, accel: u64) -> u64 {
+    // 1 tick = 100 ns of *simulated* time; one wall nanosecond counts
+    // `accel` times over.
+    let nanos = epoch.elapsed().as_nanos() as u64;
+    (nanos / 100).saturating_mul(accel)
+}
+
+fn transport_for(
+    node: NodeId,
+    socket: UdpSocket,
+    book: &AddressBook,
+    udp: UdpConfig,
+) -> UdpTransport<Wire> {
+    let mut t = UdpTransport::from_socket(node, socket, udp).expect("socket already bound");
+    for &(peer, addr) in book.iter() {
+        if peer != node {
+            t.register_peer(peer, addr);
+        }
+    }
+    t
+}
+
+/// Serves `file` through an origin + relay tier + clients, each a real
+/// thread on a real localhost UDP socket, until every client finishes
+/// (or the wall deadline passes).
+///
+/// # Panics
+///
+/// Panics when localhost sockets cannot be bound or a node thread
+/// panics — both mean the host cannot run the deployment at all.
+pub fn serve_loopback_udp(file: AsfFile, cfg: &LoopbackConfig) -> LoopbackReport {
+    assert!(cfg.relays > 0, "a relay tier needs at least one relay");
+    assert!(cfg.accel > 0, "acceleration must be positive");
+    let n_nodes = 1 + cfg.relays + cfg.clients;
+    // Bind every socket up front on the main thread: `UdpTransport` is
+    // not `Send` (it can carry an `Rc` recorder), but a bare
+    // `UdpSocket` is, so each thread assembles its own transport from
+    // a pre-bound socket and the shared address book.
+    let mut sockets = Vec::with_capacity(n_nodes);
+    let mut book = Vec::with_capacity(n_nodes);
+    for i in 0..n_nodes {
+        let node = NodeId::from_index(i);
+        let socket = UdpSocket::bind("127.0.0.1:0").expect("bind loopback socket");
+        book.push((node, socket.local_addr().expect("bound socket has addr")));
+        sockets.push(socket);
+    }
+    let book: AddressBook = Arc::new(book);
+    let origin = book[0].0;
+    let relay_ids: Vec<NodeId> = (1..=cfg.relays).map(|i| book[i].0).collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let epoch = Instant::now();
+    let accel = cfg.accel;
+    let udp = cfg.udp;
+    let deadline = cfg.wall_deadline;
+
+    let mut sockets = sockets.into_iter();
+
+    // Origin thread: publish, then serve whatever the relays fetch.
+    let origin_thread = {
+        let socket = sockets.next().expect("origin socket");
+        let book = Arc::clone(&book);
+        let stop = Arc::clone(&stop);
+        let segment_packets = cfg.segment_packets;
+        let file = file.clone();
+        thread::spawn(move || {
+            let mut t = transport_for(origin, socket, &book, udp);
+            let mut server = StreamingServer::new(origin).with_segment_packets(segment_packets);
+            server.publish("lecture", file);
+            while !stop.load(Ordering::Relaxed) {
+                let now = ticks_since(epoch, accel);
+                t.set_manual_now(now);
+                for d in t.poll(now) {
+                    server.on_message(&mut t, d.time, d.src, d.message);
+                }
+                server.poll(&mut t, now);
+                thread::sleep(Duration::from_micros(200));
+            }
+            (server.metrics(), *t.stats(), t.reorder_stats())
+        })
+    };
+
+    // Relay threads: pull segments from the origin, fan out locally.
+    let relay_threads: Vec<_> = relay_ids
+        .iter()
+        .map(|&me| {
+            let socket = sockets.next().expect("relay socket");
+            let book = Arc::clone(&book);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut t = transport_for(me, socket, &book, udp);
+                let mut relay = RelayNode::new(me, origin, 64 << 20).with_prefetch(true);
+                relay.serve_vod("lecture");
+                while !stop.load(Ordering::Relaxed) {
+                    let now = ticks_since(epoch, accel);
+                    t.set_manual_now(now);
+                    for d in t.poll(now) {
+                        relay.on_message(&mut t, d.time, d.src, d.message);
+                    }
+                    relay.poll(&mut t, now);
+                    thread::sleep(Duration::from_micros(200));
+                }
+                (relay.metrics(), *t.stats(), t.reorder_stats())
+            })
+        })
+        .collect();
+
+    // Client threads: play at an assigned relay until done.
+    let client_threads: Vec<_> = (0..cfg.clients)
+        .map(|i| {
+            let me = book[1 + cfg.relays + i].0;
+            let home = relay_ids[i % relay_ids.len()];
+            let socket = sockets.next().expect("client socket");
+            let book = Arc::clone(&book);
+            thread::spawn(move || {
+                let mut t = transport_for(me, socket, &book, udp);
+                let mut c = StreamingClient::new(me, home, "lecture");
+                t.set_manual_now(ticks_since(epoch, accel));
+                c.start(&mut t);
+                loop {
+                    let now = ticks_since(epoch, accel);
+                    t.set_manual_now(now);
+                    for d in t.poll(now) {
+                        c.on_message(d.time, d.message);
+                    }
+                    c.tick(now);
+                    c.poll_adaptive(&mut t);
+                    c.poll_redirect(&mut t);
+                    c.poll_busy(&mut t, now);
+                    c.poll_recovery(&mut t, now);
+                    if c.is_done() || c.is_abandoned() || epoch.elapsed() >= deadline {
+                        break;
+                    }
+                    thread::sleep(Duration::from_micros(200));
+                }
+                (*c.metrics(), c.is_done(), *t.stats(), t.reorder_stats())
+            })
+        })
+        .collect();
+
+    let mut clients = Vec::with_capacity(cfg.clients);
+    let mut transport = TransportStats::default();
+    let mut reorder = ReorderStats::default();
+    let mut completed = 0;
+    let mut abandoned = 0;
+    for h in client_threads {
+        let (metrics, done, tstats, rstats) = h.join().expect("client thread");
+        transport.merge(&tstats);
+        reorder.merge(&rstats);
+        if done {
+            completed += 1;
+        }
+        if metrics.abandoned {
+            abandoned += 1;
+        }
+        clients.push(metrics);
+    }
+    // All clients have exited; wind down the tier.
+    stop.store(true, Ordering::Relaxed);
+    let mut relay = RelayMetrics::default();
+    for h in relay_threads {
+        let (metrics, tstats, rstats) = h.join().expect("relay thread");
+        relay += metrics;
+        transport.merge(&tstats);
+        reorder.merge(&rstats);
+    }
+    let (server, tstats, rstats) = origin_thread.join().expect("origin thread");
+    transport.merge(&tstats);
+    reorder.merge(&rstats);
+
+    LoopbackReport {
+        clients,
+        server,
+        relay,
+        transport,
+        reorder,
+        completed,
+        abandoned,
+        wall: epoch.elapsed(),
+    }
+}

@@ -1,0 +1,74 @@
+//! The loopback deployment drill: origin + 2 relays + 32 clients as
+//! real threads on localhost UDP sockets, completing a published
+//! lecture, with sample counts reconciling against a simnet run of the
+//! same file and tier shape.
+//!
+//! Ignored by default (it binds 35 sockets and runs for wall seconds);
+//! `scripts/ci.sh` runs it explicitly under a hard timeout.
+
+use lod_core::{serve_loopback_udp, synthetic_lecture, LoopbackConfig, RelayTierConfig, Wmps};
+use lod_simnet::LinkSpec;
+
+#[test]
+#[ignore = "real sockets + wall clock; run explicitly (ci.sh does)"]
+fn loopback_udp_lecture_completes_and_reconciles_with_simnet() {
+    let wmps = Wmps::new();
+    let lecture = synthetic_lecture(1, 1, 300_000);
+    let file = wmps.publish(&lecture).expect("publish");
+
+    let cfg = LoopbackConfig::default();
+    assert_eq!(cfg.relays, 2);
+    assert_eq!(cfg.clients, 32);
+    let report = serve_loopback_udp(file.clone(), &cfg);
+
+    // Outcome gates: everyone finishes, nobody gives up or is shed.
+    assert_eq!(
+        report.abandoned, 0,
+        "no session may be abandoned on loopback: {report:?}"
+    );
+    assert_eq!(
+        report.completed, cfg.clients,
+        "every client must complete: {report:?}"
+    );
+    assert!(report.clients.iter().all(|c| !c.shed));
+
+    // The tier actually did tier work: relays fetched from the origin
+    // and the sockets moved real traffic.
+    assert!(report.relay.segment_fetches > 0, "{:?}", report.relay);
+    assert!(report.server.segments_served > 0, "{:?}", report.server);
+    assert!(report.transport.frames_sent > 0);
+    assert!(report.transport.frames_received > 0);
+    assert_eq!(report.transport.decode_errors, 0, "{:?}", report.transport);
+    assert_eq!(report.transport.oversize_drops, 0, "{:?}", report.transport);
+
+    // Reconcile with the simulator: the same file through the same tier
+    // shape must render the same number of samples per student — the
+    // transport must not change *what* plays, only *how* it travels.
+    let sim = wmps.serve_with_relays(
+        file,
+        LinkSpec::lan(),
+        LinkSpec::lan(),
+        cfg.clients,
+        7,
+        &RelayTierConfig {
+            relays: cfg.relays,
+            ..RelayTierConfig::default()
+        },
+    );
+    let sim_samples = sim.clients[0].samples_rendered;
+    assert!(sim_samples > 0);
+    assert!(
+        sim.clients
+            .iter()
+            .all(|c| c.samples_rendered == sim_samples),
+        "simnet baseline must be uniform"
+    );
+    for (i, c) in report.clients.iter().enumerate() {
+        assert_eq!(
+            c.samples_rendered, sim_samples,
+            "client {i} rendered {} samples, simnet rendered {sim_samples}",
+            c.samples_rendered
+        );
+        assert_eq!(c.samples_lost, 0, "client {i}: {c:?}");
+    }
+}

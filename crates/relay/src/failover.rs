@@ -11,8 +11,9 @@
 //! is what prevents split-brain.
 
 use lod_obs::{Event, Recorder};
-use lod_simnet::{Network, NodeId};
+use lod_simnet::NodeId;
 use lod_streaming::wire::{ControlRequest, Wire};
+use lod_transport::Transport;
 
 /// Knobs for origin failure detection and standby replication.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,7 +114,7 @@ impl HeartbeatMonitor {
     /// Sends the next heartbeat when due and accounts the silence since
     /// the previous one. Returns `true` exactly once — on the poll that
     /// crosses the miss threshold and declares the target dead.
-    pub fn poll(&mut self, net: &mut Network<Wire>, now: u64) -> bool {
+    pub fn poll(&mut self, net: &mut impl Transport<Wire>, now: u64) -> bool {
         if now < self.next_ping_at {
             return false;
         }
@@ -163,6 +164,7 @@ impl HeartbeatMonitor {
 mod tests {
     use super::*;
     use lod_simnet::LinkSpec;
+    use lod_simnet::Network;
     use lod_streaming::StreamingServer;
 
     const BEAT: u64 = 2_000_000;
@@ -271,6 +273,152 @@ mod tests {
             "healed primary must demote on a higher epoch"
         );
         assert_eq!(srv.epoch(), 2);
+    }
+
+    // A Pong that limps in *after* the miss threshold declared the target
+    // dead, but *before* the driver promotes the standby, is the nastiest
+    // heartbeat race: if it resurrected the target or re-armed the death
+    // edge, the driver would promote twice and mint conflicting epochs.
+    #[test]
+    fn delayed_pong_after_death_does_not_redeclare_on_simnet() {
+        let (mut net, origin, standby) = world();
+        let cfg = FailoverConfig::default();
+        let mut mon = HeartbeatMonitor::new(standby, origin, cfg);
+        // Silence until the verdict.
+        let died = drive(&mut net, None, &mut mon, origin, standby, 0, 10 * BEAT);
+        assert!(died);
+        assert!(mon.is_dead());
+        // The long-delayed answer to an early ping finally arrives,
+        // through the network, after the verdict.
+        let late = Wire::Pong { epoch: 1 };
+        let bytes = late.wire_bytes(0);
+        net.send_reliable(origin, standby, bytes, late).unwrap();
+        let died_again = drive(
+            &mut net,
+            None,
+            &mut mon,
+            origin,
+            standby,
+            10 * BEAT + 1,
+            30 * BEAT,
+        );
+        assert!(
+            !died_again,
+            "death is edge-triggered; a late pong must not re-arm it"
+        );
+        assert!(mon.is_dead(), "a late pong must not resurrect the target");
+        assert_eq!(mon.misses(), 0, "the pong still clears the miss run");
+        // Promotion fencing then proceeds exactly once, at the promotion
+        // epoch, with no second death report to trigger a re-promotion.
+        mon.fence(origin, 2);
+        let died_after_fence = drive(
+            &mut net,
+            None,
+            &mut mon,
+            origin,
+            standby,
+            30 * BEAT + 1,
+            40 * BEAT,
+        );
+        assert!(!died_after_fence);
+    }
+
+    // The same race on real sockets: the monitor runs over a
+    // `UdpTransport` with a manual clock, the "origin" is a raw socket
+    // that answers its oldest ping only after the death verdict.
+    #[test]
+    fn delayed_pong_after_death_does_not_redeclare_on_udp() {
+        use lod_transport::{decode_frame, encode_frame, UdpConfig, UdpTransport, WireCodec};
+        use std::net::UdpSocket;
+        use std::time::{Duration, Instant};
+
+        let origin = NodeId::from_index(0);
+        let standby = NodeId::from_index(1);
+        let mut udp: UdpTransport<Wire> =
+            UdpTransport::bind_localhost(standby, UdpConfig::default()).unwrap();
+        let origin_sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        origin_sock.set_nonblocking(true).unwrap();
+        udp.register_peer(origin, origin_sock.local_addr().unwrap());
+
+        let cfg = FailoverConfig::default();
+        let mut mon = HeartbeatMonitor::new(standby, origin, cfg);
+        let mut deaths = 0;
+        let mut t = 0u64;
+        while deaths == 0 && t <= 10 * BEAT {
+            udp.set_manual_now(t);
+            if mon.poll(&mut udp, t) {
+                deaths += 1;
+            }
+            for d in udp.poll(t) {
+                if let Wire::Pong { .. } = d.message {
+                    mon.on_pong(d.time);
+                }
+            }
+            t += BEAT;
+        }
+        assert_eq!(deaths, 1);
+        assert!(mon.is_dead());
+
+        // The origin's socket holds the unanswered pings; answer now,
+        // long after the verdict.
+        std::thread::sleep(Duration::from_millis(20));
+        let mut buf = [0u8; 2048];
+        let mut last_ping_seq = 0;
+        let mut reply_to = None;
+        while let Ok((n, from)) = origin_sock.recv_from(&mut buf) {
+            let (hdr, payload) = decode_frame(&buf[..n]).unwrap();
+            let wire = Wire::from_frame_payload(payload).unwrap();
+            assert!(matches!(
+                wire,
+                Wire::Request(ControlRequest::Ping { epoch: 0 })
+            ));
+            last_ping_seq = hdr.seq;
+            reply_to = Some(from);
+        }
+        assert!(last_ping_seq >= u64::from(cfg.miss_threshold));
+        let pong = Wire::Pong { epoch: 1 };
+        let frame = encode_frame(1, t, true, &pong.to_frame_payload());
+        origin_sock.send_to(&frame, reply_to.unwrap()).unwrap();
+
+        // Keep beating while the delayed pong crosses the loopback.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut got_pong = false;
+        while !got_pong {
+            assert!(Instant::now() < deadline, "delayed pong never delivered");
+            t += BEAT;
+            udp.set_manual_now(t);
+            assert!(
+                !mon.poll(&mut udp, t),
+                "late pong must not re-arm the death edge"
+            );
+            for d in udp.poll(t) {
+                if let Wire::Pong { .. } = d.message {
+                    mon.on_pong(d.time);
+                    got_pong = true;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(mon.is_dead(), "a late pong must not resurrect the target");
+        assert_eq!(mon.misses(), 0);
+
+        // Fencing after promotion: exactly one epoch on the wire, the
+        // promotion epoch — no conflict from the resurrected-looking peer.
+        mon.fence(origin, 2);
+        t += BEAT;
+        udp.set_manual_now(t);
+        assert!(!mon.poll(&mut udp, t));
+        std::thread::sleep(Duration::from_millis(20));
+        let mut fenced_epoch = None;
+        while let Ok((n, _)) = origin_sock.recv_from(&mut buf) {
+            let (_, payload) = decode_frame(&buf[..n]).unwrap();
+            if let Wire::Request(ControlRequest::Ping { epoch }) =
+                Wire::from_frame_payload(payload).unwrap()
+            {
+                fenced_epoch = Some(epoch);
+            }
+        }
+        assert_eq!(fenced_epoch, Some(2));
     }
 
     #[test]

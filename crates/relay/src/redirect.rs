@@ -9,8 +9,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use lod_simnet::{Network, NodeId};
+use lod_simnet::NodeId;
 use lod_streaming::wire::{ControlRequest, Wire};
+use lod_transport::Transport;
 
 /// Assigns sessions to relays and re-homes them on failure.
 #[derive(Debug)]
@@ -126,7 +127,7 @@ impl RedirectManager {
     /// `StreamingServer::on_message` for it. Everything except a first
     /// Play from a student (relay fetches, control on origin-homed
     /// sessions) passes through.
-    pub fn intercept(&mut self, net: &mut Network<Wire>, from: NodeId, msg: &Wire) -> bool {
+    pub fn intercept(&mut self, net: &mut impl Transport<Wire>, from: NodeId, msg: &Wire) -> bool {
         if self.relays.contains(&from) {
             return false; // relay ↔ origin traffic is never redirected
         }
@@ -159,7 +160,7 @@ impl RedirectManager {
     /// Marks `relay` failed and re-points every client it carried at the
     /// least-loaded survivor (or the origin). Returns the clients that
     /// were re-homed; the redirects are already on the wire.
-    pub fn fail_relay(&mut self, net: &mut Network<Wire>, relay: NodeId) -> Vec<NodeId> {
+    pub fn fail_relay(&mut self, net: &mut impl Transport<Wire>, relay: NodeId) -> Vec<NodeId> {
         if !self.failed.insert(relay) {
             return Vec::new();
         }
@@ -191,7 +192,11 @@ impl RedirectManager {
     /// their uplinks separately. Returns the re-homed clients in sorted
     /// order (the same determinism discipline as [`Self::fail_relay`]:
     /// redirect order must not depend on map iteration).
-    pub fn retarget_origin(&mut self, net: &mut Network<Wire>, standby: NodeId) -> Vec<NodeId> {
+    pub fn retarget_origin(
+        &mut self,
+        net: &mut impl Transport<Wire>,
+        standby: NodeId,
+    ) -> Vec<NodeId> {
         let old = self.origin;
         self.origin = standby;
         let mut stranded: Vec<NodeId> = self
@@ -215,6 +220,7 @@ impl RedirectManager {
 mod tests {
     use super::*;
     use lod_simnet::LinkSpec;
+    use lod_simnet::Network;
 
     fn world() -> (Network<Wire>, NodeId, Vec<NodeId>, Vec<NodeId>) {
         let mut net = Network::new(7);

@@ -18,9 +18,10 @@ use std::collections::{HashMap, HashSet};
 
 use lod_asf::{DataPacket, ScriptCommand};
 use lod_obs::{Event, Recorder};
-use lod_simnet::{Network, NodeId, TokenBucket};
+use lod_simnet::{NodeId, TokenBucket};
 use lod_streaming::wire::{ControlRequest, SegmentData, StreamHeader, Wire};
 use lod_streaming::{AdmissionPolicy, BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};
+use lod_transport::Transport;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{CachedSegment, SegmentCache};
@@ -330,7 +331,13 @@ impl RelayNode {
     }
 
     /// Handles a message delivered to the relay at `now`.
-    pub fn on_message(&mut self, net: &mut Network<Wire>, now: u64, from: NodeId, msg: Wire) {
+    pub fn on_message(
+        &mut self,
+        net: &mut impl Transport<Wire>,
+        now: u64,
+        from: NodeId,
+        msg: Wire,
+    ) {
         if from == self.origin {
             match msg {
                 Wire::Segment(seg) => self.on_segment(net, now, seg),
@@ -359,7 +366,13 @@ impl RelayNode {
         }
     }
 
-    fn on_request(&mut self, net: &mut Network<Wire>, now: u64, from: NodeId, req: ControlRequest) {
+    fn on_request(
+        &mut self,
+        net: &mut impl Transport<Wire>,
+        now: u64,
+        from: NodeId,
+        req: ControlRequest,
+    ) {
         match req {
             ControlRequest::Play {
                 content,
@@ -426,7 +439,7 @@ impl RelayNode {
     /// re-anchor an existing seat rather than claiming a new one.
     fn refuse_if_over_budget(
         &mut self,
-        net: &mut Network<Wire>,
+        net: &mut impl Transport<Wire>,
         now: u64,
         from: NodeId,
         content: &str,
@@ -501,7 +514,7 @@ impl RelayNode {
 
     fn start_vod(
         &mut self,
-        net: &mut Network<Wire>,
+        net: &mut impl Transport<Wire>,
         now: u64,
         client: NodeId,
         content: &str,
@@ -553,7 +566,7 @@ impl RelayNode {
 
     fn start_live_sub(
         &mut self,
-        net: &mut Network<Wire>,
+        net: &mut impl Transport<Wire>,
         now: u64,
         client: NodeId,
         content: &str,
@@ -625,7 +638,12 @@ impl RelayNode {
     /// Runs the fetch gate for `key`; returns `false` when nothing should
     /// be sent (either too soon, or the budget is gone — in which case
     /// the content's waiters have been told NotFound).
-    fn admit_fetch(&mut self, net: &mut Network<Wire>, now: u64, key: &(String, u32)) -> bool {
+    fn admit_fetch(
+        &mut self,
+        net: &mut impl Transport<Wire>,
+        now: u64,
+        key: &(String, u32),
+    ) -> bool {
         match self.fetch_gate(key, now) {
             FetchGate::Wait => false,
             FetchGate::GiveUp => {
@@ -709,7 +727,7 @@ impl RelayNode {
 
     fn request_segment(
         &mut self,
-        net: &mut Network<Wire>,
+        net: &mut impl Transport<Wire>,
         now: u64,
         content: &str,
         segment: u32,
@@ -735,7 +753,7 @@ impl RelayNode {
     /// re-anchors every session waiting on that time.
     fn request_time_resolved(
         &mut self,
-        net: &mut Network<Wire>,
+        net: &mut impl Transport<Wire>,
         now: u64,
         content: &str,
         at: u64,
@@ -772,7 +790,7 @@ impl RelayNode {
         }
     }
 
-    fn on_segment(&mut self, net: &mut Network<Wire>, now: u64, seg: SegmentData) {
+    fn on_segment(&mut self, net: &mut impl Transport<Wire>, now: u64, seg: SegmentData) {
         self.breaker_success(now);
         self.metrics.upstream_bytes_received += seg.wire_bytes();
         self.inflight.remove(&(seg.content.clone(), seg.segment));
@@ -843,7 +861,7 @@ impl RelayNode {
         }
     }
 
-    fn on_live_header(&mut self, net: &mut Network<Wire>, _now: u64, h: StreamHeader) {
+    fn on_live_header(&mut self, net: &mut impl Transport<Wire>, _now: u64, h: StreamHeader) {
         let Some(content) = self.upstream_live.clone() else {
             return;
         };
@@ -892,7 +910,7 @@ impl RelayNode {
         }
     }
 
-    fn on_not_found(&mut self, net: &mut Network<Wire>, name: &str) {
+    fn on_not_found(&mut self, net: &mut impl Transport<Wire>, name: &str) {
         // The origin does not know this content: pass the verdict on to
         // every waiting session and drop them.
         for s in &self.sessions {
@@ -907,12 +925,12 @@ impl RelayNode {
     /// Sends everything due at `now`: cached VoD packets per session, live
     /// fan-out per subscriber, and segment fetches for whatever is about
     /// to be needed.
-    pub fn poll(&mut self, net: &mut Network<Wire>, now: u64) {
+    pub fn poll(&mut self, net: &mut impl Transport<Wire>, now: u64) {
         self.poll_vod(net, now);
         self.poll_live(net, now);
     }
 
-    fn poll_vod(&mut self, net: &mut Network<Wire>, now: u64) {
+    fn poll_vod(&mut self, net: &mut impl Transport<Wire>, now: u64) {
         // Re-drive sessions still waiting on the origin (no header yet, or
         // a pending time anchor): the fetch gate dedups, paces the
         // retries, and eventually abandons them. Without this, a fetch
@@ -1035,7 +1053,7 @@ impl RelayNode {
         }
     }
 
-    fn poll_live(&mut self, net: &mut Network<Wire>, now: u64) {
+    fn poll_live(&mut self, net: &mut impl Transport<Wire>, now: u64) {
         for feed in self.live.values_mut() {
             let packet_size = feed
                 .header
@@ -1082,6 +1100,7 @@ impl RelayNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lod_simnet::Network;
     use lod_simnet::{relay_tree, LinkSpec, RelayTree};
     use lod_streaming::{StreamingClient, StreamingServer};
 
@@ -1123,7 +1142,7 @@ mod tests {
 
     /// Drives origin + one relay + clients until all clients finish.
     fn drive(
-        net: &mut Network<Wire>,
+        net: &mut impl Transport<Wire>,
         origin: &mut StreamingServer,
         relay: &mut RelayNode,
         clients: &mut [&mut StreamingClient],
@@ -1136,7 +1155,7 @@ mod tests {
         while now <= horizon {
             origin.poll(net, now);
             relay.poll(net, now);
-            for d in net.advance_to(now) {
+            for d in net.poll(now) {
                 if d.dst == origin.node() {
                     origin.on_message(net, d.time, d.src, d.message);
                 } else if d.dst == relay.node() {

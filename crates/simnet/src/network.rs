@@ -22,6 +22,15 @@ impl NodeId {
     pub fn index(&self) -> usize {
         self.0
     }
+
+    /// Reconstructs a node id from a raw index. Real transport backends
+    /// (e.g. `lod-transport`'s UDP sockets) carry node identity over the
+    /// wire as a plain integer and need to rebuild the id on receive;
+    /// inside the simulator ids are only ever minted by
+    /// [`Network::add_node`].
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index)
+    }
 }
 
 impl fmt::Display for NodeId {

@@ -5,7 +5,8 @@ use std::collections::BTreeMap;
 use lod_asf::{AsfError, MediaSample, Reassembler, ScriptCommand, ScriptCommandList};
 use lod_media::{MediaClock, Ticks};
 use lod_obs::{Event, Recorder};
-use lod_simnet::{Network, NodeId};
+use lod_simnet::NodeId;
+use lod_transport::Transport;
 
 use crate::metrics::ClientMetrics;
 use crate::retry::RetryPolicy;
@@ -231,7 +232,7 @@ impl StreamingClient {
     /// streams and drops already-buffered samples of other streams.
     /// Drivers call this each scheduling round; it is a no-op until the
     /// threshold trips, and fires at most once.
-    pub fn poll_adaptive(&mut self, net: &mut Network<Wire>) {
+    pub fn poll_adaptive(&mut self, net: &mut impl Transport<Wire>) {
         let Some((threshold, fallback)) = self.adaptive.clone() else {
             return;
         };
@@ -279,7 +280,7 @@ impl StreamingClient {
     }
 
     /// Sends the initial Play request.
-    pub fn start(&mut self, net: &mut Network<Wire>) {
+    pub fn start(&mut self, net: &mut impl Transport<Wire>) {
         if self.state != ClientState::Idle {
             return;
         }
@@ -304,7 +305,7 @@ impl StreamingClient {
 
     /// Requests a pause: freezes the local clock and tells the server to
     /// stop sending.
-    pub fn pause(&mut self, net: &mut Network<Wire>, now: u64) {
+    pub fn pause(&mut self, net: &mut impl Transport<Wire>, now: u64) {
         if self.state == ClientState::Playing {
             self.clock.pause(Ticks(now));
             self.user_paused = true;
@@ -315,7 +316,7 @@ impl StreamingClient {
     }
 
     /// Resumes after [`StreamingClient::pause`].
-    pub fn resume(&mut self, net: &mut Network<Wire>, now: u64) {
+    pub fn resume(&mut self, net: &mut impl Transport<Wire>, now: u64) {
         if self.state == ClientState::Playing && !self.clock.is_running() {
             self.clock.resume(Ticks(now));
             self.user_paused = false;
@@ -334,7 +335,7 @@ impl StreamingClient {
     /// Seeks to presentation time `target`: drops the local buffer, asks
     /// the server to resume from the seek point (it consults the ASF
     /// index), and rebuffers.
-    pub fn seek(&mut self, net: &mut Network<Wire>, now: u64, target: u64) {
+    pub fn seek(&mut self, net: &mut impl Transport<Wire>, now: u64, target: u64) {
         if matches!(self.state, ClientState::Idle | ClientState::Done) {
             return;
         }
@@ -504,7 +505,7 @@ impl StreamingClient {
     /// stopped. Message handlers have no network access, so drivers call
     /// this each scheduling round (like [`StreamingClient::poll_adaptive`]).
     /// Returns whether a handoff happened.
-    pub fn poll_redirect(&mut self, net: &mut Network<Wire>) -> bool {
+    pub fn poll_redirect(&mut self, net: &mut impl Transport<Wire>) -> bool {
         let Some(to) = self.pending_redirect.take() else {
             return false;
         };
@@ -542,7 +543,7 @@ impl StreamingClient {
     /// `retry_after` has elapsed. Drivers call this each scheduling round
     /// (like [`StreamingClient::poll_recovery`]). Returns whether a
     /// re-Play went out.
-    pub fn poll_busy(&mut self, net: &mut Network<Wire>, now: u64) -> bool {
+    pub fn poll_busy(&mut self, net: &mut impl Transport<Wire>, now: u64) -> bool {
         let Some(due) = self.busy_until else {
             return false;
         };
@@ -576,7 +577,7 @@ impl StreamingClient {
     /// without [`StreamingClient::with_retry`], before start, after EOS,
     /// and during a user pause. Drivers call this each scheduling round.
     /// Returns whether a retry was sent.
-    pub fn poll_recovery(&mut self, net: &mut Network<Wire>, now: u64) -> bool {
+    pub fn poll_recovery(&mut self, net: &mut impl Transport<Wire>, now: u64) -> bool {
         if matches!(self.state, ClientState::Idle | ClientState::Done)
             || self.user_paused
             || self.eos
@@ -789,6 +790,7 @@ mod tests {
     use crate::server::tests::test_file;
     use crate::server::StreamingServer;
     use lod_simnet::LinkSpec;
+    use lod_simnet::Network;
 
     fn world(link: LinkSpec) -> (Network<Wire>, StreamingServer, StreamingClient) {
         let mut net = Network::new(77);

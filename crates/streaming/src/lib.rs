@@ -61,6 +61,7 @@
 
 pub mod checkpoint;
 pub mod client;
+pub mod codec;
 pub mod metrics;
 pub mod retry;
 pub mod server;

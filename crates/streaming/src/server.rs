@@ -5,7 +5,8 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use lod_asf::{AsfFile, DataPacket, StreamKind};
 use lod_encoder::BandwidthProfile;
 use lod_obs::{Event, Recorder};
-use lod_simnet::{Network, NodeId, TokenBucket};
+use lod_simnet::{NodeId, TokenBucket};
+use lod_transport::Transport;
 
 use crate::checkpoint::{JournalEntry, SessionCheckpoint, SessionJournal, StandbyState};
 use crate::metrics::ServerMetrics;
@@ -645,7 +646,13 @@ impl StreamingServer {
     }
 
     /// Handles an incoming message at `now`.
-    pub fn on_message(&mut self, net: &mut Network<Wire>, now: u64, from: NodeId, msg: Wire) {
+    pub fn on_message(
+        &mut self,
+        net: &mut impl Transport<Wire>,
+        now: u64,
+        from: NodeId,
+        msg: Wire,
+    ) {
         let Wire::Request(req) = msg else {
             return; // servers ignore non-requests
         };
@@ -769,7 +776,7 @@ impl StreamingServer {
     /// seek index instead of the caller's `segment` argument.
     fn serve_segment(
         &mut self,
-        net: &mut Network<Wire>,
+        net: &mut impl Transport<Wire>,
         relay: NodeId,
         content: &str,
         segment: u32,
@@ -832,7 +839,7 @@ impl StreamingServer {
 
     fn start_session(
         &mut self,
-        net: &mut Network<Wire>,
+        net: &mut impl Transport<Wire>,
         now: u64,
         client: NodeId,
         content: &str,
@@ -1011,7 +1018,7 @@ impl StreamingServer {
     }
 
     /// Sends every packet that is due at `now` on every session.
-    pub fn poll(&mut self, net: &mut Network<Wire>, now: u64) {
+    pub fn poll(&mut self, net: &mut impl Transport<Wire>, now: u64) {
         for s in &mut self.sessions {
             if s.paused || s.eos_sent {
                 continue;
@@ -1257,6 +1264,7 @@ pub(crate) mod tests {
         FileProperties, MediaSample, Packetizer, ScriptCommandList, StreamKind, StreamProperties,
     };
     use lod_simnet::LinkSpec;
+    use lod_simnet::Network;
 
     pub(crate) fn test_file(samples: usize, spacing: u64) -> AsfFile {
         // Size samples so the actual media rate matches the declared

@@ -1,0 +1,392 @@
+//! Datagram framing and the `WireCodec` encode/decode surface.
+//!
+//! Every UDP datagram is one frame: a fixed 24-byte header followed by
+//! the encoded message. All integers are little-endian.
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic "LT"
+//!      2     1  version (1)
+//!      3     1  flags (bit 0: sent via send_reliable)
+//!      4     8  sequence number, monotonic per (sender, receiver) pair,
+//!               starting at 1 — the reorder buffer's ordering key
+//!     12     8  send timestamp in ticks (sender's clock)
+//!     20     4  payload length in bytes
+//!     24     …  payload (WireCodec encoding of the message)
+//! ```
+//!
+//! The message encoding itself is defined by the [`WireCodec`] trait,
+//! implemented next to the message type (for the streaming `Wire` enum,
+//! in `lod-streaming`'s `codec` module). The helpers here — [`Reader`]
+//! and the `write_*` functions — keep every implementation on the same
+//! primitive layout: fixed-width little-endian integers, `u32`
+//! length-prefixed byte strings, one tag byte per enum variant and one
+//! presence byte per `Option`.
+
+use std::fmt;
+
+/// Frame magic: "LT" (lecture transport).
+pub const FRAME_MAGIC: [u8; 2] = *b"LT";
+/// Current frame format version.
+pub const FRAME_VERSION: u8 = 1;
+/// Flag bit: the message was sent with `send_reliable`.
+pub const FLAG_RELIABLE: u8 = 0b0000_0001;
+/// Fixed frame header size in bytes.
+pub const FRAME_HEADER_BYTES: usize = 24;
+
+/// Decode failures, for both frame headers and message payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The buffer ended before the value did.
+    Truncated,
+    /// The frame does not start with [`FRAME_MAGIC`].
+    BadMagic,
+    /// Unknown frame format version.
+    BadVersion(u8),
+    /// An enum tag byte with no matching variant.
+    BadTag {
+        /// Which enum was being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8,
+    /// Decoding finished with bytes left over.
+    TrailingBytes(usize),
+    /// The declared payload length disagrees with the datagram size.
+    LengthMismatch {
+        /// Length declared in the header.
+        declared: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "buffer ended before the value did"),
+            CodecError::BadMagic => write!(f, "frame does not start with the LT magic"),
+            CodecError::BadVersion(v) => write!(f, "unknown frame version {v}"),
+            CodecError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            CodecError::BadUtf8 => write!(f, "string is not valid utf-8"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after decode"),
+            CodecError::LengthMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "declared payload length {declared} but {actual} bytes present"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Parsed frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Per-(sender, receiver) monotonic sequence number, starting at 1.
+    pub seq: u64,
+    /// Sender clock at send time, in ticks.
+    pub sent_at: u64,
+    /// Whether the message was sent with `send_reliable`.
+    pub reliable: bool,
+    /// Payload length in bytes.
+    pub len: u32,
+}
+
+/// Encodes one frame: header + payload, ready for `send_to`.
+pub fn encode_frame(seq: u64, sent_at: u64, reliable: bool, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    buf.extend_from_slice(&FRAME_MAGIC);
+    buf.push(FRAME_VERSION);
+    buf.push(if reliable { FLAG_RELIABLE } else { 0 });
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&sent_at.to_le_bytes());
+    buf.extend_from_slice(
+        &u32::try_from(payload.len())
+            .expect("payload < 4 GiB")
+            .to_le_bytes(),
+    );
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Splits a datagram into its parsed header and payload slice.
+///
+/// # Errors
+///
+/// [`CodecError`] on short, mistagged or length-inconsistent datagrams.
+pub fn decode_frame(datagram: &[u8]) -> Result<(FrameHeader, &[u8]), CodecError> {
+    if datagram.len() < FRAME_HEADER_BYTES {
+        return Err(CodecError::Truncated);
+    }
+    if datagram[0..2] != FRAME_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    if datagram[2] != FRAME_VERSION {
+        return Err(CodecError::BadVersion(datagram[2]));
+    }
+    let flags = datagram[3];
+    let seq = u64::from_le_bytes(datagram[4..12].try_into().expect("sized"));
+    let sent_at = u64::from_le_bytes(datagram[12..20].try_into().expect("sized"));
+    let len = u32::from_le_bytes(datagram[20..24].try_into().expect("sized"));
+    let payload = &datagram[FRAME_HEADER_BYTES..];
+    if payload.len() != len as usize {
+        return Err(CodecError::LengthMismatch {
+            declared: len as usize,
+            actual: payload.len(),
+        });
+    }
+    Ok((
+        FrameHeader {
+            seq,
+            sent_at,
+            reliable: flags & FLAG_RELIABLE != 0,
+            len,
+        },
+        payload,
+    ))
+}
+
+/// A message type that can cross a real wire.
+pub trait WireCodec: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode_wire(&self, buf: &mut Vec<u8>);
+
+    /// Decodes one value from the reader.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated or malformed input.
+    fn decode_wire(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// The encoding of `self` as a fresh frame payload.
+    fn to_frame_payload(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode_wire(&mut buf);
+        buf
+    }
+
+    /// Decodes a full frame payload, rejecting trailing garbage.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated, malformed or over-long input.
+    fn from_frame_payload(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode_wire(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// Cursor over an encoded buffer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of buffer (likewise below).
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of buffer.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("sized")))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of buffer.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("sized")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of buffer.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+    }
+
+    /// Reads a presence/boolean byte (0 or 1; anything else is a
+    /// [`CodecError::BadTag`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or a non-boolean byte.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(CodecError::BadTag { what: "bool", tag }),
+        }
+    }
+
+    /// Reads a `u32` length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when the declared length overruns.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a `u32` length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or invalid UTF-8.
+    pub fn string(&mut self) -> Result<String, CodecError> {
+        String::from_utf8(self.bytes()?).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Asserts the buffer is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TrailingBytes`] when it is not.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes(self.remaining()))
+        }
+    }
+}
+
+/// Appends a little-endian `u16`.
+pub fn write_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u32`.
+pub fn write_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn write_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a boolean/presence byte.
+pub fn write_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(u8::from(v));
+}
+
+/// Appends a `u32` length-prefixed byte string.
+pub fn write_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    write_u32(buf, u32::try_from(v.len()).expect("byte string < 4 GiB"));
+    buf.extend_from_slice(v);
+}
+
+/// Appends a `u32` length-prefixed UTF-8 string.
+pub fn write_string(buf: &mut Vec<u8>, v: &str) {
+    write_bytes(buf, v.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let frame = encode_frame(42, 1_234_567, true, b"payload");
+        assert_eq!(frame.len(), FRAME_HEADER_BYTES + 7);
+        let (h, payload) = decode_frame(&frame).unwrap();
+        assert_eq!(h.seq, 42);
+        assert_eq!(h.sent_at, 1_234_567);
+        assert!(h.reliable);
+        assert_eq!(h.len, 7);
+        assert_eq!(payload, b"payload");
+    }
+
+    #[test]
+    fn frame_rejects_garbage() {
+        assert_eq!(decode_frame(b"LT"), Err(CodecError::Truncated));
+        let mut bad = encode_frame(1, 0, false, b"x");
+        bad[0] = b'X';
+        assert_eq!(decode_frame(&bad).unwrap_err(), CodecError::BadMagic);
+        let mut ver = encode_frame(1, 0, false, b"x");
+        ver[2] = 9;
+        assert_eq!(decode_frame(&ver).unwrap_err(), CodecError::BadVersion(9));
+        let mut short = encode_frame(1, 0, false, b"xyz");
+        short.truncate(short.len() - 1);
+        assert!(matches!(
+            decode_frame(&short).unwrap_err(),
+            CodecError::LengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        write_u16(&mut buf, 0xBEEF);
+        write_u32(&mut buf, 0xDEAD_BEEF);
+        write_u64(&mut buf, u64::MAX - 1);
+        write_bool(&mut buf, true);
+        write_string(&mut buf, "课堂"); // non-ASCII survives
+        write_bytes(&mut buf, &[1, 2, 3]);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.string().unwrap(), "课堂");
+        assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_reports_truncation_and_trailing() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.u32().unwrap_err(), CodecError::Truncated);
+        // A failed read consumes nothing further; trailing bytes remain.
+        assert_eq!(r.finish().unwrap_err(), CodecError::TrailingBytes(2));
+        let mut bad_bool = Reader::new(&[7]);
+        assert!(matches!(
+            bad_bool.bool().unwrap_err(),
+            CodecError::BadTag { what: "bool", .. }
+        ));
+    }
+}

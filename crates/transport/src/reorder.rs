@@ -1,0 +1,180 @@
+//! Receiver-side re-sequencing of out-of-order datagrams.
+//!
+//! UDP reorders; the state machines upstairs assume in-order delivery
+//! per sender (the simulator's links are FIFO). A [`ReorderBuffer`]
+//! restores that contract per peer: frames at the expected sequence
+//! number pass straight through, frames from the future wait in a
+//! `BTreeMap` until the gap fills, and a gap that stays open longer than
+//! `flush_after` ticks is declared lost — the buffer skips ahead rather
+//! than head-of-line-block the lecture behind one dropped datagram (the
+//! retry layers above recover the content).
+
+use std::collections::BTreeMap;
+
+/// Counters a [`ReorderBuffer`] keeps about its traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReorderStats {
+    /// Frames handed to the consumer, in order.
+    pub delivered: u64,
+    /// Frames that arrived ahead of a gap and had to wait.
+    pub out_of_order: u64,
+    /// Frames dropped as duplicates or late (seq already passed).
+    pub duplicates: u64,
+    /// Sequence numbers abandoned by gap flushes.
+    pub skipped: u64,
+    /// High-water mark of frames waiting at once.
+    pub max_depth: usize,
+}
+
+impl ReorderStats {
+    /// Folds another buffer's counters into this one (for per-transport
+    /// aggregation across peers).
+    pub fn merge(&mut self, other: &ReorderStats) {
+        self.delivered += other.delivered;
+        self.out_of_order += other.out_of_order;
+        self.duplicates += other.duplicates;
+        self.skipped += other.skipped;
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+}
+
+/// Per-peer re-sequencer keyed on frame sequence numbers (which start
+/// at 1 on every (sender, receiver) pair).
+#[derive(Debug)]
+pub struct ReorderBuffer<T> {
+    next_seq: u64,
+    pending: BTreeMap<u64, (u64, T)>,
+    flush_after: u64,
+    stats: ReorderStats,
+}
+
+impl<T> ReorderBuffer<T> {
+    /// A buffer expecting sequence 1 first, declaring a gap lost after
+    /// `flush_after` ticks.
+    pub fn new(flush_after: u64) -> Self {
+        Self {
+            next_seq: 1,
+            pending: BTreeMap::new(),
+            flush_after,
+            stats: ReorderStats::default(),
+        }
+    }
+
+    /// Accepts a frame received at `now` and returns every frame that is
+    /// now deliverable in sequence order (possibly empty, possibly more
+    /// than one when this frame fills a gap).
+    pub fn accept(&mut self, seq: u64, now: u64, item: T) -> Vec<T> {
+        if seq < self.next_seq {
+            self.stats.duplicates += 1;
+            return Vec::new();
+        }
+        if seq == self.next_seq {
+            self.next_seq += 1;
+            self.stats.delivered += 1;
+            let mut out = vec![item];
+            self.drain_ready(&mut out);
+            return out;
+        }
+        if self.pending.insert(seq, (now, item)).is_some() {
+            self.stats.duplicates += 1;
+        } else {
+            self.stats.out_of_order += 1;
+        }
+        self.stats.max_depth = self.stats.max_depth.max(self.pending.len());
+        Vec::new()
+    }
+
+    /// Declares gaps older than `flush_after` lost and releases whatever
+    /// was waiting behind them, in sequence order.
+    pub fn flush_due(&mut self, now: u64) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some((&seq, entry)) = self.pending.first_key_value() {
+            debug_assert!(seq > self.next_seq, "in-order frames never wait");
+            if entry.0.saturating_add(self.flush_after) > now {
+                break;
+            }
+            self.stats.skipped += seq - self.next_seq;
+            self.next_seq = seq;
+            self.drain_ready(&mut out);
+        }
+        out
+    }
+
+    fn drain_ready(&mut self, out: &mut Vec<T>) {
+        while let Some(entry) = self.pending.remove(&self.next_seq) {
+            self.next_seq += 1;
+            self.stats.delivered += 1;
+            out.push(entry.1);
+        }
+    }
+
+    /// Frames currently waiting behind a gap.
+    pub fn depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The next sequence number the consumer will see.
+    pub fn expected(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> &ReorderStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_frames_pass_straight_through() {
+        let mut b: ReorderBuffer<u64> = ReorderBuffer::new(1_000);
+        for seq in 1..=5 {
+            assert_eq!(b.accept(seq, 0, seq * 10), vec![seq * 10]);
+        }
+        assert_eq!(b.depth(), 0);
+        assert_eq!(b.stats().delivered, 5);
+        assert_eq!(b.stats().out_of_order, 0);
+    }
+
+    #[test]
+    fn a_gap_fill_releases_the_whole_run() {
+        let mut b: ReorderBuffer<u64> = ReorderBuffer::new(1_000);
+        assert_eq!(b.accept(2, 0, 20), Vec::<u64>::new());
+        assert_eq!(b.accept(4, 0, 40), Vec::<u64>::new());
+        assert_eq!(b.accept(3, 0, 30), Vec::<u64>::new());
+        assert_eq!(b.depth(), 3);
+        assert_eq!(b.accept(1, 0, 10), vec![10, 20, 30, 40]);
+        assert_eq!(b.stats().max_depth, 3);
+        assert_eq!(b.stats().out_of_order, 3);
+        assert_eq!(b.expected(), 5);
+    }
+
+    #[test]
+    fn duplicates_and_late_frames_are_dropped() {
+        let mut b: ReorderBuffer<u64> = ReorderBuffer::new(1_000);
+        assert_eq!(b.accept(1, 0, 10), vec![10]);
+        assert_eq!(b.accept(1, 0, 10), Vec::<u64>::new()); // late
+        assert_eq!(b.accept(3, 0, 30), Vec::<u64>::new());
+        assert_eq!(b.accept(3, 0, 30), Vec::<u64>::new()); // duplicate wait
+        assert_eq!(b.stats().duplicates, 2);
+    }
+
+    #[test]
+    fn a_stale_gap_is_skipped_after_the_flush_timeout() {
+        let mut b: ReorderBuffer<u64> = ReorderBuffer::new(1_000);
+        assert_eq!(b.accept(1, 0, 10), vec![10]);
+        // Seq 2 is lost; 3 and 4 wait behind the gap.
+        assert_eq!(b.accept(3, 100, 30), Vec::<u64>::new());
+        assert_eq!(b.accept(4, 120, 40), Vec::<u64>::new());
+        assert_eq!(b.flush_due(900), Vec::<u64>::new()); // not yet due
+        assert_eq!(b.flush_due(1_100), vec![30, 40]);
+        assert_eq!(b.stats().skipped, 1);
+        assert_eq!(b.expected(), 5);
+        // Seq 2 finally limps in: it is late now.
+        assert_eq!(b.accept(2, 1_200, 20), Vec::<u64>::new());
+        assert_eq!(b.stats().duplicates, 1);
+    }
+}

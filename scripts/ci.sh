@@ -16,6 +16,17 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "===== workspace tests (unit + doctests) ====="
 cargo test -q --offline --workspace
 
+echo "===== loopback UDP deployment (real sockets, hard timeout) ====="
+# The transport tier on actual kernel sockets: origin + 2 relays + 32
+# clients as threads on 127.0.0.1 must complete a lecture with zero
+# abandoned sessions and sample counts reconciling with simnet. The
+# test is #[ignore]d (wall-clock + sockets) and invoked explicitly
+# here; the timeout turns a stuck socket into a fast failure instead
+# of a hung CI run.
+timeout 180 cargo test -q --offline -p lod-core --test loopback_udp -- --ignored \
+    || { echo "FAIL: loopback UDP deployment did not complete (or timed out)"; exit 1; }
+echo "loopback deployment completed"
+
 echo "===== q9_chaos determinism (two runs, byte-identical reports) ====="
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
