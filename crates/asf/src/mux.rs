@@ -66,11 +66,7 @@ impl AsfFile {
     ///
     /// Calling it twice restores plaintext but leaves the header — don't.
     pub fn protect(&mut self, license: &License) {
-        for packet in &mut self.packets {
-            for payload in &mut packet.payloads {
-                scramble_in_place(license.key, &mut payload.data);
-            }
-        }
+        scramble_payloads(license, &mut self.packets);
         self.drm = Some(DrmHeader::for_license(license));
     }
 
@@ -85,11 +81,7 @@ impl AsfFile {
             return Ok(());
         };
         drm.verify(license)?;
-        for packet in &mut self.packets {
-            for payload in &mut packet.payloads {
-                scramble_in_place(license.key, &mut payload.data);
-            }
-        }
+        scramble_payloads(license, &mut self.packets);
         self.drm = None;
         Ok(())
     }
@@ -97,6 +89,20 @@ impl AsfFile {
     /// Total serialized size in bytes (header + data + index).
     pub fn wire_size(&self) -> usize {
         write_asf(self).map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+/// XOR-scrambles every payload with the license key. Payload data is
+/// immutable shared [`bytes::Bytes`], so each payload gets fresh backing
+/// storage — fine off the hot path, and it keeps protected content from
+/// ever aliasing the plaintext a cache or reader may still hold.
+fn scramble_payloads(license: &License, packets: &mut [DataPacket]) {
+    for packet in packets {
+        for payload in &mut packet.payloads {
+            let mut buf = payload.data.to_vec();
+            scramble_in_place(license.key, &mut buf);
+            payload.data = buf.into();
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use crate::error::AsfError;
@@ -28,17 +29,18 @@ pub struct MediaSample {
     pub stream: u16,
     /// Presentation time in ticks.
     pub pres_time: u64,
-    /// Encoded bytes.
-    pub data: Vec<u8>,
+    /// Encoded bytes (ref-counted: fragments produced by the
+    /// [`Packetizer`] are zero-copy views of this buffer).
+    pub data: Bytes,
 }
 
 impl MediaSample {
-    /// Creates a sample.
-    pub fn new(stream: u16, pres_time: u64, data: Vec<u8>) -> Self {
+    /// Creates a sample. A `Vec<u8>` converts without copying.
+    pub fn new(stream: u16, pres_time: u64, data: impl Into<Bytes>) -> Self {
         Self {
             stream,
             pres_time,
-            data,
+            data: data.into(),
         }
     }
 }
@@ -56,8 +58,9 @@ pub struct Payload {
     pub total: u32,
     /// Presentation time of the sample.
     pub pres_time: u64,
-    /// The fragment bytes.
-    pub data: Vec<u8>,
+    /// The fragment bytes: a zero-copy view of the sample's backing
+    /// buffer, shared (not duplicated) by caches and fan-out readers.
+    pub data: Bytes,
 }
 
 /// A fixed-size data packet.
@@ -123,7 +126,7 @@ impl DataPacket {
             let total = r.u32("payload total")?;
             let pres_time = r.u64("payload presentation time")?;
             let len = r.u16("payload length")? as usize;
-            let data = r.bytes(len, "payload data")?.to_vec();
+            let data = Bytes::copy_from_slice(r.bytes(len, "payload data")?);
             payloads.push(Payload {
                 stream,
                 object_id,
@@ -210,7 +213,7 @@ impl Packetizer {
                 offset: offset as u32,
                 total,
                 pres_time: sample.pres_time,
-                data: sample.data[offset..offset + chunk].to_vec(),
+                data: sample.data.slice(offset..offset + chunk),
             });
             self.current_bytes += PAYLOAD_HEADER_BYTES + chunk;
             self.current_first_time.get_or_insert(sample.pres_time);
@@ -331,7 +334,7 @@ impl Reassembler {
             self.complete.push(MediaSample {
                 stream: key.0,
                 pres_time: done.pres_time,
-                data: done.data,
+                data: done.data.into(),
             });
         }
         Ok(())
@@ -460,7 +463,7 @@ mod tests {
             offset: 0,
             total: 100,
             pres_time: 0,
-            data: vec![0; 10],
+            data: vec![0; 10].into(),
         };
         let mut b = a.clone();
         b.offset = 10;
@@ -513,6 +516,22 @@ mod tests {
             .map(|p| (p.stream, p.object_id))
             .collect();
         assert_eq!(ids, [(1, 0), (2, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn fragments_are_zero_copy_views_of_the_sample() {
+        let s = sample(1, 0, 1_000, 0x3C);
+        let mut pk = Packetizer::new(200).unwrap();
+        pk.push(&s);
+        let packets = pk.finish();
+        assert!(packets.len() > 1, "sample must fragment");
+        for frag in packets.iter().flat_map(|p| &p.payloads) {
+            assert_eq!(
+                frag.data.backing_id(),
+                s.data.backing_id(),
+                "fragment copied instead of slicing the sample buffer"
+            );
+        }
     }
 
     #[test]

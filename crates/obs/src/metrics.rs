@@ -147,8 +147,14 @@ impl Registry {
     }
 
     /// Adds `v` to the counter `name` (created at zero on first use).
+    /// Allocation-free after a counter's first touch: the owned key is
+    /// only created when the counter does not exist yet.
     pub fn counter_add(&mut self, name: &str, v: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += v;
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += v;
+        } else {
+            self.counters.insert(name.to_string(), v);
+        }
     }
 
     /// Current value of counter `name` (0 when never touched).
@@ -156,9 +162,13 @@ impl Registry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Sets gauge `name` to `v`.
+    /// Sets gauge `name` to `v` (allocation-free after first touch).
     pub fn gauge_set(&mut self, name: &str, v: u64) {
-        self.gauges.insert(name.to_string(), v);
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = v;
+        } else {
+            self.gauges.insert(name.to_string(), v);
+        }
     }
 
     /// Current value of gauge `name` (0 when never set).

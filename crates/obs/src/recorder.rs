@@ -7,11 +7,52 @@ use std::rc::Rc;
 use crate::event::{Event, EventRecord};
 use crate::metrics::Registry;
 
+/// Event storage: unbounded by default (determinism artifacts need the
+/// full log), or a preallocated fixed-capacity ring that keeps the most
+/// recent events and counts what it dropped — the hot-path choice for
+/// long perf runs, where emission must not allocate or grow.
+#[derive(Debug, Default)]
+struct EventLog {
+    slots: Vec<EventRecord>,
+    /// `Some(cap)` for ring mode; `None` grows without bound.
+    capacity: Option<usize>,
+    /// Ring mode: index of the oldest retained record once wrapped.
+    head: usize,
+    /// Events overwritten because the ring was full.
+    dropped: u64,
+}
+
+impl EventLog {
+    fn push(&mut self, rec: EventRecord) {
+        match self.capacity {
+            Some(cap) if self.slots.len() == cap => {
+                // Full ring: overwrite the oldest slot in place. No
+                // allocation, no shift — O(1) per event forever.
+                self.slots[self.head] = rec;
+                self.head = (self.head + 1) % cap;
+                self.dropped += 1;
+            }
+            _ => self.slots.push(rec),
+        }
+    }
+
+    /// Retained records, oldest first.
+    fn to_vec(&self) -> Vec<EventRecord> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        out.extend_from_slice(&self.slots[self.head..]);
+        out.extend_from_slice(&self.slots[..self.head]);
+        out
+    }
+}
+
 #[derive(Debug, Default)]
 struct Inner {
-    events: Vec<EventRecord>,
+    events: EventLog,
     registry: Registry,
     labels: BTreeMap<u64, String>,
+    /// Interned `lod_events_total{kind="…"}` counter names, built once
+    /// per event kind so emission never formats on the hot path.
+    kind_counter_names: BTreeMap<&'static str, String>,
 }
 
 /// A cheap-to-clone handle on one run's event log and metrics registry.
@@ -38,6 +79,28 @@ impl Recorder {
         }
     }
 
+    /// An armed recorder whose event log is a preallocated ring keeping
+    /// only the most recent `capacity` events ([`Recorder::events_dropped`]
+    /// counts the overwritten ones). Metrics are unaffected. Use this for
+    /// long or perf-sensitive runs: once the ring is warm, emission never
+    /// allocates. Determinism gates keep using [`Recorder::new`], which
+    /// retains everything.
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let inner = Inner {
+            events: EventLog {
+                slots: Vec::with_capacity(capacity),
+                capacity: Some(capacity),
+                head: 0,
+                dropped: 0,
+            },
+            ..Inner::default()
+        };
+        Self {
+            inner: Some(Rc::new(RefCell::new(inner))),
+        }
+    }
+
     /// A recorder that drops everything (the default for components
     /// nobody instrumented).
     pub fn disabled() -> Self {
@@ -55,10 +118,14 @@ impl Recorder {
         let Some(inner) = &self.inner else {
             return;
         };
-        let mut inner = inner.borrow_mut();
-        inner
-            .registry
-            .counter_add(&format!("lod_events_total{{kind=\"{}\"}}", event.kind()), 1);
+        let inner = &mut *inner.borrow_mut();
+        // The counter name is formatted once per kind, then reused: a
+        // warm emit performs no allocation beyond what the record holds.
+        let name = inner
+            .kind_counter_names
+            .entry(event.kind())
+            .or_insert_with(|| format!("lod_events_total{{kind=\"{}\"}}", event.kind()));
+        inner.registry.counter_add(name, 1);
         inner.events.push(EventRecord { at, event });
     }
 
@@ -112,18 +179,26 @@ impl Recorder {
         }
     }
 
-    /// Number of events recorded so far.
+    /// Number of events currently retained (in ring mode, at most the
+    /// configured capacity).
     pub fn event_count(&self) -> usize {
         self.inner
             .as_ref()
-            .map_or(0, |inner| inner.borrow().events.len())
+            .map_or(0, |inner| inner.borrow().events.slots.len())
     }
 
-    /// A copy of the event log in emission order.
+    /// Events overwritten by a full ring (always 0 for [`Recorder::new`]).
+    pub fn events_dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.borrow().events.dropped)
+    }
+
+    /// A copy of the retained event log in emission order.
     pub fn events(&self) -> Vec<EventRecord> {
         self.inner
             .as_ref()
-            .map_or_else(Vec::new, |inner| inner.borrow().events.clone())
+            .map_or_else(Vec::new, |inner| inner.borrow().events.to_vec())
     }
 
     /// A copy of the metrics registry.
@@ -140,8 +215,8 @@ impl Recorder {
             return String::new();
         };
         let inner = inner.borrow();
-        let mut out = String::with_capacity(inner.events.len() * 64);
-        for rec in &inner.events {
+        let mut out = String::with_capacity(inner.events.slots.len() * 64);
+        for rec in inner.events.to_vec() {
             out.push_str(&rec.to_json());
             out.push('\n');
         }
@@ -192,6 +267,52 @@ mod tests {
         assert_eq!(r.node_by_label("origin"), Some(0));
         assert_eq!(r.node_by_label("router"), None);
         assert!(r.to_jsonl().contains("\"kind\":\"node_label\""));
+    }
+
+    #[test]
+    fn ring_mode_keeps_most_recent_events_in_order() {
+        let r = Recorder::with_event_capacity(3);
+        for t in 0..5 {
+            r.emit(t, Event::SessionStart { client: t });
+        }
+        assert_eq!(r.event_count(), 3);
+        assert_eq!(r.events_dropped(), 2);
+        let ticks: Vec<u64> = r.events().iter().map(|rec| rec.at).collect();
+        assert_eq!(ticks, vec![2, 3, 4]);
+        // JSONL matches events(): oldest retained first.
+        let parsed = crate::event::parse_jsonl(&r.to_jsonl()).unwrap();
+        assert_eq!(parsed, r.events());
+    }
+
+    #[test]
+    fn ring_mode_counts_every_emission_in_metrics() {
+        let r = Recorder::with_event_capacity(2);
+        for t in 0..10 {
+            r.emit(t, Event::SessionStart { client: 1 });
+        }
+        // Metrics see all 10 emissions even though only 2 are retained.
+        assert_eq!(
+            r.registry()
+                .counter("lod_events_total{kind=\"session_start\"}"),
+            10
+        );
+        assert_eq!(r.events_dropped(), 8);
+    }
+
+    #[test]
+    fn unbounded_recorder_never_drops() {
+        let r = Recorder::new();
+        for t in 0..100 {
+            r.emit(t, Event::SessionStart { client: 1 });
+        }
+        assert_eq!(r.event_count(), 100);
+        assert_eq!(r.events_dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_ring_is_rejected() {
+        Recorder::with_event_capacity(0);
     }
 
     #[test]

@@ -5,8 +5,22 @@
 //! a configurable byte budget. Recency is tracked with a monotonic use
 //! counter, and eviction removes least-recently-used segments until a new
 //! entry fits.
+//!
+//! # Budget accounting vs. real heap residency
+//!
+//! The budget counts each segment's *wire size* ([`CachedSegment::bytes`]),
+//! exactly as it did before payloads became ref-counted [`bytes::Bytes`]
+//! views. That keeps admission, eviction order and every counter
+//! bit-identical to the deep-copy era: a segment's cost is what it would
+//! occupy on the wire, whether or not its payloads share backing storage
+//! with
+//! another resident segment or an in-flight fan-out. The *actual* unique
+//! heap held by cached payloads — where sharing IS visible — is reported
+//! separately by [`CachedSegment::unique_backing_bytes`] and
+//! [`SegmentCache::resident_backing_bytes`], which deduplicate backing
+//! allocations by identity so shared storage is counted once.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use lod_asf::DataPacket;
 use serde::{Deserialize, Serialize};
@@ -20,6 +34,26 @@ pub struct CachedSegment {
     pub packets: Vec<DataPacket>,
     /// Wire size of the segment in bytes (what the budget accounts).
     pub bytes: u64,
+}
+
+impl CachedSegment {
+    /// Unique payload heap bytes this segment keeps alive: each distinct
+    /// backing allocation is counted once at its full length, no matter
+    /// how many payload views point into it. A freshly packetized segment
+    /// whose fragments all slice one sample reports that sample's size,
+    /// not the sum of the fragment lengths.
+    pub fn unique_backing_bytes(&self) -> u64 {
+        let mut seen = HashSet::new();
+        let mut total = 0u64;
+        for packet in &self.packets {
+            for payload in &packet.payloads {
+                if seen.insert(payload.data.backing_id()) {
+                    total += payload.data.backing_len() as u64;
+                }
+            }
+        }
+        total
+    }
 }
 
 /// Hit/miss/eviction accounting for a [`SegmentCache`].
@@ -98,9 +132,29 @@ impl SegmentCache {
         self.budget
     }
 
-    /// Bytes currently held.
+    /// Bytes currently held, in the budget's wire-size accounting.
     pub fn used_bytes(&self) -> u64 {
         self.used
+    }
+
+    /// Unique payload heap bytes resident across *all* cached segments:
+    /// backing allocations shared between segments (or with fan-out
+    /// queues) are counted once. Always `<=` the sum of per-segment
+    /// [`CachedSegment::unique_backing_bytes`]; introspection only — the
+    /// budget never looks at this.
+    pub fn resident_backing_bytes(&self) -> u64 {
+        let mut seen = HashSet::new();
+        let mut total = 0u64;
+        for entry in self.entries.values() {
+            for packet in &entry.segment.packets {
+                for payload in &packet.payloads {
+                    if seen.insert(payload.data.backing_id()) {
+                        total += payload.data.backing_len() as u64;
+                    }
+                }
+            }
+        }
+        total
     }
 
     /// Number of cached segments.
@@ -270,6 +324,56 @@ mod tests {
         assert!(evicted.is_empty(), "replacement is not an eviction");
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.used_bytes(), 120);
+    }
+
+    fn packet_slicing(sample: &bytes::Bytes, chunk: usize) -> lod_asf::DataPacket {
+        let payloads = (0..sample.len())
+            .step_by(chunk)
+            .map(|off| lod_asf::Payload {
+                stream: 1,
+                object_id: 0,
+                offset: off as u32,
+                total: sample.len() as u32,
+                pres_time: 0,
+                data: sample.slice(off..(off + chunk).min(sample.len())),
+            })
+            .collect();
+        lod_asf::DataPacket {
+            send_time: 0,
+            payloads,
+        }
+    }
+
+    #[test]
+    fn unique_backing_counts_shared_storage_once() {
+        let sample = bytes::Bytes::from(vec![7u8; 1_000]);
+        let seg = CachedSegment {
+            base_packet: 0,
+            packets: vec![packet_slicing(&sample, 100), packet_slicing(&sample, 250)],
+            bytes: 2_000,
+        };
+        // 14 payload views over one 1000-byte sample: counted once.
+        assert_eq!(seg.unique_backing_bytes(), 1_000);
+
+        let mut cache = SegmentCache::new(10_000);
+        assert!(cache.insert("talk", 0, seg.clone()).is_some());
+        assert!(cache.insert("talk", 1, seg).is_some());
+        // Two cached segments, same backing sample: resident heap is
+        // still one sample, while the wire-size budget charges both.
+        assert_eq!(cache.resident_backing_bytes(), 1_000);
+        assert_eq!(cache.used_bytes(), 4_000);
+    }
+
+    #[test]
+    fn unique_backing_sums_distinct_samples() {
+        let a = bytes::Bytes::from(vec![1u8; 300]);
+        let b = bytes::Bytes::from(vec![2u8; 500]);
+        let seg = CachedSegment {
+            base_packet: 0,
+            packets: vec![packet_slicing(&a, 100), packet_slicing(&b, 100)],
+            bytes: 800,
+        };
+        assert_eq!(seg.unique_backing_bytes(), 800);
     }
 
     #[test]

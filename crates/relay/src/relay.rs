@@ -790,7 +790,7 @@ impl RelayNode {
         }
     }
 
-    fn on_segment(&mut self, net: &mut impl Transport<Wire>, now: u64, seg: SegmentData) {
+    fn on_segment(&mut self, net: &mut impl Transport<Wire>, now: u64, mut seg: SegmentData) {
         self.breaker_success(now);
         self.metrics.upstream_bytes_received += seg.wire_bytes();
         self.inflight.remove(&(seg.content.clone(), seg.segment));
@@ -814,10 +814,13 @@ impl RelayNode {
             }
         }
         if !seg.packets.is_empty() {
+            // Move the packets straight into the cache: their payloads are
+            // ref-counted views of the origin's backing buffers, and this
+            // handler is the segment's last reader.
             let data = CachedSegment {
                 base_packet: seg.base_packet,
-                packets: seg.packets.clone(),
                 bytes: seg.packets.len() as u64 * u64::from(seg.packet_size),
+                packets: std::mem::take(&mut seg.packets),
             };
             if let Some(evicted) = self.cache.insert(&seg.content, seg.segment, data) {
                 for (_, segment, bytes) in evicted {

@@ -1,8 +1,12 @@
 //! Property tests for the segment cache invariants the relay tier leans
 //! on: the byte budget is a hard ceiling, the accounting identity holds,
-//! and an evicted segment refetched from the origin is byte-identical.
+//! an evicted segment refetched from the origin is byte-identical, and —
+//! since payloads became ref-counted [`bytes::Bytes`] views — budget
+//! accounting, eviction order and every counter are bit-for-bit
+//! unchanged whether a segment's payloads share one backing buffer or
+//! each own a private copy.
 
-use lod_asf::DataPacket;
+use lod_asf::{DataPacket, Payload};
 use lod_relay::{CachedSegment, SegmentCache};
 use proptest::prelude::*;
 
@@ -125,4 +129,100 @@ proptest! {
         prop_assert_eq!(&first, &second);
         prop_assert_eq!(&second, &origin_segment);
     }
+
+    /// Driving two caches through the same op script — one fed segments
+    /// whose payloads are zero-copy slices of a single shared sample,
+    /// the other fed byte-identical segments whose every payload owns a
+    /// private deep copy — produces identical budget usage, hit/miss/
+    /// eviction counters, eviction order and residency. The `Bytes`
+    /// switch is invisible to the accounting.
+    #[test]
+    fn accounting_ignores_payload_backing_sharing(
+        budget in 2_000u64..20_000,
+        ops in proptest::collection::vec(op(), 0..64),
+    ) {
+        let mut shared_cache = SegmentCache::new(budget);
+        let mut copied_cache = SegmentCache::new(budget);
+        for op in ops {
+            match op {
+                Op::Get(c, s) => {
+                    let a = shared_cache.get(&content_name(c), u32::from(s)).cloned();
+                    let b = copied_cache.get(&content_name(c), u32::from(s)).cloned();
+                    prop_assert_eq!(a, b);
+                }
+                Op::Insert(c, s, b) => {
+                    let (shared, copied) = twin_segments(s, b);
+                    let ev_a = shared_cache.insert(&content_name(c), u32::from(s), shared);
+                    let ev_b = copied_cache.insert(&content_name(c), u32::from(s), copied);
+                    prop_assert_eq!(ev_a, ev_b, "eviction decisions and order must match");
+                }
+            }
+            prop_assert_eq!(shared_cache.used_bytes(), copied_cache.used_bytes());
+            prop_assert_eq!(shared_cache.len(), copied_cache.len());
+            prop_assert_eq!(shared_cache.stats(), copied_cache.stats());
+        }
+    }
+
+    /// `resident_backing_bytes` counts shared storage once: with every
+    /// payload slicing one backing buffer per segment it never exceeds
+    /// the deep-copy residency, and a segment's own payloads never
+    /// double-count their common backing.
+    #[test]
+    fn resident_backing_bytes_never_double_counts(
+        sizes in proptest::collection::vec(64u64..512, 1..8),
+    ) {
+        let mut shared_cache = SegmentCache::new(1 << 20);
+        let mut copied_cache = SegmentCache::new(1 << 20);
+        for (i, &bytes) in sizes.iter().enumerate() {
+            let (shared, copied) = twin_segments(i as u8, bytes);
+            // All views of one sample: unique backing is that one sample.
+            prop_assert_eq!(shared.unique_backing_bytes(), bytes);
+            // Private copies: the same total, reached fragment by fragment.
+            prop_assert_eq!(copied.unique_backing_bytes(), bytes);
+            shared_cache.insert("lec", i as u32, shared);
+            copied_cache.insert("lec", i as u32, copied);
+        }
+        let total: u64 = sizes.iter().sum();
+        prop_assert_eq!(shared_cache.resident_backing_bytes(), total);
+        prop_assert_eq!(copied_cache.resident_backing_bytes(), total);
+        prop_assert!(shared_cache.resident_backing_bytes() <= copied_cache.resident_backing_bytes());
+    }
+}
+
+/// Two byte-identical segments of `bytes` payload bytes: the first's
+/// payloads are zero-copy slices of one shared sample, the second's each
+/// own a freshly allocated copy. Wire-size accounting (`bytes`) is the
+/// same for both.
+fn twin_segments(seed: u8, bytes: u64) -> (CachedSegment, CachedSegment) {
+    let sample = bytes::Bytes::from(vec![seed; bytes as usize]);
+    let chunk = 100usize;
+    let make = |deep: bool| {
+        let payloads: Vec<Payload> = (0..sample.len())
+            .step_by(chunk)
+            .map(|off| {
+                let view = sample.slice(off..(off + chunk).min(sample.len()));
+                Payload {
+                    stream: 1,
+                    object_id: 0,
+                    offset: off as u32,
+                    total: sample.len() as u32,
+                    pres_time: 0,
+                    data: if deep {
+                        bytes::Bytes::copy_from_slice(&view)
+                    } else {
+                        view
+                    },
+                }
+            })
+            .collect();
+        CachedSegment {
+            base_packet: 0,
+            packets: vec![DataPacket {
+                send_time: 0,
+                payloads,
+            }],
+            bytes,
+        }
+    };
+    (make(false), make(true))
 }

@@ -61,7 +61,9 @@ fn read_payload(r: &mut Reader<'_>) -> Result<Payload, CodecError> {
         offset: r.u32()?,
         total: r.u32()?,
         pres_time: r.u64()?,
-        data: r.bytes()?,
+        // Zero-copy when decoding from a shared datagram buffer: the
+        // fragment is a view of the receive allocation, not a copy.
+        data: r.bytes_shared()?,
     })
 }
 
@@ -474,7 +476,7 @@ mod tests {
                     offset,
                     total,
                     pres_time,
-                    data,
+                    data: data.into(),
                 },
             )
     }
@@ -675,7 +677,7 @@ mod tests {
                         offset: 0,
                         total: payload_len as u32,
                         pres_time: i as u64,
-                        data: vec![0xAB; payload_len],
+                        data: vec![0xAB; payload_len].into(),
                     }],
                 })
                 .collect();
@@ -699,6 +701,36 @@ mod tests {
         #[test]
         fn decoder_never_panics_on_junk(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = Wire::from_frame_payload(&bytes);
+        }
+
+        #[test]
+        fn shared_decode_round_trips_and_is_zero_copy(w in arb_wire()) {
+            // Decoding from a shared buffer must (a) agree with the
+            // plain decoder and (b) hand every payload fragment out as
+            // a view of that one buffer: same backing allocation, and
+            // the fragment's pointer range inside the backing range.
+            let payload = bytes::Bytes::from(w.to_frame_payload());
+            let decoded = Wire::from_shared_payload(&payload).expect("decodes");
+            prop_assert_eq!(&decoded, &w);
+            let packets: &[DataPacket] = match &decoded {
+                Wire::Data(p) => std::slice::from_ref(p),
+                Wire::Segment(s) => &s.packets,
+                _ => &[],
+            };
+            let start = payload.as_ptr() as usize;
+            let end = start + payload.len();
+            for frag in packets.iter().flat_map(|p| &p.payloads) {
+                if frag.data.is_empty() {
+                    continue; // empty views share the static empty backing
+                }
+                prop_assert_eq!(
+                    frag.data.backing_id(),
+                    payload.backing_id(),
+                    "payload fragment was copied out of the datagram buffer"
+                );
+                let fs = frag.data.as_ptr() as usize;
+                prop_assert!(fs >= start && fs + frag.data.len() <= end);
+            }
         }
     }
 

@@ -25,6 +25,8 @@
 
 use std::fmt;
 
+use bytes::Bytes;
+
 /// Frame magic: "LT" (lecture transport).
 pub const FRAME_MAGIC: [u8; 2] = *b"LT";
 /// Current frame format version.
@@ -182,6 +184,22 @@ pub trait WireCodec: Sized {
         r.finish()?;
         Ok(v)
     }
+
+    /// Decodes a full frame payload held in a ref-counted buffer:
+    /// decoders that call [`Reader::bytes_shared`] get zero-copy views
+    /// of `payload` instead of per-field allocations (the receive path
+    /// allocates once per datagram, then every media payload inside it
+    /// is a slice of that one backing buffer).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated, malformed or over-long input.
+    fn from_shared_payload(payload: &Bytes) -> Result<Self, CodecError> {
+        let mut r = Reader::new_shared(payload);
+        let v = Self::decode_wire(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
 }
 
 /// Cursor over an encoded buffer.
@@ -189,12 +207,30 @@ pub trait WireCodec: Sized {
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// When decoding from a ref-counted buffer, the backing storage
+    /// `buf` points into; lets [`Reader::bytes_shared`] hand out
+    /// zero-copy views.
+    backing: Option<&'a Bytes>,
 }
 
 impl<'a> Reader<'a> {
     /// A reader at the start of `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
+        Self {
+            buf,
+            pos: 0,
+            backing: None,
+        }
+    }
+
+    /// A reader over a ref-counted buffer; [`Reader::bytes_shared`]
+    /// returns zero-copy slices of it.
+    pub fn new_shared(backing: &'a Bytes) -> Self {
+        Self {
+            buf: backing,
+            pos: 0,
+            backing: Some(backing),
+        }
     }
 
     /// Bytes not yet consumed.
@@ -269,6 +305,23 @@ impl<'a> Reader<'a> {
     pub fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
         let len = self.u32()? as usize;
         Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a `u32` length-prefixed byte string as a [`Bytes`] view:
+    /// zero-copy when the reader was built with [`Reader::new_shared`],
+    /// a fresh copy otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when the declared length overruns.
+    pub fn bytes_shared(&mut self) -> Result<Bytes, CodecError> {
+        let len = self.u32()? as usize;
+        let start = self.pos;
+        let slice = self.take(len)?;
+        Ok(match self.backing {
+            Some(backing) => backing.slice(start..start + len),
+            None => Bytes::copy_from_slice(slice),
+        })
     }
 
     /// Reads a `u32` length-prefixed UTF-8 string.

@@ -315,7 +315,12 @@ impl<M: WireCodec> UdpTransport<M> {
                     continue;
                 }
             };
-            let message = match M::from_frame_payload(payload) {
+            // One allocation per datagram: the payload moves into a
+            // ref-counted buffer, and every byte-string field inside the
+            // message (media payload fragments, most of the bytes of a
+            // Segment frame) decodes as a zero-copy view of it.
+            let payload = bytes::Bytes::copy_from_slice(payload);
+            let message = match M::from_shared_payload(&payload) {
                 Ok(m) => m,
                 Err(_) => {
                     self.stats.decode_errors += 1;

@@ -1,10 +1,30 @@
 #!/bin/sh
 # The checks a change must pass before merging: formatting, lints with
-# warnings denied, the full workspace test suite (unit + doctests), and
-# the chaos-drill determinism gate — two separate processes must emit
+# warnings denied, the full workspace test suite (unit + doctests), the
+# chaos-drill determinism gate — two separate processes must emit
 # byte-identical Q9 reports, because the whole simulation is seeded and
-# HashMap-order bugs only show up across processes.
+# HashMap-order bugs only show up across processes — and the perf
+# trajectory gate, which re-runs the Q14/Q15 benches and compares their
+# "tracked" integer medians against the committed BENCH_q14.json /
+# BENCH_q15.json baselines (±15%, i.e. 150 permille; see perf_gate).
 # Everything runs offline; external deps resolve to the third_party/ stubs.
+#
+# Perf-gate self-test: before trusting any real comparison, the stage
+# runs `perf_gate --self-test`, which feeds the comparator a fixture
+# baseline plus (a) an in-tolerance +10% drift that must PASS, (b) a
+# deliberate +20% regression that must FAIL, (c) a copy-counter blow-up
+# that must FAIL, and (d) a report missing a tracked key that must
+# FAIL. A comparator that waves any of those through fails CI here,
+# long before it could wave through a real regression. To reproduce a
+# gate failure by hand, inject a regression into a fresh report, e.g.:
+#   ./target/release/q15_hotpath --json /tmp/fresh.json
+#   sed -i 's/"mux_ns_per_packet": [0-9]*/"mux_ns_per_packet": 999999/' /tmp/fresh.json
+#   cargo run --release -p lod-bench --bin perf_gate -- \
+#       --fresh /tmp/fresh.json --check-against BENCH_q15.json   # exits 1
+#
+# Set ARTIFACTS_DIR to a writable directory to keep the fresh BENCH
+# reports and the q11/q12 determinism artifacts produced by this run
+# (the GitHub workflow uploads them on every run).
 set -e
 
 echo "===== cargo fmt --check ====="
@@ -80,5 +100,35 @@ for ext in json jsonl prom; do
     fi
 done
 echo "event log, exposition and report identical"
+
+echo "===== perf trajectory gate (q14 + q15 vs committed baselines) ====="
+# Medians are wall-clock and machines differ, so the gate is deliberately
+# loose (±15%) and compares only the "tracked" sections — integer codec/
+# mux medians and the deterministic payload-copy counters. The loopback
+# wall-clock numbers live under "untracked" and are never compared.
+# Benches run in release: debug medians would regress against a
+# release-built baseline by far more than any real code change.
+cargo build -q --offline --release -p lod-bench \
+    --bin q14_transport --bin q15_hotpath --bin perf_gate
+./target/release/perf_gate --self-test
+./target/release/q14_transport --codec-only --json "$tmpdir/q14_fresh.json" > /dev/null
+./target/release/q15_hotpath --json "$tmpdir/q15_fresh.json" > /dev/null
+./target/release/perf_gate --fresh "$tmpdir/q14_fresh.json" --check-against BENCH_q14.json
+./target/release/perf_gate --fresh "$tmpdir/q15_fresh.json" --check-against BENCH_q15.json
+echo "tracked medians within tolerance of committed baselines"
+
+if [ -n "${ARTIFACTS_DIR:-}" ]; then
+    echo "===== collecting artifacts into $ARTIFACTS_DIR ====="
+    mkdir -p "$ARTIFACTS_DIR"
+    cp "$tmpdir/q14_fresh.json" "$ARTIFACTS_DIR/BENCH_q14_fresh.json"
+    cp "$tmpdir/q15_fresh.json" "$ARTIFACTS_DIR/BENCH_q15_fresh.json"
+    cp "$tmpdir/qa.json" "$ARTIFACTS_DIR/q11_observability.json"
+    cp "$tmpdir/qa.jsonl" "$ARTIFACTS_DIR/q11_events.jsonl"
+    cp "$tmpdir/qa.prom" "$ARTIFACTS_DIR/q11_metrics.prom"
+    cp "$tmpdir/fa.json" "$ARTIFACTS_DIR/q12_failover.json"
+    cp "$tmpdir/fa.jsonl" "$ARTIFACTS_DIR/q12_events.jsonl"
+    cp "$tmpdir/fa.prom" "$ARTIFACTS_DIR/q12_metrics.prom"
+    ls -l "$ARTIFACTS_DIR"
+fi
 
 echo "CI checks passed."

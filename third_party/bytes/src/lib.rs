@@ -1,5 +1,250 @@
 //! Offline stub of `bytes`: the little-endian append surface the ASF
-//! writer uses, backed by a plain `Vec<u8>`.
+//! writer uses, backed by a plain `Vec<u8>`, plus a ref-counted
+//! [`Bytes`] so the segment hot path can share one backing allocation
+//! across packetizer fragments, relay caches and every fan-out reader.
+//!
+//! Beyond the real crate's API the stub exposes two introspection hooks
+//! used only by tests and the perf benches: [`Bytes::backing_id`] /
+//! [`Bytes::backing_len`] identify the backing allocation of a view,
+//! and the [`stats`] module counts backing allocations and deep byte
+//! copies process-wide so `q15_hotpath` can *prove* the fan-out path
+//! performs O(1) copies instead of O(readers).
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide counters over [`Bytes`] backing storage (stub
+/// extension; the real crate has no equivalent).
+pub mod stats {
+    use super::{AtomicU64, Ordering};
+
+    pub(crate) static BACKING_ALLOCS: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static BYTES_DEEP_COPIED: AtomicU64 = AtomicU64::new(0);
+
+    /// Backing allocations created so far (one per `Bytes::from(vec)`,
+    /// `Bytes::copy_from_slice`, or `BytesMut::freeze`; slicing and
+    /// cloning never allocate).
+    pub fn backing_allocations() -> u64 {
+        BACKING_ALLOCS.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes deep-copied into fresh backing storage so far
+    /// (`copy_from_slice` only; `Bytes::from(vec)` takes ownership
+    /// without copying).
+    pub fn bytes_deep_copied() -> u64 {
+        BYTES_DEEP_COPIED.load(Ordering::Relaxed)
+    }
+
+    /// Resets both counters to zero (single-process benches only).
+    pub fn reset() {
+        BACKING_ALLOCS.store(0, Ordering::Relaxed);
+        BYTES_DEEP_COPIED.store(0, Ordering::Relaxed);
+    }
+}
+
+fn shared_empty() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
+}
+
+/// Cheaply cloneable, immutable view of a ref-counted byte buffer
+/// (stub of `bytes::Bytes`).
+///
+/// Cloning and [`Bytes::slice`] are O(1): they bump a reference count
+/// and adjust an offset/length window. The backing allocation is freed
+/// when the last view drops.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty view (no allocation; all empties share one backing).
+    pub fn new() -> Self {
+        Self {
+            data: shared_empty(),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Copies `src` into fresh backing storage.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        stats::BACKING_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        stats::BYTES_DEEP_COPIED.fetch_add(src.len() as u64, Ordering::Relaxed);
+        Self {
+            data: Arc::new(src.to_vec()),
+            off: 0,
+            len: src.len(),
+        }
+    }
+
+    /// Bytes visible through this view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A zero-copy sub-view sharing this view's backing storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range falls outside `0..=self.len()`.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds of {}",
+            self.len
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Copies the visible bytes into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+
+    /// Identifies the backing allocation (stub extension): two views
+    /// share storage iff their ids are equal. Empty views created by
+    /// [`Bytes::new`] all share one id.
+    pub fn backing_id(&self) -> usize {
+        Arc::as_ptr(&self.data) as usize
+    }
+
+    /// Total bytes held alive by the backing allocation, regardless of
+    /// this view's window (stub extension).
+    pub fn backing_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    /// Takes ownership of `v` as new backing storage (no byte copy).
+    fn from(v: Vec<u8>) -> Self {
+        stats::BACKING_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let len = v.len();
+        Self {
+            data: Arc::new(v),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(src: &[u8]) -> Self {
+        Self::copy_from_slice(src)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(src: &[u8; N]) -> Self {
+        Self::copy_from_slice(src)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        b.freeze()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.as_ref(), f)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_ref()
+    }
+}
 
 /// Growable byte buffer (stub of `bytes::BytesMut`).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -33,6 +278,12 @@ impl BytesMut {
     /// Copies the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.inner.clone()
+    }
+
+    /// Converts into an immutable [`Bytes`] view without copying: the
+    /// accumulated buffer becomes the backing storage.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.inner)
     }
 }
 
@@ -120,5 +371,72 @@ mod tests {
             b.to_vec(),
             [1, 3, 2, 7, 6, 5, 4, 0xf, 0xe, 0xd, 0xc, 0xb, 0xa, 9, 8, 0xff]
         );
+    }
+
+    #[test]
+    fn bytes_slices_share_backing_without_allocating() {
+        // backing_id equality IS the zero-copy proof: a slice or clone
+        // that allocated would carry a fresh Arc. (The global stats
+        // counters are shared across parallel tests, so delta checks on
+        // them would race — identity checks don't.)
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let head = b.slice(..4);
+        let tail = b.slice(4..);
+        let all = b.clone();
+        assert_eq!(&head[..], &[0, 1, 2, 3]);
+        assert_eq!(&tail[..], &[4, 5, 6, 7]);
+        assert_eq!(head.backing_id(), b.backing_id());
+        assert_eq!(tail.backing_id(), b.backing_id());
+        assert_eq!(all.backing_id(), b.backing_id());
+        assert_eq!(head.backing_len(), 8);
+    }
+
+    #[test]
+    fn copy_from_slice_moves_the_counters() {
+        // Counters are process-global and other tests add to them
+        // concurrently, so assert monotone growth, not exact deltas.
+        let allocs_before = stats::backing_allocations();
+        let copied_before = stats::bytes_deep_copied();
+        let b = Bytes::copy_from_slice(&[9u8; 64]);
+        assert_eq!(b.len(), 64);
+        assert!(stats::backing_allocations() >= allocs_before + 1);
+        assert!(stats::bytes_deep_copied() >= copied_before + 64);
+    }
+
+    #[test]
+    fn bytes_equality_and_ordering_follow_contents() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_ne!(a.backing_id(), b.backing_id());
+        assert_eq!(a, vec![1u8, 2, 3]);
+        assert!(a < Bytes::from(vec![1u8, 2, 4]));
+        assert_eq!(a.slice(1..2), [2u8][..]);
+    }
+
+    #[test]
+    fn empty_views_share_one_backing() {
+        assert_eq!(Bytes::new().backing_id(), Bytes::default().backing_id());
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn freeze_reuses_the_accumulated_buffer() {
+        let mut m = BytesMut::new();
+        m.put_slice(b"abc");
+        // The frozen view must sit on the very heap buffer the builder
+        // filled — pointer identity, immune to parallel-test counter
+        // traffic.
+        let buf_ptr = m.as_ref().as_ptr();
+        let b = m.freeze();
+        assert_eq!(&b[..], b"abc");
+        assert_eq!(b.as_ref().as_ptr(), buf_ptr);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_slice_panics() {
+        let b = Bytes::from(vec![1u8, 2]);
+        let _ = b.slice(1..5);
     }
 }
