@@ -192,7 +192,7 @@ fn main() {
             cfg.relays,
             bytes_per_sec / 1e6,
             report.reorder.out_of_order,
-            report.reorder.skipped
+            report.reorder.skipped_seqs
         );
 
         let _ = writeln!(json, "  \"untracked\": {{");
@@ -216,7 +216,7 @@ fn main() {
         let _ = writeln!(json, "    \"frames_per_sec\": {frames_per_sec:.0},");
         let _ = writeln!(json, "    \"bytes_per_sec\": {bytes_per_sec:.0},");
         let _ = writeln!(json, "    \"reordered\": {},", report.reorder.out_of_order);
-        let _ = writeln!(json, "    \"skipped\": {},", report.reorder.skipped);
+        let _ = writeln!(json, "    \"skipped\": {},", report.reorder.skipped_seqs);
         let _ = writeln!(
             json,
             "    \"decode_errors\": {}",

@@ -6,8 +6,8 @@ use lod_asf::{read_asf, write_asf, License};
 use lod_content_tree::render_ascii;
 use lod_core::{
     check_causal, parse_jsonl, serve_loopback_udp, session_timelines, synthetic_lecture,
-    worst_by_stall, Abstractor, AdmissionPolicy, DegradePolicy, FailoverConfig, LoopbackConfig,
-    Recorder, RelayTierConfig, Wmps,
+    worst_by_stall, Abstractor, AdmissionPolicy, DegradePolicy, FailoverConfig, FaultSpec,
+    LoopbackConfig, Recorder, RelayTierConfig, RepairConfig, RetryPolicy, Wmps,
 };
 use lod_encoder::{evenly_spaced_deck, Annotation, Publisher, VideoFileSpec};
 use lod_media::{TickDuration, Ticks};
@@ -211,7 +211,9 @@ fn replay(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 /// thing: origin, relays (default 2) and every student run as threads
 /// on localhost UDP sockets, exercising datagram framing, pacing and
 /// reordering. Link shaping and the overload/standby knobs are
-/// simulator features and are ignored on udp.
+/// simulator features and are ignored on udp; the udp arm instead
+/// takes `--repair on|off`, `--retry-budget N`, `--loss-permille N`
+/// and `--fault-seed S` (see [`serve_udp`]).
 fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let path = args.positional(0, "<.asf path>")?;
     let bytes = std::fs::read(path)?;
@@ -354,6 +356,12 @@ fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 
 /// The `--transport udp` arm of `serve`: a loopback deployment on real
 /// sockets (see `lod_core::serve_loopback_udp`).
+///
+/// Extra knobs on this arm: `--repair on|off` (default off) arms the
+/// transport-layer NACK/retransmit sublayer, `--retry-budget N` caps
+/// retransmissions per lost sequence, and `--loss-permille N` with
+/// `--fault-seed S` injects seeded datagram loss at the origin and
+/// relay egress — the way to watch repair actually earn its keep.
 fn serve_udp(
     path: &str,
     file: lod_asf::AsfFile,
@@ -362,11 +370,36 @@ fn serve_udp(
     out: &mut impl Write,
 ) -> Result<(), CliError> {
     let relays = args.num_or("relays", 0usize)?.max(1);
-    let cfg = LoopbackConfig {
+    let repair = match args.flag_or("repair", "off").as_str() {
+        "on" | "true" | "yes" => true,
+        "off" | "false" | "no" => false,
+        other => {
+            return Err(CliError::BadValue {
+                flag: "--repair".into(),
+                value: other.to_string(),
+            })
+        }
+    };
+    let retry_budget = args.num_or("retry-budget", 3u32)?;
+    let loss_permille = args.num_or("loss-permille", 0u16)?;
+    let fault_seed = args.num_or("fault-seed", 7u64)?;
+    let mut cfg = LoopbackConfig {
         relays,
         clients: students,
         ..LoopbackConfig::default()
     };
+    if repair {
+        cfg.udp = cfg.udp.with_repair(RepairConfig {
+            retry_budget,
+            ..RepairConfig::default()
+        });
+    }
+    if loss_permille > 0 {
+        cfg.fault = Some(FaultSpec::loss(fault_seed, loss_permille));
+        // Injected loss needs a last-resort recovery above the
+        // transport, exactly as a lossy deployment would run.
+        cfg.client_retry = Some(RetryPolicy::client());
+    }
     let report = serve_loopback_udp(file, &cfg);
     writeln!(
         out,
@@ -396,8 +429,18 @@ fn serve_udp(
         report.transport.frames_sent,
         report.transport.frames_received,
         report.reorder.out_of_order,
-        report.reorder.skipped
+        report.reorder.skipped_seqs
     )?;
+    if repair || loss_permille > 0 {
+        writeln!(
+            out,
+            "  repair: {} dropped by injection, {} NACK(s), {} retransmit(s), {} give-up(s)",
+            report.transport.faults_dropped,
+            report.transport.nacks_sent,
+            report.transport.retransmits_sent,
+            report.transport.repair_give_ups
+        )?;
+    }
     writeln!(
         out,
         "  relays: {} fetch(es) upstream; server served {} segment(s)",
@@ -636,6 +679,45 @@ mod tests {
         assert!(text.contains("loopback udp"), "{text}");
         assert!(text.contains("2/2 completed, 0 abandoned"), "{text}");
         assert!(text.contains("transport:"), "{text}");
+    }
+
+    #[test]
+    fn serve_udp_with_repair_and_injected_loss_reports_the_sublayer() {
+        let path = tmp("udp-repaired.asf");
+        run(
+            &argv(&format!("publish {path} --duration-secs 10 --slides 1")),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        run(
+            &argv(&format!(
+                "serve {path} --students 2 --relays 1 --transport udp \
+                 --repair on --retry-budget 4 --loss-permille 80 --fault-seed 11"
+            )),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("repair:"), "{text}");
+        assert!(text.contains("dropped by injection"), "{text}");
+        assert!(text.contains("2/2 completed"), "{text}");
+    }
+
+    #[test]
+    fn serve_udp_rejects_a_bad_repair_value() {
+        let path = tmp("udp-badrepair.asf");
+        run(
+            &argv(&format!("publish {path} --duration-secs 10 --slides 1")),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let err = run(
+            &argv(&format!("serve {path} --transport udp --repair sometimes")),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--repair"), "{err}");
     }
 
     #[test]

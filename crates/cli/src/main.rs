@@ -38,6 +38,8 @@ USAGE:
   wmps serve   <file.asf> [--students N] [--link lan|broadband|modem] [--seed N]
                [--relays K] [--max-sessions N] [--degrade on|off]
                [--metrics-out PATH] [--transport sim|udp]
+               [--repair on|off] [--retry-budget N] [--loss-permille N]
+               [--fault-seed S]                           # udp-only knobs
   wmps report  <events.jsonl> [--top N]
   wmps abstract [--seed N] [--minutes N] [--budget-secs N]
   wmps net     [--units N] [--streams N] [--sync-every N] | [--floor N]   # Graphviz DOT

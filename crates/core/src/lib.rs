@@ -47,7 +47,11 @@ pub use wmps::{
 };
 // The overload-protection policies, re-exported so facade users (the CLI,
 // the benches) need not depend on lod-streaming directly.
-pub use lod_streaming::{AdmissionPolicy, BreakerPolicy, DegradePolicy};
+pub use lod_streaming::{AdmissionPolicy, BreakerPolicy, DegradePolicy, RetryPolicy};
+
+// The loopback deployment's transport knobs (socket tuning, loss
+// repair, fault injection), re-exported for the same reason.
+pub use lod_transport::{FaultSpec, RepairConfig, UdpConfig};
 // The failover knobs, likewise: arm `RelayTierConfig::failover` to get a
 // warm standby, heartbeat detection and deterministic promotion.
 pub use lod_relay::FailoverConfig;

@@ -25,11 +25,12 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use lod_asf::AsfFile;
+use lod_obs::{EventRecord, Recorder};
 use lod_relay::{RelayMetrics, RelayNode};
 use lod_simnet::NodeId;
 use lod_streaming::wire::Wire;
-use lod_streaming::{ClientMetrics, ServerMetrics, StreamingClient, StreamingServer};
-use lod_transport::{ReorderStats, Transport, TransportStats, UdpConfig, UdpTransport};
+use lod_streaming::{ClientMetrics, RetryPolicy, ServerMetrics, StreamingClient, StreamingServer};
+use lod_transport::{FaultSpec, ReorderStats, Transport, TransportStats, UdpConfig, UdpTransport};
 
 /// Knobs for a [`serve_loopback_udp`] run.
 #[derive(Debug, Clone)]
@@ -51,6 +52,21 @@ pub struct LoopbackConfig {
     /// Hard wall-clock ceiling; threads that have not finished by then
     /// stop and report whatever state they reached.
     pub wall_deadline: Duration,
+    /// Seeded egress fault injection applied at the origin and relay
+    /// tiers — the media direction, where loss actually hurts playback.
+    /// Client egress stays clean so request loss does not conflate the
+    /// measurement. `None` leaves the wire untouched.
+    pub fault: Option<FaultSpec>,
+    /// Application-level retry policy for the clients (re-Play from the
+    /// playback horizon on prolonged silence), salted per client. On a
+    /// clean wire it never fires; under fault injection it is the
+    /// recovery of last resort when even transport repair gives up.
+    pub client_retry: Option<RetryPolicy>,
+    /// When set, every node records transport repair events (NACKs,
+    /// retransmits, give-ups, gap skips) and the report carries them
+    /// merged in causal order: clients first, then relays, then the
+    /// origin — each receiver's NACK precedes its sender's retransmit.
+    pub record_events: bool,
 }
 
 impl Default for LoopbackConfig {
@@ -68,6 +84,9 @@ impl Default for LoopbackConfig {
             segment_packets: 32,
             accel: 40,
             wall_deadline: Duration::from_secs(120),
+            fault: None,
+            client_retry: None,
+            record_events: false,
         }
     }
 }
@@ -89,6 +108,16 @@ pub struct LoopbackReport {
     pub completed: usize,
     /// Clients that gave up (must be 0 on a healthy loopback).
     pub abandoned: usize,
+    /// Application-level re-requests: client segment retries plus relay
+    /// fetch retries. The number transport repair exists to shrink —
+    /// every one is a round trip the playback deadline pays for.
+    pub rerequests: u64,
+    /// Transport repair events from every node, merged and sorted by
+    /// tick (all threads share one epoch, so cross-node timestamps are
+    /// comparable and a cause always ticks before its effect). Empty
+    /// unless [`LoopbackConfig::record_events`] was set. Feed to
+    /// [`lod_obs::check_causal`] to prove repair causality.
+    pub events: Vec<EventRecord>,
     /// Wall time the deployment ran for.
     pub wall: Duration,
 }
@@ -152,6 +181,16 @@ pub fn serve_loopback_udp(file: AsfFile, cfg: &LoopbackConfig) -> LoopbackReport
     let accel = cfg.accel;
     let udp = cfg.udp;
     let deadline = cfg.wall_deadline;
+    let fault = cfg.fault.clone();
+    let client_retry = cfg.client_retry;
+    let record_events = cfg.record_events;
+    let recorder_for = move || {
+        if record_events {
+            Recorder::with_event_capacity(1 << 16)
+        } else {
+            Recorder::disabled()
+        }
+    };
 
     let mut sockets = sockets.into_iter();
 
@@ -162,8 +201,13 @@ pub fn serve_loopback_udp(file: AsfFile, cfg: &LoopbackConfig) -> LoopbackReport
         let stop = Arc::clone(&stop);
         let segment_packets = cfg.segment_packets;
         let file = file.clone();
+        let fault = fault.clone();
         thread::spawn(move || {
-            let mut t = transport_for(origin, socket, &book, udp);
+            let obs = recorder_for();
+            let mut t = transport_for(origin, socket, &book, udp).with_recorder(obs.clone());
+            if let Some(spec) = fault {
+                t.set_egress_faults(spec);
+            }
             let mut server = StreamingServer::new(origin).with_segment_packets(segment_packets);
             server.publish("lecture", file);
             while !stop.load(Ordering::Relaxed) {
@@ -175,7 +219,12 @@ pub fn serve_loopback_udp(file: AsfFile, cfg: &LoopbackConfig) -> LoopbackReport
                 server.poll(&mut t, now);
                 thread::sleep(Duration::from_micros(200));
             }
-            (server.metrics(), *t.stats(), t.reorder_stats())
+            (
+                server.metrics(),
+                *t.stats(),
+                t.reorder_stats(),
+                obs.events(),
+            )
         })
     };
 
@@ -186,8 +235,13 @@ pub fn serve_loopback_udp(file: AsfFile, cfg: &LoopbackConfig) -> LoopbackReport
             let socket = sockets.next().expect("relay socket");
             let book = Arc::clone(&book);
             let stop = Arc::clone(&stop);
+            let fault = fault.clone();
             thread::spawn(move || {
-                let mut t = transport_for(me, socket, &book, udp);
+                let obs = recorder_for();
+                let mut t = transport_for(me, socket, &book, udp).with_recorder(obs.clone());
+                if let Some(spec) = fault {
+                    t.set_egress_faults(spec);
+                }
                 let mut relay = RelayNode::new(me, origin, 64 << 20).with_prefetch(true);
                 relay.serve_vod("lecture");
                 while !stop.load(Ordering::Relaxed) {
@@ -199,7 +253,7 @@ pub fn serve_loopback_udp(file: AsfFile, cfg: &LoopbackConfig) -> LoopbackReport
                     relay.poll(&mut t, now);
                     thread::sleep(Duration::from_micros(200));
                 }
-                (relay.metrics(), *t.stats(), t.reorder_stats())
+                (relay.metrics(), *t.stats(), t.reorder_stats(), obs.events())
             })
         })
         .collect();
@@ -212,8 +266,12 @@ pub fn serve_loopback_udp(file: AsfFile, cfg: &LoopbackConfig) -> LoopbackReport
             let socket = sockets.next().expect("client socket");
             let book = Arc::clone(&book);
             thread::spawn(move || {
-                let mut t = transport_for(me, socket, &book, udp);
+                let obs = recorder_for();
+                let mut t = transport_for(me, socket, &book, udp).with_recorder(obs.clone());
                 let mut c = StreamingClient::new(me, home, "lecture");
+                if let Some(policy) = client_retry {
+                    c = c.with_retry(policy, i as u64);
+                }
                 t.set_manual_now(ticks_since(epoch, accel));
                 c.start(&mut t);
                 loop {
@@ -232,7 +290,13 @@ pub fn serve_loopback_udp(file: AsfFile, cfg: &LoopbackConfig) -> LoopbackReport
                     }
                     thread::sleep(Duration::from_micros(200));
                 }
-                (*c.metrics(), c.is_done(), *t.stats(), t.reorder_stats())
+                (
+                    *c.metrics(),
+                    c.is_done(),
+                    *t.stats(),
+                    t.reorder_stats(),
+                    obs.events(),
+                )
             })
         })
         .collect();
@@ -242,10 +306,15 @@ pub fn serve_loopback_udp(file: AsfFile, cfg: &LoopbackConfig) -> LoopbackReport
     let mut reorder = ReorderStats::default();
     let mut completed = 0;
     let mut abandoned = 0;
+    // Every node is both sender and receiver (relays NACK the origin
+    // *and* retransmit to clients), so no concatenation order is
+    // causally consistent — the merged log is sorted by tick instead.
+    let mut events = Vec::new();
     for h in client_threads {
-        let (metrics, done, tstats, rstats) = h.join().expect("client thread");
+        let (metrics, done, tstats, rstats, ev) = h.join().expect("client thread");
         transport.merge(&tstats);
         reorder.merge(&rstats);
+        events.extend(ev);
         if done {
             completed += 1;
         }
@@ -258,14 +327,22 @@ pub fn serve_loopback_udp(file: AsfFile, cfg: &LoopbackConfig) -> LoopbackReport
     stop.store(true, Ordering::Relaxed);
     let mut relay = RelayMetrics::default();
     for h in relay_threads {
-        let (metrics, tstats, rstats) = h.join().expect("relay thread");
+        let (metrics, tstats, rstats, ev) = h.join().expect("relay thread");
         relay += metrics;
         transport.merge(&tstats);
         reorder.merge(&rstats);
+        events.extend(ev);
     }
-    let (server, tstats, rstats) = origin_thread.join().expect("origin thread");
+    let (server, tstats, rstats, ev) = origin_thread.join().expect("origin thread");
     transport.merge(&tstats);
     reorder.merge(&rstats);
+    events.extend(ev);
+    // Shared epoch + stable sort: cross-node causality becomes log
+    // order (a NACK's socket flight is hundreds of ticks, never zero),
+    // while each node's own events keep their emit order.
+    events.sort_by_key(|e| e.at);
+
+    let rerequests = clients.iter().map(|m| m.retries).sum::<u64>() + relay.fetch_retries;
 
     LoopbackReport {
         clients,
@@ -275,6 +352,8 @@ pub fn serve_loopback_udp(file: AsfFile, cfg: &LoopbackConfig) -> LoopbackReport
         reorder,
         completed,
         abandoned,
+        rerequests,
+        events,
         wall: epoch.elapsed(),
     }
 }

@@ -1,0 +1,167 @@
+//! The lossy-chaos drill: the loopback deployment (origin + 2 relays +
+//! 32 clients on real localhost UDP sockets) under seeded fault
+//! injection — ~10% steady datagram loss on the media direction plus a
+//! burst-loss window on the origin → relay trunks — run twice, with
+//! transport repair off and on.
+//!
+//! What it proves:
+//!
+//! * With repair **off**, loss surfaces to the application as segment
+//!   re-requests (client retries + relay fetch retries) — the expensive
+//!   round trips the NACK/retransmit sublayer exists to remove.
+//! * With repair **on**, every one of the 32 sessions still completes,
+//!   application-level re-requests shrink at least 5×, and the merged
+//!   event log satisfies the repair causality invariants: every
+//!   retransmit answers a prior NACK, give-ups stay within the retry
+//!   budget, and gaps are skipped only after the budget is exhausted.
+//!
+//! Ignored by default (it binds 70 sockets across two deployments and
+//! runs for wall seconds); `scripts/ci.sh` runs it explicitly under a
+//! hard timeout.
+
+use lod_core::{serve_loopback_udp, synthetic_lecture, LoopbackConfig, Wmps};
+use lod_obs::check_causal;
+use lod_simnet::{FaultPlan, NodeId};
+use lod_streaming::RetryPolicy;
+use lod_transport::{FaultSpec, RepairConfig};
+
+/// Ticks per simulated second (1 tick = 100 ns).
+const SECOND: u64 = 10_000_000;
+
+/// The chaos profile both runs share: 10% steady loss on every egress
+/// datagram of the origin and relay tiers, with a 35% burst on the
+/// origin ↔ relay trunks between simulated seconds 5 and 15.
+fn chaos() -> FaultSpec {
+    let origin = NodeId::from_index(0);
+    let relays = [NodeId::from_index(1), NodeId::from_index(2)];
+    let mut plan = FaultPlan::new();
+    for relay in relays {
+        plan = plan.loss_burst(5 * SECOND, 10 * SECOND, origin, relay, 0.35);
+    }
+    FaultSpec {
+        seed: 16,
+        loss_permille: 120,
+        plan,
+        ..FaultSpec::default()
+    }
+}
+
+/// Wall-to-tick acceleration for the drill. Deliberately slower than
+/// the loopback default (40): this test runs 70 threads, possibly on a
+/// single core, and at 40× a tens-of-milliseconds scheduler stall eats
+/// multiple simulated seconds — enough to fire application retry timers
+/// that have nothing to do with packet loss. At 10× those timers are
+/// hundreds of wall milliseconds wide and only genuine unrepaired
+/// stalls can trip them.
+const ACCEL: u64 = 10;
+
+/// Application-level recovery, active in both runs: it is the layer
+/// whose workload (re-requests) the comparison measures. The timeout is
+/// a deliberate 3 simulated seconds — 300 wall ms at [`ACCEL`] — so a
+/// retry means a genuine unrepaired stall, not an OS scheduling hiccup.
+/// (The stock [`RetryPolicy::client`] 1 s timeout would be inside
+/// scheduler noise and make the on/off ratio non-deterministic.)
+fn app_retry() -> RetryPolicy {
+    RetryPolicy {
+        request_timeout: 3 * SECOND,
+        base_backoff: SECOND / 2,
+        max_backoff: 4 * SECOND,
+        max_retries: 30,
+    }
+}
+
+#[test]
+#[ignore = "real sockets + wall clock; run explicitly (ci.sh does)"]
+fn repair_cuts_app_rerequests_five_fold_under_chaos() {
+    let wmps = Wmps::new();
+    let lecture = synthetic_lecture(1, 1, 300_000);
+    let file = wmps.publish(&lecture).expect("publish");
+
+    // Repair off: loss reaches the reorder buffer, times out, and is
+    // skipped up to the application, which re-requests at segment
+    // granularity.
+    let mut off = LoopbackConfig {
+        fault: Some(chaos()),
+        client_retry: Some(app_retry()),
+        record_events: true,
+        accel: ACCEL,
+        // Without repair a badly wedged session can burn through long
+        // app-level backoffs — don't wait the full default for a run
+        // whose completion is not under test.
+        wall_deadline: std::time::Duration::from_secs(60),
+        ..LoopbackConfig::default()
+    };
+    off.udp.repair = None;
+    let off_report = serve_loopback_udp(file.clone(), &off);
+    assert!(
+        off_report.transport.faults_dropped > 0,
+        "the chaos stage must actually drop datagrams: {:?}",
+        off_report.transport
+    );
+    assert!(
+        off_report.rerequests >= 20,
+        "without repair, ~10% datagram loss must surface as application \
+         re-requests (got {}): {:?}",
+        off_report.rerequests,
+        off_report.transport
+    );
+    // Repair-off gap skips are unconditional flushes (nacks = 0 against
+    // a budget of 0) and must still be lawful to the checker.
+    let off_causal = check_causal(&off_report.events);
+    assert!(off_causal.holds(), "{off_causal:?}");
+    assert_eq!(off_report.transport.retransmits_sent, 0);
+
+    // Repair on: the same seeded chaos, now with the NACK/retransmit
+    // sublayer between the wire and the application.
+    let mut on = LoopbackConfig {
+        fault: Some(chaos()),
+        client_retry: Some(app_retry()),
+        record_events: true,
+        accel: ACCEL,
+        ..LoopbackConfig::default()
+    };
+    // Production-shaped tuning for a lossy trunk: enough retransmit
+    // buffer that a NACK round trip cannot outrun eviction at segment
+    // fan-out rates, and enough budget to ride out the 35% burst.
+    on.udp = on.udp.with_repair(RepairConfig {
+        buffer_bytes: 4 << 20,
+        retry_budget: 6,
+        ..RepairConfig::default()
+    });
+    let on_report = serve_loopback_udp(file, &on);
+
+    assert_eq!(
+        on_report.abandoned, 0,
+        "no session may be abandoned with repair on: {:?}",
+        on_report.transport
+    );
+    assert_eq!(
+        on_report.completed, on.clients,
+        "every client must complete with repair on: {:?}",
+        on_report.transport
+    );
+    assert!(
+        on_report.transport.faults_dropped > 0,
+        "{:?}",
+        on_report.transport
+    );
+    assert!(
+        on_report.transport.nacks_sent > 0 && on_report.transport.retransmits_sent > 0,
+        "repair must have actually run: {:?}",
+        on_report.transport
+    );
+    assert!(
+        on_report.rerequests * 5 <= off_report.rerequests,
+        "repair must cut application re-requests at least 5x: \
+         {} with repair vs {} without",
+        on_report.rerequests,
+        off_report.rerequests
+    );
+
+    // Causality: every retransmit answers a NACK some receiver sent
+    // earlier, give-ups respect the retry budget, and any skipped gap
+    // exhausted its budget first.
+    let on_causal = check_causal(&on_report.events);
+    assert!(on_causal.holds(), "{on_causal:?}");
+    assert!(on_causal.retransmits > 0, "{on_causal:?}");
+}

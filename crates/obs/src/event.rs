@@ -264,6 +264,59 @@ pub enum Event {
         /// The horizon the session will resume from.
         horizon: u64,
     },
+    /// A transport receiver NACKed a sequence gap toward its peer.
+    NackSent {
+        /// Raw node index of the receiver that noticed the gap.
+        node: u64,
+        /// Raw node index of the sender being asked to repair.
+        peer: u64,
+        /// First missing sequence named by the NACK.
+        base_seq: u64,
+        /// Width of the sequence range the NACK covers (`[base_seq,
+        /// base_seq + span)` — 1 for a single-seq NACK).
+        span: u64,
+    },
+    /// A transport sender answered a NACK by resending a buffered frame.
+    Retransmit {
+        /// Raw node index of the resending sender.
+        node: u64,
+        /// Raw node index of the receiver that NACKed.
+        peer: u64,
+        /// Sequence being resent.
+        seq: u64,
+        /// Which retransmission this is, 1-based.
+        attempt: u64,
+    },
+    /// A transport sender stopped repairing a sequence (retry budget
+    /// spent or the frame already evicted from the retransmit buffer).
+    RepairGiveUp {
+        /// Raw node index of the sender giving up.
+        node: u64,
+        /// Raw node index of the receiver that asked.
+        peer: u64,
+        /// The abandoned sequence.
+        seq: u64,
+        /// Retransmissions actually performed for it.
+        retries: u64,
+        /// The configured per-seq retry budget.
+        budget: u64,
+    },
+    /// A transport receiver abandoned a gap and released the frames
+    /// waiting behind it. With repair enabled this is only lawful after
+    /// the NACK budget was exhausted (`nacks == budget`); without repair
+    /// both counts are 0 (a plain reorder-timeout skip).
+    GapSkipped {
+        /// Raw node index of the receiver skipping.
+        node: u64,
+        /// Raw node index of the peer whose frame was lost.
+        peer: u64,
+        /// The skipped sequence.
+        seq: u64,
+        /// NACKs that were sent for it before the skip.
+        nacks: u64,
+        /// The configured NACK budget (0 = repair disabled).
+        budget: u64,
+    },
 }
 
 impl Event {
@@ -306,6 +359,10 @@ impl Event {
             Event::Demoted { .. } => "demoted",
             Event::Checkpoint { .. } => "checkpoint",
             Event::SessionMigrated { .. } => "session_migrated",
+            Event::NackSent { .. } => "nack_sent",
+            Event::Retransmit { .. } => "retransmit",
+            Event::RepairGiveUp { .. } => "repair_give_up",
+            Event::GapSkipped { .. } => "gap_skipped",
         }
     }
 }
@@ -472,6 +529,54 @@ impl EventRecord {
             Event::Checkpoint { client, horizon } | Event::SessionMigrated { client, horizon } => {
                 push_num_field(&mut out, "client", *client);
                 push_num_field(&mut out, "horizon", *horizon);
+            }
+            Event::NackSent {
+                node,
+                peer,
+                base_seq,
+                span,
+            } => {
+                push_num_field(&mut out, "node", *node);
+                push_num_field(&mut out, "peer", *peer);
+                push_num_field(&mut out, "base_seq", *base_seq);
+                push_num_field(&mut out, "span", *span);
+            }
+            Event::Retransmit {
+                node,
+                peer,
+                seq,
+                attempt,
+            } => {
+                push_num_field(&mut out, "node", *node);
+                push_num_field(&mut out, "peer", *peer);
+                push_num_field(&mut out, "seq", *seq);
+                push_num_field(&mut out, "attempt", *attempt);
+            }
+            Event::RepairGiveUp {
+                node,
+                peer,
+                seq,
+                retries,
+                budget,
+            } => {
+                push_num_field(&mut out, "node", *node);
+                push_num_field(&mut out, "peer", *peer);
+                push_num_field(&mut out, "seq", *seq);
+                push_num_field(&mut out, "retries", *retries);
+                push_num_field(&mut out, "budget", *budget);
+            }
+            Event::GapSkipped {
+                node,
+                peer,
+                seq,
+                nacks,
+                budget,
+            } => {
+                push_num_field(&mut out, "node", *node);
+                push_num_field(&mut out, "peer", *peer);
+                push_num_field(&mut out, "seq", *seq);
+                push_num_field(&mut out, "nacks", *nacks);
+                push_num_field(&mut out, "budget", *budget);
             }
         }
         out.push('}');
@@ -715,6 +820,32 @@ pub fn parse_event(line: &str) -> Result<EventRecord, String> {
             client: f.num("client")?,
             horizon: f.num("horizon")?,
         },
+        "nack_sent" => Event::NackSent {
+            node: f.num("node")?,
+            peer: f.num("peer")?,
+            base_seq: f.num("base_seq")?,
+            span: f.num("span")?,
+        },
+        "retransmit" => Event::Retransmit {
+            node: f.num("node")?,
+            peer: f.num("peer")?,
+            seq: f.num("seq")?,
+            attempt: f.num("attempt")?,
+        },
+        "repair_give_up" => Event::RepairGiveUp {
+            node: f.num("node")?,
+            peer: f.num("peer")?,
+            seq: f.num("seq")?,
+            retries: f.num("retries")?,
+            budget: f.num("budget")?,
+        },
+        "gap_skipped" => Event::GapSkipped {
+            node: f.num("node")?,
+            peer: f.num("peer")?,
+            seq: f.num("seq")?,
+            nacks: f.num("nacks")?,
+            budget: f.num("budget")?,
+        },
         other => return Err(format!("unknown event kind {other}")),
     };
     Ok(EventRecord { at, event })
@@ -836,6 +967,32 @@ mod tests {
             Event::SessionMigrated {
                 client: 3,
                 horizon: 4_096,
+            },
+            Event::NackSent {
+                node: 5,
+                peer: 1,
+                base_seq: 42,
+                span: 3,
+            },
+            Event::Retransmit {
+                node: 1,
+                peer: 5,
+                seq: 42,
+                attempt: 1,
+            },
+            Event::RepairGiveUp {
+                node: 1,
+                peer: 5,
+                seq: 44,
+                retries: 3,
+                budget: 3,
+            },
+            Event::GapSkipped {
+                node: 5,
+                peer: 1,
+                seq: 44,
+                nacks: 3,
+                budget: 3,
             },
         ];
         for (i, event) in all.into_iter().enumerate() {

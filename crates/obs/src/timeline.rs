@@ -319,6 +319,29 @@ pub struct CausalReport {
     /// strictly exceed every epoch promoted (or demoted-to) before it —
     /// two nodes would be serving the same epoch.
     pub epoch_conflicts: u64,
+    /// `retransmit` events seen.
+    #[serde(default)]
+    pub retransmits: u64,
+    /// Retransmits with no earlier `nack_sent` from the receiving peer
+    /// covering the resent sequence — the sender resent unasked, a
+    /// causality violation.
+    #[serde(default)]
+    pub unmatched_retransmits: u64,
+    /// `repair_give_up` events seen.
+    #[serde(default)]
+    pub repair_give_ups: u64,
+    /// Give-ups whose declared retry count exceeds the declared budget —
+    /// the sender kept repairing past its own limit.
+    #[serde(default)]
+    pub over_budget_give_ups: u64,
+    /// `gap_skipped` events seen.
+    #[serde(default)]
+    pub gap_skips: u64,
+    /// Gap-skips that happened before the NACK budget was exhausted
+    /// (`nacks < budget`) — with repair enabled, a skip is only lawful
+    /// after budget exhaustion.
+    #[serde(default)]
+    pub premature_gap_skips: u64,
 }
 
 impl CausalReport {
@@ -332,13 +355,17 @@ impl CausalReport {
         self.sheds_by_node.get(&node).copied().unwrap_or(0)
     }
 
-    /// Whether every causal invariant holds (overload and failover).
+    /// Whether every causal invariant holds (overload, failover and
+    /// transport repair).
     pub fn holds(&self) -> bool {
         self.unheralded_downshifts == 0
             && self.unmatched_recoveries == 0
             && self.unheralded_promotions == 0
             && self.unmatched_migrations == 0
             && self.epoch_conflicts == 0
+            && self.unmatched_retransmits == 0
+            && self.over_budget_give_ups == 0
+            && self.premature_gap_skips == 0
     }
 }
 
@@ -356,7 +383,16 @@ impl CausalReport {
 ///    the same client, and
 /// 5. fencing epochs are strictly monotonic: no two promotions (nor a
 ///    promotion and the demotion it fenced) share an epoch, so no two
-///    nodes ever serve the same epoch.
+///    nodes ever serve the same epoch,
+/// 6. every `retransmit` answers an earlier `nack_sent` from the
+///    receiving peer whose `[base_seq, base_seq + span)` range covers the
+///    resent sequence (a sender never resends unasked),
+/// 7. every `repair_give_up` declares `retries <= budget` (the sender
+///    never repaired past its own limit), and
+/// 8. every `gap_skipped` declares `nacks >= budget` (with repair on, a
+///    receiver only abandons a gap after exhausting its NACK budget;
+///    plain reorder-timeout skips carry `nacks == budget == 0` and are
+///    lawful).
 pub fn check_causal(events: &[EventRecord]) -> CausalReport {
     let mut report = CausalReport::default();
     let mut backlog_high_seen: BTreeMap<u64, bool> = BTreeMap::new();
@@ -368,6 +404,8 @@ pub fn check_causal(events: &[EventRecord]) -> CausalReport {
     let mut promotion_armed: BTreeMap<u64, bool> = BTreeMap::new();
     let mut checkpointed: BTreeMap<u64, bool> = BTreeMap::new();
     let mut max_epoch_promoted: Option<u64> = None;
+    // Repair bookkeeping: NACK ranges per (nacker, peer) direction.
+    let mut nack_ranges: BTreeMap<(u64, u64), Vec<(u64, u64)>> = BTreeMap::new();
     for rec in events {
         match &rec.event {
             Event::BacklogHigh { client, .. } => {
@@ -427,6 +465,46 @@ pub fn check_causal(events: &[EventRecord]) -> CausalReport {
                 report.migrations += 1;
                 if !checkpointed.get(client).copied().unwrap_or(false) {
                     report.unmatched_migrations += 1;
+                }
+            }
+            Event::NackSent {
+                node,
+                peer,
+                base_seq,
+                span,
+            } => {
+                nack_ranges
+                    .entry((*node, *peer))
+                    .or_default()
+                    .push((*base_seq, *span));
+            }
+            Event::Retransmit {
+                node, peer, seq, ..
+            } => {
+                report.retransmits += 1;
+                // The matching NACK was sent *by* the peer *to* this
+                // sender, so the key direction flips.
+                let asked = nack_ranges.get(&(*peer, *node)).is_some_and(|ranges| {
+                    ranges
+                        .iter()
+                        .any(|&(base, span)| *seq >= base && *seq < base + span)
+                });
+                if !asked {
+                    report.unmatched_retransmits += 1;
+                }
+            }
+            Event::RepairGiveUp {
+                retries, budget, ..
+            } => {
+                report.repair_give_ups += 1;
+                if retries > budget {
+                    report.over_budget_give_ups += 1;
+                }
+            }
+            Event::GapSkipped { nacks, budget, .. } => {
+                report.gap_skips += 1;
+                if nacks < budget {
+                    report.premature_gap_skips += 1;
                 }
             }
             _ => {}
@@ -695,5 +773,160 @@ mod tests {
         assert_eq!(r.promotions, 2);
         assert_eq!(r.unheralded_promotions, 1);
         assert_eq!(r.epoch_conflicts, 0, "epoch 3 is still monotonic");
+    }
+
+    #[test]
+    fn repair_invariants_hold_on_a_lawful_trace() {
+        // Node 5 (receiver) NACKs a 3-wide range at node 1 (sender); the
+        // sender retransmits inside the range, gives up on one seq at
+        // budget, and the receiver skips it after exhausting its NACKs.
+        let events = vec![
+            rec(
+                10,
+                Event::NackSent {
+                    node: 5,
+                    peer: 1,
+                    base_seq: 42,
+                    span: 3,
+                },
+            ),
+            rec(
+                20,
+                Event::Retransmit {
+                    node: 1,
+                    peer: 5,
+                    seq: 42,
+                    attempt: 1,
+                },
+            ),
+            rec(
+                20,
+                Event::Retransmit {
+                    node: 1,
+                    peer: 5,
+                    seq: 44,
+                    attempt: 1,
+                },
+            ),
+            rec(
+                30,
+                Event::RepairGiveUp {
+                    node: 1,
+                    peer: 5,
+                    seq: 44,
+                    retries: 3,
+                    budget: 3,
+                },
+            ),
+            rec(
+                40,
+                Event::GapSkipped {
+                    node: 5,
+                    peer: 1,
+                    seq: 44,
+                    nacks: 3,
+                    budget: 3,
+                },
+            ),
+            // A repair-off reorder-timeout skip is lawful too.
+            rec(
+                50,
+                Event::GapSkipped {
+                    node: 6,
+                    peer: 1,
+                    seq: 7,
+                    nacks: 0,
+                    budget: 0,
+                },
+            ),
+        ];
+        let r = check_causal(&events);
+        assert!(r.holds(), "{r:?}");
+        assert_eq!(r.retransmits, 2);
+        assert_eq!(r.repair_give_ups, 1);
+        assert_eq!(r.gap_skips, 2);
+    }
+
+    #[test]
+    fn repair_violations_are_counted() {
+        let events = vec![
+            // Retransmit with no NACK anywhere.
+            rec(
+                10,
+                Event::Retransmit {
+                    node: 1,
+                    peer: 5,
+                    seq: 42,
+                    attempt: 1,
+                },
+            ),
+            rec(
+                20,
+                Event::NackSent {
+                    node: 5,
+                    peer: 1,
+                    base_seq: 50,
+                    span: 2,
+                },
+            ),
+            // Retransmit outside the NACKed range [50, 52).
+            rec(
+                30,
+                Event::Retransmit {
+                    node: 1,
+                    peer: 5,
+                    seq: 52,
+                    attempt: 1,
+                },
+            ),
+            // NACK in the wrong direction does not bless a retransmit:
+            // node 7 nacked node 8, not the other way around.
+            rec(
+                40,
+                Event::NackSent {
+                    node: 8,
+                    peer: 7,
+                    base_seq: 9,
+                    span: 1,
+                },
+            ),
+            rec(
+                50,
+                Event::Retransmit {
+                    node: 8,
+                    peer: 7,
+                    seq: 9,
+                    attempt: 1,
+                },
+            ),
+            // Give-up past its own budget.
+            rec(
+                60,
+                Event::RepairGiveUp {
+                    node: 1,
+                    peer: 5,
+                    seq: 50,
+                    retries: 4,
+                    budget: 3,
+                },
+            ),
+            // Skip before the NACK budget was spent.
+            rec(
+                70,
+                Event::GapSkipped {
+                    node: 5,
+                    peer: 1,
+                    seq: 50,
+                    nacks: 1,
+                    budget: 3,
+                },
+            ),
+        ];
+        let r = check_causal(&events);
+        assert_eq!(r.retransmits, 3);
+        assert_eq!(r.unmatched_retransmits, 3);
+        assert_eq!(r.over_budget_give_ups, 1);
+        assert_eq!(r.premature_gap_skips, 1);
+        assert!(!r.holds());
     }
 }

@@ -7,9 +7,12 @@
 //! offset  size  field
 //!      0     2  magic "LT"
 //!      2     1  version (1)
-//!      3     1  flags (bit 0: sent via send_reliable)
+//!      3     1  flags (bit 0: sent via send_reliable; bit 1: transport
+//!               control frame, payload is a repair ControlFrame, seq 0;
+//!               bit 2: retransmission of an earlier data frame)
 //!      4     8  sequence number, monotonic per (sender, receiver) pair,
 //!               starting at 1 — the reorder buffer's ordering key
+//!               (0 for control frames, which bypass re-sequencing)
 //!     12     8  send timestamp in ticks (sender's clock)
 //!     20     4  payload length in bytes
 //!     24     …  payload (WireCodec encoding of the message)
@@ -33,6 +36,12 @@ pub const FRAME_MAGIC: [u8; 2] = *b"LT";
 pub const FRAME_VERSION: u8 = 1;
 /// Flag bit: the message was sent with `send_reliable`.
 pub const FLAG_RELIABLE: u8 = 0b0000_0001;
+/// Flag bit: transport-internal control frame (repair NACK); the payload
+/// is a [`crate::repair::ControlFrame`], not an application message, and
+/// the sequence field is 0 — control frames bypass the reorder buffer.
+pub const FLAG_CONTROL: u8 = 0b0000_0010;
+/// Flag bit: this data frame is a retransmission answering a NACK.
+pub const FLAG_RETRANSMIT: u8 = 0b0000_0100;
 /// Fixed frame header size in bytes.
 pub const FRAME_HEADER_BYTES: usize = 24;
 
@@ -90,22 +99,38 @@ impl std::error::Error for CodecError {}
 /// Parsed frame header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameHeader {
-    /// Per-(sender, receiver) monotonic sequence number, starting at 1.
+    /// Per-(sender, receiver) monotonic sequence number, starting at 1
+    /// (0 on control frames).
     pub seq: u64,
     /// Sender clock at send time, in ticks.
     pub sent_at: u64,
     /// Whether the message was sent with `send_reliable`.
     pub reliable: bool,
+    /// Whether this is a transport-internal control frame (repair NACK).
+    pub control: bool,
+    /// Whether this data frame is a retransmission.
+    pub retransmit: bool,
     /// Payload length in bytes.
     pub len: u32,
 }
 
 /// Encodes one frame: header + payload, ready for `send_to`.
 pub fn encode_frame(seq: u64, sent_at: u64, reliable: bool, payload: &[u8]) -> Vec<u8> {
+    encode_frame_with_flags(
+        seq,
+        sent_at,
+        if reliable { FLAG_RELIABLE } else { 0 },
+        payload,
+    )
+}
+
+/// Encodes one frame with an explicit flags byte (the repair sublayer
+/// uses this for [`FLAG_CONTROL`] NACK frames).
+pub fn encode_frame_with_flags(seq: u64, sent_at: u64, flags: u8, payload: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
     buf.extend_from_slice(&FRAME_MAGIC);
     buf.push(FRAME_VERSION);
-    buf.push(if reliable { FLAG_RELIABLE } else { 0 });
+    buf.push(flags);
     buf.extend_from_slice(&seq.to_le_bytes());
     buf.extend_from_slice(&sent_at.to_le_bytes());
     buf.extend_from_slice(
@@ -115,6 +140,13 @@ pub fn encode_frame(seq: u64, sent_at: u64, reliable: bool, payload: &[u8]) -> V
     );
     buf.extend_from_slice(payload);
     buf
+}
+
+/// Marks an already-encoded frame as a retransmission in place (the
+/// retransmit buffer stores original frames and flags them on resend).
+pub fn mark_retransmit(frame: &mut [u8]) {
+    debug_assert!(frame.len() >= FRAME_HEADER_BYTES, "not a frame");
+    frame[3] |= FLAG_RETRANSMIT;
 }
 
 /// Splits a datagram into its parsed header and payload slice.
@@ -148,6 +180,8 @@ pub fn decode_frame(datagram: &[u8]) -> Result<(FrameHeader, &[u8]), CodecError>
             seq,
             sent_at,
             reliable: flags & FLAG_RELIABLE != 0,
+            control: flags & FLAG_CONTROL != 0,
+            retransmit: flags & FLAG_RETRANSMIT != 0,
             len,
         },
         payload,
@@ -392,6 +426,21 @@ mod tests {
         assert!(h.reliable);
         assert_eq!(h.len, 7);
         assert_eq!(payload, b"payload");
+    }
+
+    #[test]
+    fn control_and_retransmit_flags_round_trip() {
+        let control = encode_frame_with_flags(0, 9, FLAG_CONTROL, b"nack");
+        let (h, _) = decode_frame(&control).unwrap();
+        assert!(h.control && !h.reliable && !h.retransmit);
+        assert_eq!(h.seq, 0);
+
+        let mut resent = encode_frame(7, 3, false, b"data");
+        mark_retransmit(&mut resent);
+        let (h, payload) = decode_frame(&resent).unwrap();
+        assert!(h.retransmit && !h.control);
+        assert_eq!(h.seq, 7);
+        assert_eq!(payload, b"data", "marking must not disturb the payload");
     }
 
     #[test]

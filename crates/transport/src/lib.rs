@@ -26,16 +26,21 @@
 //! driven and therefore only statistically reproducible — it is gated on
 //! outcomes (lecture completes, metrics reconcile), never on byte-diffs.
 
+pub mod fault;
 pub mod frame;
 pub mod reorder;
+pub mod repair;
 pub mod udp;
 
 use lod_simnet::{Delivery, Network, NetworkError, NodeId};
 
+pub use fault::{FaultAction, FaultEngine, FaultSpec, FaultyTransport};
 pub use frame::{
-    decode_frame, encode_frame, CodecError, FrameHeader, Reader, WireCodec, FRAME_HEADER_BYTES,
+    decode_frame, encode_frame, encode_frame_with_flags, mark_retransmit, CodecError, FrameHeader,
+    Reader, WireCodec, FLAG_CONTROL, FLAG_RELIABLE, FLAG_RETRANSMIT, FRAME_HEADER_BYTES,
 };
 pub use reorder::{ReorderBuffer, ReorderStats};
+pub use repair::{ControlFrame, RepairConfig, RepairRx, RepairTx};
 pub use udp::{TransportStats, UdpConfig, UdpTransport};
 
 /// Ticks per second (1 tick = 100 ns), matching `lod-simnet`'s clock.

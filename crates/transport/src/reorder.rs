@@ -20,8 +20,8 @@ pub struct ReorderStats {
     pub out_of_order: u64,
     /// Frames dropped as duplicates or late (seq already passed).
     pub duplicates: u64,
-    /// Sequence numbers abandoned by gap flushes.
-    pub skipped: u64,
+    /// Sequence numbers abandoned by gap flushes or authorized skips.
+    pub skipped_seqs: u64,
     /// High-water mark of frames waiting at once.
     pub max_depth: usize,
 }
@@ -33,7 +33,7 @@ impl ReorderStats {
         self.delivered += other.delivered;
         self.out_of_order += other.out_of_order;
         self.duplicates += other.duplicates;
-        self.skipped += other.skipped;
+        self.skipped_seqs += other.skipped_seqs;
         self.max_depth = self.max_depth.max(other.max_depth);
     }
 }
@@ -93,11 +93,54 @@ impl<T> ReorderBuffer<T> {
             if entry.0.saturating_add(self.flush_after) > now {
                 break;
             }
-            self.stats.skipped += seq - self.next_seq;
+            self.stats.skipped_seqs += seq - self.next_seq;
             self.next_seq = seq;
             self.drain_ready(&mut out);
         }
         out
+    }
+
+    /// The first open gap — the sequences between the consumer's cursor
+    /// and the oldest waiting frame — or `None` when nothing waits.
+    pub fn first_gap(&self) -> Option<std::ops::Range<u64>> {
+        let (&seq, _) = self.pending.first_key_value()?;
+        Some(self.next_seq..seq)
+    }
+
+    /// The missing sequences currently blocking delivery, oldest first,
+    /// at most `cap` of them (the NACK layer's view of this buffer).
+    pub fn missing(&self, cap: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cursor = self.next_seq;
+        for &seq in self.pending.keys() {
+            for s in cursor..seq {
+                if out.len() == cap {
+                    return out;
+                }
+                out.push(s);
+            }
+            cursor = seq + 1;
+        }
+        out
+    }
+
+    /// Abandons every sequence before `seq` and releases whatever was
+    /// waiting behind them — the repair layer calls this once a gap's
+    /// retry budget is exhausted (the time-based [`Self::flush_due`] is
+    /// bypassed when repair runs, so skips only happen here).
+    pub fn skip_to(&mut self, seq: u64, out: &mut Vec<T>) {
+        if seq <= self.next_seq {
+            return;
+        }
+        debug_assert!(
+            self.pending
+                .first_key_value()
+                .is_none_or(|(&s, _)| seq <= s),
+            "skipping past a frame that actually arrived"
+        );
+        self.stats.skipped_seqs += seq - self.next_seq;
+        self.next_seq = seq;
+        self.drain_ready(out);
     }
 
     fn drain_ready(&mut self, out: &mut Vec<T>) {
@@ -116,6 +159,16 @@ impl<T> ReorderBuffer<T> {
     /// The next sequence number the consumer will see.
     pub fn expected(&self) -> u64 {
         self.next_seq
+    }
+
+    /// One past the highest sequence this buffer knows about — every
+    /// sequence below it was delivered, is pending, or shows up in
+    /// [`Self::missing`]. Sequences from here up to a peer-advertised
+    /// top are *tail* losses no later arrival will ever expose.
+    pub fn horizon(&self) -> u64 {
+        self.pending
+            .last_key_value()
+            .map_or(self.next_seq, |(&seq, _)| seq + 1)
     }
 
     /// Traffic counters.
@@ -171,10 +224,52 @@ mod tests {
         assert_eq!(b.accept(4, 120, 40), Vec::<u64>::new());
         assert_eq!(b.flush_due(900), Vec::<u64>::new()); // not yet due
         assert_eq!(b.flush_due(1_100), vec![30, 40]);
-        assert_eq!(b.stats().skipped, 1);
+        assert_eq!(b.stats().skipped_seqs, 1);
         assert_eq!(b.expected(), 5);
         // Seq 2 finally limps in: it is late now.
         assert_eq!(b.accept(2, 1_200, 20), Vec::<u64>::new());
         assert_eq!(b.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn flush_deadline_boundary_is_exact() {
+        // The gap is declared lost exactly at timestamp + flush_after:
+        // `flush_due` holds while `timestamp + flush_after > now` and
+        // fires the moment equality is reached.
+        let mut b: ReorderBuffer<u64> = ReorderBuffer::new(1_000);
+        assert_eq!(b.accept(2, 100, 20), Vec::<u64>::new());
+        assert_eq!(b.flush_due(1_099), Vec::<u64>::new(), "one tick early");
+        assert_eq!(b.stats().skipped_seqs, 0);
+        assert_eq!(b.flush_due(1_100), vec![20], "exactly at the deadline");
+        assert_eq!(b.stats().skipped_seqs, 1);
+    }
+
+    #[test]
+    fn missing_and_first_gap_describe_the_holes() {
+        let mut b: ReorderBuffer<u64> = ReorderBuffer::new(1_000);
+        assert_eq!(b.first_gap(), None);
+        assert_eq!(b.accept(1, 0, 10), vec![10]);
+        assert_eq!(b.accept(4, 0, 40), Vec::<u64>::new());
+        assert_eq!(b.accept(7, 0, 70), Vec::<u64>::new());
+        assert_eq!(b.first_gap(), Some(2..4));
+        assert_eq!(b.missing(usize::MAX), vec![2, 3, 5, 6]);
+        assert_eq!(b.missing(3), vec![2, 3, 5]);
+    }
+
+    #[test]
+    fn skip_to_abandons_the_gap_and_releases_the_run() {
+        let mut b: ReorderBuffer<u64> = ReorderBuffer::new(1_000);
+        assert_eq!(b.accept(1, 0, 10), vec![10]);
+        assert_eq!(b.accept(4, 0, 40), Vec::<u64>::new());
+        assert_eq!(b.accept(5, 0, 50), Vec::<u64>::new());
+        let mut out = Vec::new();
+        b.skip_to(2, &mut out); // no-op: 2 is already the cursor...
+        b.skip_to(4, &mut out);
+        assert_eq!(out, vec![40, 50]);
+        assert_eq!(b.stats().skipped_seqs, 2);
+        assert_eq!(b.expected(), 6);
+        // Skipping backward is a no-op.
+        b.skip_to(3, &mut out);
+        assert_eq!(b.expected(), 6);
     }
 }

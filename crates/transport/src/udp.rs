@@ -20,12 +20,21 @@ use std::marker::PhantomData;
 use std::net::{SocketAddr, UdpSocket};
 use std::time::Instant;
 
-use lod_obs::Recorder;
+use lod_obs::{Event, Recorder};
 use lod_simnet::{Delivery, NetworkError, NodeId, TokenBucket};
 
-use crate::frame::{decode_frame, encode_frame, WireCodec, FRAME_HEADER_BYTES};
+use crate::fault::{FaultAction, FaultEngine, FaultSpec};
+use crate::frame::{
+    decode_frame, encode_frame, encode_frame_with_flags, mark_retransmit, WireCodec, FLAG_CONTROL,
+    FRAME_HEADER_BYTES,
+};
 use crate::reorder::{ReorderBuffer, ReorderStats};
+use crate::repair::{ControlFrame, RepairConfig, RepairRx, RepairTx};
 use crate::{Transport, TICKS_PER_SECOND};
+
+/// Most gap sequences one receiver poll reconciles per peer (also the
+/// widest NACK span one frame can carry).
+const MISSING_CAP: usize = 512;
 
 /// Knobs for a [`UdpTransport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +50,10 @@ pub struct UdpConfig {
     /// oversize messages are counted and dropped, mirroring what the
     /// kernel would do to a > 64 KiB datagram.
     pub max_frame_bytes: usize,
+    /// NACK/retransmit loss repair. `None` (the default) keeps the plain
+    /// reorder-timeout behavior; `Some` enables the repair sublayer and
+    /// hands gap-skip authority to its retry budget.
+    pub repair: Option<RepairConfig>,
 }
 
 impl Default for UdpConfig {
@@ -52,7 +65,40 @@ impl Default for UdpConfig {
             // datagram never stalls playout past one driver beat.
             reorder_flush_ticks: 500_000,
             max_frame_bytes: 60 * 1024,
+            repair: None,
         }
+    }
+}
+
+impl UdpConfig {
+    /// Sets the reorder gap-flush timeout, rejecting a zero that would
+    /// skip every gap instantly.
+    #[must_use]
+    pub fn with_reorder_flush_ticks(mut self, ticks: u64) -> Self {
+        assert!(ticks > 0, "reorder_flush_ticks must be positive");
+        self.reorder_flush_ticks = ticks;
+        self
+    }
+
+    /// Sets the pacing rate and burst, rejecting zeros that would stall
+    /// the sender forever (use the `pace_rate_bps: 0` default to disable
+    /// pacing instead).
+    #[must_use]
+    pub fn with_pacing(mut self, rate_bps: u64, burst_bytes: u64) -> Self {
+        assert!(rate_bps > 0, "pace_rate_bps must be positive");
+        assert!(burst_bytes > 0, "pace_burst_bytes must be positive");
+        self.pace_rate_bps = rate_bps;
+        self.pace_burst_bytes = burst_bytes;
+        self
+    }
+
+    /// Enables NACK/retransmit repair, validating every budget in
+    /// `repair` is positive.
+    #[must_use]
+    pub fn with_repair(mut self, repair: RepairConfig) -> Self {
+        repair.validate();
+        self.repair = Some(repair);
+        self
     }
 }
 
@@ -75,6 +121,28 @@ pub struct TransportStats {
     pub oversize_drops: u64,
     /// `send_to` failures other than `WouldBlock`.
     pub send_errors: u64,
+    /// NACK control frames sent by this receiver.
+    pub nacks_sent: u64,
+    /// NACK control frames received by this sender.
+    pub nacks_received: u64,
+    /// Data frames resent in answer to NACKs.
+    pub retransmits_sent: u64,
+    /// Retransmitted data frames received.
+    pub retransmits_received: u64,
+    /// Sequences the repair sender gave up on.
+    pub repair_give_ups: u64,
+    /// Sequences skipped after the NACK budget was exhausted.
+    pub gap_skipped_seqs: u64,
+    /// Heartbeat control frames sent (top-sequence advertisements).
+    pub heartbeats_sent: u64,
+    /// Heartbeat control frames received.
+    pub heartbeats_received: u64,
+    /// Datagrams dropped by the egress fault stage.
+    pub faults_dropped: u64,
+    /// Datagrams duplicated by the egress fault stage.
+    pub faults_duplicated: u64,
+    /// Datagrams delayed by the egress fault stage.
+    pub faults_delayed: u64,
 }
 
 impl TransportStats {
@@ -89,6 +157,17 @@ impl TransportStats {
         self.unknown_peer += other.unknown_peer;
         self.oversize_drops += other.oversize_drops;
         self.send_errors += other.send_errors;
+        self.nacks_sent += other.nacks_sent;
+        self.nacks_received += other.nacks_received;
+        self.retransmits_sent += other.retransmits_sent;
+        self.retransmits_received += other.retransmits_received;
+        self.repair_give_ups += other.repair_give_ups;
+        self.gap_skipped_seqs += other.gap_skipped_seqs;
+        self.heartbeats_sent += other.heartbeats_sent;
+        self.heartbeats_received += other.heartbeats_received;
+        self.faults_dropped += other.faults_dropped;
+        self.faults_duplicated += other.faults_duplicated;
+        self.faults_delayed += other.faults_delayed;
     }
 }
 
@@ -98,6 +177,18 @@ enum Clock {
     Wall(Instant),
     /// Test-controlled time.
     Manual(u64),
+}
+
+/// Per-peer heartbeat pacing: heartbeats fire only after the data path
+/// toward that peer goes quiet, and only a bounded burst of them — the
+/// receiver remembers the advertised top, so the advertisement needs to
+/// land once, not flow forever.
+#[derive(Debug, Default)]
+struct HbState {
+    /// Tick of the last data frame or heartbeat sent to this peer.
+    last_activity_at: u64,
+    /// Heartbeats sent since the last data frame.
+    sent_since_data: u32,
 }
 
 /// A [`Transport`] backend on a real UDP socket.
@@ -110,6 +201,16 @@ pub struct UdpTransport<M> {
     by_addr: HashMap<SocketAddr, NodeId>,
     next_seq: HashMap<usize, u64>,
     reorder: HashMap<usize, ReorderBuffer<(u64, M)>>,
+    repair_tx: HashMap<usize, RepairTx>,
+    repair_rx: HashMap<usize, RepairRx>,
+    /// Receiver side: highest data sequence each peer is known to have
+    /// sent (max of observed frames and heartbeat advertisements) — the
+    /// reference that makes tail loss detectable.
+    peer_top: HashMap<usize, u64>,
+    /// Sender side: per-peer heartbeat pacing state.
+    hb: HashMap<usize, HbState>,
+    fault: Option<FaultEngine>,
+    delayed: Vec<(u64, SocketAddr, Vec<u8>)>,
     pacer: Option<TokenBucket>,
     queue: VecDeque<(SocketAddr, Vec<u8>)>,
     queued_bytes: u64,
@@ -154,6 +255,12 @@ impl<M: WireCodec> UdpTransport<M> {
             by_addr: HashMap::new(),
             next_seq: HashMap::new(),
             reorder: HashMap::new(),
+            repair_tx: HashMap::new(),
+            repair_rx: HashMap::new(),
+            peer_top: HashMap::new(),
+            hb: HashMap::new(),
+            fault: None,
+            delayed: Vec::new(),
             pacer,
             queue: VecDeque::new(),
             queued_bytes: 0,
@@ -207,6 +314,42 @@ impl<M: WireCodec> UdpTransport<M> {
         self.clock = Clock::Manual(now);
     }
 
+    /// Installs a seeded fault stage on this node's egress: every
+    /// outbound datagram (data, control and retransmits alike) passes
+    /// through the engine's drop/duplicate/delay decision right before
+    /// `send_to`. This is datagram-level chaos — each dropped datagram
+    /// leaves a real sequence gap for the repair sublayer to NACK.
+    pub fn set_egress_faults(&mut self, spec: FaultSpec) {
+        self.fault = Some(FaultEngine::new(spec));
+    }
+
+    /// Aggregated sender-side repair counters across peers.
+    pub fn repair_tx_stats(&self) -> crate::repair::RepairTxStats {
+        let mut total = crate::repair::RepairTxStats::default();
+        for tx in self.repair_tx.values() {
+            let s = tx.stats();
+            total.retransmits += s.retransmits;
+            total.suppressed_duplicates += s.suppressed_duplicates;
+            total.give_ups += s.give_ups;
+            total.unbuffered_nacks += s.unbuffered_nacks;
+            total.evicted_frames += s.evicted_frames;
+        }
+        total
+    }
+
+    /// Aggregated receiver-side repair counters across peers.
+    pub fn repair_rx_stats(&self) -> crate::repair::RepairRxStats {
+        let mut total = crate::repair::RepairRxStats::default();
+        for rx in self.repair_rx.values() {
+            let s = rx.stats();
+            total.nacks_sent += s.nacks_sent;
+            total.seqs_nacked += s.seqs_nacked;
+            total.repaired += s.repaired;
+            total.gap_skips += s.gap_skips;
+        }
+        total
+    }
+
     /// Traffic counters.
     pub fn stats(&self) -> &TransportStats {
         &self.stats
@@ -245,19 +388,67 @@ impl<M: WireCodec> UdpTransport<M> {
             return Ok(());
         }
         *seq += 1;
+        if let Some(repair) = self.cfg.repair {
+            let sent_seq = *seq - 1;
+            self.repair_tx
+                .entry(dst.index())
+                .or_insert_with(|| RepairTx::new(repair))
+                .record(sent_seq, &frame);
+            let hb = self.hb.entry(dst.index()).or_default();
+            hb.last_activity_at = now;
+            hb.sent_since_data = 0;
+        }
+        self.pace_or_queue(now, addr, frame);
+        Ok(())
+    }
+
+    /// Sends `frame` immediately if the pacer allows, else parks it in
+    /// the pacer queue (the path data, control and retransmit frames all
+    /// share, so repair traffic is paced like everything else).
+    fn pace_or_queue(&mut self, now: u64, addr: SocketAddr, frame: Vec<u8>) {
         let len = frame.len() as u64;
         let unblocked =
             self.queue.is_empty() && self.pacer.as_mut().is_none_or(|p| p.try_consume(len, now));
         if unblocked {
-            self.put_on_wire(addr, &frame);
+            self.put_on_wire(now, addr, &frame);
         } else {
             self.queued_bytes += len;
             self.queue.push_back((addr, frame));
         }
-        Ok(())
     }
 
-    fn put_on_wire(&mut self, addr: SocketAddr, frame: &[u8]) {
+    fn put_on_wire(&mut self, now: u64, addr: SocketAddr, frame: &[u8]) {
+        if self.fault.is_some() {
+            let dst = self.by_addr.get(&addr).copied();
+            // Every datagram rolls the same dice, reliable-flagged or
+            // not: this stage models the physical network, and a kernel
+            // dropping a UDP datagram does not consult application
+            // flags. (The message-level `FaultyTransport` wrapper is
+            // the one that mirrors simnet's reliable-send exemption.)
+            if let (Some(engine), Some(dst)) = (self.fault.as_mut(), dst) {
+                match engine.action(now, self.node, dst) {
+                    FaultAction::Deliver => {}
+                    FaultAction::Drop => {
+                        self.stats.faults_dropped += 1;
+                        return;
+                    }
+                    FaultAction::Duplicate => {
+                        self.stats.faults_duplicated += 1;
+                        self.raw_send(addr, frame);
+                    }
+                    FaultAction::Delay(extra) => {
+                        self.stats.faults_delayed += 1;
+                        self.delayed
+                            .push((now.saturating_add(extra), addr, frame.to_vec()));
+                        return;
+                    }
+                }
+            }
+        }
+        self.raw_send(addr, frame);
+    }
+
+    fn raw_send(&mut self, addr: SocketAddr, frame: &[u8]) {
         match self.socket.send_to(frame, addr) {
             Ok(_) => {
                 self.stats.frames_sent += 1;
@@ -285,9 +476,23 @@ impl<M: WireCodec> UdpTransport<M> {
             let (addr, frame) = (*addr, self.queue.pop_front().expect("peeked").1);
             self.queued_bytes -= len;
             let before = self.queue.len();
-            self.put_on_wire(addr, &frame);
+            self.put_on_wire(now, addr, &frame);
             if self.queue.len() > before {
                 break; // WouldBlock re-queued it; stop hammering
+            }
+        }
+    }
+
+    /// Releases fault-delayed datagrams whose hold has elapsed. They go
+    /// straight to the socket — the fault stage already ruled on them.
+    fn release_delayed(&mut self, now: u64) {
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= now {
+                let (_, addr, frame) = self.delayed.remove(i);
+                self.raw_send(addr, &frame);
+            } else {
+                i += 1;
             }
         }
     }
@@ -315,6 +520,42 @@ impl<M: WireCodec> UdpTransport<M> {
                     continue;
                 }
             };
+            if header.control {
+                // Transport-internal repair traffic: never enters the
+                // reorder buffer (control frames ride seq 0) and never
+                // reaches the state machines.
+                match ControlFrame::from_frame_payload(payload) {
+                    Ok(cf) => self.on_control(now, src, addr, &cf, header.sent_at),
+                    Err(_) => {
+                        self.stats.decode_errors += 1;
+                        self.obs.counter_add("transport_decode_errors", 1);
+                    }
+                }
+                continue;
+            }
+            if header.retransmit {
+                self.stats.retransmits_received += 1;
+                self.obs.counter_add("transport_retransmits_received", 1);
+            }
+            if let Some(repair) = self.cfg.repair {
+                let top = self.peer_top.entry(src.index()).or_insert(0);
+                *top = (*top).max(header.seq);
+                if !header.retransmit {
+                    // Feed the path-delay estimate that paces NACK timers.
+                    // Send timestamps come from the peer's clock; on the
+                    // loopback harness every node shares one epoch, so the
+                    // difference is a real one-way delay sample (saturating
+                    // against clock skew). Retransmits are excluded (Karn's
+                    // rule): they keep the original send timestamp, so their
+                    // "delay" includes the whole NACK round trip and would
+                    // drag the estimate — and with it the NACK interval —
+                    // into a runaway feedback loop.
+                    self.repair_rx
+                        .entry(src.index())
+                        .or_insert_with(|| RepairRx::new(repair))
+                        .observe_delay(now.saturating_sub(header.sent_at));
+                }
+            }
             // One allocation per datagram: the payload moves into a
             // ref-counted buffer, and every byte-string field inside the
             // message (media payload fragments, most of the bytes of a
@@ -347,11 +588,221 @@ impl<M: WireCodec> UdpTransport<M> {
         }
     }
 
+    /// Handles one inbound control frame from `src`: a heartbeat updates
+    /// the peer's known top sequence; a NACK is answered with marked
+    /// retransmits through the shared pacing path, emitting the obs
+    /// events the causal checker audits.
+    fn on_control(
+        &mut self,
+        now: u64,
+        src: NodeId,
+        addr: SocketAddr,
+        cf: &ControlFrame,
+        sent_at: u64,
+    ) {
+        if let ControlFrame::Heartbeat { top_seq } = cf {
+            self.stats.heartbeats_received += 1;
+            self.obs.counter_add("transport_heartbeats_received", 1);
+            if self.cfg.repair.is_some() {
+                let top = self.peer_top.entry(src.index()).or_insert(0);
+                *top = (*top).max(*top_seq);
+            }
+            return;
+        }
+        self.stats.nacks_received += 1;
+        self.obs.counter_add("transport_nacks_received", 1);
+        let Some(repair) = self.cfg.repair else {
+            // A NACK from a repair-enabled peer while ours is off:
+            // nothing buffered, nothing to resend.
+            return;
+        };
+        let tx = self
+            .repair_tx
+            .entry(src.index())
+            .or_insert_with(|| RepairTx::new(repair));
+        let response = tx.on_nack(now, &cf.seqs());
+        // This node's clock is frozen for the whole poll round, so `now`
+        // can lag the tick the *peer* stamped on the NACK it just pulled
+        // off the socket. The response provably happened after the NACK
+        // was sent — floor its event timestamps there so cause precedes
+        // effect in any merged, tick-sorted log.
+        let at = now.max(sent_at.saturating_add(1));
+        for give_up in &response.give_ups {
+            self.stats.repair_give_ups += 1;
+            self.obs.counter_add("transport_repair_give_ups", 1);
+            self.obs.emit(
+                at,
+                Event::RepairGiveUp {
+                    node: self.node.index() as u64,
+                    peer: src.index() as u64,
+                    seq: give_up.seq,
+                    retries: u64::from(give_up.retries),
+                    budget: u64::from(repair.retry_budget),
+                },
+            );
+        }
+        for rt in response.resend {
+            let mut frame = rt.frame;
+            mark_retransmit(&mut frame);
+            self.stats.retransmits_sent += 1;
+            self.obs.counter_add("transport_retransmits_sent", 1);
+            self.obs.emit(
+                at,
+                Event::Retransmit {
+                    node: self.node.index() as u64,
+                    peer: src.index() as u64,
+                    seq: rt.seq,
+                    attempt: u64::from(rt.attempt),
+                },
+            );
+            self.pace_or_queue(now, addr, frame);
+        }
+    }
+
+    /// The receiver half of repair: reconcile every peer's reorder gaps,
+    /// send due NACKs, and perform authorized gap-skips.
+    fn poll_repair_rx(&mut self, now: u64, out: &mut Vec<Delivery<M>>) {
+        let Some(repair) = self.cfg.repair else {
+            return;
+        };
+        let node = self.node;
+        let peer_indices: Vec<usize> = self.reorder.keys().copied().collect();
+        for src_index in peer_indices {
+            let buffer = self.reorder.get_mut(&src_index).expect("keyed");
+            let mut missing = buffer.missing(MISSING_CAP);
+            // Tail losses: sequences past every pending frame, known
+            // only from the peer's advertisement (data seqs observed or
+            // heartbeat tops). Appending keeps the list sorted — the
+            // tail starts past everything `missing` can name.
+            let top = self.peer_top.get(&src_index).copied().unwrap_or(0);
+            for seq in buffer.horizon()..=top {
+                if missing.len() == MISSING_CAP {
+                    break;
+                }
+                missing.push(seq);
+            }
+            let rx = self
+                .repair_rx
+                .entry(src_index)
+                .or_insert_with(|| RepairRx::new(repair));
+            let decision = rx.poll(now, &missing);
+            if !decision.nacks.is_empty() {
+                let Some(&addr) = self.peers.get(&src_index) else {
+                    continue;
+                };
+                for nack in &decision.nacks {
+                    let ControlFrame::Nack { base_seq, .. } = nack else {
+                        unreachable!("RepairRx::poll only emits NACKs");
+                    };
+                    let (base_seq, span) = (*base_seq, nack.span());
+                    self.stats.nacks_sent += 1;
+                    self.obs.counter_add("transport_nacks_sent", 1);
+                    self.obs.emit(
+                        now,
+                        Event::NackSent {
+                            node: node.index() as u64,
+                            peer: src_index as u64,
+                            base_seq,
+                            span,
+                        },
+                    );
+                    // NACKs ride control frames on seq 0, outside the
+                    // data sequence space, so they can never create the
+                    // gaps they exist to repair. Straight to the wire —
+                    // a NACK stuck behind a paced media backlog would
+                    // only push the repair RTT up.
+                    let frame =
+                        encode_frame_with_flags(0, now, FLAG_CONTROL, &nack.to_frame_payload());
+                    self.put_on_wire(now, addr, &frame);
+                }
+            }
+            if decision.skippable.is_empty() {
+                continue;
+            }
+            // A gap can only be walked past from the front: skip while
+            // the first gap's sequences are all authorized.
+            let budget = u64::from(repair.retry_budget);
+            loop {
+                let buffer = self.reorder.get_mut(&src_index).expect("keyed");
+                let Some(gap) = buffer.first_gap() else {
+                    break;
+                };
+                let covered = gap
+                    .clone()
+                    .all(|seq| decision.skippable.iter().any(|s| s.seq == seq));
+                if gap.is_empty() || !covered {
+                    break;
+                }
+                let mut released = Vec::new();
+                buffer.skip_to(gap.end, &mut released);
+                let rx = self.repair_rx.get_mut(&src_index).expect("keyed");
+                for seq in gap.clone() {
+                    let nacks = rx.on_skipped(seq);
+                    self.stats.gap_skipped_seqs += 1;
+                    self.obs.counter_add("transport_gap_skipped_seqs", 1);
+                    self.obs.emit(
+                        now,
+                        Event::GapSkipped {
+                            node: node.index() as u64,
+                            peer: src_index as u64,
+                            seq,
+                            nacks: u64::from(nacks),
+                            budget,
+                        },
+                    );
+                }
+                for (bytes, message) in released {
+                    out.push(Delivery {
+                        time: now,
+                        src: NodeId::from_index(src_index),
+                        dst: node,
+                        bytes,
+                        message,
+                    });
+                }
+            }
+            // Tail gaps: nothing pending behind them, so skipping
+            // releases no frames — it just advances the cursor past the
+            // authorized contiguous prefix so the ledger stops churning.
+            let buffer = self.reorder.get_mut(&src_index).expect("keyed");
+            if buffer.depth() == 0 {
+                let start = buffer.expected();
+                let mut end = start;
+                while decision.skippable.iter().any(|s| s.seq == end) {
+                    end += 1;
+                }
+                if end > start {
+                    let mut released = Vec::new();
+                    buffer.skip_to(end, &mut released);
+                    debug_assert!(released.is_empty(), "tail skips release nothing");
+                    let rx = self.repair_rx.get_mut(&src_index).expect("keyed");
+                    for seq in start..end {
+                        let nacks = rx.on_skipped(seq);
+                        self.stats.gap_skipped_seqs += 1;
+                        self.obs.counter_add("transport_gap_skipped_seqs", 1);
+                        self.obs.emit(
+                            now,
+                            Event::GapSkipped {
+                                node: node.index() as u64,
+                                peer: src_index as u64,
+                                seq,
+                                nacks: u64::from(nacks),
+                                budget,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     fn flush_reorder(&mut self, now: u64, out: &mut Vec<Delivery<M>>) {
         let node = self.node;
+        let budget = 0u64; // repair disabled: plain timeout skips
         let mut skipped = 0u64;
         for (&src_index, buffer) in &mut self.reorder {
-            let before = buffer.stats().skipped;
+            let missing_before = buffer.missing(usize::MAX);
+            let before = buffer.stats().skipped_seqs;
             for (bytes, message) in buffer.flush_due(now) {
                 out.push(Delivery {
                     time: now,
@@ -361,10 +812,64 @@ impl<M: WireCodec> UdpTransport<M> {
                     message,
                 });
             }
-            skipped += buffer.stats().skipped - before;
+            let newly_skipped = buffer.stats().skipped_seqs - before;
+            if newly_skipped > 0 {
+                // Plain skips are announced too, with zero NACK budget,
+                // so the causal checker sees every abandoned sequence.
+                let horizon = buffer.expected();
+                for &seq in missing_before.iter().filter(|&&s| s < horizon) {
+                    self.obs.emit(
+                        now,
+                        Event::GapSkipped {
+                            node: node.index() as u64,
+                            peer: src_index as u64,
+                            seq,
+                            nacks: 0,
+                            budget,
+                        },
+                    );
+                }
+            }
+            skipped += newly_skipped;
         }
         if skipped > 0 {
             self.obs.counter_add("transport_frames_skipped", skipped);
+        }
+    }
+
+    /// Advertises the top data sequence to peers whose data path went
+    /// quiet: a bounded burst of heartbeats (budget + 1, spaced two NACK
+    /// floors apart) after the last data frame, so a dropped *final*
+    /// frame still gets exposed, NACKed and repaired. Bounded because
+    /// the receiver remembers the top — the advertisement must land
+    /// once, not flow forever.
+    fn poll_heartbeats(&mut self, now: u64) {
+        let Some(repair) = self.cfg.repair else {
+            return;
+        };
+        let interval = repair.min_nack_interval_ticks * 2;
+        let peer_indices: Vec<usize> = self.hb.keys().copied().collect();
+        for peer in peer_indices {
+            let top = self.next_seq.get(&peer).copied().unwrap_or(1) - 1;
+            if top == 0 {
+                continue;
+            }
+            let hb = self.hb.get_mut(&peer).expect("keyed");
+            if hb.sent_since_data > repair.retry_budget
+                || now.saturating_sub(hb.last_activity_at) < interval
+            {
+                continue;
+            }
+            hb.last_activity_at = now;
+            hb.sent_since_data += 1;
+            let Some(&addr) = self.peers.get(&peer) else {
+                continue;
+            };
+            let payload = ControlFrame::Heartbeat { top_seq: top }.to_frame_payload();
+            let frame = encode_frame_with_flags(0, now, FLAG_CONTROL, &payload);
+            self.stats.heartbeats_sent += 1;
+            self.obs.counter_add("transport_heartbeats_sent", 1);
+            self.put_on_wire(now, addr, &frame);
         }
     }
 }
@@ -419,13 +924,24 @@ impl<M: WireCodec> Transport<M> for UdpTransport<M> {
     fn poll(&mut self, now: u64) -> Vec<Delivery<M>> {
         let mut out = Vec::new();
         self.flush_queue(now);
+        self.release_delayed(now);
         self.drain_socket(now, &mut out);
-        self.flush_reorder(now, &mut out);
+        if self.cfg.repair.is_some() {
+            // Repair owns gap handling: NACK timers decide when to ask
+            // again, and skips happen only after budget exhaustion — the
+            // blind reorder timeout stays out of the way.
+            self.poll_repair_rx(now, &mut out);
+            self.poll_heartbeats(now);
+        } else {
+            self.flush_reorder(now, &mut out);
+        }
+        let stats = self.reorder_stats();
         let depth: usize = self.reorder.values().map(ReorderBuffer::depth).sum();
-        let peak = self.reorder_stats().max_depth;
         self.obs.gauge_set("transport_reorder_depth", depth as u64);
         self.obs
-            .gauge_set("transport_reorder_depth_peak", peak as u64);
+            .gauge_set("transport_reorder_depth_peak", stats.max_depth as u64);
+        self.obs
+            .gauge_set("transport_skipped_seqs", stats.skipped_seqs);
         out
     }
 }
@@ -573,7 +1089,7 @@ mod tests {
             "shuffle actually exercised reordering"
         );
         assert!(stats.max_depth > 0);
-        assert_eq!(stats.skipped, 0);
+        assert_eq!(stats.skipped_seqs, 0);
         assert_eq!(
             recorder.registry().gauge("transport_reorder_depth_peak"),
             stats.max_depth as u64,
@@ -613,7 +1129,7 @@ mod tests {
             .map(|d| d.message.id)
             .collect();
         assert_eq!(late, vec![3, 4]);
-        assert_eq!(rx.reorder_stats().skipped, 1);
+        assert_eq!(rx.reorder_stats().skipped_seqs, 1);
     }
 
     #[test]
@@ -707,5 +1223,280 @@ mod tests {
         .unwrap();
         assert_eq!(a.stats().oversize_drops, 1);
         assert_eq!(a.stats().frames_sent, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reorder_flush_ticks must be positive")]
+    fn zero_reorder_flush_is_rejected() {
+        let _ = UdpConfig::default().with_reorder_flush_ticks(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pace_rate_bps must be positive")]
+    fn zero_pacing_rate_is_rejected() {
+        let _ = UdpConfig::default().with_pacing(0, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "pace_burst_bytes must be positive")]
+    fn zero_pacing_burst_is_rejected() {
+        let _ = UdpConfig::default().with_pacing(1_000_000, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer_bytes must be positive")]
+    fn zero_repair_buffer_is_rejected() {
+        let _ = UdpConfig::default().with_repair(RepairConfig {
+            buffer_bytes: 0,
+            ..RepairConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "retry_budget must be positive")]
+    fn zero_retry_budget_is_rejected() {
+        let _ = UdpConfig::default().with_repair(RepairConfig {
+            retry_budget: 0,
+            ..RepairConfig::default()
+        });
+    }
+
+    #[test]
+    fn builders_accept_positive_knobs() {
+        let cfg = UdpConfig::default()
+            .with_reorder_flush_ticks(250_000)
+            .with_pacing(1_000_000, 64 * 1024)
+            .with_repair(RepairConfig::default());
+        assert_eq!(cfg.reorder_flush_ticks, 250_000);
+        assert_eq!(cfg.pace_rate_bps, 1_000_000);
+        assert_eq!(cfg.pace_burst_bytes, 64 * 1024);
+        assert!(cfg.repair.is_some());
+    }
+
+    /// Drives a sender and a receiver in manual-clock lockstep until the
+    /// receiver has `want` messages or the tick budget runs out.
+    fn pump(
+        a: &mut UdpTransport<TestMsg>,
+        b: &mut UdpTransport<TestMsg>,
+        want: usize,
+        start: u64,
+        max_ticks: u64,
+    ) -> Vec<Delivery<TestMsg>> {
+        let mut got = Vec::new();
+        let mut t = start;
+        let wall_deadline = Instant::now() + Duration::from_secs(10);
+        while got.len() < want && t < max_ticks && Instant::now() < wall_deadline {
+            t += 5_000;
+            a.set_manual_now(t);
+            a.poll(t);
+            b.set_manual_now(t);
+            got.extend(b.poll(t));
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        got
+    }
+
+    #[test]
+    fn a_loss_burst_is_repaired_by_nack_and_retransmit() {
+        // Sender a loses ~everything in the first 50k ticks (seeded
+        // egress burst), then heals. A trailing frame exposes the gap,
+        // the receiver NACKs, and the sender repairs from its buffer —
+        // no sequence is skipped and the stream arrives complete.
+        let recorder = Recorder::new();
+        let cfg = UdpConfig::default().with_repair(RepairConfig::default());
+        let (mut a, mut b) = pair(cfg);
+        let b_rec = Recorder::new();
+        a = a.with_recorder(recorder.clone());
+        b = b.with_recorder(b_rec.clone());
+        a.set_egress_faults(FaultSpec {
+            seed: 42,
+            plan: lod_simnet::FaultPlan::new().loss_burst(0, 50_000, a.node(), b.node(), 0.999),
+            ..FaultSpec::default()
+        });
+        for id in 1..=10u64 {
+            a.send(
+                a.node(),
+                b.node(),
+                64,
+                TestMsg {
+                    id,
+                    body: vec![id as u8; 32],
+                },
+            )
+            .unwrap();
+        }
+        // Past the burst window, a trailing frame makes the gap visible.
+        a.set_manual_now(60_000);
+        a.send(
+            a.node(),
+            b.node(),
+            64,
+            TestMsg {
+                id: 11,
+                body: vec![11; 32],
+            },
+        )
+        .unwrap();
+        let got = pump(&mut a, &mut b, 11, 60_000, 50_000_000);
+        let ids: Vec<u64> = got.iter().map(|d| d.message.id).collect();
+        assert_eq!(
+            ids,
+            (1..=11).collect::<Vec<u64>>(),
+            "every lost frame was repaired, in order"
+        );
+        assert!(a.stats().faults_dropped > 0, "the burst actually dropped");
+        assert!(a.stats().nacks_received > 0);
+        assert!(a.stats().retransmits_sent > 0);
+        assert!(b.stats().nacks_sent > 0);
+        assert!(b.stats().retransmits_received > 0);
+        assert_eq!(b.reorder_stats().skipped_seqs, 0, "nothing was abandoned");
+        assert!(b.repair_rx_stats().repaired > 0);
+        // The whole exchange is causally lawful: receiver events first,
+        // then the sender's (every retransmit needs its NACK upstream).
+        let mut log = b_rec.events();
+        log.extend(recorder.events());
+        let causal = lod_obs::check_causal(&log);
+        assert!(causal.holds(), "{causal:?}");
+        assert!(causal.retransmits > 0);
+    }
+
+    #[test]
+    fn a_tail_loss_is_exposed_by_heartbeat_and_repaired() {
+        // The FINAL frame of a burst is dropped: no later data frame
+        // will ever expose the gap to the reorder buffer, so only the
+        // sender's heartbeat advertisement can get it NACKed.
+        let a_rec = Recorder::new();
+        let b_rec = Recorder::new();
+        let cfg = UdpConfig::default().with_repair(RepairConfig::default());
+        let (mut a, mut b) = pair(cfg);
+        a = a.with_recorder(a_rec.clone());
+        b = b.with_recorder(b_rec.clone());
+        a.set_egress_faults(FaultSpec {
+            seed: 7,
+            plan: lod_simnet::FaultPlan::new().loss_burst(
+                100_000,
+                50_000,
+                a.node(),
+                b.node(),
+                0.999,
+            ),
+            ..FaultSpec::default()
+        });
+        a.set_manual_now(0);
+        for id in 1..=2u64 {
+            a.send(
+                a.node(),
+                b.node(),
+                64,
+                TestMsg {
+                    id,
+                    body: vec![id as u8; 32],
+                },
+            )
+            .unwrap();
+        }
+        // Inside the burst: the last frame vanishes, then silence.
+        a.set_manual_now(100_000);
+        a.send(
+            a.node(),
+            b.node(),
+            64,
+            TestMsg {
+                id: 3,
+                body: vec![3; 32],
+            },
+        )
+        .unwrap();
+        let got = pump(&mut a, &mut b, 3, 160_000, 50_000_000);
+        let ids: Vec<u64> = got.iter().map(|d| d.message.id).collect();
+        assert_eq!(ids, vec![1, 2, 3], "the tail frame was repaired");
+        assert!(a.stats().faults_dropped > 0, "the tail was actually lost");
+        assert!(a.stats().heartbeats_sent > 0, "{:?}", a.stats());
+        assert!(b.stats().heartbeats_received > 0, "{:?}", b.stats());
+        assert!(b.stats().nacks_sent > 0);
+        assert!(a.stats().retransmits_sent > 0);
+        assert_eq!(b.reorder_stats().skipped_seqs, 0, "repaired, not skipped");
+        // Heartbeats are a bounded burst, not a forever stream: however
+        // long the connection idles, at most budget + 1 go out.
+        let mut t = 50_000_000u64;
+        for _ in 0..100 {
+            t += 20_000;
+            a.set_manual_now(t);
+            a.poll(t);
+        }
+        assert!(
+            a.stats().heartbeats_sent <= u64::from(RepairConfig::default().retry_budget) + 1,
+            "{:?}",
+            a.stats()
+        );
+        let mut log = b_rec.events();
+        log.extend(a_rec.events());
+        let causal = lod_obs::check_causal(&log);
+        assert!(causal.holds(), "{causal:?}");
+        assert!(causal.retransmits > 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_authorizes_the_gap_skip() {
+        // The peer address points at a mute raw socket, so NACKs go
+        // unanswered: after the retry budget the receiver must skip the
+        // gap — and prove, via obs, that it waited out the full budget.
+        let recorder = Recorder::new();
+        let repair = RepairConfig {
+            retry_budget: 2,
+            ..RepairConfig::default()
+        };
+        let sender_id = NodeId::from_index(0);
+        let mut rx: UdpTransport<TestMsg> = UdpTransport::bind_localhost(
+            NodeId::from_index(1),
+            UdpConfig::default().with_repair(repair),
+        )
+        .unwrap()
+        .with_recorder(recorder.clone());
+        rx.set_manual_now(0);
+        let raw = UdpSocket::bind("127.0.0.1:0").unwrap();
+        raw.set_nonblocking(true).unwrap();
+        rx.register_peer(sender_id, raw.local_addr().unwrap());
+        // Seq 2 is lost forever; 1 and 3 arrive.
+        for seq in [1u64, 3] {
+            let msg = TestMsg {
+                id: seq,
+                body: vec![],
+            };
+            raw.send_to(
+                &frame::encode_frame(seq, 0, false, &msg.to_frame_payload()),
+                rx.local_addr(),
+            )
+            .unwrap();
+        }
+        let mut got = Vec::new();
+        let mut t = 0;
+        let wall_deadline = Instant::now() + Duration::from_secs(10);
+        while got.len() < 2 && Instant::now() < wall_deadline {
+            t += 10_000;
+            rx.set_manual_now(t);
+            got.extend(rx.poll(t));
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        let ids: Vec<u64> = got.iter().map(|d| d.message.id).collect();
+        assert_eq!(ids, vec![1, 3], "seq 2 was eventually abandoned");
+        assert_eq!(rx.stats().nacks_sent, 2, "exactly the NACK budget");
+        assert_eq!(rx.stats().gap_skipped_seqs, 1);
+        assert_eq!(rx.reorder_stats().skipped_seqs, 1);
+        assert_eq!(rx.repair_rx_stats().gap_skips, 1);
+        // The NACKs really left: the mute socket can read them back.
+        let mut buf = [0u8; 2048];
+        let mut control = 0;
+        while let Ok((n, _)) = raw.recv_from(&mut buf) {
+            let (h, _) = frame::decode_frame(&buf[..n]).unwrap();
+            if h.control {
+                control += 1;
+            }
+        }
+        assert_eq!(control, 2);
+        // And the trace proves the skip waited out the budget.
+        let causal = lod_obs::check_causal(&recorder.events());
+        assert!(causal.holds(), "{causal:?}");
+        assert_eq!(causal.gap_skips, 1);
     }
 }

@@ -4,9 +4,10 @@
 # chaos-drill determinism gate — two separate processes must emit
 # byte-identical Q9 reports, because the whole simulation is seeded and
 # HashMap-order bugs only show up across processes — and the perf
-# trajectory gate, which re-runs the Q14/Q15 benches and compares their
-# "tracked" integer medians against the committed BENCH_q14.json /
-# BENCH_q15.json baselines (±15%, i.e. 150 permille; see perf_gate).
+# trajectory gate, which re-runs the Q14/Q15/Q16 benches and compares
+# their "tracked" integer values against the committed BENCH_q14.json /
+# BENCH_q15.json / BENCH_q16.json baselines (±15%, i.e. 150 permille;
+# see perf_gate).
 # Everything runs offline; external deps resolve to the third_party/ stubs.
 #
 # Perf-gate self-test: before trusting any real comparison, the stage
@@ -46,6 +47,18 @@ echo "===== loopback UDP deployment (real sockets, hard timeout) ====="
 timeout 180 cargo test -q --offline -p lod-core --test loopback_udp -- --ignored \
     || { echo "FAIL: loopback UDP deployment did not complete (or timed out)"; exit 1; }
 echo "loopback deployment completed"
+
+echo "===== loopback UDP lossy chaos (repair on/off, hard timeout) ====="
+# The same deployment under seeded datagram loss (12% steady plus a 35%
+# origin-to-relay burst), run twice: repair off must surface the loss as
+# application re-requests, repair on must complete all 32 sessions, cut
+# those re-requests at least 5x, and satisfy the repair causality
+# invariants (every retransmit answers a prior NACK; gaps skip only
+# after budget exhaustion). Release build: the drill moves a lecture
+# for 35 nodes twice and debug-mode framing would dominate the budget.
+timeout 300 cargo test -q --offline --release -p lod-core --test loopback_chaos -- --ignored \
+    || { echo "FAIL: lossy chaos drill did not pass (or timed out)"; exit 1; }
+echo "chaos drill passed"
 
 echo "===== q9_chaos determinism (two runs, byte-identical reports) ====="
 tmpdir="$(mktemp -d)"
@@ -101,7 +114,19 @@ for ext in json jsonl prom; do
 done
 echo "event log, exposition and report identical"
 
-echo "===== perf trajectory gate (q14 + q15 vs committed baselines) ====="
+echo "===== q16_repair determinism (two runs, byte-identical reports) ====="
+# The repair sublayer on a virtual wire: seeded loss, NACK timers,
+# retransmit budgets and give-up accounting are all integer-clocked, so
+# two processes must agree to the byte.
+cargo run -q --offline --release -p lod-bench --bin q16_repair -- --json "$tmpdir/ra.json" > /dev/null
+cargo run -q --offline --release -p lod-bench --bin q16_repair -- --json "$tmpdir/rb.json" > /dev/null
+if ! diff "$tmpdir/ra.json" "$tmpdir/rb.json"; then
+    echo "FAIL: two q16 repair runs diverged (nondeterminism crept in)"
+    exit 1
+fi
+echo "reports identical"
+
+echo "===== perf trajectory gate (q14 + q15 + q16 vs committed baselines) ====="
 # Medians are wall-clock and machines differ, so the gate is deliberately
 # loose (±15%) and compares only the "tracked" sections — integer codec/
 # mux medians and the deterministic payload-copy counters. The loopback
@@ -115,6 +140,10 @@ cargo build -q --offline --release -p lod-bench \
 ./target/release/q15_hotpath --json "$tmpdir/q15_fresh.json" > /dev/null
 ./target/release/perf_gate --fresh "$tmpdir/q14_fresh.json" --check-against BENCH_q14.json
 ./target/release/perf_gate --fresh "$tmpdir/q15_fresh.json" --check-against BENCH_q15.json
+# q16's tracked values are fully deterministic (no wall clock), so the
+# ±15% tolerance is pure slack: any drift is a protocol-behavior change
+# that should come with a deliberate baseline update.
+./target/release/perf_gate --fresh "$tmpdir/ra.json" --check-against BENCH_q16.json
 echo "tracked medians within tolerance of committed baselines"
 
 if [ -n "${ARTIFACTS_DIR:-}" ]; then
@@ -122,6 +151,7 @@ if [ -n "${ARTIFACTS_DIR:-}" ]; then
     mkdir -p "$ARTIFACTS_DIR"
     cp "$tmpdir/q14_fresh.json" "$ARTIFACTS_DIR/BENCH_q14_fresh.json"
     cp "$tmpdir/q15_fresh.json" "$ARTIFACTS_DIR/BENCH_q15_fresh.json"
+    cp "$tmpdir/ra.json" "$ARTIFACTS_DIR/BENCH_q16_fresh.json"
     cp "$tmpdir/qa.json" "$ARTIFACTS_DIR/q11_observability.json"
     cp "$tmpdir/qa.jsonl" "$ARTIFACTS_DIR/q11_events.jsonl"
     cp "$tmpdir/qa.prom" "$ARTIFACTS_DIR/q11_metrics.prom"
