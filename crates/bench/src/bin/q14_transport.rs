@@ -102,6 +102,7 @@ fn big_segment() -> Wire {
         start_packet: Some(160),
         at_time: Some(7_000_000),
         epoch: 1,
+        trace: None,
     })
 }
 
@@ -117,6 +118,7 @@ fn main() {
         segment: 5,
         at_time: Some(7_000_000),
         want_header: false,
+        trace: None,
     });
     let seg_payload = seg.to_frame_payload();
     let seg_frame = encode_frame(1, 0, false, &seg_payload);

@@ -121,6 +121,7 @@ fn origin_segment() -> Wire {
         start_packet: Some(160),
         at_time: Some(7_000_000),
         epoch: 1,
+        trace: None,
     })
 }
 

@@ -32,7 +32,7 @@ impl fmt::Display for CliError {
         match self {
             CliError::UnknownCommand(c) => write!(
                 f,
-                "unknown command {c:?} (try publish, inspect, replay, serve, report, abstract)"
+                "unknown command {c:?} (try publish, inspect, replay, serve, report, trace, abstract)"
             ),
             CliError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
             CliError::MissingFlag(flag) => write!(f, "required flag {flag} is missing"),

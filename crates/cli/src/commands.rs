@@ -5,9 +5,9 @@ use std::io::Write;
 use lod_asf::{read_asf, write_asf, License};
 use lod_content_tree::render_ascii;
 use lod_core::{
-    check_causal, parse_jsonl, serve_loopback_udp, session_timelines, synthetic_lecture,
+    check_causal, fmt_ticks, parse_jsonl, serve_loopback_udp, session_timelines, synthetic_lecture,
     worst_by_stall, Abstractor, AdmissionPolicy, DegradePolicy, FailoverConfig, FaultSpec,
-    LoopbackConfig, Recorder, RelayTierConfig, RepairConfig, RetryPolicy, Wmps,
+    LoopbackConfig, Recorder, RelayTierConfig, RepairConfig, RetryPolicy, SpanAssembler, Wmps,
 };
 use lod_encoder::{evenly_spaced_deck, Annotation, Publisher, VideoFileSpec};
 use lod_media::{TickDuration, Ticks};
@@ -28,6 +28,7 @@ pub fn run(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
         "replay" => replay(args, out),
         "serve" => serve(args, out),
         "report" => report_cmd(args, out),
+        "trace" => trace_cmd(args, out),
         "abstract" => abstract_cmd(args, out),
         "net" => net_cmd(args, out),
         other => Err(CliError::UnknownCommand(other.to_string())),
@@ -205,7 +206,11 @@ fn replay(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 /// ready to promote it at a higher fencing epoch should the origin die.
 /// `--metrics-out PATH` arms the structured event recorder and writes
 /// the Prometheus-style exposition to `PATH` and the JSONL event log to
-/// `PATH.jsonl` (feed that to `wmps report`).
+/// `PATH.jsonl` (feed that to `wmps report`). `--trace-permille N`
+/// samples N‰ of segments for end-to-end tracing: relays mint a trace
+/// context per sampled segment, every hop books paired span events into
+/// the recorder, and `wmps trace` renders the waterfalls from the JSONL
+/// log (combine with `--metrics-out` and `--relays`).
 ///
 /// `--transport udp` swaps the discrete-event simulator for the real
 /// thing: origin, relays (default 2) and every student run as threads
@@ -252,11 +257,17 @@ fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
         AdmissionPolicy::new(max_sessions, seat * u64::from(max_sessions))
     });
     let metrics_out = args.flag("metrics-out").map(str::to_string);
+    let trace_permille = args.num_or("trace-permille", 0u16)?;
     let recorder = match metrics_out {
         Some(_) => Recorder::new(),
         None => Recorder::disabled(),
     };
-    let report = if relays > 0 || admission.is_some() || degrade || standby || recorder.is_enabled()
+    let report = if relays > 0
+        || admission.is_some()
+        || degrade
+        || standby
+        || recorder.is_enabled()
+        || trace_permille > 0
     {
         // Overload knobs, the standby and the recorder live on the
         // relay-tier driver; with --relays 0 it degenerates to students
@@ -279,6 +290,10 @@ fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
                 checkpoint_every: checkpoint_secs.max(1) * 10_000_000,
             }),
             recorder: recorder.clone(),
+            // Tracing needs relays to mint contexts: with --relays 0 the
+            // knob arms the tier driver anyway, which degenerates to
+            // students behind one campus router and zero sampled spans.
+            trace_permille,
             ..RelayTierConfig::default()
         };
         Wmps::new().serve_with_relays(file, link, LinkSpec::lan(), students, seed, &cfg)
@@ -362,6 +377,10 @@ fn serve(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 /// retransmissions per lost sequence, and `--loss-permille N` with
 /// `--fault-seed S` injects seeded datagram loss at the origin and
 /// relay egress — the way to watch repair actually earn its keep.
+/// `--trace-permille N` samples N‰ of segments for end-to-end tracing
+/// across the real sockets (contexts ride the UDP frame headers);
+/// `--events-out PATH` records every node's events and writes the
+/// tick-merged JSONL to `PATH` for `wmps report` / `wmps trace`.
 fn serve_udp(
     path: &str,
     file: lod_asf::AsfFile,
@@ -383,9 +402,13 @@ fn serve_udp(
     let retry_budget = args.num_or("retry-budget", 3u32)?;
     let loss_permille = args.num_or("loss-permille", 0u16)?;
     let fault_seed = args.num_or("fault-seed", 7u64)?;
+    let trace_permille = args.num_or("trace-permille", 0u16)?;
+    let events_out = args.flag("events-out").map(str::to_string);
     let mut cfg = LoopbackConfig {
         relays,
         clients: students,
+        record_events: events_out.is_some(),
+        trace_permille,
         ..LoopbackConfig::default()
     };
     if repair {
@@ -446,6 +469,15 @@ fn serve_udp(
         "  relays: {} fetch(es) upstream; server served {} segment(s)",
         report.relay.segment_fetches, report.server.segments_served
     )?;
+    if let Some(path) = events_out {
+        let jsonl: String = report
+            .events
+            .iter()
+            .map(|r| format!("{}\n", r.to_json()))
+            .collect();
+        std::fs::write(&path, jsonl)?;
+        writeln!(out, "  events: {} record(s) -> {path}", report.events.len())?;
+    }
     Ok(())
 }
 
@@ -454,7 +486,10 @@ fn serve_udp(
 /// Reconstructs per-session timelines from a JSONL event log written by
 /// `wmps serve --metrics-out` and prints the `N` (default 5) sessions
 /// with the most stalled time, worst first, plus the causal-invariant
-/// verdict over the whole log.
+/// verdict over the whole log. When the log carries trace spans the
+/// verdict covers the span invariants too, and the `N` sampled segments
+/// with the worst end-to-end delivery latency are listed (dig into one
+/// with `wmps trace`).
 fn report_cmd(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let path = args.positional(0, "<events .jsonl path>")?;
     let top = args.num_or("top", 5usize)?;
@@ -479,6 +514,91 @@ fn report_cmd(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     writeln!(out, "worst sessions by stalled time:")?;
     for t in worst_by_stall(&timelines, top) {
         write!(out, "{}", t.render())?;
+    }
+    if causal.spans_opened > 0 {
+        let mut asm = SpanAssembler::new();
+        for rec in &events {
+            asm.ingest(rec);
+        }
+        writeln!(out, "worst segments by end-to-end latency:")?;
+        for t in asm.worst_by_end_to_end(top) {
+            writeln!(
+                out,
+                "  segment {:>4} (lecture {:016x}): {} across {} span(s)",
+                t.segment,
+                t.lecture,
+                fmt_ticks(t.end_to_end()),
+                t.spans.len()
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// `wmps trace <events.jsonl> [--segment N] [--lecture HEX] [--width W]`
+///
+/// Renders the sampled tracing plane from a JSONL event log: a per-hop
+/// latency table (p50/p99 across every sampled segment), and — with
+/// `--segment N` — the ASCII hop waterfall of that segment's delivery.
+/// `--lecture HEX` (the 16-digit id `wmps report` prints) disambiguates
+/// when several lectures share the log; `--width` sizes the bars.
+fn trace_cmd(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let path = args.positional(0, "<events .jsonl path>")?;
+    let width = args.num_or("width", 48usize)?;
+    let lecture = match args.flag("lecture") {
+        None => None,
+        Some(v) => Some(u64::from_str_radix(v, 16).map_err(|_| CliError::BadValue {
+            flag: "--lecture".into(),
+            value: v.to_string(),
+        })?),
+    };
+    let text = std::fs::read_to_string(path)?;
+    let events = parse_jsonl(&text).map_err(CliError::Content)?;
+    let mut asm = SpanAssembler::new();
+    for rec in &events {
+        asm.ingest(rec);
+    }
+    let traces = asm.traces();
+    writeln!(
+        out,
+        "{path}: {} event(s), {} sampled segment(s)",
+        events.len(),
+        traces.len()
+    )?;
+    if traces.is_empty() {
+        writeln!(
+            out,
+            "no trace spans in this log (serve with --trace-permille to sample segments)"
+        )?;
+        return Ok(());
+    }
+    writeln!(out, "hop latency across sampled segments:")?;
+    writeln!(
+        out,
+        "  {:<13} {:>7} {:>10} {:>10}",
+        "hop", "count", "p50", "p99"
+    )?;
+    for h in asm.hop_stats() {
+        writeln!(
+            out,
+            "  {:<13} {:>7} {:>10} {:>10}",
+            h.hop,
+            h.count,
+            fmt_ticks(h.p50),
+            fmt_ticks(h.p99)
+        )?;
+    }
+    if let Some(segment) = args.flag("segment") {
+        let segment: u64 = segment.parse().map_err(|_| CliError::BadValue {
+            flag: "--segment".into(),
+            value: segment.to_string(),
+        })?;
+        let trace = asm.trace(lecture, segment).ok_or_else(|| {
+            CliError::Content(format!(
+                "segment {segment} has no sampled trace in this log"
+            ))
+        })?;
+        write!(out, "{}", trace.waterfall(width))?;
     }
     Ok(())
 }
@@ -827,6 +947,122 @@ mod tests {
         assert!(text.contains("session student0"), "{text}");
         // --top 1 prints exactly one session block.
         assert_eq!(text.matches("session student").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn serve_traced_feeds_trace_and_report() {
+        let asf = tmp("traced.asf");
+        run(
+            &argv(&format!("publish {asf} --duration-secs 20 --slides 2")),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let prom = tmp("traced.prom");
+        let mut buf = Vec::new();
+        run(
+            &argv(&format!(
+                "serve {asf} --students 2 --link lan --relays 2 \
+                 --trace-permille 1000 --metrics-out {prom}"
+            )),
+            &mut buf,
+        )
+        .unwrap();
+
+        // The report surfaces the span verdict and the worst segments.
+        let mut buf = Vec::new();
+        run(&argv(&format!("report {prom}.jsonl --top 3")), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("causal invariants: ok"), "{text}");
+        assert!(
+            text.contains("worst segments by end-to-end latency:"),
+            "{text}"
+        );
+        assert!(text.contains("segment"), "{text}");
+
+        // The trace command renders hop stats and a waterfall.
+        let mut buf = Vec::new();
+        run(
+            &argv(&format!("trace {prom}.jsonl --segment 0 --width 32")),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("hop latency across sampled segments:"),
+            "{text}"
+        );
+        assert!(text.contains("packetize"), "{text}");
+        assert!(text.contains("playout_wait"), "{text}");
+        assert!(text.contains("segment 0 (lecture"), "{text}");
+        assert!(text.contains("█"), "{text}");
+
+        // Asking for a segment nobody sampled is an explicit error.
+        let err = run(
+            &argv(&format!("trace {prom}.jsonl --segment 9999")),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no sampled trace"), "{err}");
+    }
+
+    #[test]
+    fn trace_on_a_spanless_log_says_so() {
+        let asf = tmp("untraced.asf");
+        run(
+            &argv(&format!("publish {asf} --duration-secs 10 --slides 1")),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let prom = tmp("untraced.prom");
+        run(
+            &argv(&format!(
+                "serve {asf} --students 1 --link lan --metrics-out {prom}"
+            )),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&argv(&format!("trace {prom}.jsonl")), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("no trace spans"), "{text}");
+    }
+
+    #[test]
+    fn serve_udp_traced_writes_causal_events() {
+        let asf = tmp("udp-traced.asf");
+        run(
+            &argv(&format!("publish {asf} --duration-secs 10 --slides 1")),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let events = tmp("udp-traced.jsonl");
+        let mut buf = Vec::new();
+        run(
+            &argv(&format!(
+                "serve {asf} --students 2 --relays 1 --transport udp \
+                 --trace-permille 1000 --events-out {events}"
+            )),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("2/2 completed"), "{text}");
+        assert!(text.contains("events:"), "{text}");
+
+        // The merged cross-thread log still satisfies the span
+        // invariants, and the waterfall includes the transport hops the
+        // simulator cannot see.
+        let log = std::fs::read_to_string(&events).unwrap();
+        assert!(log.contains("\"kind\":\"span_open\""), "spans in {events}");
+        let mut buf = Vec::new();
+        run(&argv(&format!("report {events} --top 2")), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("causal invariants: ok"), "{text}");
+        let mut buf = Vec::new();
+        run(&argv(&format!("trace {events}")), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("wire"), "{text}");
+        assert!(text.contains("reassemble"), "{text}");
     }
 
     #[test]

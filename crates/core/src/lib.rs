@@ -59,6 +59,7 @@ pub use lod_relay::FailoverConfig;
 // with `Recorder::new()`, then drain the log through these.
 pub use lod_obs as obs;
 pub use lod_obs::{
-    check_causal, parse_jsonl, session_timelines, worst_by_stall, CausalReport, Event, EventRecord,
-    Recorder, SessionTimeline,
+    check_causal, fmt_ticks, lecture_id, parse_jsonl, session_timelines, worst_by_stall,
+    CausalReport, Event, EventRecord, HopStats, Recorder, SegmentTrace, SessionTimeline,
+    SpanAssembler,
 };

@@ -67,6 +67,11 @@ pub struct LoopbackConfig {
     /// merged in causal order: clients first, then relays, then the
     /// origin — each receiver's NACK precedes its sender's retransmit.
     pub record_events: bool,
+    /// Per-mille of segments traced end-to-end across the deployment
+    /// (relays mint the contexts, the UDP frames carry them, every node
+    /// books its hop spans). Needs `record_events` for the spans to
+    /// reach the report. 0 = tracing off.
+    pub trace_permille: u16,
 }
 
 impl Default for LoopbackConfig {
@@ -87,6 +92,7 @@ impl Default for LoopbackConfig {
             fault: None,
             client_retry: None,
             record_events: false,
+            trace_permille: 0,
         }
     }
 }
@@ -184,6 +190,7 @@ pub fn serve_loopback_udp(file: AsfFile, cfg: &LoopbackConfig) -> LoopbackReport
     let fault = cfg.fault.clone();
     let client_retry = cfg.client_retry;
     let record_events = cfg.record_events;
+    let trace_permille = cfg.trace_permille;
     let recorder_for = move || {
         if record_events {
             Recorder::with_event_capacity(1 << 16)
@@ -208,7 +215,9 @@ pub fn serve_loopback_udp(file: AsfFile, cfg: &LoopbackConfig) -> LoopbackReport
             if let Some(spec) = fault {
                 t.set_egress_faults(spec);
             }
-            let mut server = StreamingServer::new(origin).with_segment_packets(segment_packets);
+            let mut server = StreamingServer::new(origin)
+                .with_segment_packets(segment_packets)
+                .with_recorder(obs.clone());
             server.publish("lecture", file);
             while !stop.load(Ordering::Relaxed) {
                 let now = ticks_since(epoch, accel);
@@ -242,7 +251,10 @@ pub fn serve_loopback_udp(file: AsfFile, cfg: &LoopbackConfig) -> LoopbackReport
                 if let Some(spec) = fault {
                     t.set_egress_faults(spec);
                 }
-                let mut relay = RelayNode::new(me, origin, 64 << 20).with_prefetch(true);
+                let mut relay = RelayNode::new(me, origin, 64 << 20)
+                    .with_prefetch(true)
+                    .with_recorder(obs.clone())
+                    .with_trace_permille(trace_permille);
                 relay.serve_vod("lecture");
                 while !stop.load(Ordering::Relaxed) {
                     let now = ticks_since(epoch, accel);
@@ -268,7 +280,7 @@ pub fn serve_loopback_udp(file: AsfFile, cfg: &LoopbackConfig) -> LoopbackReport
             thread::spawn(move || {
                 let obs = recorder_for();
                 let mut t = transport_for(me, socket, &book, udp).with_recorder(obs.clone());
-                let mut c = StreamingClient::new(me, home, "lecture");
+                let mut c = StreamingClient::new(me, home, "lecture").with_recorder(obs.clone());
                 if let Some(policy) = client_retry {
                     c = c.with_retry(policy, i as u64);
                 }

@@ -388,6 +388,10 @@ pub struct RelayTierConfig {
     /// no-op); arm with [`Recorder::new`] to capture the run's event
     /// log, metrics registry and per-session timelines.
     pub recorder: Recorder,
+    /// Per-mille of segments whose delivery is traced end-to-end
+    /// (relays mint the contexts; 0 = tracing off, 1000 = every
+    /// segment). Spans land in `recorder`, so arm it too.
+    pub trace_permille: u16,
 }
 
 impl Default for RelayTierConfig {
@@ -409,6 +413,7 @@ impl Default for RelayTierConfig {
             arrival_wave: None,
             failover: None,
             recorder: Recorder::disabled(),
+            trace_permille: 0,
         }
     }
 }
@@ -596,7 +601,8 @@ impl Wmps {
             .map(|&r| {
                 let mut relay = RelayNode::new(r, tree.origin, cfg.cache_budget)
                     .with_prefetch(cfg.prefetch)
-                    .with_recorder(obs.clone());
+                    .with_recorder(obs.clone())
+                    .with_trace_permille(cfg.trace_permille);
                 if let Some(adm) = cfg.relay_admission {
                     relay = relay.with_admission(adm);
                 }
@@ -1290,6 +1296,35 @@ mod tests {
     #[test]
     fn recorder_is_disabled_by_default() {
         assert!(!RelayTierConfig::default().recorder.is_enabled());
+    }
+
+    #[test]
+    fn traced_relay_tier_assembles_causal_waterfalls() {
+        let lecture = synthetic_lecture(1, 1, 300_000); // 1 minute
+        let wmps = Wmps::new();
+        let file = wmps.publish(&lecture).unwrap();
+        let cfg = RelayTierConfig {
+            relays: 2,
+            recorder: Recorder::new(),
+            trace_permille: 1000,
+            ..RelayTierConfig::default()
+        };
+        let report = wmps.serve_with_relays(file, LinkSpec::lan(), LinkSpec::lan(), 4, 3, &cfg);
+        assert_eq!(report.completed_sessions(), 4, "{:?}", report.clients);
+        let events = cfg.recorder.events();
+        let causal = lod_obs::check_causal(&events);
+        assert!(causal.holds(), "{causal:?}");
+        assert!(causal.spans_opened > 0);
+        let mut asm = lod_obs::SpanAssembler::new();
+        for rec in &events {
+            asm.ingest(rec);
+        }
+        // At 1000‰ every segment is sampled; each trace reaches playout.
+        let traces = asm.traces();
+        assert!(!traces.is_empty());
+        assert!(traces
+            .iter()
+            .all(|t| t.spans.iter().any(|s| s.hop == "playout_wait")));
     }
 
     #[test]

@@ -317,6 +317,36 @@ pub enum Event {
         /// The configured NACK budget (0 = repair disabled).
         budget: u64,
     },
+    /// A traced segment entered a delivery hop (see `span.rs` for the
+    /// hop vocabulary: `packetize`, `relay_fetch`, `fan_out`, `pace`,
+    /// `wire`, `reorder`, `repair_stall`, `reassemble`, `playout_wait`).
+    SpanOpen {
+        /// Raw node index emitting the span (where the hop runs).
+        node: u64,
+        /// Raw node index of the other endpoint (== `node` for local
+        /// hops such as `packetize` or `playout_wait`).
+        peer: u64,
+        /// Hop name from the fixed vocabulary.
+        hop: String,
+        /// Lecture id (splitmix64 hash of the content name).
+        lecture: u64,
+        /// Segment index within the lecture.
+        segment: u64,
+    },
+    /// The matching hop completed. Pairs with the [`Event::SpanOpen`]
+    /// carrying the same `(node, peer, hop, lecture, segment)` key.
+    SpanClose {
+        /// Raw node index emitting the span.
+        node: u64,
+        /// Raw node index of the other endpoint.
+        peer: u64,
+        /// Hop name from the fixed vocabulary.
+        hop: String,
+        /// Lecture id.
+        lecture: u64,
+        /// Segment index within the lecture.
+        segment: u64,
+    },
 }
 
 impl Event {
@@ -363,6 +393,8 @@ impl Event {
             Event::Retransmit { .. } => "retransmit",
             Event::RepairGiveUp { .. } => "repair_give_up",
             Event::GapSkipped { .. } => "gap_skipped",
+            Event::SpanOpen { .. } => "span_open",
+            Event::SpanClose { .. } => "span_close",
         }
     }
 }
@@ -577,6 +609,26 @@ impl EventRecord {
                 push_num_field(&mut out, "seq", *seq);
                 push_num_field(&mut out, "nacks", *nacks);
                 push_num_field(&mut out, "budget", *budget);
+            }
+            Event::SpanOpen {
+                node,
+                peer,
+                hop,
+                lecture,
+                segment,
+            }
+            | Event::SpanClose {
+                node,
+                peer,
+                hop,
+                lecture,
+                segment,
+            } => {
+                push_num_field(&mut out, "node", *node);
+                push_num_field(&mut out, "peer", *peer);
+                push_str_field(&mut out, "hop", hop);
+                push_num_field(&mut out, "lecture", *lecture);
+                push_num_field(&mut out, "segment", *segment);
             }
         }
         out.push('}');
@@ -846,6 +898,20 @@ pub fn parse_event(line: &str) -> Result<EventRecord, String> {
             nacks: f.num("nacks")?,
             budget: f.num("budget")?,
         },
+        "span_open" => Event::SpanOpen {
+            node: f.num("node")?,
+            peer: f.num("peer")?,
+            hop: f.str("hop")?,
+            lecture: f.num("lecture")?,
+            segment: f.num("segment")?,
+        },
+        "span_close" => Event::SpanClose {
+            node: f.num("node")?,
+            peer: f.num("peer")?,
+            hop: f.str("hop")?,
+            lecture: f.num("lecture")?,
+            segment: f.num("segment")?,
+        },
         other => return Err(format!("unknown event kind {other}")),
     };
     Ok(EventRecord { at, event })
@@ -993,6 +1059,20 @@ mod tests {
                 seq: 44,
                 nacks: 3,
                 budget: 3,
+            },
+            Event::SpanOpen {
+                node: 2,
+                peer: 0,
+                hop: "relay_fetch".into(),
+                lecture: 0xfeed_beef,
+                segment: 17,
+            },
+            Event::SpanClose {
+                node: 2,
+                peer: 0,
+                hop: "relay_fetch".into(),
+                lecture: 0xfeed_beef,
+                segment: 17,
             },
         ];
         for (i, event) in all.into_iter().enumerate() {

@@ -16,6 +16,10 @@
 //!   story (startup → stall spans → downshift → recovery), and
 //!   [`check_causal`] cross-checks the log against the causal claims
 //!   the aggregate counters cannot make.
+//! * [`TraceCtx`] / [`SpanAssembler`] — a sampled cross-node tracing
+//!   plane: a compact context rides the wire with each traced segment,
+//!   every hop emits paired span events, and the assembler folds merged
+//!   logs back into per-segment hop-latency waterfalls.
 //!
 //! Node identity is carried as raw `u64` indices: this crate sits below
 //! the simulator in the dependency order (the fault injector emits into
@@ -26,11 +30,15 @@
 mod event;
 mod metrics;
 mod recorder;
+mod span;
 mod timeline;
 
 pub use event::{parse_event, parse_jsonl, Event, EventRecord};
-pub use metrics::{Histogram, Registry, TICK_BOUNDS};
+pub use metrics::{parse_prometheus, Histogram, Registry, TICK_BOUNDS};
 pub use recorder::Recorder;
+pub use span::{
+    fmt_ticks, lecture_id, sampled, HopStats, SegmentTrace, SpanAssembler, SpanRow, TraceCtx,
+};
 pub use timeline::{
     check_causal, session_timelines, worst_by_stall, CausalReport, EndKind, SessionTimeline,
     StallSpan,

@@ -127,6 +127,13 @@ impl Recorder {
             .or_insert_with(|| format!("lod_events_total{{kind=\"{}\"}}", event.kind()));
         inner.registry.counter_add(name, 1);
         inner.events.push(EventRecord { at, event });
+        // Surface ring-mode loss in the registry so a metrics-only
+        // scrape (no event log) still shows the log was truncated.
+        if inner.events.dropped > 0 {
+            inner
+                .registry
+                .gauge_set("lod_events_dropped", inner.events.dropped);
+        }
     }
 
     /// Names a node's role (`origin`, `relay0`, `student17`). Emits a
@@ -277,6 +284,7 @@ mod tests {
         }
         assert_eq!(r.event_count(), 3);
         assert_eq!(r.events_dropped(), 2);
+        assert_eq!(r.registry().gauge("lod_events_dropped"), 2);
         let ticks: Vec<u64> = r.events().iter().map(|rec| rec.at).collect();
         assert_eq!(ticks, vec![2, 3, 4]);
         // JSONL matches events(): oldest retained first.
@@ -297,6 +305,8 @@ mod tests {
             10
         );
         assert_eq!(r.events_dropped(), 8);
+        assert_eq!(r.registry().gauge("lod_events_dropped"), 8);
+        assert!(r.prometheus().contains("lod_events_dropped 8"));
     }
 
     #[test]
@@ -307,6 +317,9 @@ mod tests {
         }
         assert_eq!(r.event_count(), 100);
         assert_eq!(r.events_dropped(), 0);
+        // No loss means no gauge: the sample only appears once real.
+        assert_eq!(r.registry().gauge("lod_events_dropped"), 0);
+        assert!(!r.prometheus().contains("lod_events_dropped"));
     }
 
     #[test]

@@ -342,6 +342,22 @@ pub struct CausalReport {
     /// after budget exhaustion.
     #[serde(default)]
     pub premature_gap_skips: u64,
+    /// Distinct trace spans opened (`span_open` events, deduplicated by
+    /// `(lecture, segment, node, peer, hop)`).
+    #[serde(default)]
+    pub spans_opened: u64,
+    /// Spans opened but never closed — every traced hop must complete.
+    #[serde(default)]
+    pub spans_unclosed: u64,
+    /// Span closes with no earlier matching open, plus delivery-chain
+    /// hops whose first opens are not monotone in ticks (`relay_fetch →
+    /// packetize → fan_out → reassemble → playout_wait`).
+    #[serde(default)]
+    pub span_order_violations: u64,
+    /// Traces where the client's `reassemble` hop closed before the
+    /// origin's `packetize` hop opened — receipt preceding emission.
+    #[serde(default)]
+    pub span_receipt_violations: u64,
 }
 
 impl CausalReport {
@@ -355,8 +371,8 @@ impl CausalReport {
         self.sheds_by_node.get(&node).copied().unwrap_or(0)
     }
 
-    /// Whether every causal invariant holds (overload, failover and
-    /// transport repair).
+    /// Whether every causal invariant holds (overload, failover,
+    /// transport repair and trace spans).
     pub fn holds(&self) -> bool {
         self.unheralded_downshifts == 0
             && self.unmatched_recoveries == 0
@@ -366,6 +382,9 @@ impl CausalReport {
             && self.unmatched_retransmits == 0
             && self.over_budget_give_ups == 0
             && self.premature_gap_skips == 0
+            && self.spans_unclosed == 0
+            && self.span_order_violations == 0
+            && self.span_receipt_violations == 0
     }
 }
 
@@ -392,7 +411,20 @@ impl CausalReport {
 /// 8. every `gap_skipped` declares `nacks >= budget` (with repair on, a
 ///    receiver only abandons a gap after exhausting its NACK budget;
 ///    plain reorder-timeout skips carry `nacks == budget == 0` and are
-///    lawful).
+///    lawful),
+/// 9. every `span_open` is eventually matched by a `span_close` for the
+///    same `(lecture, segment, node, peer, hop)` key,
+/// 10. delivery-chain hops open in causal order within a trace —
+///     `relay_fetch → packetize → fan_out → reassemble → playout_wait`
+///     first-opens are monotone in ticks (the frame-level hops `pace`,
+///     `wire`, `reorder`, `repair_stall` recur on every leg and are
+///     exempt), and a close never precedes its open, and
+/// 11. the client's `reassemble` hop never closes before the origin's
+///     `packetize` hop opened for the same segment (receipt ≥ emission;
+///     meaningful because loopback nodes share one tick epoch).
+///
+/// Span checks assume the full log: a capacity-ringed recorder that
+/// overwrote early opens will truthfully report order violations.
 pub fn check_causal(events: &[EventRecord]) -> CausalReport {
     let mut report = CausalReport::default();
     let mut backlog_high_seen: BTreeMap<u64, bool> = BTreeMap::new();
@@ -406,6 +438,10 @@ pub fn check_causal(events: &[EventRecord]) -> CausalReport {
     let mut max_epoch_promoted: Option<u64> = None;
     // Repair bookkeeping: NACK ranges per (nacker, peer) direction.
     let mut nack_ranges: BTreeMap<(u64, u64), Vec<(u64, u64)>> = BTreeMap::new();
+    // Span bookkeeping: (lecture, segment, node, peer, hop) →
+    // (first open tick, last close tick).
+    type SpanKey<'a> = (u64, u64, u64, u64, &'a str);
+    let mut span_state: BTreeMap<SpanKey, (u64, Option<u64>)> = BTreeMap::new();
     for rec in events {
         match &rec.event {
             Event::BacklogHigh { client, .. } => {
@@ -507,7 +543,91 @@ pub fn check_causal(events: &[EventRecord]) -> CausalReport {
                     report.premature_gap_skips += 1;
                 }
             }
+            Event::SpanOpen {
+                node,
+                peer,
+                hop,
+                lecture,
+                segment,
+            } => {
+                let key = (*lecture, *segment, *node, *peer, hop.as_str());
+                if let std::collections::btree_map::Entry::Vacant(e) = span_state.entry(key) {
+                    e.insert((rec.at, None));
+                    report.spans_opened += 1;
+                }
+            }
+            Event::SpanClose {
+                node,
+                peer,
+                hop,
+                lecture,
+                segment,
+            } => {
+                let key = (*lecture, *segment, *node, *peer, hop.as_str());
+                match span_state.get_mut(&key) {
+                    // Duplicate closes are lawful (fault-duplicated
+                    // frames double-close `pace`); the widest span wins.
+                    Some(slot) => slot.1 = Some(slot.1.map_or(rec.at, |c| c.max(rec.at))),
+                    // A close before (or without) its open: in a
+                    // tick-sorted merged log this is an order violation.
+                    None => report.span_order_violations += 1,
+                }
+            }
             _ => {}
+        }
+    }
+    // Unclosed spans, delivery-chain open monotonicity, and
+    // receipt-after-emission per trace.
+    const CHAIN: [&str; 5] = [
+        "relay_fetch",
+        "packetize",
+        "fan_out",
+        "reassemble",
+        "playout_wait",
+    ];
+    let mut chain_opens: BTreeMap<(u64, u64), [Option<u64>; 5]> = BTreeMap::new();
+    let mut first_packetize_open: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut first_reassemble_close: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    for (&(lecture, segment, _, _, hop), &(open, close)) in &span_state {
+        if close.is_none() {
+            report.spans_unclosed += 1;
+        }
+        if let Some(i) = CHAIN.iter().position(|&h| h == hop) {
+            let slot = &mut chain_opens.entry((lecture, segment)).or_insert([None; 5])[i];
+            if slot.is_none_or(|t| open < t) {
+                *slot = Some(open);
+            }
+        }
+        if hop == "packetize" {
+            let e = first_packetize_open
+                .entry((lecture, segment))
+                .or_insert(open);
+            *e = (*e).min(open);
+        }
+        if hop == "reassemble" {
+            if let Some(close) = close {
+                let e = first_reassemble_close
+                    .entry((lecture, segment))
+                    .or_insert(close);
+                *e = (*e).min(close);
+            }
+        }
+    }
+    for opens in chain_opens.values() {
+        let mut prev = None;
+        for &open in opens.iter().flatten() {
+            if prev.is_some_and(|p| open < p) {
+                report.span_order_violations += 1;
+            }
+            prev = Some(open);
+        }
+    }
+    for (key, &close) in &first_reassemble_close {
+        if first_packetize_open
+            .get(key)
+            .is_some_and(|&open| close < open)
+        {
+            report.span_receipt_violations += 1;
         }
     }
     report
@@ -928,5 +1048,131 @@ mod tests {
         assert_eq!(r.over_budget_give_ups, 1);
         assert_eq!(r.premature_gap_skips, 1);
         assert!(!r.holds());
+    }
+
+    fn span_rec(at: u64, open: bool, node: u64, peer: u64, hop: &str) -> EventRecord {
+        let (lecture, segment) = (11, 4);
+        rec(
+            at,
+            if open {
+                Event::SpanOpen {
+                    node,
+                    peer,
+                    hop: hop.into(),
+                    lecture,
+                    segment,
+                }
+            } else {
+                Event::SpanClose {
+                    node,
+                    peer,
+                    hop: hop.into(),
+                    lecture,
+                    segment,
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn span_invariants_hold_on_a_lawful_trace() {
+        let events = vec![
+            span_rec(100, true, 2, 0, "relay_fetch"),
+            span_rec(110, true, 0, 0, "packetize"),
+            span_rec(150, false, 0, 0, "packetize"),
+            span_rec(200, false, 2, 0, "relay_fetch"),
+            span_rec(210, true, 2, 5, "fan_out"),
+            span_rec(230, true, 5, 2, "reassemble"),
+            span_rec(300, false, 5, 2, "reassemble"),
+            span_rec(300, true, 5, 5, "playout_wait"),
+            span_rec(400, false, 5, 5, "playout_wait"),
+            span_rec(500, false, 2, 5, "fan_out"),
+        ];
+        let r = check_causal(&events);
+        assert!(r.holds(), "{r:?}");
+        assert_eq!(r.spans_opened, 5);
+        assert_eq!(r.spans_unclosed, 0);
+    }
+
+    #[test]
+    fn span_violations_are_counted() {
+        let events = vec![
+            // Close with no open anywhere: an order violation.
+            span_rec(50, false, 9, 9, "wire"),
+            // Opened but never closed.
+            span_rec(100, true, 2, 0, "relay_fetch"),
+            // Chain out of order: packetize first-opens before the
+            // relay_fetch that should precede it.
+            span_rec(90, true, 0, 0, "packetize"),
+            span_rec(95, false, 0, 0, "packetize"),
+            // Receipt before emission: reassemble closes at 80, before
+            // packetize opened at 90.
+            span_rec(70, true, 5, 2, "reassemble"),
+            span_rec(80, false, 5, 2, "reassemble"),
+        ];
+        let r = check_causal(&events);
+        assert_eq!(r.spans_opened, 3);
+        assert_eq!(r.spans_unclosed, 1);
+        // One stray close + two chain inversions (packetize@90 after
+        // relay_fetch@100, reassemble@70 after packetize@90).
+        assert_eq!(r.span_order_violations, 3, "{r:?}");
+        assert_eq!(r.span_receipt_violations, 1);
+        assert!(!r.holds());
+    }
+
+    /// Satellite: `session_timelines` over a multi-node merged log —
+    /// interleaved per-node JSONL folds correctly, and a log whose final
+    /// line was truncated mid-write errors instead of silently dropping
+    /// the tail.
+    #[test]
+    fn interleaved_multi_node_jsonl_folds_and_truncation_errors() {
+        use crate::event::parse_jsonl;
+        // Two nodes' logs, interleaved by tick as the loopback driver
+        // merges them.
+        let node_a = [
+            rec(10, Event::SessionStart { client: 1 }),
+            rec(
+                30,
+                Event::PlaybackStart {
+                    client: 1,
+                    startup_ticks: 20,
+                },
+            ),
+            rec(90, Event::SessionEnd { client: 1 }),
+        ];
+        let node_b = [
+            rec(20, Event::SessionStart { client: 2 }),
+            rec(40, Event::StallStart { client: 2 }),
+            rec(
+                60,
+                Event::StallEnd {
+                    client: 2,
+                    stall_ticks: 20,
+                },
+            ),
+        ];
+        let mut merged: Vec<EventRecord> = node_a.iter().chain(&node_b).cloned().collect();
+        merged.sort_by_key(|r| r.at);
+        let text: String = merged.iter().map(|r| r.to_json() + "\n").collect();
+        let parsed = parse_jsonl(&text).expect("well-formed log");
+        let tls = session_timelines(&parsed);
+        assert_eq!(tls.len(), 2);
+        assert_eq!(tls[0].client, 1);
+        assert_eq!(tls[0].ended, Some((90, EndKind::Completed)));
+        assert_eq!(tls[1].client, 2);
+        assert_eq!(tls[1].stall_ticks, 20);
+
+        // Mid-line truncation anywhere in the final record must error —
+        // at every cut point, including mid-number and mid-kind.
+        let full_len = text.len();
+        let last_line_start = text[..full_len - 1].rfind('\n').unwrap() + 1;
+        for cut in last_line_start + 1..full_len - 1 {
+            let truncated = &text[..cut];
+            assert!(
+                parse_jsonl(truncated).is_err(),
+                "cut at {cut} silently accepted: {:?}",
+                &truncated[last_line_start..]
+            );
+        }
     }
 }

@@ -17,7 +17,7 @@
 use std::collections::{HashMap, HashSet};
 
 use lod_asf::{DataPacket, ScriptCommand};
-use lod_obs::{Event, Recorder};
+use lod_obs::{lecture_id, sampled, Event, Recorder, TraceCtx};
 use lod_simnet::{NodeId, TokenBucket};
 use lod_streaming::wire::{ControlRequest, SegmentData, StreamHeader, Wire};
 use lod_streaming::{AdmissionPolicy, BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};
@@ -30,6 +30,29 @@ use crate::cache::{CachedSegment, SegmentCache};
 /// fetch (`at_time` lookups have no segment number until the origin
 /// answers). Real segment indices never reach 2^31.
 const TIME_FETCH_BIT: u32 = 1 << 31;
+
+/// Builds one span edge for the relay's tracing hooks (a plain function
+/// so it can be called while a session is mutably borrowed).
+fn span_event(open: bool, node: u64, peer: u64, hop: &str, ctx: TraceCtx) -> Event {
+    let (hop, lecture, segment) = (hop.to_string(), ctx.lecture, ctx.segment);
+    if open {
+        Event::SpanOpen {
+            node,
+            peer,
+            hop,
+            lecture,
+            segment,
+        }
+    } else {
+        Event::SpanClose {
+            node,
+            peer,
+            hop,
+            lecture,
+            segment,
+        }
+    }
+}
 
 /// In-flight key for a time-resolving fetch of presentation time `at`.
 fn time_fetch_key(at: u64) -> u32 {
@@ -110,6 +133,11 @@ struct VodSession {
     pacer: TokenBucket,
     /// Segment whose cache lookup has been recorded for this session.
     counted_seg: Option<u32>,
+    /// Last segment whose fan-out sampling was evaluated, plus the open
+    /// "fan_out" span context when that segment was sampled. Evaluated
+    /// once per (session, segment); an open span closes when the next
+    /// segment's fan-out begins, at EOS, or on teardown.
+    fanout: Option<(u32, Option<TraceCtx>)>,
     /// Play/Seek waiting for a time-resolving fetch (`at_time` echo).
     pending_time: Option<u64>,
     header_sent: bool,
@@ -172,6 +200,11 @@ pub struct RelayNode {
     metrics: RelayMetrics,
     /// Structured event sink (disabled by default — a free no-op).
     obs: Recorder,
+    /// Per-mille of (lecture, segment) pairs head-sampled into the
+    /// tracing plane (0 = tracing off, 1000 = every segment).
+    trace_permille: u16,
+    /// Monotonic mint counter for this relay's trace contexts.
+    trace_seq: u64,
 }
 
 /// One outstanding upstream fetch.
@@ -216,6 +249,8 @@ impl RelayNode {
             breaker: None,
             metrics: RelayMetrics::default(),
             obs: Recorder::disabled(),
+            trace_permille: 0,
+            trace_seq: 0,
         }
     }
 
@@ -267,6 +302,18 @@ impl RelayNode {
     /// half-open probe succeeds.
     pub fn with_breaker(mut self, policy: BreakerPolicy) -> Self {
         self.breaker = Some(CircuitBreaker::new(policy));
+        self
+    }
+
+    /// Enables segment tracing: `permille`‰ of (lecture, segment) pairs
+    /// are head-sampled (deterministically, see [`lod_obs::sampled`])
+    /// into the cross-node tracing plane. The relay is the minting
+    /// authority — it stamps sampled fetches and fan-outs with a
+    /// [`TraceCtx`] that then propagates through origin, transport and
+    /// client hops. 0 (the default) disables tracing; 1000 traces every
+    /// segment.
+    pub fn with_trace_permille(mut self, permille: u16) -> Self {
+        self.trace_permille = permille;
         self
     }
 
@@ -360,6 +407,8 @@ impl RelayNode {
                 // Heartbeat answers belong to the failover monitor, not
                 // the relay data plane.
                 Wire::Pong { .. } => {}
+                // Trace markers flow relay → client, never origin → relay.
+                Wire::Mark(_) => {}
             }
         } else if let Wire::Request(req) = msg {
             self.on_request(net, now, from, req);
@@ -419,6 +468,16 @@ impl RelayNode {
             // feature.
             ControlRequest::SelectStreams(_) => {}
             ControlRequest::Teardown => {
+                for s in &self.sessions {
+                    if s.client != from {
+                        continue;
+                    }
+                    if let Some((_, Some(ctx))) = s.fanout {
+                        let (node, peer) = (self.node.index() as u64, from.index() as u64);
+                        self.obs
+                            .emit(now, span_event(false, node, peer, "fan_out", ctx));
+                    }
+                }
                 self.sessions.retain(|s| s.client != from);
                 for feed in self.live.values_mut() {
                     feed.subs.retain(|s| s.client != from);
@@ -561,6 +620,7 @@ impl RelayNode {
             pending_time,
             header_sent,
             eos_sent: false,
+            fanout: None,
         });
     }
 
@@ -737,14 +797,47 @@ impl RelayNode {
         if !self.admit_fetch(net, now, &key) {
             return;
         }
+        let trace = self.mint_trace(content, segment, now);
+        if let Some(ctx) = trace {
+            // "relay_fetch" spans the whole upstream round trip: opened
+            // when the fetch leaves, closed when the segment answer (or
+            // a retry's answer) lands in `on_segment`.
+            let (node, peer) = (self.node.index() as u64, self.origin.index() as u64);
+            self.obs
+                .emit(now, span_event(true, node, peer, "relay_fetch", ctx));
+        }
         let req = Wire::Request(ControlRequest::FetchSegment {
             content: content.to_string(),
             segment,
             at_time: None,
             want_header,
+            trace,
         });
         let bytes = req.wire_bytes(0);
         let _ = net.send_reliable(self.node, self.origin, bytes, req);
+    }
+
+    /// Mints a trace context for `(content, segment)` when the sampling
+    /// decision selects it, bumping the relay's mint counter. The
+    /// decision is a pure function of (lecture, segment, permille), so
+    /// every retry — and every other relay at the same permille — picks
+    /// the same segments.
+    fn mint_trace(&mut self, content: &str, segment: u32, now: u64) -> Option<TraceCtx> {
+        if self.trace_permille == 0 {
+            return None;
+        }
+        let lecture = lecture_id(content);
+        let segment = u64::from(segment);
+        if !sampled(lecture, segment, self.trace_permille) {
+            return None;
+        }
+        self.trace_seq += 1;
+        Some(TraceCtx {
+            lecture,
+            segment,
+            seq: self.trace_seq,
+            origin: now,
+        })
     }
 
     /// Asks the origin for the segment containing presentation time `at`
@@ -768,6 +861,10 @@ impl RelayNode {
             segment: 0,
             at_time: Some(at),
             want_header,
+            // Time-resolving fetches are addressed by presentation time,
+            // not segment index — the sampling decision has no stable key
+            // yet, so they stay untraced.
+            trace: None,
         });
         let bytes = req.wire_bytes(0);
         let _ = net.send_reliable(self.node, self.origin, bytes, req);
@@ -792,6 +889,15 @@ impl RelayNode {
 
     fn on_segment(&mut self, net: &mut impl Transport<Wire>, now: u64, mut seg: SegmentData) {
         self.breaker_success(now);
+        if let Some(ctx) = seg.trace {
+            let (node, peer) = (self.node.index() as u64, self.origin.index() as u64);
+            // Clamped to the mint tick like every other span site: the
+            // answer cannot land before the fetch was minted.
+            self.obs.emit(
+                now.max(ctx.origin),
+                span_event(false, node, peer, "relay_fetch", ctx),
+            );
+        }
         self.metrics.upstream_bytes_received += seg.wire_bytes();
         self.inflight.remove(&(seg.content.clone(), seg.segment));
         if let Some(at) = seg.at_time {
@@ -969,6 +1075,11 @@ impl RelayNode {
             };
             loop {
                 if s.next_packet >= meta.total_packets {
+                    if let Some((_, Some(ctx))) = s.fanout.take() {
+                        let (node, peer) = (self.node.index() as u64, s.client.index() as u64);
+                        self.obs
+                            .emit(now, span_event(false, node, peer, "fan_out", ctx));
+                    }
                     let _ = net.send_reliable(self.node, s.client, 16, Wire::EndOfStream);
                     s.eos_sent = true;
                     break;
@@ -1022,6 +1133,41 @@ impl RelayNode {
                     fetches.push((s.content.clone(), seg_idx));
                     break;
                 };
+                if s.fanout.map(|(i, _)| i) != Some(seg_idx) {
+                    // Sampling is evaluated once per (session, segment),
+                    // and only here — after `peek` proved the segment
+                    // resident — so "fan_out" never opens before the
+                    // origin's "packetize" span on a cache miss. A
+                    // sampled segment gets one reliable [`Wire::Mark`]
+                    // ahead of its data packets: the client books its
+                    // spans off the marker and the per-packet hot path
+                    // stays untraced.
+                    let (node, peer) = (self.node.index() as u64, s.client.index() as u64);
+                    if let Some((_, Some(prev))) = s.fanout.take() {
+                        self.obs
+                            .emit(now, span_event(false, node, peer, "fan_out", prev));
+                    }
+                    let mut ctx = None;
+                    if self.trace_permille > 0 {
+                        let lecture = lecture_id(&s.content);
+                        if sampled(lecture, u64::from(seg_idx), self.trace_permille) {
+                            self.trace_seq += 1;
+                            let c = TraceCtx {
+                                lecture,
+                                segment: u64::from(seg_idx),
+                                seq: self.trace_seq,
+                                origin: now,
+                            };
+                            self.obs
+                                .emit(now, span_event(true, node, peer, "fan_out", c));
+                            let mark = Wire::Mark(c);
+                            let bytes = mark.wire_bytes(0);
+                            let _ = net.send_reliable(self.node, s.client, bytes, mark);
+                            ctx = Some(c);
+                        }
+                    }
+                    s.fanout = Some((seg_idx, ctx));
+                }
                 let offset = (s.next_packet - seg.base_packet) as usize;
                 let Some(p) = seg.packets.get(offset) else {
                     break; // short final segment; total_packets guards EOS
@@ -1525,5 +1671,102 @@ mod tests {
         // One upstream subscription, not one per student.
         assert_eq!(origin.metrics().live_subscribers, 1);
         assert_eq!(relay.metrics().live_subscribers, 3);
+    }
+
+    #[test]
+    fn sampled_segment_yields_causal_waterfall_across_nodes() {
+        use lod_obs::{check_causal, SpanAssembler};
+        let obs = Recorder::new();
+        let mut net = Network::new(21);
+        let tree = relay_tree(
+            &mut net,
+            LinkSpec::lan(),
+            LinkSpec::lan(),
+            LinkSpec::lan(),
+            1,
+            1,
+        );
+        let mut origin = StreamingServer::new(tree.origin)
+            .with_segment_packets(128)
+            .with_recorder(obs.clone());
+        origin.publish("lec", test_file(50, 2_000_000));
+        let mut relay = RelayNode::new(tree.relays[0], tree.origin, 8 << 20)
+            .with_recorder(obs.clone())
+            .with_trace_permille(1000);
+        relay.serve_vod("lec");
+        let mut client =
+            StreamingClient::new(tree.students[0], relay.node(), "lec").with_recorder(obs.clone());
+        drive(
+            &mut net,
+            &mut origin,
+            &mut relay,
+            &mut [&mut client],
+            600_000_000_000,
+        );
+        assert!(client.is_done(), "state: {:?}", client.state());
+
+        let events = obs.events();
+        let causal = check_causal(&events);
+        assert!(causal.holds(), "{causal:?}");
+        assert!(causal.spans_opened > 0);
+
+        let mut asm = SpanAssembler::new();
+        for rec in &events {
+            asm.ingest(rec);
+        }
+        let trace = asm
+            .trace(Some(lecture_id("lec")), 0)
+            .expect("segment 0 is sampled at 1000 permille");
+        let hops: Vec<&str> = trace.spans.iter().map(|r| r.hop.as_str()).collect();
+        for hop in [
+            "relay_fetch",
+            "packetize",
+            "fan_out",
+            "reassemble",
+            "playout_wait",
+        ] {
+            assert!(hops.contains(&hop), "missing {hop} in {hops:?}");
+        }
+        assert!(
+            trace.end_to_end() > 0,
+            "waterfall should span fetch → playout: {trace:?}"
+        );
+    }
+
+    #[test]
+    fn zero_permille_relay_emits_no_spans() {
+        let obs = Recorder::new();
+        let mut net = Network::new(21);
+        let tree = relay_tree(
+            &mut net,
+            LinkSpec::lan(),
+            LinkSpec::lan(),
+            LinkSpec::lan(),
+            1,
+            1,
+        );
+        let mut origin = StreamingServer::new(tree.origin)
+            .with_segment_packets(128)
+            .with_recorder(obs.clone());
+        origin.publish("lec", test_file(50, 2_000_000));
+        let mut relay =
+            RelayNode::new(tree.relays[0], tree.origin, 8 << 20).with_recorder(obs.clone());
+        relay.serve_vod("lec");
+        let mut client =
+            StreamingClient::new(tree.students[0], relay.node(), "lec").with_recorder(obs.clone());
+        drive(
+            &mut net,
+            &mut origin,
+            &mut relay,
+            &mut [&mut client],
+            600_000_000_000,
+        );
+        assert!(client.is_done());
+        // Without a minting relay no context ever enters the wire, so no
+        // component emits a single span — the plane is pay-for-play.
+        assert!(obs
+            .events()
+            .iter()
+            .all(|r| !matches!(r.event, Event::SpanOpen { .. } | Event::SpanClose { .. })));
     }
 }

@@ -1,10 +1,10 @@
 //! The streaming client: buffering, playout clock, stall accounting.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use lod_asf::{AsfError, MediaSample, Reassembler, ScriptCommand, ScriptCommandList};
 use lod_media::{MediaClock, Ticks};
-use lod_obs::{Event, Recorder};
+use lod_obs::{Event, Recorder, TraceCtx};
 use lod_simnet::NodeId;
 use lod_transport::Transport;
 
@@ -114,6 +114,12 @@ pub struct StreamingClient {
     busy_budget: u32,
     /// Structured event sink (disabled by default — a free no-op).
     obs: Recorder,
+    /// Trace contexts announced by [`Wire::Mark`], each waiting for the
+    /// first sample completed after it (closing its "reassemble" span).
+    pending_marks: VecDeque<TraceCtx>,
+    /// Open "playout_wait" spans, keyed by the buffer sequence of the
+    /// sample whose rendering closes them.
+    playout_traces: BTreeMap<u64, TraceCtx>,
 }
 
 impl StreamingClient {
@@ -149,6 +155,8 @@ impl StreamingClient {
             busy_until: None,
             busy_budget: 8,
             obs: Recorder::disabled(),
+            pending_marks: VecDeque::new(),
+            playout_traces: BTreeMap::new(),
         }
     }
 
@@ -410,6 +418,15 @@ impl StreamingClient {
                     self.horizon = self.horizon.max(s.pres_time);
                     self.arrival_log.push((time, s.pres_time, s.stream));
                     self.buffer_seq += 1;
+                    // The first sample completed after a trace marker
+                    // closes that segment's "reassemble" span and opens
+                    // its "playout_wait" — closed when this very sample
+                    // is rendered.
+                    if let Some(ctx) = self.pending_marks.pop_front() {
+                        self.emit_span(time, false, "reassemble", ctx);
+                        self.emit_span(time, true, "playout_wait", ctx);
+                        self.playout_traces.insert(self.buffer_seq, ctx);
+                    }
                     self.buffer
                         .insert((s.pres_time, s.stream, self.buffer_seq), s);
                 }
@@ -466,6 +483,13 @@ impl StreamingClient {
                     }
                 }
             }
+            Wire::Mark(ctx) => {
+                // The relay announced a sampled segment's fan-out: open
+                // the client-side "reassemble" span and remember the
+                // context for the first sample that completes.
+                self.emit_span(time, true, "reassemble", ctx);
+                self.pending_marks.push_back(ctx);
+            }
             // Relay-plane traffic; clients never consume raw segments.
             Wire::Segment(_) => {}
             Wire::Request(_) => {}
@@ -473,6 +497,38 @@ impl StreamingClient {
             Wire::Pong { .. } => {}
         }
         let _ = time;
+    }
+
+    /// Emits one client-side span edge for a traced segment.
+    fn emit_span(&self, at: u64, open: bool, hop: &str, ctx: TraceCtx) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        // Clamp to the context's mint tick: the driver may poll the
+        // minting relay ahead of the network clock, so a marker can
+        // arrive stamped before its own fan-out span opened. The clamp
+        // (Lamport-style) keeps delivery-chain opens monotone.
+        let at = at.max(ctx.origin);
+        let (node, peer) = (self.node.index() as u64, self.server.index() as u64);
+        let (hop, lecture, segment) = (hop.to_string(), ctx.lecture, ctx.segment);
+        let event = if open {
+            Event::SpanOpen {
+                node,
+                peer,
+                hop,
+                lecture,
+                segment,
+            }
+        } else {
+            Event::SpanClose {
+                node,
+                peer,
+                hop,
+                lecture,
+                segment,
+            }
+        };
+        self.obs.emit(at, event);
     }
 
     /// The node this client currently streams from.
@@ -730,6 +786,15 @@ impl StreamingClient {
     fn finish(&mut self, now: u64) {
         self.state = ClientState::Done;
         self.metrics.samples_lost += self.reasm.incomplete() as u64;
+        // Flush dangling trace spans: a mark whose samples never
+        // completed, or a traced sample never rendered, still closes at
+        // session end so every opened span pairs up.
+        for ctx in std::mem::take(&mut self.pending_marks) {
+            self.emit_span(now, false, "reassemble", ctx);
+        }
+        for (_, ctx) in std::mem::take(&mut self.playout_traces) {
+            self.emit_span(now, false, "playout_wait", ctx);
+        }
         self.obs.emit(
             now,
             Event::SessionEnd {
@@ -746,6 +811,9 @@ impl StreamingClient {
                 break;
             }
             let sample = self.buffer.remove(&key).expect("key just observed");
+            if let Some(ctx) = self.playout_traces.remove(&key.2) {
+                self.emit_span(now, false, "playout_wait", ctx);
+            }
             self.metrics.samples_rendered += 1;
             out.push(RenderEvent {
                 wall_time: now,

@@ -13,6 +13,7 @@ use lod_asf::{
     DataPacket, DrmHeader, FileProperties, Payload, ScriptCommand, ScriptCommandList, StreamKind,
     StreamProperties,
 };
+use lod_obs::TraceCtx;
 use lod_simnet::NodeId;
 use lod_transport::frame::{
     write_bool, write_bytes, write_string, write_u16, write_u32, write_u64, Reader,
@@ -35,6 +36,40 @@ fn write_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
 
 fn read_opt_u64(r: &mut Reader<'_>) -> Result<Option<u64>, CodecError> {
     Ok(if r.bool()? { Some(r.u64()?) } else { None })
+}
+
+fn write_trace(buf: &mut Vec<u8>, c: TraceCtx) {
+    write_u64(buf, c.lecture);
+    write_u64(buf, c.segment);
+    write_u64(buf, c.seq);
+    write_u64(buf, c.origin);
+}
+
+fn read_trace(r: &mut Reader<'_>) -> Result<TraceCtx, CodecError> {
+    Ok(TraceCtx {
+        lecture: r.u64()?,
+        segment: r.u64()?,
+        seq: r.u64()?,
+        origin: r.u64()?,
+    })
+}
+
+fn write_opt_trace(buf: &mut Vec<u8>, c: Option<TraceCtx>) {
+    match c {
+        None => write_bool(buf, false),
+        Some(c) => {
+            write_bool(buf, true);
+            write_trace(buf, c);
+        }
+    }
+}
+
+fn read_opt_trace(r: &mut Reader<'_>) -> Result<Option<TraceCtx>, CodecError> {
+    Ok(if r.bool()? {
+        Some(read_trace(r)?)
+    } else {
+        None
+    })
 }
 
 fn write_node(buf: &mut Vec<u8>, node: NodeId) {
@@ -256,12 +291,14 @@ fn write_request(buf: &mut Vec<u8>, req: &ControlRequest) {
             segment,
             at_time,
             want_header,
+            trace,
         } => {
             buf.push(REQ_FETCH);
             write_string(buf, content);
             write_u32(buf, *segment);
             write_opt_u64(buf, *at_time);
             write_bool(buf, *want_header);
+            write_opt_trace(buf, *trace);
         }
         ControlRequest::Ping { epoch } => {
             buf.push(REQ_PING);
@@ -293,6 +330,7 @@ fn read_request(r: &mut Reader<'_>) -> Result<ControlRequest, CodecError> {
             segment: r.u32()?,
             at_time: read_opt_u64(r)?,
             want_header: r.bool()?,
+            trace: read_opt_trace(r)?,
         },
         REQ_PING => ControlRequest::Ping { epoch: r.u64()? },
         tag => {
@@ -314,6 +352,7 @@ const WIRE_SEGMENT: u8 = 6;
 const WIRE_REDIRECT: u8 = 7;
 const WIRE_BUSY: u8 = 8;
 const WIRE_PONG: u8 = 9;
+const WIRE_MARK: u8 = 10;
 
 impl WireCodec for Wire {
     fn encode_wire(&self, buf: &mut Vec<u8>) {
@@ -362,6 +401,7 @@ impl WireCodec for Wire {
                 }
                 write_opt_u64(buf, s.at_time);
                 write_u64(buf, s.epoch);
+                write_opt_trace(buf, s.trace);
             }
             Wire::Redirect { to } => {
                 buf.push(WIRE_REDIRECT);
@@ -384,6 +424,10 @@ impl WireCodec for Wire {
             Wire::Pong { epoch } => {
                 buf.push(WIRE_PONG);
                 write_u64(buf, *epoch);
+            }
+            Wire::Mark(ctx) => {
+                buf.push(WIRE_MARK);
+                write_trace(buf, *ctx);
             }
         }
     }
@@ -424,6 +468,7 @@ impl WireCodec for Wire {
                     start_packet,
                     at_time: read_opt_u64(r)?,
                     epoch: r.u64()?,
+                    trace: read_opt_trace(r)?,
                 })
             }
             WIRE_REDIRECT => Wire::Redirect { to: read_node(r)? },
@@ -436,8 +481,20 @@ impl WireCodec for Wire {
                 }
             }
             WIRE_PONG => Wire::Pong { epoch: r.u64()? },
+            WIRE_MARK => Wire::Mark(read_trace(r)?),
             tag => return Err(CodecError::BadTag { what: "Wire", tag }),
         })
+    }
+
+    fn trace_ctx(&self) -> Option<TraceCtx> {
+        // The three message shapes a sampled segment rides: the relay's
+        // fetch, the origin's segment answer, and the fan-out marker.
+        match self {
+            Wire::Request(ControlRequest::FetchSegment { trace, .. }) => *trace,
+            Wire::Segment(s) => s.trace,
+            Wire::Mark(ctx) => Some(*ctx),
+            _ => None,
+        }
     }
 }
 
@@ -565,6 +622,17 @@ mod tests {
             )
     }
 
+    fn arb_trace() -> impl Strategy<Value = TraceCtx> {
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(lecture, segment, seq, origin)| TraceCtx {
+                lecture,
+                segment,
+                seq,
+                origin,
+            },
+        )
+    }
+
     fn arb_request() -> impl Strategy<Value = ControlRequest> {
         prop_oneof![
             ("[ -~]{0,16}", any::<u64>())
@@ -578,14 +646,16 @@ mod tests {
                 "[ -~]{0,16}",
                 any::<u32>(),
                 opt(any::<u64>()),
-                any::<bool>()
+                any::<bool>(),
+                opt(arb_trace())
             )
-                .prop_map(|(content, segment, at_time, want_header)| {
+                .prop_map(|(content, segment, at_time, want_header, trace)| {
                     ControlRequest::FetchSegment {
                         content,
                         segment,
                         at_time,
                         want_header,
+                        trace,
                     }
                 }),
             any::<u64>().prop_map(|epoch| ControlRequest::Ping { epoch }),
@@ -607,22 +677,30 @@ mod tests {
                 proptest::collection::vec(arb_packet(), 0..3),
                 opt(arb_header()),
             ),
-            (opt(any::<u32>()), opt(any::<u64>()), any::<u64>()),
+            (
+                opt(any::<u32>()),
+                opt(any::<u64>()),
+                any::<u64>(),
+                opt(arb_trace()),
+            ),
         )
             .prop_map(
-                |(f, (packet_size, packets, header), (start_packet, at_time, epoch))| SegmentData {
-                    content: f.0,
-                    segment: f.1,
-                    base_packet: f.2,
-                    total_packets: f.3,
-                    total_segments: f.4,
-                    segment_packets: f.5,
-                    packet_size,
-                    packets,
-                    header,
-                    start_packet,
-                    at_time,
-                    epoch,
+                |(f, (packet_size, packets, header), (start_packet, at_time, epoch, trace))| {
+                    SegmentData {
+                        content: f.0,
+                        segment: f.1,
+                        base_packet: f.2,
+                        total_packets: f.3,
+                        total_segments: f.4,
+                        segment_packets: f.5,
+                        packet_size,
+                        packets,
+                        header,
+                        start_packet,
+                        at_time,
+                        epoch,
+                        trace,
+                    }
                 },
             )
     }
@@ -642,6 +720,7 @@ mod tests {
                 alternate,
             }),
             any::<u64>().prop_map(|epoch| Wire::Pong { epoch }),
+            arb_trace().prop_map(Wire::Mark),
         ]
     }
 
@@ -694,6 +773,12 @@ mod tests {
                 start_packet: Some(48),
                 at_time: Some(7_000_000),
                 epoch: 2,
+                trace: Some(TraceCtx {
+                    lecture: 11,
+                    segment: 3,
+                    seq: 9,
+                    origin: 1_000,
+                }),
             });
             prop_assert_eq!(round_trip(&w), w);
         }
@@ -762,6 +847,7 @@ mod tests {
             start_packet: None,
             at_time: None,
             epoch: 0,
+            trace: None,
         });
         let bytes = w.to_frame_payload();
         for cut in 1..bytes.len() {

@@ -4,13 +4,23 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use lod_asf::{AsfFile, DataPacket, StreamKind};
 use lod_encoder::BandwidthProfile;
-use lod_obs::{Event, Recorder};
+use lod_obs::{Event, Recorder, TraceCtx};
 use lod_simnet::{NodeId, TokenBucket};
 use lod_transport::Transport;
 
 use crate::checkpoint::{JournalEntry, SessionCheckpoint, SessionJournal, StandbyState};
 use crate::metrics::ServerMetrics;
 use crate::wire::{ControlRequest, SegmentData, StreamHeader, Wire};
+
+/// The fields of one [`ControlRequest::FetchSegment`], bundled so the
+/// segment-serving path passes them as a unit.
+struct Fetch {
+    content: String,
+    segment: u32,
+    at_time: Option<u64>,
+    want_header: bool,
+    trace: Option<TraceCtx>,
+}
 
 /// Admission control: the capacity budget a server is willing to commit
 /// to sessions. A `Play` beyond the budget is answered with
@@ -763,28 +773,77 @@ impl StreamingServer {
                 segment,
                 at_time,
                 want_header,
+                trace,
             } => {
-                self.serve_segment(net, from, &content, segment, at_time, want_header);
+                let fetch = Fetch {
+                    content,
+                    segment,
+                    at_time,
+                    want_header,
+                    trace,
+                };
+                self.serve_segment(net, now, from, fetch);
             }
             // Answered before the dispatch (heartbeats bypass role gates).
             ControlRequest::Ping { .. } => {}
         }
     }
 
-    /// Answers a relay's segment pull with one run of stored packets.
+    /// Answers a relay's segment pull with one run of stored packets
+    /// (the destructured [`ControlRequest::FetchSegment`] fields ride in
+    /// a [`Fetch`] bundle).
     /// When `at_time` is given the segment index is resolved from the ASF
-    /// seek index instead of the caller's `segment` argument.
+    /// seek index instead of the caller's `segment` argument. A traced
+    /// fetch books the origin's "packetize" span and echoes the context
+    /// into the [`Wire::Segment`] answer.
     fn serve_segment(
         &mut self,
         net: &mut impl Transport<Wire>,
+        now: u64,
         relay: NodeId,
-        content: &str,
-        segment: u32,
-        at_time: Option<u64>,
-        want_header: bool,
+        fetch: Fetch,
     ) {
+        let Fetch {
+            content,
+            segment,
+            at_time,
+            want_header,
+            trace,
+        } = fetch;
+        let content = content.as_str();
+        // Span ticks are clamped to the context's mint tick: a driver may
+        // poll the minting relay ahead of the network clock, so a receipt
+        // tick can lag the mint — the clamp is the Lamport-style repair
+        // that keeps delivery-chain opens monotone.
+        let span_at = trace.map_or(now, |ctx| now.max(ctx.origin));
+        if let Some(ctx) = trace {
+            self.obs.emit(
+                span_at,
+                Event::SpanOpen {
+                    node: self.node.index() as u64,
+                    peer: relay.index() as u64,
+                    hop: "packetize".to_string(),
+                    lecture: ctx.lecture,
+                    segment: ctx.segment,
+                },
+            );
+        }
         let Some(file) = self.stored.get(content) else {
             let _ = net.send_reliable(self.node, relay, 32, Wire::NotFound(content.to_string()));
+            if let Some(ctx) = trace {
+                // The fetch dead-ends here; close the span so the trace
+                // still balances.
+                self.obs.emit(
+                    span_at,
+                    Event::SpanClose {
+                        node: self.node.index() as u64,
+                        peer: relay.index() as u64,
+                        hop: "packetize".to_string(),
+                        lecture: ctx.lecture,
+                        segment: ctx.segment,
+                    },
+                );
+            }
             return;
         };
         let seg_pkts = self.segment_packets as usize;
@@ -830,10 +889,23 @@ impl StreamingServer {
             start_packet,
             at_time,
             epoch: self.epoch,
+            trace,
         };
         let bytes = data.wire_bytes();
         self.metrics.segments_served += 1;
         self.metrics.payload_bytes_sent += bytes;
+        if let Some(ctx) = trace {
+            self.obs.emit(
+                span_at,
+                Event::SpanClose {
+                    node: self.node.index() as u64,
+                    peer: relay.index() as u64,
+                    hop: "packetize".to_string(),
+                    lecture: ctx.lecture,
+                    segment: ctx.segment,
+                },
+            );
+        }
         let _ = net.send_reliable(self.node, relay, bytes, Wire::Segment(data));
     }
 

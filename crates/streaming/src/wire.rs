@@ -1,6 +1,7 @@
 //! Messages exchanged between streaming server and clients.
 
 use lod_asf::{DataPacket, DrmHeader, FileProperties, ScriptCommandList, StreamProperties};
+use lod_obs::TraceCtx;
 use lod_simnet::NodeId;
 use serde::{Deserialize, Serialize};
 
@@ -71,6 +72,10 @@ pub enum ControlRequest {
         at_time: Option<u64>,
         /// Include the [`StreamHeader`] in the response (first fetch).
         want_header: bool,
+        /// Trace context when this fetch belongs to a sampled segment:
+        /// the origin echoes it back in the [`Wire::Segment`] answer so
+        /// the whole origin→relay leg joins the segment's waterfall.
+        trace: Option<TraceCtx>,
     },
     /// Heartbeat probe (standby → origin). Carries the prober's fencing
     /// epoch: a primary that sees a *higher* epoch than its own learns it
@@ -112,6 +117,9 @@ pub struct SegmentData {
     pub at_time: Option<u64>,
     /// Fencing epoch of the serving origin (see [`StreamHeader::epoch`]).
     pub epoch: u64,
+    /// Echo of the fetch request's trace context (sampled segments
+    /// only), carried so the transport stamps the origin→relay frame.
+    pub trace: Option<TraceCtx>,
 }
 
 impl SegmentData {
@@ -167,6 +175,11 @@ pub enum Wire {
         /// The responder's current fencing epoch.
         epoch: u64,
     },
+    /// Trace marker (relay → client): announces that the [`Wire::Data`]
+    /// packets that follow belong to this sampled segment. The data hot
+    /// path itself stays untraced — one reliable marker per sampled
+    /// segment buys the client-side spans without growing every packet.
+    Mark(TraceCtx),
 }
 
 impl Wire {
@@ -183,6 +196,7 @@ impl Wire {
             Wire::Redirect { .. } => 24,
             Wire::Busy { .. } => 32,
             Wire::Pong { .. } => 16,
+            Wire::Mark(_) => 40,
         }
     }
 }
@@ -248,6 +262,7 @@ mod tests {
             start_packet: None,
             at_time: None,
             epoch: 0,
+            trace: None,
         };
         assert_eq!(seg.wire_bytes(), 48 + 2 * 256);
         seg.header = Some(StreamHeader {

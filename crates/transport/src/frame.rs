@@ -1,7 +1,8 @@
 //! Datagram framing and the `WireCodec` encode/decode surface.
 //!
-//! Every UDP datagram is one frame: a fixed 24-byte header followed by
-//! the encoded message. All integers are little-endian.
+//! Every UDP datagram is one frame: a fixed 24-byte header, an optional
+//! 32-byte trace extension, then the encoded message. All integers are
+//! little-endian.
 //!
 //! ```text
 //! offset  size  field
@@ -9,13 +10,17 @@
 //!      2     1  version (1)
 //!      3     1  flags (bit 0: sent via send_reliable; bit 1: transport
 //!               control frame, payload is a repair ControlFrame, seq 0;
-//!               bit 2: retransmission of an earlier data frame)
+//!               bit 2: retransmission of an earlier data frame;
+//!               bit 3: a 32-byte trace extension precedes the payload)
 //!      4     8  sequence number, monotonic per (sender, receiver) pair,
 //!               starting at 1 — the reorder buffer's ordering key
 //!               (0 for control frames, which bypass re-sequencing)
 //!     12     8  send timestamp in ticks (sender's clock)
-//!     20     4  payload length in bytes
-//!     24     …  payload (WireCodec encoding of the message)
+//!     20     4  payload length in bytes (the extension not included)
+//!     24    32  trace extension, only when flag bit 3 is set: the
+//!               sampled TraceCtx as four u64s — lecture, segment, seq,
+//!               origin tick
+//!   24/56     …  payload (WireCodec encoding of the message)
 //! ```
 //!
 //! The message encoding itself is defined by the [`WireCodec`] trait,
@@ -29,6 +34,7 @@
 use std::fmt;
 
 use bytes::Bytes;
+use lod_obs::TraceCtx;
 
 /// Frame magic: "LT" (lecture transport).
 pub const FRAME_MAGIC: [u8; 2] = *b"LT";
@@ -42,8 +48,14 @@ pub const FLAG_RELIABLE: u8 = 0b0000_0001;
 pub const FLAG_CONTROL: u8 = 0b0000_0010;
 /// Flag bit: this data frame is a retransmission answering a NACK.
 pub const FLAG_RETRANSMIT: u8 = 0b0000_0100;
-/// Fixed frame header size in bytes.
+/// Flag bit: a [`TRACE_EXT_BYTES`]-byte trace extension sits between the
+/// header and the payload (the frame carries a sampled segment's
+/// [`TraceCtx`]).
+pub const FLAG_TRACE: u8 = 0b0000_1000;
+/// Fixed frame header size in bytes (the trace extension not included).
 pub const FRAME_HEADER_BYTES: usize = 24;
+/// Trace extension size in bytes: four little-endian u64s.
+pub const TRACE_EXT_BYTES: usize = 32;
 
 /// Decode failures, for both frame headers and message payloads.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,7 +122,9 @@ pub struct FrameHeader {
     pub control: bool,
     /// Whether this data frame is a retransmission.
     pub retransmit: bool,
-    /// Payload length in bytes.
+    /// The trace context riding the frame, when the sender stamped one.
+    pub trace: Option<TraceCtx>,
+    /// Payload length in bytes (the trace extension not included).
     pub len: u32,
 }
 
@@ -127,10 +141,23 @@ pub fn encode_frame(seq: u64, sent_at: u64, reliable: bool, payload: &[u8]) -> V
 /// Encodes one frame with an explicit flags byte (the repair sublayer
 /// uses this for [`FLAG_CONTROL`] NACK frames).
 pub fn encode_frame_with_flags(seq: u64, sent_at: u64, flags: u8, payload: &[u8]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    encode_frame_traced(seq, sent_at, flags, None, payload)
+}
+
+/// Encodes one frame, stamping the trace extension (and [`FLAG_TRACE`])
+/// when `trace` is present.
+pub fn encode_frame_traced(
+    seq: u64,
+    sent_at: u64,
+    flags: u8,
+    trace: Option<TraceCtx>,
+    payload: &[u8],
+) -> Vec<u8> {
+    let ext = if trace.is_some() { TRACE_EXT_BYTES } else { 0 };
+    let mut buf = Vec::with_capacity(FRAME_HEADER_BYTES + ext + payload.len());
     buf.extend_from_slice(&FRAME_MAGIC);
     buf.push(FRAME_VERSION);
-    buf.push(flags);
+    buf.push(flags | if trace.is_some() { FLAG_TRACE } else { 0 });
     buf.extend_from_slice(&seq.to_le_bytes());
     buf.extend_from_slice(&sent_at.to_le_bytes());
     buf.extend_from_slice(
@@ -138,6 +165,12 @@ pub fn encode_frame_with_flags(seq: u64, sent_at: u64, flags: u8, payload: &[u8]
             .expect("payload < 4 GiB")
             .to_le_bytes(),
     );
+    if let Some(t) = trace {
+        buf.extend_from_slice(&t.lecture.to_le_bytes());
+        buf.extend_from_slice(&t.segment.to_le_bytes());
+        buf.extend_from_slice(&t.seq.to_le_bytes());
+        buf.extend_from_slice(&t.origin.to_le_bytes());
+    }
     buf.extend_from_slice(payload);
     buf
 }
@@ -168,11 +201,28 @@ pub fn decode_frame(datagram: &[u8]) -> Result<(FrameHeader, &[u8]), CodecError>
     let seq = u64::from_le_bytes(datagram[4..12].try_into().expect("sized"));
     let sent_at = u64::from_le_bytes(datagram[12..20].try_into().expect("sized"));
     let len = u32::from_le_bytes(datagram[20..24].try_into().expect("sized"));
-    let payload = &datagram[FRAME_HEADER_BYTES..];
-    if payload.len() != len as usize {
+    let mut body = &datagram[FRAME_HEADER_BYTES..];
+    let trace = if flags & FLAG_TRACE != 0 {
+        if body.len() < TRACE_EXT_BYTES {
+            return Err(CodecError::Truncated);
+        }
+        let word =
+            |i: usize| u64::from_le_bytes(body[i * 8..(i + 1) * 8].try_into().expect("sized"));
+        let ctx = TraceCtx {
+            lecture: word(0),
+            segment: word(1),
+            seq: word(2),
+            origin: word(3),
+        };
+        body = &body[TRACE_EXT_BYTES..];
+        Some(ctx)
+    } else {
+        None
+    };
+    if body.len() != len as usize {
         return Err(CodecError::LengthMismatch {
             declared: len as usize,
-            actual: payload.len(),
+            actual: body.len(),
         });
     }
     Ok((
@@ -182,16 +232,45 @@ pub fn decode_frame(datagram: &[u8]) -> Result<(FrameHeader, &[u8]), CodecError>
             reliable: flags & FLAG_RELIABLE != 0,
             control: flags & FLAG_CONTROL != 0,
             retransmit: flags & FLAG_RETRANSMIT != 0,
+            trace,
             len,
         },
-        payload,
+        body,
     ))
+}
+
+/// Reads just the trace extension out of an encoded frame, without
+/// validating or splitting the payload — the send path peeks this when
+/// a buffered frame finally reaches the socket, to close its `pace`
+/// span. Returns `None` for untraced or too-short frames.
+pub fn peek_trace(frame: &[u8]) -> Option<TraceCtx> {
+    if frame.len() < FRAME_HEADER_BYTES + TRACE_EXT_BYTES || frame[3] & FLAG_TRACE == 0 {
+        return None;
+    }
+    let word = |i: usize| {
+        let at = FRAME_HEADER_BYTES + i * 8;
+        u64::from_le_bytes(frame[at..at + 8].try_into().expect("sized"))
+    };
+    Some(TraceCtx {
+        lecture: word(0),
+        segment: word(1),
+        seq: word(2),
+        origin: word(3),
+    })
 }
 
 /// A message type that can cross a real wire.
 pub trait WireCodec: Sized {
     /// Appends the encoding of `self` to `buf`.
     fn encode_wire(&self, buf: &mut Vec<u8>);
+
+    /// The trace context this message carries, when it is part of a
+    /// sampled segment delivery. The transport stamps it into the frame
+    /// header so span events can be emitted at every hop without
+    /// decoding the payload. Default: untraced.
+    fn trace_ctx(&self) -> Option<TraceCtx> {
+        None
+    }
 
     /// Decodes one value from the reader.
     ///
@@ -441,6 +520,59 @@ mod tests {
         assert!(h.retransmit && !h.control);
         assert_eq!(h.seq, 7);
         assert_eq!(payload, b"data", "marking must not disturb the payload");
+    }
+
+    #[test]
+    fn traced_frame_round_trips_and_untraced_stays_24_bytes() {
+        let ctx = TraceCtx {
+            lecture: 0xAAAA_BBBB_CCCC_DDDD,
+            segment: 42,
+            seq: 7,
+            origin: 1_000_000,
+        };
+        let frame = encode_frame_traced(9, 55, FLAG_RELIABLE, Some(ctx), b"seg");
+        assert_eq!(frame.len(), FRAME_HEADER_BYTES + TRACE_EXT_BYTES + 3);
+        let (h, payload) = decode_frame(&frame).unwrap();
+        assert_eq!(h.trace, Some(ctx));
+        assert!(h.reliable);
+        assert_eq!(h.len, 3, "len counts the payload only");
+        assert_eq!(payload, b"seg");
+        assert_eq!(peek_trace(&frame), Some(ctx));
+
+        let plain = encode_frame(9, 55, true, b"seg");
+        assert_eq!(plain.len(), FRAME_HEADER_BYTES + 3);
+        assert_eq!(decode_frame(&plain).unwrap().0.trace, None);
+        assert_eq!(peek_trace(&plain), None);
+    }
+
+    #[test]
+    fn mark_retransmit_preserves_the_trace_extension() {
+        let ctx = TraceCtx {
+            lecture: 1,
+            segment: 2,
+            seq: 3,
+            origin: 4,
+        };
+        let mut frame = encode_frame_traced(5, 6, 0, Some(ctx), b"d");
+        mark_retransmit(&mut frame);
+        let (h, payload) = decode_frame(&frame).unwrap();
+        assert!(h.retransmit);
+        assert_eq!(h.trace, Some(ctx));
+        assert_eq!(payload, b"d");
+    }
+
+    #[test]
+    fn truncated_trace_extension_is_rejected() {
+        let ctx = TraceCtx {
+            lecture: 1,
+            segment: 2,
+            seq: 3,
+            origin: 4,
+        };
+        let frame = encode_frame_traced(5, 6, 0, Some(ctx), b"");
+        let cut = &frame[..FRAME_HEADER_BYTES + 10];
+        assert_eq!(decode_frame(cut).unwrap_err(), CodecError::Truncated);
+        assert_eq!(peek_trace(cut), None);
     }
 
     #[test]

@@ -20,13 +20,13 @@ use std::marker::PhantomData;
 use std::net::{SocketAddr, UdpSocket};
 use std::time::Instant;
 
-use lod_obs::{Event, Recorder};
+use lod_obs::{Event, Recorder, TraceCtx};
 use lod_simnet::{Delivery, NetworkError, NodeId, TokenBucket};
 
 use crate::fault::{FaultAction, FaultEngine, FaultSpec};
 use crate::frame::{
-    decode_frame, encode_frame, encode_frame_with_flags, mark_retransmit, WireCodec, FLAG_CONTROL,
-    FRAME_HEADER_BYTES,
+    decode_frame, encode_frame_traced, encode_frame_with_flags, mark_retransmit, peek_trace,
+    WireCodec, FLAG_CONTROL, FLAG_RELIABLE, FRAME_HEADER_BYTES, TRACE_EXT_BYTES,
 };
 use crate::reorder::{ReorderBuffer, ReorderStats};
 use crate::repair::{ControlFrame, RepairConfig, RepairRx, RepairTx};
@@ -35,6 +35,33 @@ use crate::{Transport, TICKS_PER_SECOND};
 /// Most gap sequences one receiver poll reconciles per peer (also the
 /// widest NACK span one frame can carry).
 const MISSING_CAP: usize = 512;
+
+/// Emits one transport-hop span edge for a traced frame. Centralized so
+/// every hook pays the `hop` allocation only when a recorder is armed.
+fn emit_span(obs: &Recorder, at: u64, open: bool, node: u64, peer: u64, hop: &str, ctx: TraceCtx) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let (hop, lecture, segment) = (hop.to_string(), ctx.lecture, ctx.segment);
+    let event = if open {
+        Event::SpanOpen {
+            node,
+            peer,
+            hop,
+            lecture,
+            segment,
+        }
+    } else {
+        Event::SpanClose {
+            node,
+            peer,
+            hop,
+            lecture,
+            segment,
+        }
+    };
+    obs.emit(at, event);
+}
 
 /// Knobs for a [`UdpTransport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,7 +227,7 @@ pub struct UdpTransport<M> {
     peers: HashMap<usize, SocketAddr>,
     by_addr: HashMap<SocketAddr, NodeId>,
     next_seq: HashMap<usize, u64>,
-    reorder: HashMap<usize, ReorderBuffer<(u64, M)>>,
+    reorder: HashMap<usize, ReorderBuffer<(u64, Option<TraceCtx>, M)>>,
     repair_tx: HashMap<usize, RepairTx>,
     repair_rx: HashMap<usize, RepairRx>,
     /// Receiver side: highest data sequence each peer is known to have
@@ -382,12 +409,31 @@ impl<M: WireCodec> UdpTransport<M> {
         };
         let now = Transport::<M>::now(self);
         let seq = self.next_seq.entry(dst.index()).or_insert(1);
-        let frame = encode_frame(*seq, now, reliable, &message.to_frame_payload());
+        // A traced message's context rides a frame-header extension, so
+        // the receiving transport can stamp hop spans without decoding
+        // the payload. Untraced messages keep the bare 24-byte header.
+        let trace = message.trace_ctx();
+        let flags = if reliable { FLAG_RELIABLE } else { 0 };
+        let frame = encode_frame_traced(*seq, now, flags, trace, &message.to_frame_payload());
         if frame.len() > self.cfg.max_frame_bytes {
             self.stats.oversize_drops += 1;
             return Ok(());
         }
         *seq += 1;
+        if let Some(ctx) = trace {
+            // "pace" spans the pacer/fault stage: open here, closed by
+            // `raw_send` when the datagram actually reaches the socket
+            // (or by the fault stage when it eats the frame).
+            emit_span(
+                &self.obs,
+                now,
+                true,
+                self.node.index() as u64,
+                dst.index() as u64,
+                "pace",
+                ctx,
+            );
+        }
         if let Some(repair) = self.cfg.repair {
             let sent_seq = *seq - 1;
             self.repair_tx
@@ -430,11 +476,19 @@ impl<M: WireCodec> UdpTransport<M> {
                     FaultAction::Deliver => {}
                     FaultAction::Drop => {
                         self.stats.faults_dropped += 1;
+                        // The frame dies here: close its pace span so a
+                        // faulted run still has every span paired (the
+                        // repair layer's retransmit will re-close it
+                        // later if the segment is recovered).
+                        if let Some(ctx) = peek_trace(frame) {
+                            let (node, peer) = (self.node.index() as u64, dst.index() as u64);
+                            emit_span(&self.obs, now, false, node, peer, "pace", ctx);
+                        }
                         return;
                     }
                     FaultAction::Duplicate => {
                         self.stats.faults_duplicated += 1;
-                        self.raw_send(addr, frame);
+                        self.raw_send(now, addr, frame);
                     }
                     FaultAction::Delay(extra) => {
                         self.stats.faults_delayed += 1;
@@ -445,15 +499,25 @@ impl<M: WireCodec> UdpTransport<M> {
                 }
             }
         }
-        self.raw_send(addr, frame);
+        self.raw_send(now, addr, frame);
     }
 
-    fn raw_send(&mut self, addr: SocketAddr, frame: &[u8]) {
+    fn raw_send(&mut self, now: u64, addr: SocketAddr, frame: &[u8]) {
         match self.socket.send_to(frame, addr) {
             Ok(_) => {
                 self.stats.frames_sent += 1;
                 self.stats.bytes_sent += frame.len() as u64;
                 self.obs.counter_add("transport_frames_sent", 1);
+                if let Some(ctx) = peek_trace(frame) {
+                    // Pace span closes when the datagram hits the wire;
+                    // a retransmit re-closes it (last close wins), so
+                    // the span stretches over the repair round trip.
+                    let node = self.node.index() as u64;
+                    let peer = self.by_addr.get(&addr).map(|p| p.index() as u64);
+                    if let Some(peer) = peer {
+                        emit_span(&self.obs, now, false, node, peer, "pace", ctx);
+                    }
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 // Kernel buffer full: park it in the pacer queue and let
@@ -490,7 +554,7 @@ impl<M: WireCodec> UdpTransport<M> {
         while i < self.delayed.len() {
             if self.delayed[i].0 <= now {
                 let (_, addr, frame) = self.delayed.remove(i);
-                self.raw_send(addr, &frame);
+                self.raw_send(now, addr, &frame);
             } else {
                 i += 1;
             }
@@ -571,12 +635,49 @@ impl<M: WireCodec> UdpTransport<M> {
             };
             self.stats.frames_received += 1;
             self.obs.counter_add("transport_frames_received", 1);
+            if let Some(ctx) = header.trace {
+                let (node, peer) = (self.node.index() as u64, src.index() as u64);
+                // "wire" spans the one-way flight: opened at the peer's
+                // send timestamp (valid under the loopback harness's
+                // shared epoch), closed at local arrival. A retransmit
+                // instead books a "repair_stall" span — its original
+                // timestamp covers the whole NACK round trip, and
+                // folding that into "wire" would poison the estimate.
+                let hop = if header.retransmit {
+                    "repair_stall"
+                } else {
+                    "wire"
+                };
+                emit_span(
+                    &self.obs,
+                    header.sent_at.min(now),
+                    true,
+                    node,
+                    peer,
+                    hop,
+                    ctx,
+                );
+                emit_span(&self.obs, now, false, node, peer, hop, ctx);
+                // "reorder" opens at arrival and closes when the frame
+                // leaves the resequencing buffer (possibly right now).
+                emit_span(&self.obs, now, true, node, peer, "reorder", ctx);
+            }
             let buffer = self
                 .reorder
                 .entry(src.index())
                 .or_insert_with(|| ReorderBuffer::new(self.cfg.reorder_flush_ticks));
-            let wire_len = FRAME_HEADER_BYTES as u64 + u64::from(header.len);
-            for (bytes, message) in buffer.accept(header.seq, now, (wire_len, message)) {
+            let ext = if header.trace.is_some() {
+                TRACE_EXT_BYTES as u64
+            } else {
+                0
+            };
+            let wire_len = FRAME_HEADER_BYTES as u64 + ext + u64::from(header.len);
+            let entry = (wire_len, header.trace, message);
+            for (bytes, trace, message) in buffer.accept(header.seq, now, entry) {
+                if let Some(ctx) = trace {
+                    let (node, peer) = (self.node.index() as u64, src.index() as u64);
+                    emit_span(&self.obs, now, false, node, peer, "reorder", ctx);
+                }
                 out.push(Delivery {
                     time: now,
                     src,
@@ -751,7 +852,11 @@ impl<M: WireCodec> UdpTransport<M> {
                         },
                     );
                 }
-                for (bytes, message) in released {
+                for (bytes, trace, message) in released {
+                    if let Some(ctx) = trace {
+                        let (n, p) = (node.index() as u64, src_index as u64);
+                        emit_span(&self.obs, now, false, n, p, "reorder", ctx);
+                    }
                     out.push(Delivery {
                         time: now,
                         src: NodeId::from_index(src_index),
@@ -803,7 +908,11 @@ impl<M: WireCodec> UdpTransport<M> {
         for (&src_index, buffer) in &mut self.reorder {
             let missing_before = buffer.missing(usize::MAX);
             let before = buffer.stats().skipped_seqs;
-            for (bytes, message) in buffer.flush_due(now) {
+            for (bytes, trace, message) in buffer.flush_due(now) {
+                if let Some(ctx) = trace {
+                    let (n, p) = (node.index() as u64, src_index as u64);
+                    emit_span(&self.obs, now, false, n, p, "reorder", ctx);
+                }
                 out.push(Delivery {
                     time: now,
                     src: NodeId::from_index(src_index),
@@ -1271,6 +1380,96 @@ mod tests {
         assert_eq!(cfg.pace_rate_bps, 1_000_000);
         assert_eq!(cfg.pace_burst_bytes, 64 * 1024);
         assert!(cfg.repair.is_some());
+    }
+
+    /// A codec whose messages can carry a trace context (only the frame
+    /// header transports it; the payload stays context-free, like the
+    /// real `Wire` codec's untraced variants).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct TracedMsg {
+        id: u64,
+        trace: Option<TraceCtx>,
+    }
+
+    impl WireCodec for TracedMsg {
+        fn encode_wire(&self, buf: &mut Vec<u8>) {
+            frame::write_u64(buf, self.id);
+        }
+
+        fn decode_wire(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+            Ok(Self {
+                id: r.u64()?,
+                trace: None,
+            })
+        }
+
+        fn trace_ctx(&self) -> Option<TraceCtx> {
+            self.trace
+        }
+    }
+
+    #[test]
+    fn traced_frames_emit_paired_transport_spans() {
+        let a_rec = Recorder::new();
+        let b_rec = Recorder::new();
+        let a_id = NodeId::from_index(0);
+        let b_id = NodeId::from_index(1);
+        let mut a: UdpTransport<TracedMsg> =
+            UdpTransport::bind_localhost(a_id, UdpConfig::default())
+                .unwrap()
+                .with_recorder(a_rec.clone());
+        let mut b: UdpTransport<TracedMsg> =
+            UdpTransport::bind_localhost(b_id, UdpConfig::default())
+                .unwrap()
+                .with_recorder(b_rec.clone());
+        a.register_peer(b_id, b.local_addr());
+        b.register_peer(a_id, a.local_addr());
+        a.set_manual_now(100);
+        b.set_manual_now(100);
+        let ctx = TraceCtx {
+            lecture: 7,
+            segment: 3,
+            seq: 1,
+            origin: 100,
+        };
+        a.send(
+            a_id,
+            b_id,
+            64,
+            TracedMsg {
+                id: 1,
+                trace: Some(ctx),
+            },
+        )
+        .unwrap();
+        // An untraced message on the same path grows no spans.
+        a.send(a_id, b_id, 64, TracedMsg { id: 2, trace: None })
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut got = Vec::new();
+        while got.len() < 2 && Instant::now() < deadline {
+            got.extend(b.poll(200));
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        assert_eq!(got.len(), 2);
+
+        let mut log = a_rec.events();
+        log.extend(b_rec.events());
+        let causal = lod_obs::check_causal(&log);
+        assert!(causal.holds(), "{causal:?}");
+        assert_eq!(causal.spans_opened, 3, "pace + wire + reorder");
+        let mut asm = lod_obs::SpanAssembler::new();
+        for rec in &log {
+            asm.ingest(rec);
+        }
+        let trace = asm.trace(Some(7), 3).expect("the traced segment");
+        let hops: Vec<&str> = trace.spans.iter().map(|s| s.hop.as_str()).collect();
+        assert!(hops.contains(&"pace"), "{hops:?}");
+        assert!(hops.contains(&"wire"), "{hops:?}");
+        assert!(hops.contains(&"reorder"), "{hops:?}");
+        for s in &trace.spans {
+            assert!(s.close.is_some(), "every transport span closes: {s:?}");
+        }
     }
 
     /// Drives a sender and a receiver in manual-clock lockstep until the

@@ -4,10 +4,10 @@
 # chaos-drill determinism gate — two separate processes must emit
 # byte-identical Q9 reports, because the whole simulation is seeded and
 # HashMap-order bugs only show up across processes — and the perf
-# trajectory gate, which re-runs the Q14/Q15/Q16 benches and compares
-# their "tracked" integer values against the committed BENCH_q14.json /
-# BENCH_q15.json / BENCH_q16.json baselines (±15%, i.e. 150 permille;
-# see perf_gate).
+# trajectory gate, which re-runs the Q14/Q15/Q16/Q17 benches and
+# compares their "tracked" integer values against the committed
+# BENCH_q14.json / BENCH_q15.json / BENCH_q16.json / BENCH_q17.json
+# baselines (±15%, i.e. 150 permille; see perf_gate).
 # Everything runs offline; external deps resolve to the third_party/ stubs.
 #
 # Perf-gate self-test: before trusting any real comparison, the stage
@@ -126,7 +126,35 @@ if ! diff "$tmpdir/ra.json" "$tmpdir/rb.json"; then
 fi
 echo "reports identical"
 
-echo "===== perf trajectory gate (q14 + q15 + q16 vs committed baselines) ====="
+echo "===== q17_tracing determinism (two runs, byte-identical span logs) ====="
+# The tracing plane end to end: span minting, Mark propagation, the
+# clock-skew clamp and the assembler are all integer-clocked, so two
+# processes must emit byte-identical full-trace event logs. The bench
+# also enforces the overhead contract in-binary (sampled 10‰ within 5%
+# of obs-off) and the causal span invariants over the merged log.
+cargo run -q --offline --release -p lod-bench --bin q17_tracing -- \
+    --json "$tmpdir/ta.json" --events "$tmpdir/ta.jsonl" > /dev/null
+cargo run -q --offline --release -p lod-bench --bin q17_tracing -- \
+    --json "$tmpdir/tb.json" --events "$tmpdir/tb.jsonl" > /dev/null
+if ! cmp -s "$tmpdir/ta.jsonl" "$tmpdir/tb.jsonl"; then
+    echo "FAIL: two q17 tracing runs diverged in their span logs (nondeterminism crept in)"
+    diff "$tmpdir/ta.jsonl" "$tmpdir/tb.jsonl" | head -20
+    exit 1
+fi
+echo "span logs identical"
+
+echo "===== q17 waterfall render (wmps trace over the span log) ====="
+# The operator path over the same artifact: `wmps trace` must render
+# per-hop percentiles and a concrete segment waterfall from the log the
+# bench just wrote. Kept as a CI artifact so a hop-latency regression
+# can be eyeballed straight from the run page.
+cargo run -q --offline --release -p lod-cli --bin wmps -- \
+    trace "$tmpdir/ta.jsonl" --segment 0 > "$tmpdir/waterfall.txt"
+grep -q "playout_wait" "$tmpdir/waterfall.txt" || {
+    echo "FAIL: rendered waterfall is missing the delivery chain"; exit 1; }
+echo "waterfall rendered"
+
+echo "===== perf trajectory gate (q14 + q15 + q16 + q17 vs committed baselines) ====="
 # Medians are wall-clock and machines differ, so the gate is deliberately
 # loose (±15%) and compares only the "tracked" sections — integer codec/
 # mux medians and the deterministic payload-copy counters. The loopback
@@ -144,6 +172,9 @@ cargo build -q --offline --release -p lod-bench \
 # ±15% tolerance is pure slack: any drift is a protocol-behavior change
 # that should come with a deliberate baseline update.
 ./target/release/perf_gate --fresh "$tmpdir/ra.json" --check-against BENCH_q16.json
+# q17's tracked values are likewise deterministic: wire-format byte
+# counts and the span/trace ledger of the seeded run.
+./target/release/perf_gate --fresh "$tmpdir/ta.json" --check-against BENCH_q17.json
 echo "tracked medians within tolerance of committed baselines"
 
 if [ -n "${ARTIFACTS_DIR:-}" ]; then
@@ -158,6 +189,9 @@ if [ -n "${ARTIFACTS_DIR:-}" ]; then
     cp "$tmpdir/fa.json" "$ARTIFACTS_DIR/q12_failover.json"
     cp "$tmpdir/fa.jsonl" "$ARTIFACTS_DIR/q12_events.jsonl"
     cp "$tmpdir/fa.prom" "$ARTIFACTS_DIR/q12_metrics.prom"
+    cp "$tmpdir/ta.json" "$ARTIFACTS_DIR/BENCH_q17_fresh.json"
+    cp "$tmpdir/ta.jsonl" "$ARTIFACTS_DIR/q17_spans.jsonl"
+    cp "$tmpdir/waterfall.txt" "$ARTIFACTS_DIR/q17_waterfall.txt"
     ls -l "$ARTIFACTS_DIR"
 fi
 
